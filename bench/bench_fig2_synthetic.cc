@@ -1,0 +1,99 @@
+// Reproduces paper Figure 2: median F1 of every method across the
+// Table 2 synthetic settings (tuples/attributes/domain x noise).
+//
+// Quick defaults keep the full sweep to a few minutes: t=large is
+// 20,000 tuples and 3 instances per setting; pass --full for the
+// paper-scale 100,000 tuples and 5 instances.
+//
+// Flags: --budget=SECONDS (default 10), --instances=K, --full.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "synth/generator.h"
+
+namespace {
+
+struct Setting {
+  const char* label;
+  bool t_large;
+  bool r_large;
+  bool d_large;
+  double noise;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fdx;
+  const bench::Flags flags(argc, argv);
+  const bool full = flags.Has("full");
+  const double budget = flags.GetDouble("budget", full ? 300.0 : 10.0);
+  const size_t instances = flags.GetSize("instances", full ? 5 : 3);
+  const size_t t_large = full ? 100000 : 20000;
+
+  // The eight settings plotted in Figure 2 (a)-(h).
+  const Setting settings[] = {
+      {"t=large r=large d=large n=high", true, true, true, 0.30},
+      {"t=large r=large d=large n=low", true, true, true, 0.01},
+      {"t=large r=small d=large n=high", true, false, true, 0.30},
+      {"t=large r=small d=large n=low", true, false, true, 0.01},
+      {"t=small r=small d=large n=high", false, false, true, 0.30},
+      {"t=small r=small d=large n=low", false, false, true, 0.01},
+      {"t=small r=small d=small n=high", false, false, false, 0.30},
+      {"t=small r=small d=small n=low", false, false, false, 0.01},
+  };
+
+  std::vector<std::string> header = {"Setting"};
+  for (MethodId m : AllMethods()) header.push_back(MethodName(m));
+  ReportTable table(header);
+
+  for (const Setting& setting : settings) {
+    // Per-method F1 samples across instances; median reported (§5.1).
+    std::vector<std::vector<double>> scores(AllMethods().size());
+    std::vector<bool> timed_out(AllMethods().size(), false);
+    for (size_t instance = 0; instance < instances; ++instance) {
+      SyntheticConfig config;
+      config.num_tuples = setting.t_large ? t_large : 1000;
+      config.noise_rate = setting.noise;
+      config.seed = 1000 + instance;
+      Rng size_rng(2000 + instance);
+      config = setting.r_large ? LargeAttributes(config, &size_rng)
+                               : SmallAttributes(config, &size_rng);
+      config = setting.d_large ? LargeDomain(config) : SmallDomain(config);
+      auto ds = GenerateSynthetic(config);
+      if (!ds.ok()) continue;
+      RunnerConfig runner;
+      runner.expected_error = setting.noise;
+      runner.time_budget_seconds = budget;
+      runner.fdx.transform.max_pairs_per_attribute = full ? 0 : 20000;
+      size_t index = 0;
+      for (MethodId m : AllMethods()) {
+        RunOutcome outcome = RunMethod(m, ds->noisy, runner);
+        if (outcome.ok) {
+          scores[index].push_back(
+              ScoreFdsUndirected(outcome.fds, ds->true_fds).f1);
+        } else {
+          timed_out[index] = true;
+        }
+        ++index;
+      }
+    }
+    std::vector<std::string> row = {setting.label};
+    for (size_t index = 0; index < scores.size(); ++index) {
+      row.push_back(scores[index].empty()
+                        ? "-"
+                        : bench::Score3(Median(scores[index])) +
+                              (timed_out[index] ? "*" : ""));
+    }
+    table.AddRow(row);
+  }
+  std::printf(
+      "Figure 2: median F1 across synthetic settings\n"
+      "(budget %.0fs/run, %zu instances; '-' = no run finished,\n"
+      " '*' = some instances exceeded the budget)\n%s",
+      budget, instances, table.ToString().c_str());
+  return 0;
+}

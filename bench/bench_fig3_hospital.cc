@@ -1,0 +1,58 @@
+// Reproduces paper Figure 3: the autoregression matrix estimated by FDX
+// for the Hospital data set (rendered as a text heatmap) and the
+// corresponding discovered FDs.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/fdx.h"
+#include "datasets/real_world.h"
+
+namespace {
+
+/// Text heatmap glyph for a weight in [0, 1].
+char Glyph(double value) {
+  static const char kScale[] = " .:-=+*#%@";
+  const double v = std::min(1.0, std::max(0.0, value));
+  return kScale[static_cast<size_t>(v * 9.0)];
+}
+
+}  // namespace
+
+int main() {
+  using namespace fdx;
+  RealWorldDataset hospital = MakeHospitalDataset();
+  FdxDiscoverer discoverer;
+  auto result = discoverer.Discover(hospital.table);
+  if (!result.ok()) {
+    std::printf("FDX failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const Schema& schema = hospital.table.schema();
+  const size_t k = schema.size();
+  std::printf(
+      "Figure 3: FDX autoregression matrix for Hospital\n"
+      "(rows determine columns; darker = larger weight)\n\n    ");
+  for (size_t j = 0; j < k; ++j) std::printf("%2zu ", j);
+  std::printf("\n");
+  for (size_t i = 0; i < k; ++i) {
+    std::printf("%2zu  ", i);
+    for (size_t j = 0; j < k; ++j) {
+      std::printf(" %c ", Glyph(result->autoregression(i, j)));
+    }
+    std::printf(" %s\n", schema.name(i).c_str());
+  }
+  std::printf("\nDiscovered FDs:\n%s",
+              FdSetToString(result->fds, schema).c_str());
+  std::printf(
+      "\nPaper Figure 3 reference FDs (for comparison):\n"
+      "  ProviderNumber -> ZipCode / HospitalName\n"
+      "  ProviderNumber,HospitalName -> Address1\n"
+      "  ProviderNumber,HospitalName,Address1 -> City / PhoneNumber\n"
+      "  City -> CountyName\n"
+      "  PhoneNumber -> HospitalOwner\n"
+      "  MeasureCode -> MeasureName\n"
+      "  MeasureCode,MeasureName -> Stateavg\n"
+      "  MeasureCode,MeasureName,Stateavg -> Condition\n");
+  return 0;
+}

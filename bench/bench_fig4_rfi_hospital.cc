@@ -1,0 +1,39 @@
+// Reproduces paper Figure 4: the FDs discovered by RFI on Hospital with
+// their reliable-fraction-of-information scores.
+//
+// Flags: --budget=SECONDS (default 60), --max-lhs=K (default 2; the
+// original unbounded search needs the paper's multi-hour budget).
+
+#include <cstdio>
+
+#include "baselines/rfi.h"
+#include "bench_util.h"
+#include "datasets/real_world.h"
+
+int main(int argc, char** argv) {
+  using namespace fdx;
+  const bench::Flags flags(argc, argv);
+  RealWorldDataset hospital = MakeHospitalDataset();
+
+  RfiOptions options;
+  options.alpha = 1.0;  // the paper shows the highest-alpha run
+  options.max_lhs_size = flags.GetSize("max-lhs", 2);
+  options.time_budget_seconds = flags.GetDouble("budget", 60.0);
+  options.return_partial_on_timeout = true;
+  auto scored = DiscoverRfiScored(hospital.table, options);
+  if (!scored.ok()) {
+    std::printf("RFI failed: %s\n", scored.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Figure 4: FDs discovered by RFI(1.0) on Hospital\n\n");
+  for (const auto& entry : *scored) {
+    std::printf("%s ( %.6f )\n",
+                entry.fd.ToString(hospital.table.schema()).c_str(),
+                entry.score);
+  }
+  std::printf(
+      "\nPaper behaviour to compare: ~16 FDs, mostly meaningful, plus\n"
+      "overfitted ones like 'ZipCode -> EmergencyService' (a huge-domain\n"
+      "determinant of a binary attribute).\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Reproduces paper Table 1: the benchmark data sets with known
+// dependencies (attribute, FD and FD-edge counts per network).
+
+#include <cstdio>
+
+#include "bn/networks.h"
+#include "eval/report.h"
+
+int main() {
+  using namespace fdx;
+  ReportTable table({"Data set", "Attributes", "# FDs", "# Edges in FDs"});
+  for (auto& bn : MakeAllBenchmarkNetworks()) {
+    const FdSet fds = bn.net.GroundTruthFds();
+    table.AddRow({bn.name, std::to_string(bn.net.num_nodes()),
+                  std::to_string(fds.size()),
+                  std::to_string(FdEdges(fds).size())});
+  }
+  std::printf("Table 1: benchmark data sets with known dependencies\n%s",
+              table.ToString().c_str());
+  std::printf(
+      "\nNote: structures follow the published bnlearn networks; the\n"
+      "paper's Table 1 reports slightly different FD counts for Child\n"
+      "and Alarm (15/24 FDs) than the raw parent-set counts.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces paper Table 5: end-to-end runtime (seconds) of every
+// method on the benchmark data sets with known FDs.
+//
+// Flags: --budget=SECONDS (default 30), --tuples=N (default 10000).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bn/networks.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace fdx;
+  const bench::Flags flags(argc, argv);
+  const double budget = flags.GetDouble("budget", 30.0);
+  const size_t tuples = flags.GetSize("tuples", 10000);
+
+  RunnerConfig config;
+  config.time_budget_seconds = budget;
+  config.expected_error = 0.05;
+
+  std::vector<std::string> header = {"Data set"};
+  for (MethodId m : AllMethods()) header.push_back(MethodName(m));
+  ReportTable table(header);
+
+  for (auto& bn : MakeAllBenchmarkNetworks()) {
+    Rng rng(99);
+    auto sample = bn.net.Sample(tuples, &rng);
+    if (!sample.ok()) continue;
+    std::vector<std::string> row = {bn.name};
+    for (MethodId m : AllMethods()) {
+      RunOutcome outcome = RunMethod(m, *sample, config);
+      row.push_back(outcome.ok ? bench::Secs(outcome.seconds) : "-");
+    }
+    table.AddRow(row);
+  }
+  std::printf(
+      "Table 5: runtime (seconds) on benchmark data sets\n"
+      "(budget %.0fs per run; '-' = exceeded budget or failed)\n%s",
+      budget, table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces paper Table 8: FDX under different sparsity settings on
+// the known-structure benchmarks. The paper sweeps its sparsity
+// hyper-parameter over {0, .002, ..., .010} on the raw-covariance
+// scale; our pipeline normalizes the covariance to a correlation
+// matrix, so the equivalent knob is the absolute threshold tau on the
+// autoregression weights, swept over a correlation-scale grid.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bn/networks.h"
+#include "core/fdx.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace fdx;
+  const bench::Flags flags(argc, argv);
+  const size_t tuples = flags.GetSize("tuples", 10000);
+  const double taus[] = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
+
+  std::vector<std::string> header = {"Data set", "Metric"};
+  for (double tau : taus) header.push_back(bench::Score3(tau));
+  ReportTable table(header);
+
+  for (auto& bn : MakeAllBenchmarkNetworks()) {
+    Rng rng(99);
+    auto sample = bn.net.Sample(tuples, &rng);
+    if (!sample.ok()) continue;
+    const FdSet truth = bn.net.GroundTruthFds();
+    std::vector<std::string> p_row = {bn.name, "Precision"};
+    std::vector<std::string> r_row = {"", "Recall"};
+    std::vector<std::string> f_row = {"", "F1-score"};
+    std::vector<std::string> n_row = {"", "# of FDs"};
+    for (double tau : taus) {
+      FdxOptions options;
+      options.sparsity_threshold = tau;
+      FdxDiscoverer discoverer(options);
+      auto result = discoverer.Discover(*sample);
+      if (!result.ok()) {
+        p_row.push_back("-");
+        r_row.push_back("-");
+        f_row.push_back("-");
+        n_row.push_back("-");
+        continue;
+      }
+      const FdScore score = ScoreFdsUndirected(result->fds, truth);
+      p_row.push_back(bench::Score3(score.precision));
+      r_row.push_back(bench::Score3(score.recall));
+      f_row.push_back(bench::Score3(score.f1));
+      n_row.push_back(std::to_string(result->fds.size()));
+    }
+    table.AddRow(p_row);
+    table.AddRow(r_row);
+    table.AddRow(f_row);
+    table.AddRow(n_row);
+  }
+  std::printf(
+      "Table 8: FDX under different sparsity settings (absolute tau on\n"
+      "the autoregression weights; the paper's {0..0.010} grid lives on\n"
+      "the unnormalized covariance scale)\n%s",
+      table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+#ifndef FDX_BENCH_BENCH_UTIL_H_
+#define FDX_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace fdx::bench {
+
+/// Minimal --key=value flag reader shared by the benchmark drivers.
+/// Every driver accepts:
+///   --budget=SECONDS   per-run time budget (like the paper's 8h cap)
+///   --tuples=N         rows sampled per dataset
+///   --instances=K      instances per synthetic setting (paper: 5)
+///   --full             paper-scale parameters instead of quick defaults
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool Has(const std::string& name) const {
+    for (const auto& arg : args_) {
+      if (arg == "--" + name) return true;
+    }
+    return false;
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    const std::string prefix = "--" + name + "=";
+    for (const auto& arg : args_) {
+      if (arg.rfind(prefix, 0) == 0) {
+        return std::atof(arg.substr(prefix.size()).c_str());
+      }
+    }
+    return fallback;
+  }
+
+  size_t GetSize(const std::string& name, size_t fallback) const {
+    return static_cast<size_t>(GetDouble(name, static_cast<double>(fallback)));
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+/// Renders a score to the paper's 3-decimal convention.
+inline std::string Score3(double v) { return FormatDouble(v, 3); }
+inline std::string Secs(double v) { return FormatDouble(v, 2); }
+
+}  // namespace fdx::bench
+
+#endif  // FDX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,86 @@
+// End-to-end FD-driven data cleaning: discover dependencies with FDX on
+// a corrupted dataset, validate them, and repair violating cells by
+// majority vote — the light-weight version of the cleaning pipelines
+// (HoloClean et al.) the paper positions FDX to optimize.
+
+#include <cstdio>
+
+#include "core/fdx.h"
+#include "fd/validation.h"
+#include "synth/generator.h"
+
+int main() {
+  using namespace fdx;
+
+  // 1. A clean dataset with planted FDs; corrupt the *dependent*
+  // columns at 8% — the typo-style error channel FD repair is designed
+  // for. (Corrupted determinant cells shuffle rows into wrong groups
+  // and need probabilistic, multi-constraint cleaners instead; see the
+  // scorecard discussion below.)
+  SyntheticConfig config;
+  config.num_tuples = 3000;
+  config.num_attributes = 10;
+  config.noise_rate = 0.0;
+  config.seed = 7;
+  auto ds = GenerateSynthetic(config);
+  if (!ds.ok()) return 1;
+  std::vector<size_t> dependent_columns;
+  for (const auto& fd : ds->true_fds) dependent_columns.push_back(fd.rhs);
+  Rng corruption_rng(8);
+  ds->noisy = FlipCells(ds->clean, dependent_columns, 0.08, &corruption_rng);
+  std::printf(
+      "Dataset: %zu rows, %zu attributes; 8%% of the dependent columns' "
+      "cells corrupted\n",
+      ds->noisy.num_rows(), ds->noisy.num_columns());
+
+  // 2. Discover dependencies on the *corrupted* instance.
+  FdxDiscoverer discoverer;
+  auto result = discoverer.Discover(ds->noisy);
+  if (!result.ok()) return 1;
+  std::printf("\nFDX discovered:\n%s",
+              FdSetToString(result->fds, ds->noisy.schema()).c_str());
+
+  // 3. Validate and repair, one FD at a time.
+  Table current = ds->noisy;
+  ValidationOptions options;
+  options.max_violations = 0;
+  for (const auto& fd : result->fds) {
+    EncodedTable encoded = EncodedTable::Encode(current);
+    auto report = ValidateFd(encoded, fd, options);
+    if (!report.ok()) continue;
+    auto repairs = SuggestRepairs(encoded, fd, options);
+    if (!repairs.ok()) continue;
+    std::printf("\n%-28s g3=%.4f, %zu violating groups, %zu repairs",
+                fd.ToString(current.schema()).c_str(), report->g3_error,
+                report->violating_groups, repairs->size());
+    current = ApplyRepairs(current, *repairs);
+  }
+
+  // 4. Score the repairs against the hidden clean data.
+  size_t corrupted_cells = 0, fixed_cells = 0, broken_cells = 0;
+  for (size_t r = 0; r < current.num_rows(); ++r) {
+    for (size_t c = 0; c < current.num_columns(); ++c) {
+      const bool was_wrong =
+          !ds->noisy.cell(r, c).EqualsStrict(ds->clean.cell(r, c));
+      const bool is_wrong =
+          !current.cell(r, c).EqualsStrict(ds->clean.cell(r, c));
+      if (was_wrong) {
+        ++corrupted_cells;
+        if (!is_wrong) ++fixed_cells;
+      } else if (is_wrong) {
+        ++broken_cells;
+      }
+    }
+  }
+  std::printf(
+      "\n\nCleaning scorecard: %zu corrupted cells, %zu repaired "
+      "correctly, %zu clean cells broken\n",
+      corrupted_cells, fixed_cells, broken_cells);
+  std::printf(
+      "\nNote: majority-vote repair is only sound for errors on the\n"
+      "dependent side of an FD. Corrupted *determinant* cells shuffle\n"
+      "rows into foreign groups and require probabilistic cleaners\n"
+      "(HoloClean-style) that weigh evidence across constraints —\n"
+      "exactly the systems the paper feeds FDX's output into.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Data profiling for data-preparation pipelines (paper §5.5): run FDX
+// on a noisy hospital-style dataset, show the learned structure, and
+// predict which attributes automated data cleaning will handle well —
+// without training any cleaning model.
+
+#include <cstdio>
+#include <set>
+
+#include "core/fdx.h"
+#include "datasets/real_world.h"
+#include "fd/fd.h"
+
+int main() {
+  using namespace fdx;
+  RealWorldDataset hospital = MakeHospitalDataset();
+  std::printf("Profiling %s (%zu rows, %zu attributes, ~2%% missing)\n\n",
+              hospital.name.c_str(), hospital.table.num_rows(),
+              hospital.table.num_columns());
+
+  FdxDiscoverer discoverer;
+  auto result = discoverer.Discover(hospital.table);
+  if (!result.ok()) {
+    std::fprintf(stderr, "discovery failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Discovered dependencies:\n%s\n",
+              FdSetToString(result->fds, hospital.table.schema()).c_str());
+
+  // Attributes covered by a dependency are good candidates for
+  // automated repair; isolated attributes are not (Table 7's insight).
+  std::set<size_t> covered;
+  for (const auto& fd : result->fds) {
+    covered.insert(fd.rhs);
+    covered.insert(fd.lhs.begin(), fd.lhs.end());
+  }
+  std::printf("Cleaning-tool guidance:\n");
+  for (size_t c = 0; c < hospital.table.num_columns(); ++c) {
+    std::printf("  %-18s %s\n", hospital.table.schema().name(c).c_str(),
+                covered.count(c) > 0
+                    ? "repairable: participates in a dependency"
+                    : "hard to repair automatically: no dependency found");
+  }
+
+  // Validate each reported FD against the data (g3 error) so a human
+  // reviewer can triage the suggestions.
+  std::printf("\nValidation against the instance (g3 error):\n");
+  const EncodedTable encoded = EncodedTable::Encode(hospital.table);
+  for (const auto& fd : result->fds) {
+    std::printf("  %-55s %.4f\n",
+                fd.ToString(hospital.table.schema()).c_str(),
+                FdG3Error(encoded, fd));
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Feature engineering with FDX (paper §5.5 / Figure 5): discover the
+// determinants of a prediction target and verify — by actually training
+// a classifier — that those determinants are the informative features.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/fdx.h"
+#include "datasets/real_world.h"
+#include "imputation/decision_tree.h"
+#include "imputation/harness.h"
+
+namespace {
+
+using namespace fdx;
+
+/// Hold-out F1 of a forest that predicts `target` from `features` only.
+double ScoreFeatureSet(const Table& table, size_t target,
+                       const std::vector<size_t>& features) {
+  std::vector<size_t> columns = features;
+  columns.push_back(target);
+  const Table restricted = table.SelectColumns(columns);
+  ImputationConfig config;
+  config.missing_fraction = 0.3;
+  config.seed = 17;
+  auto score = EvaluateImputation(
+      restricted, columns.size() - 1,
+      [] { return std::make_unique<RandomForestClassifier>(); }, config);
+  return score.ok() ? score->macro_f1 : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  RealWorldDataset mammographic = MakeMammographicDataset();
+  const Schema& schema = mammographic.table.schema();
+  const int target = schema.Find("severity");
+  std::printf("Feature engineering on %s; target attribute: severity\n\n",
+              mammographic.name.c_str());
+
+  FdxDiscoverer discoverer;
+  auto result = discoverer.Discover(mammographic.table);
+  if (!result.ok()) {
+    std::fprintf(stderr, "discovery failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Discovered dependencies:\n%s\n",
+              FdSetToString(result->fds, schema).c_str());
+
+  // Features suggested by FDX: the determinants of the target.
+  std::vector<size_t> suggested;
+  for (const auto& fd : result->fds) {
+    if (static_cast<int>(fd.rhs) == target) suggested = fd.lhs;
+  }
+  if (suggested.empty()) {
+    std::printf("FDX found no determinant set for the target.\n");
+    return 0;
+  }
+  std::printf("FDX-suggested features:");
+  for (size_t f : suggested) std::printf(" %s", schema.name(f).c_str());
+  std::printf("\n\n");
+
+  // Compare against every other feature set of the same size 1.
+  std::printf("Hold-out macro-F1 when predicting severity from ...\n");
+  const double suggested_f1 = ScoreFeatureSet(
+      mammographic.table, static_cast<size_t>(target), suggested);
+  std::printf("  %-28s %.3f   <- FDX suggestion\n", "suggested determinants",
+              suggested_f1);
+  for (size_t c = 0; c < schema.size(); ++c) {
+    if (static_cast<int>(c) == target) continue;
+    const double f1 = ScoreFeatureSet(mammographic.table,
+                                      static_cast<size_t>(target), {c});
+    std::printf("  %-28s %.3f\n", ("{" + schema.name(c) + "} only").c_str(),
+                f1);
+  }
+  std::printf(
+      "\nExpected outcome (paper Figure 5b): shape and margin are the\n"
+      "clinically informative features; age and density are not.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Robustness demo: how FDX and the enumeration baseline (TANE) degrade
+// as cell corruption increases — the experiment behind the paper's
+// headline claim that statistical FD discovery is noise-robust.
+
+#include <cstdio>
+
+#include "baselines/tane.h"
+#include "core/fdx.h"
+#include "eval/report.h"
+#include "synth/generator.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace fdx;
+  ReportTable table({"noise rate", "FDX F1", "FDX #fds", "TANE F1",
+                     "TANE #fds"});
+  for (double noise : {0.0, 0.01, 0.05, 0.1, 0.2, 0.3}) {
+    SyntheticConfig config;
+    config.num_tuples = 2000;
+    config.num_attributes = 10;
+    config.noise_rate = noise;
+    config.seed = 61;
+    auto ds = GenerateSynthetic(config);
+    if (!ds.ok()) continue;
+
+    FdxDiscoverer fdx;
+    auto fdx_result = fdx.Discover(ds->noisy);
+
+    TaneOptions tane_options;
+    tane_options.max_error = noise;  // best case: TANE knows the rate
+    auto tane_result = DiscoverTane(ds->noisy, tane_options);
+
+    std::vector<std::string> row = {FormatDouble(noise, 2)};
+    if (fdx_result.ok()) {
+      row.push_back(FormatDouble(
+          ScoreFdsUndirected(fdx_result->fds, ds->true_fds).f1, 3));
+      row.push_back(std::to_string(fdx_result->fds.size()));
+    } else {
+      row.insert(row.end(), {"-", "-"});
+    }
+    if (tane_result.ok()) {
+      row.push_back(FormatDouble(
+          ScoreFdsUndirected(*tane_result, ds->true_fds).f1, 3));
+      row.push_back(std::to_string(tane_result->size()));
+    } else {
+      row.insert(row.end(), {"-", "-"});
+    }
+    table.AddRow(row);
+  }
+  std::printf(
+      "FDX vs TANE as noise grows (10 attributes, 2000 tuples; TANE is\n"
+      "given the true noise rate as its error threshold — the tuning\n"
+      "FDX does not need):\n%s",
+      table.ToString().c_str());
+  std::printf(
+      "\nTakeaway: the enumeration method's FD count explodes and its\n"
+      "F1 collapses as noise grows, while FDX stays parsimonious.\n");
+  return 0;
+}

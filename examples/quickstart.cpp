@@ -1,0 +1,76 @@
+// Quickstart: discover functional dependencies in a CSV file (or in a
+// small built-in example) with FDX.
+//
+// Usage:
+//   quickstart [data.csv]
+//
+// The example mirrors the paper's Figure 1 walkthrough: a noisy
+// hospital-style table goes in, a parsimonious set of FDs comes out.
+
+#include <cstdio>
+#include <string>
+
+#include "core/fdx.h"
+#include "data/csv.h"
+
+namespace {
+
+/// The Figure 1 running example: a handful of hospital tuples with a
+/// typo ("Cicago") and a wrong address, which FDX should shrug off.
+const char kDemoCsv[] =
+    "DBAName,Address,City,State,ZipCode\n"
+    "Mity Nice Bar,835 N Michigan Av,Chicago,IL,60611\n"
+    "Graft,835 N Michigan Av,Chicago,IL,60611\n"
+    "Foodlife,835 N Michigan Av,Chicago,IL,60611\n"
+    "Pierrot,3494 W Washington,Chicago,IL,60612\n"
+    "Pierrot,3435 W Washington,Cicago,IL,60612\n"
+    "Harry Caray's,3493 Washington,Chicago,IL,60608\n"
+    "Mity Nice Bar,835 N Michigan Av,Chicago,IL,60611\n"
+    "Graft,835 N Michigan Av,Chicago,IL,60611\n"
+    "Foodlife,835 N Michigan Av,Chicago,IL,60611\n"
+    "Pierrot,3494 W Washington,Chicago,IL,60612\n"
+    "Harry Caray's,3493 Washington,Chicago,IL,60608\n"
+    "Mity Nice Bar,835 N Michigan Av,Chicago,IL,60611\n"
+    "Graft,835 N Michigan Av,Chicago,IL,60611\n"
+    "Pierrot,3494 W Washington,Chicago,IL,60612\n"
+    "Harry Caray's,3493 Washington,Chicago,IL,60608\n"
+    "Foodlife,835 N Michigan Av,Chicago,IL,60611\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fdx;
+
+  // 1. Load data: a CSV path if given, the built-in demo otherwise.
+  Result<Table> table = argc > 1 ? ReadCsv(argv[1]) : ParseCsv(kDemoCsv);
+  if (!table.ok()) {
+    std::fprintf(stderr, "failed to load data: %s\n",
+                 table.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Loaded %zu rows x %zu columns\n", table->num_rows(),
+              table->num_columns());
+
+  // 2. Configure and run the discoverer. The defaults are calibrated on
+  // the paper's benchmarks; the knobs that matter most are `lambda`
+  // (structure sparsity) and `sparsity_threshold` (FD pruning).
+  FdxOptions options;
+  FdxDiscoverer discoverer(options);
+  Result<FdxResult> result = discoverer.Discover(*table);
+  if (!result.ok()) {
+    std::fprintf(stderr, "discovery failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Inspect the output.
+  const std::string rendered =
+      result->fds.empty() ? "(none)\n"
+                          : FdSetToString(result->fds, table->schema());
+  std::printf(
+      "Pair transform produced %zu samples in %.3fs; structure learning "
+      "took %.3fs\n\nDiscovered FDs:\n%s",
+      result->transform_samples, result->transform_seconds,
+      result->learning_seconds, rendered.c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Schema normalization driven by discovered dependencies — the paper's
+// opening motivation ("FDs are used in database normalization"). The
+// pipeline: discover FDs on a denormalized noisy table with FDX, reduce
+// them to a minimal cover, compute candidate keys, and decompose the
+// schema into BCNF.
+
+#include <cstdio>
+
+#include "core/fdx.h"
+#include "datasets/real_world.h"
+#include "fd/normalization.h"
+
+int main() {
+  using namespace fdx;
+  RealWorldDataset hospital = MakeHospitalDataset();
+  const Schema& schema = hospital.table.schema();
+  std::printf(
+      "Normalizing the (denormalized) Hospital table: %zu rows, %zu "
+      "attributes\n\n",
+      hospital.table.num_rows(), hospital.table.num_columns());
+
+  // 1. Discover dependencies statistically.
+  FdxDiscoverer discoverer;
+  auto result = discoverer.Discover(hospital.table);
+  if (!result.ok()) {
+    std::fprintf(stderr, "discovery failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Discovered FDs:\n%s\n",
+              FdSetToString(result->fds, schema).c_str());
+
+  // 2. Minimal cover: the non-redundant core of the dependency set.
+  const FdSet cover = MinimalCover(result->fds, schema.size());
+  std::printf("Minimal cover (%zu of %zu FDs):\n%s\n", cover.size(),
+              result->fds.size(), FdSetToString(cover, schema).c_str());
+
+  // 3. Candidate keys of the universal relation.
+  const auto keys = CandidateKeys(schema.size(), cover);
+  std::printf("Candidate keys:\n");
+  for (const auto& key : keys) {
+    std::printf("  {");
+    const auto indices = key.ToIndices();
+    for (size_t i = 0; i < indices.size(); ++i) {
+      std::printf("%s%s", i > 0 ? ", " : "", schema.name(indices[i]).c_str());
+    }
+    std::printf("}\n");
+  }
+
+  // 4. BCNF decomposition.
+  const auto decomposition = DecomposeBcnf(schema.size(), cover);
+  std::printf("\nBCNF decomposition (%zu relations, %s):\n",
+              decomposition.size(),
+              IsBcnf(decomposition, cover) ? "verified BCNF"
+                                           : "NOT fully normalized");
+  for (size_t i = 0; i < decomposition.size(); ++i) {
+    std::printf("  %s\n", decomposition[i].ToString(schema, i + 1).c_str());
+  }
+  std::printf(
+      "\nEach provider-level and measure-level fragment now stores its\n"
+      "facts once; the original wide table was repeating them per row.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Streaming FD discovery with IncrementalFdx: batches of tuples arrive
+// over time and the dependency estimate is refreshed after each one
+// without rescanning history — the dynamic-data setting of DynFD
+// (paper §6), powered by the additivity of the pair-transform moments.
+
+#include <cstdio>
+
+#include "core/incremental.h"
+#include "synth/generator.h"
+
+int main() {
+  using namespace fdx;
+  SyntheticConfig config;
+  config.num_tuples = 6000;
+  config.num_attributes = 10;
+  config.noise_rate = 0.02;
+  config.seed = 15;
+  auto ds = GenerateSynthetic(config);
+  if (!ds.ok()) return 1;
+  std::printf("Planted FDs:\n%s\n",
+              FdSetToString(ds->true_fds, ds->noisy.schema()).c_str());
+
+  IncrementalFdx incremental(ds->noisy.schema(), FdxOptions{});
+  const size_t batch_size = 500;
+  std::printf("%-8s %-8s %-10s %s\n", "rows", "#fds", "F1", "current estimate");
+  for (size_t start = 0; start < ds->noisy.num_rows(); start += batch_size) {
+    Table batch{ds->noisy.schema()};
+    const size_t end = std::min(start + batch_size, ds->noisy.num_rows());
+    for (size_t r = start; r < end; ++r) {
+      std::vector<Value> row;
+      for (size_t c = 0; c < ds->noisy.num_columns(); ++c) {
+        row.push_back(ds->noisy.cell(r, c));
+      }
+      batch.AppendRow(std::move(row));
+    }
+    if (!incremental.Append(batch).ok()) continue;
+    auto estimate = incremental.CurrentFds();
+    if (!estimate.ok()) continue;
+    const FdScore score =
+        ScoreFdsUndirected(estimate->fds, ds->true_fds);
+    std::string rendered;
+    for (const auto& fd : estimate->fds) {
+      if (!rendered.empty()) rendered += "; ";
+      rendered += fd.ToString(ds->noisy.schema());
+    }
+    std::printf("%-8zu %-8zu %-10.3f %s\n", incremental.total_rows(),
+                estimate->fds.size(), score.f1, rendered.c_str());
+  }
+  std::printf(
+      "\nThe estimate stabilizes once enough batches accumulate; each\n"
+      "refresh costs one structure-learning run, independent of the\n"
+      "stream length.\n");
+  return 0;
+}

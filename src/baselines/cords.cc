@@ -1,0 +1,125 @@
+#include "baselines/cords.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace fdx {
+
+ChiSquared ChiSquaredTest(const EncodedTable& table, size_t c1, size_t c2,
+                          const std::vector<size_t>& rows) {
+  // Contingency over the values present in the sample.
+  std::unordered_map<int32_t, size_t> rows_of_a, rows_of_b;
+  std::unordered_map<uint64_t, size_t> joint;
+  size_t n = 0;
+  for (size_t r : rows) {
+    const int32_t a = table.code(r, c1);
+    const int32_t b = table.code(r, c2);
+    if (a == EncodedTable::kNullCode || b == EncodedTable::kNullCode) {
+      continue;
+    }
+    ++rows_of_a[a];
+    ++rows_of_b[b];
+    ++joint[(static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+            static_cast<uint32_t>(b)];
+    ++n;
+  }
+  ChiSquared out;
+  if (n == 0 || rows_of_a.size() < 2 || rows_of_b.size() < 2) return out;
+  for (const auto& [a, count_a] : rows_of_a) {
+    for (const auto& [b, count_b] : rows_of_b) {
+      const double expected = static_cast<double>(count_a) *
+                              static_cast<double>(count_b) /
+                              static_cast<double>(n);
+      const auto it =
+          joint.find((static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+                     static_cast<uint32_t>(b));
+      const double observed =
+          it == joint.end() ? 0.0 : static_cast<double>(it->second);
+      const double diff = observed - expected;
+      out.statistic += diff * diff / expected;
+    }
+  }
+  out.dof = (rows_of_a.size() - 1) * (rows_of_b.size() - 1);
+  return out;
+}
+
+Result<FdSet> DiscoverCords(const Table& table, const CordsOptions& options) {
+  const size_t k = table.num_columns();
+  const size_t n = table.num_rows();
+  if (k == 0 || n == 0) return Status::InvalidArgument("empty table");
+  const EncodedTable encoded = EncodedTable::Encode(table);
+  Rng rng(options.seed);
+
+  // One shared row sample for all pairs (CORDS samples per pair from the
+  // same scan; a shared sample keeps the scores consistent).
+  std::vector<size_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0);
+  if (n > options.sample_rows) {
+    rng.Shuffle(&rows);
+    rows.resize(options.sample_rows);
+  }
+
+  FdSet fds;
+  for (size_t c1 = 0; c1 < k; ++c1) {
+    // Distinct counts of the determinant on the sample.
+    std::unordered_set<int32_t> distinct_c1;
+    size_t non_null_c1 = 0;
+    for (size_t r : rows) {
+      const int32_t code = encoded.code(r, c1);
+      if (code == EncodedTable::kNullCode) continue;
+      distinct_c1.insert(code);
+      ++non_null_c1;
+    }
+    if (non_null_c1 == 0 || distinct_c1.size() < 2) continue;
+    // Soft-key filter: near-unique columns determine everything
+    // syntactically but carry no semantics.
+    if (static_cast<double>(distinct_c1.size()) >
+        options.soft_key_fraction * static_cast<double>(non_null_c1)) {
+      continue;
+    }
+    for (size_t c2 = 0; c2 < k; ++c2) {
+      if (c1 == c2) continue;
+      // Per-determinant-value majority mass: strength = (1/N) * sum
+      // over values a of the count of the most frequent b given a.
+      std::unordered_map<int32_t, std::unordered_map<int32_t, size_t>>
+          contingency;
+      size_t pair_rows = 0;
+      for (size_t r : rows) {
+        const int32_t a = encoded.code(r, c1);
+        const int32_t b = encoded.code(r, c2);
+        if (a == EncodedTable::kNullCode || b == EncodedTable::kNullCode) {
+          continue;
+        }
+        ++contingency[a][b];
+        ++pair_rows;
+      }
+      if (pair_rows == 0) continue;
+      size_t majority_mass = 0;
+      for (const auto& [a, counts] : contingency) {
+        size_t best = 0;
+        for (const auto& [b, count] : counts) best = std::max(best, count);
+        majority_mass += best;
+      }
+      const double strength = static_cast<double>(majority_mass) /
+                              static_cast<double>(pair_rows);
+      if (strength < options.strength_threshold) continue;
+      const ChiSquared chi = ChiSquaredTest(encoded, c1, c2, rows);
+      // Significance scaled by degrees of freedom (Wilson-Hilferty style
+      // coarse cut: statistic must exceed dof + quantile * sqrt(2 dof)).
+      const double cutoff =
+          static_cast<double>(chi.dof) +
+          options.chi_squared_quantile *
+              std::sqrt(2.0 * static_cast<double>(std::max<size_t>(chi.dof, 1)));
+      if (chi.dof == 0 || chi.statistic < cutoff) continue;
+      fds.emplace_back(std::vector<size_t>{c1}, c2);
+    }
+  }
+  return fds;
+}
+
+}  // namespace fdx

@@ -1,0 +1,55 @@
+#ifndef FDX_BASELINES_CORDS_H_
+#define FDX_BASELINES_CORDS_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+#include "fd/fd.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Options of the CORDS baseline (Ilyas et al., SIGMOD 2004), a
+/// sampling-based detector of *soft* FDs and correlations between pairs
+/// of columns. Parameters default to the settings of the original paper.
+struct CordsOptions {
+  /// Sample size used for the per-pair statistics.
+  size_t sample_rows = 2000;
+  /// Soft-FD strength threshold: report C1 -> C2 when the weighted
+  /// per-value majority fraction sum_a P(a) * max_b P(b | a) reaches
+  /// this value on the sample (equivalently, 1 - g3 error of the unary
+  /// FD). The distinct-count ratio of the original CORDS is brittle
+  /// under noise — one corrupted cell mints a new pair — so the
+  /// strength is measured on value frequencies instead.
+  double strength_threshold = 0.9;
+  /// Columns whose distinct count exceeds this fraction of the sample
+  /// are treated as (soft) keys and skipped as determinants: a key
+  /// trivially "determines" everything and carries no semantic FD.
+  double soft_key_fraction = 0.9;
+  /// Chi-squared p-value style cutoff: pairs must also show significant
+  /// association (rejects independence) before a soft FD is reported.
+  double chi_squared_quantile = 3.84;  ///< ~p=0.05 at 1 dof, scaled by dof.
+  uint64_t seed = 9;
+};
+
+/// Result of the chi-squared contingency test on a sample.
+struct ChiSquared {
+  double statistic = 0.0;
+  size_t dof = 0;
+};
+
+/// Pearson chi-squared statistic of the contingency table between two
+/// columns on the given row subset (nulls excluded).
+ChiSquared ChiSquaredTest(const EncodedTable& table, size_t c1, size_t c2,
+                          const std::vector<size_t>& rows);
+
+/// Pairwise soft-FD discovery: for every ordered column pair (C1, C2),
+/// samples rows, filters soft keys, requires both high determinism
+/// strength and a significant chi-squared association. Only unary FDs
+/// are produced — CORDS by design measures marginal (pairwise)
+/// dependence, the limitation §5.2 of the paper calls out.
+Result<FdSet> DiscoverCords(const Table& table, const CordsOptions& options);
+
+}  // namespace fdx
+
+#endif  // FDX_BASELINES_CORDS_H_

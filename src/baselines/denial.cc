@@ -1,0 +1,225 @@
+#include "baselines/denial.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace fdx {
+
+namespace {
+
+const char* OpName(PairOp op) {
+  switch (op) {
+    case PairOp::kEq:
+      return "=";
+    case PairOp::kNeq:
+      return "!=";
+    case PairOp::kLt:
+      return "<";
+    case PairOp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+/// The full predicate space of a schema: Eq/Neq everywhere, Lt/Gt for
+/// numeric columns. At most one predicate of the space can be chosen
+/// per attribute in any constraint.
+struct PredicateSpace {
+  std::vector<DcPredicate> predicates;
+  /// predicates grouped per attribute (indices into `predicates`).
+  std::vector<std::vector<size_t>> by_attribute;
+};
+
+PredicateSpace BuildSpace(const Table& table) {
+  PredicateSpace space;
+  const size_t k = table.num_columns();
+  space.by_attribute.resize(k);
+  for (size_t a = 0; a < k; ++a) {
+    bool numeric = table.num_rows() > 0;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      const Value& v = table.cell(r, a);
+      if (v.is_null()) continue;
+      if (v.type() != ValueType::kInt && v.type() != ValueType::kDouble) {
+        numeric = false;
+        break;
+      }
+    }
+    const std::vector<PairOp> ops =
+        numeric ? std::vector<PairOp>{PairOp::kEq, PairOp::kNeq, PairOp::kLt,
+                                      PairOp::kGt}
+                : std::vector<PairOp>{PairOp::kEq, PairOp::kNeq};
+    for (PairOp op : ops) {
+      space.by_attribute[a].push_back(space.predicates.size());
+      space.predicates.push_back({a, op});
+    }
+  }
+  return space;
+}
+
+/// Evidence mask of one tuple pair: bit i set iff predicate i holds.
+uint64_t EvidenceOf(const Table& table, const PredicateSpace& space,
+                    size_t row_a, size_t row_b) {
+  uint64_t mask = 0;
+  for (size_t p = 0; p < space.predicates.size(); ++p) {
+    const DcPredicate& predicate = space.predicates[p];
+    const Value& va = table.cell(row_a, predicate.attribute);
+    const Value& vb = table.cell(row_b, predicate.attribute);
+    bool holds = false;
+    if (va.is_null() || vb.is_null()) {
+      // Nulls satisfy only inequality (a missing value differs from
+      // everything, mirroring the library's strict semantics).
+      holds = predicate.op == PairOp::kNeq;
+    } else {
+      switch (predicate.op) {
+        case PairOp::kEq:
+          holds = va.EqualsStrict(vb);
+          break;
+        case PairOp::kNeq:
+          holds = !va.EqualsStrict(vb);
+          break;
+        case PairOp::kLt:
+          holds = va.ToNumeric() < vb.ToNumeric();
+          break;
+        case PairOp::kGt:
+          holds = va.ToNumeric() > vb.ToNumeric();
+          break;
+      }
+    }
+    if (holds) mask |= uint64_t{1} << p;
+  }
+  return mask;
+}
+
+struct SearchState {
+  const PredicateSpace* space;
+  const DcOptions* options;
+  const Deadline* deadline;
+  std::vector<DenialConstraint>* results;
+  std::vector<uint64_t> found_masks;  // minimality pruning
+  bool timed_out = false;
+};
+
+/// DFS over attributes in canonical order. `mask` holds the chosen
+/// predicates; `evidence` the sampled evidence masks still containing
+/// the choice (the constraint is violated by exactly these pairs).
+void Search(SearchState* state, uint64_t mask, size_t next_attribute,
+            size_t chosen, const std::vector<uint64_t>& evidence) {
+  if (state->timed_out) return;
+  if (state->deadline->Expired()) {
+    state->timed_out = true;
+    return;
+  }
+  if (chosen > 0 && evidence.empty()) {
+    // Valid DC; minimal because parents (one predicate fewer) were
+    // still violated, and not a superset of a found DC by pruning.
+    DenialConstraint dc;
+    for (size_t p = 0; p < state->space->predicates.size(); ++p) {
+      if (mask & (uint64_t{1} << p)) {
+        dc.predicates.push_back(state->space->predicates[p]);
+      }
+    }
+    state->results->push_back(std::move(dc));
+    state->found_masks.push_back(mask);
+    return;
+  }
+  if (chosen >= state->options->max_predicates) return;
+  const size_t k = state->space->by_attribute.size();
+  for (size_t a = next_attribute; a < k; ++a) {
+    for (size_t p : state->space->by_attribute[a]) {
+      const uint64_t extended = mask | (uint64_t{1} << p);
+      // Superset-of-found pruning (minimality).
+      bool superset = false;
+      for (uint64_t found : state->found_masks) {
+        if ((found & extended) == found) {
+          superset = true;
+          break;
+        }
+      }
+      if (superset) continue;
+      // Survivors: evidence still containing every chosen predicate.
+      std::vector<uint64_t> survivors;
+      survivors.reserve(evidence.size());
+      for (uint64_t e : evidence) {
+        if ((e & extended) == extended) survivors.push_back(e);
+      }
+      Search(state, extended, a + 1, chosen + 1, survivors);
+      if (state->timed_out) return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string DenialConstraint::ToString(const Schema& schema) const {
+  std::string out = "not(";
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0) out += " and ";
+    const std::string name = schema.name(predicates[i].attribute);
+    out += "t." + name + " " + OpName(predicates[i].op) + " t'." + name;
+  }
+  out += ")";
+  return out;
+}
+
+Result<std::vector<DenialConstraint>> DiscoverDenialConstraints(
+    const Table& table, const DcOptions& options) {
+  const size_t k = table.num_columns();
+  const size_t n = table.num_rows();
+  if (k == 0 || n < 2) {
+    return Status::InvalidArgument("need >= 2 rows and >= 1 column");
+  }
+  if (k > 16) {
+    return Status::InvalidArgument(
+        "denial-constraint discovery supports at most 16 attributes");
+  }
+  const PredicateSpace space = BuildSpace(table);
+  Deadline deadline(options.time_budget_seconds);
+  Rng rng(options.seed);
+
+  // Sampled, deduplicated evidence sets.
+  std::set<uint64_t> unique_evidence;
+  for (size_t i = 0; i < options.sample_pairs; ++i) {
+    const size_t a = rng.NextUint64(n);
+    size_t b = rng.NextUint64(n - 1);
+    if (b >= a) ++b;
+    unique_evidence.insert(EvidenceOf(table, space, a, b));
+    if ((i & 1023) == 0 && deadline.Expired()) {
+      return Status::Timeout("DC discovery budget exceeded");
+    }
+  }
+  const std::vector<uint64_t> evidence(unique_evidence.begin(),
+                                       unique_evidence.end());
+
+  std::vector<DenialConstraint> results;
+  SearchState state;
+  state.space = &space;
+  state.options = &options;
+  state.deadline = &deadline;
+  state.results = &results;
+  Search(&state, 0, 0, 0, evidence);
+  if (state.timed_out) return Status::Timeout("DC discovery budget exceeded");
+  // Minimality post-filter: the DFS visits attributes in canonical
+  // order, so a valid set can be emitted before a smaller valid subset
+  // living in a later branch (e.g. {Eq(a), Neq(b)} before {Neq(b)}).
+  std::vector<DenialConstraint> minimal;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const uint64_t mask = state.found_masks[i];
+    bool has_proper_subset = false;
+    for (size_t j = 0; j < results.size(); ++j) {
+      if (i == j) continue;
+      const uint64_t other = state.found_masks[j];
+      if (other != mask && (other & mask) == other) {
+        has_proper_subset = true;
+        break;
+      }
+    }
+    if (!has_proper_subset) minimal.push_back(std::move(results[i]));
+  }
+  return minimal;
+}
+
+}  // namespace fdx

@@ -1,0 +1,61 @@
+#ifndef FDX_BASELINES_DENIAL_H_
+#define FDX_BASELINES_DENIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// A predicate over a pair of distinct tuples (t, t') on one attribute.
+enum class PairOp {
+  kEq,   ///< t[A] =  t'[A]
+  kNeq,  ///< t[A] != t'[A]
+  kLt,   ///< t[A] <  t'[A]  (numeric attributes only)
+  kGt,   ///< t[A] >  t'[A]  (numeric attributes only)
+};
+
+struct DcPredicate {
+  size_t attribute = 0;
+  PairOp op = PairOp::kEq;
+};
+
+/// A denial constraint: "for all pairs of distinct tuples, NOT all of
+/// the predicates hold". FDs are the special case
+///   not (t.X = t'.X and t.Y != t'.Y),
+/// so DC discovery generalizes FD discovery (Chu, Ilyas & Papotti 2013,
+/// paper §6 [8]).
+struct DenialConstraint {
+  std::vector<DcPredicate> predicates;
+
+  /// Renders e.g. "not(t.City = t'.City and t.Zip != t'.Zip)".
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Options for denial-constraint discovery.
+struct DcOptions {
+  /// Tuple pairs sampled to build the evidence sets; DCs are validated
+  /// against this sample (the FastDC/Hydra approach — exact validation
+  /// is quadratic in the rows).
+  size_t sample_pairs = 20000;
+  /// Maximum predicates per constraint.
+  size_t max_predicates = 3;
+  /// Wall-clock budget in seconds; 0 = unlimited.
+  double time_budget_seconds = 0.0;
+  uint64_t seed = 53;
+};
+
+/// Evidence-set based discovery of minimal denial constraints: sample
+/// tuple pairs, record which predicates each pair satisfies, and search
+/// the predicate lattice (at most one predicate per attribute) for
+/// minimal sets no sampled pair satisfies in full. Supports at most 16
+/// attributes (the 64-predicate evidence masks).
+Result<std::vector<DenialConstraint>> DiscoverDenialConstraints(
+    const Table& table, const DcOptions& options = {});
+
+}  // namespace fdx
+
+#endif  // FDX_BASELINES_DENIAL_H_

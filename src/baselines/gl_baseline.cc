@@ -1,0 +1,110 @@
+#include "baselines/gl_baseline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fd/attribute_set.h"
+#include "baselines/info_theory.h"
+#include "linalg/glasso.h"
+#include "linalg/stats.h"
+#include "util/rng.h"
+
+namespace fdx {
+
+namespace {
+
+/// Enumerates subsets of `candidates` up to `max_size`, calling `fn` on
+/// each non-empty subset.
+template <typename Fn>
+void ForEachSubset(const std::vector<size_t>& candidates, size_t max_size,
+                   Fn&& fn) {
+  const size_t m = candidates.size();
+  std::vector<size_t> current;
+  // Iterative DFS over index positions.
+  struct Frame {
+    size_t next;
+  };
+  std::vector<size_t> stack;
+  // Simple recursive lambda.
+  auto rec = [&](auto&& self, size_t start) -> void {
+    if (!current.empty()) fn(current);
+    if (current.size() >= max_size) return;
+    for (size_t i = start; i < m; ++i) {
+      current.push_back(candidates[i]);
+      self(self, i + 1);
+      current.pop_back();
+    }
+  };
+  rec(rec, 0);
+  (void)stack;
+}
+
+}  // namespace
+
+Result<FdSet> DiscoverGlBaseline(const Table& table,
+                                 const GlBaselineOptions& options) {
+  const size_t k = table.num_columns();
+  const size_t n = table.num_rows();
+  if (k == 0 || n < 2) return Status::InvalidArgument("table too small");
+
+  // Raw encoding: dictionary codes as doubles (nulls -> -1), columns
+  // standardized. This is the "naive" structure-learning input whose
+  // weaknesses §4.3 discusses.
+  const EncodedTable encoded = EncodedTable::Encode(table);
+  Matrix samples(n, k);
+  for (size_t c = 0; c < k; ++c) {
+    const auto& codes = encoded.column_codes(c);
+    for (size_t r = 0; r < n; ++r) {
+      samples(r, c) = static_cast<double>(codes[r]);
+    }
+  }
+  StandardizeColumns(&samples);
+  FDX_ASSIGN_OR_RETURN(Matrix cov, Covariance(samples));
+
+  GlassoOptions glasso_options;
+  glasso_options.lambda = options.lambda;
+  FDX_ASSIGN_OR_RETURN(GlassoResult glasso,
+                       GraphicalLasso(cov, glasso_options));
+
+  Rng rng(options.seed);
+  FdSet fds;
+  for (size_t y = 0; y < k; ++y) {
+    // Undirected neighborhood of y in the precision matrix.
+    std::vector<size_t> neighbors;
+    for (size_t x = 0; x < k; ++x) {
+      if (x != y && std::fabs(glasso.theta(x, y)) > 1e-8) {
+        neighbors.push_back(x);
+      }
+    }
+    if (neighbors.empty()) continue;
+    // Rank neighbors by |partial correlation| and keep a handful; the
+    // local search is exponential in the neighborhood size.
+    std::sort(neighbors.begin(), neighbors.end(), [&](size_t a, size_t b) {
+      return std::fabs(glasso.theta(a, y)) > std::fabs(glasso.theta(b, y));
+    });
+    if (neighbors.size() > 6) neighbors.resize(6);
+
+    const double h_y = Entropy(encoded, AttributeSet::Single(y));
+    double best_score = 0.0;
+    std::vector<size_t> best_set;
+    ForEachSubset(neighbors, options.max_lhs_size,
+                  [&](const std::vector<size_t>& subset) {
+                    const AttributeSet x = AttributeSet::FromIndices(subset);
+                    if (h_y <= 0.0) return;
+                    const double mi = MutualInformation(encoded, x, y);
+                    const double bias = PermutationBias(
+                        encoded, x, y, options.permutations, &rng);
+                    const double score = (mi - bias) / h_y;
+                    if (score > best_score) {
+                      best_score = score;
+                      best_set = subset;
+                    }
+                  });
+    if (best_score >= options.min_score && !best_set.empty()) {
+      fds.emplace_back(best_set, y);
+    }
+  }
+  return fds;
+}
+
+}  // namespace fdx

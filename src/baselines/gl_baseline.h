@@ -1,0 +1,35 @@
+#ifndef FDX_BASELINES_GL_BASELINE_H_
+#define FDX_BASELINES_GL_BASELINE_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+#include "fd/fd.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Options of the plain Graphical Lasso baseline (paper §5.1, method
+/// "GL"): structure learning applied *directly to the raw data* —
+/// dictionary-encoded and standardized — with no pair transform,
+/// followed by a local directed search scored with RFI's reliable
+/// fraction of information. The gap between GL and FDX isolates the
+/// contribution of the pair-difference model (paper §4.3).
+struct GlBaselineOptions {
+  double lambda = 0.1;   ///< Glasso penalty on the raw-data covariance.
+  double min_score = 0.1;  ///< Minimum reliable score to report an FD.
+  size_t max_lhs_size = 3;
+  size_t permutations = 3;
+  uint64_t seed = 21;
+};
+
+/// Runs glasso on the standardized raw encoding, reads the undirected
+/// neighborhoods off the precision matrix, and for every attribute Y
+/// picks the neighbor subset with the best reliable score as Y's
+/// determinant set.
+Result<FdSet> DiscoverGlBaseline(const Table& table,
+                                 const GlBaselineOptions& options);
+
+}  // namespace fdx
+
+#endif  // FDX_BASELINES_GL_BASELINE_H_

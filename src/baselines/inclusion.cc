@@ -1,0 +1,93 @@
+#include "baselines/inclusion.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace fdx {
+
+namespace {
+
+/// A column's distinct non-null values, split by comparability class:
+/// numerics unify across int/double, strings stand alone.
+struct ValueSets {
+  std::set<double> numerics;
+  std::set<std::string> strings;
+
+  size_t size() const { return numerics.size() + strings.size(); }
+};
+
+ValueSets CollectValues(const Table& table, size_t column) {
+  ValueSets sets;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Value& v = table.cell(r, column);
+    switch (v.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kInt:
+      case ValueType::kDouble:
+        sets.numerics.insert(v.ToNumeric());
+        break;
+      case ValueType::kString:
+        sets.strings.insert(v.AsString());
+        break;
+    }
+  }
+  return sets;
+}
+
+/// Count of `a`'s values contained in `b`.
+size_t ContainedCount(const ValueSets& a, const ValueSets& b) {
+  size_t contained = 0;
+  for (double v : a.numerics) {
+    if (b.numerics.count(v) > 0) ++contained;
+  }
+  for (const std::string& v : a.strings) {
+    if (b.strings.count(v) > 0) ++contained;
+  }
+  return contained;
+}
+
+}  // namespace
+
+std::string InclusionDependency::ToString(const Schema& schema) const {
+  return schema.name(lhs) + " [= " + schema.name(rhs) + " (coverage " +
+         FormatDouble(coverage, 3) + ")";
+}
+
+Result<std::vector<InclusionDependency>> DiscoverInclusionDependencies(
+    const Table& table, const IndOptions& options) {
+  const size_t k = table.num_columns();
+  if (k < 2) return Status::InvalidArgument("need at least two columns");
+  if (options.min_coverage <= 0.0 || options.min_coverage > 1.0) {
+    return Status::InvalidArgument("min_coverage must be in (0, 1]");
+  }
+  std::vector<ValueSets> values(k);
+  for (size_t c = 0; c < k; ++c) values[c] = CollectValues(table, c);
+
+  std::vector<InclusionDependency> results;
+  for (size_t a = 0; a < k; ++a) {
+    if (values[a].size() < options.min_lhs_cardinality) continue;
+    for (size_t b = 0; b < k; ++b) {
+      if (a == b) continue;
+      // Exact INDs need |A| <= |B|; approximate ones can ignore this,
+      // but coverage still caps at |B| / |A|.
+      const size_t contained = ContainedCount(values[a], values[b]);
+      const double coverage = static_cast<double>(contained) /
+                              static_cast<double>(values[a].size());
+      if (coverage + 1e-12 >= options.min_coverage) {
+        results.push_back({a, b, coverage});
+      }
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const InclusionDependency& x, const InclusionDependency& y) {
+              if (x.coverage != y.coverage) return x.coverage > y.coverage;
+              if (x.lhs != y.lhs) return x.lhs < y.lhs;
+              return x.rhs < y.rhs;
+            });
+  return results;
+}
+
+}  // namespace fdx

@@ -1,0 +1,45 @@
+#ifndef FDX_BASELINES_INCLUSION_H_
+#define FDX_BASELINES_INCLUSION_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// A unary inclusion dependency A ⊆ B within one table: every non-null
+/// value of attribute A also appears in attribute B. INDs complete the
+/// classical profiling trio (keys, FDs, INDs) and feed foreign-key
+/// detection downstream.
+struct InclusionDependency {
+  size_t lhs = 0;  ///< The contained attribute (A).
+  size_t rhs = 0;  ///< The containing attribute (B).
+  /// Fraction of A's distinct non-null values found in B (1 = exact).
+  double coverage = 1.0;
+
+  /// Renders e.g. "City [= BillingCity (coverage 1.000)".
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Options for IND discovery.
+struct IndOptions {
+  /// Approximate INDs: minimum distinct-value coverage to report.
+  double min_coverage = 1.0;
+  /// Attributes with fewer distinct values than this are skipped as
+  /// LHS (constants trivially embed everywhere).
+  size_t min_lhs_cardinality = 2;
+};
+
+/// SPIDER-style discovery of all unary (approximate) inclusion
+/// dependencies between columns of one table, by sorted-value-set
+/// intersection. Nulls are ignored on both sides. Values compare with
+/// the same strict semantics as the rest of the library (numeric
+/// int/double unify; strings never equal numbers).
+Result<std::vector<InclusionDependency>> DiscoverInclusionDependencies(
+    const Table& table, const IndOptions& options = {});
+
+}  // namespace fdx
+
+#endif  // FDX_BASELINES_INCLUSION_H_

@@ -1,0 +1,192 @@
+#include "baselines/info_theory.h"
+
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+namespace fdx {
+
+namespace {
+
+struct TupleKey {
+  std::vector<int32_t> codes;
+  bool operator==(const TupleKey& other) const {
+    return codes == other.codes;
+  }
+};
+
+struct TupleKeyHash {
+  size_t operator()(const TupleKey& key) const {
+    size_t h = 1469598103934665603ull;
+    for (int32_t c : key.codes) {
+      h ^= static_cast<size_t>(static_cast<uint32_t>(c)) +
+           0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+std::vector<int32_t> GroupIds(const EncodedTable& table,
+                              const AttributeSet& attrs, size_t* num_groups) {
+  const size_t n = table.num_rows();
+  const std::vector<size_t> cols = attrs.ToIndices();
+  std::vector<int32_t> groups(n, 0);
+  std::unordered_map<TupleKey, int32_t, TupleKeyHash> dict;
+  TupleKey key;
+  key.codes.resize(cols.size());
+  int32_t next = 0;
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      key.codes[i] = table.code(r, cols[i]);
+    }
+    auto [it, inserted] = dict.try_emplace(key, next);
+    if (inserted) ++next;
+    groups[r] = it->second;
+  }
+  if (num_groups != nullptr) *num_groups = static_cast<size_t>(next);
+  return groups;
+}
+
+double EntropyOfGroups(const std::vector<int32_t>& groups,
+                       size_t num_groups) {
+  if (groups.empty()) return 0.0;
+  std::vector<size_t> counts(num_groups, 0);
+  for (int32_t g : groups) ++counts[g];
+  const double n = static_cast<double>(groups.size());
+  double h = 0.0;
+  for (size_t count : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / n;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double Entropy(const EncodedTable& table, const AttributeSet& attrs) {
+  size_t num_groups = 0;
+  const auto groups = GroupIds(table, attrs, &num_groups);
+  return EntropyOfGroups(groups, num_groups);
+}
+
+namespace {
+
+/// Joint entropy of (x-groups, y-codes) given precomputed x group ids.
+double JointEntropy(const std::vector<int32_t>& x_groups, size_t x_count,
+                    const std::vector<int32_t>& y_codes, size_t y_count) {
+  // Dense contingency when small, hashed otherwise.
+  const size_t cells = x_count * (y_count + 1);
+  const double n = static_cast<double>(x_groups.size());
+  double h = 0.0;
+  if (cells > 0 && cells <= 1u << 22) {
+    std::vector<size_t> counts(cells, 0);
+    for (size_t r = 0; r < x_groups.size(); ++r) {
+      const size_t y =
+          y_codes[r] < 0 ? y_count : static_cast<size_t>(y_codes[r]);
+      ++counts[static_cast<size_t>(x_groups[r]) * (y_count + 1) + y];
+    }
+    for (size_t count : counts) {
+      if (count == 0) continue;
+      const double p = static_cast<double>(count) / n;
+      h -= p * std::log(p);
+    }
+    return h;
+  }
+  std::unordered_map<uint64_t, size_t> counts;
+  counts.reserve(x_groups.size());
+  for (size_t r = 0; r < x_groups.size(); ++r) {
+    const uint64_t key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(x_groups[r])) << 32) |
+        static_cast<uint32_t>(y_codes[r]);
+    ++counts[key];
+  }
+  for (const auto& [key, count] : counts) {
+    const double p = static_cast<double>(count) / n;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double MutualInformation(const EncodedTable& table, const AttributeSet& x,
+                         size_t y) {
+  size_t x_count = 0;
+  const auto x_groups = GroupIds(table, x, &x_count);
+  const double hx = EntropyOfGroups(x_groups, x_count);
+  const double hy = Entropy(table, AttributeSet::Single(y));
+  const double hxy = JointEntropy(x_groups, x_count, table.column_codes(y),
+                                  table.Cardinality(y));
+  return hx + hy - hxy;
+}
+
+double ExactPermutationBias(const EncodedTable& table,
+                            const AttributeSet& x, size_t y) {
+  const size_t n = table.num_rows();
+  if (n == 0) return 0.0;
+  size_t x_count = 0;
+  const auto x_groups = GroupIds(table, x, &x_count);
+  // Margins: a_i = |X group i|, b_j = count of Y value j (nulls are one
+  // symbol, consistent with the plug-in entropies).
+  std::vector<size_t> a(x_count, 0);
+  for (int32_t g : x_groups) ++a[g];
+  std::unordered_map<int32_t, size_t> b_map;
+  for (int32_t code : table.column_codes(y)) ++b_map[code];
+  std::vector<size_t> b;
+  b.reserve(b_map.size());
+  for (const auto& [code, count] : b_map) b.push_back(count);
+
+  // log k! table.
+  std::vector<double> log_factorial(n + 1, 0.0);
+  for (size_t k = 1; k <= n; ++k) {
+    log_factorial[k] = log_factorial[k - 1] + std::log(static_cast<double>(k));
+  }
+  const double log_n_factorial = log_factorial[n];
+  const double dn = static_cast<double>(n);
+
+  // E[I] = sum_{i,j} sum_{nij = max(1, ai+bj-n)}^{min(ai,bj)}
+  //        (nij/n) log(n nij / (ai bj)) * P_hypergeometric(nij).
+  double expected = 0.0;
+  for (size_t ai : a) {
+    for (size_t bj : b) {
+      const size_t lo = ai + bj > n ? ai + bj - n : 1;
+      const size_t hi = std::min(ai, bj);
+      for (size_t nij = std::max<size_t>(lo, 1); nij <= hi; ++nij) {
+        const double log_p =
+            log_factorial[ai] + log_factorial[bj] + log_factorial[n - ai] +
+            log_factorial[n - bj] - log_n_factorial - log_factorial[nij] -
+            log_factorial[ai - nij] - log_factorial[bj - nij] -
+            log_factorial[n - ai - bj + nij];
+        const double dnij = static_cast<double>(nij);
+        expected += dnij / dn *
+                    std::log(dn * dnij /
+                             (static_cast<double>(ai) *
+                              static_cast<double>(bj))) *
+                    std::exp(log_p);
+      }
+    }
+  }
+  return std::max(0.0, expected);
+}
+
+double PermutationBias(const EncodedTable& table, const AttributeSet& x,
+                       size_t y, size_t permutations, Rng* rng) {
+  if (permutations == 0) return 0.0;
+  size_t x_count = 0;
+  const auto x_groups = GroupIds(table, x, &x_count);
+  const double hx = EntropyOfGroups(x_groups, x_count);
+  const double hy = Entropy(table, AttributeSet::Single(y));
+  std::vector<int32_t> shuffled = table.column_codes(y);
+  double total = 0.0;
+  for (size_t p = 0; p < permutations; ++p) {
+    rng->Shuffle(&shuffled);
+    const double hxy = JointEntropy(x_groups, x_count, shuffled,
+                                    table.Cardinality(y));
+    total += hx + hy - hxy;
+  }
+  return std::max(0.0, total / static_cast<double>(permutations));
+}
+
+}  // namespace fdx

@@ -1,0 +1,48 @@
+#ifndef FDX_BASELINES_INFO_THEORY_H_
+#define FDX_BASELINES_INFO_THEORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fd/attribute_set.h"
+#include "data/table.h"
+#include "util/rng.h"
+
+namespace fdx {
+
+/// Maps each row to a dense group id identifying its value combination
+/// over the attribute set (nulls are one distinct symbol per column).
+/// Returns the number of groups via `num_groups`.
+std::vector<int32_t> GroupIds(const EncodedTable& table,
+                              const AttributeSet& attrs, size_t* num_groups);
+
+/// Empirical (plug-in) entropy in nats of the joint distribution of the
+/// attribute set.
+double Entropy(const EncodedTable& table, const AttributeSet& attrs);
+
+/// Entropy of a precomputed group-id vector.
+double EntropyOfGroups(const std::vector<int32_t>& groups, size_t num_groups);
+
+/// Plug-in mutual information I(X; Y) between an attribute set and a
+/// single attribute, in nats.
+double MutualInformation(const EncodedTable& table, const AttributeSet& x,
+                         size_t y);
+
+/// Monte-Carlo estimate of the permutation-model bias E[I(X; sigma(Y))]
+/// used by RFI's reliable fraction of information (Mandros et al. 2017):
+/// the expected MI when Y is randomly shuffled, i.e. the spurious
+/// information a set of X's cardinality extracts from pure chance.
+double PermutationBias(const EncodedTable& table, const AttributeSet& x,
+                       size_t y, size_t permutations, Rng* rng);
+
+/// Closed-form E[I(X; sigma(Y))] under the permutation model (Vinh,
+/// Epps & Bailey 2010), the exact correction Mandros et al. plug into
+/// RFI: each contingency cell count follows a hypergeometric law with
+/// the observed margins. O(sum over cells of the support range) —
+/// exact but slower than Monte-Carlo on high-cardinality pairs.
+double ExactPermutationBias(const EncodedTable& table,
+                            const AttributeSet& x, size_t y);
+
+}  // namespace fdx
+
+#endif  // FDX_BASELINES_INFO_THEORY_H_

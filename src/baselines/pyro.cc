@@ -1,0 +1,203 @@
+#include "baselines/pyro.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "fd/attribute_set.h"
+#include "fd/partition.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace fdx {
+
+namespace {
+
+/// Number of ordered row pairs agreeing on the set, from a stripped
+/// partition: sum over clusters of |c| * (|c| - 1).
+double AgreePairs(const StrippedPartition& partition) {
+  double total = 0.0;
+  for (const auto& c : partition.clusters()) {
+    const double size = static_cast<double>(c.size());
+    total += size * (size - 1.0);
+  }
+  return total;
+}
+
+/// Caches stripped partitions per attribute set, building products
+/// incrementally from single-column partitions.
+class PartitionCache {
+ public:
+  explicit PartitionCache(const EncodedTable& table) : table_(table) {}
+
+  const StrippedPartition& Get(const AttributeSet& set) {
+    auto it = cache_.find(set);
+    if (it != cache_.end()) return it->second;
+    const std::vector<size_t> indices = set.ToIndices();
+    StrippedPartition partition;
+    if (indices.size() == 1) {
+      partition = StrippedPartition::FromColumn(table_, indices[0]);
+    } else {
+      // Combine the largest cached proper subset with the remainder.
+      const AttributeSet rest = set.Without(indices.back());
+      partition = StrippedPartition::Multiply(
+          Get(rest), Get(AttributeSet::Single(indices.back())));
+    }
+    auto [inserted, unused] = cache_.emplace(set, std::move(partition));
+    return inserted->second;
+  }
+
+ private:
+  const EncodedTable& table_;
+  std::unordered_map<AttributeSet, StrippedPartition, AttributeSetHash>
+      cache_;
+};
+
+/// Exact g1 error of X -> a via partitions.
+double ExactError(PartitionCache* cache, const AttributeSet& lhs, size_t a,
+                  size_t n) {
+  if (n < 2) return 0.0;
+  const double pairs_lhs = AgreePairs(cache->Get(lhs));
+  AttributeSet with_rhs = lhs;
+  with_rhs.Add(a);
+  const double pairs_both = AgreePairs(cache->Get(with_rhs));
+  return (pairs_lhs - pairs_both) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+/// Sampled agree sets: each entry is the AttributeSet on which a random
+/// tuple pair agrees. Error estimates for any candidate FD are O(sample)
+/// lookups over this list — Pyro's central trick.
+std::vector<AttributeSet> SampleAgreeSets(const EncodedTable& table,
+                                          size_t count, Rng* rng) {
+  std::vector<AttributeSet> agree_sets;
+  const size_t n = table.num_rows();
+  const size_t k = table.num_columns();
+  if (n < 2) return agree_sets;
+  agree_sets.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t a = rng->NextUint64(n);
+    size_t b = rng->NextUint64(n - 1);
+    if (b >= a) ++b;
+    AttributeSet agree;
+    for (size_t c = 0; c < k; ++c) {
+      const int32_t ca = table.code(a, c);
+      if (ca != EncodedTable::kNullCode && ca == table.code(b, c)) {
+        agree.Add(c);
+      }
+    }
+    agree_sets.push_back(agree);
+  }
+  return agree_sets;
+}
+
+/// Estimated g1 error of lhs -> a from the sampled agree sets.
+double EstimatedError(const std::vector<AttributeSet>& agree_sets,
+                      const AttributeSet& lhs, size_t a) {
+  if (agree_sets.empty()) return 0.0;
+  size_t violations = 0;
+  for (const auto& agree : agree_sets) {
+    if (lhs.IsSubsetOf(agree) && !agree.Contains(a)) ++violations;
+  }
+  return static_cast<double>(violations) /
+         static_cast<double>(agree_sets.size());
+}
+
+/// Trickle-down: recursively minimizes a valid peak, emitting every
+/// minimal valid subset into `minimal`.
+void TrickleDown(PartitionCache* cache, const AttributeSet& x, size_t rhs,
+                 size_t n, double max_error, const Deadline& deadline,
+                 std::set<AttributeSet>* visited,
+                 std::set<AttributeSet>* minimal) {
+  if (visited->count(x) > 0 || deadline.Expired()) return;
+  visited->insert(x);
+  bool any_child_valid = false;
+  for (size_t a : x.ToIndices()) {
+    const AttributeSet child = x.Without(a);
+    if (child.Empty()) continue;
+    if (ExactError(cache, child, rhs, n) <= max_error) {
+      any_child_valid = true;
+      TrickleDown(cache, child, rhs, n, max_error, deadline, visited,
+                  minimal);
+    }
+  }
+  if (!any_child_valid) minimal->insert(x);
+}
+
+}  // namespace
+
+Result<FdSet> DiscoverPyro(const Table& table, const PyroOptions& options) {
+  const size_t k = table.num_columns();
+  const size_t n = table.num_rows();
+  if (k == 0) return Status::InvalidArgument("empty table");
+  if (k > AttributeSet::kMaxAttributes) {
+    return Status::InvalidArgument("PYRO supports at most 128 attributes");
+  }
+  const EncodedTable encoded = EncodedTable::Encode(table);
+  Deadline deadline(options.time_budget_seconds);
+  Rng rng(options.seed);
+  const std::vector<AttributeSet> agree_sets =
+      SampleAgreeSets(encoded, options.sample_pairs, &rng);
+
+  FdSet fds;
+  PartitionCache cache(encoded);
+  for (size_t rhs = 0; rhs < k; ++rhs) {
+    if (deadline.Expired()) return Status::Timeout("PYRO budget exceeded");
+    std::set<AttributeSet> minimal;
+    std::set<AttributeSet> visited;
+    // Launchpads: every single attribute, cheapest estimated error first.
+    std::vector<size_t> launchpads;
+    for (size_t a = 0; a < k; ++a) {
+      if (a != rhs) launchpads.push_back(a);
+    }
+    std::sort(launchpads.begin(), launchpads.end(),
+              [&](size_t a, size_t b) {
+                return EstimatedError(agree_sets, AttributeSet::Single(a),
+                                      rhs) <
+                       EstimatedError(agree_sets, AttributeSet::Single(b),
+                                      rhs);
+              });
+    for (size_t launch : launchpads) {
+      if (deadline.Expired()) return Status::Timeout("PYRO budget exceeded");
+      AttributeSet x = AttributeSet::Single(launch);
+      // Skip launchpads already covered by a discovered minimal FD.
+      bool covered = false;
+      for (const auto& found : minimal) {
+        if (found.IsSubsetOf(x)) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) continue;
+      // Ascend: grow X guided by estimated errors until (exactly) valid.
+      while (x.Count() < options.max_lhs_size &&
+             ExactError(&cache, x, rhs, n) > options.max_error) {
+        size_t best = k;
+        double best_estimate = 2.0;
+        for (size_t b = 0; b < k; ++b) {
+          if (b == rhs || x.Contains(b)) continue;
+          AttributeSet candidate = x;
+          candidate.Add(b);
+          const double estimate =
+              EstimatedError(agree_sets, candidate, rhs);
+          if (estimate < best_estimate) {
+            best_estimate = estimate;
+            best = b;
+          }
+        }
+        if (best == k) break;
+        x.Add(best);
+      }
+      if (ExactError(&cache, x, rhs, n) <= options.max_error) {
+        TrickleDown(&cache, x, rhs, n, options.max_error, deadline,
+                    &visited, &minimal);
+      }
+    }
+    for (const auto& lhs : minimal) {
+      fds.emplace_back(lhs.ToIndices(), rhs);
+    }
+  }
+  return fds;
+}
+
+}  // namespace fdx

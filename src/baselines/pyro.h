@@ -1,0 +1,39 @@
+#ifndef FDX_BASELINES_PYRO_H_
+#define FDX_BASELINES_PYRO_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+#include "fd/fd.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Options of the PYRO-style baseline (Kruse & Naumann 2018).
+struct PyroOptions {
+  /// g1 error threshold: fraction of (ordered) tuple pairs that agree on
+  /// the LHS but disagree on the RHS, relative to all pairs. The paper
+  /// tunes this to the dataset noise rate.
+  double max_error = 0.01;
+  /// LHS size cap.
+  size_t max_lhs_size = 4;
+  /// Number of sampled tuple pairs for the agree-set error estimates
+  /// that steer the ascension step.
+  size_t sample_pairs = 20000;
+  /// Wall-clock budget in seconds; 0 = unlimited.
+  double time_budget_seconds = 0.0;
+  uint64_t seed = 5;
+};
+
+/// Sampling-guided discovery of minimal approximate FDs, following
+/// Pyro's architecture: per-RHS *ascension* from single-attribute
+/// launchpads guided by sampled agree-set error estimates, exact
+/// validation with stripped partitions, and *trickle-down*
+/// minimization of every reached peak. Like Pyro, it errs on the side
+/// of enumerating many syntactically valid FDs (high recall / low
+/// parsimony — see paper §5.4).
+Result<FdSet> DiscoverPyro(const Table& table, const PyroOptions& options);
+
+}  // namespace fdx
+
+#endif  // FDX_BASELINES_PYRO_H_

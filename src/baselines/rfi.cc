@@ -1,0 +1,119 @@
+#include "baselines/rfi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fd/attribute_set.h"
+#include "baselines/info_theory.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace fdx {
+
+namespace {
+
+struct SearchContext {
+  const EncodedTable* table;
+  size_t target;
+  double h_target;
+  const RfiOptions* options;
+  const Deadline* deadline;
+  Rng* rng;
+  double best_score = 0.0;
+  AttributeSet best_set;
+  bool timed_out = false;
+};
+
+double ReliableScore(SearchContext* ctx, const AttributeSet& x,
+                     double* bias_out) {
+  const double mi = MutualInformation(*ctx->table, x, ctx->target);
+  const double bias =
+      ctx->options->use_exact_bias
+          ? ExactPermutationBias(*ctx->table, x, ctx->target)
+          : PermutationBias(*ctx->table, x, ctx->target,
+                            ctx->options->permutations, ctx->rng);
+  if (bias_out != nullptr) *bias_out = bias;
+  if (ctx->h_target <= 0.0) return 0.0;
+  return (mi - bias) / ctx->h_target;
+}
+
+/// Depth-first search with canonical extension (only attributes larger
+/// than the current maximum are added), scoring each node and pruning
+/// with the admissible bound UB(X) = (H(Y) - bias(X)) / H(Y).
+void Search(SearchContext* ctx, const AttributeSet& x, size_t min_next) {
+  if (ctx->deadline->Expired()) {
+    ctx->timed_out = true;
+    return;
+  }
+  double bias = 0.0;
+  if (!x.Empty()) {
+    const double score = ReliableScore(ctx, x, &bias);
+    if (score > ctx->best_score) {
+      ctx->best_score = score;
+      ctx->best_set = x;
+    }
+    // Bias only grows on supersets, so this bounds every extension.
+    const double upper_bound =
+        ctx->h_target > 0.0 ? (ctx->h_target - bias) / ctx->h_target : 0.0;
+    if (ctx->options->alpha * upper_bound <= ctx->best_score) return;
+    if (ctx->options->max_lhs_size > 0 &&
+        x.Count() >= ctx->options->max_lhs_size) {
+      return;
+    }
+  }
+  const size_t k = ctx->table->num_columns();
+  for (size_t a = min_next; a < k; ++a) {
+    if (a == ctx->target || x.Contains(a)) continue;
+    AttributeSet child = x;
+    child.Add(a);
+    Search(ctx, child, a + 1);
+    if (ctx->timed_out) return;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<ScoredFd>> DiscoverRfiScored(const Table& table,
+                                                const RfiOptions& options) {
+  const size_t k = table.num_columns();
+  if (k == 0) return Status::InvalidArgument("empty table");
+  if (k > AttributeSet::kMaxAttributes) {
+    return Status::InvalidArgument("RFI supports at most 128 attributes");
+  }
+  const EncodedTable encoded = EncodedTable::Encode(table);
+  Deadline deadline(options.time_budget_seconds);
+  Rng rng(options.seed);
+
+  std::vector<ScoredFd> fds;
+  for (size_t target = 0; target < k; ++target) {
+    SearchContext ctx;
+    ctx.table = &encoded;
+    ctx.target = target;
+    ctx.h_target = Entropy(encoded, AttributeSet::Single(target));
+    ctx.options = &options;
+    ctx.deadline = &deadline;
+    ctx.rng = &rng;
+    Search(&ctx, AttributeSet(), 0);
+    if (ctx.timed_out) {
+      if (options.return_partial_on_timeout) return fds;
+      return Status::Timeout("RFI budget exceeded");
+    }
+    if (ctx.best_score >= options.min_score && !ctx.best_set.Empty()) {
+      fds.push_back(
+          {FunctionalDependency(ctx.best_set.ToIndices(), target),
+           ctx.best_score});
+    }
+  }
+  return fds;
+}
+
+Result<FdSet> DiscoverRfi(const Table& table, const RfiOptions& options) {
+  FDX_ASSIGN_OR_RETURN(std::vector<ScoredFd> scored,
+                       DiscoverRfiScored(table, options));
+  FdSet fds;
+  fds.reserve(scored.size());
+  for (auto& entry : scored) fds.push_back(std::move(entry.fd));
+  return fds;
+}
+
+}  // namespace fdx

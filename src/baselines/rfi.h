@@ -1,0 +1,61 @@
+#ifndef FDX_BASELINES_RFI_H_
+#define FDX_BASELINES_RFI_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+#include "fd/fd.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Options of the Reliable Fraction of Information baseline
+/// (Mandros, Boley & Vreeken, KDD 2017).
+struct RfiOptions {
+  /// Approximation parameter: 1.0 searches exactly; smaller values prune
+  /// more aggressively (branch dropped when alpha * bound <= best).
+  double alpha = 1.0;
+  /// Minimum reliable score for an FD to be reported at all.
+  double min_score = 0.05;
+  /// Monte-Carlo permutations for the bias correction.
+  size_t permutations = 3;
+  /// Use the closed-form hypergeometric bias (Vinh et al. 2010) instead
+  /// of Monte-Carlo permutations — exact, as in the original RFI, but
+  /// slower on high-cardinality determinant sets.
+  bool use_exact_bias = false;
+  /// LHS size cap; 0 = unbounded (the original algorithm). The search is
+  /// exponential in the attribute count either way — exactly the
+  /// scalability wall Table 5/6 of the paper report.
+  size_t max_lhs_size = 0;
+  /// Wall-clock budget in seconds; 0 = unlimited.
+  double time_budget_seconds = 0.0;
+  /// When the budget expires: if true, return the FDs of the attributes
+  /// finished so far (the paper evaluates such partial RFI executions in
+  /// §5.3); if false, fail with Status::Timeout.
+  bool return_partial_on_timeout = false;
+  uint64_t seed = 3;
+};
+
+/// An FD together with its reliable-fraction-of-information score, the
+/// value RFI prints next to each dependency (paper Figure 4).
+struct ScoredFd {
+  FunctionalDependency fd;
+  double score = 0.0;
+};
+
+/// Discovers the top-1 FD per attribute by maximizing the reliable
+/// fraction of information
+///   F(X; Y) = (I(X; Y) - E[I(X; sigma(Y))]) / H(Y)
+/// with branch-and-bound over LHS candidates. The bias term
+/// E[I(X; sigma(Y))] only grows with |dom(X)|, so
+/// UB(X) = (H(Y) - bias(X)) / H(Y) is an admissible bound for all
+/// supersets of X.
+Result<FdSet> DiscoverRfi(const Table& table, const RfiOptions& options);
+
+/// Same search, returning each winning FD with its score.
+Result<std::vector<ScoredFd>> DiscoverRfiScored(const Table& table,
+                                                const RfiOptions& options);
+
+}  // namespace fdx
+
+#endif  // FDX_BASELINES_RFI_H_

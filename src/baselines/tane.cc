@@ -1,0 +1,134 @@
+#include "baselines/tane.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "fd/attribute_set.h"
+#include "fd/partition.h"
+#include "util/stopwatch.h"
+
+namespace fdx {
+
+namespace {
+
+/// Per-node state of one lattice level.
+struct LevelNode {
+  StrippedPartition partition;
+  AttributeSet rhs_candidates;  ///< TANE's C+(X).
+};
+
+using Level = std::unordered_map<AttributeSet, LevelNode, AttributeSetHash>;
+
+/// Generates level (depth+1) from `level`: joins pairs of nodes that
+/// differ in one attribute, requires every depth-subset to be present
+/// (prefix-block join + prune check), computes the partition product and
+/// C+(Z) = intersection of C+(Z \ {A}) over A in Z.
+Result<Level> GenerateNextLevel(const Level& level, const Deadline& deadline) {
+  Level next;
+  std::vector<AttributeSet> keys;
+  keys.reserve(level.size());
+  for (const auto& [x, node] : level) keys.push_back(x);
+  std::sort(keys.begin(), keys.end());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (deadline.Expired()) return Status::Timeout("TANE budget exceeded");
+    for (size_t j = i + 1; j < keys.size(); ++j) {
+      const AttributeSet z = keys[i].Union(keys[j]);
+      if (z.Count() != keys[i].Count() + 1) continue;
+      if (next.count(z) > 0) continue;
+      // All |Z|-1 subsets must survive in the current level.
+      AttributeSet rhs_candidates;
+      bool ok = true;
+      bool first = true;
+      for (size_t a : z.ToIndices()) {
+        auto it = level.find(z.Without(a));
+        if (it == level.end()) {
+          ok = false;
+          break;
+        }
+        rhs_candidates = first ? it->second.rhs_candidates
+                               : rhs_candidates.Intersect(
+                                     it->second.rhs_candidates);
+        first = false;
+      }
+      if (!ok || rhs_candidates.Empty()) continue;
+      LevelNode node;
+      node.rhs_candidates = rhs_candidates;
+      node.partition = StrippedPartition::Multiply(
+          level.at(keys[i]).partition, level.at(keys[j]).partition);
+      next.emplace(z, std::move(node));
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+Result<FdSet> DiscoverTane(const Table& table, const TaneOptions& options) {
+  const size_t k = table.num_columns();
+  if (k == 0) return Status::InvalidArgument("empty table");
+  if (k > AttributeSet::kMaxAttributes) {
+    return Status::InvalidArgument("TANE supports at most 128 attributes");
+  }
+  const EncodedTable encoded = EncodedTable::Encode(table);
+  Deadline deadline(options.time_budget_seconds);
+
+  AttributeSet all;
+  for (size_t i = 0; i < k; ++i) all.Add(i);
+
+  FdSet fds;
+  // Level 1: single attributes; C+({A}) = R from TANE's C+(emptyset) = R.
+  // We do not emit empty-LHS dependencies (constant columns), so
+  // dependency checks start at level 2.
+  Level level;
+  for (size_t i = 0; i < k; ++i) {
+    LevelNode node;
+    node.partition = StrippedPartition::FromColumn(encoded, i);
+    node.rhs_candidates = all;
+    level.emplace(AttributeSet::Single(i), std::move(node));
+  }
+
+  for (size_t depth = 2; depth <= options.max_lhs_size + 1; ++depth) {
+    FDX_ASSIGN_OR_RETURN(Level next, GenerateNextLevel(level, deadline));
+    if (next.empty()) break;
+
+    // compute_dependencies: for X at this level test X \ {A} -> A for
+    // every A in X ∩ C+(X); the LHS partition lives in the parent level.
+    for (auto& [x, node] : next) {
+      if (deadline.Expired()) return Status::Timeout("TANE budget exceeded");
+      const AttributeSet test_set = x.Intersect(node.rhs_candidates);
+      for (size_t a : test_set.ToIndices()) {
+        const AttributeSet lhs = x.Without(a);
+        auto parent = level.find(lhs);
+        if (parent == level.end()) continue;  // parent pruned away
+        // A superkey LHS "determines" everything syntactically but
+        // carries no dependency information — under the strict null
+        // semantics even an all-null column is a superkey. Skip these.
+        if (parent->second.partition.IsSuperKey()) continue;
+        const double error = parent->second.partition.FdError(node.partition);
+        if (error <= options.max_error) {
+          fds.emplace_back(lhs.ToIndices(), a);
+          node.rhs_candidates.Remove(a);
+          if (error == 0.0) {
+            // Exact FD: no B outside X can be a minimal RHS above X.
+            for (size_t b = 0; b < k; ++b) {
+              if (!x.Contains(b)) node.rhs_candidates.Remove(b);
+            }
+          }
+        }
+      }
+    }
+
+    // prune: drop nodes with empty C+ (they can produce no minimal FD).
+    for (auto it = next.begin(); it != next.end();) {
+      if (it->second.rhs_candidates.Empty()) {
+        it = next.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    level = std::move(next);
+  }
+  return fds;
+}
+
+}  // namespace fdx

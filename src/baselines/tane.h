@@ -1,0 +1,32 @@
+#ifndef FDX_BASELINES_TANE_H_
+#define FDX_BASELINES_TANE_H_
+
+#include "data/table.h"
+#include "fd/fd.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Options of the TANE baseline (Huhtala et al. 1999).
+struct TaneOptions {
+  /// g3 error tolerance: an FD X -> A is reported when at most this
+  /// fraction of rows must be removed for it to hold exactly. 0 finds
+  /// exact FDs; the paper tunes this to the dataset noise level.
+  double max_error = 0.0;
+  /// Lattice level cap (LHS size). TANE is exponential without it; the
+  /// evaluation uses FDs with up to 3 LHS attributes.
+  size_t max_lhs_size = 3;
+  /// Wall-clock budget in seconds; 0 = unlimited. On expiry the run
+  /// aborts with Status::Timeout, which benches render as '-' like the
+  /// paper's 8-hour cap.
+  double time_budget_seconds = 0.0;
+};
+
+/// Levelwise discovery of all minimal (approximate) FDs using stripped
+/// partitions and candidate-RHS (C+) pruning. Returns every minimal
+/// non-trivial FD whose g3 error is at most `max_error`.
+Result<FdSet> DiscoverTane(const Table& table, const TaneOptions& options);
+
+}  // namespace fdx
+
+#endif  // FDX_BASELINES_TANE_H_

@@ -1,0 +1,84 @@
+#include "baselines/ucc.h"
+
+#include <algorithm>
+#include <map>
+
+#include "fd/partition.h"
+#include "util/stopwatch.h"
+
+namespace fdx {
+
+Result<std::vector<Ucc>> DiscoverUccs(const Table& table,
+                                      const UccOptions& options) {
+  const size_t k = table.num_columns();
+  if (k == 0) return Status::InvalidArgument("empty table");
+  if (k > AttributeSet::kMaxAttributes) {
+    return Status::InvalidArgument("UCC supports at most 128 attributes");
+  }
+  const EncodedTable encoded = EncodedTable::Encode(table);
+  Deadline deadline(options.time_budget_seconds);
+
+  std::vector<Ucc> results;
+  std::vector<AttributeSet> found;  // for minimality pruning
+
+  // Current level: attribute sets with their partitions, keyed for
+  // deterministic iteration.
+  std::map<AttributeSet, StrippedPartition> level;
+  for (size_t a = 0; a < k; ++a) {
+    level.emplace(AttributeSet::Single(a),
+                  StrippedPartition::FromColumn(encoded, a));
+  }
+
+  for (size_t depth = 1; depth <= options.max_size && !level.empty();
+       ++depth) {
+    // Harvest (approximate) keys at this level; keep non-keys for joins.
+    std::map<AttributeSet, StrippedPartition> survivors;
+    for (auto& [attrs, partition] : level) {
+      if (deadline.Expired()) return Status::Timeout("UCC budget exceeded");
+      const double error = partition.KeyError();
+      if (error <= options.max_error) {
+        Ucc ucc;
+        ucc.attributes = attrs.ToIndices();
+        ucc.error = error;
+        results.push_back(std::move(ucc));
+        found.push_back(attrs);  // supersets are non-minimal
+      } else {
+        survivors.emplace(attrs, std::move(partition));
+      }
+    }
+    if (depth == options.max_size) break;
+    // Join step: canonical extension by larger single attributes.
+    std::map<AttributeSet, StrippedPartition> next;
+    for (const auto& [attrs, partition] : survivors) {
+      const size_t last = attrs.ToIndices().back();
+      for (size_t a = last + 1; a < k; ++a) {
+        if (deadline.Expired()) return Status::Timeout("UCC budget exceeded");
+        AttributeSet extended = attrs;
+        extended.Add(a);
+        // Minimality: skip supersets of discovered UCCs.
+        bool superset = false;
+        for (const auto& key : found) {
+          if (key.IsSubsetOf(extended)) {
+            superset = true;
+            break;
+          }
+        }
+        if (superset || next.count(extended) > 0) continue;
+        next.emplace(extended,
+                     StrippedPartition::Multiply(
+                         partition, StrippedPartition::FromColumn(
+                                        encoded, a)));
+      }
+    }
+    level = std::move(next);
+  }
+  std::sort(results.begin(), results.end(), [](const Ucc& a, const Ucc& b) {
+    if (a.attributes.size() != b.attributes.size()) {
+      return a.attributes.size() < b.attributes.size();
+    }
+    return a.attributes < b.attributes;
+  });
+  return results;
+}
+
+}  // namespace fdx

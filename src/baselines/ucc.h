@@ -1,0 +1,41 @@
+#ifndef FDX_BASELINES_UCC_H_
+#define FDX_BASELINES_UCC_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "fd/attribute_set.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Options for unique-column-combination discovery.
+struct UccOptions {
+  /// Approximate keys: the fraction of rows that may be removed for the
+  /// combination to become unique (the "certain keys under inconsistent
+  /// data" relaxation of Koehler et al., paper §6). 0 = exact keys.
+  double max_error = 0.0;
+  /// Combination size cap.
+  size_t max_size = 3;
+  /// Wall-clock budget in seconds; 0 = unlimited.
+  double time_budget_seconds = 0.0;
+};
+
+/// A discovered (approximate) key with its uniqueness error.
+struct Ucc {
+  std::vector<size_t> attributes;  ///< Sorted.
+  double error = 0.0;              ///< KeyError of the combination.
+};
+
+/// Levelwise discovery of all *minimal* (approximate) unique column
+/// combinations using stripped partitions: a combination is unique when
+/// its partition strips to nothing, approximately unique when the
+/// partition's key error is within `max_error`. Supersets of found UCCs
+/// are pruned (minimality). Null cells never match, so a column with
+/// nulls can still be a key.
+Result<std::vector<Ucc>> DiscoverUccs(const Table& table,
+                                      const UccOptions& options = {});
+
+}  // namespace fdx
+
+#endif  // FDX_BASELINES_UCC_H_

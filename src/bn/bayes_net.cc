@@ -1,0 +1,167 @@
+#include "bn/bayes_net.h"
+
+#include <cmath>
+
+namespace fdx {
+
+Result<size_t> BayesNet::AddNode(const std::string& name,
+                                 std::vector<std::string> states,
+                                 const std::vector<std::string>& parent_names) {
+  if (states.size() < 2) {
+    return Status::InvalidArgument("node " + name + " needs >= 2 states");
+  }
+  BayesNode node;
+  node.name = name;
+  node.states = std::move(states);
+  for (const auto& parent : parent_names) {
+    bool found = false;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].name == parent) {
+        node.parents.push_back(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("parent " + parent + " of " + name +
+                                     " not yet declared");
+    }
+  }
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+size_t BayesNet::NumEdges() const {
+  size_t total = 0;
+  for (const auto& node : nodes_) total += node.parents.size();
+  return total;
+}
+
+size_t BayesNet::NumParentConfigs(size_t i) const {
+  size_t configs = 1;
+  for (size_t p : nodes_[i].parents) configs *= nodes_[p].states.size();
+  return configs;
+}
+
+void BayesNet::FillFunctionalCpts(double epsilon, Rng* rng) {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    BayesNode& node = nodes_[i];
+    const size_t arity = node.states.size();
+    const size_t configs = NumParentConfigs(i);
+    node.cpt.assign(configs, std::vector<double>(arity, 0.0));
+    if (node.parents.empty()) {
+      // Random skewed marginal: exponential weights, normalized.
+      double total = 0.0;
+      for (size_t s = 0; s < arity; ++s) {
+        node.cpt[0][s] = 0.1 + rng->NextDouble();
+        total += node.cpt[0][s];
+      }
+      for (size_t s = 0; s < arity; ++s) node.cpt[0][s] /= total;
+      continue;
+    }
+    // Random state permutation guarantees that different parent
+    // configurations map to different child states as far as the child
+    // arity allows; without it a child can degenerate to a constant,
+    // which carries no dependency signal at all.
+    std::vector<size_t> state_perm(arity);
+    for (size_t s = 0; s < arity; ++s) state_perm[s] = s;
+    rng->Shuffle(&state_perm);
+    const size_t offset = rng->NextUint64(arity);
+    for (size_t config = 0; config < configs; ++config) {
+      const size_t target = state_perm[(config + offset) % arity];
+      const double rest = arity > 1 ? epsilon / static_cast<double>(arity - 1)
+                                    : 0.0;
+      for (size_t s = 0; s < arity; ++s) {
+        node.cpt[config][s] = (s == target) ? 1.0 - epsilon : rest;
+      }
+    }
+  }
+}
+
+Status BayesNet::SetCpt(size_t i, std::vector<std::vector<double>> cpt) {
+  if (i >= nodes_.size()) {
+    return Status::InvalidArgument("node index out of range");
+  }
+  if (cpt.size() != NumParentConfigs(i)) {
+    return Status::InvalidArgument("CPT row count mismatch for " +
+                                   nodes_[i].name);
+  }
+  for (const auto& row : cpt) {
+    if (row.size() != nodes_[i].states.size()) {
+      return Status::InvalidArgument("CPT row width mismatch for " +
+                                     nodes_[i].name);
+    }
+  }
+  nodes_[i].cpt = std::move(cpt);
+  return Status::OK();
+}
+
+Status BayesNet::Validate() const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const BayesNode& node = nodes_[i];
+    const size_t configs = NumParentConfigs(i);
+    if (node.cpt.size() != configs) {
+      return Status::InvalidArgument("node " + node.name +
+                                     " has wrong CPT row count");
+    }
+    for (const auto& row : node.cpt) {
+      if (row.size() != node.states.size()) {
+        return Status::InvalidArgument("node " + node.name +
+                                       " has wrong CPT row width");
+      }
+      double total = 0.0;
+      for (double p : row) {
+        if (p < 0.0) {
+          return Status::InvalidArgument("node " + node.name +
+                                         " has a negative probability");
+        }
+        total += p;
+      }
+      if (std::fabs(total - 1.0) > 1e-6) {
+        return Status::InvalidArgument("node " + node.name +
+                                       " has an unnormalized CPT row");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Table> BayesNet::Sample(size_t n, Rng* rng) const {
+  FDX_RETURN_IF_ERROR(Validate());
+  Table table(MakeSchema());
+  std::vector<size_t> assignment(nodes_.size(), 0);
+  std::vector<Value> row(nodes_.size());
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      const BayesNode& node = nodes_[i];
+      // Mixed-radix parent configuration, first parent most significant.
+      size_t config = 0;
+      for (size_t p : node.parents) {
+        config = config * nodes_[p].states.size() + assignment[p];
+      }
+      assignment[i] = rng->NextDiscrete(node.cpt[config]);
+      row[i] = Value(node.states[assignment[i]]);
+    }
+    table.AppendRow(row);
+  }
+  return table;
+}
+
+FdSet BayesNet::GroundTruthFds() const {
+  FdSet fds;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].parents.empty()) {
+      fds.emplace_back(nodes_[i].parents, i);
+    }
+  }
+  return fds;
+}
+
+Schema BayesNet::MakeSchema() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& node : nodes_) names.push_back(node.name);
+  return Schema(std::move(names));
+}
+
+}  // namespace fdx

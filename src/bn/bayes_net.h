@@ -1,0 +1,78 @@
+#ifndef FDX_BN_BAYES_NET_H_
+#define FDX_BN_BAYES_NET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "fd/fd.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// A node of a discrete Bayesian network: a categorical variable with a
+/// conditional probability table over its parents' joint configurations.
+struct BayesNode {
+  std::string name;
+  std::vector<std::string> states;
+  std::vector<size_t> parents;  ///< Indices of parent nodes.
+  /// cpt[config][state] = P(state | parent configuration). The parent
+  /// configuration index is mixed-radix with the FIRST parent as the
+  /// most significant digit.
+  std::vector<std::vector<double>> cpt;
+};
+
+/// A discrete Bayesian network with ancestral sampling. The benchmark
+/// generators of the paper (§5.1, Table 1) are instances of this class;
+/// ground-truth FDs are the parent sets of non-root nodes.
+class BayesNet {
+ public:
+  /// Adds a node; parents must already exist (insertion order is the
+  /// topological order used by the sampler). Returns the node index.
+  Result<size_t> AddNode(const std::string& name,
+                         std::vector<std::string> states,
+                         const std::vector<std::string>& parent_names);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const BayesNode& node(size_t i) const { return nodes_[i]; }
+
+  /// Total number of parent->child edges.
+  size_t NumEdges() const;
+
+  /// Number of configurations of node i's parents.
+  size_t NumParentConfigs(size_t i) const;
+
+  /// Fills every CPT pseudo-randomly such that each non-root node is an
+  /// *approximate function* of its parents: for every parent
+  /// configuration one child state receives probability 1 - epsilon and
+  /// the rest share epsilon. Root nodes get a random, moderately skewed
+  /// marginal. This realizes the paper's "networks that exhibit
+  /// deterministic dependencies"; see DESIGN.md substitution #1.
+  void FillFunctionalCpts(double epsilon, Rng* rng);
+
+  /// Sets node `i`'s CPT explicitly (row count must equal the parent
+  /// configuration count; rows must have the node's arity). Used by the
+  /// text-format loader.
+  Status SetCpt(size_t i, std::vector<std::vector<double>> cpt);
+
+  /// Validates that all CPTs are present and normalized.
+  Status Validate() const;
+
+  /// Draws `n` tuples by ancestral sampling; one attribute per node,
+  /// values are the state labels.
+  Result<Table> Sample(size_t n, Rng* rng) const;
+
+  /// Ground-truth FDs: parents(Y) -> Y for every node with parents.
+  FdSet GroundTruthFds() const;
+
+  /// Schema matching Sample()'s output.
+  Schema MakeSchema() const;
+
+ private:
+  std::vector<BayesNode> nodes_;
+};
+
+}  // namespace fdx
+
+#endif  // FDX_BN_BAYES_NET_H_

@@ -1,0 +1,135 @@
+#include "bn/bif_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace fdx {
+
+std::string SerializeBayesNet(const BayesNet& net) {
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < net.num_nodes(); ++i) {
+    const BayesNode& node = net.node(i);
+    out += "node " + node.name;
+    for (const auto& state : node.states) out += " " + state;
+    out += '\n';
+  }
+  for (size_t i = 0; i < net.num_nodes(); ++i) {
+    const BayesNode& node = net.node(i);
+    out += "parents " + node.name;
+    for (size_t p : node.parents) out += " " + net.node(p).name;
+    out += '\n';
+  }
+  for (size_t i = 0; i < net.num_nodes(); ++i) {
+    const BayesNode& node = net.node(i);
+    out += "cpt " + node.name;
+    for (const auto& row : node.cpt) {
+      for (double p : row) {
+        std::snprintf(buf, sizeof(buf), " %.17g", p);
+        out += buf;
+      }
+      out += " ;";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteBayesNet(const BayesNet& net, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << SerializeBayesNet(net);
+  return Status::OK();
+}
+
+Result<BayesNet> ParseBayesNet(const std::string& text) {
+  struct PendingNode {
+    std::vector<std::string> states;
+    std::vector<std::string> parents;
+    std::vector<std::vector<double>> cpt;
+  };
+  std::vector<std::string> order;  // declaration order
+  std::map<std::string, PendingNode> pending;
+
+  std::istringstream in(text);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string trimmed(StripAsciiWhitespace(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream tokens(trimmed);
+    std::string keyword, name;
+    tokens >> keyword >> name;
+    if (name.empty()) {
+      return Status::IOError("line " + std::to_string(line_number) +
+                             ": missing node name");
+    }
+    if (keyword == "node") {
+      if (pending.count(name) > 0) {
+        return Status::IOError("duplicate node " + name);
+      }
+      PendingNode node;
+      std::string state;
+      while (tokens >> state) node.states.push_back(state);
+      if (node.states.size() < 2) {
+        return Status::IOError("node " + name + " needs >= 2 states");
+      }
+      order.push_back(name);
+      pending.emplace(name, std::move(node));
+    } else if (keyword == "parents") {
+      auto it = pending.find(name);
+      if (it == pending.end()) {
+        return Status::IOError("parents before node for " + name);
+      }
+      std::string parent;
+      while (tokens >> parent) it->second.parents.push_back(parent);
+    } else if (keyword == "cpt") {
+      auto it = pending.find(name);
+      if (it == pending.end()) {
+        return Status::IOError("cpt before node for " + name);
+      }
+      std::vector<double> row;
+      std::string token;
+      while (tokens >> token) {
+        if (token == ";") {
+          it->second.cpt.push_back(row);
+          row.clear();
+        } else {
+          row.push_back(std::atof(token.c_str()));
+        }
+      }
+      if (!row.empty()) {
+        return Status::IOError("cpt row of " + name +
+                               " not terminated with ';'");
+      }
+    } else {
+      return Status::IOError("line " + std::to_string(line_number) +
+                             ": unknown keyword " + keyword);
+    }
+  }
+
+  BayesNet net;
+  for (const auto& name : order) {
+    PendingNode& node = pending.at(name);
+    auto added = net.AddNode(name, node.states, node.parents);
+    FDX_RETURN_IF_ERROR(added.status());
+    FDX_RETURN_IF_ERROR(net.SetCpt(*added, std::move(node.cpt)));
+  }
+  FDX_RETURN_IF_ERROR(net.Validate());
+  return net;
+}
+
+Result<BayesNet> ReadBayesNet(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseBayesNet(buffer.str());
+}
+
+}  // namespace fdx

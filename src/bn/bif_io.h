@@ -1,0 +1,34 @@
+#ifndef FDX_BN_BIF_IO_H_
+#define FDX_BN_BIF_IO_H_
+
+#include <string>
+
+#include "bn/bayes_net.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Serializes a network to a line-oriented text format in the spirit of
+/// the BIF files the bnlearn repository distributes:
+///
+///   node <name> <state> <state> ...
+///   parents <name> [<parent> ...]
+///   cpt <name> <p11> <p12> ... ; <p21> ... ;
+///
+/// One `node` line per variable in topological (insertion) order, then
+/// the parent lists, then the CPTs row by row ( ';' terminates a parent
+/// configuration). Whitespace-separated; names must be token-safe.
+std::string SerializeBayesNet(const BayesNet& net);
+
+/// Writes the serialized network to a file.
+Status WriteBayesNet(const BayesNet& net, const std::string& path);
+
+/// Parses the text format back into a validated network.
+Result<BayesNet> ParseBayesNet(const std::string& text);
+
+/// Reads a network from a file.
+Result<BayesNet> ReadBayesNet(const std::string& path);
+
+}  // namespace fdx
+
+#endif  // FDX_BN_BIF_IO_H_

@@ -1,0 +1,153 @@
+#include "bn/networks.h"
+
+#include <cassert>
+
+namespace fdx {
+
+namespace {
+
+/// States helper: n generic state labels.
+std::vector<std::string> States(size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back("s" + std::to_string(i));
+  return out;
+}
+
+std::vector<std::string> YesNo() { return {"yes", "no"}; }
+
+/// AddNode that asserts success; network construction is static data.
+void MustAdd(BayesNet* net, const std::string& name,
+             std::vector<std::string> states,
+             const std::vector<std::string>& parents) {
+  auto result = net->AddNode(name, std::move(states), parents);
+  assert(result.ok());
+  (void)result;
+}
+
+}  // namespace
+
+BayesNet MakeAsiaNetwork(double epsilon, uint64_t seed) {
+  BayesNet net;
+  MustAdd(&net, "asia", YesNo(), {});
+  MustAdd(&net, "smoke", YesNo(), {});
+  MustAdd(&net, "tub", YesNo(), {"asia"});
+  MustAdd(&net, "lung", YesNo(), {"smoke"});
+  MustAdd(&net, "bronc", YesNo(), {"smoke"});
+  MustAdd(&net, "either", YesNo(), {"tub", "lung"});
+  MustAdd(&net, "xray", YesNo(), {"either"});
+  MustAdd(&net, "dysp", YesNo(), {"bronc", "either"});
+  Rng rng(seed);
+  net.FillFunctionalCpts(epsilon, &rng);
+  return net;
+}
+
+BayesNet MakeCancerNetwork(double epsilon, uint64_t seed) {
+  BayesNet net;
+  MustAdd(&net, "Pollution", {"low", "high"}, {});
+  MustAdd(&net, "Smoker", YesNo(), {});
+  MustAdd(&net, "Cancer", {"true", "false"}, {"Pollution", "Smoker"});
+  MustAdd(&net, "Xray", {"positive", "negative"}, {"Cancer"});
+  MustAdd(&net, "Dyspnoea", YesNo(), {"Cancer"});
+  Rng rng(seed);
+  net.FillFunctionalCpts(epsilon, &rng);
+  return net;
+}
+
+BayesNet MakeEarthquakeNetwork(double epsilon, uint64_t seed) {
+  BayesNet net;
+  MustAdd(&net, "Burglary", {"true", "false"}, {});
+  MustAdd(&net, "Earthquake", {"true", "false"}, {});
+  MustAdd(&net, "Alarm", {"true", "false"}, {"Burglary", "Earthquake"});
+  MustAdd(&net, "JohnCalls", {"true", "false"}, {"Alarm"});
+  MustAdd(&net, "MaryCalls", {"true", "false"}, {"Alarm"});
+  Rng rng(seed);
+  net.FillFunctionalCpts(epsilon, &rng);
+  return net;
+}
+
+BayesNet MakeChildNetwork(double epsilon, uint64_t seed) {
+  BayesNet net;
+  MustAdd(&net, "BirthAsphyxia", YesNo(), {});
+  MustAdd(&net, "Disease", States(6), {"BirthAsphyxia"});
+  MustAdd(&net, "Sick", YesNo(), {"Disease"});
+  MustAdd(&net, "Age", States(3), {"Disease", "Sick"});
+  MustAdd(&net, "LVH", YesNo(), {"Disease"});
+  MustAdd(&net, "DuctFlow", States(3), {"Disease"});
+  MustAdd(&net, "CardiacMixing", States(4), {"Disease"});
+  MustAdd(&net, "LungParench", States(3), {"Disease"});
+  MustAdd(&net, "LungFlow", States(3), {"Disease"});
+  MustAdd(&net, "LVHreport", YesNo(), {"LVH"});
+  MustAdd(&net, "HypDistrib", YesNo(), {"DuctFlow", "CardiacMixing"});
+  MustAdd(&net, "HypoxiaInO2", States(3), {"CardiacMixing", "LungParench"});
+  MustAdd(&net, "CO2", States(3), {"LungParench"});
+  MustAdd(&net, "ChestXray", States(5), {"LungParench", "LungFlow"});
+  MustAdd(&net, "Grunting", YesNo(), {"LungParench", "Sick"});
+  MustAdd(&net, "LowerBodyO2", States(3), {"HypDistrib", "HypoxiaInO2"});
+  MustAdd(&net, "RUQO2", States(3), {"HypoxiaInO2"});
+  MustAdd(&net, "CO2Report", YesNo(), {"CO2"});
+  MustAdd(&net, "XrayReport", States(5), {"ChestXray"});
+  MustAdd(&net, "GruntingReport", YesNo(), {"Grunting"});
+  Rng rng(seed);
+  net.FillFunctionalCpts(epsilon, &rng);
+  return net;
+}
+
+BayesNet MakeAlarmNetwork(double epsilon, uint64_t seed) {
+  BayesNet net;
+  // Roots and upstream causes first (insertion order = topological).
+  MustAdd(&net, "HYPOVOLEMIA", YesNo(), {});
+  MustAdd(&net, "LVFAILURE", YesNo(), {});
+  MustAdd(&net, "ERRLOWOUTPUT", YesNo(), {});
+  MustAdd(&net, "ERRCAUTER", YesNo(), {});
+  MustAdd(&net, "INSUFFANESTH", YesNo(), {});
+  MustAdd(&net, "ANAPHYLAXIS", YesNo(), {});
+  MustAdd(&net, "KINKEDTUBE", YesNo(), {});
+  MustAdd(&net, "FIO2", States(2), {});
+  MustAdd(&net, "PULMEMBOLUS", YesNo(), {});
+  MustAdd(&net, "INTUBATION", States(3), {});
+  MustAdd(&net, "DISCONNECT", YesNo(), {});
+  MustAdd(&net, "MINVOLSET", States(3), {});
+  // Intermediate layer.
+  MustAdd(&net, "HISTORY", YesNo(), {"LVFAILURE"});
+  MustAdd(&net, "LVEDVOLUME", States(3), {"HYPOVOLEMIA", "LVFAILURE"});
+  MustAdd(&net, "CVP", States(3), {"LVEDVOLUME"});
+  MustAdd(&net, "PCWP", States(3), {"LVEDVOLUME"});
+  MustAdd(&net, "STROKEVOLUME", States(3), {"HYPOVOLEMIA", "LVFAILURE"});
+  MustAdd(&net, "TPR", States(3), {"ANAPHYLAXIS"});
+  MustAdd(&net, "PAP", States(3), {"PULMEMBOLUS"});
+  MustAdd(&net, "SHUNT", States(2), {"INTUBATION", "PULMEMBOLUS"});
+  MustAdd(&net, "VENTMACH", States(4), {"MINVOLSET"});
+  MustAdd(&net, "VENTTUBE", States(4), {"DISCONNECT", "VENTMACH"});
+  MustAdd(&net, "PRESS", States(4), {"INTUBATION", "KINKEDTUBE", "VENTTUBE"});
+  MustAdd(&net, "VENTLUNG", States(4), {"INTUBATION", "KINKEDTUBE", "VENTTUBE"});
+  MustAdd(&net, "MINVOL", States(4), {"INTUBATION", "VENTLUNG"});
+  MustAdd(&net, "VENTALV", States(4), {"INTUBATION", "VENTLUNG"});
+  MustAdd(&net, "PVSAT", States(3), {"FIO2", "VENTALV"});
+  MustAdd(&net, "ARTCO2", States(3), {"VENTALV"});
+  MustAdd(&net, "EXPCO2", States(4), {"ARTCO2", "VENTLUNG"});
+  MustAdd(&net, "SAO2", States(3), {"PVSAT", "SHUNT"});
+  MustAdd(&net, "CATECHOL", States(2),
+          {"ARTCO2", "INSUFFANESTH", "SAO2", "TPR"});
+  MustAdd(&net, "HR", States(3), {"CATECHOL"});
+  MustAdd(&net, "HRBP", States(3), {"ERRLOWOUTPUT", "HR"});
+  MustAdd(&net, "HREKG", States(3), {"ERRCAUTER", "HR"});
+  MustAdd(&net, "HRSAT", States(3), {"ERRCAUTER", "HR"});
+  MustAdd(&net, "CO", States(3), {"HR", "STROKEVOLUME"});
+  MustAdd(&net, "BP", States(3), {"CO", "TPR"});
+  Rng rng(seed);
+  net.FillFunctionalCpts(epsilon, &rng);
+  return net;
+}
+
+std::vector<BenchmarkNetwork> MakeAllBenchmarkNetworks(double epsilon) {
+  std::vector<BenchmarkNetwork> out;
+  out.push_back({"Alarm", MakeAlarmNetwork(epsilon)});
+  out.push_back({"Asia", MakeAsiaNetwork(epsilon)});
+  out.push_back({"Cancer", MakeCancerNetwork(epsilon)});
+  out.push_back({"Child", MakeChildNetwork(epsilon)});
+  out.push_back({"Earthquake", MakeEarthquakeNetwork(epsilon)});
+  return out;
+}
+
+}  // namespace fdx

@@ -1,0 +1,143 @@
+#include "core/fdx.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/factorization.h"
+#include "linalg/lasso.h"
+#include "util/stopwatch.h"
+
+namespace fdx {
+
+FdSet GenerateFdsFromAutoregression(const Matrix& b,
+                                    const std::vector<size_t>& perm,
+                                    double tau, double relative,
+                                    double floor, double zero_tol) {
+  const size_t k = b.rows();
+  FdSet fds;
+  for (size_t j = 0; j < k; ++j) {
+    // Only positive weights encode FDs: the soft-logic relaxation
+    // (Eq. 3) averages the determinants with non-negative coefficients,
+    // whereas the sort-and-shift pass structure of Algorithm 2 induces
+    // mildly *negative* couplings between unrelated attributes.
+    double column_max = 0.0;
+    for (size_t i = 0; i < j; ++i) {
+      column_max = std::max(column_max, b(i, j));
+    }
+    if (column_max < std::max(floor, zero_tol)) continue;
+    const double threshold =
+        std::max({tau, relative * column_max, zero_tol});
+    std::vector<size_t> lhs;
+    for (size_t i = 0; i < j; ++i) {
+      if (b(i, j) > threshold) lhs.push_back(perm[i]);
+    }
+    if (!lhs.empty()) fds.emplace_back(std::move(lhs), perm[j]);
+  }
+  return fds;
+}
+
+Result<FdxResult> FdxDiscoverer::Discover(const Table& table) const {
+  Stopwatch watch;
+  FDX_ASSIGN_OR_RETURN(TransformedMoments moments,
+                       PairTransformMoments(table, options_.transform));
+  FdxResult partial;
+  partial.transform_seconds = watch.ElapsedSeconds();
+  partial.transform_samples = moments.num_samples;
+  FDX_ASSIGN_OR_RETURN(FdxResult result,
+                       DiscoverFromCovariance(moments.cov));
+  result.transform_seconds = partial.transform_seconds;
+  result.transform_samples = partial.transform_samples;
+  return result;
+}
+
+Result<FdxResult> FdxDiscoverer::DiscoverFromCovariance(
+    const Matrix& covariance) const {
+  Stopwatch watch;
+  FdxResult result;
+  const size_t k = covariance.rows();
+
+  Matrix input = covariance;
+  if (options_.normalize_covariance) {
+    // Correlation rescaling; constant indicators (zero variance) keep a
+    // unit diagonal and zero couplings.
+    Vector scale(k, 1.0);
+    for (size_t i = 0; i < k; ++i) {
+      const double var = covariance(i, i);
+      scale[i] = var > options_.zero_tolerance ? 1.0 / std::sqrt(var) : 0.0;
+    }
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        input(i, j) = i == j ? 1.0
+                             : covariance(i, j) * scale[i] * scale[j];
+      }
+    }
+  }
+
+  Matrix b(k, k);  // autoregression in permuted coordinates
+  if (options_.estimator == StructureEstimator::kGraphicalLasso) {
+    GlassoOptions glasso_options = options_.glasso;
+    glasso_options.lambda = options_.lambda;
+    FDX_ASSIGN_OR_RETURN(GlassoResult glasso,
+                         GraphicalLasso(input, glasso_options));
+    result.theta = glasso.theta;
+
+    result.ordering = ComputeOrdering(glasso.theta, options_.ordering,
+                                      options_.zero_tolerance);
+    const Matrix permuted = glasso.theta.PermuteSymmetric(result.ordering);
+    FDX_ASSIGN_OR_RETURN(UdutResult udut, UdutFactor(permuted));
+
+    // B = I - U in permuted coordinates.
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = i + 1; j < k; ++j) b(i, j) = -udut.u(i, j);
+    }
+  } else {
+    // Sequential lasso: order the variables on the correlation support
+    // (couplings below 0.1 are noise at the sample sizes we target),
+    // then fit each column's regression on its predecessors.
+    result.ordering = ComputeOrdering(input, options_.ordering, 0.1);
+    const Matrix permuted = input.PermuteSymmetric(result.ordering);
+    LassoOptions lasso_options;
+    lasso_options.lambda = options_.lambda;
+    for (size_t j = 1; j < k; ++j) {
+      Matrix q(j, j);
+      Vector c(j, 0.0);
+      for (size_t a = 0; a < j; ++a) {
+        c[a] = permuted(a, j);
+        for (size_t bcol = 0; bcol < j; ++bcol) {
+          q(a, bcol) = permuted(a, bcol);
+        }
+        q(a, a) += options_.glasso.diagonal_ridge + 1e-6;
+      }
+      Vector beta(j, 0.0);
+      FDX_RETURN_IF_ERROR(SolveQuadraticLasso(q, c, lasso_options, &beta));
+      for (size_t a = 0; a < j; ++a) b(a, j) = beta[a];
+    }
+    // Report Theta implied by the fitted SEM with unit noise:
+    // Theta = (I - B)(I - B)^T, mapped back to schema order.
+    Matrix i_minus_b = Matrix::Identity(k).Subtract(b);
+    Matrix theta_permuted = i_minus_b.Multiply(i_minus_b.Transpose());
+    result.theta = Matrix(k, k);
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        result.theta(result.ordering[i], result.ordering[j]) =
+            theta_permuted(i, j);
+      }
+    }
+  }
+  result.fds = GenerateFdsFromAutoregression(
+      b, result.ordering, options_.sparsity_threshold,
+      options_.relative_threshold, options_.minimum_column_weight,
+      options_.zero_tolerance);
+
+  // Map B back into schema order for the heatmap-style displays.
+  result.autoregression = Matrix(k, k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      result.autoregression(result.ordering[i], result.ordering[j]) = b(i, j);
+    }
+  }
+  result.learning_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace fdx

@@ -1,0 +1,72 @@
+#include "core/incremental.h"
+
+#include "core/transform.h"
+
+namespace fdx {
+
+IncrementalFdx::IncrementalFdx(Schema schema, FdxOptions options)
+    : schema_(std::move(schema)),
+      options_(options),
+      next_batch_seed_(options.transform.seed),
+      ones_(schema_.size(), 0),
+      co_counts_(schema_.size() * schema_.size(), 0) {}
+
+Status IncrementalFdx::Append(const Table& batch) {
+  const size_t k = schema_.size();
+  if (batch.num_columns() != k) {
+    return Status::InvalidArgument("batch width does not match schema");
+  }
+  if (batch.num_rows() < 2) {
+    return Status::InvalidArgument("batch needs at least two rows");
+  }
+  // Per-batch pair transform; distinct seeds decorrelate the shuffles
+  // across batches.
+  TransformOptions transform = options_.transform;
+  transform.seed = next_batch_seed_++;
+  FDX_ASSIGN_OR_RETURN(Matrix samples, PairTransform(batch, transform));
+  for (size_t row = 0; row < samples.rows(); ++row) {
+    const double* values = samples.RowPtr(row);
+    for (size_t x = 0; x < k; ++x) {
+      if (values[x] == 0.0) continue;
+      ++ones_[x];
+      for (size_t y = x; y < k; ++y) {
+        if (values[y] != 0.0) ++co_counts_[x * k + y];
+      }
+    }
+  }
+  total_samples_ += samples.rows();
+  total_rows_ += batch.num_rows();
+  return Status::OK();
+}
+
+Result<Matrix> IncrementalFdx::CurrentCovariance() const {
+  const size_t k = schema_.size();
+  if (total_samples_ == 0) {
+    return Status::InvalidArgument("no batches appended yet");
+  }
+  const double inv_n = 1.0 / static_cast<double>(total_samples_);
+  Matrix cov(k, k);
+  for (size_t x = 0; x < k; ++x) {
+    const double mean_x = static_cast<double>(ones_[x]) * inv_n;
+    for (size_t y = x; y < k; ++y) {
+      const double mean_y = static_cast<double>(ones_[y]) * inv_n;
+      const double exy =
+          static_cast<double>(co_counts_[x * k + y]) * inv_n;
+      const double value = exy - mean_x * mean_y;
+      cov(x, y) = value;
+      cov(y, x) = value;
+    }
+  }
+  return cov;
+}
+
+Result<FdxResult> IncrementalFdx::CurrentFds() const {
+  FDX_ASSIGN_OR_RETURN(Matrix cov, CurrentCovariance());
+  FdxDiscoverer discoverer(options_);
+  FDX_ASSIGN_OR_RETURN(FdxResult result,
+                       discoverer.DiscoverFromCovariance(cov));
+  result.transform_samples = total_samples_;
+  return result;
+}
+
+}  // namespace fdx

@@ -1,0 +1,56 @@
+#ifndef FDX_CORE_INCREMENTAL_H_
+#define FDX_CORE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fdx.h"
+#include "data/table.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Incremental FD discovery over a growing relation (the dynamic
+/// setting of DynFD, paper §6). The pair-transform moments are additive
+/// across *batches*: each appended batch contributes its own
+/// sort-and-shift tuple pairs, whose equality indicators accumulate
+/// into global co-occurrence counts. Re-estimating FDs after an append
+/// therefore costs one O(k^2) covariance assembly plus structure
+/// learning — no rescan of previous data.
+///
+/// The batch-local pairing is an approximation of Algorithm 2 run on
+/// the union (pairs never span batches); it converges to the same
+/// moments as batches grow, and inherits the exact semantics for a
+/// single batch.
+class IncrementalFdx {
+ public:
+  explicit IncrementalFdx(Schema schema, FdxOptions options = {});
+
+  const Schema& schema() const { return schema_; }
+  size_t total_rows() const { return total_rows_; }
+  size_t total_samples() const { return total_samples_; }
+
+  /// Accumulates one batch. The batch must match the schema width and
+  /// contain at least two rows (a single row forms no pair).
+  Status Append(const Table& batch);
+
+  /// Runs structure learning on the accumulated moments and returns the
+  /// current FD estimate. Requires at least one appended batch.
+  Result<FdxResult> CurrentFds() const;
+
+  /// The accumulated covariance (for diagnostics / tests).
+  Result<Matrix> CurrentCovariance() const;
+
+ private:
+  Schema schema_;
+  FdxOptions options_;
+  size_t total_rows_ = 0;
+  size_t total_samples_ = 0;
+  uint64_t next_batch_seed_ = 0;
+  std::vector<uint64_t> ones_;       ///< per-column indicator sums
+  std::vector<uint64_t> co_counts_;  ///< upper-triangular co-occurrences
+};
+
+}  // namespace fdx
+
+#endif  // FDX_CORE_INCREMENTAL_H_

@@ -1,0 +1,181 @@
+#include "core/transform.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fdx {
+
+namespace {
+
+/// Builds the per-attribute circularly-shifted pair list of Algorithm 2:
+/// rows are sorted by attribute `attr` and each row is paired with its
+/// successor (wrapping around). Returns pairs of row indices.
+std::vector<std::pair<size_t, size_t>> PairsForAttribute(
+    const EncodedTable& encoded, const std::vector<size_t>& shuffled,
+    size_t attr, size_t max_pairs, Rng* rng) {
+  std::vector<size_t> order = shuffled;
+  const auto& codes = encoded.column_codes(attr);
+  // Stable sort keeps the shuffle as the tie breaker inside equal keys,
+  // so pairs within a key group vary across attributes.
+  std::stable_sort(order.begin(), order.end(),
+                   [&codes](size_t a, size_t b) { return codes[a] < codes[b]; });
+  const size_t n = order.size();
+  std::vector<std::pair<size_t, size_t>> pairs;
+  if (n < 2) return pairs;
+  if (max_pairs == 0 || max_pairs >= n) {
+    pairs.reserve(n);
+    for (size_t j = 0; j < n; ++j) {
+      pairs.emplace_back(order[j], order[(j + 1) % n]);
+    }
+    return pairs;
+  }
+  // Sampled variant: pick max_pairs distinct positions of the sorted
+  // sequence (still adjacent pairs, so the distribution matches the
+  // exact transform restricted to a subsample).
+  pairs.reserve(max_pairs);
+  std::vector<size_t> positions(n);
+  std::iota(positions.begin(), positions.end(), 0);
+  rng->Shuffle(&positions);
+  for (size_t i = 0; i < max_pairs; ++i) {
+    const size_t j = positions[i];
+    pairs.emplace_back(order[j], order[(j + 1) % n]);
+  }
+  return pairs;
+}
+
+/// Equality indicator with strict null semantics: a null matches nothing.
+inline uint8_t EqualCodes(int32_t a, int32_t b) {
+  return (a != EncodedTable::kNullCode && a == b) ? 1 : 0;
+}
+
+}  // namespace
+
+Result<Matrix> PairTransform(const Table& table,
+                             const TransformOptions& options) {
+  const size_t k = table.num_columns();
+  const size_t n = table.num_rows();
+  if (k == 0 || n < 2) {
+    return Status::InvalidArgument(
+        "pair transform needs >= 2 rows and >= 1 column");
+  }
+  const EncodedTable encoded = EncodedTable::Encode(table);
+  Rng rng(options.seed);
+  std::vector<size_t> shuffled(n);
+  std::iota(shuffled.begin(), shuffled.end(), 0);
+  rng.Shuffle(&shuffled);
+
+  std::vector<std::vector<std::pair<size_t, size_t>>> all_pairs;
+  size_t total = 0;
+  for (size_t attr = 0; attr < k; ++attr) {
+    all_pairs.push_back(PairsForAttribute(
+        encoded, shuffled, attr, options.max_pairs_per_attribute, &rng));
+    total += all_pairs.back().size();
+  }
+  Matrix out(total, k);
+  size_t row = 0;
+  for (const auto& pairs : all_pairs) {
+    for (const auto& [a, b] : pairs) {
+      double* out_row = out.RowPtr(row++);
+      for (size_t c = 0; c < k; ++c) {
+        out_row[c] = EqualCodes(encoded.code(a, c), encoded.code(b, c));
+      }
+    }
+  }
+  return out;
+}
+
+Result<TransformedMoments> PairTransformMoments(
+    const Table& table, const TransformOptions& options) {
+  const size_t k = table.num_columns();
+  const size_t n = table.num_rows();
+  if (k == 0 || n < 2) {
+    return Status::InvalidArgument(
+        "pair transform needs >= 2 rows and >= 1 column");
+  }
+  const EncodedTable encoded = EncodedTable::Encode(table);
+  Rng rng(options.seed);
+  std::vector<size_t> shuffled(n);
+  std::iota(shuffled.begin(), shuffled.end(), 0);
+  rng.Shuffle(&shuffled);
+
+  std::vector<uint64_t> counts(k, 0);          // per-column ones (global)
+  std::vector<uint64_t> co_counts(k * k, 0);   // upper-triangular co-occ.
+  std::vector<uint64_t> pass_counts(k, 0);
+  std::vector<uint64_t> pass_co_counts(k * k, 0);
+  std::vector<size_t> ones;
+  ones.reserve(k);
+  size_t total = 0;
+  size_t pooled_passes = 0;
+  Matrix pooled_cov(k, k);
+  for (size_t attr = 0; attr < k; ++attr) {
+    const auto pairs = PairsForAttribute(
+        encoded, shuffled, attr, options.max_pairs_per_attribute, &rng);
+    if (options.pooled_covariance) {
+      std::fill(pass_counts.begin(), pass_counts.end(), 0);
+      std::fill(pass_co_counts.begin(), pass_co_counts.end(), 0);
+    }
+    for (const auto& [a, b] : pairs) {
+      ones.clear();
+      for (size_t c = 0; c < k; ++c) {
+        if (EqualCodes(encoded.code(a, c), encoded.code(b, c))) {
+          ones.push_back(c);
+        }
+      }
+      for (size_t x : ones) {
+        ++counts[x];
+        if (options.pooled_covariance) ++pass_counts[x];
+        for (size_t y : ones) {
+          if (y < x) continue;
+          ++co_counts[x * k + y];
+          if (options.pooled_covariance) ++pass_co_counts[x * k + y];
+        }
+      }
+      ++total;
+    }
+    if (options.pooled_covariance && !pairs.empty()) {
+      // Pass-local covariance accumulated into the pooled average.
+      const double inv_pass = 1.0 / static_cast<double>(pairs.size());
+      for (size_t x = 0; x < k; ++x) {
+        const double mean_x = static_cast<double>(pass_counts[x]) * inv_pass;
+        for (size_t y = x; y < k; ++y) {
+          const double mean_y =
+              static_cast<double>(pass_counts[y]) * inv_pass;
+          const double exy =
+              static_cast<double>(pass_co_counts[x * k + y]) * inv_pass;
+          const double value = exy - mean_x * mean_y;
+          pooled_cov(x, y) += value;
+          if (x != y) pooled_cov(y, x) += value;
+        }
+      }
+      ++pooled_passes;
+    }
+  }
+  if (total == 0) {
+    return Status::InvalidArgument("pair transform produced no samples");
+  }
+
+  TransformedMoments moments;
+  moments.num_samples = total;
+  moments.mean.assign(k, 0.0);
+  const double inv_n = 1.0 / static_cast<double>(total);
+  for (size_t c = 0; c < k; ++c) {
+    moments.mean[c] = static_cast<double>(counts[c]) * inv_n;
+  }
+  if (options.pooled_covariance) {
+    moments.cov =
+        pooled_cov.Scale(1.0 / static_cast<double>(pooled_passes));
+    return moments;
+  }
+  moments.cov = Matrix(k, k);
+  for (size_t x = 0; x < k; ++x) {
+    for (size_t y = x; y < k; ++y) {
+      const double exy = static_cast<double>(co_counts[x * k + y]) * inv_n;
+      const double cov = exy - moments.mean[x] * moments.mean[y];
+      moments.cov(x, y) = cov;
+      moments.cov(y, x) = cov;
+    }
+  }
+  return moments;
+}
+
+}  // namespace fdx

@@ -1,0 +1,54 @@
+#ifndef FDX_CORE_TRANSFORM_H_
+#define FDX_CORE_TRANSFORM_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Options of the pair-difference transform (paper Algorithm 2).
+struct TransformOptions {
+  /// Cap on the number of tuple pairs contributed by each attribute's
+  /// sort-and-shift pass. 0 means no cap (the paper's exact Algorithm 2,
+  /// n pairs per attribute). The paper notes sampling can speed up this
+  /// step (§5.4); a cap keeps the transform linear in min(n, cap) * k.
+  size_t max_pairs_per_attribute = 0;
+  /// Pool the covariance *within* each sort pass instead of across the
+  /// concatenated sample. Algorithm 2's concatenation mixes passes with
+  /// different indicator means (the pass's own sort column is almost
+  /// always 1), which injects a uniform negative coupling between
+  /// unrelated attributes; the pooled estimator
+  ///   S = (1/k) * sum_i Cov(pass_i)
+  /// removes that artifact at the source. Off by default to stay
+  /// faithful to the paper's algorithm (the FD generation step filters
+  /// the artifact by sign instead).
+  bool pooled_covariance = false;
+  uint64_t seed = 7;
+};
+
+/// Materialized transform output: an (n_pairs x k) 0/1 sample matrix of
+/// the FDX model variables Z_A = 1(t_i[A] = t_j[A]). Used by tests, the
+/// ablation benches, and small inputs.
+Result<Matrix> PairTransform(const Table& table,
+                             const TransformOptions& options = {});
+
+/// Same pair construction as PairTransform, but streams the samples into
+/// the mean vector and covariance matrix without materializing the
+/// (n * k) x k sample matrix. Equality indicators are binary, so the
+/// cross-moment matrix is an integer co-occurrence count; this keeps the
+/// computation exact. This is the production path of FdxDiscoverer.
+struct TransformedMoments {
+  Vector mean;    ///< Column means of the implicit sample matrix.
+  Matrix cov;     ///< Empirical covariance (1/N normalization).
+  size_t num_samples = 0;
+};
+Result<TransformedMoments> PairTransformMoments(
+    const Table& table, const TransformOptions& options = {});
+
+}  // namespace fdx
+
+#endif  // FDX_CORE_TRANSFORM_H_

@@ -1,0 +1,135 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace fdx {
+
+namespace {
+
+/// Splits one CSV record honoring double-quote escaping.
+std::vector<std::string> SplitCsvLine(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == delim) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += ch;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+bool IsNullToken(const std::string& field, const CsvOptions& options) {
+  if (field.empty()) return true;
+  for (const auto& token : options.null_tokens) {
+    if (field == token) return true;
+  }
+  return false;
+}
+
+Result<Table> ParseLines(std::istream& in, const CsvOptions& options) {
+  std::string line;
+  std::vector<std::string> header;
+  std::vector<std::vector<Value>> rows;
+  size_t width = 0;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() && rows.empty() && header.empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line, options.delimiter);
+    if (first) {
+      width = fields.size();
+      first = false;
+      if (options.has_header) {
+        header = std::move(fields);
+        continue;
+      }
+    }
+    if (fields.size() != width) {
+      return Status::IOError("CSV row with " + std::to_string(fields.size()) +
+                             " fields; expected " + std::to_string(width));
+    }
+    std::vector<Value> row;
+    row.reserve(width);
+    for (auto& field : fields) {
+      std::string trimmed(StripAsciiWhitespace(field));
+      row.push_back(IsNullToken(trimmed, options) ? Value::Null()
+                                                  : Value::Parse(trimmed));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (header.empty()) {
+    for (size_t i = 0; i < width; ++i) header.push_back("col" + std::to_string(i));
+  }
+  Table table{Schema(std::move(header))};
+  for (auto& row : rows) table.AppendRow(std::move(row));
+  return table;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ParseLines(in, options);
+}
+
+Result<Table> ParseCsv(const std::string& text, const CsvOptions& options) {
+  std::istringstream in(text);
+  return ParseLines(in, options);
+}
+
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  const auto quote = [&](const std::string& s) {
+    if (s.find(options.delimiter) == std::string::npos &&
+        s.find('"') == std::string::npos) {
+      return s;
+    }
+    std::string quoted = "\"";
+    for (char ch : s) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << options.delimiter;
+    out << quote(table.schema().name(c));
+  }
+  out << '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << options.delimiter;
+      out << quote(table.cell(r, c).ToString());
+    }
+    out << '\n';
+  }
+  return Status::OK();
+}
+
+}  // namespace fdx

@@ -1,0 +1,34 @@
+#ifndef FDX_DATA_CSV_H_
+#define FDX_DATA_CSV_H_
+
+#include <string>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Options for CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// Fields equal to any of these (after trimming) become nulls in
+  /// addition to the empty string.
+  std::vector<std::string> null_tokens = {"NULL", "null", "NA", "?"};
+};
+
+/// Reads a CSV file into a Table. Values are type-inferred per cell
+/// (integer, double, else string); empty fields and null tokens map to
+/// null. Quoted fields with embedded delimiters/quotes are supported.
+Result<Table> ReadCsv(const std::string& path, const CsvOptions& options = {});
+
+/// Parses CSV from an in-memory string (used heavily by tests).
+Result<Table> ParseCsv(const std::string& text, const CsvOptions& options = {});
+
+/// Writes a table as CSV with a header row.
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options = {});
+
+}  // namespace fdx
+
+#endif  // FDX_DATA_CSV_H_

@@ -1,0 +1,80 @@
+#include "data/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace fdx {
+
+namespace {
+
+/// Index of the bin containing `value` given sorted upper boundaries.
+int64_t BinOf(const std::vector<double>& upper_bounds, double value) {
+  const auto it =
+      std::lower_bound(upper_bounds.begin(), upper_bounds.end(), value);
+  return static_cast<int64_t>(it - upper_bounds.begin());
+}
+
+}  // namespace
+
+Result<Table> DiscretizeNumericColumns(const Table& table,
+                                       const DiscretizeOptions& options) {
+  if (options.bins < 2) {
+    return Status::InvalidArgument("need at least two bins");
+  }
+  Table out = table;
+  const size_t n = table.num_rows();
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    // Collect non-null numeric values; skip mixed or string columns.
+    std::vector<double> values;
+    bool numeric = true;
+    for (size_t r = 0; r < n && numeric; ++r) {
+      const Value& v = table.cell(r, c);
+      if (v.is_null()) continue;
+      if (v.type() == ValueType::kInt || v.type() == ValueType::kDouble) {
+        values.push_back(v.ToNumeric());
+      } else {
+        numeric = false;
+      }
+    }
+    if (!numeric || values.empty()) continue;
+    std::set<double> distinct(values.begin(), values.end());
+    if (distinct.size() <= options.max_categorical_cardinality) continue;
+
+    // Bin boundaries (upper bounds of all but the last bin).
+    std::vector<double> upper_bounds;
+    if (options.kind == BinningKind::kEqualWidth) {
+      const double lo = *distinct.begin();
+      const double hi = *distinct.rbegin();
+      const double width =
+          (hi - lo) / static_cast<double>(options.bins);
+      if (width <= 0.0) continue;
+      for (size_t b = 1; b < options.bins; ++b) {
+        upper_bounds.push_back(lo + width * static_cast<double>(b));
+      }
+    } else {
+      std::sort(values.begin(), values.end());
+      for (size_t b = 1; b < options.bins; ++b) {
+        const size_t index =
+            b * values.size() / options.bins;
+        upper_bounds.push_back(values[index]);
+      }
+      upper_bounds.erase(
+          std::unique(upper_bounds.begin(), upper_bounds.end()),
+          upper_bounds.end());
+      if (upper_bounds.empty()) continue;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      const Value& v = table.cell(r, c);
+      if (v.is_null() ||
+          (v.type() != ValueType::kInt && v.type() != ValueType::kDouble)) {
+        continue;
+      }
+      out.set_cell(r, c, Value(BinOf(upper_bounds, v.ToNumeric())));
+    }
+  }
+  return out;
+}
+
+}  // namespace fdx

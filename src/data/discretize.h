@@ -1,0 +1,38 @@
+#ifndef FDX_DATA_DISCRETIZE_H_
+#define FDX_DATA_DISCRETIZE_H_
+
+#include <cstddef>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Binning strategy for continuous attributes.
+enum class BinningKind {
+  /// Equal-width bins over [min, max].
+  kEqualWidth,
+  /// Equal-frequency (quantile) bins.
+  kEqualFrequency,
+};
+
+/// Options for numeric discretization.
+struct DiscretizeOptions {
+  BinningKind kind = BinningKind::kEqualFrequency;
+  size_t bins = 16;
+  /// Columns whose distinct count is at most this are treated as already
+  /// categorical and passed through untouched.
+  size_t max_categorical_cardinality = 32;
+};
+
+/// Replaces continuous numeric columns with bin labels so that the
+/// equality-based pair transform (and every other discovery method)
+/// sees approximate-equality structure in real-valued data — the
+/// "different difference operation per type" of paper §4.2. Nulls stay
+/// null; string columns and small-domain numerics pass through.
+Result<Table> DiscretizeNumericColumns(const Table& table,
+                                       const DiscretizeOptions& options = {});
+
+}  // namespace fdx
+
+#endif  // FDX_DATA_DISCRETIZE_H_

@@ -1,0 +1,97 @@
+#include "data/table.h"
+
+#include <cassert>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+
+namespace fdx {
+
+int Schema::Find(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Table::AppendRow(std::vector<Value> row) {
+  assert(row.size() == columns_.size());
+  for (size_t c = 0; c < row.size(); ++c) {
+    columns_[c].push_back(std::move(row[c]));
+  }
+}
+
+Table Table::ShuffleRows(Rng* rng) const {
+  std::vector<size_t> order(num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  Table out(schema_);
+  out.columns_.assign(num_columns(), {});
+  for (size_t c = 0; c < num_columns(); ++c) {
+    out.columns_[c].reserve(num_rows());
+    for (size_t r : order) out.columns_[c].push_back(columns_[c][r]);
+  }
+  return out;
+}
+
+Table Table::Head(size_t n) const {
+  const size_t rows = std::min(n, num_rows());
+  Table out(schema_);
+  out.columns_.assign(num_columns(), {});
+  for (size_t c = 0; c < num_columns(); ++c) {
+    out.columns_[c].assign(columns_[c].begin(), columns_[c].begin() + rows);
+  }
+  return out;
+}
+
+Table Table::SelectColumns(const std::vector<size_t>& cols) const {
+  std::vector<std::string> names;
+  names.reserve(cols.size());
+  for (size_t c : cols) names.push_back(schema_.name(c));
+  Table out{Schema(std::move(names))};
+  out.columns_.clear();
+  for (size_t c : cols) out.columns_.push_back(columns_[c]);
+  return out;
+}
+
+EncodedTable EncodedTable::Encode(const Table& table) {
+  EncodedTable out;
+  out.schema_ = table.schema();
+  out.num_rows_ = table.num_rows();
+  const size_t k = table.num_columns();
+  out.codes_.resize(k);
+  out.cardinalities_.assign(k, 0);
+  out.null_counts_.assign(k, 0);
+  for (size_t c = 0; c < k; ++c) {
+    // Separate dictionaries per payload type: strings hash directly,
+    // numerics key on their double value so 3 == 3.0.
+    std::unordered_map<std::string, int32_t> string_dict;
+    std::map<double, int32_t> numeric_dict;
+    auto& codes = out.codes_[c];
+    codes.reserve(out.num_rows_);
+    int32_t next = 0;
+    for (size_t r = 0; r < out.num_rows_; ++r) {
+      const Value& v = table.cell(r, c);
+      if (v.is_null()) {
+        codes.push_back(kNullCode);
+        ++out.null_counts_[c];
+        continue;
+      }
+      int32_t code;
+      if (v.type() == ValueType::kString) {
+        auto [it, inserted] = string_dict.try_emplace(v.AsString(), next);
+        code = it->second;
+        if (inserted) ++next;
+      } else {
+        auto [it, inserted] = numeric_dict.try_emplace(v.ToNumeric(), next);
+        code = it->second;
+        if (inserted) ++next;
+      }
+      codes.push_back(code);
+    }
+    out.cardinalities_[c] = static_cast<size_t>(next);
+  }
+  return out;
+}
+
+}  // namespace fdx

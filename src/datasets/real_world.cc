@@ -1,0 +1,393 @@
+#include "datasets/real_world.h"
+
+#include <array>
+#include <cassert>
+#include <set>
+
+#include "synth/generator.h"
+#include "util/rng.h"
+
+namespace fdx {
+
+namespace {
+
+/// Looks up attribute indices by name; generator-internal, so missing
+/// names are programming errors.
+size_t Col(const Schema& schema, const std::string& name) {
+  const int idx = schema.Find(name);
+  assert(idx >= 0);
+  return static_cast<size_t>(idx);
+}
+
+FunctionalDependency Fd(const Schema& schema,
+                        const std::vector<std::string>& lhs,
+                        const std::string& rhs) {
+  std::vector<size_t> lhs_idx;
+  for (const auto& name : lhs) lhs_idx.push_back(Col(schema, name));
+  return FunctionalDependency(lhs_idx, Col(schema, rhs));
+}
+
+}  // namespace
+
+RealWorldDataset MakeHospitalDataset(uint64_t seed) {
+  Rng rng(seed);
+  constexpr size_t kProviders = 60;
+  constexpr size_t kMeasures = 20;
+  constexpr size_t kCities = 25;
+  constexpr size_t kRows = 1000;
+
+  // Provider-level master data.
+  struct Provider {
+    std::string number, name, address, city, state, zip, county, phone,
+        type, owner, emergency;
+  };
+  const std::array<const char*, 5> owners = {"government", "proprietary",
+                                             "voluntary", "church", "state"};
+  std::vector<std::string> county_of_city(kCities);
+  for (size_t c = 0; c < kCities; ++c) {
+    county_of_city[c] = "county_" + std::to_string(c / 2);
+  }
+  std::vector<Provider> providers(kProviders);
+  for (size_t p = 0; p < kProviders; ++p) {
+    const size_t city = rng.NextUint64(kCities);
+    providers[p].number = std::to_string(10000 + p);
+    providers[p].name = "hospital_" + std::to_string(p);
+    providers[p].address = std::to_string(100 + p) + " main st";
+    providers[p].city = "city_" + std::to_string(city);
+    providers[p].state = rng.NextBernoulli(0.89) ? "AL" : "AK";
+    providers[p].zip = std::to_string(35000 + p);
+    providers[p].county = county_of_city[city];
+    providers[p].phone = "256" + std::to_string(1000000 + p * 37);
+    providers[p].type = "acute care hospital";
+    providers[p].owner = owners[rng.NextUint64(owners.size())];
+    providers[p].emergency = rng.NextBernoulli(0.7) ? "yes" : "no";
+  }
+  // Measure-level master data.
+  struct Measure {
+    std::string code, name, condition;
+  };
+  const std::array<const char*, 5> conditions = {
+      "heart attack", "heart failure", "pneumonia", "surgical infection",
+      "children asthma"};
+  std::vector<Measure> measures(kMeasures);
+  for (size_t m = 0; m < kMeasures; ++m) {
+    measures[m].code = "AMI-" + std::to_string(m);
+    measures[m].name = "measure name " + std::to_string(m);
+    measures[m].condition = conditions[m % conditions.size()];
+  }
+
+  Schema schema({"ProviderNumber", "HospitalName", "Address1", "City",
+                 "State", "ZipCode", "CountyName", "PhoneNumber",
+                 "HospitalType", "HospitalOwner", "EmergencyService",
+                 "Condition", "MeasureCode", "MeasureName", "Score",
+                 "Sample", "Stateavg"});
+  Table table(schema);
+  for (size_t r = 0; r < kRows; ++r) {
+    const Provider& p = providers[rng.NextUint64(kProviders)];
+    const Measure& m = measures[rng.NextUint64(kMeasures)];
+    std::vector<Value> row;
+    row.emplace_back(p.number);
+    row.emplace_back(p.name);
+    row.emplace_back(p.address);
+    row.emplace_back(p.city);
+    row.emplace_back(p.state);
+    row.emplace_back(p.zip);
+    row.emplace_back(p.county);
+    row.emplace_back(p.phone);
+    row.emplace_back(p.type);
+    row.emplace_back(p.owner);
+    row.emplace_back(p.emergency);
+    row.emplace_back(m.condition);
+    row.emplace_back(m.code);
+    row.emplace_back(m.name);
+    row.emplace_back(std::to_string(rng.NextInt(0, 100)) + "%");
+    row.emplace_back(static_cast<int64_t>(rng.NextInt(10, 900)));
+    row.emplace_back(p.state + "_" + m.code);
+    table.AppendRow(std::move(row));
+  }
+  Rng holes = rng.Fork();
+  RealWorldDataset out;
+  out.name = "Hospital";
+  out.table = PunchHoles(table, 0.02, &holes);
+  out.embedded_fds = {
+      Fd(schema, {"ProviderNumber"}, "HospitalName"),
+      Fd(schema, {"ProviderNumber"}, "Address1"),
+      Fd(schema, {"ProviderNumber"}, "City"),
+      Fd(schema, {"ProviderNumber"}, "ZipCode"),
+      Fd(schema, {"ProviderNumber"}, "PhoneNumber"),
+      Fd(schema, {"ProviderNumber"}, "HospitalOwner"),
+      Fd(schema, {"ProviderNumber"}, "EmergencyService"),
+      Fd(schema, {"City"}, "CountyName"),
+      Fd(schema, {"MeasureCode"}, "MeasureName"),
+      Fd(schema, {"MeasureCode"}, "Condition"),
+      Fd(schema, {"State", "MeasureCode"}, "Stateavg"),
+  };
+  return out;
+}
+
+RealWorldDataset MakeAustralianDataset(uint64_t seed) {
+  Rng rng(seed);
+  constexpr size_t kRows = 690;
+  std::vector<std::string> names;
+  for (size_t i = 1; i <= 15; ++i) names.push_back("A" + std::to_string(i));
+  Schema schema(names);
+  Table table(schema);
+  // Attribute cardinalities roughly matching the UCI dataset: a mix of
+  // binary flags, small categoricals and continuous-ish numerics.
+  const std::array<int64_t, 14> cardinality = {2, 40, 30, 3,  14, 9, 25,
+                                               2, 2,  17, 2,  3,  20, 50};
+  for (size_t r = 0; r < kRows; ++r) {
+    std::vector<Value> row(15);
+    for (size_t a = 0; a < 14; ++a) {
+      row[a] = Value(rng.NextInt(0, cardinality[a] - 1));
+    }
+    // A8 is the dominant predictor of the class A15 (paper Fig. 5a);
+    // a small flip rate keeps it an approximate, not syntactic, FD.
+    int64_t label = row[7].AsInt();
+    if (rng.NextBernoulli(0.02)) label = 1 - label;
+    row[14] = Value(label);
+    // A6 loosely tracks A5 (a correlated, non-FD pair).
+    if (rng.NextBernoulli(0.6)) {
+      row[5] = Value(row[4].AsInt() % 9);
+    }
+    table.AppendRow(std::move(row));
+  }
+  Rng holes = rng.Fork();
+  RealWorldDataset out;
+  out.name = "Australian";
+  out.table = PunchHoles(table, 0.01, &holes);
+  out.embedded_fds = {Fd(schema, {"A8"}, "A15")};
+  return out;
+}
+
+RealWorldDataset MakeMammographicDataset(uint64_t seed) {
+  Rng rng(seed);
+  constexpr size_t kRows = 830;
+  Schema schema({"rads", "age", "shape", "margin", "density", "severity"});
+  Table table(schema);
+  for (size_t r = 0; r < kRows; ++r) {
+    const int64_t shape = rng.NextInt(1, 4);
+    const int64_t margin = rng.NextInt(1, 5);
+    // Severity is (approximately) a function of mass shape and margin,
+    // the clinically documented dependency of paper §5.5.
+    int64_t severity = (shape >= 3 || margin >= 4) ? 1 : 0;
+    if (rng.NextBernoulli(0.03)) severity = 1 - severity;
+    // The BI-RADS assessment follows severity (an approximate FD; a few
+    // borderline assessments deviate).
+    int64_t rads = severity == 1 ? 5 : 3;
+    if (rng.NextBernoulli(0.04)) rads = severity == 1 ? 4 : 2;
+    std::vector<Value> row(6);
+    row[0] = Value(rads);
+    row[1] = Value(rng.NextInt(18, 90));
+    row[2] = Value(shape);
+    row[3] = Value(margin);
+    row[4] = Value(rng.NextInt(1, 4));
+    row[5] = Value(severity);
+    table.AppendRow(std::move(row));
+  }
+  Rng holes = rng.Fork();
+  RealWorldDataset out;
+  out.name = "Mammographic";
+  out.table = PunchHoles(table, 0.03, &holes);
+  out.embedded_fds = {
+      Fd(schema, {"shape", "margin"}, "severity"),
+      Fd(schema, {"severity"}, "rads"),
+  };
+  return out;
+}
+
+RealWorldDataset MakeNypdDataset(uint64_t seed) {
+  Rng rng(seed);
+  constexpr size_t kRows = 34382;
+  constexpr size_t kPrecincts = 77;
+  constexpr size_t kOffenses = 30;
+  constexpr size_t kPdCodes = 120;
+  const std::array<const char*, 5> boroughs = {"MANHATTAN", "BROOKLYN",
+                                               "QUEENS", "BRONX",
+                                               "STATEN ISLAND"};
+  const std::array<const char*, 3> law_cats = {"FELONY", "MISDEMEANOR",
+                                               "VIOLATION"};
+  const std::array<const char*, 8> premises = {
+      "STREET", "RESIDENCE", "APT HOUSE", "COMMERCIAL",
+      "TRANSIT",  "PARK",      "STORE",     "OTHER"};
+  // Hierarchy master data.
+  std::vector<std::string> borough_of_precinct(kPrecincts);
+  std::vector<std::string> lat_of_precinct(kPrecincts),
+      lon_of_precinct(kPrecincts);
+  for (size_t p = 0; p < kPrecincts; ++p) {
+    borough_of_precinct[p] = boroughs[p % boroughs.size()];
+    lat_of_precinct[p] = "40." + std::to_string(500000 + p * 1237);
+    lon_of_precinct[p] = "-73." + std::to_string(700000 + p * 991);
+  }
+  std::vector<std::string> ofns_of_ky(kOffenses), law_of_ky(kOffenses);
+  for (size_t o = 0; o < kOffenses; ++o) {
+    ofns_of_ky[o] = "OFFENSE DESC " + std::to_string(o);
+    law_of_ky[o] = law_cats[o % law_cats.size()];
+  }
+  std::vector<std::string> pd_desc_of_pd(kPdCodes);
+  for (size_t p = 0; p < kPdCodes; ++p) {
+    pd_desc_of_pd[p] = "PD DESC " + std::to_string(p);
+  }
+
+  Schema schema({"CMPLNT_NUM", "CMPLNT_FR_DT", "CMPLNT_FR_TM",
+                 "CMPLNT_TO_DT", "CMPLNT_TO_TM", "RPT_DT", "ADDR_PCT_CD",
+                 "KY_CD", "OFNS_DESC", "PD_CD", "PD_DESC",
+                 "CRM_ATPT_CPTD_CD", "LAW_CAT_CD", "BORO_NM",
+                 "PREM_TYP_DESC", "Latitude", "Longitude"});
+  Table table(schema);
+  for (size_t r = 0; r < kRows; ++r) {
+    const size_t precinct = rng.NextUint64(kPrecincts);
+    const size_t ky = rng.NextUint64(kOffenses);
+    const size_t pd = rng.NextUint64(kPdCodes);
+    const int64_t month = rng.NextInt(1, 12);
+    const int64_t day = rng.NextInt(1, 28);
+    const std::string date = "2015-" + std::to_string(month) + "-" +
+                             std::to_string(day);
+    std::vector<Value> row;
+    row.emplace_back(static_cast<int64_t>(100000000 + r));
+    row.emplace_back(date);
+    row.emplace_back(std::to_string(rng.NextInt(0, 23)) + ":" +
+                     std::to_string(rng.NextInt(0, 59)));
+    row.emplace_back(date);  // CMPLNT_TO_DT mirrors FR_DT in most rows
+    row.emplace_back(std::to_string(rng.NextInt(0, 23)) + ":" +
+                     std::to_string(rng.NextInt(0, 59)));
+    row.emplace_back(date);
+    row.emplace_back(static_cast<int64_t>(precinct));
+    row.emplace_back(static_cast<int64_t>(100 + ky));
+    row.emplace_back(ofns_of_ky[ky]);
+    row.emplace_back(static_cast<int64_t>(200 + pd));
+    row.emplace_back(pd_desc_of_pd[pd]);
+    row.emplace_back(std::string(rng.NextBernoulli(0.9) ? "COMPLETED"
+                                                        : "ATTEMPTED"));
+    row.emplace_back(law_of_ky[ky]);
+    row.emplace_back(borough_of_precinct[precinct]);
+    row.emplace_back(std::string(premises[rng.NextUint64(premises.size())]));
+    row.emplace_back(lat_of_precinct[precinct]);
+    row.emplace_back(lon_of_precinct[precinct]);
+    table.AppendRow(std::move(row));
+  }
+  Rng holes = rng.Fork();
+  RealWorldDataset out;
+  out.name = "NYPD";
+  out.table = PunchHoles(table, 0.03, &holes);
+  out.embedded_fds = {
+      Fd(schema, {"KY_CD"}, "OFNS_DESC"),
+      Fd(schema, {"KY_CD"}, "LAW_CAT_CD"),
+      Fd(schema, {"PD_CD"}, "PD_DESC"),
+      Fd(schema, {"ADDR_PCT_CD"}, "BORO_NM"),
+      Fd(schema, {"ADDR_PCT_CD"}, "Latitude"),
+      Fd(schema, {"ADDR_PCT_CD"}, "Longitude"),
+      Fd(schema, {"CMPLNT_FR_DT"}, "CMPLNT_TO_DT"),
+  };
+  return out;
+}
+
+RealWorldDataset MakeThoracicDataset(uint64_t seed) {
+  Rng rng(seed);
+  constexpr size_t kRows = 470;
+  Schema schema({"DGN", "PRE4", "PRE5", "PRE6", "PRE7", "PRE8", "PRE9",
+                 "PRE10", "PRE11", "PRE14", "PRE17", "PRE19", "PRE25",
+                 "PRE30", "PRE32", "AGE", "Risk1Yr"});
+  Table table(schema);
+  for (size_t r = 0; r < kRows; ++r) {
+    const int64_t dgn = rng.NextInt(1, 7);
+    std::vector<Value> row(17);
+    row[0] = Value("DGN" + std::to_string(dgn));
+    row[1] = Value(rng.NextInt(15, 60));             // FVC bucketed
+    row[2] = Value(rng.NextInt(10, 50));             // FEV1 bucketed
+    // Performance status loosely follows diagnosis (planted approximate
+    // FD: DGN -> PRE6).
+    int64_t pre6 = dgn % 3;
+    if (rng.NextBernoulli(0.05)) pre6 = rng.NextInt(0, 2);
+    row[3] = Value("PRZ" + std::to_string(pre6));
+    for (size_t b = 4; b <= 8; ++b) {
+      row[b] = Value(std::string(rng.NextBernoulli(0.15) ? "T" : "F"));
+    }
+    const int64_t size = rng.NextInt(11, 14);  // tumor size class OC11-14
+    row[9] = Value("OC" + std::to_string(size));
+    // Planted: large tumor implies preoperative chemo flag (PRE17).
+    row[10] = Value(std::string(size >= 13 || rng.NextBernoulli(0.02) ? "T"
+                                                                       : "F"));
+    for (size_t b = 11; b <= 14; ++b) {
+      row[b] = Value(std::string(rng.NextBernoulli(0.1) ? "T" : "F"));
+    }
+    row[15] = Value(rng.NextInt(21, 87));
+    row[16] = Value(std::string(rng.NextBernoulli(0.15) ? "T" : "F"));
+    table.AppendRow(std::move(row));
+  }
+  Rng holes = rng.Fork();
+  RealWorldDataset out;
+  out.name = "Thoracic";
+  out.table = PunchHoles(table, 0.02, &holes);
+  out.embedded_fds = {
+      Fd(schema, {"DGN"}, "PRE6"),
+      Fd(schema, {"PRE14"}, "PRE17"),
+  };
+  return out;
+}
+
+RealWorldDataset MakeTicTacToeDataset(uint64_t seed) {
+  Rng rng(seed);
+  Schema schema({"top_left", "top_middle", "top_right", "middle_left",
+                 "middle_middle", "middle_right", "bottom_left",
+                 "bottom_middle", "bottom_right", "class"});
+  static constexpr int kLines[8][3] = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8},
+                                       {0, 3, 6}, {1, 4, 7}, {2, 5, 8},
+                                       {0, 4, 8}, {2, 4, 6}};
+  auto winner = [](const std::array<char, 9>& board) -> char {
+    for (const auto& line : kLines) {
+      const char a = board[line[0]];
+      if (a != 'b' && a == board[line[1]] && a == board[line[2]]) return a;
+    }
+    return 'b';
+  };
+  // Simulate random games to completion ('x' moves first); collect
+  // distinct terminal boards, as in the UCI dataset (958 endgames).
+  std::set<std::array<char, 9>> boards;
+  size_t attempts = 0;
+  while (boards.size() < 958 && attempts < 2000000) {
+    ++attempts;
+    std::array<char, 9> board;
+    board.fill('b');
+    char player = 'x';
+    while (winner(board) == 'b') {
+      std::vector<size_t> open;
+      for (size_t i = 0; i < 9; ++i) {
+        if (board[i] == 'b') open.push_back(i);
+      }
+      if (open.empty()) break;
+      board[open[rng.NextUint64(open.size())]] = player;
+      player = (player == 'x') ? 'o' : 'x';
+    }
+    boards.insert(board);
+  }
+  Table table(schema);
+  for (const auto& board : boards) {
+    std::vector<Value> row(10);
+    for (size_t i = 0; i < 9; ++i) row[i] = Value(std::string(1, board[i]));
+    row[9] = Value(std::string(winner(board) == 'x' ? "positive"
+                                                    : "negative"));
+    table.AppendRow(std::move(row));
+  }
+  RealWorldDataset out;
+  out.name = "Tic-Tac-Toe";
+  out.table = std::move(table);
+  // The outcome depends on the whole board; there is no compact FD.
+  std::vector<size_t> all_squares;
+  for (size_t i = 0; i < 9; ++i) all_squares.push_back(i);
+  out.embedded_fds = {FunctionalDependency(all_squares, 9)};
+  return out;
+}
+
+std::vector<RealWorldDataset> MakeAllRealWorldDatasets() {
+  std::vector<RealWorldDataset> out;
+  out.push_back(MakeAustralianDataset());
+  out.push_back(MakeHospitalDataset());
+  out.push_back(MakeMammographicDataset());
+  out.push_back(MakeNypdDataset());
+  out.push_back(MakeThoracicDataset());
+  out.push_back(MakeTicTacToeDataset());
+  return out;
+}
+
+}  // namespace fdx

@@ -1,0 +1,62 @@
+#include "eval/afd_ranking.h"
+
+#include <algorithm>
+
+#include "baselines/info_theory.h"
+#include "util/rng.h"
+
+namespace fdx {
+
+Result<std::vector<AfdCandidate>> RankUnaryAfds(
+    const Table& table, const AfdRankingOptions& options) {
+  const size_t k = table.num_columns();
+  const size_t n = table.num_rows();
+  if (k < 2 || n == 0) {
+    return Status::InvalidArgument("need at least two columns and a row");
+  }
+  const EncodedTable encoded = EncodedTable::Encode(table);
+  Rng rng(options.seed);
+
+  // Per-attribute entropies, reused across pairs.
+  std::vector<double> entropy(k, 0.0);
+  for (size_t a = 0; a < k; ++a) {
+    entropy[a] = Entropy(encoded, AttributeSet::Single(a));
+  }
+
+  std::vector<AfdCandidate> candidates;
+  for (size_t x = 0; x < k; ++x) {
+    // Soft-key determinants carry no semantics (CORDS's filter).
+    const double distinct_fraction =
+        n == 0 ? 0.0
+               : static_cast<double>(encoded.Cardinality(x)) /
+                     static_cast<double>(n);
+    if (distinct_fraction > options.soft_key_fraction) continue;
+    const AttributeSet lhs = AttributeSet::Single(x);
+    for (size_t y = 0; y < k; ++y) {
+      if (x == y || entropy[y] <= 0.0) continue;
+      AfdCandidate candidate;
+      candidate.fd = FunctionalDependency({x}, y);
+      candidate.g3_error = FdG3Error(encoded, candidate.fd);
+      candidate.strength = 1.0 - candidate.g3_error;
+      const double mi = MutualInformation(encoded, lhs, y);
+      candidate.fraction_of_information = mi / entropy[y];
+      const double bias =
+          PermutationBias(encoded, lhs, y, options.permutations, &rng);
+      candidate.reliable_fraction = (mi - bias) / entropy[y];
+      if (candidate.reliable_fraction >= options.min_reliable_fraction) {
+        candidates.push_back(std::move(candidate));
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const AfdCandidate& a, const AfdCandidate& b) {
+              if (a.reliable_fraction != b.reliable_fraction) {
+                return a.reliable_fraction > b.reliable_fraction;
+              }
+              if (a.fd.rhs != b.fd.rhs) return a.fd.rhs < b.fd.rhs;
+              return a.fd.lhs < b.fd.lhs;
+            });
+  return candidates;
+}
+
+}  // namespace fdx

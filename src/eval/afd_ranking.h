@@ -1,0 +1,50 @@
+#ifndef FDX_EVAL_AFD_RANKING_H_
+#define FDX_EVAL_AFD_RANKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "fd/fd.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// One candidate unary approximate FD scored under every dependency
+/// measure the paper's §2 discusses, so their disagreements are visible
+/// side by side: the constraint view (g3), the information-theoretic
+/// view (fraction of information, with and without RFI's bias
+/// correction), and the co-occurrence view (CORDS-style strength).
+struct AfdCandidate {
+  FunctionalDependency fd;
+  double g3_error = 0.0;
+  /// F(X, Y) = I(X; Y) / H(Y) in [0, 1]; 1 means an exact FD.
+  double fraction_of_information = 0.0;
+  /// RFI's bias-corrected fraction (can be negative for spurious FDs).
+  double reliable_fraction = 0.0;
+  /// CORDS-style majority-mass strength, = 1 - g3 of the unary FD.
+  double strength = 0.0;
+};
+
+/// Options for the ranking sweep.
+struct AfdRankingOptions {
+  /// Candidates with reliable fraction below this are dropped.
+  double min_reliable_fraction = 0.0;
+  /// Monte-Carlo permutations for the bias correction.
+  size_t permutations = 3;
+  /// Skip determinants that are (soft) keys: distinct count above this
+  /// fraction of the rows.
+  double soft_key_fraction = 0.9;
+  uint64_t seed = 47;
+};
+
+/// Scores every ordered attribute pair (X -> Y) and returns the
+/// surviving candidates sorted by reliable fraction, descending. This
+/// is the "profiler summary" a practitioner reads before trusting any
+/// single measure.
+Result<std::vector<AfdCandidate>> RankUnaryAfds(
+    const Table& table, const AfdRankingOptions& options = {});
+
+}  // namespace fdx
+
+#endif  // FDX_EVAL_AFD_RANKING_H_

@@ -1,0 +1,114 @@
+#include "eval/profiler.h"
+
+#include <set>
+
+#include "data/discretize.h"
+#include "eval/report.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace fdx {
+
+Result<TableProfile> ProfileTable(const Table& table,
+                                  const ProfilerOptions& options) {
+  if (table.num_columns() == 0 || table.num_rows() < 2) {
+    return Status::InvalidArgument("nothing to profile");
+  }
+  Stopwatch watch;
+  // Discretization only feeds the equality-based FD discovery; keys and
+  // inclusion dependencies must see the raw values (binning an id
+  // column would destroy its uniqueness).
+  Table fd_input = table;
+  if (options.discretize_numeric) {
+    auto binned = DiscretizeNumericColumns(table, options.discretize);
+    if (binned.ok()) fd_input = *std::move(binned);
+  }
+  TableProfile profile;
+
+  // Column statistics on the original values.
+  const EncodedTable encoded = EncodedTable::Encode(table);
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    TableProfile::ColumnStats stats;
+    stats.name = table.schema().name(c);
+    stats.distinct_values = encoded.Cardinality(c);
+    stats.null_count = encoded.NullCount(c);
+    profile.columns.push_back(std::move(stats));
+  }
+
+  // FDs via FDX on the (possibly binned) input, validated against the
+  // same input their equality semantics refer to.
+  FdxDiscoverer discoverer(options.fdx);
+  if (auto fds = discoverer.Discover(fd_input); fds.ok()) {
+    const EncodedTable fd_encoded = EncodedTable::Encode(fd_input);
+    if (auto reports = ValidateFds(fd_encoded, fds->fds); reports.ok()) {
+      profile.fds = *std::move(reports);
+    }
+    std::set<size_t> fd_attrs;
+    for (const auto& fd : fds->fds) {
+      fd_attrs.insert(fd.rhs);
+      fd_attrs.insert(fd.lhs.begin(), fd.lhs.end());
+    }
+    for (size_t c : fd_attrs) profile.columns[c].participates_in_fd = true;
+  }
+
+  // Keys, conditional FDs, inclusion dependencies: best effort on the
+  // raw table.
+  if (auto keys = DiscoverUccs(table, options.keys); keys.ok()) {
+    profile.keys = *std::move(keys);
+  }
+  if (auto cfds = DiscoverConstantCfds(table, options.cfds); cfds.ok()) {
+    profile.cfds = *std::move(cfds);
+  }
+  if (auto inds = DiscoverInclusionDependencies(table, options.inds);
+      inds.ok()) {
+    profile.inds = *std::move(inds);
+  }
+  profile.seconds = watch.ElapsedSeconds();
+  return profile;
+}
+
+std::string RenderProfile(const TableProfile& profile,
+                          const Schema& schema) {
+  std::string out;
+  ReportTable columns({"attribute", "distinct", "nulls", "in FD"});
+  for (const auto& stats : profile.columns) {
+    columns.AddRow({stats.name, std::to_string(stats.distinct_values),
+                    std::to_string(stats.null_count),
+                    stats.participates_in_fd ? "yes" : "no"});
+  }
+  out += "Columns:\n" + columns.ToString();
+
+  out += "\nFunctional dependencies (FDX):\n";
+  if (profile.fds.empty()) out += "  (none)\n";
+  for (const auto& report : profile.fds) {
+    out += "  " + report.fd.ToString(schema) +
+           "  [g3=" + FormatDouble(report.g3_error, 4) + "]\n";
+  }
+
+  out += "\nMinimal keys:\n";
+  if (profile.keys.empty()) out += "  (none up to the size cap)\n";
+  for (const auto& key : profile.keys) {
+    out += "  {";
+    for (size_t i = 0; i < key.attributes.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += schema.name(key.attributes[i]);
+    }
+    out += "}\n";
+  }
+
+  out += "\nConditional FDs (top 10):\n";
+  if (profile.cfds.empty()) out += "  (none)\n";
+  for (size_t i = 0; i < profile.cfds.size() && i < 10; ++i) {
+    out += "  " + profile.cfds[i].ToString(schema) + "\n";
+  }
+
+  out += "\nInclusion dependencies:\n";
+  if (profile.inds.empty()) out += "  (none)\n";
+  for (const auto& ind : profile.inds) {
+    out += "  " + ind.ToString(schema) + "\n";
+  }
+  out += "\nProfile took " + FormatDouble(profile.seconds, 3) + "s\n";
+  return out;
+}
+
+}  // namespace fdx

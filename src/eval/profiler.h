@@ -1,0 +1,65 @@
+#ifndef FDX_EVAL_PROFILER_H_
+#define FDX_EVAL_PROFILER_H_
+
+#include <string>
+
+#include "baselines/inclusion.h"
+#include "baselines/ucc.h"
+#include "core/fdx.h"
+#include "data/discretize.h"
+#include "data/table.h"
+#include "fd/cfd.h"
+#include "fd/validation.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// One-call data profiling: the constraint families a preparation
+/// pipeline consumes (keys, FDs, conditional FDs, inclusion
+/// dependencies), each validated against the instance. This facade is
+/// the "deployed as a profiling tool in data preparation pipelines"
+/// story of the paper's §1/§5.5 in library form.
+struct ProfilerOptions {
+  FdxOptions fdx;
+  UccOptions keys;
+  CfdOptions cfds;
+  IndOptions inds;
+  /// Discretize *continuous* numeric columns before FD discovery so
+  /// real-valued attributes participate (see data/discretize.h). Only
+  /// columns whose distinct count exceeds `discretize.
+  /// max_categorical_cardinality` are binned; large categoricals keep
+  /// their exact equality semantics.
+  bool discretize_numeric = true;
+  DiscretizeOptions discretize{BinningKind::kEqualFrequency, 16, 256};
+};
+
+/// The profile of one table.
+struct TableProfile {
+  /// Per-attribute basic statistics.
+  struct ColumnStats {
+    std::string name;
+    size_t distinct_values = 0;
+    size_t null_count = 0;
+    bool participates_in_fd = false;
+  };
+  std::vector<ColumnStats> columns;
+  /// FDX's dependencies with their instance-level validation errors.
+  std::vector<FdValidationReport> fds;
+  std::vector<Ucc> keys;
+  std::vector<ConditionalFd> cfds;
+  std::vector<InclusionDependency> inds;
+  double seconds = 0.0;
+};
+
+/// Runs the full profile. Individual discovery failures (e.g. a table
+/// too wide for one family) degrade gracefully to empty sections; only
+/// an unusable input fails the call.
+Result<TableProfile> ProfileTable(const Table& table,
+                                  const ProfilerOptions& options = {});
+
+/// Renders the profile as a human-readable report.
+std::string RenderProfile(const TableProfile& profile, const Schema& schema);
+
+}  // namespace fdx
+
+#endif  // FDX_EVAL_PROFILER_H_

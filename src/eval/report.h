@@ -1,0 +1,32 @@
+#ifndef FDX_EVAL_REPORT_H_
+#define FDX_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace fdx {
+
+/// Fixed-width text table used by every benchmark binary to print
+/// paper-style result tables.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders with aligned columns; missing cells render empty.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Median of a sample; 0 for an empty one. The paper reports medians for
+/// all synthetic sweeps (§5.1 Metrics).
+double Median(std::vector<double> values);
+
+}  // namespace fdx
+
+#endif  // FDX_EVAL_REPORT_H_

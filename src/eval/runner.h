@@ -1,0 +1,65 @@
+#ifndef FDX_EVAL_RUNNER_H_
+#define FDX_EVAL_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/cords.h"
+#include "baselines/gl_baseline.h"
+#include "baselines/pyro.h"
+#include "baselines/rfi.h"
+#include "baselines/tane.h"
+#include "core/fdx.h"
+#include "data/table.h"
+#include "fd/fd.h"
+
+namespace fdx {
+
+/// Identifier of a discovery method as reported in the paper's tables.
+enum class MethodId {
+  kFdx,
+  kGl,
+  kPyro,
+  kTane,
+  kCords,
+  kRfi30,   ///< RFI with alpha = 0.3
+  kRfi50,   ///< RFI with alpha = 0.5
+  kRfi100,  ///< RFI with alpha = 1.0
+};
+
+/// All methods in the paper's column order
+/// (FDX, GL, PYRO, TANE, CORDS, RFI(.3), RFI(.5), RFI(1.0)).
+std::vector<MethodId> AllMethods();
+std::string MethodName(MethodId method);
+
+/// Per-run tuning knobs shared across methods.
+struct RunnerConfig {
+  /// Expected noise rate, passed to the error thresholds of TANE/PYRO
+  /// (the paper sets their error hyper-parameter to the noise level).
+  double expected_error = 0.01;
+  /// Wall-clock budget per run; expired runs report timeout ('-').
+  double time_budget_seconds = 60.0;
+  /// FDX options (lambda, threshold, ordering, transform caps).
+  FdxOptions fdx;
+  /// RFI LHS cap (0 = unbounded, the original algorithm).
+  size_t rfi_max_lhs = 0;
+  uint64_t seed = 1;
+};
+
+/// Outcome of one discovery run.
+struct RunOutcome {
+  bool ok = false;
+  bool timeout = false;
+  FdSet fds;
+  double seconds = 0.0;
+  std::string error;
+};
+
+/// Runs one method on a table under the shared configuration. Never
+/// crashes on method failure; errors are reported in the outcome.
+RunOutcome RunMethod(MethodId method, const Table& table,
+                     const RunnerConfig& config);
+
+}  // namespace fdx
+
+#endif  // FDX_EVAL_RUNNER_H_

@@ -1,0 +1,123 @@
+#ifndef FDX_FD_ATTRIBUTE_SET_H_
+#define FDX_FD_ATTRIBUTE_SET_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fdx {
+
+/// A set of attribute indices as a 128-bit mask. The lattice-search
+/// baselines (TANE, PYRO) key their per-level tables on attribute sets;
+/// 128 bits cover every dataset in the evaluation (max 190 columns are
+/// only swept by FDX, which does not use this type).
+class AttributeSet {
+ public:
+  static constexpr size_t kMaxAttributes = 128;
+
+  AttributeSet() : lo_(0), hi_(0) {}
+
+  static AttributeSet Single(size_t i) {
+    AttributeSet s;
+    s.Add(i);
+    return s;
+  }
+
+  static AttributeSet FromIndices(const std::vector<size_t>& indices) {
+    AttributeSet s;
+    for (size_t i : indices) s.Add(i);
+    return s;
+  }
+
+  void Add(size_t i) {
+    if (i < 64) {
+      lo_ |= (uint64_t{1} << i);
+    } else {
+      hi_ |= (uint64_t{1} << (i - 64));
+    }
+  }
+
+  void Remove(size_t i) {
+    if (i < 64) {
+      lo_ &= ~(uint64_t{1} << i);
+    } else {
+      hi_ &= ~(uint64_t{1} << (i - 64));
+    }
+  }
+
+  bool Contains(size_t i) const {
+    return i < 64 ? (lo_ >> i) & 1 : (hi_ >> (i - 64)) & 1;
+  }
+
+  bool Empty() const { return lo_ == 0 && hi_ == 0; }
+
+  size_t Count() const {
+    return static_cast<size_t>(__builtin_popcountll(lo_) +
+                               __builtin_popcountll(hi_));
+  }
+
+  AttributeSet Union(const AttributeSet& other) const {
+    AttributeSet s;
+    s.lo_ = lo_ | other.lo_;
+    s.hi_ = hi_ | other.hi_;
+    return s;
+  }
+
+  AttributeSet Intersect(const AttributeSet& other) const {
+    AttributeSet s;
+    s.lo_ = lo_ & other.lo_;
+    s.hi_ = hi_ & other.hi_;
+    return s;
+  }
+
+  AttributeSet Without(size_t i) const {
+    AttributeSet s = *this;
+    s.Remove(i);
+    return s;
+  }
+
+  bool IsSubsetOf(const AttributeSet& other) const {
+    return (lo_ & ~other.lo_) == 0 && (hi_ & ~other.hi_) == 0;
+  }
+
+  /// Member indices in increasing order.
+  std::vector<size_t> ToIndices() const {
+    std::vector<size_t> out;
+    uint64_t lo = lo_;
+    while (lo) {
+      out.push_back(static_cast<size_t>(__builtin_ctzll(lo)));
+      lo &= lo - 1;
+    }
+    uint64_t hi = hi_;
+    while (hi) {
+      out.push_back(static_cast<size_t>(__builtin_ctzll(hi)) + 64);
+      hi &= hi - 1;
+    }
+    return out;
+  }
+
+  bool operator==(const AttributeSet& other) const {
+    return lo_ == other.lo_ && hi_ == other.hi_;
+  }
+  bool operator<(const AttributeSet& other) const {
+    return hi_ != other.hi_ ? hi_ < other.hi_ : lo_ < other.lo_;
+  }
+
+  size_t Hash() const {
+    uint64_t h = lo_ * 0x9e3779b97f4a7c15ull;
+    h ^= (hi_ + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+    return static_cast<size_t>(h);
+  }
+
+ private:
+  uint64_t lo_;
+  uint64_t hi_;
+};
+
+struct AttributeSetHash {
+  size_t operator()(const AttributeSet& s) const { return s.Hash(); }
+};
+
+}  // namespace fdx
+
+#endif  // FDX_FD_ATTRIBUTE_SET_H_

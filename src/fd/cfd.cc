@@ -1,0 +1,214 @@
+#include "fd/cfd.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "util/stopwatch.h"
+
+namespace fdx {
+
+namespace {
+
+/// A pattern = sorted (attribute, code) conditions plus its matching
+/// rows (vertical representation; intersection implements extension).
+struct Pattern {
+  std::vector<std::pair<size_t, int32_t>> conditions;
+  std::vector<int32_t> rows;
+};
+
+/// Consequence key for minimality tracking: (rhs attribute, rhs code).
+using Consequence = std::pair<size_t, int32_t>;
+
+/// Set of consequences already implied by some sub-pattern; keyed by
+/// the pattern's condition list.
+using ImpliedMap =
+    std::map<std::vector<std::pair<size_t, int32_t>>, std::set<Consequence>>;
+
+/// Collects consequences implied by every proper sub-pattern of
+/// `conditions` (only one level down is needed: implication is
+/// transitive through the levelwise order).
+std::set<Consequence> InheritedConsequences(
+    const std::vector<std::pair<size_t, int32_t>>& conditions,
+    const ImpliedMap& implied) {
+  std::set<Consequence> out;
+  if (conditions.size() <= 1) return out;
+  for (size_t skip = 0; skip < conditions.size(); ++skip) {
+    std::vector<std::pair<size_t, int32_t>> sub;
+    for (size_t i = 0; i < conditions.size(); ++i) {
+      if (i != skip) sub.push_back(conditions[i]);
+    }
+    const auto it = implied.find(sub);
+    if (it != implied.end()) out.insert(it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ConditionalFd::ToString(const Schema& schema) const {
+  std::string out = "(";
+  for (size_t i = 0; i < lhs_attrs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.name(lhs_attrs[i]) + "=" + lhs_values[i].ToString();
+  }
+  out += ") => " + schema.name(rhs_attr) + "=" + rhs_value.ToString();
+  return out;
+}
+
+Result<std::vector<ConditionalFd>> DiscoverConstantCfds(
+    const Table& table, const CfdOptions& options) {
+  const size_t k = table.num_columns();
+  const size_t n = table.num_rows();
+  if (k < 2 || n == 0) {
+    return Status::InvalidArgument("need at least two columns and a row");
+  }
+  if (options.min_support <= 0.0 || options.min_confidence <= 0.0) {
+    return Status::InvalidArgument("support/confidence must be positive");
+  }
+  const EncodedTable encoded = EncodedTable::Encode(table);
+  Deadline deadline(options.time_budget_seconds);
+  const size_t min_rows = std::max<size_t>(
+      1, static_cast<size_t>(options.min_support * static_cast<double>(n)));
+
+  // Reverse dictionaries (code -> Value) for rendering results.
+  std::vector<std::unordered_map<int32_t, Value>> decode(k);
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t r = 0; r < n; ++r) {
+      const int32_t code = encoded.code(r, c);
+      if (code != EncodedTable::kNullCode) {
+        decode[c].try_emplace(code, table.cell(r, c));
+      }
+    }
+  }
+
+  std::vector<ConditionalFd> results;
+  ImpliedMap implied;
+
+  // Evaluates one pattern: finds confident consequences, records them,
+  // and appends the minimal ones to `results`.
+  auto evaluate = [&](const Pattern& pattern) {
+    const std::set<Consequence> inherited =
+        InheritedConsequences(pattern.conditions, implied);
+    std::set<Consequence>& own = implied[pattern.conditions];
+    own = inherited;
+    std::set<size_t> lhs_attrs;
+    for (const auto& [attr, code] : pattern.conditions) {
+      lhs_attrs.insert(attr);
+    }
+    for (size_t y = 0; y < k; ++y) {
+      if (lhs_attrs.count(y) > 0) continue;
+      // Distribution of y over the pattern's rows.
+      std::unordered_map<int32_t, size_t> counts;
+      size_t non_null = 0;
+      for (int32_t r : pattern.rows) {
+        const int32_t code = encoded.code(static_cast<size_t>(r), y);
+        if (code == EncodedTable::kNullCode) continue;
+        ++counts[code];
+        ++non_null;
+      }
+      if (non_null < min_rows) continue;
+      int32_t best_code = 0;
+      size_t best_count = 0;
+      for (const auto& [code, count] : counts) {
+        if (count > best_count || (count == best_count && code < best_code)) {
+          best_count = count;
+          best_code = code;
+        }
+      }
+      const double confidence = static_cast<double>(best_count) /
+                                static_cast<double>(non_null);
+      if (confidence < options.min_confidence) continue;
+      const Consequence consequence{y, best_code};
+      if (inherited.count(consequence) > 0) {
+        own.insert(consequence);  // implied, propagate but do not emit
+        continue;
+      }
+      own.insert(consequence);
+      ConditionalFd cfd;
+      for (const auto& [attr, code] : pattern.conditions) {
+        cfd.lhs_attrs.push_back(attr);
+        cfd.lhs_values.push_back(decode[attr].at(code));
+      }
+      cfd.rhs_attr = y;
+      cfd.rhs_value = decode[y].at(best_code);
+      cfd.support = static_cast<double>(pattern.rows.size()) /
+                    static_cast<double>(n);
+      cfd.confidence = confidence;
+      results.push_back(std::move(cfd));
+    }
+  };
+
+  // Level 1: frequent single conditions.
+  std::vector<Pattern> level;
+  for (size_t a = 0; a < k; ++a) {
+    std::unordered_map<int32_t, std::vector<int32_t>> groups;
+    for (size_t r = 0; r < n; ++r) {
+      const int32_t code = encoded.code(r, a);
+      if (code != EncodedTable::kNullCode) {
+        groups[code].push_back(static_cast<int32_t>(r));
+      }
+    }
+    for (auto& [code, rows] : groups) {
+      if (rows.size() < min_rows) continue;
+      Pattern pattern;
+      pattern.conditions = {{a, code}};
+      pattern.rows = std::move(rows);
+      level.push_back(std::move(pattern));
+    }
+  }
+  std::sort(level.begin(), level.end(),
+            [](const Pattern& a, const Pattern& b) {
+              return a.conditions < b.conditions;
+            });
+
+  for (size_t depth = 1; depth <= options.max_lhs_size; ++depth) {
+    for (const Pattern& pattern : level) {
+      // Singles are carried across levels for the join step; evaluate
+      // each pattern exactly once, at its own depth.
+      if (pattern.conditions.size() != depth) continue;
+      if (deadline.Expired()) {
+        return Status::Timeout("CFD discovery budget exceeded");
+      }
+      evaluate(pattern);
+      if (results.size() >= options.max_results) return results;
+    }
+    if (depth == options.max_lhs_size) break;
+    // Join step: extend each pattern with frequent single conditions on
+    // strictly larger attributes (canonical order avoids duplicates).
+    std::vector<Pattern> next;
+    for (const Pattern& pattern : level) {
+      if (pattern.conditions.size() != depth) continue;
+      const size_t last_attr = pattern.conditions.back().first;
+      for (const Pattern& single : level) {
+        if (single.conditions.size() != 1) continue;
+        if (single.conditions[0].first <= last_attr) continue;
+        if (deadline.Expired()) {
+          return Status::Timeout("CFD discovery budget exceeded");
+        }
+        // Row intersection (both lists sorted by construction).
+        Pattern extended;
+        std::set_intersection(pattern.rows.begin(), pattern.rows.end(),
+                              single.rows.begin(), single.rows.end(),
+                              std::back_inserter(extended.rows));
+        if (extended.rows.size() < min_rows) continue;
+        extended.conditions = pattern.conditions;
+        extended.conditions.push_back(single.conditions[0]);
+        next.push_back(std::move(extended));
+      }
+    }
+    // Keep the frequent singles around for future joins.
+    for (Pattern& pattern : level) {
+      if (pattern.conditions.size() == 1) next.push_back(std::move(pattern));
+    }
+    std::sort(next.begin(), next.end(),
+              [](const Pattern& a, const Pattern& b) {
+                return a.conditions < b.conditions;
+              });
+    level = std::move(next);
+  }
+  return results;
+}
+
+}  // namespace fdx

@@ -1,0 +1,54 @@
+#ifndef FDX_FD_CFD_H_
+#define FDX_FD_CFD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// A *constant* conditional functional dependency: a pattern of
+/// attribute-value conditions that (approximately) determines one value
+/// of a dependent attribute, e.g.
+///   (State = "AL", MeasureCode = "AMI-2") => Stateavg = "AL_AMI-2".
+/// Constant CFDs are the tableau rows of Fan et al.'s conditional FDs
+/// restricted to constant patterns; discovering them is the CTane
+/// fragment most used by cleaning pipelines (paper §6, [4, 13]).
+struct ConditionalFd {
+  std::vector<size_t> lhs_attrs;   ///< Condition attributes (sorted).
+  std::vector<Value> lhs_values;   ///< Parallel condition values.
+  size_t rhs_attr = 0;
+  Value rhs_value;
+  /// Fraction of table rows matching the LHS pattern.
+  double support = 0.0;
+  /// P(rhs = rhs_value | LHS pattern matches).
+  double confidence = 0.0;
+
+  /// Renders e.g. "(State=AL, Code=AMI-2) => Stateavg=AL_AMI-2".
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Options for constant-CFD discovery.
+struct CfdOptions {
+  double min_support = 0.05;
+  double min_confidence = 0.95;
+  size_t max_lhs_size = 2;
+  /// Cap on the result list; discovery stops early once reached.
+  size_t max_results = 10000;
+  /// Wall-clock budget in seconds; 0 = unlimited.
+  double time_budget_seconds = 0.0;
+};
+
+/// Levelwise (CTane-style) discovery of minimal constant CFDs: patterns
+/// are grown only while frequent, and a dependency is reported only if
+/// no sub-pattern already implies the same consequence. Null cells
+/// match no pattern.
+Result<std::vector<ConditionalFd>> DiscoverConstantCfds(
+    const Table& table, const CfdOptions& options = {});
+
+}  // namespace fdx
+
+#endif  // FDX_FD_CFD_H_

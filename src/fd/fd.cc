@@ -1,0 +1,187 @@
+#include "fd/fd.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace fdx {
+
+FunctionalDependency::FunctionalDependency(std::vector<size_t> lhs_in,
+                                           size_t rhs_in)
+    : lhs(std::move(lhs_in)), rhs(rhs_in) {
+  std::sort(lhs.begin(), lhs.end());
+  lhs.erase(std::unique(lhs.begin(), lhs.end()), lhs.end());
+  lhs.erase(std::remove(lhs.begin(), lhs.end(), rhs), lhs.end());
+}
+
+std::string FunctionalDependency::ToString(const Schema& schema) const {
+  std::vector<std::string> parts;
+  parts.reserve(lhs.size());
+  for (size_t a : lhs) parts.push_back(schema.name(a));
+  return Join(parts, ",") + " -> " + schema.name(rhs);
+}
+
+std::string FdSetToString(const FdSet& fds, const Schema& schema) {
+  std::string out;
+  for (const auto& fd : fds) {
+    out += fd.ToString(schema);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<FunctionalDependency> ParseFd(const Schema& schema,
+                                     const std::string& text) {
+  const size_t arrow = text.find("->");
+  if (arrow == std::string::npos) {
+    return Status::InvalidArgument("FD must contain '->'");
+  }
+  const std::string rhs_name(
+      StripAsciiWhitespace(text.substr(arrow + 2)));
+  const int rhs = schema.Find(rhs_name);
+  if (rhs < 0) {
+    return Status::InvalidArgument("unknown attribute: " + rhs_name);
+  }
+  std::vector<size_t> lhs;
+  for (const std::string& part : Split(text.substr(0, arrow), ',')) {
+    const std::string name(StripAsciiWhitespace(part));
+    if (name.empty()) continue;
+    const int index = schema.Find(name);
+    if (index < 0) {
+      return Status::InvalidArgument("unknown attribute: " + name);
+    }
+    if (index == rhs) {
+      return Status::InvalidArgument("trivial FD: " + name + " -> " + name);
+    }
+    lhs.push_back(static_cast<size_t>(index));
+  }
+  if (lhs.empty()) {
+    return Status::InvalidArgument("FD needs at least one LHS attribute");
+  }
+  return FunctionalDependency(std::move(lhs), static_cast<size_t>(rhs));
+}
+
+std::vector<std::pair<size_t, size_t>> FdEdges(const FdSet& fds) {
+  std::set<std::pair<size_t, size_t>> edges;
+  for (const auto& fd : fds) {
+    for (size_t x : fd.lhs) edges.emplace(x, fd.rhs);
+  }
+  return {edges.begin(), edges.end()};
+}
+
+namespace {
+
+FdScore ScoreEdges(const FdSet& discovered, const FdSet& ground_truth,
+                   bool directed) {
+  const auto got = FdEdges(discovered);
+  const auto want = FdEdges(ground_truth);
+  std::set<std::pair<size_t, size_t>> want_set(want.begin(), want.end());
+  std::set<std::pair<size_t, size_t>> got_set(got.begin(), got.end());
+  if (!directed) {
+    for (const auto& e : want) want_set.emplace(e.second, e.first);
+    for (const auto& e : got) got_set.emplace(e.second, e.first);
+  }
+  FdScore score;
+  score.discovered_edges = got.size();
+  score.true_edges = want.size();
+  for (const auto& e : got) {
+    if (want_set.count(e) > 0) ++score.correct_edges;
+  }
+  size_t recalled = 0;
+  for (const auto& e : want) {
+    if (got_set.count(e) > 0) ++recalled;
+  }
+  if (want.empty() && got.empty()) {
+    score.precision = score.recall = score.f1 = 1.0;
+    return score;
+  }
+  score.precision = got.empty() ? 0.0
+                                : static_cast<double>(score.correct_edges) /
+                                      static_cast<double>(got.size());
+  score.recall = want.empty() ? 0.0
+                              : static_cast<double>(recalled) /
+                                    static_cast<double>(want.size());
+  score.f1 = (score.precision + score.recall) > 0.0
+                 ? 2.0 * score.precision * score.recall /
+                       (score.precision + score.recall)
+                 : 0.0;
+  return score;
+}
+
+}  // namespace
+
+FdScore ScoreFds(const FdSet& discovered, const FdSet& ground_truth) {
+  return ScoreEdges(discovered, ground_truth, /*directed=*/true);
+}
+
+FdScore ScoreFdsUndirected(const FdSet& discovered,
+                           const FdSet& ground_truth) {
+  return ScoreEdges(discovered, ground_truth, /*directed=*/false);
+}
+
+namespace {
+
+/// Hash of the LHS code tuple of one row; rows with nulls in the LHS get
+/// excluded (they identify no group).
+struct LhsKey {
+  std::vector<int32_t> codes;
+  bool operator==(const LhsKey& other) const { return codes == other.codes; }
+};
+
+struct LhsKeyHash {
+  size_t operator()(const LhsKey& key) const {
+    size_t h = 1469598103934665603ull;
+    for (int32_t c : key.codes) {
+      h ^= static_cast<size_t>(c) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+bool FdHoldsExactly(const EncodedTable& table,
+                    const FunctionalDependency& fd) {
+  return FdG3Error(table, fd) == 0.0;
+}
+
+double FdG3Error(const EncodedTable& table, const FunctionalDependency& fd) {
+  const size_t n = table.num_rows();
+  if (n == 0) return 0.0;
+  // For each LHS group, count occurrences of each RHS code; rows beyond
+  // the majority RHS per group violate the FD.
+  std::unordered_map<LhsKey, std::unordered_map<int32_t, size_t>, LhsKeyHash>
+      groups;
+  size_t considered = 0;
+  for (size_t r = 0; r < n; ++r) {
+    LhsKey key;
+    key.codes.reserve(fd.lhs.size());
+    bool has_null = false;
+    for (size_t a : fd.lhs) {
+      const int32_t code = table.code(r, a);
+      if (code == EncodedTable::kNullCode) {
+        has_null = true;
+        break;
+      }
+      key.codes.push_back(code);
+    }
+    const int32_t rhs_code = table.code(r, fd.rhs);
+    if (has_null || rhs_code == EncodedTable::kNullCode) continue;
+    ++considered;
+    groups[std::move(key)][rhs_code] += 1;
+  }
+  if (considered == 0) return 0.0;
+  size_t kept = 0;
+  for (const auto& [key, counts] : groups) {
+    size_t best = 0;
+    for (const auto& [code, count] : counts) best = std::max(best, count);
+    kept += best;
+  }
+  return static_cast<double>(considered - kept) /
+         static_cast<double>(considered);
+}
+
+}  // namespace fdx

@@ -1,0 +1,61 @@
+#ifndef FDX_FD_NORMALIZATION_H_
+#define FDX_FD_NORMALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "fd/attribute_set.h"
+#include "data/table.h"
+#include "fd/fd.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Classical FD reasoning on top of discovered dependencies — the
+/// database-normalization application the paper's introduction leads
+/// with ("FDs are used in database normalization to reduce data
+/// redundancy and improve data integrity").
+
+/// Closure of `attrs` under `fds` (Armstrong's axioms via the standard
+/// fixpoint): every attribute functionally determined by `attrs`.
+AttributeSet Closure(const AttributeSet& attrs, const FdSet& fds);
+
+/// True if X -> Y is implied by `fds` (Y in closure of X).
+bool Implies(const FdSet& fds, const FunctionalDependency& fd);
+
+/// All candidate keys of a relation with `num_attributes` attributes
+/// under `fds`: minimal attribute sets whose closure covers everything.
+/// Exponential in the worst case; `max_keys` caps the search.
+std::vector<AttributeSet> CandidateKeys(size_t num_attributes,
+                                        const FdSet& fds,
+                                        size_t max_keys = 64);
+
+/// A minimal cover of `fds`: singleton RHS (already our representation),
+/// no extraneous LHS attributes, no redundant FDs.
+FdSet MinimalCover(const FdSet& fds, size_t num_attributes);
+
+/// One relation of a decomposition.
+struct DecomposedRelation {
+  std::vector<size_t> attributes;  ///< Sorted attribute indices.
+  FunctionalDependency cause;      ///< The violating FD that split it off
+                                   ///< (meaningful for all but the last).
+  /// Renders e.g. "R1(City, State, Zip)".
+  std::string ToString(const Schema& schema, size_t index) const;
+};
+
+/// BCNF decomposition of the schema under `fds` by the textbook
+/// algorithm: while some relation has an FD X -> A with X not a
+/// superkey of that relation, split it into (X, A) and (R - A).
+/// Lossless by construction; dependency preservation is not guaranteed
+/// (inherent to BCNF).
+std::vector<DecomposedRelation> DecomposeBcnf(size_t num_attributes,
+                                              const FdSet& fds);
+
+/// True if every relation in `decomposition` is in BCNF w.r.t. the
+/// projected dependencies of `fds`.
+bool IsBcnf(const std::vector<DecomposedRelation>& decomposition,
+            const FdSet& fds);
+
+}  // namespace fdx
+
+#endif  // FDX_FD_NORMALIZATION_H_

@@ -1,0 +1,86 @@
+#include "fd/partition.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace fdx {
+
+StrippedPartition StrippedPartition::FromColumn(const EncodedTable& table,
+                                                size_t col) {
+  const auto& codes = table.column_codes(col);
+  std::unordered_map<int32_t, std::vector<int32_t>> groups;
+  groups.reserve(table.Cardinality(col) * 2 + 1);
+  for (size_t r = 0; r < codes.size(); ++r) {
+    const int32_t code = codes[r];
+    if (code == EncodedTable::kNullCode) continue;  // nulls are singletons
+    groups[code].push_back(static_cast<int32_t>(r));
+  }
+  std::vector<std::vector<int32_t>> clusters;
+  clusters.reserve(groups.size());
+  for (auto& [code, rows] : groups) {
+    if (rows.size() >= 2) clusters.push_back(std::move(rows));
+  }
+  // Deterministic order regardless of hash iteration.
+  std::sort(clusters.begin(), clusters.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  return StrippedPartition(std::move(clusters), table.num_rows());
+}
+
+StrippedPartition StrippedPartition::Multiply(const StrippedPartition& a,
+                                              const StrippedPartition& b) {
+  const size_t n = a.num_rows_;
+  std::vector<int32_t> owner(n, -1);
+  for (size_t i = 0; i < a.clusters_.size(); ++i) {
+    for (int32_t t : a.clusters_[i]) owner[t] = static_cast<int32_t>(i);
+  }
+  std::vector<std::vector<int32_t>> buckets(a.clusters_.size());
+  std::vector<std::vector<int32_t>> out;
+  for (const auto& cluster : b.clusters_) {
+    // Distribute this cluster's rows over the owning a-clusters.
+    for (int32_t t : cluster) {
+      if (owner[t] >= 0) buckets[owner[t]].push_back(t);
+    }
+    // Harvest buckets with >= 2 rows, then reset the touched buckets.
+    for (int32_t t : cluster) {
+      const int32_t o = owner[t];
+      if (o < 0) continue;
+      if (buckets[o].size() >= 2) out.push_back(std::move(buckets[o]));
+      buckets[o].clear();
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& x, const auto& y) { return x[0] < y[0]; });
+  return StrippedPartition(std::move(out), n);
+}
+
+size_t StrippedPartition::StrippedSize() const {
+  size_t total = 0;
+  for (const auto& c : clusters_) total += c.size();
+  return total;
+}
+
+double StrippedPartition::KeyError() const {
+  if (num_rows_ == 0) return 0.0;
+  return static_cast<double>(StrippedSize() - NumClusters()) /
+         static_cast<double>(num_rows_);
+}
+
+double StrippedPartition::FdError(
+    const StrippedPartition& rhs_refinement) const {
+  if (num_rows_ == 0) return 0.0;
+  // TANE's e(X -> A) routine: every cluster of pi_{XA} is contained in
+  // exactly one cluster of pi_X, and its first row indexes it.
+  std::vector<int32_t> cluster_size(num_rows_, 0);
+  for (const auto& c : rhs_refinement.clusters_) {
+    cluster_size[c[0]] = static_cast<int32_t>(c.size());
+  }
+  size_t violations = 0;
+  for (const auto& c : clusters_) {
+    int32_t best = 1;
+    for (int32_t t : c) best = std::max(best, cluster_size[t]);
+    violations += c.size() - static_cast<size_t>(best);
+  }
+  return static_cast<double>(violations) / static_cast<double>(num_rows_);
+}
+
+}  // namespace fdx

@@ -1,0 +1,63 @@
+#ifndef FDX_FD_PARTITION_H_
+#define FDX_FD_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+
+namespace fdx {
+
+/// A *stripped partition* (Huhtala et al., TANE): the equivalence classes
+/// of rows that agree on an attribute set, with singleton classes
+/// removed. Partitions are the core data structure of the lattice-search
+/// baselines; partition product implements attribute-set union.
+class StrippedPartition {
+ public:
+  StrippedPartition() = default;
+  StrippedPartition(std::vector<std::vector<int32_t>> clusters,
+                    size_t num_rows)
+      : clusters_(std::move(clusters)), num_rows_(num_rows) {}
+
+  /// Partition by a single column. Null cells are singletons (a missing
+  /// value agrees with nothing), hence stripped away.
+  static StrippedPartition FromColumn(const EncodedTable& table, size_t col);
+
+  /// Product of two partitions: the partition of the union of their
+  /// attribute sets. Linear in the stripped sizes (TANE Alg. "product").
+  static StrippedPartition Multiply(const StrippedPartition& a,
+                                    const StrippedPartition& b);
+
+  const std::vector<std::vector<int32_t>>& clusters() const {
+    return clusters_;
+  }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Number of stripped (size >= 2) clusters.
+  size_t NumClusters() const { return clusters_.size(); }
+
+  /// Sum of stripped cluster sizes, ||pi|| in TANE notation.
+  size_t StrippedSize() const;
+
+  /// TANE's e(X) measure: (||pi|| - |pi|) / n, the minimum fraction of
+  /// rows to remove so that X becomes a superkey.
+  double KeyError() const;
+
+  /// True if every row is alone in its class, i.e. the attribute set is
+  /// a superkey.
+  bool IsSuperKey() const { return clusters_.empty(); }
+
+  /// g3 error of the FD (this -> refined): the minimum fraction of rows
+  /// to remove so that every cluster of *this maps into a single cluster
+  /// of `rhs_refinement`, where `rhs_refinement` must be the partition of
+  /// this partition's attributes plus the RHS attribute.
+  double FdError(const StrippedPartition& rhs_refinement) const;
+
+ private:
+  std::vector<std::vector<int32_t>> clusters_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace fdx
+
+#endif  // FDX_FD_PARTITION_H_

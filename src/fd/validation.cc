@@ -1,0 +1,175 @@
+#include "fd/validation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace fdx {
+
+namespace {
+
+struct LhsKey {
+  std::vector<int32_t> codes;
+  bool operator==(const LhsKey& other) const { return codes == other.codes; }
+};
+
+struct LhsKeyHash {
+  size_t operator()(const LhsKey& key) const {
+    size_t h = 1469598103934665603ull;
+    for (int32_t c : key.codes) {
+      h ^= static_cast<size_t>(static_cast<uint32_t>(c)) +
+           0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+/// Groups rows by their (null-free) LHS codes.
+std::unordered_map<LhsKey, std::vector<size_t>, LhsKeyHash> GroupByLhs(
+    const EncodedTable& table, const FunctionalDependency& fd) {
+  std::unordered_map<LhsKey, std::vector<size_t>, LhsKeyHash> groups;
+  const size_t n = table.num_rows();
+  LhsKey key;
+  for (size_t r = 0; r < n; ++r) {
+    key.codes.clear();
+    bool has_null = false;
+    for (size_t a : fd.lhs) {
+      const int32_t code = table.code(r, a);
+      if (code == EncodedTable::kNullCode) {
+        has_null = true;
+        break;
+      }
+      key.codes.push_back(code);
+    }
+    if (has_null || table.code(r, fd.rhs) == EncodedTable::kNullCode) {
+      continue;
+    }
+    groups[key].push_back(r);
+  }
+  return groups;
+}
+
+/// Builds the violation record of one group, or returns false if the
+/// group is consistent.
+bool AnalyzeGroup(const EncodedTable& table, size_t rhs,
+                  const std::vector<size_t>& rows, FdViolation* violation) {
+  std::unordered_map<int32_t, size_t> counts;
+  for (size_t r : rows) ++counts[table.code(r, rhs)];
+  if (counts.size() <= 1) return false;
+  int32_t majority = 0;
+  size_t best = 0;
+  for (const auto& [code, count] : counts) {
+    if (count > best || (count == best && code < majority)) {
+      best = count;
+      majority = code;
+    }
+  }
+  violation->rows = rows;
+  violation->majority_code = majority;
+  for (size_t r : rows) {
+    if (table.code(r, rhs) != majority) violation->deviating_rows.push_back(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<FdValidationReport> ValidateFd(const EncodedTable& table,
+                                      const FunctionalDependency& fd,
+                                      const ValidationOptions& options) {
+  if (fd.rhs >= table.num_columns()) {
+    return Status::InvalidArgument("FD RHS out of range");
+  }
+  for (size_t a : fd.lhs) {
+    if (a >= table.num_columns()) {
+      return Status::InvalidArgument("FD LHS attribute out of range");
+    }
+  }
+  FdValidationReport report;
+  report.fd = fd;
+  const auto groups = GroupByLhs(table, fd);
+  report.groups = groups.size();
+  size_t considered = 0;
+  size_t kept = 0;
+  for (const auto& [key, rows] : groups) {
+    considered += rows.size();
+    FdViolation violation;
+    if (AnalyzeGroup(table, fd.rhs, rows, &violation)) {
+      ++report.violating_groups;
+      kept += rows.size() - violation.deviating_rows.size();
+      if (options.max_violations == 0 ||
+          report.violations.size() < options.max_violations) {
+        report.violations.push_back(std::move(violation));
+      }
+    } else {
+      kept += rows.size();
+    }
+  }
+  report.g3_error =
+      considered == 0
+          ? 0.0
+          : static_cast<double>(considered - kept) /
+                static_cast<double>(considered);
+  // Deterministic ordering for reproducible reports.
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const FdViolation& a, const FdViolation& b) {
+              return a.rows[0] < b.rows[0];
+            });
+  return report;
+}
+
+Result<std::vector<FdValidationReport>> ValidateFds(
+    const EncodedTable& table, const FdSet& fds,
+    const ValidationOptions& options) {
+  std::vector<FdValidationReport> reports;
+  reports.reserve(fds.size());
+  for (const auto& fd : fds) {
+    FDX_ASSIGN_OR_RETURN(FdValidationReport report,
+                         ValidateFd(table, fd, options));
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+Result<std::vector<CellRepair>> SuggestRepairs(
+    const EncodedTable& table, const FunctionalDependency& fd,
+    const ValidationOptions& options) {
+  FDX_ASSIGN_OR_RETURN(FdValidationReport report,
+                       ValidateFd(table, fd, options));
+  std::vector<CellRepair> repairs;
+  for (const auto& violation : report.violations) {
+    // Gate on evidence strength: tiny or split groups make majority
+    // voting a coin flip (corrupted LHS cells shuffle rows into wrong
+    // groups, so over-eager repairs break clean cells).
+    if (violation.rows.size() < options.min_group_size) continue;
+    const double majority_fraction =
+        static_cast<double>(violation.rows.size() -
+                            violation.deviating_rows.size()) /
+        static_cast<double>(violation.rows.size());
+    if (majority_fraction < options.min_majority_fraction) continue;
+    // Donor: any row carrying the majority code.
+    size_t donor = violation.rows[0];
+    for (size_t r : violation.rows) {
+      if (table.code(r, fd.rhs) == violation.majority_code) {
+        donor = r;
+        break;
+      }
+    }
+    for (size_t r : violation.deviating_rows) {
+      repairs.push_back({r, fd.rhs, donor});
+    }
+  }
+  return repairs;
+}
+
+Table ApplyRepairs(const Table& table,
+                   const std::vector<CellRepair>& repairs) {
+  Table out = table;
+  for (const auto& repair : repairs) {
+    out.set_cell(repair.row, repair.column,
+                 table.cell(repair.donor_row, repair.column));
+  }
+  return out;
+}
+
+}  // namespace fdx

@@ -1,0 +1,83 @@
+#ifndef FDX_FD_VALIDATION_H_
+#define FDX_FD_VALIDATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "fd/fd.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// A group of rows that agree on an FD's LHS but disagree on its RHS —
+/// the unit of evidence data-cleaning systems consume (HoloClean-style
+/// "violations in context").
+struct FdViolation {
+  /// Rows of the offending LHS group (all rows, including agreeing ones).
+  std::vector<size_t> rows;
+  /// The majority RHS value's code within the group.
+  int32_t majority_code = 0;
+  /// Rows whose RHS deviates from the majority (subset of `rows`).
+  std::vector<size_t> deviating_rows;
+};
+
+/// Per-FD validation report.
+struct FdValidationReport {
+  FunctionalDependency fd;
+  double g3_error = 0.0;            ///< Fraction of rows to remove.
+  size_t groups = 0;                ///< LHS groups considered.
+  size_t violating_groups = 0;      ///< Groups with >1 RHS value.
+  std::vector<FdViolation> violations;  ///< Capped by options.
+};
+
+/// Options for validation.
+struct ValidationOptions {
+  /// Cap on materialized violations per FD (reports stay small even on
+  /// heavily corrupted data); 0 keeps everything.
+  size_t max_violations = 100;
+  /// Repair gating (SuggestRepairs only): groups smaller than this
+  /// carry too little evidence for a majority vote.
+  size_t min_group_size = 3;
+  /// Repair gating: the majority value must cover at least this
+  /// fraction of the group, otherwise the group is left for a human
+  /// (or a probabilistic cleaner) to resolve.
+  double min_majority_fraction = 0.6;
+};
+
+/// Validates one FD against a table: exact g3 error plus the violating
+/// groups with their majority values. Null LHS/RHS cells are excluded
+/// (a missing value can neither support nor violate a dependency).
+Result<FdValidationReport> ValidateFd(const EncodedTable& table,
+                                      const FunctionalDependency& fd,
+                                      const ValidationOptions& options = {});
+
+/// Validates a whole FD set.
+Result<std::vector<FdValidationReport>> ValidateFds(
+    const EncodedTable& table, const FdSet& fds,
+    const ValidationOptions& options = {});
+
+/// A suggested cell repair: set `row`'s value of attribute `column` to
+/// the value at `donor_row` (the group's majority witness).
+struct CellRepair {
+  size_t row = 0;
+  size_t column = 0;
+  size_t donor_row = 0;
+};
+
+/// Majority-vote repair suggestions for every violation of `fd`: each
+/// deviating row's RHS is repaired to the group majority. This is the
+/// light-weight flavor of FD-driven cleaning the paper positions FDX
+/// for (§1, §5.5); a full probabilistic cleaner would weigh evidence
+/// across constraints.
+Result<std::vector<CellRepair>> SuggestRepairs(
+    const EncodedTable& table, const FunctionalDependency& fd,
+    const ValidationOptions& options = {});
+
+/// Applies repairs to a copy of the table.
+Table ApplyRepairs(const Table& table,
+                   const std::vector<CellRepair>& repairs);
+
+}  // namespace fdx
+
+#endif  // FDX_FD_VALIDATION_H_

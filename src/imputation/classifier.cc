@@ -1,0 +1,38 @@
+#include "imputation/classifier.h"
+
+namespace fdx {
+
+double MacroF1(const std::vector<int32_t>& truth,
+               const std::vector<int32_t>& predicted, size_t num_classes) {
+  if (truth.empty() || num_classes == 0) return 0.0;
+  std::vector<size_t> tp(num_classes, 0), fp(num_classes, 0),
+      fn(num_classes, 0);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const int32_t t = truth[i];
+    const int32_t p = predicted[i];
+    if (t == p) {
+      ++tp[t];
+    } else {
+      ++fn[t];
+      if (p >= 0 && static_cast<size_t>(p) < num_classes) ++fp[p];
+    }
+  }
+  double total = 0.0;
+  size_t present = 0;
+  for (size_t c = 0; c < num_classes; ++c) {
+    if (tp[c] + fn[c] == 0) continue;  // class absent from the truth
+    ++present;
+    const double precision =
+        tp[c] + fp[c] > 0
+            ? static_cast<double>(tp[c]) / static_cast<double>(tp[c] + fp[c])
+            : 0.0;
+    const double recall =
+        static_cast<double>(tp[c]) / static_cast<double>(tp[c] + fn[c]);
+    if (precision + recall > 0.0) {
+      total += 2.0 * precision * recall / (precision + recall);
+    }
+  }
+  return present > 0 ? total / static_cast<double>(present) : 0.0;
+}
+
+}  // namespace fdx

@@ -1,0 +1,46 @@
+#ifndef FDX_IMPUTATION_CLASSIFIER_H_
+#define FDX_IMPUTATION_CLASSIFIER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fdx {
+
+/// A categorical training set: every feature is a dictionary code in
+/// [0, cardinality); `kMissing` marks missing cells. Labels are class
+/// codes in [0, num_classes).
+struct CategoricalDataset {
+  static constexpr int32_t kMissing = -1;
+
+  std::vector<std::vector<int32_t>> rows;  ///< n x d feature codes.
+  std::vector<size_t> cardinalities;       ///< Per-feature domain sizes.
+  std::vector<int32_t> labels;             ///< n class codes.
+  size_t num_classes = 0;
+};
+
+/// Interface of the imputation models used by the Table 7 experiments.
+/// Both substitutes for the paper's AimNet / XGBoost implement it; the
+/// harness is model agnostic (the paper's point is precisely that the
+/// FD-participation signal transfers across model families).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Fits the model. Precondition: consistent dataset dimensions.
+  virtual Status Train(const CategoricalDataset& data) = 0;
+
+  /// Predicts the class of one feature row.
+  virtual int32_t Predict(const std::vector<int32_t>& row) const = 0;
+};
+
+/// Macro-averaged F1 of predictions vs truth over `num_classes` classes.
+/// Classes absent from the truth are skipped.
+double MacroF1(const std::vector<int32_t>& truth,
+               const std::vector<int32_t>& predicted, size_t num_classes);
+
+}  // namespace fdx
+
+#endif  // FDX_IMPUTATION_CLASSIFIER_H_

@@ -1,0 +1,191 @@
+#include "imputation/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fdx {
+
+namespace {
+
+double EntropyOfCounts(const std::vector<size_t>& counts, size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+int32_t MajorityLabel(const CategoricalDataset& data,
+                      const std::vector<size_t>& indices) {
+  std::vector<size_t> counts(data.num_classes, 0);
+  for (size_t i : indices) ++counts[data.labels[i]];
+  return static_cast<int32_t>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+}  // namespace
+
+Status DecisionTreeClassifier::Train(const CategoricalDataset& data) {
+  if (data.rows.empty() || data.num_classes == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  nodes_.clear();
+  num_classes_ = data.num_classes;
+  std::vector<size_t> indices(data.rows.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  Grow(data, indices, 0);
+  return Status::OK();
+}
+
+size_t DecisionTreeClassifier::Grow(const CategoricalDataset& data,
+                                    const std::vector<size_t>& indices,
+                                    size_t depth) {
+  const size_t node_index = nodes_.size();
+  nodes_.emplace_back();
+  nodes_[node_index].majority = MajorityLabel(data, indices);
+
+  // Stop: depth, size, or purity.
+  bool pure = true;
+  for (size_t i : indices) {
+    if (data.labels[i] != data.labels[indices[0]]) {
+      pure = false;
+      break;
+    }
+  }
+  if (pure || depth >= options_.max_depth ||
+      indices.size() < options_.min_samples_split) {
+    return node_index;
+  }
+
+  // Candidate features (optionally a random subset).
+  const size_t d = data.cardinalities.size();
+  std::vector<size_t> features(d);
+  std::iota(features.begin(), features.end(), 0);
+  if (options_.feature_subsample > 0 && options_.feature_subsample < d) {
+    rng_.Shuffle(&features);
+    features.resize(options_.feature_subsample);
+  }
+
+  // Pick the split with the best information gain.
+  std::vector<size_t> parent_counts(data.num_classes, 0);
+  for (size_t i : indices) ++parent_counts[data.labels[i]];
+  const double parent_entropy = EntropyOfCounts(parent_counts, indices.size());
+  double best_gain = 1e-9;
+  int32_t best_feature = -1;
+  for (size_t f : features) {
+    const size_t arity = data.cardinalities[f] + 1;  // +1 missing bucket
+    std::vector<std::vector<size_t>> counts(
+        arity, std::vector<size_t>(data.num_classes, 0));
+    std::vector<size_t> totals(arity, 0);
+    for (size_t i : indices) {
+      const int32_t code = data.rows[i][f];
+      const size_t bucket =
+          code == CategoricalDataset::kMissing
+              ? arity - 1
+              : static_cast<size_t>(code);
+      ++counts[bucket][data.labels[i]];
+      ++totals[bucket];
+    }
+    double child_entropy = 0.0;
+    for (size_t v = 0; v < arity; ++v) {
+      if (totals[v] == 0) continue;
+      child_entropy += static_cast<double>(totals[v]) /
+                       static_cast<double>(indices.size()) *
+                       EntropyOfCounts(counts[v], totals[v]);
+    }
+    const double gain = parent_entropy - child_entropy;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_feature = static_cast<int32_t>(f);
+    }
+  }
+  if (best_feature < 0) return node_index;
+
+  // Partition and grow children (missing codes stay on the majority
+  // path, i.e. no dedicated child; Predict falls back to majority).
+  const size_t arity = data.cardinalities[best_feature];
+  std::vector<std::vector<size_t>> buckets(arity);
+  for (size_t i : indices) {
+    const int32_t code = data.rows[i][best_feature];
+    if (code != CategoricalDataset::kMissing &&
+        static_cast<size_t>(code) < arity) {
+      buckets[code].push_back(i);
+    }
+  }
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].children.assign(arity, -1);
+  for (size_t v = 0; v < arity; ++v) {
+    if (buckets[v].empty()) continue;
+    const size_t child = Grow(data, buckets[v], depth + 1);
+    nodes_[node_index].children[v] = static_cast<int32_t>(child);
+  }
+  return node_index;
+}
+
+int32_t DecisionTreeClassifier::Predict(
+    const std::vector<int32_t>& row) const {
+  if (nodes_.empty()) return 0;
+  size_t node = 0;
+  while (true) {
+    const Node& current = nodes_[node];
+    if (current.feature < 0) return current.majority;
+    const int32_t code = row[current.feature];
+    if (code == CategoricalDataset::kMissing ||
+        static_cast<size_t>(code) >= current.children.size() ||
+        current.children[code] < 0) {
+      return current.majority;
+    }
+    node = static_cast<size_t>(current.children[code]);
+  }
+}
+
+Status RandomForestClassifier::Train(const CategoricalDataset& data) {
+  if (data.rows.empty()) return Status::InvalidArgument("empty training set");
+  trees_.clear();
+  num_classes_ = data.num_classes;
+  Rng rng(seed_);
+  DecisionTreeOptions tree_options = options_.tree;
+  if (tree_options.feature_subsample == 0) {
+    tree_options.feature_subsample = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::sqrt(static_cast<double>(data.cardinalities.size()))));
+  }
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    // Bootstrap sample.
+    CategoricalDataset bagged;
+    bagged.cardinalities = data.cardinalities;
+    bagged.num_classes = data.num_classes;
+    bagged.rows.reserve(data.rows.size());
+    bagged.labels.reserve(data.rows.size());
+    for (size_t i = 0; i < data.rows.size(); ++i) {
+      const size_t pick = rng.NextUint64(data.rows.size());
+      bagged.rows.push_back(data.rows[pick]);
+      bagged.labels.push_back(data.labels[pick]);
+    }
+    auto tree =
+        std::make_unique<DecisionTreeClassifier>(tree_options, rng.engine()());
+    FDX_RETURN_IF_ERROR(tree->Train(bagged));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+int32_t RandomForestClassifier::Predict(
+    const std::vector<int32_t>& row) const {
+  if (trees_.empty()) return 0;
+  std::vector<size_t> votes(num_classes_, 0);
+  for (const auto& tree : trees_) {
+    const int32_t label = tree->Predict(row);
+    if (label >= 0 && static_cast<size_t>(label) < num_classes_) {
+      ++votes[label];
+    }
+  }
+  return static_cast<int32_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+}  // namespace fdx

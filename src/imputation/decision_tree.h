@@ -1,0 +1,78 @@
+#ifndef FDX_IMPUTATION_DECISION_TREE_H_
+#define FDX_IMPUTATION_DECISION_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "imputation/classifier.h"
+#include "util/rng.h"
+
+namespace fdx {
+
+/// Hyper-parameters of the categorical decision tree.
+struct DecisionTreeOptions {
+  size_t max_depth = 8;
+  size_t min_samples_split = 4;
+  /// If > 0, at every node only a random subset of this many features is
+  /// considered (used by the forest for decorrelation).
+  size_t feature_subsample = 0;
+};
+
+/// A decision tree on categorical codes with multiway splits chosen by
+/// information gain. Missing codes route to the majority child.
+class DecisionTreeClassifier : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(DecisionTreeOptions options = {},
+                                  uint64_t seed = 31)
+      : options_(options), rng_(seed) {}
+
+  Status Train(const CategoricalDataset& data) override;
+  int32_t Predict(const std::vector<int32_t>& row) const override;
+
+ private:
+  struct Node {
+    int32_t feature = -1;             ///< -1 for leaves.
+    int32_t majority = 0;             ///< Leaf label / missing fallback.
+    std::vector<int32_t> children;    ///< child index per feature value.
+  };
+
+  /// Recursively grows a subtree over `indices`; returns its node index.
+  size_t Grow(const CategoricalDataset& data,
+              const std::vector<size_t>& indices, size_t depth);
+
+  DecisionTreeOptions options_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  size_t num_classes_ = 0;
+};
+
+/// Hyper-parameters of the bagged tree ensemble, the library's
+/// XGBoost-class substitute for the Table 7 experiments (see DESIGN.md
+/// substitution #4).
+struct RandomForestOptions {
+  size_t num_trees = 16;
+  DecisionTreeOptions tree;
+};
+
+/// Bootstrap-aggregated decision trees with per-node feature
+/// subsampling; majority vote prediction.
+class RandomForestClassifier : public Classifier {
+ public:
+  explicit RandomForestClassifier(RandomForestOptions options = {},
+                                  uint64_t seed = 37)
+      : options_(options), seed_(seed) {}
+
+  Status Train(const CategoricalDataset& data) override;
+  int32_t Predict(const std::vector<int32_t>& row) const override;
+
+ private:
+  RandomForestOptions options_;
+  uint64_t seed_;
+  std::vector<std::unique_ptr<DecisionTreeClassifier>> trees_;
+  size_t num_classes_ = 0;
+};
+
+}  // namespace fdx
+
+#endif  // FDX_IMPUTATION_DECISION_TREE_H_

@@ -1,0 +1,115 @@
+#include "imputation/harness.h"
+
+#include <numeric>
+#include <set>
+
+#include "util/rng.h"
+
+namespace fdx {
+
+Result<ImputationScore> EvaluateImputation(const Table& table,
+                                           size_t target_column,
+                                           const ClassifierFactory& factory,
+                                           const ImputationConfig& config) {
+  if (target_column >= table.num_columns()) {
+    return Status::InvalidArgument("target column out of range");
+  }
+  Rng rng(config.seed);
+  Table working = table;
+  if (config.max_rows > 0 && table.num_rows() > config.max_rows) {
+    working = table.ShuffleRows(&rng).Head(config.max_rows);
+  }
+  const EncodedTable encoded = EncodedTable::Encode(working);
+  const size_t n = encoded.num_rows();
+  const size_t k = encoded.num_columns();
+  if (encoded.Cardinality(target_column) < 2) {
+    return Status::InvalidArgument("target column is (near-)constant");
+  }
+
+  // Rows with an observed target are usable.
+  std::vector<size_t> usable;
+  for (size_t r = 0; r < n; ++r) {
+    if (encoded.code(r, target_column) != EncodedTable::kNullCode) {
+      usable.push_back(r);
+    }
+  }
+  if (usable.size() < 20) {
+    return Status::InvalidArgument("too few observed target cells");
+  }
+
+  // Choose the corrupted (held-out) rows.
+  std::vector<size_t> corrupted;
+  if (config.corruption == CorruptionKind::kRandom) {
+    std::vector<size_t> shuffled = usable;
+    rng.Shuffle(&shuffled);
+    const size_t count = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(usable.size()) *
+                               config.missing_fraction));
+    corrupted.assign(shuffled.begin(),
+                     shuffled.begin() + std::min(count, shuffled.size()));
+  } else {
+    // Systematic: condition on the first attribute other than the
+    // target; rows whose conditioning value hashes into a fixed band
+    // lose their target. Mirrors value-correlated error channels.
+    const size_t cond = target_column == 0 ? 1 : 0;
+    const uint64_t salt = rng.engine()();
+    for (size_t r : usable) {
+      const int32_t code = encoded.code(r, cond);
+      const uint64_t h =
+          (static_cast<uint64_t>(static_cast<uint32_t>(code)) + salt) *
+          0x9e3779b97f4a7c15ull;
+      if (static_cast<double>(h >> 11) /
+              static_cast<double>(uint64_t{1} << 53) <
+          config.missing_fraction) {
+        corrupted.push_back(r);
+      }
+    }
+    if (corrupted.empty()) {
+      // Degenerate conditioning column; fall back to random.
+      std::vector<size_t> shuffled = usable;
+      rng.Shuffle(&shuffled);
+      corrupted.assign(shuffled.begin(),
+                       shuffled.begin() + usable.size() / 5 + 1);
+    }
+  }
+  std::set<size_t> corrupted_set(corrupted.begin(), corrupted.end());
+  if (corrupted_set.size() >= usable.size()) {
+    return Status::InvalidArgument("corruption left no training rows");
+  }
+
+  // Assemble the categorical dataset: features are every other column.
+  CategoricalDataset train;
+  train.num_classes = encoded.Cardinality(target_column);
+  for (size_t c = 0; c < k; ++c) {
+    if (c != target_column) train.cardinalities.push_back(encoded.Cardinality(c));
+  }
+  auto features_of = [&](size_t r) {
+    std::vector<int32_t> row;
+    row.reserve(k - 1);
+    for (size_t c = 0; c < k; ++c) {
+      if (c != target_column) row.push_back(encoded.code(r, c));
+    }
+    return row;
+  };
+  for (size_t r : usable) {
+    if (corrupted_set.count(r) > 0) continue;
+    train.rows.push_back(features_of(r));
+    train.labels.push_back(encoded.code(r, target_column));
+  }
+
+  std::unique_ptr<Classifier> model = factory();
+  FDX_RETURN_IF_ERROR(model->Train(train));
+
+  std::vector<int32_t> truth, predicted;
+  truth.reserve(corrupted_set.size());
+  for (size_t r : corrupted_set) {
+    truth.push_back(encoded.code(r, target_column));
+    predicted.push_back(model->Predict(features_of(r)));
+  }
+  ImputationScore score;
+  score.macro_f1 = MacroF1(truth, predicted, train.num_classes);
+  score.evaluated_cells = truth.size();
+  return score;
+}
+
+}  // namespace fdx

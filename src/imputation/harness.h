@@ -1,0 +1,53 @@
+#ifndef FDX_IMPUTATION_HARNESS_H_
+#define FDX_IMPUTATION_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "data/table.h"
+#include "imputation/classifier.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// How cells of the target attribute are corrupted before imputation.
+enum class CorruptionKind {
+  /// Missing completely at random: a uniform fraction of cells.
+  kRandom,
+  /// Systematic: cells are removed only in rows whose value of a
+  /// conditioning attribute falls into a fixed subset — the
+  /// value-dependent corruption pattern of the paper's Table 7.
+  kSystematic,
+};
+
+/// Configuration of one imputation experiment.
+struct ImputationConfig {
+  CorruptionKind corruption = CorruptionKind::kRandom;
+  double missing_fraction = 0.2;
+  /// Rows retained from the input (0 = all); large tables are
+  /// subsampled to keep the model-training benches tractable.
+  size_t max_rows = 0;
+  uint64_t seed = 71;
+};
+
+/// Outcome: macro-F1 on the corrupted cells.
+struct ImputationScore {
+  double macro_f1 = 0.0;
+  size_t evaluated_cells = 0;
+};
+
+/// Factory for a fresh classifier (models are single-use per target).
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+/// Corrupts the target attribute per `config`, trains `factory`'s model
+/// on the surviving rows (features: all other attributes), imputes the
+/// corrupted cells and scores them against the hidden truth.
+Result<ImputationScore> EvaluateImputation(const Table& table,
+                                           size_t target_column,
+                                           const ClassifierFactory& factory,
+                                           const ImputationConfig& config);
+
+}  // namespace fdx
+
+#endif  // FDX_IMPUTATION_HARNESS_H_

@@ -1,0 +1,93 @@
+#include "imputation/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace fdx {
+
+void LogisticClassifier::ActiveDimensions(const std::vector<int32_t>& row,
+                                          std::vector<size_t>* dims) const {
+  dims->clear();
+  for (size_t f = 0; f < row.size(); ++f) {
+    const int32_t code = row[f];
+    if (code == CategoricalDataset::kMissing) continue;  // missing: no dim
+    const size_t kept = bucket_size_[f] - 1;  // minus the "other" bucket
+    const size_t local =
+        static_cast<size_t>(code) < kept ? static_cast<size_t>(code) : kept;
+    dims->push_back(offset_[f] + local);
+  }
+  dims->push_back(dims_);  // bias
+}
+
+Status LogisticClassifier::Train(const CategoricalDataset& data) {
+  if (data.rows.empty() || data.num_classes == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  const size_t d = data.cardinalities.size();
+  num_classes_ = data.num_classes;
+  offset_.assign(d, 0);
+  bucket_size_.assign(d, 0);
+  dims_ = 0;
+  for (size_t f = 0; f < d; ++f) {
+    offset_[f] = dims_;
+    bucket_size_[f] =
+        std::min(data.cardinalities[f], options_.max_values_per_feature) + 1;
+    dims_ += bucket_size_[f];
+  }
+  weights_.assign((dims_ + 1) * num_classes_, 0.0);
+
+  Rng rng(options_.seed);
+  std::vector<size_t> order(data.rows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<size_t> active;
+  std::vector<double> logits(num_classes_);
+  double lr = options_.learning_rate;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t i : order) {
+      ActiveDimensions(data.rows[i], &active);
+      std::fill(logits.begin(), logits.end(), 0.0);
+      for (size_t dim : active) {
+        const double* w = &weights_[dim * num_classes_];
+        for (size_t c = 0; c < num_classes_; ++c) logits[c] += w[c];
+      }
+      // Softmax.
+      const double max_logit =
+          *std::max_element(logits.begin(), logits.end());
+      double total = 0.0;
+      for (size_t c = 0; c < num_classes_; ++c) {
+        logits[c] = std::exp(logits[c] - max_logit);
+        total += logits[c];
+      }
+      const int32_t label = data.labels[i];
+      for (size_t c = 0; c < num_classes_; ++c) {
+        const double p = logits[c] / total;
+        const double gradient = p - (static_cast<int32_t>(c) == label);
+        for (size_t dim : active) {
+          double& w = weights_[dim * num_classes_ + c];
+          w -= lr * (gradient + options_.l2 * w);
+        }
+      }
+    }
+    lr *= 0.9;  // simple decay schedule
+  }
+  return Status::OK();
+}
+
+int32_t LogisticClassifier::Predict(const std::vector<int32_t>& row) const {
+  if (weights_.empty()) return 0;
+  std::vector<size_t> active;
+  ActiveDimensions(row, &active);
+  std::vector<double> logits(num_classes_, 0.0);
+  for (size_t dim : active) {
+    const double* w = &weights_[dim * num_classes_];
+    for (size_t c = 0; c < num_classes_; ++c) logits[c] += w[c];
+  }
+  return static_cast<int32_t>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+}  // namespace fdx

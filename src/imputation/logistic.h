@@ -1,0 +1,51 @@
+#ifndef FDX_IMPUTATION_LOGISTIC_H_
+#define FDX_IMPUTATION_LOGISTIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "imputation/classifier.h"
+
+namespace fdx {
+
+/// Hyper-parameters of the multinomial logistic model.
+struct LogisticOptions {
+  size_t epochs = 25;
+  double learning_rate = 0.2;
+  double l2 = 1e-4;
+  /// One-hot encoding keeps at most this many values per feature; the
+  /// rest share an "other" bucket (caps the dimensionality on columns
+  /// like complaint ids).
+  size_t max_values_per_feature = 50;
+  uint64_t seed = 41;
+};
+
+/// Multinomial logistic regression (softmax) over one-hot encoded
+/// categorical features, trained with shuffled SGD. This is the
+/// attention-free stand-in for the paper's AimNet imputer (DESIGN.md
+/// substitution #4): a learned linear attribute-to-attribute dependency
+/// model.
+class LogisticClassifier : public Classifier {
+ public:
+  explicit LogisticClassifier(LogisticOptions options = {})
+      : options_(options) {}
+
+  Status Train(const CategoricalDataset& data) override;
+  int32_t Predict(const std::vector<int32_t>& row) const override;
+
+ private:
+  /// Active one-hot dimensions of a feature row.
+  void ActiveDimensions(const std::vector<int32_t>& row,
+                        std::vector<size_t>* dims) const;
+
+  LogisticOptions options_;
+  std::vector<size_t> offset_;       ///< Per-feature one-hot offset.
+  std::vector<size_t> bucket_size_;  ///< Values kept per feature (+other).
+  size_t dims_ = 0;
+  size_t num_classes_ = 0;
+  std::vector<double> weights_;  ///< (dims + 1 bias) x num_classes.
+};
+
+}  // namespace fdx
+
+#endif  // FDX_IMPUTATION_LOGISTIC_H_

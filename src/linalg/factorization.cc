@@ -1,0 +1,134 @@
+#include "linalg/factorization.h"
+
+#include <cmath>
+
+namespace fdx {
+
+Result<CholeskyResult> CholeskyFactor(const Matrix& a, double min_pivot) {
+  const size_t n = a.rows();
+  if (n != a.cols()) {
+    return Status::InvalidArgument("Cholesky needs a square matrix");
+  }
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag < min_pivot) {
+      return Status::NumericalError("Cholesky pivot " + std::to_string(j) +
+                                    " not positive definite");
+    }
+    const double root = std::sqrt(diag);
+    l(j, j) = root;
+    for (size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / root;
+    }
+  }
+  return CholeskyResult{std::move(l)};
+}
+
+Result<LdltResult> LdltFactor(const Matrix& a, double min_pivot) {
+  const size_t n = a.rows();
+  if (n != a.cols()) {
+    return Status::InvalidArgument("LDLT needs a square matrix");
+  }
+  Matrix l = Matrix::Identity(n);
+  Vector d(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k) * d[k];
+    if (diag < min_pivot) {
+      return Status::NumericalError("LDLT pivot " + std::to_string(j) +
+                                    " not positive definite");
+    }
+    d[j] = diag;
+    for (size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k) * d[k];
+      l(i, j) = acc / diag;
+    }
+  }
+  return LdltResult{std::move(l), std::move(d)};
+}
+
+Result<UdutResult> UdutFactor(const Matrix& a, double min_pivot) {
+  const size_t n = a.rows();
+  if (n != a.cols()) {
+    return Status::InvalidArgument("UDUT needs a square matrix");
+  }
+  Matrix u = Matrix::Identity(n);
+  Vector d(n, 0.0);
+  // Eliminate from the last column backwards: for i <= j,
+  //   A(i, j) = U(i, j) * D(j) + sum_{m > j} U(i, m) D(m) U(j, m).
+  for (size_t jj = n; jj-- > 0;) {
+    const size_t j = jj;
+    double diag = a(j, j);
+    for (size_t m = j + 1; m < n; ++m) diag -= u(j, m) * u(j, m) * d[m];
+    if (diag < min_pivot) {
+      return Status::NumericalError("UDUT pivot " + std::to_string(j) +
+                                    " not positive definite");
+    }
+    d[j] = diag;
+    for (size_t i = 0; i < j; ++i) {
+      double acc = a(i, j);
+      for (size_t m = j + 1; m < n; ++m) acc -= u(i, m) * u(j, m) * d[m];
+      u(i, j) = acc / diag;
+    }
+  }
+  return UdutResult{std::move(u), std::move(d)};
+}
+
+Vector SolveLowerTriangular(const Matrix& l, const Vector& b) {
+  const size_t n = l.rows();
+  Vector y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+    y[i] = acc / l(i, i);
+  }
+  return y;
+}
+
+Vector SolveUpperTriangular(const Matrix& u, const Vector& y) {
+  const size_t n = u.rows();
+  Vector x(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    const size_t i = ii;
+    double acc = y[i];
+    for (size_t k = i + 1; k < n; ++k) acc -= u(i, k) * x[k];
+    x[i] = acc / u(i, i);
+  }
+  return x;
+}
+
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b) {
+  FDX_ASSIGN_OR_RETURN(CholeskyResult chol, CholeskyFactor(a));
+  Vector y = SolveLowerTriangular(chol.l, b);
+  return SolveUpperTriangular(chol.l.Transpose(), y);
+}
+
+Result<Matrix> InverseSpd(const Matrix& a) {
+  const size_t n = a.rows();
+  FDX_ASSIGN_OR_RETURN(CholeskyResult chol, CholeskyFactor(a));
+  Matrix lt = chol.l.Transpose();
+  Matrix inv(n, n);
+  Vector e(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    Vector y = SolveLowerTriangular(chol.l, e);
+    Vector x = SolveUpperTriangular(lt, y);
+    for (size_t i = 0; i < n; ++i) inv(i, j) = x[i];
+    e[j] = 0.0;
+  }
+  return inv;
+}
+
+Result<double> LogDetSpd(const Matrix& a) {
+  FDX_ASSIGN_OR_RETURN(CholeskyResult chol, CholeskyFactor(a));
+  double acc = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) acc += std::log(chol.l(i, i));
+  return 2.0 * acc;
+}
+
+}  // namespace fdx

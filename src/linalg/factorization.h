@@ -1,0 +1,60 @@
+#ifndef FDX_LINALG_FACTORIZATION_H_
+#define FDX_LINALG_FACTORIZATION_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Result of a lower Cholesky factorization A = L * L^T.
+struct CholeskyResult {
+  Matrix l;  ///< Lower triangular with positive diagonal.
+};
+
+/// Result of an LDL^T factorization A = L * D * L^T with unit lower
+/// triangular L.
+struct LdltResult {
+  Matrix l;    ///< Unit lower triangular.
+  Vector d;    ///< Diagonal of D.
+};
+
+/// Result of the "reverse" factorization A = U * D * U^T with unit
+/// *upper* triangular U. This is the decomposition FDX applies to the
+/// estimated inverse covariance: with a strictly-upper autoregression
+/// matrix B, Theta = (I - B) Omega^{-1} (I - B)^T, so U = I - B
+/// (paper §4.2, Algorithm 1).
+struct UdutResult {
+  Matrix u;  ///< Unit upper triangular.
+  Vector d;  ///< Diagonal of D (all positive for SPD input).
+};
+
+/// Computes A = L L^T for a symmetric positive definite A.
+/// Fails with NumericalError if a pivot drops below `min_pivot`.
+Result<CholeskyResult> CholeskyFactor(const Matrix& a,
+                                      double min_pivot = 1e-12);
+
+/// Computes A = L D L^T (unit lower L) for symmetric positive definite A.
+Result<LdltResult> LdltFactor(const Matrix& a, double min_pivot = 1e-12);
+
+/// Computes A = U D U^T (unit upper U) for symmetric positive definite A.
+/// Columns are eliminated from last to first.
+Result<UdutResult> UdutFactor(const Matrix& a, double min_pivot = 1e-12);
+
+/// Solves L y = b with lower triangular L (forward substitution).
+Vector SolveLowerTriangular(const Matrix& l, const Vector& b);
+
+/// Solves U x = y with upper triangular U (backward substitution).
+Vector SolveUpperTriangular(const Matrix& u, const Vector& y);
+
+/// Solves A x = b via Cholesky for symmetric positive definite A.
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b);
+
+/// Inverse of a symmetric positive definite matrix via Cholesky.
+Result<Matrix> InverseSpd(const Matrix& a);
+
+/// log(det(A)) of a symmetric positive definite matrix.
+Result<double> LogDetSpd(const Matrix& a);
+
+}  // namespace fdx
+
+#endif  // FDX_LINALG_FACTORIZATION_H_

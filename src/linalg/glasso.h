@@ -1,0 +1,48 @@
+#ifndef FDX_LINALG_GLASSO_H_
+#define FDX_LINALG_GLASSO_H_
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Options for the graphical lasso estimator.
+struct GlassoOptions {
+  /// L1 penalty on the off-diagonal entries of the precision matrix. The
+  /// larger the value, the sparser the estimated structure.
+  double lambda = 0.05;
+  /// Maximum block-coordinate sweeps over the columns.
+  size_t max_iterations = 100;
+  /// Convergence: mean absolute change of W per sweep relative to the
+  /// mean absolute off-diagonal of S.
+  double tolerance = 1e-4;
+  /// Ridge added to the diagonal of S before solving; keeps the problem
+  /// well posed when the pair transform produces (near-)constant columns.
+  double diagonal_ridge = 1e-6;
+  /// Inner lasso iteration cap.
+  size_t lasso_max_iterations = 500;
+  double lasso_tolerance = 1e-6;
+};
+
+/// Output of the graphical lasso: the estimated covariance W and the
+/// sparse precision (inverse covariance) matrix Theta, with exact zeros
+/// where the lasso zeroed a partial correlation.
+struct GlassoResult {
+  Matrix w;      ///< Estimated covariance (S + lambda on the diagonal).
+  Matrix theta;  ///< Sparse precision matrix.
+  size_t sweeps = 0;  ///< Block sweeps until convergence.
+};
+
+/// Sparse inverse covariance estimation via the block coordinate descent
+/// of Friedman, Hastie & Tibshirani (2008). Solves
+///   max_Theta  log det(Theta) - tr(S Theta) - lambda ||Theta||_1
+/// by repeatedly reducing each column to a lasso problem. This is the
+/// structure-learning engine behind FDX (paper §4.2) and the GL baseline.
+Result<GlassoResult> GraphicalLasso(const Matrix& s,
+                                    const GlassoOptions& options);
+
+}  // namespace fdx
+
+#endif  // FDX_LINALG_GLASSO_H_

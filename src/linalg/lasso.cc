@@ -1,0 +1,79 @@
+#include "linalg/lasso.h"
+
+#include <cmath>
+
+namespace fdx {
+
+double SoftThreshold(double x, double threshold) {
+  if (x > threshold) return x - threshold;
+  if (x < -threshold) return x + threshold;
+  return 0.0;
+}
+
+Status SolveQuadraticLasso(const Matrix& q, const Vector& c,
+                           const LassoOptions& options, Vector* beta) {
+  const size_t p = q.rows();
+  if (q.cols() != p || c.size() != p) {
+    return Status::InvalidArgument("lasso dimension mismatch");
+  }
+  if (beta->size() != p) beta->assign(p, 0.0);
+
+  // Maintain the gradient residual r_l = c_l - sum_m Q(l, m) beta_m
+  // incrementally so each coordinate pass is O(p^2) only when
+  // coefficients actually move.
+  Vector qbeta = q.MultiplyVector(*beta);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double max_delta = 0.0;
+    for (size_t l = 0; l < p; ++l) {
+      const double q_ll = q(l, l);
+      if (q_ll <= 0.0) {
+        return Status::NumericalError("lasso: non-positive diagonal");
+      }
+      const double old = (*beta)[l];
+      // Partial residual excludes l's own contribution.
+      const double rho = c[l] - (qbeta[l] - q_ll * old);
+      const double updated = SoftThreshold(rho, options.lambda) / q_ll;
+      const double delta = updated - old;
+      if (delta != 0.0) {
+        (*beta)[l] = updated;
+        const double* q_row = q.RowPtr(l);
+        for (size_t m = 0; m < p; ++m) qbeta[m] += delta * q_row[m];
+        max_delta = std::max(max_delta, std::fabs(delta));
+      }
+    }
+    if (max_delta < options.tolerance) break;
+  }
+  return Status::OK();
+}
+
+Result<Vector> SolveLassoRegression(const Matrix& x, const Vector& y,
+                                    const LassoOptions& options) {
+  const size_t n = x.rows();
+  const size_t p = x.cols();
+  if (y.size() != n) {
+    return Status::InvalidArgument("lasso regression dimension mismatch");
+  }
+  if (n == 0) return Status::InvalidArgument("empty design matrix");
+  Matrix q(p, p);
+  Vector c(p, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = x.RowPtr(i);
+    for (size_t a = 0; a < p; ++a) {
+      c[a] += row[a] * y[i];
+      for (size_t b = a; b < p; ++b) q(a, b) += row[a] * row[b];
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t a = 0; a < p; ++a) {
+    c[a] *= inv_n;
+    for (size_t b = a; b < p; ++b) {
+      q(a, b) *= inv_n;
+      q(b, a) = q(a, b);
+    }
+  }
+  Vector beta(p, 0.0);
+  FDX_RETURN_IF_ERROR(SolveQuadraticLasso(q, c, options, &beta));
+  return beta;
+}
+
+}  // namespace fdx

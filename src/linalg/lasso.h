@@ -1,0 +1,41 @@
+#ifndef FDX_LINALG_LASSO_H_
+#define FDX_LINALG_LASSO_H_
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Options for the coordinate-descent lasso solver.
+struct LassoOptions {
+  double lambda = 0.1;       ///< L1 penalty weight.
+  size_t max_iterations = 1000;
+  double tolerance = 1e-6;   ///< Max coordinate update to declare converged.
+};
+
+/// Soft-thresholding operator S(x, t) = sign(x) * max(|x| - t, 0).
+double SoftThreshold(double x, double threshold);
+
+/// Solves the quadratic lasso subproblem
+///   min_beta  (1/2) beta^T Q beta - beta^T c + lambda * ||beta||_1
+/// by cyclic coordinate descent. Q must be symmetric with positive
+/// diagonal. This is exactly the inner problem of graphical lasso
+/// (Friedman, Hastie & Tibshirani 2008, eq. 2.4).
+///
+/// `beta` is used as the warm start and receives the solution.
+Status SolveQuadraticLasso(const Matrix& q, const Vector& c,
+                           const LassoOptions& options, Vector* beta);
+
+/// Solves a standard lasso regression
+///   min_beta (1/2N) ||y - X beta||^2 + lambda ||beta||_1
+/// by reducing it to the quadratic form above with Q = X^T X / N and
+/// c = X^T y / N. Provided for the sparse-regression framing of the
+/// paper's title and used by tests as an independent oracle.
+Result<Vector> SolveLassoRegression(const Matrix& x, const Vector& y,
+                                    const LassoOptions& options);
+
+}  // namespace fdx
+
+#endif  // FDX_LINALG_LASSO_H_

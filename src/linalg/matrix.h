@@ -1,0 +1,97 @@
+#ifndef FDX_LINALG_MATRIX_H_
+#define FDX_LINALG_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fdx {
+
+/// Dense column vector.
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles. This is the workhorse of the
+/// structure-learning code; it favors clarity over BLAS-level tuning but
+/// keeps the inner loops contiguous so the benchmark sweeps (up to a few
+/// hundred attributes) stay fast.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// The n x n identity.
+  static Matrix Identity(size_t n);
+
+  /// Builds a matrix from nested initializer data (row major).
+  static Matrix FromRows(const std::vector<Vector>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t i, size_t j) {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Raw pointer to row i (row-major layout).
+  double* RowPtr(size_t i) { return data_.data() + i * cols_; }
+  const double* RowPtr(size_t i) const { return data_.data() + i * cols_; }
+
+  Matrix Transpose() const;
+
+  /// Matrix product this * other.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product this * v.
+  Vector MultiplyVector(const Vector& v) const;
+
+  /// Element-wise operations.
+  Matrix Add(const Matrix& other) const;
+  Matrix Subtract(const Matrix& other) const;
+  Matrix Scale(double factor) const;
+
+  /// Max absolute element; 0 for an empty matrix.
+  double MaxAbs() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Returns the matrix with rows and columns restricted to `index_set`,
+  /// in the given order.
+  Matrix Submatrix(const std::vector<size_t>& index_set) const;
+
+  /// Symmetric permutation P^T * this * P where P maps new position i to
+  /// old position perm[i].
+  Matrix PermuteSymmetric(const std::vector<size_t>& perm) const;
+
+  /// True if max |A - A^T| <= tol.
+  bool IsSymmetric(double tol = 1e-9) const;
+
+  /// Debug rendering with fixed precision.
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Dot product. Preconditions: equal sizes.
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double Norm2(const Vector& v);
+
+/// a + s * b, component-wise.
+Vector Axpy(const Vector& a, double s, const Vector& b);
+
+}  // namespace fdx
+
+#endif  // FDX_LINALG_MATRIX_H_

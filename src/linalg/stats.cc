@@ -1,0 +1,103 @@
+#include "linalg/stats.h"
+
+#include <cmath>
+
+namespace fdx {
+
+Vector ColumnMeans(const Matrix& samples) {
+  const size_t n = samples.rows();
+  const size_t k = samples.cols();
+  Vector mu(k, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = samples.RowPtr(i);
+    for (size_t j = 0; j < k; ++j) mu[j] += row[j];
+  }
+  if (n > 0) {
+    for (size_t j = 0; j < k; ++j) mu[j] /= static_cast<double>(n);
+  }
+  return mu;
+}
+
+Result<Matrix> Covariance(const Matrix& samples) {
+  if (samples.rows() == 0) {
+    return Status::InvalidArgument("covariance of an empty sample");
+  }
+  return CovarianceWithMean(samples, ColumnMeans(samples));
+}
+
+Result<Matrix> CovarianceWithMean(const Matrix& samples,
+                                  const Vector& mean) {
+  const size_t n = samples.rows();
+  const size_t k = samples.cols();
+  if (n == 0) return Status::InvalidArgument("covariance of an empty sample");
+  if (mean.size() != k) {
+    return Status::InvalidArgument("mean dimension mismatch");
+  }
+  Matrix s(k, k);
+  Vector centered(k);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = samples.RowPtr(i);
+    for (size_t j = 0; j < k; ++j) centered[j] = row[j] - mean[j];
+    for (size_t a = 0; a < k; ++a) {
+      const double ca = centered[a];
+      if (ca == 0.0) continue;
+      double* s_row = s.RowPtr(a);
+      for (size_t b = a; b < k; ++b) s_row[b] += ca * centered[b];
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t a = 0; a < k; ++a) {
+    for (size_t b = a; b < k; ++b) {
+      s(a, b) *= inv_n;
+      s(b, a) = s(a, b);
+    }
+  }
+  return s;
+}
+
+Result<Matrix> Correlation(const Matrix& samples) {
+  FDX_ASSIGN_OR_RETURN(Matrix s, Covariance(samples));
+  const size_t k = s.rows();
+  Matrix r(k, k);
+  for (size_t a = 0; a < k; ++a) {
+    for (size_t b = 0; b < k; ++b) {
+      const double va = s(a, a);
+      const double vb = s(b, b);
+      if (a == b) {
+        r(a, b) = 1.0;
+      } else if (va <= 0.0 || vb <= 0.0) {
+        r(a, b) = 0.0;
+      } else {
+        r(a, b) = s(a, b) / std::sqrt(va * vb);
+      }
+    }
+  }
+  return r;
+}
+
+Vector StandardizeColumns(Matrix* samples) {
+  const size_t n = samples->rows();
+  const size_t k = samples->cols();
+  Vector mu = ColumnMeans(*samples);
+  Vector sd(k, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = samples->RowPtr(i);
+    for (size_t j = 0; j < k; ++j) {
+      const double c = row[j] - mu[j];
+      sd[j] += c * c;
+    }
+  }
+  for (size_t j = 0; j < k; ++j) {
+    sd[j] = n > 0 ? std::sqrt(sd[j] / static_cast<double>(n)) : 0.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    double* row = samples->RowPtr(i);
+    for (size_t j = 0; j < k; ++j) {
+      row[j] -= mu[j];
+      if (sd[j] > 0.0) row[j] /= sd[j];
+    }
+  }
+  return sd;
+}
+
+}  // namespace fdx

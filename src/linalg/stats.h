@@ -1,0 +1,34 @@
+#ifndef FDX_LINALG_STATS_H_
+#define FDX_LINALG_STATS_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Column means of an N x k sample matrix.
+Vector ColumnMeans(const Matrix& samples);
+
+/// Empirical covariance S = (1/N) sum (x - mu)(x - mu)^T of an N x k
+/// sample matrix. Uses the maximum-likelihood (1/N) normalization; for
+/// the large N produced by the FDX pair transform the distinction from
+/// 1/(N-1) is immaterial.
+Result<Matrix> Covariance(const Matrix& samples);
+
+/// Covariance around a fixed (e.g. zero) mean instead of the empirical
+/// one. FDX's pair-difference view corresponds to a zero-mean transformed
+/// distribution (paper §4.3); exposing both lets the ablation benches
+/// compare the two estimators.
+Result<Matrix> CovarianceWithMean(const Matrix& samples, const Vector& mean);
+
+/// Pearson correlation matrix; columns with zero variance get unit
+/// self-correlation and zero cross-correlation.
+Result<Matrix> Correlation(const Matrix& samples);
+
+/// Standardizes columns in place to zero mean / unit variance. Columns
+/// with zero variance are centered only. Returns the per-column stddevs.
+Vector StandardizeColumns(Matrix* samples);
+
+}  // namespace fdx
+
+#endif  // FDX_LINALG_STATS_H_

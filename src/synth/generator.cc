@@ -1,0 +1,212 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace fdx {
+
+namespace {
+
+/// Deterministic mixing of a tuple of codes into a pseudo-random RHS
+/// value; implements the random assignment phi: dom(X) -> dom(Y) without
+/// materializing the (possibly huge) domain.
+uint64_t MixCodes(const std::vector<int64_t>& codes, uint64_t salt) {
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ salt;
+  for (int64_t c : codes) {
+    h ^= static_cast<uint64_t>(c) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+  }
+  return h;
+}
+
+}  // namespace
+
+SyntheticConfig SmallTuples(SyntheticConfig config) {
+  config.num_tuples = 1000;
+  return config;
+}
+
+SyntheticConfig LargeTuples(SyntheticConfig config) {
+  config.num_tuples = 100000;
+  return config;
+}
+
+SyntheticConfig SmallAttributes(SyntheticConfig config, Rng* rng) {
+  config.num_attributes = static_cast<size_t>(rng->NextInt(8, 16));
+  return config;
+}
+
+SyntheticConfig LargeAttributes(SyntheticConfig config, Rng* rng) {
+  config.num_attributes = static_cast<size_t>(rng->NextInt(40, 80));
+  return config;
+}
+
+SyntheticConfig SmallDomain(SyntheticConfig config) {
+  config.domain_min = 64;
+  config.domain_max = 216;
+  return config;
+}
+
+SyntheticConfig LargeDomain(SyntheticConfig config) {
+  config.domain_min = 1000;
+  config.domain_max = 1728;
+  return config;
+}
+
+Result<SyntheticDataset> GenerateSynthetic(const SyntheticConfig& config) {
+  if (config.num_attributes < 2) {
+    return Status::InvalidArgument("need at least two attributes");
+  }
+  if (config.domain_min < 2 || config.domain_max < config.domain_min) {
+    return Status::InvalidArgument("bad domain cardinality range");
+  }
+  Rng rng(config.seed);
+
+  // 1. Split the globally ordered attributes into consecutive groups of
+  // size 2..4 (LHS size 1..3 plus the RHS attribute).
+  struct Group {
+    std::vector<size_t> lhs;
+    size_t rhs;
+    bool is_fd;
+    double rho;        // correlation strength for non-FD groups
+    uint64_t salt;     // seed of phi
+    size_t rhs_domain;
+  };
+  std::vector<Group> groups;
+  std::vector<size_t> attr_domain(config.num_attributes, 2);
+  size_t next = 0;
+  size_t group_index = 0;
+  while (next < config.num_attributes) {
+    size_t size = static_cast<size_t>(rng.NextInt(2, 4));
+    size = std::min(size, config.num_attributes - next);
+    if (size < 2) {
+      // A trailing loner joins the previous group's LHS.
+      if (!groups.empty()) {
+        groups.back().lhs.push_back(next);
+        attr_domain[next] = static_cast<size_t>(std::max<int64_t>(
+            2, rng.NextInt(2, 12)));
+      }
+      break;
+    }
+    Group group;
+    for (size_t i = 0; i + 1 < size; ++i) group.lhs.push_back(next + i);
+    group.rhs = next + size - 1;
+    group.is_fd = (group_index % 2 == 0);  // half FDs, half correlations
+    group.rho = rng.NextDouble(0.0, config.rho_max);
+    group.salt = rng.engine()();
+    // 2. Domain cardinality: draw v, give the RHS domain v and factor v
+    // across the LHS attributes (paper: the cartesian product of the LHS
+    // domains corresponds to v).
+    const size_t v = static_cast<size_t>(
+        rng.NextInt(static_cast<int64_t>(config.domain_min),
+                     static_cast<int64_t>(config.domain_max)));
+    group.rhs_domain = v;
+    const double per_attr =
+        std::pow(static_cast<double>(v),
+                 1.0 / static_cast<double>(group.lhs.size()));
+    for (size_t a : group.lhs) {
+      attr_domain[a] =
+          std::max<size_t>(2, static_cast<size_t>(std::llround(per_attr)));
+    }
+    attr_domain[group.rhs] = v;
+    groups.push_back(std::move(group));
+    next += size;
+    ++group_index;
+  }
+
+  // Schema and ground truth.
+  std::vector<std::string> names;
+  for (size_t i = 0; i < config.num_attributes; ++i) {
+    names.push_back("A" + std::to_string(i));
+  }
+  SyntheticDataset out;
+  Table clean{Schema(names)};
+  for (const auto& group : groups) {
+    if (group.is_fd) out.true_fds.emplace_back(group.lhs, group.rhs);
+  }
+
+  // 3. Sample tuples group by group.
+  std::vector<Value> row(config.num_attributes);
+  std::vector<int64_t> lhs_codes;
+  for (size_t t = 0; t < config.num_tuples; ++t) {
+    for (const auto& group : groups) {
+      lhs_codes.clear();
+      for (size_t a : group.lhs) {
+        const int64_t code =
+            rng.NextInt(0, static_cast<int64_t>(attr_domain[a]) - 1);
+        lhs_codes.push_back(code);
+        row[a] = Value(code);
+      }
+      const int64_t mapped = static_cast<int64_t>(
+          MixCodes(lhs_codes, group.salt) % group.rhs_domain);
+      int64_t y = mapped;
+      if (!group.is_fd && !rng.NextBernoulli(group.rho)) {
+        // Uniform over the other values: P(Y != r0 | X) spread evenly.
+        y = rng.NextInt(0, static_cast<int64_t>(group.rhs_domain) - 2);
+        if (y >= mapped) ++y;
+      }
+      row[group.rhs] = Value(y);
+    }
+    clean.AppendRow(row);
+  }
+
+  // 4. Noise: flip only cells of attributes participating in true FDs.
+  std::set<size_t> fd_attrs;
+  for (const auto& fd : out.true_fds) {
+    fd_attrs.insert(fd.rhs);
+    fd_attrs.insert(fd.lhs.begin(), fd.lhs.end());
+  }
+  Rng noise_rng = rng.Fork();
+  out.noisy = FlipCells(clean, {fd_attrs.begin(), fd_attrs.end()},
+                        config.noise_rate, &noise_rng);
+  out.clean = std::move(clean);
+  return out;
+}
+
+Table FlipCells(const Table& table, const std::vector<size_t>& columns,
+                double rate, Rng* rng) {
+  Table out = table;
+  if (rate <= 0.0) return out;
+  for (size_t c : columns) {
+    // Observed domain of the column.
+    std::vector<Value> domain;
+    {
+      std::set<std::string> seen;
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        const Value& v = table.cell(r, c);
+        if (v.is_null()) continue;
+        if (seen.insert(v.ToString()).second) domain.push_back(v);
+      }
+    }
+    if (domain.size() < 2) continue;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (!rng->NextBernoulli(rate)) continue;
+      const Value& current = out.cell(r, c);
+      // Draw a replacement different from the current value.
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const Value& candidate = domain[rng->NextUint64(domain.size())];
+        if (!candidate.EqualsStrict(current)) {
+          out.set_cell(r, c, candidate);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Table PunchHoles(const Table& table, double rate, Rng* rng) {
+  Table out = table;
+  if (rate <= 0.0) return out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (rng->NextBernoulli(rate)) out.set_cell(r, c, Value::Null());
+    }
+  }
+  return out;
+}
+
+}  // namespace fdx

@@ -1,0 +1,68 @@
+#ifndef FDX_SYNTH_GENERATOR_H_
+#define FDX_SYNTH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+#include "fd/fd.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Configuration of the paper's synthetic data generator (§5.1,
+/// "Synthetic Data Generation" and Table 2).
+struct SyntheticConfig {
+  size_t num_tuples = 1000;      ///< t
+  size_t num_attributes = 12;    ///< r
+  /// Domain cardinality of the LHS cartesian product (and of the RHS);
+  /// a value is drawn uniformly from [domain_min, domain_max] per group.
+  size_t domain_min = 64;        ///< d lower bound
+  size_t domain_max = 216;       ///< d upper bound
+  double noise_rate = 0.01;      ///< n: fraction of flipped FD cells
+  /// Correlation strength rho is drawn uniformly from [0, rho_max] for
+  /// non-FD groups (paper: 0.85).
+  double rho_max = 0.85;
+  uint64_t seed = 42;
+};
+
+/// Table 2 presets.
+SyntheticConfig SmallTuples(SyntheticConfig config);
+SyntheticConfig LargeTuples(SyntheticConfig config);
+SyntheticConfig SmallAttributes(SyntheticConfig config, Rng* rng);
+SyntheticConfig LargeAttributes(SyntheticConfig config, Rng* rng);
+SyntheticConfig SmallDomain(SyntheticConfig config);
+SyntheticConfig LargeDomain(SyntheticConfig config);
+
+/// A generated instance: the clean table, the noisy table produced by
+/// the cell-flip channel, and the planted ground-truth FDs (only the FD
+/// groups; correlation groups are distractors the discovery methods must
+/// reject).
+struct SyntheticDataset {
+  Table clean;
+  Table noisy;
+  FdSet true_fds;
+};
+
+/// Generates one instance following the paper's process:
+///  1. attributes take a global order and are split into consecutive
+///     groups of size 2..4 (LHS of size 1..3 plus one RHS);
+///  2. alternating groups carry an exact FD phi: dom(X) -> dom(Y) or a
+///     correlation P(Y = phi(X) | X) = rho with rho ~ U[0, rho_max];
+///  3. noise flips cells of FD-participating attributes to a different
+///     domain value with probability `noise_rate`.
+Result<SyntheticDataset> GenerateSynthetic(const SyntheticConfig& config);
+
+/// Flips each cell of the listed columns with probability `rate` to a
+/// different value drawn from that column's observed domain. Exposed for
+/// reuse by the benchmark drivers (Figure 7 noise sweeps).
+Table FlipCells(const Table& table, const std::vector<size_t>& columns,
+                double rate, Rng* rng);
+
+/// Deletes (nulls out) each cell with probability `rate`; models the
+/// naturally-missing-values corruption of the real-world experiments.
+Table PunchHoles(const Table& table, double rate, Rng* rng);
+
+}  // namespace fdx
+
+#endif  // FDX_SYNTH_GENERATOR_H_

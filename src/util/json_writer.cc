@@ -1,0 +1,115 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fdx {
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!has_sibling_.empty()) {
+    if (has_sibling_.back()) out_ += ',';
+    has_sibling_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ += '{';
+  has_sibling_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  out_ += '}';
+  has_sibling_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ += '[';
+  has_sibling_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  out_ += ']';
+  has_sibling_.pop_back();
+}
+
+void JsonWriter::Key(const std::string& name) {
+  MaybeComma();
+  out_ += '"';
+  out_ += Escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  MaybeComma();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Number(double value) {
+  MaybeComma();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Integer(int64_t value) {
+  MaybeComma();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  MaybeComma();
+  out_ += "null";
+}
+
+std::string JsonWriter::Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace fdx

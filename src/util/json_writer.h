@@ -1,0 +1,53 @@
+#ifndef FDX_UTIL_JSON_WRITER_H_
+#define FDX_UTIL_JSON_WRITER_H_
+
+#include <string>
+#include <vector>
+
+namespace fdx {
+
+/// Minimal JSON emitter used by the CLI's machine-readable output.
+/// Produces compact, valid JSON; callers drive the nesting explicitly.
+///
+///   JsonWriter json;
+///   json.BeginObject();
+///   json.Key("fds");
+///   json.BeginArray();
+///   ...
+///   json.EndArray();
+///   json.EndObject();
+///   std::string out = json.TakeString();
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Writes an object key; must be followed by a value or container.
+  void Key(const std::string& name);
+
+  void String(const std::string& value);
+  void Number(double value);
+  void Integer(int64_t value);
+  void Bool(bool value);
+  void Null();
+
+  /// Finishes and returns the document.
+  std::string TakeString() { return std::move(out_); }
+
+  /// Escapes a string per RFC 8259 (quotes, backslashes, control chars).
+  static std::string Escape(const std::string& text);
+
+ private:
+  /// Emits a comma if the previous sibling requires one.
+  void MaybeComma();
+
+  std::string out_;
+  std::vector<bool> has_sibling_;  ///< per nesting level
+  bool pending_key_ = false;
+};
+
+}  // namespace fdx
+
+#endif  // FDX_UTIL_JSON_WRITER_H_

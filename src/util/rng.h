@@ -1,0 +1,75 @@
+#ifndef FDX_UTIL_RNG_H_
+#define FDX_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace fdx {
+
+/// Deterministic pseudo-random number generator used everywhere in the
+/// library. Every stochastic component takes an explicit seed so that
+/// experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t NextUint64(uint64_t n) {
+    std::uniform_int_distribution<uint64_t> dist(0, n - 1);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Standard normal draw.
+  double NextGaussian() {
+    std::normal_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Draws an index from an unnormalized discrete distribution.
+  /// Precondition: weights non-empty with a positive total mass.
+  size_t NextDiscrete(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles the given indices in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = NextUint64(i);
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Fork a child generator with a derived seed; lets components consume
+  /// randomness without perturbing the parent stream.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace fdx
+
+#endif  // FDX_UTIL_RNG_H_

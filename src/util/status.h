@@ -1,0 +1,114 @@
+#ifndef FDX_UTIL_STATUS_H_
+#define FDX_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fdx {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of a lightweight status object instead of exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kNumericalError,
+  kTimeout,
+  kInternal,
+};
+
+/// A Status describes the outcome of a fallible operation. Cheap to copy
+/// in the OK case; carries a message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: empty table".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status. Modeled after
+/// arrow::Result; keeps fallible constructors out of the public API.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error Status keeps
+  /// call sites terse: `return value;` / `return Status::IOError(...)`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Error status; OK() when the result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Value accessors. Precondition: ok().
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define FDX_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::fdx::Status _fdx_status = (expr);        \
+    if (!_fdx_status.ok()) return _fdx_status; \
+  } while (false)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define FDX_ASSIGN_OR_RETURN(lhs, expr)                  \
+  auto FDX_CONCAT_(_fdx_result, __LINE__) = (expr);      \
+  if (!FDX_CONCAT_(_fdx_result, __LINE__).ok())          \
+    return FDX_CONCAT_(_fdx_result, __LINE__).status();  \
+  lhs = std::move(FDX_CONCAT_(_fdx_result, __LINE__)).value()
+
+#define FDX_CONCAT_IMPL_(a, b) a##b
+#define FDX_CONCAT_(a, b) FDX_CONCAT_IMPL_(a, b)
+
+}  // namespace fdx
+
+#endif  // FDX_UTIL_STATUS_H_

@@ -1,0 +1,54 @@
+#ifndef FDX_UTIL_STOPWATCH_H_
+#define FDX_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace fdx {
+
+/// Wall-clock stopwatch used to report end-to-end experiment runtimes,
+/// matching the paper's measurement methodology (§5.1).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed wall-clock seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A soft deadline. Long-running discovery algorithms (RFI, PYRO) poll
+/// this to honor the benchmark time budget the way the paper caps runs
+/// at eight hours.
+class Deadline {
+ public:
+  /// A deadline `seconds` from now; non-positive means unlimited.
+  explicit Deadline(double seconds) : budget_seconds_(seconds) {}
+
+  /// Unlimited deadline.
+  static Deadline Unlimited() { return Deadline(0.0); }
+
+  bool Expired() const {
+    return budget_seconds_ > 0.0 && watch_.ElapsedSeconds() > budget_seconds_;
+  }
+
+  double budget_seconds() const { return budget_seconds_; }
+
+ private:
+  double budget_seconds_;
+  Stopwatch watch_;
+};
+
+}  // namespace fdx
+
+#endif  // FDX_UTIL_STOPWATCH_H_

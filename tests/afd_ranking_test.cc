@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "eval/afd_ranking.h"
+#include "util/rng.h"
+
+namespace fdx {
+namespace {
+
+/// y = f(x) exactly; z correlated with x at rho; noise independent;
+/// id unique.
+Table RankingFixture(size_t n, double rho, uint64_t seed) {
+  Table t{Schema({"x", "y", "z", "noise", "id"})};
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t x = rng.NextInt(0, 7);
+    const int64_t z = rng.NextBernoulli(rho) ? x : rng.NextInt(0, 7);
+    t.AppendRow({Value(x), Value((x * 3 + 5) % 8), Value(z),
+                 Value(rng.NextInt(0, 7)), Value(static_cast<int64_t>(i))});
+  }
+  return t;
+}
+
+const AfdCandidate* Find(const std::vector<AfdCandidate>& ranked, size_t x,
+                         size_t y) {
+  for (const auto& c : ranked) {
+    if (c.fd.lhs == std::vector<size_t>{x} && c.fd.rhs == y) return &c;
+  }
+  return nullptr;
+}
+
+TEST(AfdRankingTest, ExactFdRanksFirst) {
+  Table t = RankingFixture(1500, 0.5, 1);
+  auto ranked = RankUnaryAfds(t);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_FALSE(ranked->empty());
+  const AfdCandidate& top = (*ranked)[0];
+  // x -> y or y -> x (a bijection) must win.
+  const bool top_is_xy =
+      (top.fd.lhs == std::vector<size_t>{0} && top.fd.rhs == 1) ||
+      (top.fd.lhs == std::vector<size_t>{1} && top.fd.rhs == 0);
+  EXPECT_TRUE(top_is_xy) << top.fd.ToString(t.schema());
+  EXPECT_NEAR(top.g3_error, 0.0, 1e-12);
+  EXPECT_NEAR(top.fraction_of_information, 1.0, 1e-9);
+  EXPECT_GT(top.reliable_fraction, 0.9);
+  EXPECT_NEAR(top.strength, 1.0, 1e-12);
+}
+
+TEST(AfdRankingTest, CorrelationRanksBetweenFdAndNoise) {
+  Table t = RankingFixture(1500, 0.7, 2);
+  auto ranked = RankUnaryAfds(t);
+  ASSERT_TRUE(ranked.ok());
+  const AfdCandidate* exact = Find(*ranked, 0, 1);
+  const AfdCandidate* correlated = Find(*ranked, 0, 2);
+  ASSERT_NE(exact, nullptr);
+  ASSERT_NE(correlated, nullptr);
+  EXPECT_GT(exact->reliable_fraction, correlated->reliable_fraction);
+  EXPECT_GT(correlated->reliable_fraction, 0.1);
+  const AfdCandidate* noise = Find(*ranked, 0, 3);
+  if (noise != nullptr) {
+    EXPECT_LT(noise->reliable_fraction,
+              correlated->reliable_fraction);
+  }
+}
+
+TEST(AfdRankingTest, SoftKeysExcludedAsDeterminants) {
+  Table t = RankingFixture(800, 0.5, 3);
+  auto ranked = RankUnaryAfds(t);
+  ASSERT_TRUE(ranked.ok());
+  for (const auto& candidate : *ranked) {
+    EXPECT_NE(candidate.fd.lhs, std::vector<size_t>{4})  // the id column
+        << candidate.fd.ToString(t.schema());
+  }
+}
+
+TEST(AfdRankingTest, MinScoreFilters) {
+  Table t = RankingFixture(800, 0.3, 4);
+  AfdRankingOptions options;
+  options.min_reliable_fraction = 0.95;
+  auto ranked = RankUnaryAfds(t, options);
+  ASSERT_TRUE(ranked.ok());
+  for (const auto& candidate : *ranked) {
+    EXPECT_GE(candidate.reliable_fraction, 0.95);
+  }
+}
+
+TEST(AfdRankingTest, SortedByReliableFraction) {
+  Table t = RankingFixture(800, 0.6, 5);
+  auto ranked = RankUnaryAfds(t);
+  ASSERT_TRUE(ranked.ok());
+  for (size_t i = 1; i < ranked->size(); ++i) {
+    EXPECT_GE((*ranked)[i - 1].reliable_fraction,
+              (*ranked)[i].reliable_fraction);
+  }
+}
+
+TEST(AfdRankingTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(RankUnaryAfds(Table{Schema({"only"})}).ok());
+}
+
+}  // namespace
+}  // namespace fdx

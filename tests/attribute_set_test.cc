@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "fd/attribute_set.h"
+
+namespace fdx {
+namespace {
+
+TEST(AttributeSetTest, EmptyByDefault) {
+  AttributeSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_TRUE(s.ToIndices().empty());
+}
+
+TEST(AttributeSetTest, AddRemoveContains) {
+  AttributeSet s;
+  s.Add(3);
+  s.Add(70);  // exercises the high word
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(70));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Count(), 2u);
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.Count(), 1u);
+  s.Remove(3);  // idempotent
+  EXPECT_EQ(s.Count(), 1u);
+}
+
+TEST(AttributeSetTest, ToIndicesSorted) {
+  AttributeSet s = AttributeSet::FromIndices({100, 5, 63, 64, 0});
+  EXPECT_EQ(s.ToIndices(), (std::vector<size_t>{0, 5, 63, 64, 100}));
+}
+
+TEST(AttributeSetTest, UnionIntersect) {
+  AttributeSet a = AttributeSet::FromIndices({1, 2, 65});
+  AttributeSet b = AttributeSet::FromIndices({2, 3, 65, 90});
+  EXPECT_EQ(a.Union(b).ToIndices(), (std::vector<size_t>{1, 2, 3, 65, 90}));
+  EXPECT_EQ(a.Intersect(b).ToIndices(), (std::vector<size_t>{2, 65}));
+}
+
+TEST(AttributeSetTest, WithoutLeavesOriginalIntact) {
+  AttributeSet a = AttributeSet::FromIndices({1, 2});
+  AttributeSet b = a.Without(1);
+  EXPECT_TRUE(a.Contains(1));
+  EXPECT_FALSE(b.Contains(1));
+  EXPECT_TRUE(b.Contains(2));
+}
+
+TEST(AttributeSetTest, SubsetChecks) {
+  AttributeSet small = AttributeSet::FromIndices({2, 70});
+  AttributeSet big = AttributeSet::FromIndices({1, 2, 70});
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_TRUE(AttributeSet().IsSubsetOf(small));
+}
+
+TEST(AttributeSetTest, EqualityAndOrdering) {
+  AttributeSet a = AttributeSet::FromIndices({1, 2});
+  AttributeSet b = AttributeSet::FromIndices({2, 1});
+  EXPECT_TRUE(a == b);
+  AttributeSet c = AttributeSet::FromIndices({1, 3});
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a < c || c < a);
+}
+
+TEST(AttributeSetTest, HashDistinguishesHighBits) {
+  AttributeSet a = AttributeSet::Single(0);
+  AttributeSet b = AttributeSet::Single(64);
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(AttributeSetTest, SingleFactory) {
+  AttributeSet s = AttributeSet::Single(127);
+  EXPECT_EQ(s.Count(), 1u);
+  EXPECT_TRUE(s.Contains(127));
+}
+
+}  // namespace
+}  // namespace fdx

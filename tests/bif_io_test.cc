@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bn/bif_io.h"
+#include "bn/networks.h"
+
+namespace fdx {
+namespace {
+
+void ExpectNetworksEqual(const BayesNet& a, const BayesNet& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (size_t i = 0; i < a.num_nodes(); ++i) {
+    const BayesNode& na = a.node(i);
+    const BayesNode& nb = b.node(i);
+    EXPECT_EQ(na.name, nb.name);
+    EXPECT_EQ(na.states, nb.states);
+    EXPECT_EQ(na.parents, nb.parents);
+    ASSERT_EQ(na.cpt.size(), nb.cpt.size());
+    for (size_t row = 0; row < na.cpt.size(); ++row) {
+      ASSERT_EQ(na.cpt[row].size(), nb.cpt[row].size());
+      for (size_t s = 0; s < na.cpt[row].size(); ++s) {
+        EXPECT_DOUBLE_EQ(na.cpt[row][s], nb.cpt[row][s]);
+      }
+    }
+  }
+}
+
+TEST(BifIoTest, RoundTripsAllBenchmarkNetworks) {
+  for (auto& bn : MakeAllBenchmarkNetworks()) {
+    const std::string text = SerializeBayesNet(bn.net);
+    auto parsed = ParseBayesNet(text);
+    ASSERT_TRUE(parsed.ok()) << bn.name << ": "
+                             << parsed.status().ToString();
+    ExpectNetworksEqual(bn.net, *parsed);
+  }
+}
+
+TEST(BifIoTest, RoundTripPreservesSampling) {
+  BayesNet original = MakeAsiaNetwork();
+  auto parsed = ParseBayesNet(SerializeBayesNet(original));
+  ASSERT_TRUE(parsed.ok());
+  Rng rng_a(5), rng_b(5);
+  auto sample_a = original.Sample(200, &rng_a);
+  auto sample_b = parsed->Sample(200, &rng_b);
+  ASSERT_TRUE(sample_a.ok() && sample_b.ok());
+  for (size_t r = 0; r < 200; ++r) {
+    for (size_t c = 0; c < sample_a->num_columns(); ++c) {
+      EXPECT_TRUE(sample_a->cell(r, c).EqualsStrict(sample_b->cell(r, c)));
+    }
+  }
+}
+
+TEST(BifIoTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fdx_bif_test.net").string();
+  BayesNet original = MakeCancerNetwork();
+  ASSERT_TRUE(WriteBayesNet(original, path).ok());
+  auto loaded = ReadBayesNet(path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectNetworksEqual(original, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(BifIoTest, ParsesHandWrittenNetwork) {
+  const std::string text =
+      "# tiny two-node chain\n"
+      "node rain yes no\n"
+      "node wet yes no\n"
+      "parents rain\n"
+      "parents wet rain\n"
+      "cpt rain 0.3 0.7 ;\n"
+      "cpt wet 0.9 0.1 ; 0.2 0.8 ;\n";
+  auto net = ParseBayesNet(text);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  EXPECT_EQ(net->num_nodes(), 2u);
+  EXPECT_EQ(net->NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(net->node(1).cpt[1][1], 0.8);
+}
+
+TEST(BifIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseBayesNet("node lonely onlystate\n").ok());
+  EXPECT_FALSE(ParseBayesNet("parents ghost\n").ok());
+  EXPECT_FALSE(ParseBayesNet("cpt ghost 0.5 0.5 ;\n").ok());
+  EXPECT_FALSE(ParseBayesNet("wibble x y\n").ok());
+  // Unterminated CPT row.
+  EXPECT_FALSE(
+      ParseBayesNet("node a x y\nparents a\ncpt a 0.5 0.5\n").ok());
+  // Unnormalized CPT fails validation.
+  EXPECT_FALSE(
+      ParseBayesNet("node a x y\nparents a\ncpt a 0.9 0.9 ;\n").ok());
+  // Duplicate node.
+  EXPECT_FALSE(ParseBayesNet("node a x y\nnode a x y\n").ok());
+}
+
+TEST(BifIoTest, RejectsWrongCptShape) {
+  const std::string text =
+      "node a x y\n"
+      "parents a\n"
+      "cpt a 0.5 0.5 ; 0.5 0.5 ;\n";  // root has one config, not two
+  EXPECT_FALSE(ParseBayesNet(text).ok());
+}
+
+}  // namespace
+}  // namespace fdx

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "bn/bayes_net.h"
+#include "bn/networks.h"
+#include "fd/fd.h"
+
+namespace fdx {
+namespace {
+
+TEST(BayesNetTest, AddNodeValidatesParents) {
+  BayesNet net;
+  ASSERT_TRUE(net.AddNode("a", {"0", "1"}, {}).ok());
+  EXPECT_FALSE(net.AddNode("b", {"0", "1"}, {"missing"}).ok());
+  EXPECT_FALSE(net.AddNode("c", {"only-one"}, {}).ok());
+  EXPECT_TRUE(net.AddNode("b", {"0", "1"}, {"a"}).ok());
+  EXPECT_EQ(net.num_nodes(), 2u);
+  EXPECT_EQ(net.NumEdges(), 1u);
+}
+
+TEST(BayesNetTest, ParentConfigCount) {
+  BayesNet net;
+  ASSERT_TRUE(net.AddNode("a", {"0", "1"}, {}).ok());
+  ASSERT_TRUE(net.AddNode("b", {"0", "1", "2"}, {}).ok());
+  ASSERT_TRUE(net.AddNode("c", {"0", "1"}, {"a", "b"}).ok());
+  EXPECT_EQ(net.NumParentConfigs(2), 6u);
+}
+
+TEST(BayesNetTest, FillFunctionalCptsValidates) {
+  BayesNet net = MakeAsiaNetwork();
+  EXPECT_TRUE(net.Validate().ok());
+}
+
+TEST(BayesNetTest, SampleWithoutCptsFails) {
+  BayesNet net;
+  ASSERT_TRUE(net.AddNode("a", {"0", "1"}, {}).ok());
+  Rng rng(1);
+  EXPECT_FALSE(net.Sample(10, &rng).ok());
+}
+
+TEST(BayesNetTest, SampleShapeAndValues) {
+  BayesNet net = MakeCancerNetwork();
+  Rng rng(2);
+  auto table = net.Sample(500, &rng);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 500u);
+  EXPECT_EQ(table->num_columns(), 5u);
+  EXPECT_EQ(table->schema().name(2), "Cancer");
+  // Every cell is one of the node's state labels.
+  for (size_t r = 0; r < 50; ++r) {
+    const std::string v = table->cell(r, 2).ToString();
+    EXPECT_TRUE(v == "true" || v == "false") << v;
+  }
+}
+
+TEST(BayesNetTest, GroundTruthFdsMatchParents) {
+  BayesNet net = MakeAsiaNetwork();
+  FdSet fds = net.GroundTruthFds();
+  EXPECT_EQ(fds.size(), 6u);  // paper Table 1
+  EXPECT_EQ(FdEdges(fds).size(), 8u);
+}
+
+TEST(BayesNetTest, FunctionalCptsProduceLowFdError) {
+  // With epsilon-noise CPTs, parents -> child holds with error ~epsilon.
+  BayesNet net = MakeAsiaNetwork(/*epsilon=*/0.02);
+  Rng rng(3);
+  auto table = net.Sample(5000, &rng);
+  ASSERT_TRUE(table.ok());
+  EncodedTable encoded = EncodedTable::Encode(*table);
+  for (const auto& fd : net.GroundTruthFds()) {
+    EXPECT_LT(FdG3Error(encoded, fd), 0.05)
+        << fd.ToString(table->schema());
+  }
+}
+
+TEST(BayesNetTest, DeterministicForSeed) {
+  BayesNet net = MakeEarthquakeNetwork();
+  Rng rng_a(7), rng_b(7);
+  auto a = net.Sample(100, &rng_a);
+  auto b = net.Sample(100, &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t r = 0; r < 100; ++r) {
+    for (size_t c = 0; c < 5; ++c) {
+      EXPECT_TRUE(a->cell(r, c).EqualsStrict(b->cell(r, c)));
+    }
+  }
+}
+
+struct NetworkSpec {
+  const char* name;
+  size_t nodes;
+  size_t edges;
+  size_t fds;
+};
+
+class NetworkCatalogTest : public ::testing::TestWithParam<NetworkSpec> {};
+
+TEST_P(NetworkCatalogTest, StructureMatchesPublishedNetworks) {
+  const NetworkSpec& spec = GetParam();
+  BayesNet net;
+  const std::string name = spec.name;
+  if (name == "Alarm") net = MakeAlarmNetwork();
+  if (name == "Asia") net = MakeAsiaNetwork();
+  if (name == "Cancer") net = MakeCancerNetwork();
+  if (name == "Child") net = MakeChildNetwork();
+  if (name == "Earthquake") net = MakeEarthquakeNetwork();
+  EXPECT_EQ(net.num_nodes(), spec.nodes);
+  EXPECT_EQ(net.NumEdges(), spec.edges);
+  EXPECT_EQ(net.GroundTruthFds().size(), spec.fds);
+  EXPECT_TRUE(net.Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNetworks, NetworkCatalogTest,
+    ::testing::Values(NetworkSpec{"Alarm", 37, 46, 25},
+                      NetworkSpec{"Asia", 8, 8, 6},
+                      NetworkSpec{"Cancer", 5, 4, 3},
+                      NetworkSpec{"Child", 20, 25, 19},
+                      NetworkSpec{"Earthquake", 5, 4, 3}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(NetworkCatalogTest, MakeAllReturnsFive) {
+  auto all = MakeAllBenchmarkNetworks();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0].name, "Alarm");
+  EXPECT_EQ(all[4].name, "Earthquake");
+}
+
+}  // namespace
+}  // namespace fdx

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "fd/cfd.h"
+#include "util/rng.h"
+
+namespace fdx {
+namespace {
+
+bool HasCfd(const std::vector<ConditionalFd>& cfds, const Schema& schema,
+            const std::string& rendered) {
+  for (const auto& cfd : cfds) {
+    if (cfd.ToString(schema) == rendered) return true;
+  }
+  return false;
+}
+
+Table ZipTable(size_t n, uint64_t seed, double noise) {
+  // city determines state only conditionally: "springfield" maps to two
+  // states, every other city to one.
+  Table t{Schema({"city", "state", "other"})};
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t pick = rng.NextInt(0, 3);
+    std::string city, state;
+    if (pick == 0) {
+      city = "springfield";
+      state = rng.NextBernoulli(0.5) ? "IL" : "MA";
+    } else if (pick == 1) {
+      city = "chicago";
+      state = "IL";
+    } else if (pick == 2) {
+      city = "boston";
+      state = "MA";
+    } else {
+      city = "austin";
+      state = "TX";
+    }
+    if (noise > 0.0 && rng.NextBernoulli(noise)) state = "XX";
+    t.AppendRow({Value(city), Value(state),
+                 Value(rng.NextInt(0, 5))});
+  }
+  return t;
+}
+
+TEST(CfdTest, FindsConditionalRules) {
+  Table t = ZipTable(2000, 1, 0.0);
+  CfdOptions options;
+  options.min_support = 0.05;
+  options.min_confidence = 0.99;
+  auto cfds = DiscoverConstantCfds(t, options);
+  ASSERT_TRUE(cfds.ok());
+  EXPECT_TRUE(HasCfd(*cfds, t.schema(), "(city=chicago) => state=IL"));
+  EXPECT_TRUE(HasCfd(*cfds, t.schema(), "(city=boston) => state=MA"));
+  EXPECT_TRUE(HasCfd(*cfds, t.schema(), "(city=austin) => state=TX"));
+  // springfield is genuinely ambiguous: no rule.
+  EXPECT_FALSE(HasCfd(*cfds, t.schema(), "(city=springfield) => state=IL"));
+  EXPECT_FALSE(HasCfd(*cfds, t.schema(), "(city=springfield) => state=MA"));
+}
+
+TEST(CfdTest, SupportAndConfidenceComputed) {
+  Table t = ZipTable(2000, 2, 0.0);
+  auto cfds = DiscoverConstantCfds(t, {});
+  ASSERT_TRUE(cfds.ok());
+  for (const auto& cfd : *cfds) {
+    EXPECT_GE(cfd.support, 0.05);
+    EXPECT_LE(cfd.support, 1.0);
+    EXPECT_GE(cfd.confidence, 0.95);
+    EXPECT_LE(cfd.confidence, 1.0);
+  }
+}
+
+TEST(CfdTest, ConfidenceThresholdToleratesNoise) {
+  Table t = ZipTable(2000, 3, 0.03);
+  CfdOptions strict;
+  strict.min_confidence = 1.0;
+  auto exact = DiscoverConstantCfds(t, strict);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_FALSE(HasCfd(*exact, t.schema(), "(city=chicago) => state=IL"));
+  CfdOptions tolerant;
+  tolerant.min_confidence = 0.9;
+  auto approx = DiscoverConstantCfds(t, tolerant);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_TRUE(HasCfd(*approx, t.schema(), "(city=chicago) => state=IL"));
+}
+
+TEST(CfdTest, MinimalityAcrossLevels) {
+  // (city=chicago) => state=IL holds, so the two-condition pattern
+  // (city=chicago, other=v) => state=IL must NOT be reported.
+  Table t = ZipTable(4000, 4, 0.0);
+  CfdOptions options;
+  options.min_support = 0.01;
+  options.max_lhs_size = 2;
+  auto cfds = DiscoverConstantCfds(t, options);
+  ASSERT_TRUE(cfds.ok());
+  for (const auto& cfd : *cfds) {
+    if (cfd.lhs_attrs.size() == 2 &&
+        cfd.rhs_attr == 1) {  // consequence on state
+      // The pattern must involve springfield (the only city whose
+      // state is not already pinned by a single condition).
+      bool involves_springfield = false;
+      for (size_t i = 0; i < cfd.lhs_attrs.size(); ++i) {
+        if (cfd.lhs_attrs[i] == 0 &&
+            cfd.lhs_values[i].ToString() == "springfield") {
+          involves_springfield = true;
+        }
+      }
+      EXPECT_TRUE(involves_springfield) << cfd.ToString(t.schema());
+    }
+  }
+}
+
+TEST(CfdTest, SupportThresholdPrunesRarePatterns) {
+  Table t = ZipTable(1000, 5, 0.0);
+  CfdOptions options;
+  options.min_support = 0.9;  // nothing covers 90% of rows
+  auto cfds = DiscoverConstantCfds(t, options);
+  ASSERT_TRUE(cfds.ok());
+  EXPECT_TRUE(cfds->empty());
+}
+
+TEST(CfdTest, MaxResultsCapsOutput) {
+  Table t = ZipTable(1000, 6, 0.0);
+  CfdOptions options;
+  options.max_results = 2;
+  auto cfds = DiscoverConstantCfds(t, options);
+  ASSERT_TRUE(cfds.ok());
+  EXPECT_LE(cfds->size(), 2u);
+}
+
+TEST(CfdTest, TimeBudgetHonored) {
+  Table t = ZipTable(5000, 7, 0.0);
+  CfdOptions options;
+  options.time_budget_seconds = 1e-9;
+  auto cfds = DiscoverConstantCfds(t, options);
+  EXPECT_FALSE(cfds.ok());
+  EXPECT_EQ(cfds.status().code(), StatusCode::kTimeout);
+}
+
+TEST(CfdTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(DiscoverConstantCfds(Table{Schema({"one"})}, {}).ok());
+  CfdOptions bad;
+  bad.min_support = 0.0;
+  Table t = ZipTable(10, 8, 0.0);
+  EXPECT_FALSE(DiscoverConstantCfds(t, bad).ok());
+}
+
+TEST(CfdTest, ToStringRendersPattern) {
+  ConditionalFd cfd;
+  cfd.lhs_attrs = {0, 1};
+  cfd.lhs_values = {Value(std::string("a")), Value(int64_t{3})};
+  cfd.rhs_attr = 2;
+  cfd.rhs_value = Value(std::string("z"));
+  Schema schema({"p", "q", "r"});
+  EXPECT_EQ(cfd.ToString(schema), "(p=a, q=3) => r=z");
+}
+
+}  // namespace
+}  // namespace fdx

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/cords.h"
+#include "data/csv.h"
+#include "synth/generator.h"
+
+namespace fdx {
+namespace {
+
+bool ContainsFd(const FdSet& fds, size_t lhs, size_t rhs) {
+  return std::find(fds.begin(), fds.end(),
+                   FunctionalDependency({lhs}, rhs)) != fds.end();
+}
+
+Table DeterministicPair(size_t n, uint64_t seed, double flip_rate) {
+  Table t{Schema({"x", "y", "noise"})};
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t x = rng.NextInt(0, 7);
+    const int64_t y =
+        rng.NextBernoulli(flip_rate) ? rng.NextInt(0, 7) : (x * 5 + 2) % 8;
+    t.AppendRow({Value(x), Value(y), Value(rng.NextInt(0, 7))});
+  }
+  return t;
+}
+
+TEST(ChiSquaredTest, IndependentColumnsScoreLow) {
+  Table t{Schema({"a", "b"})};
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    t.AppendRow({Value(rng.NextInt(0, 3)), Value(rng.NextInt(0, 3))});
+  }
+  EncodedTable e = EncodedTable::Encode(t);
+  std::vector<size_t> rows(1000);
+  std::iota(rows.begin(), rows.end(), 0);
+  ChiSquared chi = ChiSquaredTest(e, 0, 1, rows);
+  EXPECT_EQ(chi.dof, 9u);
+  // Under independence, E[statistic] = dof; allow generous slack.
+  EXPECT_LT(chi.statistic, 30.0);
+}
+
+TEST(ChiSquaredTest, DependentColumnsScoreHigh) {
+  Table t = DeterministicPair(1000, 2, 0.0);
+  EncodedTable e = EncodedTable::Encode(t);
+  std::vector<size_t> rows(1000);
+  std::iota(rows.begin(), rows.end(), 0);
+  ChiSquared chi = ChiSquaredTest(e, 0, 1, rows);
+  EXPECT_GT(chi.statistic, 10.0 * static_cast<double>(chi.dof));
+}
+
+TEST(ChiSquaredTest, DegenerateColumnGivesZeroDof) {
+  Table t{Schema({"a", "b"})};
+  for (int i = 0; i < 10; ++i) {
+    t.AppendRow({Value(int64_t{1}), Value(int64_t{i % 2})});
+  }
+  EncodedTable e = EncodedTable::Encode(t);
+  std::vector<size_t> rows(10);
+  std::iota(rows.begin(), rows.end(), 0);
+  EXPECT_EQ(ChiSquaredTest(e, 0, 1, rows).dof, 0u);
+}
+
+TEST(CordsTest, DetectsCleanSoftFd) {
+  Table t = DeterministicPair(1000, 3, 0.0);
+  auto fds = DiscoverCords(t, {});
+  ASSERT_TRUE(fds.ok());
+  EXPECT_TRUE(ContainsFd(*fds, 0, 1)) << FdSetToString(*fds, t.schema());
+  EXPECT_FALSE(ContainsFd(*fds, 0, 2));
+  EXPECT_FALSE(ContainsFd(*fds, 2, 1));
+}
+
+TEST(CordsTest, ToleratesModerateNoise) {
+  Table t = DeterministicPair(1000, 4, 0.05);
+  auto fds = DiscoverCords(t, {});
+  ASSERT_TRUE(fds.ok());
+  EXPECT_TRUE(ContainsFd(*fds, 0, 1));
+}
+
+TEST(CordsTest, SkipsSoftKeys) {
+  // A unique id column would trivially determine everything.
+  Table t{Schema({"id", "y"})};
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    t.AppendRow({Value(int64_t{i}), Value(rng.NextInt(0, 4))});
+  }
+  auto fds = DiscoverCords(t, {});
+  ASSERT_TRUE(fds.ok());
+  EXPECT_FALSE(ContainsFd(*fds, 0, 1));
+}
+
+TEST(CordsTest, OnlyUnaryFds) {
+  SyntheticConfig config;
+  config.num_tuples = 800;
+  config.num_attributes = 10;
+  config.seed = 6;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  auto fds = DiscoverCords(ds->noisy, {});
+  ASSERT_TRUE(fds.ok());
+  for (const auto& fd : *fds) {
+    EXPECT_EQ(fd.lhs.size(), 1u);
+  }
+}
+
+TEST(CordsTest, StrengthThresholdControlsDetection) {
+  Table t = DeterministicPair(1000, 7, 0.2);  // 20% corrupted
+  CordsOptions strict;
+  strict.strength_threshold = 0.95;
+  auto none = DiscoverCords(t, strict);
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(ContainsFd(*none, 0, 1));
+  CordsOptions lax;
+  lax.strength_threshold = 0.7;
+  auto found = DiscoverCords(t, lax);
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(ContainsFd(*found, 0, 1));
+}
+
+TEST(CordsTest, RejectsEmptyTable) {
+  EXPECT_FALSE(DiscoverCords(Table(), {}).ok());
+}
+
+}  // namespace
+}  // namespace fdx

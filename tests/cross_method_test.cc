@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/pyro.h"
+#include "baselines/tane.h"
+#include "fd/fd.h"
+#include "fd/partition.h"
+#include "synth/generator.h"
+
+namespace fdx {
+namespace {
+
+/// Brute-force oracle: all minimal non-trivial exact FDs with LHS size
+/// up to `max_lhs`, by direct enumeration and validation.
+FdSet BruteForceMinimalFds(const EncodedTable& table, size_t max_lhs) {
+  const size_t k = table.num_columns();
+  std::vector<std::vector<size_t>> subsets;
+  std::vector<size_t> current;
+  auto enumerate = [&](auto&& self, size_t start) -> void {
+    if (!current.empty()) subsets.push_back(current);
+    if (current.size() >= max_lhs) return;
+    for (size_t a = start; a < k; ++a) {
+      current.push_back(a);
+      self(self, a + 1);
+      current.pop_back();
+    }
+  };
+  enumerate(enumerate, 0);
+  // Smaller subsets first so minimality is a simple containment check.
+  std::stable_sort(subsets.begin(), subsets.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.size() < b.size();
+                   });
+  FdSet minimal;
+  for (size_t rhs = 0; rhs < k; ++rhs) {
+    std::vector<std::vector<size_t>> winners;
+    for (const auto& lhs : subsets) {
+      if (std::find(lhs.begin(), lhs.end(), rhs) != lhs.end()) continue;
+      bool superset_of_winner = false;
+      for (const auto& winner : winners) {
+        if (std::includes(lhs.begin(), lhs.end(), winner.begin(),
+                          winner.end())) {
+          superset_of_winner = true;
+          break;
+        }
+      }
+      if (superset_of_winner) continue;
+      if (FdHoldsExactly(table, FunctionalDependency(lhs, rhs))) {
+        winners.push_back(lhs);
+        minimal.emplace_back(lhs, rhs);
+      }
+    }
+  }
+  return minimal;
+}
+
+std::set<std::string> Render(const FdSet& fds, const Schema& schema) {
+  std::set<std::string> out;
+  for (const auto& fd : fds) out.insert(fd.ToString(schema));
+  return out;
+}
+
+class CrossMethodTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossMethodTest, TaneMatchesBruteForceOracle) {
+  SyntheticConfig config;
+  config.num_tuples = 120;  // small so superkey LHS sets stay rare
+  config.num_attributes = 5;
+  config.domain_min = 4;
+  config.domain_max = 8;
+  config.seed = GetParam();
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  const EncodedTable encoded = EncodedTable::Encode(ds->clean);
+
+  TaneOptions options;
+  options.max_lhs_size = 3;
+  auto tane = DiscoverTane(ds->clean, options);
+  ASSERT_TRUE(tane.ok());
+
+  FdSet oracle = BruteForceMinimalFds(encoded, 3);
+  // TANE additionally skips superkey LHS sets (see tane.cc); drop them
+  // from the oracle for the comparison.
+  FdSet comparable_oracle;
+  for (const auto& fd : oracle) {
+    StrippedPartition lhs_partition =
+        StrippedPartition::FromColumn(encoded, fd.lhs[0]);
+    for (size_t i = 1; i < fd.lhs.size(); ++i) {
+      lhs_partition = StrippedPartition::Multiply(
+          lhs_partition, StrippedPartition::FromColumn(encoded, fd.lhs[i]));
+    }
+    if (!lhs_partition.IsSuperKey()) comparable_oracle.push_back(fd);
+  }
+  EXPECT_EQ(Render(*tane, ds->clean.schema()),
+            Render(comparable_oracle, ds->clean.schema()));
+}
+
+TEST_P(CrossMethodTest, PyroFindsSubsetOfTaneAndAllUnaryFds) {
+  SyntheticConfig config;
+  config.num_tuples = 200;
+  config.num_attributes = 6;
+  config.domain_min = 4;
+  config.domain_max = 10;
+  config.seed = GetParam() + 100;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+
+  TaneOptions tane_options;
+  tane_options.max_lhs_size = 3;
+  auto tane = DiscoverTane(ds->clean, tane_options);
+  ASSERT_TRUE(tane.ok());
+
+  PyroOptions pyro_options;
+  pyro_options.max_error = 0.0;
+  pyro_options.max_lhs_size = 3;
+  auto pyro = DiscoverPyro(ds->clean, pyro_options);
+  ASSERT_TRUE(pyro.ok());
+
+  const auto tane_set = Render(*tane, ds->clean.schema());
+  // Every PYRO FD must be minimal and exact, i.e. in TANE's output
+  // (unless its LHS is a superkey, which TANE skips).
+  const EncodedTable encoded = EncodedTable::Encode(ds->clean);
+  for (const auto& fd : *pyro) {
+    StrippedPartition lhs_partition =
+        StrippedPartition::FromColumn(encoded, fd.lhs[0]);
+    for (size_t i = 1; i < fd.lhs.size(); ++i) {
+      lhs_partition = StrippedPartition::Multiply(
+          lhs_partition, StrippedPartition::FromColumn(encoded, fd.lhs[i]));
+    }
+    if (lhs_partition.IsSuperKey()) continue;
+    EXPECT_TRUE(tane_set.count(fd.ToString(ds->clean.schema())) > 0)
+        << "PYRO found " << fd.ToString(ds->clean.schema())
+        << " which TANE did not";
+  }
+  // PYRO's single-attribute launchpads guarantee every *unary* minimal
+  // FD is found.
+  for (const auto& fd : *tane) {
+    if (fd.lhs.size() != 1) continue;
+    EXPECT_TRUE(std::find(pyro->begin(), pyro->end(), fd) != pyro->end())
+        << "PYRO missed unary " << fd.ToString(ds->clean.schema());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossMethodTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace fdx

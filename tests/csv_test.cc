@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/csv.h"
+
+namespace fdx {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndTypes) {
+  auto table = ParseCsv("a,b,c\n1,x,2.5\n2,y,3.5\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->schema().name(0), "a");
+  EXPECT_EQ(table->cell(0, 0).type(), ValueType::kInt);
+  EXPECT_EQ(table->cell(0, 1).type(), ValueType::kString);
+  EXPECT_EQ(table->cell(0, 2).type(), ValueType::kDouble);
+}
+
+TEST(CsvTest, EmptyAndNullTokensBecomeNull) {
+  auto table = ParseCsv("a,b\n,NULL\nNA,?\n1,2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->cell(0, 0).is_null());
+  EXPECT_TRUE(table->cell(0, 1).is_null());
+  EXPECT_TRUE(table->cell(1, 0).is_null());
+  EXPECT_TRUE(table->cell(1, 1).is_null());
+  EXPECT_FALSE(table->cell(2, 0).is_null());
+}
+
+TEST(CsvTest, QuotedFields) {
+  auto table = ParseCsv("a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->cell(0, 0).AsString(), "x,y");
+  EXPECT_EQ(table->cell(0, 1).AsString(), "say \"hi\"");
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  auto table = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 1u);
+  EXPECT_EQ(table->cell(0, 1).AsInt(), 2);
+}
+
+TEST(CsvTest, NoHeaderGeneratesColumnNames) {
+  CsvOptions options;
+  options.has_header = false;
+  auto table = ParseCsv("1,2\n3,4\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->schema().name(0), "col0");
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  auto table = ParseCsv("a;b\n1;2\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->cell(0, 1).AsInt(), 2);
+}
+
+TEST(CsvTest, RaggedRowFails) {
+  EXPECT_FALSE(ParseCsv("a,b\n1\n").ok());
+  EXPECT_FALSE(ParseCsv("a,b\n1,2,3\n").ok());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  EXPECT_FALSE(ReadCsv("/nonexistent/path/file.csv").ok());
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  Table t{Schema({"name", "count", "note"})};
+  t.AppendRow({Value(std::string("alpha")), Value(int64_t{1}),
+               Value(std::string("a,b"))});
+  t.AppendRow({Value(std::string("beta")), Value(int64_t{2}), Value::Null()});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fdx_csv_test.csv").string();
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 2u);
+  EXPECT_EQ(back->cell(0, 0).AsString(), "alpha");
+  EXPECT_EQ(back->cell(0, 2).AsString(), "a,b");  // quoting survived
+  EXPECT_EQ(back->cell(1, 1).AsInt(), 2);
+  EXPECT_TRUE(back->cell(1, 2).is_null());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fdx

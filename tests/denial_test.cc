@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "baselines/denial.h"
+#include "data/csv.h"
+#include "util/rng.h"
+
+namespace fdx {
+namespace {
+
+bool HasDc(const std::vector<DenialConstraint>& dcs, const Schema& schema,
+           const std::string& rendered) {
+  for (const auto& dc : dcs) {
+    if (dc.ToString(schema) == rendered) return true;
+  }
+  return false;
+}
+
+TEST(DenialTest, FdSurfacesAsDenialConstraint) {
+  // y = f(x): the DC not(t.x = t'.x and t.y != t'.y) must hold.
+  Table t{Schema({"x", "y"})};
+  Rng rng(1);
+  for (int i = 0; i < 400; ++i) {
+    const int64_t x = rng.NextInt(0, 7);
+    t.AppendRow({Value(x), Value((x * 3 + 1) % 8)});
+  }
+  auto dcs = DiscoverDenialConstraints(t);
+  ASSERT_TRUE(dcs.ok());
+  EXPECT_TRUE(HasDc(*dcs, t.schema(), "not(t.x = t'.x and t.y != t'.y)"))
+      << "DCs found: " << dcs->size();
+}
+
+TEST(DenialTest, OrderDependencySurfacesAsLtConstraint) {
+  // b strictly increases with a: not(t.a < t'.a and t.b > t'.b).
+  Table t{Schema({"a", "b"})};
+  for (int i = 0; i < 300; ++i) {
+    t.AppendRow({Value(int64_t{i}), Value(int64_t{2 * i + 5})});
+  }
+  auto dcs = DiscoverDenialConstraints(t);
+  ASSERT_TRUE(dcs.ok());
+  EXPECT_TRUE(HasDc(*dcs, t.schema(), "not(t.a < t'.a and t.b > t'.b)"));
+  EXPECT_TRUE(HasDc(*dcs, t.schema(), "not(t.a > t'.a and t.b < t'.b)"));
+}
+
+TEST(DenialTest, KeySurfacesAsUnaryEqualityDc) {
+  // Unique column: no two tuples agree -> not(t.id = t'.id).
+  Table t{Schema({"id", "v"})};
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    t.AppendRow({Value(int64_t{i}), Value(rng.NextInt(0, 3))});
+  }
+  auto dcs = DiscoverDenialConstraints(t);
+  ASSERT_TRUE(dcs.ok());
+  EXPECT_TRUE(HasDc(*dcs, t.schema(), "not(t.id = t'.id)"));
+}
+
+TEST(DenialTest, MinimalityNoSupersetOfFoundDc) {
+  Table t{Schema({"id", "v"})};
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    t.AppendRow({Value(int64_t{i}), Value(rng.NextInt(0, 3))});
+  }
+  auto dcs = DiscoverDenialConstraints(t);
+  ASSERT_TRUE(dcs.ok());
+  // not(t.id = t'.id) holds, so no DC may contain the id-equality
+  // predicate together with anything else.
+  for (const auto& dc : *dcs) {
+    bool has_id_eq = false;
+    for (const auto& predicate : dc.predicates) {
+      if (predicate.attribute == 0 && predicate.op == PairOp::kEq) {
+        has_id_eq = true;
+      }
+    }
+    if (has_id_eq) {
+      EXPECT_EQ(dc.predicates.size(), 1u) << dc.ToString(t.schema());
+    }
+  }
+}
+
+TEST(DenialTest, NoConstraintsOnRandomDenseData) {
+  // Small domains + plenty of rows: every predicate combination has a
+  // witnessing pair, so nothing (of size <= 2) is valid.
+  Table t{Schema({"a", "b"})};
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    t.AppendRow({Value(rng.NextInt(0, 2)), Value(rng.NextInt(0, 2))});
+  }
+  DcOptions options;
+  options.max_predicates = 2;
+  auto dcs = DiscoverDenialConstraints(t, options);
+  ASSERT_TRUE(dcs.ok());
+  EXPECT_TRUE(dcs->empty());
+}
+
+TEST(DenialTest, PredicateBudgetRespected) {
+  Table t{Schema({"a", "b", "c"})};
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const int64_t a = rng.NextInt(0, 9);
+    t.AppendRow({Value(a), Value(a % 3), Value(rng.NextInt(0, 9))});
+  }
+  DcOptions options;
+  options.max_predicates = 2;
+  auto dcs = DiscoverDenialConstraints(t, options);
+  ASSERT_TRUE(dcs.ok());
+  for (const auto& dc : *dcs) {
+    EXPECT_LE(dc.predicates.size(), 2u);
+  }
+}
+
+TEST(DenialTest, RejectsWideTables) {
+  Table t{Schema(std::vector<std::string>(17, "x"))};
+  EXPECT_FALSE(DiscoverDenialConstraints(t).ok());
+}
+
+TEST(DenialTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(DiscoverDenialConstraints(Table()).ok());
+}
+
+TEST(DenialTest, ToStringRendersOps) {
+  DenialConstraint dc;
+  dc.predicates = {{0, PairOp::kEq}, {1, PairOp::kGt}};
+  Schema schema({"a", "b"});
+  EXPECT_EQ(dc.ToString(schema), "not(t.a = t'.a and t.b > t'.b)");
+}
+
+}  // namespace
+}  // namespace fdx

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/fdx.h"
+#include "data/discretize.h"
+#include "util/rng.h"
+
+namespace fdx {
+namespace {
+
+Table ContinuousTable(size_t n, uint64_t seed) {
+  Table t{Schema({"x", "y", "label"})};
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.NextDouble(0.0, 100.0);
+    t.AppendRow({Value(x), Value(2.0 * x + rng.NextGaussian() * 0.01),
+                 Value(std::string(x < 50.0 ? "low" : "high"))});
+  }
+  return t;
+}
+
+size_t DistinctCount(const Table& t, size_t col) {
+  std::set<std::string> seen;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (!t.cell(r, col).is_null()) seen.insert(t.cell(r, col).ToString());
+  }
+  return seen.size();
+}
+
+TEST(DiscretizeTest, ReducesCardinalityToBinCount) {
+  Table t = ContinuousTable(500, 1);
+  DiscretizeOptions options;
+  options.bins = 8;
+  auto binned = DiscretizeNumericColumns(t, options);
+  ASSERT_TRUE(binned.ok());
+  EXPECT_LE(DistinctCount(*binned, 0), 8u);
+  EXPECT_LE(DistinctCount(*binned, 1), 8u);
+  // String column untouched.
+  EXPECT_EQ(DistinctCount(*binned, 2), 2u);
+}
+
+TEST(DiscretizeTest, EqualFrequencyBalancesBins) {
+  Table t = ContinuousTable(800, 2);
+  DiscretizeOptions options;
+  options.kind = BinningKind::kEqualFrequency;
+  options.bins = 4;
+  auto binned = DiscretizeNumericColumns(t, options);
+  ASSERT_TRUE(binned.ok());
+  std::map<int64_t, size_t> counts;
+  for (size_t r = 0; r < binned->num_rows(); ++r) {
+    ++counts[binned->cell(r, 0).AsInt()];
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [bin, count] : counts) {
+    EXPECT_GT(count, 120u);  // ~200 expected per bin
+    EXPECT_LT(count, 280u);
+  }
+}
+
+TEST(DiscretizeTest, SmallDomainsPassThrough) {
+  Table t{Schema({"flag"})};
+  for (int i = 0; i < 100; ++i) t.AppendRow({Value(int64_t{i % 3})});
+  auto binned = DiscretizeNumericColumns(t, {});
+  ASSERT_TRUE(binned.ok());
+  for (size_t r = 0; r < 100; ++r) {
+    EXPECT_TRUE(binned->cell(r, 0).EqualsStrict(t.cell(r, 0)));
+  }
+}
+
+TEST(DiscretizeTest, NullsStayNull) {
+  Table t{Schema({"x"})};
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    t.AppendRow({i % 10 == 0 ? Value::Null() : Value(rng.NextDouble())});
+  }
+  auto binned = DiscretizeNumericColumns(t, {});
+  ASSERT_TRUE(binned.ok());
+  for (size_t r = 0; r < 200; ++r) {
+    EXPECT_EQ(binned->cell(r, 0).is_null(), t.cell(r, 0).is_null());
+  }
+}
+
+TEST(DiscretizeTest, RejectsBadBinCount) {
+  EXPECT_FALSE(DiscretizeNumericColumns(Table{Schema({"x"})},
+                                        {BinningKind::kEqualWidth, 1, 32})
+                   .ok());
+}
+
+TEST(DiscretizeTest, EnablesFdDiscoveryOnContinuousData) {
+  // y = 2x (continuous): useless to equality-based discovery raw, but
+  // after quantile binning the bin of x determines the bin of y almost
+  // everywhere, and FDX picks the dependency up.
+  Table t = ContinuousTable(2000, 4);
+  DiscretizeOptions options;
+  options.bins = 12;
+  auto binned = DiscretizeNumericColumns(t, options);
+  ASSERT_TRUE(binned.ok());
+  FdxDiscoverer discoverer;
+  auto result = discoverer.Discover(*binned);
+  ASSERT_TRUE(result.ok());
+  bool found_xy = false;
+  for (const auto& fd : result->fds) {
+    const bool about_xy =
+        (fd.rhs == 1 && fd.lhs == std::vector<size_t>{0}) ||
+        (fd.rhs == 0 && fd.lhs == std::vector<size_t>{1});
+    found_xy = found_xy || about_xy;
+  }
+  EXPECT_TRUE(found_xy) << FdSetToString(result->fds, binned->schema());
+}
+
+}  // namespace
+}  // namespace fdx

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "synth/generator.h"
+
+namespace fdx {
+namespace {
+
+TEST(ReportTableTest, AlignsColumns) {
+  ReportTable table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // All header cells on the first line.
+  const std::string first_line = out.substr(0, out.find('\n'));
+  EXPECT_NE(first_line.find("value"), std::string::npos);
+}
+
+TEST(ReportTableTest, MissingCellsRenderEmpty) {
+  ReportTable table({"a", "b", "c"});
+  table.AddRow({"1"});
+  EXPECT_NO_THROW({ table.ToString(); });
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7}), 7.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(RunnerTest, AllMethodsListedInPaperOrder) {
+  auto methods = AllMethods();
+  ASSERT_EQ(methods.size(), 8u);
+  EXPECT_EQ(MethodName(methods[0]), "FDX");
+  EXPECT_EQ(MethodName(methods[1]), "GL");
+  EXPECT_EQ(MethodName(methods[2]), "PYRO");
+  EXPECT_EQ(MethodName(methods[3]), "TANE");
+  EXPECT_EQ(MethodName(methods[4]), "CORDS");
+  EXPECT_EQ(MethodName(methods[5]), "RFI(.3)");
+  EXPECT_EQ(MethodName(methods[7]), "RFI(1.0)");
+}
+
+TEST(RunnerTest, RunsEveryMethodOnSmallData) {
+  SyntheticConfig config;
+  config.num_tuples = 200;
+  config.num_attributes = 6;
+  config.seed = 1;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  RunnerConfig runner;
+  runner.time_budget_seconds = 30;
+  runner.rfi_max_lhs = 2;
+  for (MethodId method : AllMethods()) {
+    RunOutcome outcome = RunMethod(method, ds->noisy, runner);
+    EXPECT_TRUE(outcome.ok) << MethodName(method) << ": " << outcome.error;
+    EXPECT_GE(outcome.seconds, 0.0);
+  }
+}
+
+TEST(RunnerTest, TimeoutSurfacesAsTimeoutFlag) {
+  SyntheticConfig config;
+  config.num_tuples = 3000;
+  config.num_attributes = 24;
+  config.seed = 2;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  RunnerConfig runner;
+  runner.time_budget_seconds = 1e-6;
+  RunOutcome outcome = RunMethod(MethodId::kTane, ds->noisy, runner);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(outcome.timeout);
+}
+
+}  // namespace
+}  // namespace fdx

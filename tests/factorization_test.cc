@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/factorization.h"
+#include "util/rng.h"
+
+namespace fdx {
+namespace {
+
+/// Random symmetric positive definite matrix A = M M^T + n I.
+Matrix RandomSpd(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) m(i, j) = rng.NextGaussian();
+  }
+  Matrix a = m.Multiply(m.Transpose());
+  for (size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(CholeskyTest, ReconstructsInput) {
+  const Matrix a = RandomSpd(6, 1);
+  auto result = CholeskyFactor(a);
+  ASSERT_TRUE(result.ok());
+  const Matrix& l = result->l;
+  EXPECT_LT(l.Multiply(l.Transpose()).Subtract(a).MaxAbs(), 1e-8);
+  // Lower triangular with positive diagonal.
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_GT(l(i, i), 0.0);
+    for (size_t j = i + 1; j < 6; ++j) EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+  }
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(CholeskyFactor(Matrix(2, 3)).ok());
+}
+
+TEST(LdltTest, ReconstructsInput) {
+  const Matrix a = RandomSpd(5, 2);
+  auto result = LdltFactor(a);
+  ASSERT_TRUE(result.ok());
+  const Matrix& l = result->l;
+  Matrix ld(5, 5);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 5; ++j) ld(i, j) = l(i, j) * result->d[j];
+  }
+  EXPECT_LT(ld.Multiply(l.Transpose()).Subtract(a).MaxAbs(), 1e-8);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(l(i, i), 1.0);
+    EXPECT_GT(result->d[i], 0.0);
+  }
+}
+
+TEST(UdutTest, ReconstructsInput) {
+  const Matrix a = RandomSpd(7, 3);
+  auto result = UdutFactor(a);
+  ASSERT_TRUE(result.ok());
+  const Matrix& u = result->u;
+  // Unit upper triangular.
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_DOUBLE_EQ(u(i, i), 1.0);
+    for (size_t j = 0; j < i; ++j) EXPECT_DOUBLE_EQ(u(i, j), 0.0);
+    EXPECT_GT(result->d[i], 0.0);
+  }
+  Matrix ud(7, 7);
+  for (size_t i = 0; i < 7; ++i) {
+    for (size_t j = 0; j < 7; ++j) ud(i, j) = u(i, j) * result->d[j];
+  }
+  EXPECT_LT(ud.Multiply(u.Transpose()).Subtract(a).MaxAbs(), 1e-8);
+}
+
+TEST(UdutTest, DiagonalInputGivesIdentityU) {
+  Matrix a(3, 3);
+  a(0, 0) = 2.0;
+  a(1, 1) = 3.0;
+  a(2, 2) = 4.0;
+  auto result = UdutFactor(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->u.Subtract(Matrix::Identity(3)).MaxAbs(), 1e-12);
+  EXPECT_DOUBLE_EQ(result->d[0], 2.0);
+  EXPECT_DOUBLE_EQ(result->d[2], 4.0);
+}
+
+TEST(UdutTest, MatchesSemStructure) {
+  // Build Theta = (I - B) (I - B)^T with B strictly upper; UDUT must
+  // recover U = I - B exactly (Omega = I). This is the algebraic heart
+  // of FDX's Algorithm 1.
+  const size_t n = 4;
+  Matrix b(n, n);
+  b(0, 2) = 0.5;
+  b(1, 2) = 0.5;
+  b(2, 3) = 1.0;
+  Matrix i_minus_b = Matrix::Identity(n).Subtract(b);
+  Matrix theta = i_minus_b.Multiply(i_minus_b.Transpose());
+  auto result = UdutFactor(theta);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->u.Subtract(i_minus_b).MaxAbs(), 1e-10);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(result->d[i], 1.0, 1e-10);
+}
+
+TEST(UdutTest, RejectsIndefinite) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});
+  EXPECT_FALSE(UdutFactor(a).ok());
+}
+
+TEST(UdutTest, IsReversedLdlt) {
+  // U D U^T of A must equal the index-reversed L D L^T of the
+  // index-reversed A — the two factorizations are mirror images.
+  const size_t n = 6;
+  const Matrix a = RandomSpd(n, 9);
+  std::vector<size_t> reversed(n);
+  for (size_t i = 0; i < n; ++i) reversed[i] = n - 1 - i;
+  const Matrix a_reversed = a.PermuteSymmetric(reversed);
+  auto ldlt = LdltFactor(a_reversed);
+  auto udut = UdutFactor(a);
+  ASSERT_TRUE(ldlt.ok());
+  ASSERT_TRUE(udut.ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(udut->d[i], ldlt->d[n - 1 - i], 1e-9);
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(udut->u(i, j), ldlt->l(n - 1 - i, n - 1 - j), 1e-9)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(TriangularSolveTest, ForwardAndBackward) {
+  Matrix l = Matrix::FromRows({{2, 0}, {1, 3}});
+  Vector y = SolveLowerTriangular(l, {4, 10});
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], (10.0 - 2.0) / 3.0);
+  Matrix u = l.Transpose();
+  Vector x = SolveUpperTriangular(u, {4, 9});
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+  EXPECT_DOUBLE_EQ(x[0], (4.0 - 1.0 * 3.0) / 2.0);
+}
+
+TEST(SolveSpdTest, SolvesLinearSystem) {
+  const Matrix a = RandomSpd(8, 4);
+  Rng rng(5);
+  Vector x_true(8);
+  for (double& v : x_true) v = rng.NextGaussian();
+  const Vector b = a.MultiplyVector(x_true);
+  auto x = SolveSpd(a, b);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < 8; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-8);
+}
+
+TEST(InverseSpdTest, ProducesInverse) {
+  const Matrix a = RandomSpd(5, 6);
+  auto inv = InverseSpd(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_LT(a.Multiply(*inv).Subtract(Matrix::Identity(5)).MaxAbs(), 1e-8);
+}
+
+TEST(LogDetSpdTest, MatchesKnownValue) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(1, 1) = 9.0;
+  auto logdet = LogDetSpd(a);
+  ASSERT_TRUE(logdet.ok());
+  EXPECT_NEAR(*logdet, std::log(36.0), 1e-12);
+}
+
+/// Property sweep: reconstruction holds across sizes and seeds.
+class FactorizationPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FactorizationPropertyTest, AllFactorizationsReconstruct) {
+  const size_t n = static_cast<size_t>(std::get<0>(GetParam()));
+  const uint64_t seed = static_cast<uint64_t>(std::get<1>(GetParam()));
+  const Matrix a = RandomSpd(n, seed);
+
+  auto chol = CholeskyFactor(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_LT(chol->l.Multiply(chol->l.Transpose()).Subtract(a).MaxAbs(),
+            1e-7 * a.MaxAbs());
+
+  auto udut = UdutFactor(a);
+  ASSERT_TRUE(udut.ok());
+  Matrix ud(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) ud(i, j) = udut->u(i, j) * udut->d[j];
+  }
+  EXPECT_LT(ud.Multiply(udut->u.Transpose()).Subtract(a).MaxAbs(),
+            1e-7 * a.MaxAbs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, FactorizationPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 10, 20, 40),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace fdx

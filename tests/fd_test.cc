@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "fd/fd.h"
+
+namespace fdx {
+namespace {
+
+TEST(FdTest, ConstructionNormalizes) {
+  FunctionalDependency fd({3, 1, 3, 2}, 2);  // dedup, sort, drop rhs
+  EXPECT_EQ(fd.lhs, (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(fd.rhs, 2u);
+}
+
+TEST(FdTest, ToStringUsesSchemaNames) {
+  Schema schema({"City", "State", "Zip"});
+  FunctionalDependency fd({0, 1}, 2);
+  EXPECT_EQ(fd.ToString(schema), "City,State -> Zip");
+}
+
+TEST(FdTest, EdgesCollapseDuplicates) {
+  FdSet fds = {FunctionalDependency({0, 1}, 2), FunctionalDependency({0}, 2)};
+  auto edges = FdEdges(fds);
+  EXPECT_EQ(edges.size(), 2u);  // (0,2) and (1,2)
+}
+
+TEST(ScoreFdsTest, PerfectMatch) {
+  FdSet truth = {FunctionalDependency({0, 1}, 2)};
+  FdScore s = ScoreFds(truth, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(ScoreFdsTest, PartialOverlap) {
+  FdSet truth = {FunctionalDependency({0, 1}, 2)};       // edges (0,2),(1,2)
+  FdSet got = {FunctionalDependency({0, 3}, 2)};          // edges (0,2),(3,2)
+  FdScore s = ScoreFds(got, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_DOUBLE_EQ(s.f1, 0.5);
+}
+
+TEST(ScoreFdsTest, EmptyCases) {
+  FdSet truth = {FunctionalDependency({0}, 1)};
+  FdScore s = ScoreFds({}, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+  FdScore both_empty = ScoreFds({}, {});
+  EXPECT_DOUBLE_EQ(both_empty.f1, 1.0);
+}
+
+TEST(ScoreFdsTest, UndirectedCountsFlippedEdges) {
+  FdSet truth = {FunctionalDependency({0}, 1)};
+  FdSet flipped = {FunctionalDependency({1}, 0)};
+  FdScore directed = ScoreFds(flipped, truth);
+  EXPECT_DOUBLE_EQ(directed.f1, 0.0);
+  FdScore undirected = ScoreFdsUndirected(flipped, truth);
+  EXPECT_DOUBLE_EQ(undirected.precision, 1.0);
+  EXPECT_DOUBLE_EQ(undirected.recall, 1.0);
+}
+
+TEST(ScoreFdsTest, UndirectedStillPenalizesWrongEdges) {
+  FdSet truth = {FunctionalDependency({0}, 1)};
+  FdSet got = {FunctionalDependency({2}, 3)};
+  FdScore s = ScoreFdsUndirected(got, truth);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+Table TableFromCsv(const std::string& text) {
+  auto t = ParseCsv(text);
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+TEST(FdHoldsTest, ExactFd) {
+  Table t = TableFromCsv("x,y\n1,a\n2,b\n1,a\n2,b\n");
+  EncodedTable e = EncodedTable::Encode(t);
+  EXPECT_TRUE(FdHoldsExactly(e, FunctionalDependency({0}, 1)));
+  EXPECT_TRUE(FdHoldsExactly(e, FunctionalDependency({1}, 0)));
+}
+
+TEST(FdHoldsTest, ViolatedFd) {
+  Table t = TableFromCsv("x,y\n1,a\n1,b\n");
+  EncodedTable e = EncodedTable::Encode(t);
+  EXPECT_FALSE(FdHoldsExactly(e, FunctionalDependency({0}, 1)));
+}
+
+TEST(FdG3ErrorTest, CountsMinimumRemovals) {
+  // Group x=1: y values a,a,b -> 1 violation of 3 considered rows;
+  // group x=2: single row, fine. Total considered 4 -> error 0.25.
+  Table t = TableFromCsv("x,y\n1,a\n1,a\n1,b\n2,c\n");
+  EncodedTable e = EncodedTable::Encode(t);
+  EXPECT_NEAR(FdG3Error(e, FunctionalDependency({0}, 1)), 0.25, 1e-12);
+}
+
+TEST(FdG3ErrorTest, NullRowsExcluded) {
+  Table t = TableFromCsv("x,y\n1,a\n1,\n1,a\n");
+  EncodedTable e = EncodedTable::Encode(t);
+  // Null-y row not considered; remaining rows agree.
+  EXPECT_DOUBLE_EQ(FdG3Error(e, FunctionalDependency({0}, 1)), 0.0);
+}
+
+TEST(FdG3ErrorTest, CompositeLhs) {
+  Table t = TableFromCsv("a,b,y\n1,1,p\n1,2,q\n1,1,p\n1,2,r\n");
+  EncodedTable e = EncodedTable::Encode(t);
+  // Group (1,1): p,p fine. Group (1,2): q,r -> one removal. 1/4 error.
+  EXPECT_NEAR(FdG3Error(e, FunctionalDependency({0, 1}, 2)), 0.25, 1e-12);
+  // Single-attribute LHS a cannot determine y at all: a=1 group has
+  // values p,q,p,r -> keep the 2 p's, remove 2 -> error 0.5.
+  EXPECT_NEAR(FdG3Error(e, FunctionalDependency({0}, 2)), 0.5, 1e-12);
+}
+
+TEST(ParseFdTest, ParsesNamesWithWhitespace) {
+  Schema schema({"City", "State", "Zip"});
+  auto fd = ParseFd(schema, " City , State ->  Zip ");
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fd->lhs, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(fd->rhs, 2u);
+}
+
+TEST(ParseFdTest, RejectsMalformedInput) {
+  Schema schema({"a", "b"});
+  EXPECT_FALSE(ParseFd(schema, "a b").ok());          // no arrow
+  EXPECT_FALSE(ParseFd(schema, "a -> c").ok());       // unknown RHS
+  EXPECT_FALSE(ParseFd(schema, "c -> b").ok());       // unknown LHS
+  EXPECT_FALSE(ParseFd(schema, "-> b").ok());         // empty LHS
+  EXPECT_FALSE(ParseFd(schema, "a -> a").ok());       // trivial
+}
+
+TEST(ParseFdTest, RoundTripsToString) {
+  Schema schema({"x", "y", "z"});
+  const FunctionalDependency original({0, 2}, 1);
+  auto parsed = ParseFd(schema, original.ToString(schema));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(FdSetToStringTest, OnePerLine) {
+  Schema schema({"a", "b", "c"});
+  FdSet fds = {FunctionalDependency({0}, 1), FunctionalDependency({1}, 2)};
+  EXPECT_EQ(FdSetToString(fds, schema), "a -> b\nb -> c\n");
+}
+
+}  // namespace
+}  // namespace fdx

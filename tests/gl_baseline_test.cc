@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "baselines/gl_baseline.h"
+#include "bn/networks.h"
+#include "synth/generator.h"
+
+namespace fdx {
+namespace {
+
+TEST(GlBaselineTest, FindsDependenciesOnBenchmarkNetwork) {
+  BayesNet net = MakeAsiaNetwork();
+  Rng rng(1);
+  auto sample = net.Sample(5000, &rng);
+  ASSERT_TRUE(sample.ok());
+  auto fds = DiscoverGlBaseline(*sample, {});
+  ASSERT_TRUE(fds.ok());
+  FdScore score = ScoreFdsUndirected(*fds, net.GroundTruthFds());
+  EXPECT_GT(score.recall, 0.4);
+  EXPECT_GT(score.precision, 0.3);
+}
+
+TEST(GlBaselineTest, NoFdsOnIndependentData) {
+  Table t{Schema({"a", "b", "c"})};
+  Rng rng(2);
+  for (int i = 0; i < 3000; ++i) {
+    t.AppendRow({Value(rng.NextInt(0, 5)), Value(rng.NextInt(0, 5)),
+                 Value(rng.NextInt(0, 5))});
+  }
+  auto fds = DiscoverGlBaseline(t, {});
+  ASSERT_TRUE(fds.ok());
+  EXPECT_TRUE(fds->empty()) << FdSetToString(*fds, t.schema());
+}
+
+TEST(GlBaselineTest, ParsimoniousOutput) {
+  SyntheticConfig config;
+  config.num_tuples = 600;
+  config.num_attributes = 10;
+  config.seed = 3;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  auto fds = DiscoverGlBaseline(ds->noisy, {});
+  ASSERT_TRUE(fds.ok());
+  // At most one FD per dependent attribute (paper §5.4).
+  std::set<size_t> rhs_seen;
+  for (const auto& fd : *fds) {
+    EXPECT_TRUE(rhs_seen.insert(fd.rhs).second);
+  }
+  EXPECT_LE(fds->size(), 10u);
+}
+
+TEST(GlBaselineTest, MaxLhsSizeRespected) {
+  SyntheticConfig config;
+  config.num_tuples = 400;
+  config.num_attributes = 8;
+  config.seed = 4;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  GlBaselineOptions options;
+  options.max_lhs_size = 1;
+  auto fds = DiscoverGlBaseline(ds->noisy, options);
+  ASSERT_TRUE(fds.ok());
+  for (const auto& fd : *fds) {
+    EXPECT_EQ(fd.lhs.size(), 1u);
+  }
+}
+
+TEST(GlBaselineTest, RejectsTinyTable) {
+  Table t{Schema({"a"})};
+  t.AppendRow({Value(int64_t{1})});
+  EXPECT_FALSE(DiscoverGlBaseline(t, {}).ok());
+}
+
+}  // namespace
+}  // namespace fdx

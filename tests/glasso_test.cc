@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/factorization.h"
+#include "linalg/glasso.h"
+#include "linalg/stats.h"
+#include "util/rng.h"
+
+namespace fdx {
+namespace {
+
+size_t OffDiagonalNonzeros(const Matrix& theta, double tol = 1e-8) {
+  size_t count = 0;
+  for (size_t i = 0; i < theta.rows(); ++i) {
+    for (size_t j = i + 1; j < theta.cols(); ++j) {
+      if (std::fabs(theta(i, j)) > tol) ++count;
+    }
+  }
+  return count;
+}
+
+TEST(GlassoTest, IndependentVariablesGiveDiagonalTheta) {
+  Rng rng(1);
+  Matrix samples(2000, 5);
+  for (size_t i = 0; i < 2000; ++i) {
+    for (size_t j = 0; j < 5; ++j) samples(i, j) = rng.NextGaussian();
+  }
+  auto cov = Covariance(samples);
+  ASSERT_TRUE(cov.ok());
+  GlassoOptions options;
+  options.lambda = 0.1;
+  auto result = GraphicalLasso(*cov, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(OffDiagonalNonzeros(result->theta), 0u);
+}
+
+TEST(GlassoTest, DetectsChainStructure) {
+  // x0 -> x1 -> x2 chain: theta should couple (0,1) and (1,2) but have
+  // a (near) zero (0,2) entry — the conditional independence.
+  Rng rng(2);
+  Matrix samples(5000, 3);
+  for (size_t i = 0; i < 5000; ++i) {
+    const double x0 = rng.NextGaussian();
+    const double x1 = 0.5 * x0 + 0.87 * rng.NextGaussian();
+    const double x2 = 0.5 * x1 + 0.87 * rng.NextGaussian();
+    samples(i, 0) = x0;
+    samples(i, 1) = x1;
+    samples(i, 2) = x2;
+  }
+  auto cov = Covariance(samples);
+  ASSERT_TRUE(cov.ok());
+  GlassoOptions options;
+  options.lambda = 0.12;
+  auto result = GraphicalLasso(*cov, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(std::fabs(result->theta(0, 1)), 0.1);
+  EXPECT_GT(std::fabs(result->theta(1, 2)), 0.1);
+  // The chain's only conditional independence: the (0,2) coupling must
+  // be (near-)eliminated. Exact zero is not guaranteed because the two
+  // column subproblems can disagree and the symmetrization averages.
+  EXPECT_LT(std::fabs(result->theta(0, 2)),
+            0.05 * std::fabs(result->theta(0, 1)));
+}
+
+TEST(GlassoTest, SparsityMonotoneInLambda) {
+  Rng rng(3);
+  Matrix samples(500, 8);
+  for (size_t i = 0; i < 500; ++i) {
+    Vector z(3);
+    for (double& v : z) v = rng.NextGaussian();
+    for (size_t j = 0; j < 8; ++j) {
+      samples(i, j) = z[j % 3] + 0.7 * rng.NextGaussian();
+    }
+  }
+  auto cov = Covariance(samples);
+  ASSERT_TRUE(cov.ok());
+  size_t previous = 100;
+  for (double lambda : {0.01, 0.05, 0.2, 0.6}) {
+    GlassoOptions options;
+    options.lambda = lambda;
+    auto result = GraphicalLasso(*cov, options);
+    ASSERT_TRUE(result.ok());
+    const size_t nonzeros = OffDiagonalNonzeros(result->theta);
+    EXPECT_LE(nonzeros, previous) << "lambda " << lambda;
+    previous = nonzeros;
+  }
+}
+
+TEST(GlassoTest, ThetaIsSymmetricPositiveDefinite) {
+  Rng rng(4);
+  Matrix samples(300, 6);
+  for (size_t i = 0; i < 300; ++i) {
+    for (size_t j = 0; j < 6; ++j) samples(i, j) = rng.NextGaussian();
+  }
+  auto cov = Covariance(samples);
+  ASSERT_TRUE(cov.ok());
+  auto result = GraphicalLasso(*cov, GlassoOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->theta.IsSymmetric(1e-9));
+  EXPECT_TRUE(CholeskyFactor(result->theta).ok());
+}
+
+TEST(GlassoTest, NearZeroLambdaApproximatesInverse) {
+  // Well-conditioned covariance; lambda -> 0 should give Theta ~ S^{-1}.
+  Matrix s = Matrix::FromRows({{2.0, 0.5}, {0.5, 1.0}});
+  GlassoOptions options;
+  options.lambda = 1e-7;
+  options.diagonal_ridge = 0.0;
+  options.max_iterations = 500;
+  options.tolerance = 1e-10;
+  auto result = GraphicalLasso(s, options);
+  ASSERT_TRUE(result.ok());
+  auto inverse = InverseSpd(s);
+  ASSERT_TRUE(inverse.ok());
+  EXPECT_LT(result->theta.Subtract(*inverse).MaxAbs(), 1e-3);
+}
+
+TEST(GlassoTest, HandlesConstantColumn) {
+  // Zero-variance column must not break the solver.
+  Matrix s(3, 3);
+  s(0, 0) = 1.0;
+  s(1, 1) = 0.0;  // constant variable
+  s(2, 2) = 1.0;
+  s(0, 2) = 0.4;
+  s(2, 0) = 0.4;
+  GlassoOptions options;
+  options.lambda = 0.05;
+  auto result = GraphicalLasso(s, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->theta(0, 1), 0.0);
+  EXPECT_GT(result->theta(1, 1), 0.0);
+}
+
+TEST(GlassoTest, SingleVariable) {
+  Matrix s(1, 1);
+  s(0, 0) = 4.0;
+  GlassoOptions options;
+  options.lambda = 0.5;
+  options.diagonal_ridge = 0.0;
+  auto result = GraphicalLasso(s, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->theta(0, 0), 1.0 / 4.5, 1e-12);
+}
+
+TEST(GlassoTest, SolutionBeatsRidgeInverseOnPenalizedObjective) {
+  // The glasso optimum minimizes
+  //   f(Theta) = -log det(Theta) + tr(S Theta) + lambda * ||Theta||_1;
+  // any other positive-definite candidate (here: the ridge inverse)
+  // must score no better.
+  Rng rng(9);
+  Matrix samples(400, 5);
+  for (size_t i = 0; i < 400; ++i) {
+    Vector z(2);
+    for (double& v : z) v = rng.NextGaussian();
+    for (size_t j = 0; j < 5; ++j) {
+      samples(i, j) = z[j % 2] + rng.NextGaussian();
+    }
+  }
+  auto s = Covariance(samples);
+  ASSERT_TRUE(s.ok());
+  const double lambda = 0.2;
+  GlassoOptions options;
+  options.lambda = lambda;
+  options.diagonal_ridge = 0.0;
+  options.max_iterations = 200;
+  options.tolerance = 1e-8;
+  auto result = GraphicalLasso(*s, options);
+  ASSERT_TRUE(result.ok());
+
+  auto objective = [&](const Matrix& theta) {
+    auto logdet = LogDetSpd(theta);
+    EXPECT_TRUE(logdet.ok());
+    double trace = 0.0, l1 = 0.0;
+    for (size_t i = 0; i < 5; ++i) {
+      for (size_t j = 0; j < 5; ++j) {
+        trace += (*s)(i, j) * theta(j, i);
+        l1 += std::fabs(theta(i, j));
+      }
+    }
+    return -*logdet + trace + lambda * l1;
+  };
+  Matrix ridged = *s;
+  for (size_t i = 0; i < 5; ++i) ridged(i, i) += lambda;
+  auto naive = InverseSpd(ridged);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_LE(objective(result->theta), objective(*naive) + 1e-6);
+}
+
+TEST(GlassoTest, RejectsBadInput) {
+  EXPECT_FALSE(GraphicalLasso(Matrix(), {}).ok());
+  EXPECT_FALSE(GraphicalLasso(Matrix(2, 3), {}).ok());
+  Matrix asym = Matrix::FromRows({{1.0, 0.5}, {-0.5, 1.0}});
+  EXPECT_FALSE(GraphicalLasso(asym, {}).ok());
+}
+
+}  // namespace
+}  // namespace fdx

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "imputation/decision_tree.h"
+#include "imputation/harness.h"
+#include "imputation/logistic.h"
+#include "synth/generator.h"
+#include "util/rng.h"
+
+namespace fdx {
+namespace {
+
+/// y = (x0 + x1) % 4 with optional label noise; x2 is a distractor.
+CategoricalDataset MakeModularDataset(size_t n, double noise,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  CategoricalDataset data;
+  data.cardinalities = {4, 4, 4};
+  data.num_classes = 4;
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t x0 = static_cast<int32_t>(rng.NextInt(0, 3));
+    const int32_t x1 = static_cast<int32_t>(rng.NextInt(0, 3));
+    const int32_t x2 = static_cast<int32_t>(rng.NextInt(0, 3));
+    int32_t y = (x0 + x1) % 4;
+    if (rng.NextBernoulli(noise)) y = static_cast<int32_t>(rng.NextInt(0, 3));
+    data.rows.push_back({x0, x1, x2});
+    data.labels.push_back(y);
+  }
+  return data;
+}
+
+double Accuracy(const Classifier& model, const CategoricalDataset& data) {
+  size_t correct = 0;
+  for (size_t i = 0; i < data.rows.size(); ++i) {
+    if (model.Predict(data.rows[i]) == data.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(data.rows.size());
+}
+
+TEST(MacroF1Test, PerfectPrediction) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1, 2}, {0, 1, 2}, 3), 1.0);
+}
+
+TEST(MacroF1Test, AllWrong) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 0, 0}, {1, 1, 1}, 2), 0.0);
+}
+
+TEST(MacroF1Test, HandComputedMixedCase) {
+  // Class 0: tp=1, fn=1, fp=0 -> P=1, R=.5, F1=2/3.
+  // Class 1: tp=1, fn=0, fp=1 -> P=.5, R=1, F1=2/3.
+  EXPECT_NEAR(MacroF1({0, 0, 1}, {0, 1, 1}, 2), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MacroF1Test, AbsentClassesSkipped) {
+  // Only class 0 present in the truth.
+  EXPECT_DOUBLE_EQ(MacroF1({0, 0}, {0, 0}, 5), 1.0);
+}
+
+TEST(MacroF1Test, EmptyInput) {
+  EXPECT_DOUBLE_EQ(MacroF1({}, {}, 3), 0.0);
+}
+
+TEST(DecisionTreeTest, LearnsDeterministicMapping) {
+  CategoricalDataset data = MakeModularDataset(2000, 0.0, 1);
+  DecisionTreeClassifier tree;
+  ASSERT_TRUE(tree.Train(data).ok());
+  EXPECT_GT(Accuracy(tree, data), 0.99);
+}
+
+TEST(DecisionTreeTest, DepthLimitCapsFit) {
+  CategoricalDataset data = MakeModularDataset(2000, 0.0, 2);
+  DecisionTreeOptions options;
+  options.max_depth = 1;  // single split cannot express (x0 + x1) % 4
+  DecisionTreeClassifier tree(options);
+  ASSERT_TRUE(tree.Train(data).ok());
+  EXPECT_LT(Accuracy(tree, data), 0.9);
+}
+
+TEST(DecisionTreeTest, HandlesMissingFeatures) {
+  CategoricalDataset data = MakeModularDataset(500, 0.0, 3);
+  DecisionTreeClassifier tree;
+  ASSERT_TRUE(tree.Train(data).ok());
+  // Prediction with all features missing returns the root majority.
+  const int32_t label = tree.Predict(
+      {CategoricalDataset::kMissing, CategoricalDataset::kMissing,
+       CategoricalDataset::kMissing});
+  EXPECT_GE(label, 0);
+  EXPECT_LT(label, 4);
+}
+
+TEST(DecisionTreeTest, RejectsEmpty) {
+  DecisionTreeClassifier tree;
+  EXPECT_FALSE(tree.Train(CategoricalDataset{}).ok());
+}
+
+TEST(RandomForestTest, GeneralizesUnderLabelNoise) {
+  CategoricalDataset train = MakeModularDataset(2000, 0.15, 4);
+  CategoricalDataset test = MakeModularDataset(500, 0.0, 5);
+  RandomForestClassifier forest;
+  ASSERT_TRUE(forest.Train(train).ok());
+  EXPECT_GT(Accuracy(forest, test), 0.8);
+}
+
+TEST(LogisticTest, LearnsLinearlySeparableMapping) {
+  // y = x0 (direct copy) is linearly separable in one-hot space.
+  Rng rng(6);
+  CategoricalDataset data;
+  data.cardinalities = {5, 5};
+  data.num_classes = 5;
+  for (int i = 0; i < 1500; ++i) {
+    const int32_t x0 = static_cast<int32_t>(rng.NextInt(0, 4));
+    data.rows.push_back({x0, static_cast<int32_t>(rng.NextInt(0, 4))});
+    data.labels.push_back(x0);
+  }
+  LogisticClassifier model;
+  ASSERT_TRUE(model.Train(data).ok());
+  EXPECT_GT(Accuracy(model, data), 0.97);
+}
+
+TEST(LogisticTest, CapsOneHotDimensionality) {
+  // Feature cardinality above max_values_per_feature must not break.
+  Rng rng(7);
+  CategoricalDataset data;
+  data.cardinalities = {1000, 3};
+  data.num_classes = 3;
+  for (int i = 0; i < 300; ++i) {
+    const int32_t x1 = static_cast<int32_t>(rng.NextInt(0, 2));
+    data.rows.push_back({static_cast<int32_t>(rng.NextInt(0, 999)), x1});
+    data.labels.push_back(x1);
+  }
+  LogisticOptions options;
+  options.max_values_per_feature = 10;
+  LogisticClassifier model(options);
+  ASSERT_TRUE(model.Train(data).ok());
+  EXPECT_GT(Accuracy(model, data), 0.9);
+}
+
+TEST(HarnessTest, FdTargetImputesBetterThanIndependentTarget) {
+  // The core claim behind Table 7: attributes in FDs impute well.
+  SyntheticConfig config;
+  config.num_tuples = 1500;
+  config.num_attributes = 6;
+  config.domain_min = 8;
+  config.domain_max = 16;
+  config.seed = 8;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_FALSE(ds->true_fds.empty());
+  const size_t fd_target = ds->true_fds[0].rhs;
+  // Find an attribute not in any FD.
+  std::set<size_t> fd_attrs;
+  for (const auto& fd : ds->true_fds) {
+    fd_attrs.insert(fd.rhs);
+    fd_attrs.insert(fd.lhs.begin(), fd.lhs.end());
+  }
+  size_t independent_target = 0;
+  while (fd_attrs.count(independent_target) > 0) ++independent_target;
+  ASSERT_LT(independent_target, 6u);
+
+  const ClassifierFactory forest = [] {
+    return std::make_unique<RandomForestClassifier>();
+  };
+  ImputationConfig imputation;
+  auto with_fd = EvaluateImputation(ds->clean, fd_target, forest, imputation);
+  auto without_fd =
+      EvaluateImputation(ds->clean, independent_target, forest, imputation);
+  ASSERT_TRUE(with_fd.ok());
+  ASSERT_TRUE(without_fd.ok());
+  EXPECT_GT(with_fd->macro_f1, without_fd->macro_f1 + 0.2);
+}
+
+TEST(HarnessTest, SystematicCorruptionWorks) {
+  SyntheticConfig config;
+  config.num_tuples = 800;
+  config.num_attributes = 6;
+  config.seed = 9;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  ImputationConfig imputation;
+  imputation.corruption = CorruptionKind::kSystematic;
+  const ClassifierFactory logistic = [] {
+    return std::make_unique<LogisticClassifier>();
+  };
+  auto score =
+      EvaluateImputation(ds->clean, ds->true_fds[0].rhs, logistic, imputation);
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(score->evaluated_cells, 0u);
+}
+
+TEST(HarnessTest, MaxRowsSubsamples) {
+  SyntheticConfig config;
+  config.num_tuples = 3000;
+  config.num_attributes = 5;
+  config.seed = 10;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  ImputationConfig imputation;
+  imputation.max_rows = 400;
+  const ClassifierFactory tree = [] {
+    return std::make_unique<DecisionTreeClassifier>();
+  };
+  auto score =
+      EvaluateImputation(ds->clean, ds->true_fds[0].rhs, tree, imputation);
+  ASSERT_TRUE(score.ok());
+  EXPECT_LE(score->evaluated_cells, 400u);
+}
+
+TEST(HarnessTest, RejectsBadTarget) {
+  SyntheticConfig config;
+  config.seed = 11;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  const ClassifierFactory tree = [] {
+    return std::make_unique<DecisionTreeClassifier>();
+  };
+  EXPECT_FALSE(EvaluateImputation(ds->clean, 999, tree, {}).ok());
+}
+
+}  // namespace
+}  // namespace fdx

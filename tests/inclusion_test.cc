@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/inclusion.h"
+#include "data/csv.h"
+
+namespace fdx {
+namespace {
+
+Table TableFromCsv(const std::string& text) {
+  auto t = ParseCsv(text);
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+bool HasInd(const std::vector<InclusionDependency>& inds, size_t lhs,
+            size_t rhs) {
+  for (const auto& ind : inds) {
+    if (ind.lhs == lhs && ind.rhs == rhs) return true;
+  }
+  return false;
+}
+
+TEST(InclusionTest, DetectsSubsetColumn) {
+  // a's values {1,2} are contained in b's {1,2,3}; not vice versa.
+  Table t = TableFromCsv("a,b\n1,1\n2,2\n1,3\n2,1\n");
+  auto inds = DiscoverInclusionDependencies(t);
+  ASSERT_TRUE(inds.ok());
+  EXPECT_TRUE(HasInd(*inds, 0, 1));
+  EXPECT_FALSE(HasInd(*inds, 1, 0));
+}
+
+TEST(InclusionTest, EqualDomainsContainEachOther) {
+  Table t = TableFromCsv("a,b\n1,2\n2,1\n");
+  auto inds = DiscoverInclusionDependencies(t);
+  ASSERT_TRUE(inds.ok());
+  EXPECT_TRUE(HasInd(*inds, 0, 1));
+  EXPECT_TRUE(HasInd(*inds, 1, 0));
+}
+
+TEST(InclusionTest, StringsNeverMatchNumbers) {
+  Table t = TableFromCsv("num,str\n1,x1\n2,x2\n");
+  auto inds = DiscoverInclusionDependencies(t);
+  ASSERT_TRUE(inds.ok());
+  EXPECT_TRUE(inds->empty());
+}
+
+TEST(InclusionTest, NullsIgnored) {
+  Table t = TableFromCsv("a,b\n1,1\n,2\n2,\n");
+  auto inds = DiscoverInclusionDependencies(t);
+  ASSERT_TRUE(inds.ok());
+  EXPECT_TRUE(HasInd(*inds, 0, 1));  // {1,2} within {1,2}
+}
+
+TEST(InclusionTest, ApproximateCoverage) {
+  // 3 of a's 4 values appear in b -> coverage .75.
+  Table t = TableFromCsv("a,b\n1,1\n2,2\n3,3\n9,4\n");
+  IndOptions exact;
+  auto strict = DiscoverInclusionDependencies(t, exact);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(HasInd(*strict, 0, 1));
+  IndOptions lax;
+  lax.min_coverage = 0.7;
+  auto approx = DiscoverInclusionDependencies(t, lax);
+  ASSERT_TRUE(approx.ok());
+  ASSERT_TRUE(HasInd(*approx, 0, 1));
+  for (const auto& ind : *approx) {
+    if (ind.lhs == 0 && ind.rhs == 1) {
+      EXPECT_NEAR(ind.coverage, 0.75, 1e-12);
+    }
+  }
+}
+
+TEST(InclusionTest, ConstantLhsSkipped) {
+  Table t = TableFromCsv("k,b\n5,5\n5,6\n5,7\n");
+  auto inds = DiscoverInclusionDependencies(t);
+  ASSERT_TRUE(inds.ok());
+  EXPECT_FALSE(HasInd(*inds, 0, 1));  // cardinality-1 LHS filtered
+}
+
+TEST(InclusionTest, SortedByCoverage) {
+  Table t = TableFromCsv("a,b,c\n1,1,1\n2,2,9\n3,3,8\n");
+  IndOptions lax;
+  lax.min_coverage = 0.3;
+  auto inds = DiscoverInclusionDependencies(t, lax);
+  ASSERT_TRUE(inds.ok());
+  for (size_t i = 1; i < inds->size(); ++i) {
+    EXPECT_GE((*inds)[i - 1].coverage, (*inds)[i].coverage);
+  }
+}
+
+TEST(InclusionTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(DiscoverInclusionDependencies(Table{Schema({"x"})}).ok());
+  Table t = TableFromCsv("a,b\n1,1\n");
+  IndOptions bad;
+  bad.min_coverage = 0.0;
+  EXPECT_FALSE(DiscoverInclusionDependencies(t, bad).ok());
+}
+
+TEST(InclusionTest, ToStringRenders) {
+  InclusionDependency ind{0, 1, 0.5};
+  Schema schema({"A", "B"});
+  EXPECT_EQ(ind.ToString(schema), "A [= B (coverage 0.500)");
+}
+
+}  // namespace
+}  // namespace fdx

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "core/incremental.h"
+#include "synth/generator.h"
+
+namespace fdx {
+namespace {
+
+TEST(IncrementalFdxTest, RejectsBadBatches) {
+  IncrementalFdx incremental{Schema({"a", "b"})};
+  Table wrong_width{Schema({"a"})};
+  wrong_width.AppendRow({Value(int64_t{1})});
+  wrong_width.AppendRow({Value(int64_t{2})});
+  EXPECT_FALSE(incremental.Append(wrong_width).ok());
+  Table one_row{Schema({"a", "b"})};
+  one_row.AppendRow({Value(int64_t{1}), Value(int64_t{2})});
+  EXPECT_FALSE(incremental.Append(one_row).ok());
+  EXPECT_FALSE(incremental.CurrentFds().ok());  // nothing appended
+}
+
+TEST(IncrementalFdxTest, SingleBatchMatchesBatchDiscovery) {
+  SyntheticConfig config;
+  config.num_tuples = 1500;
+  config.num_attributes = 8;
+  config.seed = 41;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+
+  IncrementalFdx incremental(ds->clean.schema(), FdxOptions{});
+  ASSERT_TRUE(incremental.Append(ds->clean).ok());
+  auto incremental_result = incremental.CurrentFds();
+  ASSERT_TRUE(incremental_result.ok());
+
+  FdxDiscoverer discoverer;
+  auto batch_result = discoverer.Discover(ds->clean);
+  ASSERT_TRUE(batch_result.ok());
+
+  // Same data, same seed path -> identical moments -> identical FDs.
+  EXPECT_EQ(incremental_result->fds, batch_result->fds);
+}
+
+TEST(IncrementalFdxTest, ConvergesAcrossManyBatches) {
+  SyntheticConfig config;
+  config.num_tuples = 4000;
+  config.num_attributes = 8;
+  config.noise_rate = 0.02;
+  config.seed = 42;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+
+  IncrementalFdx incremental(ds->noisy.schema(), FdxOptions{});
+  const size_t batch_size = 500;
+  for (size_t start = 0; start < ds->noisy.num_rows();
+       start += batch_size) {
+    Table batch{ds->noisy.schema()};
+    const size_t end =
+        std::min(start + batch_size, ds->noisy.num_rows());
+    for (size_t r = start; r < end; ++r) {
+      std::vector<Value> row;
+      for (size_t c = 0; c < ds->noisy.num_columns(); ++c) {
+        row.push_back(ds->noisy.cell(r, c));
+      }
+      batch.AppendRow(std::move(row));
+    }
+    ASSERT_TRUE(incremental.Append(batch).ok());
+  }
+  EXPECT_EQ(incremental.total_rows(), 4000u);
+  auto result = incremental.CurrentFds();
+  ASSERT_TRUE(result.ok());
+  const FdScore score = ScoreFdsUndirected(result->fds, ds->true_fds);
+  EXPECT_GT(score.f1, 0.6)
+      << FdSetToString(result->fds, ds->noisy.schema());
+}
+
+TEST(IncrementalFdxTest, EstimateImprovesWithData) {
+  // With only a tiny prefix the estimate may be wrong; after the full
+  // stream it must be at least as good.
+  SyntheticConfig config;
+  config.num_tuples = 3000;
+  config.num_attributes = 10;
+  config.seed = 43;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  IncrementalFdx incremental(ds->clean.schema(), FdxOptions{});
+
+  ASSERT_TRUE(incremental.Append(ds->clean.Head(100)).ok());
+  auto early = incremental.CurrentFds();
+  ASSERT_TRUE(early.ok());
+  const double early_f1 = ScoreFdsUndirected(early->fds, ds->true_fds).f1;
+
+  Table rest{ds->clean.schema()};
+  for (size_t r = 100; r < ds->clean.num_rows(); ++r) {
+    std::vector<Value> row;
+    for (size_t c = 0; c < ds->clean.num_columns(); ++c) {
+      row.push_back(ds->clean.cell(r, c));
+    }
+    rest.AppendRow(std::move(row));
+  }
+  ASSERT_TRUE(incremental.Append(rest).ok());
+  auto late = incremental.CurrentFds();
+  ASSERT_TRUE(late.ok());
+  const double late_f1 = ScoreFdsUndirected(late->fds, ds->true_fds).f1;
+  EXPECT_GE(late_f1 + 1e-9, early_f1);
+  EXPECT_GT(late_f1, 0.6);
+}
+
+TEST(IncrementalFdxTest, CovarianceMatchesBatchMoments) {
+  SyntheticConfig config;
+  config.num_tuples = 800;
+  config.num_attributes = 6;
+  config.seed = 44;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  IncrementalFdx incremental(ds->clean.schema(), FdxOptions{});
+  ASSERT_TRUE(incremental.Append(ds->clean).ok());
+  auto incremental_cov = incremental.CurrentCovariance();
+  ASSERT_TRUE(incremental_cov.ok());
+  auto moments = PairTransformMoments(ds->clean, FdxOptions{}.transform);
+  ASSERT_TRUE(moments.ok());
+  EXPECT_LT(incremental_cov->Subtract(moments->cov).MaxAbs(), 1e-12);
+}
+
+}  // namespace
+}  // namespace fdx

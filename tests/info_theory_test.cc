@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/info_theory.h"
+#include "data/csv.h"
+
+namespace fdx {
+namespace {
+
+EncodedTable EncodeCsv(const std::string& text) {
+  auto t = ParseCsv(text);
+  EXPECT_TRUE(t.ok());
+  return EncodedTable::Encode(*t);
+}
+
+TEST(EntropyTest, UniformBinaryIsLog2) {
+  EncodedTable e = EncodeCsv("x\n0\n1\n0\n1\n");
+  EXPECT_NEAR(Entropy(e, AttributeSet::Single(0)), std::log(2.0), 1e-12);
+}
+
+TEST(EntropyTest, ConstantIsZero) {
+  EncodedTable e = EncodeCsv("x\nk\nk\nk\n");
+  EXPECT_DOUBLE_EQ(Entropy(e, AttributeSet::Single(0)), 0.0);
+}
+
+TEST(EntropyTest, SkewedDistribution) {
+  // P = (3/4, 1/4).
+  EncodedTable e = EncodeCsv("x\na\na\na\nb\n");
+  const double expected =
+      -(0.75 * std::log(0.75) + 0.25 * std::log(0.25));
+  EXPECT_NEAR(Entropy(e, AttributeSet::Single(0)), expected, 1e-12);
+}
+
+TEST(EntropyTest, JointOverTwoColumns) {
+  // Four distinct (x, y) combinations, uniform -> log 4.
+  EncodedTable e = EncodeCsv("x,y\n0,0\n0,1\n1,0\n1,1\n");
+  EXPECT_NEAR(Entropy(e, AttributeSet::FromIndices({0, 1})),
+              std::log(4.0), 1e-12);
+}
+
+TEST(GroupIdsTest, DenseAndStable) {
+  EncodedTable e = EncodeCsv("x,y\na,0\nb,0\na,0\nb,1\n");
+  size_t groups = 0;
+  auto ids = GroupIds(e, AttributeSet::FromIndices({0, 1}), &groups);
+  EXPECT_EQ(groups, 3u);
+  EXPECT_EQ(ids[0], ids[2]);
+  EXPECT_NE(ids[0], ids[1]);
+  EXPECT_NE(ids[1], ids[3]);
+}
+
+TEST(MutualInformationTest, IndependentIsNearZero) {
+  // x and y fully crossed -> empirical MI exactly 0.
+  EncodedTable e = EncodeCsv("x,y\n0,0\n0,1\n1,0\n1,1\n");
+  EXPECT_NEAR(MutualInformation(e, AttributeSet::Single(0), 1), 0.0, 1e-12);
+}
+
+TEST(MutualInformationTest, DeterministicEqualsEntropy) {
+  // y = x: I(X; Y) = H(Y).
+  EncodedTable e = EncodeCsv("x,y\n0,a\n1,b\n0,a\n1,b\n2,c\n2,c\n");
+  const double h_y = Entropy(e, AttributeSet::Single(1));
+  EXPECT_NEAR(MutualInformation(e, AttributeSet::Single(0), 1), h_y, 1e-12);
+}
+
+TEST(MutualInformationTest, NonNegativeAndBounded) {
+  EncodedTable e = EncodeCsv("x,y\n0,a\n1,a\n0,b\n1,b\n2,a\n0,a\n");
+  const double mi = MutualInformation(e, AttributeSet::Single(0), 1);
+  EXPECT_GE(mi, -1e-12);
+  EXPECT_LE(mi, Entropy(e, AttributeSet::Single(1)) + 1e-12);
+}
+
+TEST(PermutationBiasTest, GrowsWithLhsCardinality) {
+  // The chance information a determinant extracts grows with its
+  // cardinality — RFI's entire reason to exist (§2.1 of the paper).
+  Table t{Schema({"small", "big", "y"})};
+  Rng data_rng(1);
+  for (int i = 0; i < 200; ++i) {
+    t.AppendRow({Value(data_rng.NextInt(0, 1)),
+                 Value(data_rng.NextInt(0, 49)),
+                 Value(data_rng.NextInt(0, 3))});
+  }
+  EncodedTable e = EncodedTable::Encode(t);
+  Rng rng(2);
+  const double bias_small =
+      PermutationBias(e, AttributeSet::Single(0), 2, 5, &rng);
+  const double bias_big =
+      PermutationBias(e, AttributeSet::Single(1), 2, 5, &rng);
+  EXPECT_GE(bias_small, 0.0);
+  EXPECT_GT(bias_big, bias_small);
+}
+
+TEST(PermutationBiasTest, ZeroPermutationsIsZero) {
+  EncodedTable e = EncodeCsv("x,y\n0,a\n1,b\n");
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(PermutationBias(e, AttributeSet::Single(0), 1, 0, &rng),
+                   0.0);
+}
+
+TEST(ExactPermutationBiasTest, MatchesMonteCarloEstimate) {
+  Table t{Schema({"x", "y"})};
+  Rng data_rng(7);
+  for (int i = 0; i < 300; ++i) {
+    t.AppendRow({Value(data_rng.NextInt(0, 5)),
+                 Value(data_rng.NextInt(0, 3))});
+  }
+  EncodedTable e = EncodedTable::Encode(t);
+  const double exact = ExactPermutationBias(e, AttributeSet::Single(0), 1);
+  Rng rng(8);
+  const double monte_carlo =
+      PermutationBias(e, AttributeSet::Single(0), 1, 200, &rng);
+  EXPECT_GT(exact, 0.0);
+  EXPECT_NEAR(exact, monte_carlo, 0.25 * exact + 1e-3);
+}
+
+TEST(ExactPermutationBiasTest, GrowsWithDeterminantCardinality) {
+  Table t{Schema({"small", "big", "y"})};
+  Rng rng(9);
+  for (int i = 0; i < 250; ++i) {
+    t.AppendRow({Value(rng.NextInt(0, 1)), Value(rng.NextInt(0, 49)),
+                 Value(rng.NextInt(0, 3))});
+  }
+  EncodedTable e = EncodedTable::Encode(t);
+  EXPECT_GT(ExactPermutationBias(e, AttributeSet::Single(1), 2),
+            ExactPermutationBias(e, AttributeSet::Single(0), 2));
+}
+
+TEST(ExactPermutationBiasTest, ZeroForConstantTarget) {
+  EncodedTable e = EncodeCsv("x,y\n0,k\n1,k\n2,k\n3,k\n");
+  EXPECT_NEAR(ExactPermutationBias(e, AttributeSet::Single(0), 1), 0.0,
+              1e-12);
+}
+
+TEST(EntropyOfGroupsTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(EntropyOfGroups({}, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace fdx

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "bn/networks.h"
+#include "core/fdx.h"
+#include "core/transform.h"
+#include "datasets/real_world.h"
+#include "eval/runner.h"
+#include "linalg/stats.h"
+#include "synth/generator.h"
+
+namespace fdx {
+namespace {
+
+/// End-to-end checks of the paper's headline claims on small instances.
+
+TEST(IntegrationTest, FdxBeatsEnumerationMethodsOnNoisyData) {
+  // Table 4 / Figure 2's qualitative story: the structure-learning
+  // methods dominate the enumeration methods in F1 under noise.
+  SyntheticConfig config;
+  config.num_tuples = 1000;
+  config.num_attributes = 12;
+  config.noise_rate = 0.05;
+  RunnerConfig runner;
+  runner.expected_error = 0.05;
+  runner.time_budget_seconds = 60;
+  double fdx_f1 = 0.0, tane_f1 = 0.0, pyro_f1 = 0.0;
+  std::vector<double> fdx_scores, tane_scores, pyro_scores;
+  for (uint64_t seed : {11, 12, 13}) {
+    config.seed = seed;
+    auto ds = GenerateSynthetic(config);
+    ASSERT_TRUE(ds.ok());
+    auto fdx = RunMethod(MethodId::kFdx, ds->noisy, runner);
+    auto tane = RunMethod(MethodId::kTane, ds->noisy, runner);
+    auto pyro = RunMethod(MethodId::kPyro, ds->noisy, runner);
+    ASSERT_TRUE(fdx.ok && tane.ok && pyro.ok);
+    fdx_f1 += ScoreFdsUndirected(fdx.fds, ds->true_fds).f1;
+    tane_f1 += ScoreFdsUndirected(tane.fds, ds->true_fds).f1;
+    pyro_f1 += ScoreFdsUndirected(pyro.fds, ds->true_fds).f1;
+  }
+  EXPECT_GT(fdx_f1, tane_f1);
+  EXPECT_GT(fdx_f1, pyro_f1);
+}
+
+TEST(IntegrationTest, PairTransformBeatsRawStructureLearning) {
+  // §4.3 / Table 4: FDX (structure learning over pair differences) must
+  // beat GL (the same structure-learning machinery applied to the raw
+  // encoding) on the known-structure benchmarks.
+  RunnerConfig runner;
+  runner.time_budget_seconds = 120;
+  double fdx_f1 = 0.0, gl_f1 = 0.0;
+  for (auto& bn : MakeAllBenchmarkNetworks()) {
+    Rng rng(31);
+    auto sample = bn.net.Sample(5000, &rng);
+    ASSERT_TRUE(sample.ok());
+    auto fdx = RunMethod(MethodId::kFdx, *sample, runner);
+    auto gl = RunMethod(MethodId::kGl, *sample, runner);
+    ASSERT_TRUE(fdx.ok) << bn.name << ": " << fdx.error;
+    ASSERT_TRUE(gl.ok) << bn.name << ": " << gl.error;
+    fdx_f1 += ScoreFdsUndirected(fdx.fds, bn.net.GroundTruthFds()).f1;
+    gl_f1 += ScoreFdsUndirected(gl.fds, bn.net.GroundTruthFds()).f1;
+  }
+  EXPECT_GT(fdx_f1, gl_f1);
+}
+
+TEST(IntegrationTest, FdxParsimoniousOnRealWorldReplica) {
+  // Table 6's story: FDX reports at most one FD per attribute while the
+  // enumeration methods report hundreds.
+  RealWorldDataset hospital = MakeHospitalDataset();
+  RunnerConfig runner;
+  runner.expected_error = 0.02;
+  runner.time_budget_seconds = 120;
+  auto fdx = RunMethod(MethodId::kFdx, hospital.table, runner);
+  auto tane = RunMethod(MethodId::kTane, hospital.table, runner);
+  ASSERT_TRUE(fdx.ok) << fdx.error;
+  ASSERT_TRUE(tane.ok) << tane.error;
+  EXPECT_LE(fdx.fds.size(), hospital.table.num_columns());
+  EXPECT_GT(tane.fds.size(), fdx.fds.size());
+}
+
+TEST(IntegrationTest, FdxRecoversHospitalMasterDataDependencies) {
+  // Figure 3: provider-level and measure-level hierarchies surface.
+  RealWorldDataset hospital = MakeHospitalDataset();
+  FdxDiscoverer discoverer;
+  auto result = discoverer.Discover(hospital.table);
+  ASSERT_TRUE(result.ok());
+  FdScore score = ScoreFdsUndirected(result->fds, hospital.embedded_fds);
+  EXPECT_GT(score.recall, 0.5)
+      << FdSetToString(result->fds, hospital.table.schema());
+  // FDX chains equivalent provider keys (ProviderNumber, HospitalName,
+  // Address1, ...) instead of starring everything off ProviderNumber —
+  // exactly the shape of paper Figure 3 — so edge precision against the
+  // canonical star underestimates quality. Check data-level validity:
+  // nearly every reported FD must (approximately) hold on the table.
+  // Some edges come out direction-flipped (the pair model is symmetric
+  // per tuple pair; cf. ScoreFdsUndirected) and are invalid as written;
+  // the clear majority must hold.
+  const EncodedTable encoded = EncodedTable::Encode(hospital.table);
+  size_t valid = 0;
+  for (const auto& fd : result->fds) {
+    if (FdG3Error(encoded, fd) < 0.05) ++valid;
+  }
+  EXPECT_GE(static_cast<double>(valid),
+            0.6 * static_cast<double>(result->fds.size()));
+}
+
+TEST(IntegrationTest, BenchmarkNetworksEndToEnd) {
+  // A cut-down Table 4: every network, FDX F1 above a floor.
+  for (auto& bn : MakeAllBenchmarkNetworks()) {
+    Rng rng(99);
+    auto sample = bn.net.Sample(5000, &rng);
+    ASSERT_TRUE(sample.ok());
+    FdxDiscoverer discoverer;
+    auto result = discoverer.Discover(*sample);
+    ASSERT_TRUE(result.ok()) << bn.name;
+    FdScore score = ScoreFdsUndirected(result->fds, bn.net.GroundTruthFds());
+    EXPECT_GT(score.f1, 0.45) << bn.name;
+  }
+}
+
+}  // namespace
+}  // namespace fdx

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "util/json_writer.h"
+
+namespace fdx {
+namespace {
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  JsonWriter a;
+  a.BeginObject();
+  a.EndObject();
+  EXPECT_EQ(a.TakeString(), "{}");
+  JsonWriter b;
+  b.BeginArray();
+  b.EndArray();
+  EXPECT_EQ(b.TakeString(), "[]");
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name");
+  json.String("fdx");
+  json.Key("count");
+  json.Integer(42);
+  json.Key("score");
+  json.Number(0.5);
+  json.Key("ok");
+  json.Bool(true);
+  json.Key("missing");
+  json.Null();
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(),
+            "{\"name\":\"fdx\",\"count\":42,\"score\":0.5,"
+            "\"ok\":true,\"missing\":null}");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("fds");
+  json.BeginArray();
+  json.BeginObject();
+  json.Key("lhs");
+  json.BeginArray();
+  json.String("a");
+  json.String("b");
+  json.EndArray();
+  json.EndObject();
+  json.BeginObject();
+  json.EndObject();
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(),
+            "{\"fds\":[{\"lhs\":[\"a\",\"b\"]},{}]}");
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::Escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::Escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonWriter::Escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Number(1.0 / 0.0);
+  json.EndArray();
+  EXPECT_EQ(json.TakeString(), "[null]");
+}
+
+}  // namespace
+}  // namespace fdx

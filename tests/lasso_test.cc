@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/factorization.h"
+#include "linalg/lasso.h"
+#include "util/rng.h"
+
+namespace fdx {
+namespace {
+
+TEST(SoftThresholdTest, Cases) {
+  EXPECT_DOUBLE_EQ(SoftThreshold(3.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(-3.0, 1.0), -2.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(-0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(2.0, 0.0), 2.0);
+}
+
+TEST(QuadraticLassoTest, ZeroPenaltyMatchesExactSolve) {
+  // With lambda = 0 the solution is Q^{-1} c.
+  Matrix q = Matrix::FromRows({{4, 1}, {1, 3}});
+  Vector c = {1, 2};
+  LassoOptions options;
+  options.lambda = 0.0;
+  options.tolerance = 1e-12;
+  options.max_iterations = 10000;
+  Vector beta;
+  ASSERT_TRUE(SolveQuadraticLasso(q, c, options, &beta).ok());
+  auto exact = SolveSpd(q, c);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(beta[0], (*exact)[0], 1e-8);
+  EXPECT_NEAR(beta[1], (*exact)[1], 1e-8);
+}
+
+TEST(QuadraticLassoTest, DiagonalCaseHasClosedForm) {
+  // Q = I: beta_l = Soft(c_l, lambda).
+  Matrix q = Matrix::Identity(3);
+  Vector c = {2.0, -0.3, 0.9};
+  LassoOptions options;
+  options.lambda = 0.5;
+  Vector beta;
+  ASSERT_TRUE(SolveQuadraticLasso(q, c, options, &beta).ok());
+  EXPECT_NEAR(beta[0], 1.5, 1e-9);
+  EXPECT_NEAR(beta[1], 0.0, 1e-9);
+  EXPECT_NEAR(beta[2], 0.4, 1e-9);
+}
+
+TEST(QuadraticLassoTest, LargePenaltyZeroesEverything) {
+  Matrix q = Matrix::FromRows({{2, 0.5}, {0.5, 2}});
+  Vector c = {1, -1};
+  LassoOptions options;
+  options.lambda = 100.0;
+  Vector beta;
+  ASSERT_TRUE(SolveQuadraticLasso(q, c, options, &beta).ok());
+  EXPECT_DOUBLE_EQ(beta[0], 0.0);
+  EXPECT_DOUBLE_EQ(beta[1], 0.0);
+}
+
+TEST(QuadraticLassoTest, SparsityMonotoneInLambda) {
+  Rng rng(7);
+  const size_t p = 10;
+  Matrix m(p, p);
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = 0; j < p; ++j) m(i, j) = rng.NextGaussian();
+  }
+  Matrix q = m.Multiply(m.Transpose());
+  for (size_t i = 0; i < p; ++i) q(i, i) += 1.0;
+  Vector c(p);
+  for (double& v : c) v = rng.NextGaussian();
+  size_t previous_nonzeros = p + 1;
+  for (double lambda : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    LassoOptions options;
+    options.lambda = lambda;
+    options.max_iterations = 5000;
+    Vector beta;
+    ASSERT_TRUE(SolveQuadraticLasso(q, c, options, &beta).ok());
+    size_t nonzeros = 0;
+    for (double b : beta) {
+      if (b != 0.0) ++nonzeros;
+    }
+    EXPECT_LE(nonzeros, previous_nonzeros);
+    previous_nonzeros = nonzeros;
+  }
+}
+
+TEST(QuadraticLassoTest, RejectsDimensionMismatch) {
+  Vector beta;
+  EXPECT_FALSE(
+      SolveQuadraticLasso(Matrix(2, 2, 1.0), {1, 2, 3}, {}, &beta).ok());
+}
+
+TEST(QuadraticLassoTest, RejectsNonPositiveDiagonal) {
+  Matrix q(2, 2);  // zero diagonal
+  Vector beta;
+  EXPECT_FALSE(SolveQuadraticLasso(q, {1, 1}, {}, &beta).ok());
+}
+
+TEST(LassoRegressionTest, RecoversSparseSignal) {
+  // y = 3 * x0 - 2 * x4 + noise; other 6 coefficients are zero.
+  Rng rng(11);
+  const size_t n = 400, p = 8;
+  Matrix x(n, p);
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < p; ++j) x(i, j) = rng.NextGaussian();
+    y[i] = 3.0 * x(i, 0) - 2.0 * x(i, 4) + 0.05 * rng.NextGaussian();
+  }
+  LassoOptions options;
+  options.lambda = 0.1;
+  options.max_iterations = 5000;
+  auto beta = SolveLassoRegression(x, y, options);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR((*beta)[0], 3.0, 0.2);
+  EXPECT_NEAR((*beta)[4], -2.0, 0.2);
+  for (size_t j : {1, 2, 3, 5, 6, 7}) {
+    EXPECT_LT(std::fabs((*beta)[j]), 0.1) << "coefficient " << j;
+  }
+}
+
+TEST(LassoRegressionTest, RejectsEmptyAndMismatched) {
+  EXPECT_FALSE(SolveLassoRegression(Matrix(0, 2), {}, {}).ok());
+  EXPECT_FALSE(SolveLassoRegression(Matrix(3, 2), {1.0, 2.0}, {}).ok());
+}
+
+}  // namespace
+}  // namespace fdx

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace fdx {
+namespace {
+
+Matrix Random(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) m(i, j) = rng.NextGaussian();
+  }
+  return m;
+}
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), -2.0);
+}
+
+TEST(MatrixTest, IdentityIsDiagonal) {
+  Matrix eye = Matrix::Identity(4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Matrix m = Random(3, 5, 1);
+  Matrix tt = m.Transpose().Transpose();
+  EXPECT_DOUBLE_EQ(m.Subtract(tt).MaxAbs(), 0.0);
+}
+
+TEST(MatrixTest, MultiplyAgainstHandComputed) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyByIdentity) {
+  Matrix m = Random(4, 4, 2);
+  Matrix eye = Matrix::Identity(4);
+  EXPECT_LT(m.Multiply(eye).Subtract(m).MaxAbs(), 1e-12);
+  EXPECT_LT(eye.Multiply(m).Subtract(m).MaxAbs(), 1e-12);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a = Matrix::FromRows({{1, 0, 2}, {0, 3, 0}});
+  Vector v = {1, 2, 3};
+  Vector out = a.MultiplyVector(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 7.0);
+  EXPECT_DOUBLE_EQ(out[1], 6.0);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a = Random(3, 3, 3);
+  Matrix b = Random(3, 3, 4);
+  Matrix sum = a.Add(b);
+  EXPECT_LT(sum.Subtract(b).Subtract(a).MaxAbs(), 1e-12);
+  EXPECT_LT(a.Scale(2.0).Subtract(a.Add(a)).MaxAbs(), 1e-12);
+}
+
+TEST(MatrixTest, MaxAbsAndFrobenius) {
+  Matrix m = Matrix::FromRows({{3, -4}, {0, 0}});
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 4.0);
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(Matrix().MaxAbs(), 0.0);
+}
+
+TEST(MatrixTest, Submatrix) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  Matrix sub = m.Submatrix({0, 2});
+  ASSERT_EQ(sub.rows(), 2u);
+  EXPECT_DOUBLE_EQ(sub(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sub(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(sub(1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(sub(1, 1), 9.0);
+}
+
+TEST(MatrixTest, PermuteSymmetricRoundTrip) {
+  Matrix m = Random(4, 4, 5);
+  // Make symmetric.
+  Matrix sym = m.Add(m.Transpose()).Scale(0.5);
+  std::vector<size_t> perm = {2, 0, 3, 1};
+  Matrix p = sym.PermuteSymmetric(perm);
+  // p(i, j) == sym(perm[i], perm[j]).
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(p(i, j), sym(perm[i], perm[j]));
+    }
+  }
+  EXPECT_TRUE(p.IsSymmetric());
+}
+
+TEST(MatrixTest, IsSymmetric) {
+  Matrix m = Matrix::FromRows({{1, 2}, {2, 1}});
+  EXPECT_TRUE(m.IsSymmetric());
+  m(0, 1) = 3.0;
+  EXPECT_FALSE(m.IsSymmetric());
+  EXPECT_FALSE(Random(2, 3, 6).IsSymmetric());
+}
+
+TEST(MatrixTest, ToStringContainsValues) {
+  Matrix m = Matrix::FromRows({{1.25}});
+  EXPECT_NE(m.ToString(2).find("1.25"), std::string::npos);
+}
+
+TEST(VectorOpsTest, DotAndNorm) {
+  Vector a = {1, 2, 3};
+  Vector b = {4, -5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  Vector out = Axpy({1, 1}, 2.0, {3, -1});
+  EXPECT_DOUBLE_EQ(out[0], 7.0);
+  EXPECT_DOUBLE_EQ(out[1], -1.0);
+}
+
+}  // namespace
+}  // namespace fdx

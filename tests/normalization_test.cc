@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fd/normalization.h"
+
+namespace fdx {
+namespace {
+
+// The textbook schema: R(City, State, Zip) with Zip -> City,State and
+// City,State -> Zip.
+FdSet CityStateZip() {
+  return {FunctionalDependency({2}, 0), FunctionalDependency({2}, 1),
+          FunctionalDependency({0, 1}, 2)};
+}
+
+TEST(ClosureTest, FixpointReachesTransitiveDependents) {
+  // a -> b, b -> c: closure(a) = {a, b, c}.
+  FdSet fds = {FunctionalDependency({0}, 1), FunctionalDependency({1}, 2)};
+  const AttributeSet closure = Closure(AttributeSet::Single(0), fds);
+  EXPECT_TRUE(closure.Contains(0));
+  EXPECT_TRUE(closure.Contains(1));
+  EXPECT_TRUE(closure.Contains(2));
+  EXPECT_EQ(closure.Count(), 3u);
+}
+
+TEST(ClosureTest, CompositeLhsNeedsAllAttributes) {
+  FdSet fds = {FunctionalDependency({0, 1}, 2)};
+  EXPECT_FALSE(Closure(AttributeSet::Single(0), fds).Contains(2));
+  EXPECT_TRUE(
+      Closure(AttributeSet::FromIndices({0, 1}), fds).Contains(2));
+}
+
+TEST(ImpliesTest, ArmstrongAugmentationAndTransitivity) {
+  FdSet fds = {FunctionalDependency({0}, 1), FunctionalDependency({1}, 2)};
+  EXPECT_TRUE(Implies(fds, FunctionalDependency({0}, 2)));      // transitivity
+  EXPECT_TRUE(Implies(fds, FunctionalDependency({0, 3}, 1)));   // augmentation
+  EXPECT_FALSE(Implies(fds, FunctionalDependency({2}, 0)));     // no reverse
+}
+
+TEST(CandidateKeysTest, CityStateZipHasTwoKeys) {
+  auto keys = CandidateKeys(3, CityStateZip());
+  ASSERT_EQ(keys.size(), 2u);
+  std::set<std::vector<size_t>> rendered;
+  for (const auto& key : keys) rendered.insert(key.ToIndices());
+  EXPECT_TRUE(rendered.count({0, 1}) > 0);  // {City, State}
+  EXPECT_TRUE(rendered.count({2}) > 0);     // {Zip}
+}
+
+TEST(CandidateKeysTest, NoFdsMeansAllAttributesKey) {
+  auto keys = CandidateKeys(4, {});
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].Count(), 4u);
+}
+
+TEST(CandidateKeysTest, ChainHasSingleRootKey) {
+  // a -> b -> c -> d: the only key is {a}.
+  FdSet fds = {FunctionalDependency({0}, 1), FunctionalDependency({1}, 2),
+               FunctionalDependency({2}, 3)};
+  auto keys = CandidateKeys(4, fds);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].ToIndices(), (std::vector<size_t>{0}));
+}
+
+TEST(MinimalCoverTest, DropsExtraneousLhsAttributes) {
+  // {a, b} -> c is implied by a -> c.
+  FdSet fds = {FunctionalDependency({0}, 2),
+               FunctionalDependency({0, 1}, 2)};
+  FdSet cover = MinimalCover(fds, 3);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], FunctionalDependency({0}, 2));
+}
+
+TEST(MinimalCoverTest, DropsRedundantFds) {
+  // a -> c is implied by a -> b, b -> c.
+  FdSet fds = {FunctionalDependency({0}, 1), FunctionalDependency({1}, 2),
+               FunctionalDependency({0}, 2)};
+  FdSet cover = MinimalCover(fds, 3);
+  EXPECT_EQ(cover.size(), 2u);
+  for (const auto& fd : fds) {
+    EXPECT_TRUE(Implies(cover, fd)) << "cover lost information";
+  }
+}
+
+TEST(MinimalCoverTest, PreservesEquivalence) {
+  FdSet fds = CityStateZip();
+  FdSet cover = MinimalCover(fds, 3);
+  for (const auto& fd : fds) EXPECT_TRUE(Implies(cover, fd));
+  for (const auto& fd : cover) EXPECT_TRUE(Implies(fds, fd));
+}
+
+TEST(BcnfTest, AlreadyNormalizedStaysWhole) {
+  // Key -> everything: single relation, no split.
+  FdSet fds = {FunctionalDependency({0}, 1), FunctionalDependency({0}, 2)};
+  auto decomposition = DecomposeBcnf(3, fds);
+  ASSERT_EQ(decomposition.size(), 1u);
+  EXPECT_EQ(decomposition[0].attributes.size(), 3u);
+  EXPECT_TRUE(IsBcnf(decomposition, fds));
+}
+
+TEST(BcnfTest, TransitiveDependencySplits) {
+  // R(a, b, c) with a -> b, b -> c: b -> c violates BCNF.
+  FdSet fds = {FunctionalDependency({0}, 1), FunctionalDependency({1}, 2)};
+  auto decomposition = DecomposeBcnf(3, fds);
+  EXPECT_GE(decomposition.size(), 2u);
+  EXPECT_TRUE(IsBcnf(decomposition, fds));
+  // Attribute coverage: every attribute appears somewhere.
+  AttributeSet covered;
+  for (const auto& relation : decomposition) {
+    for (size_t a : relation.attributes) covered.Add(a);
+  }
+  EXPECT_EQ(covered.Count(), 3u);
+}
+
+TEST(BcnfTest, HospitalStyleSchemaDecomposes) {
+  // 0:Provider 1:Name 2:City 3:County 4:Measure 5:MeasureName 6:Score
+  FdSet fds = {
+      FunctionalDependency({0}, 1), FunctionalDependency({0}, 2),
+      FunctionalDependency({2}, 3), FunctionalDependency({4}, 5),
+  };
+  auto decomposition = DecomposeBcnf(7, fds);
+  EXPECT_TRUE(IsBcnf(decomposition, fds));
+  AttributeSet covered;
+  for (const auto& relation : decomposition) {
+    for (size_t a : relation.attributes) covered.Add(a);
+  }
+  EXPECT_EQ(covered.Count(), 7u);
+  // The city->county fragment must exist on its own.
+  bool has_city_county = false;
+  for (const auto& relation : decomposition) {
+    if (relation.attributes == std::vector<size_t>{2, 3}) {
+      has_city_county = true;
+    }
+  }
+  EXPECT_TRUE(has_city_county);
+}
+
+TEST(DecomposedRelationTest, RendersWithSchemaNames) {
+  DecomposedRelation relation;
+  relation.attributes = {0, 2};
+  Schema schema({"City", "State", "Zip"});
+  EXPECT_EQ(relation.ToString(schema, 1), "R1(City, Zip)");
+}
+
+}  // namespace
+}  // namespace fdx

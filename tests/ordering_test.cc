@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/ordering.h"
+#include "util/rng.h"
+
+namespace fdx {
+namespace {
+
+bool IsPermutation(const std::vector<size_t>& perm) {
+  std::vector<size_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != i) return false;
+  }
+  return true;
+}
+
+Matrix RandomSparseTheta(size_t k, double density, uint64_t seed) {
+  Rng rng(seed);
+  Matrix theta(k, k);
+  for (size_t i = 0; i < k; ++i) theta(i, i) = 2.0;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      if (rng.NextBernoulli(density)) {
+        const double v = 0.3 * rng.NextGaussian();
+        theta(i, j) = v;
+        theta(j, i) = v;
+      }
+    }
+  }
+  return theta;
+}
+
+TEST(OrderingTest, ParseNames) {
+  EXPECT_EQ(*ParseOrderingMethod("natural"), OrderingMethod::kNatural);
+  EXPECT_EQ(*ParseOrderingMethod("heuristic"), OrderingMethod::kMinDegree);
+  EXPECT_EQ(*ParseOrderingMethod("mindegree"), OrderingMethod::kMinDegree);
+  EXPECT_EQ(*ParseOrderingMethod("amd"), OrderingMethod::kAmd);
+  EXPECT_EQ(*ParseOrderingMethod("colamd"), OrderingMethod::kColamd);
+  EXPECT_EQ(*ParseOrderingMethod("metis"), OrderingMethod::kMetis);
+  EXPECT_EQ(*ParseOrderingMethod("nesdis"), OrderingMethod::kNesdis);
+  EXPECT_FALSE(ParseOrderingMethod("bogus").ok());
+}
+
+TEST(OrderingTest, NameRoundTrip) {
+  for (OrderingMethod m :
+       {OrderingMethod::kNatural, OrderingMethod::kMinDegree,
+        OrderingMethod::kAmd, OrderingMethod::kColamd,
+        OrderingMethod::kMetis, OrderingMethod::kNesdis}) {
+    EXPECT_EQ(*ParseOrderingMethod(OrderingMethodName(m)), m);
+  }
+}
+
+TEST(OrderingTest, NaturalIsIdentity) {
+  Matrix theta = RandomSparseTheta(10, 0.3, 1);
+  auto perm = ComputeOrdering(theta, OrderingMethod::kNatural);
+  std::vector<size_t> identity(10);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_EQ(perm, identity);
+}
+
+class OrderingPropertyTest
+    : public ::testing::TestWithParam<OrderingMethod> {};
+
+TEST_P(OrderingPropertyTest, ProducesValidPermutation) {
+  for (size_t k : {1u, 2u, 5u, 13u, 40u}) {
+    Matrix theta = RandomSparseTheta(k, 0.25, k);
+    auto perm = ComputeOrdering(theta, GetParam());
+    EXPECT_EQ(perm.size(), k);
+    EXPECT_TRUE(IsPermutation(perm)) << OrderingMethodName(GetParam())
+                                     << " k=" << k;
+  }
+}
+
+TEST_P(OrderingPropertyTest, DeterministicAcrossCalls) {
+  Matrix theta = RandomSparseTheta(15, 0.3, 7);
+  auto a = ComputeOrdering(theta, GetParam());
+  auto b = ComputeOrdering(theta, GetParam());
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(OrderingPropertyTest, HandlesDiagonalTheta) {
+  Matrix theta(6, 6);
+  for (size_t i = 0; i < 6; ++i) theta(i, i) = 1.0;
+  auto perm = ComputeOrdering(theta, GetParam());
+  EXPECT_TRUE(IsPermutation(perm));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, OrderingPropertyTest,
+    ::testing::Values(OrderingMethod::kNatural, OrderingMethod::kMinDegree,
+                      OrderingMethod::kAmd, OrderingMethod::kColamd,
+                      OrderingMethod::kMetis, OrderingMethod::kNesdis),
+    [](const auto& info) { return OrderingMethodName(info.param); });
+
+TEST(OrderingTest, MinDegreeEliminatesIsolatedFirst) {
+  // Star graph: center 0 connected to 1..4; vertex 5 isolated. The
+  // isolated vertex has lowest degree and must precede the hub.
+  Matrix theta(6, 6);
+  for (size_t i = 0; i < 6; ++i) theta(i, i) = 2.0;
+  for (size_t leaf = 1; leaf <= 4; ++leaf) {
+    theta(0, leaf) = 0.5;
+    theta(leaf, 0) = 0.5;
+  }
+  auto perm = ComputeOrdering(theta, OrderingMethod::kMinDegree);
+  const auto pos = [&](size_t v) {
+    return std::find(perm.begin(), perm.end(), v) - perm.begin();
+  };
+  EXPECT_LT(pos(5), pos(0));
+}
+
+}  // namespace
+}  // namespace fdx

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "fd/fd.h"
+#include "fd/partition.h"
+#include "synth/generator.h"
+
+namespace fdx {
+namespace {
+
+Table TableFromCsv(const std::string& text) {
+  auto t = ParseCsv(text);
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+TEST(PartitionTest, FromColumnGroupsEqualValues) {
+  Table t = TableFromCsv("x\na\nb\na\nc\nb\na\n");
+  EncodedTable e = EncodedTable::Encode(t);
+  StrippedPartition p = StrippedPartition::FromColumn(e, 0);
+  // a: rows 0,2,5; b: rows 1,4; c singleton stripped.
+  EXPECT_EQ(p.NumClusters(), 2u);
+  EXPECT_EQ(p.StrippedSize(), 5u);
+  EXPECT_EQ(p.num_rows(), 6u);
+}
+
+TEST(PartitionTest, NullsAreStrippedSingletons) {
+  Table t = TableFromCsv("x\na\n\n\na\n");
+  EncodedTable e = EncodedTable::Encode(t);
+  StrippedPartition p = StrippedPartition::FromColumn(e, 0);
+  EXPECT_EQ(p.NumClusters(), 1u);  // the two a's; nulls never group
+  EXPECT_EQ(p.StrippedSize(), 2u);
+}
+
+TEST(PartitionTest, MultiplyMatchesJointPartition) {
+  Table t = TableFromCsv("x,y\n1,a\n1,b\n1,a\n2,a\n2,a\n");
+  EncodedTable e = EncodedTable::Encode(t);
+  StrippedPartition px = StrippedPartition::FromColumn(e, 0);
+  StrippedPartition py = StrippedPartition::FromColumn(e, 1);
+  StrippedPartition pxy = StrippedPartition::Multiply(px, py);
+  // Joint groups: (1,a): rows 0,2; (1,b): row 1 (stripped); (2,a): 3,4.
+  EXPECT_EQ(pxy.NumClusters(), 2u);
+  EXPECT_EQ(pxy.StrippedSize(), 4u);
+}
+
+TEST(PartitionTest, MultiplyIsCommutative) {
+  SyntheticConfig config;
+  config.num_tuples = 200;
+  config.num_attributes = 4;
+  config.seed = 17;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  EncodedTable e = EncodedTable::Encode(ds->clean);
+  StrippedPartition pa = StrippedPartition::FromColumn(e, 0);
+  StrippedPartition pb = StrippedPartition::FromColumn(e, 1);
+  StrippedPartition ab = StrippedPartition::Multiply(pa, pb);
+  StrippedPartition ba = StrippedPartition::Multiply(pb, pa);
+  EXPECT_EQ(ab.NumClusters(), ba.NumClusters());
+  EXPECT_EQ(ab.StrippedSize(), ba.StrippedSize());
+}
+
+TEST(PartitionTest, SuperKeyDetection) {
+  Table t = TableFromCsv("id,v\n1,a\n2,a\n3,b\n");
+  EncodedTable e = EncodedTable::Encode(t);
+  EXPECT_TRUE(StrippedPartition::FromColumn(e, 0).IsSuperKey());
+  EXPECT_FALSE(StrippedPartition::FromColumn(e, 1).IsSuperKey());
+  EXPECT_DOUBLE_EQ(StrippedPartition::FromColumn(e, 0).KeyError(), 0.0);
+}
+
+TEST(PartitionTest, KeyErrorCountsDuplicates) {
+  Table t = TableFromCsv("x\na\na\nb\nb\nb\n");
+  EncodedTable e = EncodedTable::Encode(t);
+  StrippedPartition p = StrippedPartition::FromColumn(e, 0);
+  // To make x a key: remove 1 from the a-group and 2 from the b-group.
+  EXPECT_NEAR(p.KeyError(), 3.0 / 5.0, 1e-12);
+}
+
+TEST(PartitionTest, FdErrorZeroForExactFd) {
+  Table t = TableFromCsv("x,y\n1,a\n1,a\n2,b\n2,b\n");
+  EncodedTable e = EncodedTable::Encode(t);
+  StrippedPartition px = StrippedPartition::FromColumn(e, 0);
+  StrippedPartition pxy = StrippedPartition::Multiply(
+      px, StrippedPartition::FromColumn(e, 1));
+  EXPECT_DOUBLE_EQ(px.FdError(pxy), 0.0);
+}
+
+TEST(PartitionTest, FdErrorMatchesG3OnCleanData) {
+  // Cross-check the partition-based error against the hash-based g3 on
+  // null-free data (the two differ only in null handling).
+  SyntheticConfig config;
+  config.num_tuples = 500;
+  config.num_attributes = 6;
+  config.noise_rate = 0.1;
+  config.seed = 23;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  EncodedTable e = EncodedTable::Encode(ds->noisy);
+  for (size_t x = 0; x < 6; ++x) {
+    for (size_t y = 0; y < 6; ++y) {
+      if (x == y) continue;
+      StrippedPartition px = StrippedPartition::FromColumn(e, x);
+      StrippedPartition pxy = StrippedPartition::Multiply(
+          px, StrippedPartition::FromColumn(e, y));
+      const double partition_error = px.FdError(pxy);
+      const double g3 = FdG3Error(e, FunctionalDependency({x}, y));
+      EXPECT_NEAR(partition_error, g3, 1e-9)
+          << "FD " << x << " -> " << y;
+    }
+  }
+}
+
+TEST(PartitionTest, EmptyTable) {
+  Table t{Schema({"x"})};
+  EncodedTable e = EncodedTable::Encode(t);
+  StrippedPartition p = StrippedPartition::FromColumn(e, 0);
+  EXPECT_TRUE(p.IsSuperKey());
+  EXPECT_DOUBLE_EQ(p.KeyError(), 0.0);
+}
+
+}  // namespace
+}  // namespace fdx

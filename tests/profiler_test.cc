@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "eval/profiler.h"
+#include "util/rng.h"
+
+namespace fdx {
+namespace {
+
+/// Fixture with one FD (x -> y), one key (id), one IND (sub ⊆ sup) and
+/// missing values.
+Table ProfilerFixture(size_t n, uint64_t seed) {
+  Table t{Schema({"id", "x", "y", "sub", "sup"})};
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t x = rng.NextInt(0, 9);
+    t.AppendRow({Value(static_cast<int64_t>(i)), Value(x),
+                 Value((x * 7 + 1) % 10), Value(rng.NextInt(0, 4)),
+                 Value(rng.NextInt(0, 9))});
+  }
+  t.set_cell(3, 2, Value::Null());
+  return t;
+}
+
+TEST(ProfilerTest, ProducesAllSections) {
+  Table t = ProfilerFixture(600, 1);
+  auto profile = ProfileTable(t);
+  ASSERT_TRUE(profile.ok());
+  ASSERT_EQ(profile->columns.size(), 5u);
+  EXPECT_EQ(profile->columns[0].name, "id");
+  EXPECT_EQ(profile->columns[2].null_count, 1u);
+  EXPECT_FALSE(profile->fds.empty());
+  EXPECT_FALSE(profile->keys.empty());
+  EXPECT_FALSE(profile->inds.empty());
+  EXPECT_GE(profile->seconds, 0.0);
+}
+
+TEST(ProfilerTest, FdxFdValidatedInPlace) {
+  Table t = ProfilerFixture(600, 2);
+  auto profile = ProfileTable(t);
+  ASSERT_TRUE(profile.ok());
+  bool found_xy = false;
+  for (const auto& report : profile->fds) {
+    const bool about_xy =
+        (report.fd.rhs == 2 && report.fd.lhs == std::vector<size_t>{1}) ||
+        (report.fd.rhs == 1 && report.fd.lhs == std::vector<size_t>{2});
+    if (about_xy) {
+      found_xy = true;
+      EXPECT_LT(report.g3_error, 0.01);
+    }
+  }
+  EXPECT_TRUE(found_xy);
+}
+
+TEST(ProfilerTest, FdParticipationFlagsSet) {
+  Table t = ProfilerFixture(600, 3);
+  auto profile = ProfileTable(t);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_TRUE(profile->columns[1].participates_in_fd);  // x
+  EXPECT_TRUE(profile->columns[2].participates_in_fd);  // y
+  EXPECT_FALSE(profile->columns[0].participates_in_fd);  // id
+}
+
+TEST(ProfilerTest, KeyDiscovered) {
+  Table t = ProfilerFixture(300, 4);
+  auto profile = ProfileTable(t);
+  ASSERT_TRUE(profile.ok());
+  bool id_is_key = false;
+  for (const auto& key : profile->keys) {
+    if (key.attributes == std::vector<size_t>{0}) id_is_key = true;
+  }
+  EXPECT_TRUE(id_is_key);
+}
+
+TEST(ProfilerTest, IndDiscovered) {
+  Table t = ProfilerFixture(600, 5);
+  auto profile = ProfileTable(t);
+  ASSERT_TRUE(profile.ok());
+  bool sub_in_sup = false;
+  for (const auto& ind : profile->inds) {
+    if (ind.lhs == 3 && ind.rhs == 4) sub_in_sup = true;
+  }
+  EXPECT_TRUE(sub_in_sup);
+}
+
+TEST(ProfilerTest, RenderMentionsEverySection) {
+  Table t = ProfilerFixture(400, 6);
+  auto profile = ProfileTable(t);
+  ASSERT_TRUE(profile.ok());
+  const std::string report = RenderProfile(*profile, t.schema());
+  EXPECT_NE(report.find("Functional dependencies"), std::string::npos);
+  EXPECT_NE(report.find("Minimal keys"), std::string::npos);
+  EXPECT_NE(report.find("Conditional FDs"), std::string::npos);
+  EXPECT_NE(report.find("Inclusion dependencies"), std::string::npos);
+  EXPECT_NE(report.find("id"), std::string::npos);
+}
+
+TEST(ProfilerTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(ProfileTable(Table()).ok());
+  Table one_row{Schema({"a"})};
+  one_row.AppendRow({Value(int64_t{1})});
+  EXPECT_FALSE(ProfileTable(one_row).ok());
+}
+
+}  // namespace
+}  // namespace fdx

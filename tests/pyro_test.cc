@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/pyro.h"
+#include "data/csv.h"
+#include "synth/generator.h"
+
+namespace fdx {
+namespace {
+
+Table TableFromCsv(const std::string& text) {
+  auto t = ParseCsv(text);
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+bool ContainsFd(const FdSet& fds, std::vector<size_t> lhs, size_t rhs) {
+  return std::find(fds.begin(), fds.end(),
+                   FunctionalDependency(std::move(lhs), rhs)) != fds.end();
+}
+
+TEST(PyroTest, FindsUnaryExactFd) {
+  Table t = TableFromCsv("x,y\n1,a\n2,b\n1,a\n2,b\n3,c\n3,c\n");
+  PyroOptions options;
+  options.max_error = 0.0;
+  auto fds = DiscoverPyro(t, options);
+  ASSERT_TRUE(fds.ok());
+  EXPECT_TRUE(ContainsFd(*fds, {0}, 1));
+}
+
+TEST(PyroTest, FindsCompositeFd) {
+  Table t = TableFromCsv(
+      "x,y,z\n0,0,a\n0,1,b\n1,0,b\n1,1,a\n0,0,a\n1,0,b\n0,1,b\n1,1,a\n");
+  PyroOptions options;
+  options.max_error = 0.0;
+  auto fds = DiscoverPyro(t, options);
+  ASSERT_TRUE(fds.ok());
+  EXPECT_TRUE(ContainsFd(*fds, {0, 1}, 2));
+}
+
+TEST(PyroTest, ReportedFdsAreMinimal) {
+  SyntheticConfig config;
+  config.num_tuples = 500;
+  config.num_attributes = 8;
+  config.seed = 1;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  PyroOptions options;
+  options.max_error = 0.0;
+  auto fds = DiscoverPyro(ds->clean, options);
+  ASSERT_TRUE(fds.ok());
+  // No reported FD's LHS may be a strict superset of another's with the
+  // same RHS.
+  for (const auto& a : *fds) {
+    for (const auto& b : *fds) {
+      if (&a == &b || a.rhs != b.rhs) continue;
+      const bool a_superset_of_b =
+          a.lhs.size() > b.lhs.size() &&
+          std::includes(a.lhs.begin(), a.lhs.end(), b.lhs.begin(),
+                        b.lhs.end());
+      EXPECT_FALSE(a_superset_of_b)
+          << a.ToString(ds->clean.schema()) << " vs "
+          << b.ToString(ds->clean.schema());
+    }
+  }
+}
+
+TEST(PyroTest, ErrorToleranceAdmitsNoisyFds) {
+  Table t{Schema({"x", "y"})};
+  Rng rng(2);
+  for (int i = 0; i < 800; ++i) {
+    const int64_t x = rng.NextInt(0, 9);
+    const int64_t y = rng.NextBernoulli(0.03) ? rng.NextInt(0, 9) : x;
+    t.AppendRow({Value(x), Value(y)});
+  }
+  PyroOptions strict;
+  strict.max_error = 0.0;
+  auto exact = DiscoverPyro(t, strict);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_FALSE(ContainsFd(*exact, {0}, 1));
+  PyroOptions tolerant;
+  tolerant.max_error = 0.05;  // g1 error of ~3% violations is well below
+  auto approx = DiscoverPyro(t, tolerant);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_TRUE(ContainsFd(*approx, {0}, 1));
+}
+
+TEST(PyroTest, HighRecallOnSyntheticData) {
+  SyntheticConfig config;
+  config.num_tuples = 800;
+  config.num_attributes = 12;
+  config.noise_rate = 0.0;
+  config.seed = 3;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  PyroOptions options;
+  options.max_error = 0.0;
+  auto fds = DiscoverPyro(ds->clean, options);
+  ASSERT_TRUE(fds.ok());
+  FdScore score = ScoreFds(*fds, ds->true_fds);
+  EXPECT_GE(score.recall, 0.5);
+  EXPECT_GT(fds->size(), ds->true_fds.size());  // enumeration overfits
+}
+
+TEST(PyroTest, TimeBudgetTriggersTimeout) {
+  SyntheticConfig config;
+  config.num_tuples = 3000;
+  config.num_attributes = 25;
+  config.seed = 4;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  PyroOptions options;
+  options.time_budget_seconds = 1e-6;
+  auto fds = DiscoverPyro(ds->clean, options);
+  ASSERT_FALSE(fds.ok());
+  EXPECT_EQ(fds.status().code(), StatusCode::kTimeout);
+}
+
+TEST(PyroTest, RejectsEmptyTable) {
+  EXPECT_FALSE(DiscoverPyro(Table(), {}).ok());
+}
+
+TEST(PyroTest, DeterministicForSeed) {
+  SyntheticConfig config;
+  config.num_tuples = 300;
+  config.num_attributes = 8;
+  config.seed = 5;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  PyroOptions options;
+  options.seed = 77;
+  auto a = DiscoverPyro(ds->noisy, options);
+  auto b = DiscoverPyro(ds->noisy, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+}  // namespace
+}  // namespace fdx

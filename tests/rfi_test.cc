@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/rfi.h"
+#include "data/csv.h"
+#include "synth/generator.h"
+
+namespace fdx {
+namespace {
+
+bool HasFdWithRhs(const FdSet& fds, size_t rhs,
+                  const std::vector<size_t>& expected_lhs) {
+  for (const auto& fd : fds) {
+    if (fd.rhs == rhs && fd.lhs == expected_lhs) return true;
+  }
+  return false;
+}
+
+TEST(RfiTest, FindsStrongDeterminant) {
+  Table t{Schema({"x", "y", "noise"})};
+  Rng rng(1);
+  for (int i = 0; i < 600; ++i) {
+    const int64_t x = rng.NextInt(0, 7);
+    t.AppendRow({Value(x), Value((3 * x + 1) % 8), Value(rng.NextInt(0, 7))});
+  }
+  RfiOptions options;
+  options.max_lhs_size = 2;
+  auto fds = DiscoverRfi(t, options);
+  ASSERT_TRUE(fds.ok());
+  EXPECT_TRUE(HasFdWithRhs(*fds, 1, {0}))
+      << FdSetToString(*fds, t.schema());
+}
+
+TEST(RfiTest, AtMostOneFdPerAttribute) {
+  SyntheticConfig config;
+  config.num_tuples = 400;
+  config.num_attributes = 8;
+  config.seed = 2;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  RfiOptions options;
+  options.max_lhs_size = 3;
+  auto fds = DiscoverRfi(ds->noisy, options);
+  ASSERT_TRUE(fds.ok());
+  std::set<size_t> rhs_seen;
+  for (const auto& fd : *fds) {
+    EXPECT_TRUE(rhs_seen.insert(fd.rhs).second);
+  }
+  EXPECT_LE(fds->size(), 8u);
+}
+
+TEST(RfiTest, RejectsSpuriousHighCardinalityDeterminants) {
+  // A near-key column syntactically determines y but carries no
+  // reliable information; the permutation correction must reject it
+  // while accepting the true determinant.
+  Table t{Schema({"key_like", "x", "y"})};
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const int64_t x = rng.NextInt(0, 2);
+    t.AppendRow({Value(int64_t{i}), Value(x), Value(x)});
+  }
+  RfiOptions options;
+  options.max_lhs_size = 1;
+  options.min_score = 0.3;
+  auto fds = DiscoverRfi(t, options);
+  ASSERT_TRUE(fds.ok());
+  EXPECT_TRUE(HasFdWithRhs(*fds, 2, {1}))
+      << FdSetToString(*fds, t.schema());
+  EXPECT_FALSE(HasFdWithRhs(*fds, 2, {0}));
+}
+
+TEST(RfiTest, MinScoreFiltersIndependentData) {
+  Table t{Schema({"a", "b"})};
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    t.AppendRow({Value(rng.NextInt(0, 4)), Value(rng.NextInt(0, 4))});
+  }
+  RfiOptions options;
+  options.min_score = 0.2;
+  options.max_lhs_size = 1;
+  auto fds = DiscoverRfi(t, options);
+  ASSERT_TRUE(fds.ok());
+  EXPECT_TRUE(fds->empty()) << FdSetToString(*fds, t.schema());
+}
+
+TEST(RfiTest, AlphaPruningKeepsQuality) {
+  // Paper §5.2: quality barely changes across alpha settings.
+  SyntheticConfig config;
+  config.num_tuples = 500;
+  config.num_attributes = 8;
+  config.seed = 5;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  double f1_exact = 0.0, f1_pruned = 0.0;
+  for (double alpha : {1.0, 0.3}) {
+    RfiOptions options;
+    options.alpha = alpha;
+    options.max_lhs_size = 3;
+    auto fds = DiscoverRfi(ds->noisy, options);
+    ASSERT_TRUE(fds.ok());
+    const double f1 = ScoreFds(*fds, ds->true_fds).f1;
+    if (alpha == 1.0) {
+      f1_exact = f1;
+    } else {
+      f1_pruned = f1;
+    }
+  }
+  EXPECT_NEAR(f1_pruned, f1_exact, 0.35);
+}
+
+TEST(RfiTest, TimeoutReturnsPartialWhenAsked) {
+  SyntheticConfig config;
+  config.num_tuples = 2000;
+  config.num_attributes = 16;
+  config.seed = 6;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  RfiOptions options;
+  options.time_budget_seconds = 1e-6;
+  auto failed = DiscoverRfi(ds->clean, options);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kTimeout);
+  options.return_partial_on_timeout = true;
+  auto partial = DiscoverRfi(ds->clean, options);
+  EXPECT_TRUE(partial.ok());
+}
+
+TEST(RfiTest, RejectsEmptyTable) {
+  EXPECT_FALSE(DiscoverRfi(Table(), {}).ok());
+}
+
+}  // namespace
+}  // namespace fdx

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fd/fd.h"
+#include "synth/generator.h"
+
+namespace fdx {
+namespace {
+
+TEST(SyntheticTest, ShapeMatchesConfig) {
+  SyntheticConfig config;
+  config.num_tuples = 300;
+  config.num_attributes = 10;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->clean.num_rows(), 300u);
+  EXPECT_EQ(ds->clean.num_columns(), 10u);
+  EXPECT_EQ(ds->noisy.num_rows(), 300u);
+  EXPECT_FALSE(ds->true_fds.empty());
+}
+
+TEST(SyntheticTest, RejectsBadConfig) {
+  SyntheticConfig config;
+  config.num_attributes = 1;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+  config.num_attributes = 8;
+  config.domain_min = 100;
+  config.domain_max = 10;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+}
+
+TEST(SyntheticTest, PlantedFdsHoldExactlyOnCleanData) {
+  SyntheticConfig config;
+  config.num_tuples = 2000;
+  config.num_attributes = 14;
+  config.seed = 5;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  EncodedTable encoded = EncodedTable::Encode(ds->clean);
+  for (const auto& fd : ds->true_fds) {
+    EXPECT_TRUE(FdHoldsExactly(encoded, fd))
+        << fd.ToString(ds->clean.schema());
+  }
+}
+
+TEST(SyntheticTest, LhsSizesBetweenOneAndThree) {
+  SyntheticConfig config;
+  config.num_attributes = 30;
+  config.seed = 6;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  for (const auto& fd : ds->true_fds) {
+    EXPECT_GE(fd.lhs.size(), 1u);
+    EXPECT_LE(fd.lhs.size(), 4u);  // 3 + at most one trailing-loner merge
+  }
+}
+
+TEST(SyntheticTest, NoiseBreaksExactness) {
+  SyntheticConfig config;
+  config.num_tuples = 2000;
+  config.num_attributes = 8;
+  config.noise_rate = 0.3;
+  config.seed = 7;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  EncodedTable encoded = EncodedTable::Encode(ds->noisy);
+  bool any_violated = false;
+  for (const auto& fd : ds->true_fds) {
+    const double error = FdG3Error(encoded, fd);
+    if (error > 0.0) any_violated = true;
+    // Error should be in the ballpark of the noise rate, not beyond ~3x.
+    EXPECT_LT(error, 0.9);
+  }
+  EXPECT_TRUE(any_violated);
+}
+
+TEST(SyntheticTest, LowNoiseKeepsApproximateFds) {
+  SyntheticConfig config;
+  config.num_tuples = 2000;
+  config.num_attributes = 8;
+  config.noise_rate = 0.01;
+  config.seed = 8;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  EncodedTable encoded = EncodedTable::Encode(ds->noisy);
+  for (const auto& fd : ds->true_fds) {
+    EXPECT_LT(FdG3Error(encoded, fd), 0.06);
+  }
+}
+
+TEST(SyntheticTest, CorrelationGroupsAreNotExactFds) {
+  // Non-FD groups have rho <= 0.85, so the implied unary mapping must
+  // show substantial error on the clean data.
+  SyntheticConfig config;
+  config.num_tuples = 3000;
+  config.num_attributes = 20;
+  config.seed = 9;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  EncodedTable encoded = EncodedTable::Encode(ds->clean);
+  std::set<size_t> fd_rhs;
+  for (const auto& fd : ds->true_fds) fd_rhs.insert(fd.rhs);
+  // Every attribute pair without a planted FD relationship: no exact FD.
+  size_t checked = 0;
+  for (size_t y = 0; y < 20; ++y) {
+    if (fd_rhs.count(y) > 0) continue;
+    for (size_t x = 0; x < 20; ++x) {
+      if (x == y) continue;
+      if (FdG3Error(encoded, FunctionalDependency({x}, y)) == 0.0) {
+        // Only keys may determine everything; keys have full cardinality.
+        EXPECT_EQ(encoded.Cardinality(x), encoded.num_rows());
+      }
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticConfig config;
+  config.seed = 10;
+  auto a = GenerateSynthetic(config);
+  auto b = GenerateSynthetic(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->noisy.num_rows(), b->noisy.num_rows());
+  for (size_t r = 0; r < a->noisy.num_rows(); ++r) {
+    for (size_t c = 0; c < a->noisy.num_columns(); ++c) {
+      EXPECT_TRUE(a->noisy.cell(r, c).EqualsStrict(b->noisy.cell(r, c)));
+    }
+  }
+}
+
+TEST(FlipCellsTest, RespectsRateAndDomain) {
+  Table t{Schema({"x", "y"})};
+  for (int i = 0; i < 500; ++i) {
+    t.AppendRow({Value(int64_t{i % 5}), Value(int64_t{i % 3})});
+  }
+  Rng rng(11);
+  Table flipped = FlipCells(t, {0}, 0.5, &rng);
+  size_t changed_x = 0, changed_y = 0;
+  for (size_t r = 0; r < 500; ++r) {
+    if (!flipped.cell(r, 0).EqualsStrict(t.cell(r, 0))) ++changed_x;
+    if (!flipped.cell(r, 1).EqualsStrict(t.cell(r, 1))) ++changed_y;
+    // Flipped values stay in the observed domain.
+    EXPECT_GE(flipped.cell(r, 0).AsInt(), 0);
+    EXPECT_LT(flipped.cell(r, 0).AsInt(), 5);
+  }
+  EXPECT_EQ(changed_y, 0u);  // column y untouched
+  EXPECT_GT(changed_x, 150u);
+  EXPECT_LT(changed_x, 350u);
+}
+
+TEST(FlipCellsTest, ZeroRateIsIdentity) {
+  Table t{Schema({"x"})};
+  t.AppendRow({Value(int64_t{1})});
+  Rng rng(12);
+  Table flipped = FlipCells(t, {0}, 0.0, &rng);
+  EXPECT_TRUE(flipped.cell(0, 0).EqualsStrict(t.cell(0, 0)));
+}
+
+TEST(PunchHolesTest, IntroducesNulls) {
+  Table t{Schema({"x"})};
+  for (int i = 0; i < 1000; ++i) t.AppendRow({Value(int64_t{i})});
+  Rng rng(13);
+  Table holed = PunchHoles(t, 0.2, &rng);
+  size_t nulls = 0;
+  for (size_t r = 0; r < 1000; ++r) {
+    if (holed.cell(r, 0).is_null()) ++nulls;
+  }
+  EXPECT_GT(nulls, 120u);
+  EXPECT_LT(nulls, 300u);
+}
+
+}  // namespace
+}  // namespace fdx

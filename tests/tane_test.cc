@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/tane.h"
+#include "data/csv.h"
+#include "synth/generator.h"
+
+namespace fdx {
+namespace {
+
+Table TableFromCsv(const std::string& text) {
+  auto t = ParseCsv(text);
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+bool ContainsFd(const FdSet& fds, std::vector<size_t> lhs, size_t rhs) {
+  return std::find(fds.begin(), fds.end(),
+                   FunctionalDependency(std::move(lhs), rhs)) != fds.end();
+}
+
+TEST(TaneTest, FindsUnaryExactFd) {
+  Table t = TableFromCsv(
+      "x,y,z\n1,a,p\n2,b,q\n1,a,r\n2,b,s\n3,c,p\n3,c,q\n");
+  auto fds = DiscoverTane(t, {});
+  ASSERT_TRUE(fds.ok());
+  EXPECT_TRUE(ContainsFd(*fds, {0}, 1));  // x -> y
+  EXPECT_TRUE(ContainsFd(*fds, {1}, 0));  // y -> x (bijection)
+  EXPECT_FALSE(ContainsFd(*fds, {0}, 2));
+}
+
+TEST(TaneTest, FindsCompositeMinimalFd) {
+  // z = f(x, y) but neither x nor y alone determines z.
+  Table t = TableFromCsv(
+      "x,y,z\n0,0,a\n0,1,b\n1,0,b\n1,1,a\n0,0,a\n1,0,b\n");
+  auto fds = DiscoverTane(t, {});
+  ASSERT_TRUE(fds.ok());
+  EXPECT_TRUE(ContainsFd(*fds, {0, 1}, 2));
+  EXPECT_FALSE(ContainsFd(*fds, {0}, 2));
+  EXPECT_FALSE(ContainsFd(*fds, {1}, 2));
+}
+
+TEST(TaneTest, ReportsOnlyMinimalFds) {
+  // x -> y holds; {x, z} -> y must not be reported.
+  Table t = TableFromCsv("x,z,y\n1,p,a\n1,q,a\n2,p,b\n2,q,b\n");
+  auto fds = DiscoverTane(t, {});
+  ASSERT_TRUE(fds.ok());
+  EXPECT_TRUE(ContainsFd(*fds, {0}, 2));
+  EXPECT_FALSE(ContainsFd(*fds, {0, 1}, 2));
+}
+
+TEST(TaneTest, ApproximateModeToleratesNoise) {
+  Table t{Schema({"x", "y"})};
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t x = rng.NextInt(0, 9);
+    // 5% of the y cells violate x -> y.
+    const int64_t y = rng.NextBernoulli(0.05) ? rng.NextInt(0, 9) : x;
+    t.AppendRow({Value(x), Value(y)});
+  }
+  TaneOptions exact;
+  auto strict = DiscoverTane(t, exact);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(ContainsFd(*strict, {0}, 1));
+  TaneOptions tolerant;
+  tolerant.max_error = 0.08;
+  auto approx = DiscoverTane(t, tolerant);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_TRUE(ContainsFd(*approx, {0}, 1));
+}
+
+TEST(TaneTest, RecallsAllPlantedSyntheticFds) {
+  SyntheticConfig config;
+  config.num_tuples = 1000;
+  config.num_attributes = 10;
+  config.seed = 2;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  auto fds = DiscoverTane(ds->clean, {});
+  ASSERT_TRUE(fds.ok());
+  FdScore score = ScoreFds(*fds, ds->true_fds);
+  EXPECT_DOUBLE_EQ(score.recall, 1.0);
+  // And, as the paper reports, TANE heavily overfits:
+  EXPECT_GT(fds->size(), ds->true_fds.size());
+}
+
+TEST(TaneTest, LhsSizeCapRespected) {
+  SyntheticConfig config;
+  config.num_tuples = 300;
+  config.num_attributes = 8;
+  config.seed = 3;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  TaneOptions options;
+  options.max_lhs_size = 2;
+  auto fds = DiscoverTane(ds->clean, options);
+  ASSERT_TRUE(fds.ok());
+  for (const auto& fd : *fds) {
+    EXPECT_LE(fd.lhs.size(), 2u);
+  }
+}
+
+TEST(TaneTest, TimeBudgetTriggersTimeout) {
+  SyntheticConfig config;
+  config.num_tuples = 5000;
+  config.num_attributes = 30;
+  config.seed = 4;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  TaneOptions options;
+  options.time_budget_seconds = 1e-6;
+  auto fds = DiscoverTane(ds->clean, options);
+  ASSERT_FALSE(fds.ok());
+  EXPECT_EQ(fds.status().code(), StatusCode::kTimeout);
+}
+
+TEST(TaneTest, RejectsEmptyTable) {
+  Table t;
+  EXPECT_FALSE(DiscoverTane(t, {}).ok());
+}
+
+TEST(TaneTest, NullsDoNotFabricateFds) {
+  // With strict null semantics, a column of nulls determines nothing.
+  Table t = TableFromCsv("x,y\n,a\n,b\n,c\n,d\n");
+  auto fds = DiscoverTane(t, {});
+  ASSERT_TRUE(fds.ok());
+  EXPECT_FALSE(ContainsFd(*fds, {0}, 1));
+}
+
+}  // namespace
+}  // namespace fdx

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/transform.h"
+#include "data/csv.h"
+#include "linalg/stats.h"
+#include "synth/generator.h"
+
+namespace fdx {
+namespace {
+
+Table TableFromCsv(const std::string& text) {
+  auto t = ParseCsv(text);
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+TEST(TransformTest, OutputIsBinaryWithExpectedShape) {
+  Table t = TableFromCsv("a,b\n1,x\n2,y\n1,x\n3,z\n");
+  auto dt = PairTransform(t);
+  ASSERT_TRUE(dt.ok());
+  // Algorithm 2: n pairs per attribute.
+  EXPECT_EQ(dt->rows(), 4u * 2u);
+  EXPECT_EQ(dt->cols(), 2u);
+  for (size_t i = 0; i < dt->rows(); ++i) {
+    for (size_t j = 0; j < dt->cols(); ++j) {
+      const double v = (*dt)(i, j);
+      EXPECT_TRUE(v == 0.0 || v == 1.0);
+    }
+  }
+}
+
+TEST(TransformTest, RejectsDegenerateInputs) {
+  Table empty{Schema({"a"})};
+  EXPECT_FALSE(PairTransform(empty).ok());
+  Table one_row{Schema({"a"})};
+  one_row.AppendRow({Value(int64_t{1})});
+  EXPECT_FALSE(PairTransform(one_row).ok());
+  EXPECT_FALSE(PairTransformMoments(empty).ok());
+}
+
+TEST(TransformTest, ConstantColumnAlwaysAgrees) {
+  Table t = TableFromCsv("c,v\nk,1\nk,2\nk,3\nk,4\n");
+  auto dt = PairTransform(t);
+  ASSERT_TRUE(dt.ok());
+  for (size_t i = 0; i < dt->rows(); ++i) {
+    EXPECT_DOUBLE_EQ((*dt)(i, 0), 1.0);
+  }
+}
+
+TEST(TransformTest, NullNeverAgrees) {
+  Table t = TableFromCsv("a\n\n\n\n\n");  // all nulls
+  auto dt = PairTransform(t);
+  ASSERT_TRUE(dt.ok());
+  for (size_t i = 0; i < dt->rows(); ++i) {
+    EXPECT_DOUBLE_EQ((*dt)(i, 0), 0.0);
+  }
+}
+
+TEST(TransformTest, FdImpliesConditionalAgreement) {
+  // On clean data with FD x -> y, any pair that agrees on x agrees on y.
+  SyntheticConfig config;
+  config.num_tuples = 400;
+  config.num_attributes = 6;
+  config.seed = 3;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  auto dt = PairTransform(ds->clean);
+  ASSERT_TRUE(dt.ok());
+  for (const auto& fd : ds->true_fds) {
+    for (size_t i = 0; i < dt->rows(); ++i) {
+      bool lhs_agrees = true;
+      for (size_t x : fd.lhs) {
+        if ((*dt)(i, x) == 0.0) {
+          lhs_agrees = false;
+          break;
+        }
+      }
+      if (lhs_agrees) {
+        EXPECT_DOUBLE_EQ((*dt)(i, fd.rhs), 1.0);
+      }
+    }
+  }
+}
+
+TEST(TransformTest, MomentsMatchMaterializedTransform) {
+  Table t = TableFromCsv("a,b,c\n1,x,p\n2,y,p\n1,x,q\n3,y,q\n2,x,p\n");
+  TransformOptions options;
+  options.seed = 99;
+  auto dt = PairTransform(t, options);
+  auto moments = PairTransformMoments(t, options);
+  ASSERT_TRUE(dt.ok());
+  ASSERT_TRUE(moments.ok());
+  EXPECT_EQ(moments->num_samples, dt->rows());
+  Vector mean = ColumnMeans(*dt);
+  auto cov = Covariance(*dt);
+  ASSERT_TRUE(cov.ok());
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(moments->mean[j], mean[j], 1e-12);
+  }
+  EXPECT_LT(moments->cov.Subtract(*cov).MaxAbs(), 1e-12);
+}
+
+TEST(TransformTest, SamplingCapLimitsRows) {
+  SyntheticConfig config;
+  config.num_tuples = 1000;
+  config.num_attributes = 5;
+  config.seed = 4;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  TransformOptions options;
+  options.max_pairs_per_attribute = 100;
+  auto dt = PairTransform(ds->clean, options);
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(dt->rows(), 100u * 5u);
+}
+
+TEST(TransformTest, DeterministicForSeed) {
+  SyntheticConfig config;
+  config.num_tuples = 100;
+  config.num_attributes = 4;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  TransformOptions options;
+  options.seed = 21;
+  auto a = PairTransformMoments(ds->clean, options);
+  auto b = PairTransformMoments(ds->clean, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(a->cov.Subtract(b->cov).MaxAbs(), 1e-15);
+}
+
+TEST(TransformTest, PooledCovarianceRemovesPassArtifact) {
+  // Independent attributes: the concatenated estimator shows a uniform
+  // negative coupling (the per-pass mean shift of the sorted column);
+  // the pooled estimator does not.
+  Table t{Schema({"a", "b", "c", "d"})};
+  Rng rng(6);
+  for (int i = 0; i < 4000; ++i) {
+    t.AppendRow({Value(rng.NextInt(0, 9)), Value(rng.NextInt(0, 9)),
+                 Value(rng.NextInt(0, 9)), Value(rng.NextInt(0, 9))});
+  }
+  TransformOptions concatenated;
+  auto plain = PairTransformMoments(t, concatenated);
+  ASSERT_TRUE(plain.ok());
+  TransformOptions pooled = concatenated;
+  pooled.pooled_covariance = true;
+  auto within = PairTransformMoments(t, pooled);
+  ASSERT_TRUE(within.ok());
+  double plain_offdiag = 0.0, pooled_offdiag = 0.0;
+  for (size_t x = 0; x < 4; ++x) {
+    for (size_t y = x + 1; y < 4; ++y) {
+      plain_offdiag += std::fabs(plain->cov(x, y));
+      pooled_offdiag += std::fabs(within->cov(x, y));
+    }
+  }
+  EXPECT_GT(plain_offdiag, 5.0 * pooled_offdiag);
+}
+
+TEST(TransformTest, PooledCovarianceKeepsFdSignal) {
+  SyntheticConfig config;
+  config.num_tuples = 1000;
+  config.num_attributes = 8;
+  config.seed = 7;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  TransformOptions pooled;
+  pooled.pooled_covariance = true;
+  auto moments = PairTransformMoments(ds->clean, pooled);
+  ASSERT_TRUE(moments.ok());
+  // Every planted FD keeps positive covariance between its determinant
+  // and dependent indicators.
+  for (const auto& fd : ds->true_fds) {
+    for (size_t x : fd.lhs) {
+      EXPECT_GT(moments->cov(x, fd.rhs), 0.0)
+          << "cov(" << x << "," << fd.rhs << ")";
+    }
+  }
+}
+
+TEST(TransformTest, SortedColumnHasHighAgreement) {
+  // The sort-and-shift construction makes pairs agree on the sorted
+  // attribute far more often than random pairing would.
+  Table t{Schema({"x"})};
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    t.AppendRow({Value(rng.NextInt(0, 9))});
+  }
+  auto moments = PairTransformMoments(t);
+  ASSERT_TRUE(moments.ok());
+  // Random pairs agree w.p. ~0.1; sorted adjacent pairs ~0.99.
+  EXPECT_GT(moments->mean[0], 0.9);
+}
+
+}  // namespace
+}  // namespace fdx

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/ucc.h"
+#include "data/csv.h"
+#include "util/rng.h"
+
+namespace fdx {
+namespace {
+
+bool HasUcc(const std::vector<Ucc>& uccs, std::vector<size_t> attrs) {
+  for (const auto& ucc : uccs) {
+    if (ucc.attributes == attrs) return true;
+  }
+  return false;
+}
+
+TEST(UccTest, FindsSingleColumnKey) {
+  auto t = ParseCsv("id,v\n1,a\n2,a\n3,b\n");
+  ASSERT_TRUE(t.ok());
+  auto uccs = DiscoverUccs(*t);
+  ASSERT_TRUE(uccs.ok());
+  EXPECT_TRUE(HasUcc(*uccs, {0}));
+  EXPECT_FALSE(HasUcc(*uccs, {1}));
+}
+
+TEST(UccTest, FindsCompositeKeyOnly) {
+  // Neither column is unique; the pair is.
+  auto t = ParseCsv("a,b\n1,1\n1,2\n2,1\n2,2\n");
+  ASSERT_TRUE(t.ok());
+  auto uccs = DiscoverUccs(*t);
+  ASSERT_TRUE(uccs.ok());
+  EXPECT_FALSE(HasUcc(*uccs, {0}));
+  EXPECT_FALSE(HasUcc(*uccs, {1}));
+  EXPECT_TRUE(HasUcc(*uccs, {0, 1}));
+}
+
+TEST(UccTest, MinimalityPrunesSupersets) {
+  auto t = ParseCsv("id,a,b\n1,x,p\n2,x,q\n3,y,p\n");
+  ASSERT_TRUE(t.ok());
+  auto uccs = DiscoverUccs(*t);
+  ASSERT_TRUE(uccs.ok());
+  EXPECT_TRUE(HasUcc(*uccs, {0}));
+  // No UCC containing the id column besides {id} itself.
+  for (const auto& ucc : *uccs) {
+    if (ucc.attributes.size() > 1) {
+      EXPECT_TRUE(std::find(ucc.attributes.begin(), ucc.attributes.end(),
+                            size_t{0}) == ucc.attributes.end())
+          << "non-minimal UCC containing the key";
+    }
+  }
+}
+
+TEST(UccTest, ApproximateKeysToleratedWithError) {
+  // id unique except one duplicated pair of rows.
+  Table t{Schema({"almost_id"})};
+  for (int i = 0; i < 100; ++i) t.AppendRow({Value(int64_t{i})});
+  t.AppendRow({Value(int64_t{0})});  // duplicate
+  UccOptions exact;
+  auto strict = DiscoverUccs(t, exact);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(HasUcc(*strict, {0}));
+  UccOptions tolerant;
+  tolerant.max_error = 0.05;
+  auto approx = DiscoverUccs(t, tolerant);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_TRUE(HasUcc(*approx, {0}));
+  EXPECT_NEAR((*approx)[0].error, 1.0 / 101.0, 1e-9);
+}
+
+TEST(UccTest, NullsCountAsDistinct) {
+  // Nulls match nothing, so a column of nulls is trivially unique.
+  auto t = ParseCsv("x\n\n\n\n");
+  ASSERT_TRUE(t.ok());
+  auto uccs = DiscoverUccs(*t);
+  ASSERT_TRUE(uccs.ok());
+  EXPECT_TRUE(HasUcc(*uccs, {0}));
+}
+
+TEST(UccTest, SizeCapRespected) {
+  // Random ternary columns: only large combinations are unique.
+  Table t{Schema({"a", "b", "c", "d"})};
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    t.AppendRow({Value(rng.NextInt(0, 2)), Value(rng.NextInt(0, 2)),
+                 Value(rng.NextInt(0, 2)), Value(rng.NextInt(0, 2))});
+  }
+  UccOptions options;
+  options.max_size = 2;
+  auto uccs = DiscoverUccs(t, options);
+  ASSERT_TRUE(uccs.ok());
+  for (const auto& ucc : *uccs) {
+    EXPECT_LE(ucc.attributes.size(), 2u);
+  }
+}
+
+TEST(UccTest, TimeBudgetHonored) {
+  Table t{Schema({"a", "b", "c", "d", "e", "f", "g", "h"})};
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<Value> row;
+    for (int c = 0; c < 8; ++c) row.push_back(Value(rng.NextInt(0, 3)));
+    t.AppendRow(std::move(row));
+  }
+  UccOptions options;
+  options.time_budget_seconds = 1e-9;
+  auto uccs = DiscoverUccs(t, options);
+  EXPECT_FALSE(uccs.ok());
+  EXPECT_EQ(uccs.status().code(), StatusCode::kTimeout);
+}
+
+TEST(UccTest, RejectsEmptyTable) {
+  EXPECT_FALSE(DiscoverUccs(Table(), {}).ok());
+}
+
+}  // namespace
+}  // namespace fdx

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "fd/validation.h"
+#include "synth/generator.h"
+
+namespace fdx {
+namespace {
+
+EncodedTable EncodeCsv(const std::string& text, Table* out = nullptr) {
+  auto t = ParseCsv(text);
+  EXPECT_TRUE(t.ok());
+  if (out != nullptr) *out = *t;
+  return EncodedTable::Encode(*t);
+}
+
+TEST(ValidationTest, CleanFdHasNoViolations) {
+  EncodedTable e = EncodeCsv("x,y\n1,a\n1,a\n2,b\n2,b\n");
+  auto report = ValidateFd(e, FunctionalDependency({0}, 1));
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->g3_error, 0.0);
+  EXPECT_EQ(report->groups, 2u);
+  EXPECT_EQ(report->violating_groups, 0u);
+  EXPECT_TRUE(report->violations.empty());
+}
+
+TEST(ValidationTest, DetectsViolatingGroup) {
+  EncodedTable e = EncodeCsv("x,y\n1,a\n1,a\n1,b\n2,c\n");
+  auto report = ValidateFd(e, FunctionalDependency({0}, 1));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->violating_groups, 1u);
+  ASSERT_EQ(report->violations.size(), 1u);
+  const FdViolation& violation = report->violations[0];
+  EXPECT_EQ(violation.rows.size(), 3u);
+  ASSERT_EQ(violation.deviating_rows.size(), 1u);
+  EXPECT_EQ(violation.deviating_rows[0], 2u);  // the 'b' row
+  EXPECT_NEAR(report->g3_error, 0.25, 1e-12);
+}
+
+TEST(ValidationTest, G3MatchesFdG3Error) {
+  SyntheticConfig config;
+  config.num_tuples = 600;
+  config.num_attributes = 6;
+  config.noise_rate = 0.15;
+  config.seed = 9;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  EncodedTable e = EncodedTable::Encode(ds->noisy);
+  for (const auto& fd : ds->true_fds) {
+    auto report = ValidateFd(e, fd);
+    ASSERT_TRUE(report.ok());
+    EXPECT_NEAR(report->g3_error, FdG3Error(e, fd), 1e-12);
+  }
+}
+
+TEST(ValidationTest, NullCellsExcluded) {
+  EncodedTable e = EncodeCsv("x,y\n1,a\n1,\n,b\n1,a\n");
+  auto report = ValidateFd(e, FunctionalDependency({0}, 1));
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->g3_error, 0.0);  // only the two (1, a) rows count
+}
+
+TEST(ValidationTest, ViolationCapRespected) {
+  Table t{Schema({"x", "y"})};
+  for (int g = 0; g < 50; ++g) {
+    t.AppendRow({Value(int64_t{g}), Value(int64_t{0})});
+    t.AppendRow({Value(int64_t{g}), Value(int64_t{1})});
+  }
+  EncodedTable e = EncodedTable::Encode(t);
+  ValidationOptions options;
+  options.max_violations = 5;
+  auto report = ValidateFd(e, FunctionalDependency({0}, 1), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->violating_groups, 50u);  // counts are exact
+  EXPECT_EQ(report->violations.size(), 5u);  // materialization capped
+}
+
+TEST(ValidationTest, RejectsOutOfRangeFd) {
+  EncodedTable e = EncodeCsv("x,y\n1,a\n");
+  EXPECT_FALSE(ValidateFd(e, FunctionalDependency({0}, 9)).ok());
+  EXPECT_FALSE(ValidateFd(e, FunctionalDependency({9}, 1)).ok());
+}
+
+TEST(ValidationTest, ValidateFdsCoversSet) {
+  EncodedTable e = EncodeCsv("x,y,z\n1,a,p\n1,a,q\n2,b,p\n");
+  FdSet fds = {FunctionalDependency({0}, 1), FunctionalDependency({0}, 2)};
+  auto reports = ValidateFds(e, fds);
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports->size(), 2u);
+  EXPECT_DOUBLE_EQ((*reports)[0].g3_error, 0.0);
+  EXPECT_GT((*reports)[1].g3_error, 0.0);  // z varies within x=1
+}
+
+TEST(RepairTest, SuggestsMajorityRepairs) {
+  Table t;
+  EncodedTable e = EncodeCsv("x,y\n1,a\n1,a\n1,b\n2,c\n", &t);
+  auto repairs = SuggestRepairs(e, FunctionalDependency({0}, 1));
+  ASSERT_TRUE(repairs.ok());
+  ASSERT_EQ(repairs->size(), 1u);
+  EXPECT_EQ((*repairs)[0].row, 2u);
+  EXPECT_EQ((*repairs)[0].column, 1u);
+  // Donor carries the majority value 'a'.
+  EXPECT_EQ(t.cell((*repairs)[0].donor_row, 1).AsString(), "a");
+}
+
+TEST(RepairTest, ApplyRepairsFixesViolations) {
+  Table t;
+  EncodedTable e = EncodeCsv("x,y\n1,a\n1,b\n1,a\n2,c\n2,c\n2,d\n", &t);
+  const FunctionalDependency fd({0}, 1);
+  auto repairs = SuggestRepairs(e, fd);
+  ASSERT_TRUE(repairs.ok());
+  Table repaired = ApplyRepairs(t, *repairs);
+  EncodedTable re = EncodedTable::Encode(repaired);
+  EXPECT_TRUE(FdHoldsExactly(re, fd));
+  // Untouched cells stay untouched.
+  EXPECT_EQ(repaired.cell(0, 1).AsString(), "a");
+  EXPECT_EQ(repaired.cell(3, 1).AsString(), "c");
+}
+
+TEST(RepairTest, RepairRestoresPlantedCleanData) {
+  // End-to-end: corrupt clean data, repair with the true FD, recover
+  // most of the corrupted cells.
+  SyntheticConfig config;
+  config.num_tuples = 2000;
+  config.num_attributes = 6;
+  config.noise_rate = 0.0;
+  config.seed = 31;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_FALSE(ds->true_fds.empty());
+  const FunctionalDependency& fd = ds->true_fds[0];
+  Rng rng(32);
+  Table corrupted = FlipCells(ds->clean, {fd.rhs}, 0.1, &rng);
+  EncodedTable e = EncodedTable::Encode(corrupted);
+  const double error_before = FdG3Error(e, fd);
+  ASSERT_GT(error_before, 0.0);
+  ValidationOptions options;
+  options.max_violations = 0;  // materialize everything
+  auto repairs = SuggestRepairs(e, fd, options);
+  ASSERT_TRUE(repairs.ok());
+  Table repaired = ApplyRepairs(corrupted, *repairs);
+  const double error_after =
+      FdG3Error(EncodedTable::Encode(repaired), fd);
+  EXPECT_LT(error_after, 0.2 * error_before);
+}
+
+}  // namespace
+}  // namespace fdx

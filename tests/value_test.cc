@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "data/value.h"
+
+namespace fdx {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value(int64_t{7}).type(), ValueType::kInt);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value(std::string("x")).type(), ValueType::kString);
+  EXPECT_EQ(Value(int64_t{7}).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value(std::string("x")).AsString(), "x");
+}
+
+TEST(ValueTest, ParseInfersTypes) {
+  EXPECT_EQ(Value::Parse("42").type(), ValueType::kInt);
+  EXPECT_EQ(Value::Parse("-3").AsInt(), -3);
+  EXPECT_EQ(Value::Parse("4.5").type(), ValueType::kDouble);
+  EXPECT_EQ(Value::Parse("hello").type(), ValueType::kString);
+  EXPECT_TRUE(Value::Parse("").is_null());
+  // Leading zeros / mixed content stay strings? "007" parses as int 7.
+  EXPECT_EQ(Value::Parse("007").AsInt(), 7);
+  EXPECT_EQ(Value::Parse("7x").type(), ValueType::kString);
+}
+
+TEST(ValueTest, NullNeverEqualsAnything) {
+  EXPECT_FALSE(Value::Null().EqualsStrict(Value::Null()));
+  EXPECT_FALSE(Value::Null().EqualsStrict(Value(int64_t{0})));
+  EXPECT_FALSE(Value(std::string("")).EqualsStrict(Value::Null()));
+}
+
+TEST(ValueTest, StrictEquality) {
+  EXPECT_TRUE(Value(int64_t{3}).EqualsStrict(Value(int64_t{3})));
+  EXPECT_FALSE(Value(int64_t{3}).EqualsStrict(Value(int64_t{4})));
+  EXPECT_TRUE(
+      Value(std::string("a")).EqualsStrict(Value(std::string("a"))));
+  EXPECT_FALSE(
+      Value(std::string("a")).EqualsStrict(Value(std::string("b"))));
+  // Cross numeric types compare by value.
+  EXPECT_TRUE(Value(int64_t{3}).EqualsStrict(Value(3.0)));
+  EXPECT_FALSE(Value(int64_t{3}).EqualsStrict(Value(3.5)));
+  // String never equals numeric.
+  EXPECT_FALSE(Value(std::string("3")).EqualsStrict(Value(int64_t{3})));
+}
+
+TEST(ValueTest, LessThanOrdersWithinType) {
+  EXPECT_TRUE(Value(int64_t{1}).LessThan(Value(int64_t{2})));
+  EXPECT_FALSE(Value(int64_t{2}).LessThan(Value(int64_t{1})));
+  EXPECT_TRUE(Value(std::string("a")).LessThan(Value(std::string("b"))));
+  // Nulls order before non-nulls (by type rank).
+  EXPECT_TRUE(Value::Null().LessThan(Value(int64_t{0})));
+  EXPECT_FALSE(Value::Null().LessThan(Value::Null()));
+}
+
+TEST(ValueTest, ToNumeric) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{5}).ToNumeric(), 5.0);
+  EXPECT_DOUBLE_EQ(Value(1.5).ToNumeric(), 1.5);
+  EXPECT_DOUBLE_EQ(Value(std::string("x")).ToNumeric(), 0.0);
+  EXPECT_DOUBLE_EQ(Value::Null().ToNumeric(), 0.0);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Value(std::string("abc")).ToString(), "abc");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+}  // namespace
+}  // namespace fdx

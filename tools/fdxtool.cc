@@ -1,0 +1,523 @@
+// fdxtool — command-line FD profiler built on the FDX library.
+//
+// Subcommands:
+//   discover <csv>   discover FDs (text or JSON output)
+//   profile  <csv>   discovery + dependency heatmap + repairability
+//   validate <csv> --fd="A,B -> C"   validate one FD, list violations
+//   repair   <csv> --fd="A,B -> C" --out=<csv>   majority-vote repair
+//   compare  <csv>   run all discovery methods, report time and #FDs
+//   rank     <csv>   score every unary AFD candidate under 4 measures
+//   cfd      <csv>   discover constant conditional FDs
+//   generate --out=<csv>   emit a synthetic dataset with planted FDs
+//
+// Common flags: --format=text|json, --lambda=, --tau=, --ordering=,
+// --budget=, --tuples=, --attributes=, --noise=, --seed=, --max-pairs=.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/fdx.h"
+#include "data/csv.h"
+#include "datasets/real_world.h"
+#include "eval/report.h"
+#include "eval/afd_ranking.h"
+#include "eval/profiler.h"
+#include "eval/runner.h"
+#include "baselines/denial.h"
+#include "baselines/ucc.h"
+#include "fd/cfd.h"
+#include "fd/validation.h"
+#include "synth/generator.h"
+#include "util/json_writer.h"
+#include "util/string_util.h"
+
+namespace fdx::tool {
+namespace {
+
+/// --key=value / --flag argument reader (positional args excluded).
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        flags_.push_back(arg);
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    const std::string prefix = "--" + name + "=";
+    for (const auto& flag : flags_) {
+      if (flag.rfind(prefix, 0) == 0) return flag.substr(prefix.size());
+    }
+    return fallback;
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    const std::string value = Get(name);
+    return value.empty() ? fallback : std::atof(value.c_str());
+  }
+
+  bool Has(const std::string& name) const {
+    for (const auto& flag : flags_) {
+      if (flag == "--" + name) return true;
+    }
+    return false;
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::vector<std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+FdxOptions OptionsFromArgs(const Args& args) {
+  FdxOptions options;
+  options.lambda = args.GetDouble("lambda", options.lambda);
+  options.sparsity_threshold =
+      args.GetDouble("tau", options.sparsity_threshold);
+  options.relative_threshold =
+      args.GetDouble("relative", options.relative_threshold);
+  options.transform.max_pairs_per_attribute = static_cast<size_t>(
+      args.GetDouble("max-pairs", 0.0));
+  const std::string ordering = args.Get("ordering");
+  if (!ordering.empty()) {
+    auto parsed = ParseOrderingMethod(ordering);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "warning: %s; using default ordering\n",
+                   parsed.status().ToString().c_str());
+    } else {
+      options.ordering = *parsed;
+    }
+  }
+  return options;
+}
+
+Result<Table> LoadTable(const Args& args, const std::string& path) {
+  CsvOptions csv;
+  const std::string delim = args.Get("delimiter");
+  if (!delim.empty()) csv.delimiter = delim[0];
+  return ReadCsv(path, csv);
+}
+
+void EmitFdsJson(const Table& table, const FdxResult& result) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("rows");
+  json.Integer(static_cast<int64_t>(table.num_rows()));
+  json.Key("columns");
+  json.Integer(static_cast<int64_t>(table.num_columns()));
+  json.Key("transform_seconds");
+  json.Number(result.transform_seconds);
+  json.Key("learning_seconds");
+  json.Number(result.learning_seconds);
+  json.Key("fds");
+  json.BeginArray();
+  for (const auto& fd : result.fds) {
+    json.BeginObject();
+    json.Key("lhs");
+    json.BeginArray();
+    for (size_t a : fd.lhs) json.String(table.schema().name(a));
+    json.EndArray();
+    json.Key("rhs");
+    json.String(table.schema().name(fd.rhs));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  std::printf("%s\n", json.TakeString().c_str());
+}
+
+int Discover(const Args& args) {
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "usage: fdxtool discover <csv> [flags]\n");
+    return 2;
+  }
+  auto table = LoadTable(args, args.positional()[0]);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  FdxDiscoverer discoverer(OptionsFromArgs(args));
+  auto result = discoverer.Discover(*table);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  if (args.Get("format") == "json") {
+    EmitFdsJson(*table, *result);
+  } else {
+    std::printf("%zu rows x %zu columns; %zu FDs discovered in %.3fs\n\n%s",
+                table->num_rows(), table->num_columns(),
+                result->fds.size(),
+                result->transform_seconds + result->learning_seconds,
+                FdSetToString(result->fds, table->schema()).c_str());
+  }
+  return 0;
+}
+
+int Profile(const Args& args) {
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "usage: fdxtool profile <csv> [flags]\n");
+    return 2;
+  }
+  auto table = LoadTable(args, args.positional()[0]);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  FdxDiscoverer discoverer(OptionsFromArgs(args));
+  auto result = discoverer.Discover(*table);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const Schema& schema = table->schema();
+  std::printf("Dependency heatmap (rows determine columns):\n\n");
+  static const char kScale[] = " .:-=+*#%@";
+  for (size_t i = 0; i < schema.size(); ++i) {
+    std::printf("  ");
+    for (size_t j = 0; j < schema.size(); ++j) {
+      const double v = std::min(
+          1.0, std::max(0.0, result->autoregression(i, j)));
+      std::printf(" %c ", kScale[static_cast<size_t>(v * 9.0)]);
+    }
+    std::printf(" %s\n", schema.name(i).c_str());
+  }
+  std::printf("\nDiscovered FDs (with g3 validation error):\n");
+  const EncodedTable encoded = EncodedTable::Encode(*table);
+  for (const auto& fd : result->fds) {
+    std::printf("  %-50s %.4f\n", fd.ToString(schema).c_str(),
+                FdG3Error(encoded, fd));
+  }
+  return 0;
+}
+
+int Validate(const Args& args) {
+  if (args.positional().empty() || args.Get("fd").empty()) {
+    std::fprintf(stderr,
+                 "usage: fdxtool validate <csv> --fd=\"A,B -> C\"\n");
+    return 2;
+  }
+  auto table = LoadTable(args, args.positional()[0]);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  auto fd = ParseFd(table->schema(), args.Get("fd"));
+  if (!fd.ok()) {
+    std::fprintf(stderr, "%s\n", fd.status().ToString().c_str());
+    return 1;
+  }
+  const EncodedTable encoded = EncodedTable::Encode(*table);
+  auto report = ValidateFd(encoded, *fd);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "%s\n  g3 error: %.4f\n  LHS groups: %zu (%zu violating)\n",
+      fd->ToString(table->schema()).c_str(), report->g3_error,
+      report->groups, report->violating_groups);
+  const size_t shown = std::min<size_t>(report->violations.size(), 10);
+  for (size_t v = 0; v < shown; ++v) {
+    const auto& violation = report->violations[v];
+    std::printf("  violation: rows");
+    for (size_t r : violation.deviating_rows) std::printf(" %zu", r);
+    std::printf(" deviate from the majority of their group\n");
+  }
+  if (report->violations.size() > shown) {
+    std::printf("  ... and %zu more violating groups\n",
+                report->violations.size() - shown);
+  }
+  return report->violating_groups == 0 ? 0 : 3;
+}
+
+int Repair(const Args& args) {
+  if (args.positional().empty() || args.Get("fd").empty() ||
+      args.Get("out").empty()) {
+    std::fprintf(
+        stderr,
+        "usage: fdxtool repair <csv> --fd=\"A,B -> C\" --out=<csv>\n");
+    return 2;
+  }
+  auto table = LoadTable(args, args.positional()[0]);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  auto fd = ParseFd(table->schema(), args.Get("fd"));
+  if (!fd.ok()) {
+    std::fprintf(stderr, "%s\n", fd.status().ToString().c_str());
+    return 1;
+  }
+  const EncodedTable encoded = EncodedTable::Encode(*table);
+  ValidationOptions options;
+  options.max_violations = 0;
+  auto repairs = SuggestRepairs(encoded, *fd, options);
+  if (!repairs.ok()) {
+    std::fprintf(stderr, "%s\n", repairs.status().ToString().c_str());
+    return 1;
+  }
+  const Table repaired = ApplyRepairs(*table, *repairs);
+  Status written = WriteCsv(repaired, args.Get("out"));
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("applied %zu repairs; wrote %s\n", repairs->size(),
+              args.Get("out").c_str());
+  return 0;
+}
+
+int Compare(const Args& args) {
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "usage: fdxtool compare <csv> [--budget=S]\n");
+    return 2;
+  }
+  auto table = LoadTable(args, args.positional()[0]);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  RunnerConfig config;
+  config.time_budget_seconds = args.GetDouble("budget", 30.0);
+  config.expected_error = args.GetDouble("error", 0.01);
+  config.fdx = OptionsFromArgs(args);
+  ReportTable report({"method", "time (s)", "# FDs", "status"});
+  for (MethodId method : AllMethods()) {
+    RunOutcome outcome = RunMethod(method, *table, config);
+    report.AddRow({MethodName(method), FormatDouble(outcome.seconds, 2),
+                   outcome.ok ? std::to_string(outcome.fds.size()) : "-",
+                   outcome.ok ? "ok"
+                              : (outcome.timeout ? "timeout" : "failed")});
+  }
+  std::printf("%s", report.ToString().c_str());
+  return 0;
+}
+
+int Report(const Args& args) {
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "usage: fdxtool report <csv>\n");
+    return 2;
+  }
+  auto table = LoadTable(args, args.positional()[0]);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  ProfilerOptions options;
+  options.fdx = OptionsFromArgs(args);
+  auto profile = ProfileTable(*table, options);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", RenderProfile(*profile, table->schema()).c_str());
+  return 0;
+}
+
+int Dc(const Args& args) {
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: fdxtool dc <csv> [--max-predicates=K]"
+                 " [--sample-pairs=N] [--top=N]\n");
+    return 2;
+  }
+  auto table = LoadTable(args, args.positional()[0]);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  DcOptions options;
+  options.max_predicates =
+      static_cast<size_t>(args.GetDouble("max-predicates", 3));
+  options.sample_pairs =
+      static_cast<size_t>(args.GetDouble("sample-pairs", 20000));
+  auto dcs = DiscoverDenialConstraints(*table, options);
+  if (!dcs.ok()) {
+    std::fprintf(stderr, "%s\n", dcs.status().ToString().c_str());
+    return 1;
+  }
+  const size_t top = static_cast<size_t>(args.GetDouble("top", 40));
+  std::printf("%zu minimal denial constraints (showing up to %zu):\n",
+              dcs->size(), top);
+  for (size_t i = 0; i < dcs->size() && i < top; ++i) {
+    std::printf("  %s\n", (*dcs)[i].ToString(table->schema()).c_str());
+  }
+  return 0;
+}
+
+int Keys(const Args& args) {
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: fdxtool keys <csv> [--error=E] [--max-size=K]\n");
+    return 2;
+  }
+  auto table = LoadTable(args, args.positional()[0]);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  UccOptions options;
+  options.max_error = args.GetDouble("error", 0.0);
+  options.max_size = static_cast<size_t>(args.GetDouble("max-size", 3));
+  auto uccs = DiscoverUccs(*table, options);
+  if (!uccs.ok()) {
+    std::fprintf(stderr, "%s\n", uccs.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu minimal unique column combinations:\n", uccs->size());
+  for (const auto& ucc : *uccs) {
+    std::printf("  {");
+    for (size_t i = 0; i < ucc.attributes.size(); ++i) {
+      std::printf("%s%s", i > 0 ? ", " : "",
+                  table->schema().name(ucc.attributes[i]).c_str());
+    }
+    std::printf("}  error=%.4f\n", ucc.error);
+  }
+  return 0;
+}
+
+int Cfd(const Args& args) {
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: fdxtool cfd <csv> [--support=S] [--confidence=C]"
+                 " [--max-lhs=K] [--top=N]\n");
+    return 2;
+  }
+  auto table = LoadTable(args, args.positional()[0]);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  CfdOptions options;
+  options.min_support = args.GetDouble("support", options.min_support);
+  options.min_confidence =
+      args.GetDouble("confidence", options.min_confidence);
+  options.max_lhs_size =
+      static_cast<size_t>(args.GetDouble("max-lhs", 2));
+  auto cfds = DiscoverConstantCfds(*table, options);
+  if (!cfds.ok()) {
+    std::fprintf(stderr, "%s\n", cfds.status().ToString().c_str());
+    return 1;
+  }
+  const size_t top = static_cast<size_t>(args.GetDouble("top", 40));
+  std::printf("%zu constant CFDs (showing up to %zu):\n", cfds->size(),
+              top);
+  for (size_t i = 0; i < cfds->size() && i < top; ++i) {
+    const ConditionalFd& cfd = (*cfds)[i];
+    std::printf("  %-60s support=%.3f confidence=%.3f\n",
+                cfd.ToString(table->schema()).c_str(), cfd.support,
+                cfd.confidence);
+  }
+  return 0;
+}
+
+int Rank(const Args& args) {
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: fdxtool rank <csv> [--min-score=S] [--top=N]\n");
+    return 2;
+  }
+  auto table = LoadTable(args, args.positional()[0]);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  AfdRankingOptions options;
+  options.min_reliable_fraction = args.GetDouble("min-score", 0.05);
+  auto ranked = RankUnaryAfds(*table, options);
+  if (!ranked.ok()) {
+    std::fprintf(stderr, "%s\n", ranked.status().ToString().c_str());
+    return 1;
+  }
+  const size_t top = static_cast<size_t>(args.GetDouble("top", 20));
+  ReportTable report(
+      {"candidate FD", "reliable", "frac-info", "g3", "strength"});
+  for (size_t i = 0; i < ranked->size() && i < top; ++i) {
+    const AfdCandidate& c = (*ranked)[i];
+    report.AddRow({c.fd.ToString(table->schema()),
+                   FormatDouble(c.reliable_fraction, 3),
+                   FormatDouble(c.fraction_of_information, 3),
+                   FormatDouble(c.g3_error, 3),
+                   FormatDouble(c.strength, 3)});
+  }
+  std::printf("%s", report.ToString().c_str());
+  return 0;
+}
+
+int Generate(const Args& args) {
+  if (args.Get("out").empty()) {
+    std::fprintf(stderr,
+                 "usage: fdxtool generate --out=<csv> [--tuples=N]"
+                 " [--attributes=K] [--noise=R] [--seed=S]\n");
+    return 2;
+  }
+  SyntheticConfig config;
+  config.num_tuples =
+      static_cast<size_t>(args.GetDouble("tuples", 1000));
+  config.num_attributes =
+      static_cast<size_t>(args.GetDouble("attributes", 10));
+  config.noise_rate = args.GetDouble("noise", 0.01);
+  config.seed = static_cast<uint64_t>(args.GetDouble("seed", 42));
+  auto ds = GenerateSynthetic(config);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  Status written = WriteCsv(ds->noisy, args.Get("out"));
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu rows, %zu attributes)\nplanted FDs:\n%s",
+              args.Get("out").c_str(), ds->noisy.num_rows(),
+              ds->noisy.num_columns(),
+              FdSetToString(ds->true_fds, ds->noisy.schema()).c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "fdxtool — statistical FD discovery (FDX, SIGMOD 2020)\n\n"
+      "subcommands:\n"
+      "  discover <csv>                    discover FDs\n"
+      "  profile <csv>                     heatmap + validated FDs\n"
+      "  validate <csv> --fd=\"A -> B\"      validate one FD\n"
+      "  repair <csv> --fd=.. --out=<csv>  majority-vote repair\n"
+      "  compare <csv>                     run all methods\n"
+      "  rank <csv>                        score unary AFD candidates\n"
+      "  cfd <csv>                         constant conditional FDs\n"
+      "  generate --out=<csv>              synthetic data generator\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace fdx::tool
+
+int main(int argc, char** argv) {
+  using namespace fdx::tool;
+  if (argc < 2) return Usage();
+  const Args args(argc, argv);
+  const std::string command = argv[1];
+  if (command == "discover") return Discover(args);
+  if (command == "profile") return Profile(args);
+  if (command == "validate") return Validate(args);
+  if (command == "repair") return Repair(args);
+  if (command == "compare") return Compare(args);
+  if (command == "report") return Report(args);
+  if (command == "dc") return Dc(args);
+  if (command == "keys") return Keys(args);
+  if (command == "cfd") return Cfd(args);
+  if (command == "rank") return Rank(args);
+  if (command == "generate") return Generate(args);
+  return Usage();
+}
