@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_rfi_hospital.dir/bench_fig4_rfi_hospital.cc.o"
+  "CMakeFiles/bench_fig4_rfi_hospital.dir/bench_fig4_rfi_hospital.cc.o.d"
+  "bench_fig4_rfi_hospital"
+  "bench_fig4_rfi_hospital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_rfi_hospital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

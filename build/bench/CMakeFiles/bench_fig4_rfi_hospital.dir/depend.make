@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_rfi_hospital.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_sparsity.dir/bench_table8_sparsity.cc.o"
+  "CMakeFiles/bench_table8_sparsity.dir/bench_table8_sparsity.cc.o.d"
+  "bench_table8_sparsity"
+  "bench_table8_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

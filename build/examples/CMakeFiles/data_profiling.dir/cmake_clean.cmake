@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_profiling.dir/data_profiling.cpp.o"
+  "CMakeFiles/data_profiling.dir/data_profiling.cpp.o.d"
+  "data_profiling"
+  "data_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_engineering.dir/feature_engineering.cpp.o"
+  "CMakeFiles/feature_engineering.dir/feature_engineering.cpp.o.d"
+  "feature_engineering"
+  "feature_engineering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_engineering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

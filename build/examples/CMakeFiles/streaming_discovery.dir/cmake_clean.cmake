@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_discovery.dir/streaming_discovery.cpp.o"
+  "CMakeFiles/streaming_discovery.dir/streaming_discovery.cpp.o.d"
+  "streaming_discovery"
+  "streaming_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

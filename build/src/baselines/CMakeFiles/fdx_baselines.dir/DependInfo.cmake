@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cords.cc" "src/baselines/CMakeFiles/fdx_baselines.dir/cords.cc.o" "gcc" "src/baselines/CMakeFiles/fdx_baselines.dir/cords.cc.o.d"
+  "/root/repo/src/baselines/denial.cc" "src/baselines/CMakeFiles/fdx_baselines.dir/denial.cc.o" "gcc" "src/baselines/CMakeFiles/fdx_baselines.dir/denial.cc.o.d"
+  "/root/repo/src/baselines/gl_baseline.cc" "src/baselines/CMakeFiles/fdx_baselines.dir/gl_baseline.cc.o" "gcc" "src/baselines/CMakeFiles/fdx_baselines.dir/gl_baseline.cc.o.d"
+  "/root/repo/src/baselines/inclusion.cc" "src/baselines/CMakeFiles/fdx_baselines.dir/inclusion.cc.o" "gcc" "src/baselines/CMakeFiles/fdx_baselines.dir/inclusion.cc.o.d"
+  "/root/repo/src/baselines/info_theory.cc" "src/baselines/CMakeFiles/fdx_baselines.dir/info_theory.cc.o" "gcc" "src/baselines/CMakeFiles/fdx_baselines.dir/info_theory.cc.o.d"
+  "/root/repo/src/baselines/pyro.cc" "src/baselines/CMakeFiles/fdx_baselines.dir/pyro.cc.o" "gcc" "src/baselines/CMakeFiles/fdx_baselines.dir/pyro.cc.o.d"
+  "/root/repo/src/baselines/rfi.cc" "src/baselines/CMakeFiles/fdx_baselines.dir/rfi.cc.o" "gcc" "src/baselines/CMakeFiles/fdx_baselines.dir/rfi.cc.o.d"
+  "/root/repo/src/baselines/tane.cc" "src/baselines/CMakeFiles/fdx_baselines.dir/tane.cc.o" "gcc" "src/baselines/CMakeFiles/fdx_baselines.dir/tane.cc.o.d"
+  "/root/repo/src/baselines/ucc.cc" "src/baselines/CMakeFiles/fdx_baselines.dir/ucc.cc.o" "gcc" "src/baselines/CMakeFiles/fdx_baselines.dir/ucc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fd/CMakeFiles/fdx_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fdx_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/fdx_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fdx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdx_baselines.dir/cords.cc.o"
+  "CMakeFiles/fdx_baselines.dir/cords.cc.o.d"
+  "CMakeFiles/fdx_baselines.dir/denial.cc.o"
+  "CMakeFiles/fdx_baselines.dir/denial.cc.o.d"
+  "CMakeFiles/fdx_baselines.dir/gl_baseline.cc.o"
+  "CMakeFiles/fdx_baselines.dir/gl_baseline.cc.o.d"
+  "CMakeFiles/fdx_baselines.dir/inclusion.cc.o"
+  "CMakeFiles/fdx_baselines.dir/inclusion.cc.o.d"
+  "CMakeFiles/fdx_baselines.dir/info_theory.cc.o"
+  "CMakeFiles/fdx_baselines.dir/info_theory.cc.o.d"
+  "CMakeFiles/fdx_baselines.dir/pyro.cc.o"
+  "CMakeFiles/fdx_baselines.dir/pyro.cc.o.d"
+  "CMakeFiles/fdx_baselines.dir/rfi.cc.o"
+  "CMakeFiles/fdx_baselines.dir/rfi.cc.o.d"
+  "CMakeFiles/fdx_baselines.dir/tane.cc.o"
+  "CMakeFiles/fdx_baselines.dir/tane.cc.o.d"
+  "CMakeFiles/fdx_baselines.dir/ucc.cc.o"
+  "CMakeFiles/fdx_baselines.dir/ucc.cc.o.d"
+  "libfdx_baselines.a"
+  "libfdx_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdx_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bn/bayes_net.cc" "src/bn/CMakeFiles/fdx_bn.dir/bayes_net.cc.o" "gcc" "src/bn/CMakeFiles/fdx_bn.dir/bayes_net.cc.o.d"
+  "/root/repo/src/bn/bif_io.cc" "src/bn/CMakeFiles/fdx_bn.dir/bif_io.cc.o" "gcc" "src/bn/CMakeFiles/fdx_bn.dir/bif_io.cc.o.d"
+  "/root/repo/src/bn/networks.cc" "src/bn/CMakeFiles/fdx_bn.dir/networks.cc.o" "gcc" "src/bn/CMakeFiles/fdx_bn.dir/networks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/fdx_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/fdx_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fdx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdx_bn.dir/bayes_net.cc.o"
+  "CMakeFiles/fdx_bn.dir/bayes_net.cc.o.d"
+  "CMakeFiles/fdx_bn.dir/bif_io.cc.o"
+  "CMakeFiles/fdx_bn.dir/bif_io.cc.o.d"
+  "CMakeFiles/fdx_bn.dir/networks.cc.o"
+  "CMakeFiles/fdx_bn.dir/networks.cc.o.d"
+  "libfdx_bn.a"
+  "libfdx_bn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdx_bn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

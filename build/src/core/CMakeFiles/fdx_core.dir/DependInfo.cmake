@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fdx.cc" "src/core/CMakeFiles/fdx_core.dir/fdx.cc.o" "gcc" "src/core/CMakeFiles/fdx_core.dir/fdx.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/core/CMakeFiles/fdx_core.dir/incremental.cc.o" "gcc" "src/core/CMakeFiles/fdx_core.dir/incremental.cc.o.d"
+  "/root/repo/src/core/ordering.cc" "src/core/CMakeFiles/fdx_core.dir/ordering.cc.o" "gcc" "src/core/CMakeFiles/fdx_core.dir/ordering.cc.o.d"
+  "/root/repo/src/core/transform.cc" "src/core/CMakeFiles/fdx_core.dir/transform.cc.o" "gcc" "src/core/CMakeFiles/fdx_core.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/fdx_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fdx_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/fdx_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fdx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

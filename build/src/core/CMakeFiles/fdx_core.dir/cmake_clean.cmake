@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdx_core.dir/fdx.cc.o"
+  "CMakeFiles/fdx_core.dir/fdx.cc.o.d"
+  "CMakeFiles/fdx_core.dir/incremental.cc.o"
+  "CMakeFiles/fdx_core.dir/incremental.cc.o.d"
+  "CMakeFiles/fdx_core.dir/ordering.cc.o"
+  "CMakeFiles/fdx_core.dir/ordering.cc.o.d"
+  "CMakeFiles/fdx_core.dir/transform.cc.o"
+  "CMakeFiles/fdx_core.dir/transform.cc.o.d"
+  "libfdx_core.a"
+  "libfdx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfdx_core.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdx_data.dir/csv.cc.o"
+  "CMakeFiles/fdx_data.dir/csv.cc.o.d"
+  "CMakeFiles/fdx_data.dir/discretize.cc.o"
+  "CMakeFiles/fdx_data.dir/discretize.cc.o.d"
+  "CMakeFiles/fdx_data.dir/table.cc.o"
+  "CMakeFiles/fdx_data.dir/table.cc.o.d"
+  "CMakeFiles/fdx_data.dir/value.cc.o"
+  "CMakeFiles/fdx_data.dir/value.cc.o.d"
+  "libfdx_data.a"
+  "libfdx_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdx_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

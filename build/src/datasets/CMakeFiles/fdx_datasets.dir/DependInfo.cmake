@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/real_world.cc" "src/datasets/CMakeFiles/fdx_datasets.dir/real_world.cc.o" "gcc" "src/datasets/CMakeFiles/fdx_datasets.dir/real_world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/fdx_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/fdx_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fdx_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fdx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

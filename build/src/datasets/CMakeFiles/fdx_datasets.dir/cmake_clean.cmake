@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdx_datasets.dir/real_world.cc.o"
+  "CMakeFiles/fdx_datasets.dir/real_world.cc.o.d"
+  "libfdx_datasets.a"
+  "libfdx_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdx_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

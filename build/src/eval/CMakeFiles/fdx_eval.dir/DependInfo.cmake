@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/afd_ranking.cc" "src/eval/CMakeFiles/fdx_eval.dir/afd_ranking.cc.o" "gcc" "src/eval/CMakeFiles/fdx_eval.dir/afd_ranking.cc.o.d"
+  "/root/repo/src/eval/profiler.cc" "src/eval/CMakeFiles/fdx_eval.dir/profiler.cc.o" "gcc" "src/eval/CMakeFiles/fdx_eval.dir/profiler.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/eval/CMakeFiles/fdx_eval.dir/report.cc.o" "gcc" "src/eval/CMakeFiles/fdx_eval.dir/report.cc.o.d"
+  "/root/repo/src/eval/runner.cc" "src/eval/CMakeFiles/fdx_eval.dir/runner.cc.o" "gcc" "src/eval/CMakeFiles/fdx_eval.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fdx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fdx_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fdx_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/fdx_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fdx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/fdx_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

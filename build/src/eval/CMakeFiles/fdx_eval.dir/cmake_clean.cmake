@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdx_eval.dir/afd_ranking.cc.o"
+  "CMakeFiles/fdx_eval.dir/afd_ranking.cc.o.d"
+  "CMakeFiles/fdx_eval.dir/profiler.cc.o"
+  "CMakeFiles/fdx_eval.dir/profiler.cc.o.d"
+  "CMakeFiles/fdx_eval.dir/report.cc.o"
+  "CMakeFiles/fdx_eval.dir/report.cc.o.d"
+  "CMakeFiles/fdx_eval.dir/runner.cc.o"
+  "CMakeFiles/fdx_eval.dir/runner.cc.o.d"
+  "libfdx_eval.a"
+  "libfdx_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdx_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

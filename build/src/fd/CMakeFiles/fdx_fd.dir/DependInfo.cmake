@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fd/cfd.cc" "src/fd/CMakeFiles/fdx_fd.dir/cfd.cc.o" "gcc" "src/fd/CMakeFiles/fdx_fd.dir/cfd.cc.o.d"
+  "/root/repo/src/fd/fd.cc" "src/fd/CMakeFiles/fdx_fd.dir/fd.cc.o" "gcc" "src/fd/CMakeFiles/fdx_fd.dir/fd.cc.o.d"
+  "/root/repo/src/fd/normalization.cc" "src/fd/CMakeFiles/fdx_fd.dir/normalization.cc.o" "gcc" "src/fd/CMakeFiles/fdx_fd.dir/normalization.cc.o.d"
+  "/root/repo/src/fd/partition.cc" "src/fd/CMakeFiles/fdx_fd.dir/partition.cc.o" "gcc" "src/fd/CMakeFiles/fdx_fd.dir/partition.cc.o.d"
+  "/root/repo/src/fd/validation.cc" "src/fd/CMakeFiles/fdx_fd.dir/validation.cc.o" "gcc" "src/fd/CMakeFiles/fdx_fd.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/fdx_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fdx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdx_fd.dir/cfd.cc.o"
+  "CMakeFiles/fdx_fd.dir/cfd.cc.o.d"
+  "CMakeFiles/fdx_fd.dir/fd.cc.o"
+  "CMakeFiles/fdx_fd.dir/fd.cc.o.d"
+  "CMakeFiles/fdx_fd.dir/normalization.cc.o"
+  "CMakeFiles/fdx_fd.dir/normalization.cc.o.d"
+  "CMakeFiles/fdx_fd.dir/partition.cc.o"
+  "CMakeFiles/fdx_fd.dir/partition.cc.o.d"
+  "CMakeFiles/fdx_fd.dir/validation.cc.o"
+  "CMakeFiles/fdx_fd.dir/validation.cc.o.d"
+  "libfdx_fd.a"
+  "libfdx_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdx_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imputation/classifier.cc" "src/imputation/CMakeFiles/fdx_imputation.dir/classifier.cc.o" "gcc" "src/imputation/CMakeFiles/fdx_imputation.dir/classifier.cc.o.d"
+  "/root/repo/src/imputation/decision_tree.cc" "src/imputation/CMakeFiles/fdx_imputation.dir/decision_tree.cc.o" "gcc" "src/imputation/CMakeFiles/fdx_imputation.dir/decision_tree.cc.o.d"
+  "/root/repo/src/imputation/harness.cc" "src/imputation/CMakeFiles/fdx_imputation.dir/harness.cc.o" "gcc" "src/imputation/CMakeFiles/fdx_imputation.dir/harness.cc.o.d"
+  "/root/repo/src/imputation/logistic.cc" "src/imputation/CMakeFiles/fdx_imputation.dir/logistic.cc.o" "gcc" "src/imputation/CMakeFiles/fdx_imputation.dir/logistic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/fdx_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fdx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

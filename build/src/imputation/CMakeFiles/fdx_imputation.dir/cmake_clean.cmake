@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdx_imputation.dir/classifier.cc.o"
+  "CMakeFiles/fdx_imputation.dir/classifier.cc.o.d"
+  "CMakeFiles/fdx_imputation.dir/decision_tree.cc.o"
+  "CMakeFiles/fdx_imputation.dir/decision_tree.cc.o.d"
+  "CMakeFiles/fdx_imputation.dir/harness.cc.o"
+  "CMakeFiles/fdx_imputation.dir/harness.cc.o.d"
+  "CMakeFiles/fdx_imputation.dir/logistic.cc.o"
+  "CMakeFiles/fdx_imputation.dir/logistic.cc.o.d"
+  "libfdx_imputation.a"
+  "libfdx_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdx_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

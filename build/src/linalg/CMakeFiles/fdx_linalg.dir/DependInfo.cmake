@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/factorization.cc" "src/linalg/CMakeFiles/fdx_linalg.dir/factorization.cc.o" "gcc" "src/linalg/CMakeFiles/fdx_linalg.dir/factorization.cc.o.d"
+  "/root/repo/src/linalg/glasso.cc" "src/linalg/CMakeFiles/fdx_linalg.dir/glasso.cc.o" "gcc" "src/linalg/CMakeFiles/fdx_linalg.dir/glasso.cc.o.d"
+  "/root/repo/src/linalg/lasso.cc" "src/linalg/CMakeFiles/fdx_linalg.dir/lasso.cc.o" "gcc" "src/linalg/CMakeFiles/fdx_linalg.dir/lasso.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/linalg/CMakeFiles/fdx_linalg.dir/matrix.cc.o" "gcc" "src/linalg/CMakeFiles/fdx_linalg.dir/matrix.cc.o.d"
+  "/root/repo/src/linalg/stats.cc" "src/linalg/CMakeFiles/fdx_linalg.dir/stats.cc.o" "gcc" "src/linalg/CMakeFiles/fdx_linalg.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fdx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

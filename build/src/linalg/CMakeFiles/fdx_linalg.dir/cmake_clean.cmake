@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdx_linalg.dir/factorization.cc.o"
+  "CMakeFiles/fdx_linalg.dir/factorization.cc.o.d"
+  "CMakeFiles/fdx_linalg.dir/glasso.cc.o"
+  "CMakeFiles/fdx_linalg.dir/glasso.cc.o.d"
+  "CMakeFiles/fdx_linalg.dir/lasso.cc.o"
+  "CMakeFiles/fdx_linalg.dir/lasso.cc.o.d"
+  "CMakeFiles/fdx_linalg.dir/matrix.cc.o"
+  "CMakeFiles/fdx_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/fdx_linalg.dir/stats.cc.o"
+  "CMakeFiles/fdx_linalg.dir/stats.cc.o.d"
+  "libfdx_linalg.a"
+  "libfdx_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdx_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

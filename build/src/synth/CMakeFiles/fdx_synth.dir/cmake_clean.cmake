@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdx_synth.dir/generator.cc.o"
+  "CMakeFiles/fdx_synth.dir/generator.cc.o.d"
+  "libfdx_synth.a"
+  "libfdx_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdx_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

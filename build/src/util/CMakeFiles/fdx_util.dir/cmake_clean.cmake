@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdx_util.dir/json_writer.cc.o"
+  "CMakeFiles/fdx_util.dir/json_writer.cc.o.d"
+  "CMakeFiles/fdx_util.dir/rng.cc.o"
+  "CMakeFiles/fdx_util.dir/rng.cc.o.d"
+  "CMakeFiles/fdx_util.dir/status.cc.o"
+  "CMakeFiles/fdx_util.dir/status.cc.o.d"
+  "CMakeFiles/fdx_util.dir/string_util.cc.o"
+  "CMakeFiles/fdx_util.dir/string_util.cc.o.d"
+  "libfdx_util.a"
+  "libfdx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

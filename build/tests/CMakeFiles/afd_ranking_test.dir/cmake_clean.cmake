@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afd_ranking_test.dir/afd_ranking_test.cc.o"
+  "CMakeFiles/afd_ranking_test.dir/afd_ranking_test.cc.o.d"
+  "afd_ranking_test"
+  "afd_ranking_test.pdb"
+  "afd_ranking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afd_ranking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bif_io_test.dir/bif_io_test.cc.o"
+  "CMakeFiles/bif_io_test.dir/bif_io_test.cc.o.d"
+  "bif_io_test"
+  "bif_io_test.pdb"
+  "bif_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bif_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cords_test.dir/cords_test.cc.o"
+  "CMakeFiles/cords_test.dir/cords_test.cc.o.d"
+  "cords_test"
+  "cords_test.pdb"
+  "cords_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cords_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_method_test.dir/cross_method_test.cc.o"
+  "CMakeFiles/cross_method_test.dir/cross_method_test.cc.o.d"
+  "cross_method_test"
+  "cross_method_test.pdb"
+  "cross_method_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_method_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

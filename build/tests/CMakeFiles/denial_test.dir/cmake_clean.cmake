@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denial_test.dir/denial_test.cc.o"
+  "CMakeFiles/denial_test.dir/denial_test.cc.o.d"
+  "denial_test"
+  "denial_test.pdb"
+  "denial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdx_test.dir/fdx_test.cc.o"
+  "CMakeFiles/fdx_test.dir/fdx_test.cc.o.d"
+  "fdx_test"
+  "fdx_test.pdb"
+  "fdx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gl_baseline_test.dir/gl_baseline_test.cc.o"
+  "CMakeFiles/gl_baseline_test.dir/gl_baseline_test.cc.o.d"
+  "gl_baseline_test"
+  "gl_baseline_test.pdb"
+  "gl_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gl_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/glasso_test.cc" "tests/CMakeFiles/glasso_test.dir/glasso_test.cc.o" "gcc" "tests/CMakeFiles/glasso_test.dir/glasso_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/fdx_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/imputation/CMakeFiles/fdx_imputation.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/fdx_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fdx_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fdx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/fdx_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fdx_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/fdx_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fdx_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/fdx_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fdx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

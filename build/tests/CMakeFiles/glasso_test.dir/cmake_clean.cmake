@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glasso_test.dir/glasso_test.cc.o"
+  "CMakeFiles/glasso_test.dir/glasso_test.cc.o.d"
+  "glasso_test"
+  "glasso_test.pdb"
+  "glasso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glasso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

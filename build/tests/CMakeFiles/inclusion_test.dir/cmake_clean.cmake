@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inclusion_test.dir/inclusion_test.cc.o"
+  "CMakeFiles/inclusion_test.dir/inclusion_test.cc.o.d"
+  "inclusion_test"
+  "inclusion_test.pdb"
+  "inclusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inclusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/info_theory_test.dir/info_theory_test.cc.o"
+  "CMakeFiles/info_theory_test.dir/info_theory_test.cc.o.d"
+  "info_theory_test"
+  "info_theory_test.pdb"
+  "info_theory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/info_theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lasso_test.dir/lasso_test.cc.o"
+  "CMakeFiles/lasso_test.dir/lasso_test.cc.o.d"
+  "lasso_test"
+  "lasso_test.pdb"
+  "lasso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lasso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

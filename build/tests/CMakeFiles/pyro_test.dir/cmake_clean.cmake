@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyro_test.dir/pyro_test.cc.o"
+  "CMakeFiles/pyro_test.dir/pyro_test.cc.o.d"
+  "pyro_test"
+  "pyro_test.pdb"
+  "pyro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfi_test.dir/rfi_test.cc.o"
+  "CMakeFiles/rfi_test.dir/rfi_test.cc.o.d"
+  "rfi_test"
+  "rfi_test.pdb"
+  "rfi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

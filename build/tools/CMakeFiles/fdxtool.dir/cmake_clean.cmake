@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdxtool.dir/fdxtool.cc.o"
+  "CMakeFiles/fdxtool.dir/fdxtool.cc.o.d"
+  "fdxtool"
+  "fdxtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdxtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(fdxtool_generate "/root/repo/build/tools/fdxtool" "generate" "--out=/root/repo/build/fdxtool_demo.csv" "--tuples=300" "--attributes=6" "--noise=0.02")
+set_tests_properties(fdxtool_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fdxtool_discover "/root/repo/build/tools/fdxtool" "discover" "/root/repo/build/fdxtool_demo.csv")
+set_tests_properties(fdxtool_discover PROPERTIES  DEPENDS "fdxtool_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fdxtool_discover_json "/root/repo/build/tools/fdxtool" "discover" "/root/repo/build/fdxtool_demo.csv" "--format=json")
+set_tests_properties(fdxtool_discover_json PROPERTIES  DEPENDS "fdxtool_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fdxtool_profile "/root/repo/build/tools/fdxtool" "profile" "/root/repo/build/fdxtool_demo.csv")
+set_tests_properties(fdxtool_profile PROPERTIES  DEPENDS "fdxtool_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fdxtool_report "/root/repo/build/tools/fdxtool" "report" "/root/repo/build/fdxtool_demo.csv")
+set_tests_properties(fdxtool_report PROPERTIES  DEPENDS "fdxtool_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fdxtool_rank "/root/repo/build/tools/fdxtool" "rank" "/root/repo/build/fdxtool_demo.csv")
+set_tests_properties(fdxtool_rank PROPERTIES  DEPENDS "fdxtool_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fdxtool_keys "/root/repo/build/tools/fdxtool" "keys" "/root/repo/build/fdxtool_demo.csv")
+set_tests_properties(fdxtool_keys PROPERTIES  DEPENDS "fdxtool_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fdxtool_cfd "/root/repo/build/tools/fdxtool" "cfd" "/root/repo/build/fdxtool_demo.csv" "--support=0.02")
+set_tests_properties(fdxtool_cfd PROPERTIES  DEPENDS "fdxtool_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fdxtool_dc "/root/repo/build/tools/fdxtool" "dc" "/root/repo/build/fdxtool_demo.csv" "--max-predicates=2")
+set_tests_properties(fdxtool_dc PROPERTIES  DEPENDS "fdxtool_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fdxtool_usage "/root/repo/build/tools/fdxtool")
+set_tests_properties(fdxtool_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
