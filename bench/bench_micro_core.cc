@@ -1,19 +1,38 @@
-// Google-benchmark micro-benchmarks for the FDX building blocks:
-// pair transform, covariance, graphical lasso, U D U^T factorization,
-// stripped partitions, and entropy estimation.
+// Core benchmarks in two modes:
+//
+//   bench_micro_core [--rows=N] [--attrs=K] [--reps=R] [--out=PATH]
+//     Thread-scaling report (the default): wall time of the pair
+//     transform, covariance, and end-to-end FdxDiscover at 1, 2, 8, and
+//     hardware threads, written as a text table and as BENCH_core.json
+//     so the perf trajectory is tracked PR over PR.
+//
+//   bench_micro_core --micro [--benchmark_filter=...]
+//     The original google-benchmark micro-benchmarks for the FDX
+//     building blocks: pair transform, covariance, graphical lasso,
+//     U D U^T factorization, stripped partitions, and entropy.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "baselines/cords.h"
 #include "baselines/info_theory.h"
 #include "baselines/tane.h"
+#include "bench_util.h"
 #include "core/fdx.h"
 #include "core/transform.h"
+#include "eval/report.h"
 #include "fd/partition.h"
 #include "linalg/factorization.h"
 #include "linalg/glasso.h"
 #include "linalg/stats.h"
 #include "synth/generator.h"
+#include "util/json_writer.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace fdx {
 namespace {
@@ -172,7 +191,174 @@ void BM_ExactPermutationBias(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactPermutationBias)->Arg(500)->Arg(2000);
 
+/// One stage x thread-count cell of the scaling report.
+struct ScalingResult {
+  size_t threads = 0;
+  double seconds = 0.0;
+};
+
+struct ScalingStage {
+  std::string name;
+  std::vector<ScalingResult> results;
+};
+
+/// Median wall time of `reps` runs of `body`.
+template <typename Fn>
+double MedianSeconds(size_t reps, Fn&& body) {
+  std::vector<double> times;
+  times.reserve(reps);
+  for (size_t r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    body();
+    times.push_back(watch.ElapsedSeconds());
+  }
+  return Median(times);
+}
+
+int RunScalingReport(const bench::Flags& flags) {
+  const size_t rows = flags.GetSize("rows", 100000);
+  const size_t attrs = flags.GetSize("attrs", 20);
+  const size_t reps = flags.GetSize("reps", 3);
+  const std::string out_path = flags.GetString("out", "BENCH_core.json");
+
+  std::vector<size_t> thread_counts = {1, 2, 8, DefaultThreadCount()};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  std::printf("Generating synthetic table: %zu rows x %zu attributes...\n",
+              rows, attrs);
+  const SyntheticDataset ds = MakeData(rows, attrs);
+
+  // Covariance input: a dense gaussian sample matrix of the same shape.
+  Rng rng(21);
+  Matrix samples(rows, attrs);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < attrs; ++j) samples(i, j) = rng.NextGaussian();
+  }
+
+  std::vector<ScalingStage> stages = {{"pair_transform_moments", {}},
+                                      {"covariance", {}},
+                                      {"fdx_discover", {}}};
+  bool deterministic = true;
+  Matrix reference_cov;  // transform covariance at 1 thread
+
+  for (size_t threads : thread_counts) {
+    TransformOptions transform;
+    transform.threads = threads;
+    const double transform_secs = MedianSeconds(reps, [&] {
+      auto moments = PairTransformMoments(ds.noisy, transform);
+      benchmark::DoNotOptimize(moments);
+    });
+    stages[0].results.push_back({threads, transform_secs});
+    // Determinism check rides along: the moments at every thread count
+    // must match the 1-thread reference bitwise.
+    auto moments = PairTransformMoments(ds.noisy, transform);
+    if (moments.ok()) {
+      if (reference_cov.empty()) {
+        reference_cov = moments->cov;
+      } else if (moments->cov.Subtract(reference_cov).MaxAbs() != 0.0) {
+        deterministic = false;
+      }
+    }
+
+    const double cov_secs = MedianSeconds(reps, [&] {
+      auto cov = Covariance(samples, threads);
+      benchmark::DoNotOptimize(cov);
+    });
+    stages[1].results.push_back({threads, cov_secs});
+
+    FdxOptions fdx_options;
+    fdx_options.threads = threads;
+    FdxDiscoverer discoverer(fdx_options);
+    const double e2e_secs = MedianSeconds(reps, [&] {
+      auto result = discoverer.Discover(ds.noisy);
+      benchmark::DoNotOptimize(result);
+    });
+    stages[2].results.push_back({threads, e2e_secs});
+  }
+
+  ReportTable table({"Stage", "Threads", "Seconds", "Speedup"});
+  for (const ScalingStage& stage : stages) {
+    const double base = stage.results.front().seconds;
+    for (size_t i = 0; i < stage.results.size(); ++i) {
+      const ScalingResult& r = stage.results[i];
+      table.AddRow({i == 0 ? stage.name : "", std::to_string(r.threads),
+                    bench::Score3(r.seconds),
+                    r.seconds > 0.0 ? bench::Score3(base / r.seconds) : "-"});
+    }
+  }
+  std::printf(
+      "Core thread-scaling (%zu rows x %zu attrs, median of %zu reps, "
+      "hardware threads: %zu)\n%s"
+      "Transform determinism across thread counts: %s\n",
+      rows, attrs, reps, DefaultThreadCount(), table.ToString().c_str(),
+      deterministic ? "bit-identical" : "MISMATCH");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("core_scaling");
+  json.Key("rows");
+  json.Integer(static_cast<int64_t>(rows));
+  json.Key("attrs");
+  json.Integer(static_cast<int64_t>(attrs));
+  json.Key("reps");
+  json.Integer(static_cast<int64_t>(reps));
+  json.Key("hardware_threads");
+  json.Integer(static_cast<int64_t>(DefaultThreadCount()));
+  json.Key("transform_deterministic");
+  json.Bool(deterministic);
+  json.Key("stages");
+  json.BeginArray();
+  for (const ScalingStage& stage : stages) {
+    json.BeginObject();
+    json.Key("name");
+    json.String(stage.name);
+    json.Key("results");
+    json.BeginArray();
+    const double base = stage.results.front().seconds;
+    for (const ScalingResult& r : stage.results) {
+      json.BeginObject();
+      json.Key("threads");
+      json.Integer(static_cast<int64_t>(r.threads));
+      json.Key("seconds");
+      json.Number(r.seconds);
+      json.Key("speedup_vs_1");
+      json.Number(r.seconds > 0.0 ? base / r.seconds : 0.0);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  const std::string& path = out_path;
+  const std::string doc = json.TakeString();
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("Wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "Could not write %s\n", path.c_str());
+    return 1;
+  }
+  return deterministic ? 0 : 2;
+}
+
 }  // namespace
 }  // namespace fdx
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const fdx::bench::Flags flags(argc, argv);
+  if (flags.Has("micro")) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  return fdx::RunScalingReport(flags);
+}

@@ -2,7 +2,8 @@
 // the benchmark data sets with known FDs. Methods that exceed the time
 // budget print '-' rows, mirroring the paper's 8-hour cap.
 //
-// Flags: --budget=SECONDS (default 30), --tuples=N (default 10000).
+// Flags: --budget=SECONDS (default 30), --tuples=N (default 10000),
+//        --threads=N (default auto; cells of one dataset run concurrently).
 
 #include <cstdio>
 
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   RunnerConfig config;
   config.time_budget_seconds = budget;
   config.expected_error = 0.05;  // CPT epsilon of the generators
+  config.threads = flags.GetSize("threads", 0);
 
   std::vector<std::string> header = {"Data set", "Metric"};
   for (MethodId m : AllMethods()) header.push_back(MethodName(m));
@@ -33,8 +35,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> p_row = {bn.name, "P"};
     std::vector<std::string> r_row = {"", "R"};
     std::vector<std::string> f_row = {"", "F1"};
-    for (MethodId m : AllMethods()) {
-      RunOutcome outcome = RunMethod(m, *sample, config);
+    for (const RunOutcome& outcome : bench::RunAllMethods(*sample, config)) {
       if (!outcome.ok) {
         p_row.push_back("-");
         r_row.push_back("-");

@@ -3,7 +3,9 @@
 
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "eval/runner.h"
 #include "util/string_util.h"
 
 namespace fdx::bench {
@@ -13,6 +15,8 @@ namespace fdx::bench {
 ///   --budget=SECONDS   per-run time budget (like the paper's 8h cap)
 ///   --tuples=N         rows sampled per dataset
 ///   --instances=K      instances per synthetic setting (paper: 5)
+///   --threads=N        fan-out width for method sweeps (0 = FDX_THREADS
+///                      env or hardware concurrency)
 ///   --full             paper-scale parameters instead of quick defaults
 class Flags {
  public:
@@ -41,6 +45,15 @@ class Flags {
     return static_cast<size_t>(GetDouble(name, static_cast<double>(fallback)));
   }
 
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    const std::string prefix = "--" + name + "=";
+    for (const auto& arg : args_) {
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    }
+    return fallback;
+  }
+
  private:
   std::vector<std::string> args_;
 };
@@ -48,6 +61,16 @@ class Flags {
 /// Renders a score to the paper's 3-decimal convention.
 inline std::string Score3(double v) { return FormatDouble(v, 3); }
 inline std::string Secs(double v) { return FormatDouble(v, 2); }
+
+/// Fans one dataset's row of the (method, dataset) sweep out over
+/// `config.threads` workers. Outcomes come back in AllMethods() order,
+/// so drivers can zip them against their table columns.
+inline std::vector<RunOutcome> RunAllMethods(const Table& table,
+                                             const RunnerConfig& config) {
+  std::vector<MethodTask> tasks;
+  for (MethodId m : AllMethods()) tasks.push_back({m, &table});
+  return RunMethodsParallel(tasks, config);
+}
 
 }  // namespace fdx::bench
 

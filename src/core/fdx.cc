@@ -38,8 +38,10 @@ FdSet GenerateFdsFromAutoregression(const Matrix& b,
 
 Result<FdxResult> FdxDiscoverer::Discover(const Table& table) const {
   Stopwatch watch;
+  TransformOptions transform = options_.transform;
+  if (transform.threads == 0) transform.threads = options_.threads;
   FDX_ASSIGN_OR_RETURN(TransformedMoments moments,
-                       PairTransformMoments(table, options_.transform));
+                       PairTransformMoments(table, transform));
   FdxResult partial;
   partial.transform_seconds = watch.ElapsedSeconds();
   partial.transform_samples = moments.num_samples;

@@ -65,6 +65,11 @@ struct FdxOptions {
   TransformOptions transform;
   /// Graphical-lasso iteration controls.
   GlassoOptions glasso;
+  /// Worker threads for the pipeline's parallel stages (currently the
+  /// pair transform). 0 picks the `FDX_THREADS` environment variable or
+  /// the hardware concurrency; `transform.threads` wins when non-zero.
+  /// Discovery results are bit-identical at every thread count.
+  size_t threads = 0;
 };
 
 /// Full output of a discovery run, including intermediate artifacts so

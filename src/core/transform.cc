@@ -2,17 +2,34 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace fdx {
 
 namespace {
+
+/// Per-attribute RNG seeds, forked serially from the parent stream so the
+/// sampled pair selection of one attribute never depends on how many
+/// passes ran before it (or on which thread runs it).
+std::vector<uint64_t> ForkAttributeSeeds(Rng* rng, size_t k) {
+  std::vector<uint64_t> seeds(k);
+  for (size_t attr = 0; attr < k; ++attr) seeds[attr] = rng->engine()();
+  return seeds;
+}
+
+/// Number of pairs one attribute pass emits for an n-row table.
+size_t PairsPerAttribute(size_t n, size_t max_pairs) {
+  return (max_pairs == 0 || max_pairs >= n) ? n : max_pairs;
+}
 
 /// Builds the per-attribute circularly-shifted pair list of Algorithm 2:
 /// rows are sorted by attribute `attr` and each row is paired with its
 /// successor (wrapping around). Returns pairs of row indices.
 std::vector<std::pair<size_t, size_t>> PairsForAttribute(
     const EncodedTable& encoded, const std::vector<size_t>& shuffled,
-    size_t attr, size_t max_pairs, Rng* rng) {
+    size_t attr, size_t max_pairs, uint64_t attr_seed) {
   std::vector<size_t> order = shuffled;
   const auto& codes = encoded.column_codes(attr);
   // Stable sort keeps the shuffle as the tie breaker inside equal keys,
@@ -24,9 +41,11 @@ std::vector<std::pair<size_t, size_t>> PairsForAttribute(
   if (n < 2) return pairs;
   if (max_pairs == 0 || max_pairs >= n) {
     pairs.reserve(n);
-    for (size_t j = 0; j < n; ++j) {
-      pairs.emplace_back(order[j], order[(j + 1) % n]);
+    // Hot loop without the modulo: only the final pair wraps.
+    for (size_t j = 0; j + 1 < n; ++j) {
+      pairs.emplace_back(order[j], order[j + 1]);
     }
+    pairs.emplace_back(order[n - 1], order[0]);
     return pairs;
   }
   // Sampled variant: pick max_pairs distinct positions of the sorted
@@ -35,10 +54,12 @@ std::vector<std::pair<size_t, size_t>> PairsForAttribute(
   pairs.reserve(max_pairs);
   std::vector<size_t> positions(n);
   std::iota(positions.begin(), positions.end(), 0);
-  rng->Shuffle(&positions);
+  Rng rng(attr_seed);
+  rng.Shuffle(&positions);
   for (size_t i = 0; i < max_pairs; ++i) {
     const size_t j = positions[i];
-    pairs.emplace_back(order[j], order[(j + 1) % n]);
+    const size_t next = j + 1 == n ? 0 : j + 1;
+    pairs.emplace_back(order[j], order[next]);
   }
   return pairs;
 }
@@ -63,24 +84,27 @@ Result<Matrix> PairTransform(const Table& table,
   std::vector<size_t> shuffled(n);
   std::iota(shuffled.begin(), shuffled.end(), 0);
   rng.Shuffle(&shuffled);
+  const std::vector<uint64_t> attr_seeds = ForkAttributeSeeds(&rng, k);
 
-  std::vector<std::vector<std::pair<size_t, size_t>>> all_pairs;
-  size_t total = 0;
-  for (size_t attr = 0; attr < k; ++attr) {
-    all_pairs.push_back(PairsForAttribute(
-        encoded, shuffled, attr, options.max_pairs_per_attribute, &rng));
-    total += all_pairs.back().size();
-  }
-  Matrix out(total, k);
-  size_t row = 0;
-  for (const auto& pairs : all_pairs) {
-    for (const auto& [a, b] : pairs) {
-      double* out_row = out.RowPtr(row++);
-      for (size_t c = 0; c < k; ++c) {
-        out_row[c] = EqualCodes(encoded.code(a, c), encoded.code(b, c));
+  // Every pass emits the same pair count, so each attribute owns a fixed
+  // row range of the output; passes fill their ranges concurrently.
+  const size_t per_attr =
+      PairsPerAttribute(n, options.max_pairs_per_attribute);
+  Matrix out(per_attr * k, k);
+  ParallelFor(0, k, options.threads, [&](size_t lo, size_t hi) {
+    for (size_t attr = lo; attr < hi; ++attr) {
+      const auto pairs =
+          PairsForAttribute(encoded, shuffled, attr,
+                            options.max_pairs_per_attribute, attr_seeds[attr]);
+      size_t row = attr * per_attr;
+      for (const auto& [a, b] : pairs) {
+        double* out_row = out.RowPtr(row++);
+        for (size_t c = 0; c < k; ++c) {
+          out_row[c] = EqualCodes(encoded.code(a, c), encoded.code(b, c));
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -97,58 +121,93 @@ Result<TransformedMoments> PairTransformMoments(
   std::vector<size_t> shuffled(n);
   std::iota(shuffled.begin(), shuffled.end(), 0);
   rng.Shuffle(&shuffled);
+  const std::vector<uint64_t> attr_seeds = ForkAttributeSeeds(&rng, k);
 
-  std::vector<uint64_t> counts(k, 0);          // per-column ones (global)
-  std::vector<uint64_t> co_counts(k * k, 0);   // upper-triangular co-occ.
-  std::vector<uint64_t> pass_counts(k, 0);
-  std::vector<uint64_t> pass_co_counts(k * k, 0);
-  std::vector<size_t> ones;
-  ones.reserve(k);
+  // Per-chunk integer accumulators: sums of counts commute exactly, so
+  // the merged moments are independent of the chunking. The pooled pass
+  // covariances are doubles, so they are kept per *attribute* and reduced
+  // in attribute order, which reproduces the serial accumulation bitwise.
+  const size_t num_chunks =
+      std::min(ResolveThreadCount(options.threads), k);
+  std::vector<std::vector<uint64_t>> chunk_counts(
+      num_chunks, std::vector<uint64_t>(k, 0));
+  std::vector<std::vector<uint64_t>> chunk_co_counts(
+      num_chunks, std::vector<uint64_t>(k * k, 0));
+  std::vector<size_t> chunk_totals(num_chunks, 0);
+  std::vector<Matrix> pass_cov;
+  if (options.pooled_covariance) pass_cov.assign(k, Matrix());
+
+  ParallelForChunks(
+      0, k, num_chunks, options.threads,
+      [&](size_t chunk, size_t lo, size_t hi) {
+        std::vector<uint64_t>& counts = chunk_counts[chunk];
+        std::vector<uint64_t>& co_counts = chunk_co_counts[chunk];
+        std::vector<uint64_t> pass_counts;
+        std::vector<uint64_t> pass_co_counts;
+        if (options.pooled_covariance) {
+          pass_counts.assign(k, 0);
+          pass_co_counts.assign(k * k, 0);
+        }
+        std::vector<size_t> ones;
+        ones.reserve(k);
+        for (size_t attr = lo; attr < hi; ++attr) {
+          const auto pairs = PairsForAttribute(
+              encoded, shuffled, attr, options.max_pairs_per_attribute,
+              attr_seeds[attr]);
+          if (options.pooled_covariance) {
+            std::fill(pass_counts.begin(), pass_counts.end(), 0);
+            std::fill(pass_co_counts.begin(), pass_co_counts.end(), 0);
+          }
+          for (const auto& [a, b] : pairs) {
+            ones.clear();
+            for (size_t c = 0; c < k; ++c) {
+              if (EqualCodes(encoded.code(a, c), encoded.code(b, c))) {
+                ones.push_back(c);
+              }
+            }
+            for (size_t x : ones) {
+              ++counts[x];
+              if (options.pooled_covariance) ++pass_counts[x];
+              for (size_t y : ones) {
+                if (y < x) continue;
+                ++co_counts[x * k + y];
+                if (options.pooled_covariance) ++pass_co_counts[x * k + y];
+              }
+            }
+          }
+          chunk_totals[chunk] += pairs.size();
+          if (options.pooled_covariance && !pairs.empty()) {
+            // Pass-local covariance; summed across passes after the join.
+            Matrix cov(k, k);
+            const double inv_pass =
+                1.0 / static_cast<double>(pairs.size());
+            for (size_t x = 0; x < k; ++x) {
+              const double mean_x =
+                  static_cast<double>(pass_counts[x]) * inv_pass;
+              for (size_t y = x; y < k; ++y) {
+                const double mean_y =
+                    static_cast<double>(pass_counts[y]) * inv_pass;
+                const double exy =
+                    static_cast<double>(pass_co_counts[x * k + y]) * inv_pass;
+                const double value = exy - mean_x * mean_y;
+                cov(x, y) = value;
+                cov(y, x) = value;
+              }
+            }
+            pass_cov[attr] = std::move(cov);
+          }
+        }
+      });
+
+  std::vector<uint64_t> counts(k, 0);
+  std::vector<uint64_t> co_counts(k * k, 0);
   size_t total = 0;
-  size_t pooled_passes = 0;
-  Matrix pooled_cov(k, k);
-  for (size_t attr = 0; attr < k; ++attr) {
-    const auto pairs = PairsForAttribute(
-        encoded, shuffled, attr, options.max_pairs_per_attribute, &rng);
-    if (options.pooled_covariance) {
-      std::fill(pass_counts.begin(), pass_counts.end(), 0);
-      std::fill(pass_co_counts.begin(), pass_co_counts.end(), 0);
+  for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    for (size_t c = 0; c < k; ++c) counts[c] += chunk_counts[chunk][c];
+    for (size_t c = 0; c < k * k; ++c) {
+      co_counts[c] += chunk_co_counts[chunk][c];
     }
-    for (const auto& [a, b] : pairs) {
-      ones.clear();
-      for (size_t c = 0; c < k; ++c) {
-        if (EqualCodes(encoded.code(a, c), encoded.code(b, c))) {
-          ones.push_back(c);
-        }
-      }
-      for (size_t x : ones) {
-        ++counts[x];
-        if (options.pooled_covariance) ++pass_counts[x];
-        for (size_t y : ones) {
-          if (y < x) continue;
-          ++co_counts[x * k + y];
-          if (options.pooled_covariance) ++pass_co_counts[x * k + y];
-        }
-      }
-      ++total;
-    }
-    if (options.pooled_covariance && !pairs.empty()) {
-      // Pass-local covariance accumulated into the pooled average.
-      const double inv_pass = 1.0 / static_cast<double>(pairs.size());
-      for (size_t x = 0; x < k; ++x) {
-        const double mean_x = static_cast<double>(pass_counts[x]) * inv_pass;
-        for (size_t y = x; y < k; ++y) {
-          const double mean_y =
-              static_cast<double>(pass_counts[y]) * inv_pass;
-          const double exy =
-              static_cast<double>(pass_co_counts[x * k + y]) * inv_pass;
-          const double value = exy - mean_x * mean_y;
-          pooled_cov(x, y) += value;
-          if (x != y) pooled_cov(y, x) += value;
-        }
-      }
-      ++pooled_passes;
-    }
+    total += chunk_totals[chunk];
   }
   if (total == 0) {
     return Status::InvalidArgument("pair transform produced no samples");
@@ -162,6 +221,13 @@ Result<TransformedMoments> PairTransformMoments(
     moments.mean[c] = static_cast<double>(counts[c]) * inv_n;
   }
   if (options.pooled_covariance) {
+    Matrix pooled_cov(k, k);
+    size_t pooled_passes = 0;
+    for (size_t attr = 0; attr < k; ++attr) {
+      if (pass_cov[attr].empty()) continue;
+      pooled_cov = pooled_cov.Add(pass_cov[attr]);
+      ++pooled_passes;
+    }
     moments.cov =
         pooled_cov.Scale(1.0 / static_cast<double>(pooled_passes));
     return moments;

@@ -28,6 +28,13 @@ struct TransformOptions {
   /// the artifact by sign instead).
   bool pooled_covariance = false;
   uint64_t seed = 7;
+  /// Worker threads for the per-attribute passes; 0 picks the `FDX_THREADS`
+  /// environment variable or the hardware concurrency. The transform is
+  /// bit-identical at every thread count: each attribute derives its own
+  /// RNG from a per-attribute fork of `seed`, integer moment counts merge
+  /// commutatively, and pooled pass covariances are reduced in attribute
+  /// order.
+  size_t threads = 0;
 };
 
 /// Materialized transform output: an (n_pairs x k) 0/1 sample matrix of

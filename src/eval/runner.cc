@@ -1,6 +1,7 @@
 #include "eval/runner.h"
 
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace fdx {
 
@@ -54,7 +55,9 @@ RunOutcome RunMethod(MethodId method, const Table& table,
   Stopwatch watch;
   switch (method) {
     case MethodId::kFdx: {
-      FdxDiscoverer discoverer(config.fdx);
+      FdxOptions fdx_options = config.fdx;
+      if (fdx_options.threads == 0) fdx_options.threads = config.threads;
+      FdxDiscoverer discoverer(fdx_options);
       Result<FdxResult> result = discoverer.Discover(table);
       RunOutcome outcome;
       outcome.seconds = watch.ElapsedSeconds();
@@ -110,6 +113,26 @@ RunOutcome RunMethod(MethodId method, const Table& table,
   RunOutcome outcome;
   outcome.error = "unknown method";
   return outcome;
+}
+
+std::vector<RunOutcome> RunMethodsParallel(
+    const std::vector<MethodTask>& tasks, const RunnerConfig& config) {
+  std::vector<RunOutcome> outcomes(tasks.size());
+  const size_t threads = ResolveThreadCount(config.threads);
+  RunnerConfig cell_config = config;
+  if (threads > 1) {
+    // Cells already saturate the workers; keep each cell single-threaded
+    // inside (identical results — FDX is thread-count invariant).
+    cell_config.threads = 1;
+    cell_config.fdx.threads = 1;
+    cell_config.fdx.transform.threads = 1;
+  }
+  ParallelFor(0, tasks.size(), threads, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      outcomes[i] = RunMethod(tasks[i].method, *tasks[i].table, cell_config);
+    }
+  });
+  return outcomes;
 }
 
 }  // namespace fdx

@@ -44,6 +44,11 @@ struct RunnerConfig {
   /// RFI LHS cap (0 = unbounded, the original algorithm).
   size_t rfi_max_lhs = 0;
   uint64_t seed = 1;
+  /// Worker threads for RunMethodsParallel fan-out (and, through
+  /// `fdx.threads`, for FDX's internal stages when running a single
+  /// method). 0 picks the `FDX_THREADS` environment variable or the
+  /// hardware concurrency.
+  size_t threads = 0;
 };
 
 /// Outcome of one discovery run.
@@ -59,6 +64,23 @@ struct RunOutcome {
 /// crashes on method failure; errors are reported in the outcome.
 RunOutcome RunMethod(MethodId method, const Table& table,
                      const RunnerConfig& config);
+
+/// One (method, dataset) cell of a benchmark sweep. The table pointer is
+/// non-owning and must outlive the RunMethodsParallel call.
+struct MethodTask {
+  MethodId method;
+  const Table* table = nullptr;
+};
+
+/// Runs every cell under the shared configuration, fanning the cells out
+/// over `config.threads` workers (each cell keeps the per-run time
+/// budget). Outcomes are returned in task order regardless of scheduling.
+/// When the fan-out itself is parallel, each cell's internal FDX stages
+/// are pinned to one thread to avoid oversubscription — this does not
+/// change results, because FDX discovery is bit-identical at every
+/// thread count.
+std::vector<RunOutcome> RunMethodsParallel(const std::vector<MethodTask>& tasks,
+                                           const RunnerConfig& config);
 
 }  // namespace fdx
 

@@ -14,7 +14,9 @@ using Vector = std::vector<double>;
 /// Dense row-major matrix of doubles. This is the workhorse of the
 /// structure-learning code; it favors clarity over BLAS-level tuning but
 /// keeps the inner loops contiguous so the benchmark sweeps (up to a few
-/// hundred attributes) stay fast.
+/// hundred attributes) stay fast. Multiply and Transpose switch to
+/// parallel, cache-tiled kernels above a size cutoff; both kernels are
+/// bit-identical to the serial loops at any thread count.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}

@@ -1,0 +1,171 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace fdx {
+
+size_t DefaultThreadCount() {
+  if (const char* env = std::getenv("FDX_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<size_t>(hw) : 1;
+}
+
+size_t ResolveThreadCount(size_t requested) {
+  return requested == 0 ? DefaultThreadCount() : requested;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Workers beyond the caller: the calling thread always participates in
+  // ParallelFor, so a machine with H hardware threads wants H - 1 helpers.
+  static ThreadPool* pool = new ThreadPool(DefaultThreadCount() - 1);
+  return *pool;
+}
+
+namespace {
+
+/// Shared state of one ParallelFor invocation. Helpers submitted to the
+/// pool and the calling thread both claim chunks from `next_chunk`; the
+/// last finisher wakes the caller.
+struct ParallelForState {
+  size_t begin = 0;
+  size_t items = 0;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t, size_t)>* body = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> done_chunks{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first exception, guarded by mu
+
+  /// Claims and runs chunks until none are left.
+  void Drain() {
+    for (;;) {
+      const size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) return;
+      // Even split: the first (items % num_chunks) chunks get one extra.
+      const size_t base = items / num_chunks;
+      const size_t extra = items % num_chunks;
+      const size_t lo =
+          begin + chunk * base + (chunk < extra ? chunk : extra);
+      const size_t hi = lo + base + (chunk < extra ? 1 : 0);
+      try {
+        (*body)(chunk, lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          num_chunks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelForChunks(
+    size_t begin, size_t end, size_t num_chunks, size_t threads,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  if (end <= begin) return;
+  const size_t items = end - begin;
+  if (num_chunks > items) num_chunks = items;
+  if (num_chunks == 0) num_chunks = 1;
+  threads = ResolveThreadCount(threads);
+
+  if (num_chunks == 1 || threads == 1) {
+    // Inline, still chunked: results match the concurrent execution
+    // exactly because chunk boundaries ignore the thread count.
+    const size_t base = items / num_chunks;
+    const size_t extra = items % num_chunks;
+    size_t lo = begin;
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const size_t hi = lo + base + (chunk < extra ? 1 : 0);
+      body(chunk, lo, hi);
+      lo = hi;
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->begin = begin;
+  state->items = items;
+  state->num_chunks = num_chunks;
+  state->body = &body;
+
+  ThreadPool& pool = ThreadPool::Shared();
+  const size_t helpers_wanted =
+      (threads < num_chunks ? threads : num_chunks) - 1;
+  const size_t helpers =
+      helpers_wanted < pool.size() ? helpers_wanted : pool.size();
+  for (size_t i = 0; i < helpers; ++i) {
+    pool.Submit([state] { state->Drain(); });
+  }
+  state->Drain();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] {
+      return state->done_chunks.load(std::memory_order_acquire) ==
+             state->num_chunks;
+    });
+  }
+  // `body` outlives the wait above; helpers that wake later only see an
+  // exhausted chunk cursor and return without touching it.
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t threads,
+                 const std::function<void(size_t, size_t)>& body) {
+  const size_t chunks = ResolveThreadCount(threads);
+  ParallelForChunks(begin, end, chunks, threads,
+                    [&body](size_t, size_t lo, size_t hi) { body(lo, hi); });
+}
+
+}  // namespace fdx

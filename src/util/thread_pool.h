@@ -1,0 +1,82 @@
+#ifndef FDX_UTIL_THREAD_POOL_H_
+#define FDX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fdx {
+
+/// Number of worker threads the library uses when a caller asks for the
+/// default (`threads == 0`): the `FDX_THREADS` environment variable if it
+/// is set to a positive integer, otherwise `std::thread::hardware_
+/// concurrency()`. Always at least 1. Reads the environment on every
+/// call so tests (and long-lived hosts) can adjust it at runtime.
+size_t DefaultThreadCount();
+
+/// Maps a requested thread count to an effective one: 0 means "use the
+/// default" (see DefaultThreadCount); anything else is returned as-is.
+size_t ResolveThreadCount(size_t requested);
+
+/// A fixed-size pool of worker threads consuming a FIFO task queue.
+/// Tasks must not throw (wrap bodies that can). The pool is intentionally
+/// work-stealing free: ParallelFor (below) hands out deterministic
+/// contiguous chunks through a shared atomic cursor, so scheduling order
+/// never influences results.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is allowed and spawns none; Submit
+  /// is then illegal, but ParallelFor degrades to inline execution).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution. Precondition: size() > 0.
+  void Submit(std::function<void()> task);
+
+  /// The process-wide pool, lazily created with DefaultThreadCount()
+  /// workers (sized once, at first use).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `body(chunk_begin, chunk_end)` over [begin, end) split into at
+/// most `threads` contiguous, near-equal chunks (`threads == 0` resolves
+/// via DefaultThreadCount). Chunk boundaries depend only on the range and
+/// the chunk count, never on scheduling. Blocks until every chunk has
+/// finished; the first exception thrown by `body` is rethrown in the
+/// caller. The calling thread participates in the work, so the function
+/// makes progress even when the shared pool is busy or empty (no nested-
+/// parallelism deadlock). With one chunk (or an empty range) the body
+/// runs inline with no synchronization.
+void ParallelFor(size_t begin, size_t end, size_t threads,
+                 const std::function<void(size_t, size_t)>& body);
+
+/// Variant passing the chunk index as well: `body(chunk, chunk_begin,
+/// chunk_end)` with `chunk` in [0, num_chunks). `num_chunks` is honored
+/// exactly (capped to the number of items), which makes per-chunk
+/// accumulator patterns deterministic for a *fixed* chunk count no matter
+/// how many threads execute them; `threads` only bounds concurrency.
+void ParallelForChunks(size_t begin, size_t end, size_t num_chunks,
+                       size_t threads,
+                       const std::function<void(size_t, size_t, size_t)>& body);
+
+}  // namespace fdx
+
+#endif  // FDX_UTIL_THREAD_POOL_H_

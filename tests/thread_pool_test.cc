@@ -1,0 +1,169 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace fdx {
+namespace {
+
+TEST(DefaultThreadCountTest, ReadsFdxThreadsEnv) {
+  ASSERT_EQ(setenv("FDX_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(DefaultThreadCount(), 3u);
+  EXPECT_EQ(ResolveThreadCount(0), 3u);
+  EXPECT_EQ(ResolveThreadCount(5), 5u);
+  ASSERT_EQ(unsetenv("FDX_THREADS"), 0);
+  EXPECT_GE(DefaultThreadCount(), 1u);
+}
+
+TEST(DefaultThreadCountTest, IgnoresInvalidEnv) {
+  ASSERT_EQ(setenv("FDX_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(DefaultThreadCount(), 1u);
+  ASSERT_EQ(setenv("FDX_THREADS", "-2", 1), 0);
+  EXPECT_GE(DefaultThreadCount(), 1u);
+  ASSERT_EQ(unsetenv("FDX_THREADS"), 0);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  ASSERT_EQ(pool.size(), 2u);
+  std::atomic<int> counter{0};
+  constexpr int kTasks = 64;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (counter.load() < kTasks &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after the queue is empty
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ParallelForTest, EmptyRangeNeverCallsBody) {
+  bool called = false;
+  ParallelFor(5, 5, 4, [&](size_t, size_t) { called = true; });
+  ParallelFor(7, 3, 4, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  constexpr size_t kItems = 1000;
+  std::vector<int> visits(kItems, 0);
+  ParallelFor(0, kItems, 8, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ++visits[i];
+  });
+  for (size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(visits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, FewerItemsThanThreads) {
+  std::vector<int> visits(3, 0);
+  ParallelFor(0, 3, 16, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ++visits[i];
+  });
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 3);
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ParallelForTest, NonZeroBegin) {
+  std::vector<int> visits(10, 0);
+  ParallelFor(4, 10, 3, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ++visits[i];
+  });
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(visits[i], 0);
+  for (size_t i = 4; i < 10; ++i) EXPECT_EQ(visits[i], 1);
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  EXPECT_THROW(
+      ParallelFor(0, 100, 4,
+                  [](size_t lo, size_t) {
+                    if (lo >= 25) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // Inline path (single chunk) propagates too.
+  EXPECT_THROW(ParallelFor(0, 1, 1,
+                           [](size_t, size_t) {
+                             throw std::runtime_error("inline boom");
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, ExceptionDoesNotAbortOtherChunks) {
+  std::atomic<size_t> covered{0};
+  try {
+    ParallelFor(0, 64, 8, [&](size_t lo, size_t hi) {
+      covered.fetch_add(hi - lo);
+      if (lo == 0) throw std::runtime_error("partial");
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  // Every chunk still ran (the pool drains all chunks before rethrow).
+  EXPECT_EQ(covered.load(), 64u);
+}
+
+TEST(ParallelForChunksTest, HonorsChunkCountAndBoundaries) {
+  constexpr size_t kItems = 103;
+  constexpr size_t kChunks = 7;
+  std::vector<int> chunk_seen(kChunks, 0);
+  std::vector<int> visits(kItems, 0);
+  ParallelForChunks(0, kItems, kChunks, 4,
+                    [&](size_t chunk, size_t lo, size_t hi) {
+                      ASSERT_LT(chunk, kChunks);
+                      ++chunk_seen[chunk];
+                      EXPECT_LT(lo, hi);
+                      for (size_t i = lo; i < hi; ++i) ++visits[i];
+                    });
+  for (size_t c = 0; c < kChunks; ++c) EXPECT_EQ(chunk_seen[c], 1);
+  for (size_t i = 0; i < kItems; ++i) EXPECT_EQ(visits[i], 1);
+}
+
+TEST(ParallelForChunksTest, ChunkBoundariesIgnoreThreadCount) {
+  // The chunk decomposition must be a pure function of (range, chunks):
+  // record the boundaries at 2 and at 8 threads and compare.
+  auto boundaries = [](size_t threads) {
+    std::vector<std::pair<size_t, size_t>> out(5);
+    ParallelForChunks(10, 47, 5, threads,
+                      [&](size_t chunk, size_t lo, size_t hi) {
+                        out[chunk] = {lo, hi};
+                      });
+    return out;
+  };
+  EXPECT_EQ(boundaries(2), boundaries(8));
+  EXPECT_EQ(boundaries(1), boundaries(8));
+}
+
+TEST(ParallelForTest, NestedParallelForCompletes) {
+  std::atomic<size_t> total{0};
+  ParallelFor(0, 8, 4, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      ParallelFor(0, 100, 4, [&](size_t ilo, size_t ihi) {
+        total.fetch_add(ihi - ilo);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 800u);
+}
+
+}  // namespace
+}  // namespace fdx
