@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "linalg/factorization.h"
 #include "linalg/lasso.h"
+#include "util/fault_injection.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
 
 namespace fdx {
 
@@ -36,27 +39,232 @@ FdSet GenerateFdsFromAutoregression(const Matrix& b,
   return fds;
 }
 
+namespace {
+
+/// Output of one structure-learning attempt: the precision estimate in
+/// schema order, the autoregression matrix in *permuted* coordinates,
+/// and the permutation used.
+struct LearnedStructure {
+  Matrix theta;                  ///< schema order
+  Matrix b;                      ///< permuted coordinates (strictly upper)
+  std::vector<size_t> ordering;  ///< perm[i] = schema attribute at pos i
+};
+
+void AddEvent(RunDiagnostics* diag, std::string stage, std::string action,
+              std::string detail) {
+  diag->events.push_back(
+      {std::move(stage), std::move(action), std::move(detail)});
+}
+
+/// One graphical lasso + U D U^T attempt with an explicit diagonal ridge.
+Result<LearnedStructure> TryGlassoOnce(const Matrix& input,
+                                       const FdxOptions& options,
+                                       double ridge,
+                                       const Deadline* deadline) {
+  const size_t k = input.rows();
+  GlassoOptions glasso_options = options.glasso;
+  glasso_options.lambda = options.lambda;
+  glasso_options.diagonal_ridge = ridge;
+  glasso_options.deadline = deadline;
+  FDX_ASSIGN_OR_RETURN(GlassoResult glasso,
+                       GraphicalLasso(input, glasso_options));
+  LearnedStructure learned;
+  learned.theta = glasso.theta;
+  learned.ordering = ComputeOrdering(glasso.theta, options.ordering,
+                                     options.zero_tolerance);
+  const Matrix permuted = glasso.theta.PermuteSymmetric(learned.ordering);
+  FDX_ASSIGN_OR_RETURN(UdutResult udut, UdutFactor(permuted));
+
+  // B = I - U in permuted coordinates.
+  learned.b = Matrix(k, k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) learned.b(i, j) = -udut.u(i, j);
+  }
+  return learned;
+}
+
+/// Sequential lasso: order the variables on the correlation support
+/// (couplings below 0.1 are noise at the sample sizes we target), then
+/// fit each column's regression on its predecessors — the
+/// neighborhood-selection view of structure learning.
+Result<LearnedStructure> TrySequentialLasso(const Matrix& input,
+                                            const FdxOptions& options,
+                                            const Deadline* deadline) {
+  const size_t k = input.rows();
+  LearnedStructure learned;
+  learned.ordering = ComputeOrdering(input, options.ordering, 0.1);
+  const Matrix permuted = input.PermuteSymmetric(learned.ordering);
+  LassoOptions lasso_options;
+  lasso_options.lambda = options.lambda;
+  lasso_options.deadline = deadline;
+  learned.b = Matrix(k, k);
+  for (size_t j = 1; j < k; ++j) {
+    if (deadline != nullptr && deadline->Expired()) {
+      return Status::Timeout("sequential lasso: time budget exhausted");
+    }
+    FDX_INJECT_FAULT(
+        kFaultSeqLassoColumn,
+        Status::NumericalError("injected fault: seqlasso.column " +
+                               std::to_string(j)));
+    Matrix q(j, j);
+    Vector c(j, 0.0);
+    for (size_t a = 0; a < j; ++a) {
+      c[a] = permuted(a, j);
+      for (size_t bcol = 0; bcol < j; ++bcol) {
+        q(a, bcol) = permuted(a, bcol);
+      }
+      q(a, a) += options.glasso.diagonal_ridge + 1e-6;
+    }
+    Vector beta(j, 0.0);
+    FDX_RETURN_IF_ERROR(SolveQuadraticLasso(q, c, lasso_options, &beta));
+    for (size_t a = 0; a < j; ++a) learned.b(a, j) = beta[a];
+  }
+  // Report Theta implied by the fitted SEM with unit noise:
+  // Theta = (I - B)(I - B)^T, mapped back to schema order.
+  Matrix i_minus_b = Matrix::Identity(k).Subtract(learned.b);
+  Matrix theta_permuted = i_minus_b.Multiply(i_minus_b.Transpose());
+  learned.theta = Matrix(k, k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      learned.theta(learned.ordering[i], learned.ordering[j]) =
+          theta_permuted(i, j);
+    }
+  }
+  return learned;
+}
+
+/// Recovery steps 1 and 2: the ridge-escalation schedule over graphical
+/// lasso, then the fallback to sequential lasso. Only kNumericalError
+/// escalates; timeouts and invalid inputs propagate immediately.
+Result<LearnedStructure> LearnWithRetries(const Matrix& input,
+                                          const FdxOptions& options,
+                                          const Deadline* deadline,
+                                          RunDiagnostics* diag) {
+  const RecoveryPolicy& policy = options.recovery;
+  Status last_error;
+  if (options.estimator == StructureEstimator::kGraphicalLasso) {
+    double ridge = options.glasso.diagonal_ridge;
+    const size_t max_attempts =
+        policy.enabled ? policy.max_ridge_retries + 1 : 1;
+    for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+      Result<LearnedStructure> learned =
+          TryGlassoOnce(input, options, ridge, deadline);
+      ++diag->glasso_attempts;
+      if (learned.ok()) {
+        diag->ridge_used = ridge;
+        return learned;
+      }
+      last_error = learned.status();
+      if (last_error.code() != StatusCode::kNumericalError) {
+        return last_error;
+      }
+      if (attempt + 1 >= max_attempts) break;
+      const double next_ridge =
+          ridge > 0.0 ? std::min(ridge * policy.ridge_multiplier,
+                                 policy.max_ridge)
+                      : policy.max_ridge / 1e4;
+      if (next_ridge <= ridge) break;  // already at the cap
+      AddEvent(diag, "glasso", "retry_ridge",
+               last_error.message() + "; diagonal_ridge -> " +
+                   FormatDouble(next_ridge, 8));
+      ridge = next_ridge;
+    }
+    if (!policy.enabled || !policy.allow_estimator_fallback) {
+      return last_error;
+    }
+    AddEvent(diag, "glasso", "fallback_sequential",
+             "glasso exhausted after " +
+                 std::to_string(diag->glasso_attempts) + " attempt(s): " +
+                 last_error.message());
+  }
+  Result<LearnedStructure> learned =
+      TrySequentialLasso(input, options, deadline);
+  if (learned.ok()) {
+    if (options.estimator == StructureEstimator::kGraphicalLasso) {
+      diag->fallback_sequential = true;
+    }
+    return learned;
+  }
+  last_error = learned.status();
+  if (last_error.code() == StatusCode::kNumericalError) {
+    AddEvent(diag, "seqlasso", "failed", last_error.message());
+  }
+  return last_error;
+}
+
+}  // namespace
+
 Result<FdxResult> FdxDiscoverer::Discover(const Table& table) const {
+  const Deadline deadline(options_.time_budget_seconds);
   Stopwatch watch;
+  const size_t k = table.num_columns();
+  const size_t n = table.num_rows();
+  if (k == 0) {
+    return Status::InvalidArgument("Discover: table has no columns");
+  }
+  // Degenerate shapes that cannot carry an FD produce an empty, diagnosed
+  // result instead of a transform error: there is nothing to discover,
+  // but nothing went wrong either.
+  if (n < 2 || k < 2) {
+    FdxResult result;
+    result.theta = Matrix(k, k);
+    result.autoregression = Matrix(k, k);
+    result.ordering.resize(k);
+    std::iota(result.ordering.begin(), result.ordering.end(), size_t{0});
+    AddEvent(&result.diagnostics, "input", "degenerate_table",
+             std::to_string(n) + " row(s) x " + std::to_string(k) +
+                 " column(s): no FD can exist; returning an empty set");
+    return result;
+  }
   TransformOptions transform = options_.transform;
   if (transform.threads == 0) transform.threads = options_.threads;
+  if (transform.deadline == nullptr && options_.time_budget_seconds > 0.0) {
+    transform.deadline = &deadline;
+  }
   FDX_ASSIGN_OR_RETURN(TransformedMoments moments,
                        PairTransformMoments(table, transform));
-  FdxResult partial;
-  partial.transform_seconds = watch.ElapsedSeconds();
-  partial.transform_samples = moments.num_samples;
+  const double transform_seconds = watch.ElapsedSeconds();
+  if (deadline.Expired()) {
+    return Status::Timeout("fdx: time budget exhausted after transform");
+  }
   FDX_ASSIGN_OR_RETURN(FdxResult result,
-                       DiscoverFromCovariance(moments.cov));
-  result.transform_seconds = partial.transform_seconds;
-  result.transform_samples = partial.transform_samples;
+                       DiscoverFromCovarianceInternal(moments.cov,
+                                                      &deadline));
+  result.transform_seconds = transform_seconds;
+  result.transform_samples = moments.num_samples;
+  result.diagnostics.transform_seconds = transform_seconds;
   return result;
 }
 
 Result<FdxResult> FdxDiscoverer::DiscoverFromCovariance(
     const Matrix& covariance) const {
+  const Deadline deadline(options_.time_budget_seconds);
+  return DiscoverFromCovarianceInternal(covariance, &deadline);
+}
+
+Result<FdxResult> FdxDiscoverer::DiscoverFromCovarianceInternal(
+    const Matrix& covariance, const Deadline* deadline) const {
   Stopwatch watch;
   FdxResult result;
+  RunDiagnostics& diag = result.diagnostics;
   const size_t k = covariance.rows();
+  const RecoveryPolicy& policy = options_.recovery;
+
+  // Up-front degeneracy scan: equality indicators with (near-)zero
+  // variance come from all-constant or all-null columns. They are the
+  // quarantine candidates of recovery step 3.
+  const double variance_floor =
+      std::max(options_.zero_tolerance, policy.degenerate_variance_floor);
+  std::vector<size_t> degenerate;
+  for (size_t i = 0; i < k; ++i) {
+    if (covariance(i, i) <= variance_floor) degenerate.push_back(i);
+  }
+  if (!degenerate.empty()) {
+    AddEvent(&diag, "input", "degenerate_attributes",
+             std::to_string(degenerate.size()) +
+                 " attribute(s) with (near-)constant or all-null "
+                 "equality indicators");
+  }
 
   Matrix input = covariance;
   if (options_.normalize_covariance) {
@@ -75,59 +283,71 @@ Result<FdxResult> FdxDiscoverer::DiscoverFromCovariance(
     }
   }
 
-  Matrix b(k, k);  // autoregression in permuted coordinates
-  if (options_.estimator == StructureEstimator::kGraphicalLasso) {
-    GlassoOptions glasso_options = options_.glasso;
-    glasso_options.lambda = options_.lambda;
-    FDX_ASSIGN_OR_RETURN(GlassoResult glasso,
-                         GraphicalLasso(input, glasso_options));
-    result.theta = glasso.theta;
-
-    result.ordering = ComputeOrdering(glasso.theta, options_.ordering,
-                                      options_.zero_tolerance);
-    const Matrix permuted = glasso.theta.PermuteSymmetric(result.ordering);
-    FDX_ASSIGN_OR_RETURN(UdutResult udut, UdutFactor(permuted));
-
-    // B = I - U in permuted coordinates.
-    for (size_t i = 0; i < k; ++i) {
-      for (size_t j = i + 1; j < k; ++j) b(i, j) = -udut.u(i, j);
-    }
-  } else {
-    // Sequential lasso: order the variables on the correlation support
-    // (couplings below 0.1 are noise at the sample sizes we target),
-    // then fit each column's regression on its predecessors.
-    result.ordering = ComputeOrdering(input, options_.ordering, 0.1);
-    const Matrix permuted = input.PermuteSymmetric(result.ordering);
-    LassoOptions lasso_options;
-    lasso_options.lambda = options_.lambda;
-    for (size_t j = 1; j < k; ++j) {
-      Matrix q(j, j);
-      Vector c(j, 0.0);
-      for (size_t a = 0; a < j; ++a) {
-        c[a] = permuted(a, j);
-        for (size_t bcol = 0; bcol < j; ++bcol) {
-          q(a, bcol) = permuted(a, bcol);
+  LearnedStructure learned;
+  Result<LearnedStructure> attempt =
+      LearnWithRetries(input, options_, deadline, &diag);
+  if (attempt.ok()) {
+    learned = std::move(attempt).value();
+  } else if (attempt.status().code() == StatusCode::kNumericalError &&
+             policy.enabled && policy.allow_quarantine &&
+             !degenerate.empty() && degenerate.size() < k) {
+    // Recovery step 3: drop the degenerate attributes and re-learn on
+    // the remainder; the quarantined attributes get zero rows/columns
+    // and never participate in FDs.
+    std::vector<size_t> keep;
+    keep.reserve(k - degenerate.size());
+    {
+      size_t next_degenerate = 0;
+      for (size_t i = 0; i < k; ++i) {
+        if (next_degenerate < degenerate.size() &&
+            degenerate[next_degenerate] == i) {
+          ++next_degenerate;
+        } else {
+          keep.push_back(i);
         }
-        q(a, a) += options_.glasso.diagonal_ridge + 1e-6;
-      }
-      Vector beta(j, 0.0);
-      FDX_RETURN_IF_ERROR(SolveQuadraticLasso(q, c, lasso_options, &beta));
-      for (size_t a = 0; a < j; ++a) b(a, j) = beta[a];
-    }
-    // Report Theta implied by the fitted SEM with unit noise:
-    // Theta = (I - B)(I - B)^T, mapped back to schema order.
-    Matrix i_minus_b = Matrix::Identity(k).Subtract(b);
-    Matrix theta_permuted = i_minus_b.Multiply(i_minus_b.Transpose());
-    result.theta = Matrix(k, k);
-    for (size_t i = 0; i < k; ++i) {
-      for (size_t j = 0; j < k; ++j) {
-        result.theta(result.ordering[i], result.ordering[j]) =
-            theta_permuted(i, j);
       }
     }
+    const size_t m = keep.size();
+    Matrix reduced(m, m);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < m; ++j) reduced(i, j) = input(keep[i], keep[j]);
+    }
+    diag.quarantined = true;
+    diag.quarantined_attributes = degenerate;
+    AddEvent(&diag, "quarantine", "rerun_without_degenerate",
+             attempt.status().message() + "; re-learning on " +
+                 std::to_string(m) + " of " + std::to_string(k) +
+                 " attributes");
+    Result<LearnedStructure> rerun =
+        LearnWithRetries(reduced, options_, deadline, &diag);
+    if (!rerun.ok()) return rerun.status();
+    const LearnedStructure& sub = *rerun;
+    // Embed the reduced solution back into full-size artifacts. The
+    // quarantined attributes occupy the tail of the permutation with
+    // all-zero autoregression columns, so FD generation skips them.
+    learned.theta = Matrix(k, k);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < m; ++j) {
+        learned.theta(keep[i], keep[j]) = sub.theta(i, j);
+      }
+    }
+    learned.b = Matrix(k, k);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < m; ++j) learned.b(i, j) = sub.b(i, j);
+    }
+    learned.ordering.reserve(k);
+    for (size_t i = 0; i < m; ++i) {
+      learned.ordering.push_back(keep[sub.ordering[i]]);
+    }
+    for (size_t attr : degenerate) learned.ordering.push_back(attr);
+  } else {
+    return attempt.status();
   }
+
+  result.theta = std::move(learned.theta);
+  result.ordering = std::move(learned.ordering);
   result.fds = GenerateFdsFromAutoregression(
-      b, result.ordering, options_.sparsity_threshold,
+      learned.b, result.ordering, options_.sparsity_threshold,
       options_.relative_threshold, options_.minimum_column_weight,
       options_.zero_tolerance);
 
@@ -135,10 +355,12 @@ Result<FdxResult> FdxDiscoverer::DiscoverFromCovariance(
   result.autoregression = Matrix(k, k);
   for (size_t i = 0; i < k; ++i) {
     for (size_t j = 0; j < k; ++j) {
-      result.autoregression(result.ordering[i], result.ordering[j]) = b(i, j);
+      result.autoregression(result.ordering[i], result.ordering[j]) =
+          learned.b(i, j);
     }
   }
   result.learning_seconds = watch.ElapsedSeconds();
+  diag.learning_seconds = result.learning_seconds;
   return result;
 }
 

@@ -2,6 +2,8 @@
 #define FDX_CORE_FDX_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/ordering.h"
 #include "core/transform.h"
@@ -10,6 +12,7 @@
 #include "linalg/glasso.h"
 #include "linalg/matrix.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 
 namespace fdx {
 
@@ -25,6 +28,76 @@ enum class StructureEstimator {
   /// reference [32]) specialized to the triangular SEM, and the most
   /// literal reading of the title's "sparse regression".
   kSequentialLasso,
+};
+
+/// How Discover() salvages a run when structure learning hits a
+/// numerical failure (a diverging glasso sweep, a non-positive U D U^T
+/// pivot). The escalation ladder, in order:
+///   1. retry graphical lasso with a diagonal ridge grown by
+///      `ridge_multiplier` per attempt (up to `max_ridge`);
+///   2. fall back from kGraphicalLasso to kSequentialLasso;
+///   3. quarantine degenerate attributes (near-constant / all-null
+///      equality indicators) and re-run on the remainder.
+/// Every step taken is recorded in FdxResult::diagnostics. Timeouts and
+/// invalid inputs are never retried — only kNumericalError escalates.
+struct RecoveryPolicy {
+  /// Master switch; disabled reproduces the historical fail-fast
+  /// behaviour (first numerical error aborts the run).
+  bool enabled = true;
+  /// Ridge retries after the initial attempt (so N+1 glasso attempts).
+  size_t max_ridge_retries = 3;
+  /// Growth factor of the diagonal ridge between attempts.
+  double ridge_multiplier = 10.0;
+  /// Hard cap on the escalated ridge; retries stop once it is reached.
+  double max_ridge = 1e-2;
+  /// Allow step 2 (estimator fallback to sequential lasso).
+  bool allow_estimator_fallback = true;
+  /// Allow step 3 (quarantine degenerate attributes and re-run).
+  bool allow_quarantine = true;
+  /// Indicator-variance floor below which an attribute counts as
+  /// degenerate for the up-front scan and the quarantine step.
+  double degenerate_variance_floor = 1e-9;
+};
+
+/// One recovery action taken while salvaging a failing run.
+struct RecoveryEvent {
+  std::string stage;   ///< "input", "glasso", "seqlasso", "quarantine"
+  std::string action;  ///< e.g. "retry_ridge", "fallback_sequential"
+  std::string detail;  ///< human-readable context (error text, ridge)
+};
+
+/// Execution record of one Discover() run: what failed, what the
+/// recovery ladder did about it, and how long each stage took. Surfaced
+/// through eval/report rendering, the CLI's JSON output, and tests.
+struct RunDiagnostics {
+  /// Graphical-lasso attempts, including ridge retries (0 when the
+  /// sequential estimator was configured directly).
+  size_t glasso_attempts = 0;
+  /// Diagonal ridge of the successful glasso attempt (0 if none won).
+  double ridge_used = 0.0;
+  /// True when the run fell back from glasso to sequential lasso.
+  bool fallback_sequential = false;
+  /// True when degenerate attributes were quarantined and the run was
+  /// re-learned on the remainder.
+  bool quarantined = false;
+  /// Schema indices of quarantined attributes (empty rows/columns in the
+  /// returned matrices; they never participate in FDs).
+  std::vector<size_t> quarantined_attributes;
+  /// Ordered log of every recovery step taken.
+  std::vector<RecoveryEvent> events;
+  /// Stage timings (mirrors of the FdxResult fields, kept here so the
+  /// diagnostics block is self-contained when serialized).
+  double transform_seconds = 0.0;
+  double learning_seconds = 0.0;
+
+  /// True when a recovery action actually fired (retry, fallback, or
+  /// quarantine) — the result is still valid but was produced on a
+  /// degraded path worth surfacing to the operator. Purely informational
+  /// events (e.g. a degenerate attribute noted up front on an otherwise
+  /// clean run) do not count.
+  bool Degraded() const {
+    return fallback_sequential || quarantined || glasso_attempts > 1;
+  }
 };
 
 /// Options of the FDX discoverer (paper Algorithm 1).
@@ -70,6 +143,13 @@ struct FdxOptions {
   /// the hardware concurrency; `transform.threads` wins when non-zero.
   /// Discovery results are bit-identical at every thread count.
   size_t threads = 0;
+  /// Wall-clock budget for the whole Discover() call (transform +
+  /// structure learning), in seconds; non-positive means unlimited. On
+  /// expiry Discover returns Status::Timeout, matching the budget
+  /// semantics of the TANE/PYRO/RFI baselines.
+  double time_budget_seconds = 0.0;
+  /// Failure-recovery ladder for numerical errors (see RecoveryPolicy).
+  RecoveryPolicy recovery;
 };
 
 /// Full output of a discovery run, including intermediate artifacts so
@@ -83,6 +163,8 @@ struct FdxResult {
   double transform_seconds = 0.0;
   double learning_seconds = 0.0;
   size_t transform_samples = 0;
+  /// What happened during the run: retries, fallbacks, quarantines.
+  RunDiagnostics diagnostics;
 };
 
 /// FDX: FD discovery via structure learning over the pair-difference
@@ -105,6 +187,10 @@ class FdxDiscoverer {
   Result<FdxResult> DiscoverFromCovariance(const Matrix& covariance) const;
 
  private:
+  /// Shared implementation; `deadline` spans the caller's whole run.
+  Result<FdxResult> DiscoverFromCovarianceInternal(
+      const Matrix& covariance, const Deadline* deadline) const;
+
   FdxOptions options_;
 };
 

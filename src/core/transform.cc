@@ -1,6 +1,7 @@
 #include "core/transform.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 #include <utility>
 
@@ -91,8 +92,15 @@ Result<Matrix> PairTransform(const Table& table,
   const size_t per_attr =
       PairsPerAttribute(n, options.max_pairs_per_attribute);
   Matrix out(per_attr * k, k);
+  std::atomic<bool> expired{false};
   ParallelFor(0, k, options.threads, [&](size_t lo, size_t hi) {
     for (size_t attr = lo; attr < hi; ++attr) {
+      if (options.deadline != nullptr &&
+          (expired.load(std::memory_order_relaxed) ||
+           options.deadline->Expired())) {
+        expired.store(true, std::memory_order_relaxed);
+        return;
+      }
       const auto pairs =
           PairsForAttribute(encoded, shuffled, attr,
                             options.max_pairs_per_attribute, attr_seeds[attr]);
@@ -105,6 +113,9 @@ Result<Matrix> PairTransform(const Table& table,
       }
     }
   });
+  if (expired.load(std::memory_order_relaxed)) {
+    return Status::Timeout("pair transform: time budget exhausted");
+  }
   return out;
 }
 
@@ -136,6 +147,7 @@ Result<TransformedMoments> PairTransformMoments(
   std::vector<size_t> chunk_totals(num_chunks, 0);
   std::vector<Matrix> pass_cov;
   if (options.pooled_covariance) pass_cov.assign(k, Matrix());
+  std::atomic<bool> expired{false};
 
   ParallelForChunks(
       0, k, num_chunks, options.threads,
@@ -151,6 +163,12 @@ Result<TransformedMoments> PairTransformMoments(
         std::vector<size_t> ones;
         ones.reserve(k);
         for (size_t attr = lo; attr < hi; ++attr) {
+          if (options.deadline != nullptr &&
+              (expired.load(std::memory_order_relaxed) ||
+               options.deadline->Expired())) {
+            expired.store(true, std::memory_order_relaxed);
+            return;
+          }
           const auto pairs = PairsForAttribute(
               encoded, shuffled, attr, options.max_pairs_per_attribute,
               attr_seeds[attr]);
@@ -198,6 +216,10 @@ Result<TransformedMoments> PairTransformMoments(
           }
         }
       });
+
+  if (expired.load(std::memory_order_relaxed)) {
+    return Status::Timeout("pair transform: time budget exhausted");
+  }
 
   std::vector<uint64_t> counts(k, 0);
   std::vector<uint64_t> co_counts(k * k, 0);

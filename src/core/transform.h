@@ -7,6 +7,7 @@
 #include "linalg/matrix.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 
 namespace fdx {
 
@@ -35,6 +36,10 @@ struct TransformOptions {
   /// commutatively, and pooled pass covariances are reduced in attribute
   /// order.
   size_t threads = 0;
+  /// Optional wall-clock budget, polled between per-attribute passes (so
+  /// a run is over budget by at most one pass). Non-owning; expiry makes
+  /// the transform return Status::Timeout.
+  const Deadline* deadline = nullptr;
 };
 
 /// Materialized transform output: an (n_pairs x k) 0/1 sample matrix of

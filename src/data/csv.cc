@@ -2,7 +2,9 @@
 
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace fdx {
@@ -53,8 +55,10 @@ Result<Table> ParseLines(std::istream& in, const CsvOptions& options) {
   std::vector<std::string> header;
   std::vector<std::vector<Value>> rows;
   size_t width = 0;
+  size_t line_number = 0;  // 1-based, counting every physical line
   bool first = true;
   while (std::getline(in, line)) {
+    ++line_number;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() && rows.empty() && header.empty()) continue;
     std::vector<std::string> fields = SplitCsvLine(line, options.delimiter);
@@ -62,12 +66,27 @@ Result<Table> ParseLines(std::istream& in, const CsvOptions& options) {
       width = fields.size();
       first = false;
       if (options.has_header) {
+        std::unordered_set<std::string> seen;
+        for (size_t c = 0; c < fields.size(); ++c) {
+          if (fields[c].empty()) {
+            return Status::InvalidArgument(
+                "line " + std::to_string(line_number) +
+                ": empty header name in column " + std::to_string(c + 1));
+          }
+          if (!seen.insert(fields[c]).second) {
+            return Status::InvalidArgument(
+                "line " + std::to_string(line_number) +
+                ": duplicate header name '" + fields[c] + "'");
+          }
+        }
         header = std::move(fields);
         continue;
       }
     }
     if (fields.size() != width) {
-      return Status::IOError("CSV row with " + std::to_string(fields.size()) +
+      return Status::IOError("line " + std::to_string(line_number) +
+                             ": CSV row with " +
+                             std::to_string(fields.size()) +
                              " fields; expected " + std::to_string(width));
     }
     std::vector<Value> row;
@@ -90,6 +109,8 @@ Result<Table> ParseLines(std::istream& in, const CsvOptions& options) {
 }  // namespace
 
 Result<Table> ReadCsv(const std::string& path, const CsvOptions& options) {
+  FDX_INJECT_FAULT(kFaultCsvRead,
+                   Status::IOError("injected fault: csv.read " + path));
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
   return ParseLines(in, options);

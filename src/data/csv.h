@@ -20,6 +20,8 @@ struct CsvOptions {
 /// Reads a CSV file into a Table. Values are type-inferred per cell
 /// (integer, double, else string); empty fields and null tokens map to
 /// null. Quoted fields with embedded delimiters/quotes are supported.
+/// Parse errors cite the 1-based line number; duplicate or empty header
+/// names are rejected with kInvalidArgument.
 Result<Table> ReadCsv(const std::string& path, const CsvOptions& options = {});
 
 /// Parses CSV from an in-memory string (used heavily by tests).

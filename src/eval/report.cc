@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "util/string_util.h"
+
 namespace fdx {
+
+namespace {
+
+std::string AttributeLabel(const std::vector<std::string>& names,
+                           size_t index) {
+  if (index < names.size()) return names[index];
+  return "#" + std::to_string(index);
+}
+
+}  // namespace
 
 std::string ReportTable::ToString() const {
   std::vector<size_t> widths(header_.size(), 0);
@@ -41,6 +53,76 @@ double Median(std::vector<double> values) {
   const size_t mid = values.size() / 2;
   if (values.size() % 2 == 1) return values[mid];
   return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+std::string RenderRunDiagnostics(
+    const RunDiagnostics& diagnostics,
+    const std::vector<std::string>& attribute_names) {
+  if (!diagnostics.Degraded() && diagnostics.events.empty()) return "";
+  std::string out = diagnostics.Degraded()
+                        ? "Run diagnostics (degraded run):\n"
+                        : "Run diagnostics:\n";
+  if (diagnostics.glasso_attempts > 0) {
+    out += "  glasso attempts: " +
+           std::to_string(diagnostics.glasso_attempts) +
+           " (ridge used: " + FormatDouble(diagnostics.ridge_used, 8) +
+           ")\n";
+  }
+  if (diagnostics.fallback_sequential) {
+    out += "  fell back to the sequential-lasso estimator\n";
+  }
+  if (diagnostics.quarantined) {
+    out += "  quarantined attributes:";
+    for (size_t attr : diagnostics.quarantined_attributes) {
+      out += " " + AttributeLabel(attribute_names, attr);
+    }
+    out += '\n';
+  }
+  for (const RecoveryEvent& event : diagnostics.events) {
+    out += "  [" + event.stage + "] " + event.action + ": " + event.detail +
+           '\n';
+  }
+  return out;
+}
+
+void WriteRunDiagnosticsJson(JsonWriter* json,
+                             const RunDiagnostics& diagnostics,
+                             const std::vector<std::string>& attribute_names) {
+  json->BeginObject();
+  json->Key("degraded");
+  json->Bool(diagnostics.Degraded());
+  json->Key("glasso_attempts");
+  json->Integer(static_cast<int64_t>(diagnostics.glasso_attempts));
+  json->Key("ridge_used");
+  json->Number(diagnostics.ridge_used);
+  json->Key("fallback_sequential");
+  json->Bool(diagnostics.fallback_sequential);
+  json->Key("quarantined");
+  json->Bool(diagnostics.quarantined);
+  json->Key("quarantined_attributes");
+  json->BeginArray();
+  for (size_t attr : diagnostics.quarantined_attributes) {
+    json->String(AttributeLabel(attribute_names, attr));
+  }
+  json->EndArray();
+  json->Key("transform_seconds");
+  json->Number(diagnostics.transform_seconds);
+  json->Key("learning_seconds");
+  json->Number(diagnostics.learning_seconds);
+  json->Key("events");
+  json->BeginArray();
+  for (const RecoveryEvent& event : diagnostics.events) {
+    json->BeginObject();
+    json->Key("stage");
+    json->String(event.stage);
+    json->Key("action");
+    json->String(event.action);
+    json->Key("detail");
+    json->String(event.detail);
+    json->EndObject();
+  }
+  json->EndArray();
+  json->EndObject();
 }
 
 }  // namespace fdx

@@ -4,6 +4,9 @@
 #include <string>
 #include <vector>
 
+#include "core/fdx.h"
+#include "util/json_writer.h"
+
 namespace fdx {
 
 /// Fixed-width text table used by every benchmark binary to print
@@ -26,6 +29,21 @@ class ReportTable {
 /// Median of a sample; 0 for an empty one. The paper reports medians for
 /// all synthetic sweeps (§5.1 Metrics).
 double Median(std::vector<double> values);
+
+/// Renders a run's diagnostics as a short human-readable block (empty
+/// string when the run was clean, so callers can print unconditionally).
+/// `attribute_names` maps quarantined indices to names; pass an empty
+/// vector to print raw indices.
+std::string RenderRunDiagnostics(
+    const RunDiagnostics& diagnostics,
+    const std::vector<std::string>& attribute_names = {});
+
+/// Serializes the diagnostics as a JSON object value (the caller is
+/// responsible for the surrounding key). Always emitted, including for
+/// clean runs, so downstream consumers get a stable schema.
+void WriteRunDiagnosticsJson(
+    JsonWriter* json, const RunDiagnostics& diagnostics,
+    const std::vector<std::string>& attribute_names = {});
 
 }  // namespace fdx
 

@@ -57,6 +57,11 @@ RunOutcome RunMethod(MethodId method, const Table& table,
     case MethodId::kFdx: {
       FdxOptions fdx_options = config.fdx;
       if (fdx_options.threads == 0) fdx_options.threads = config.threads;
+      // FDX honors the same per-run budget as the baselines so the
+      // runtime tables compare like with like.
+      if (fdx_options.time_budget_seconds <= 0.0) {
+        fdx_options.time_budget_seconds = config.time_budget_seconds;
+      }
       FdxDiscoverer discoverer(fdx_options);
       Result<FdxResult> result = discoverer.Discover(table);
       RunOutcome outcome;
@@ -65,6 +70,7 @@ RunOutcome RunMethod(MethodId method, const Table& table,
         outcome.ok = true;
         outcome.fds = std::move(result->fds);
       } else {
+        outcome.timeout = result.status().code() == StatusCode::kTimeout;
         outcome.error = result.status().ToString();
       }
       return outcome;

@@ -37,7 +37,8 @@ struct RunnerConfig {
   /// Expected noise rate, passed to the error thresholds of TANE/PYRO
   /// (the paper sets their error hyper-parameter to the noise level).
   double expected_error = 0.01;
-  /// Wall-clock budget per run; expired runs report timeout ('-').
+  /// Wall-clock budget per run, honored by every method including FDX
+  /// (via FdxOptions::time_budget_seconds); expired runs report timeout.
   double time_budget_seconds = 60.0;
   /// FDX options (lambda, threshold, ordering, transform caps).
   FdxOptions fdx;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/fault_injection.h"
+
 namespace fdx {
 
 Result<CholeskyResult> CholeskyFactor(const Matrix& a, double min_pivot) {
@@ -57,6 +59,8 @@ Result<UdutResult> UdutFactor(const Matrix& a, double min_pivot) {
   if (n != a.cols()) {
     return Status::InvalidArgument("UDUT needs a square matrix");
   }
+  FDX_INJECT_FAULT(kFaultUdutPivot,
+                   Status::NumericalError("injected fault: udut.pivot"));
   Matrix u = Matrix::Identity(n);
   Vector d(n, 0.0);
   // Eliminate from the last column backwards: for i <= j,

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "linalg/lasso.h"
+#include "util/fault_injection.h"
 
 namespace fdx {
 
@@ -46,12 +47,21 @@ Result<GlassoResult> GraphicalLasso(const Matrix& s,
   lasso_options.lambda = options.lambda;
   lasso_options.max_iterations = options.lasso_max_iterations;
   lasso_options.tolerance = options.lasso_tolerance;
+  lasso_options.deadline = options.deadline;
 
   Matrix q(k - 1, k - 1);
   Vector c(k - 1, 0.0);
   std::vector<size_t> rest(k - 1);
 
   for (size_t sweep = 0; sweep < options.max_iterations; ++sweep) {
+    if (options.deadline != nullptr && options.deadline->Expired()) {
+      return Status::Timeout("glasso: time budget exhausted after " +
+                             std::to_string(sweep) + " sweeps");
+    }
+    FDX_INJECT_FAULT(
+        kFaultGlassoSweep,
+        Status::NumericalError("injected fault: glasso.sweep " +
+                               std::to_string(sweep)));
     double total_change = 0.0;
     for (size_t j = 0; j < k; ++j) {
       size_t pos = 0;

@@ -5,6 +5,7 @@
 
 #include "linalg/matrix.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 
 namespace fdx {
 
@@ -24,6 +25,11 @@ struct GlassoOptions {
   /// Inner lasso iteration cap.
   size_t lasso_max_iterations = 500;
   double lasso_tolerance = 1e-6;
+  /// Optional wall-clock budget, polled once per block sweep and inside
+  /// the inner lasso. Non-owning; the pointed-to deadline must outlive
+  /// the call. When it expires the estimator returns Status::Timeout,
+  /// matching the budget semantics of the TANE/PYRO/RFI baselines.
+  const Deadline* deadline = nullptr;
 };
 
 /// Output of the graphical lasso: the estimated covariance W and the

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/fault_injection.h"
+
 namespace fdx {
 
 double SoftThreshold(double x, double threshold) {
@@ -16,6 +18,8 @@ Status SolveQuadraticLasso(const Matrix& q, const Vector& c,
   if (q.cols() != p || c.size() != p) {
     return Status::InvalidArgument("lasso dimension mismatch");
   }
+  FDX_INJECT_FAULT(kFaultLassoSolve,
+                   Status::NumericalError("injected fault: lasso.solve"));
   if (beta->size() != p) beta->assign(p, 0.0);
 
   // Maintain the gradient residual r_l = c_l - sum_m Q(l, m) beta_m
@@ -23,6 +27,13 @@ Status SolveQuadraticLasso(const Matrix& q, const Vector& c,
   // coefficients actually move.
   Vector qbeta = q.MultiplyVector(*beta);
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Amortize the clock read: one poll every 8 coordinate passes keeps
+    // the budget honored within milliseconds without touching the hot
+    // loop's throughput.
+    if (options.deadline != nullptr && (iter & 7u) == 0 &&
+        options.deadline->Expired()) {
+      return Status::Timeout("lasso: time budget exhausted");
+    }
     double max_delta = 0.0;
     for (size_t l = 0; l < p; ++l) {
       const double q_ll = q(l, l);

@@ -5,6 +5,7 @@
 
 #include "linalg/matrix.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 
 namespace fdx {
 
@@ -13,6 +14,9 @@ struct LassoOptions {
   double lambda = 0.1;       ///< L1 penalty weight.
   size_t max_iterations = 1000;
   double tolerance = 1e-6;   ///< Max coordinate update to declare converged.
+  /// Optional wall-clock budget, polled every few coordinate passes (the
+  /// check costs a clock read, so it is amortized). Non-owning.
+  const Deadline* deadline = nullptr;
 };
 
 /// Soft-thresholding operator S(x, t) = sign(x) * max(|x| - t, 0).

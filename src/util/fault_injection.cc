@@ -1,0 +1,185 @@
+#include "util/fault_injection.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace fdx {
+
+namespace {
+
+/// When an armed point fires.
+enum class FireMode {
+  kAlways,      ///< every visit
+  kExactVisit,  ///< the N-th visit only
+  kFromVisit,   ///< the N-th visit and every later one
+};
+
+struct FaultPoint {
+  FireMode mode = FireMode::kAlways;
+  uint64_t visit = 0;                  ///< N of the grammar (1-based)
+  std::atomic<uint64_t> visits{0};     ///< visits since arming
+};
+
+/// Registry state. The armed flag is the release-mode fast path; the map
+/// is only read or written under the mutex (armed-path performance is
+/// irrelevant — a triggered check sits next to an O(k^2) sweep).
+struct Registry {
+  std::atomic<bool> armed{false};
+  std::atomic<bool> env_checked{false};  ///< FDX_FAULTS parsed or superseded
+  std::mutex mu;
+  std::unordered_map<std::string, std::unique_ptr<FaultPoint>> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Parses one `point[:schedule]` element into the registry map. Assumes
+/// the caller holds the mutex.
+Status ParseElement(const std::string& element, Registry* registry) {
+  std::string trimmed(StripAsciiWhitespace(element));
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("FDX_FAULTS: empty fault element");
+  }
+  auto point = std::make_unique<FaultPoint>();
+  std::string name = trimmed;
+  const size_t colon = trimmed.find(':');
+  if (colon != std::string::npos) {
+    name = trimmed.substr(0, colon);
+    std::string schedule = trimmed.substr(colon + 1);
+    if (name.empty() || schedule.empty()) {
+      return Status::InvalidArgument("FDX_FAULTS: malformed element '" +
+                                     trimmed + "'");
+    }
+    if (schedule != "*") {
+      if (schedule.back() == '+') {
+        point->mode = FireMode::kFromVisit;
+        schedule.pop_back();
+      } else {
+        point->mode = FireMode::kExactVisit;
+      }
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(schedule.c_str(), &end, 10);
+      if (schedule.empty() || end == nullptr || *end != '\0' || n == 0) {
+        return Status::InvalidArgument(
+            "FDX_FAULTS: schedule must be *, N, or N+ in '" + trimmed + "'");
+      }
+      point->visit = n;
+    }
+  }
+  registry->points[name] = std::move(point);
+  return Status::OK();
+}
+
+Status ArmLocked(const std::string& spec, Registry* registry) {
+  registry->points.clear();
+  registry->armed.store(false, std::memory_order_release);
+  std::string trimmed(StripAsciiWhitespace(spec));
+  if (trimmed.empty()) return Status::OK();
+  size_t start = 0;
+  while (start <= trimmed.size()) {
+    const size_t comma = trimmed.find(',', start);
+    const size_t end = comma == std::string::npos ? trimmed.size() : comma;
+    Status parsed = ParseElement(trimmed.substr(start, end - start), registry);
+    if (!parsed.ok()) {
+      registry->points.clear();
+      return parsed;
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  registry->armed.store(!registry->points.empty(),
+                        std::memory_order_release);
+  return Status::OK();
+}
+
+/// Arms from the FDX_FAULTS environment variable exactly once, unless a
+/// programmatic ArmFaults/DisarmFaults call already took ownership. A
+/// malformed env spec is ignored (a fault-injection knob must never turn
+/// into a crash of its own).
+void MaybeArmFromEnv(Registry* registry) {
+  if (registry->env_checked.load(std::memory_order_acquire)) return;
+  const char* spec = std::getenv("FDX_FAULTS");
+  if (spec != nullptr && spec[0] != '\0') (void)ArmLocked(spec, registry);
+  registry->env_checked.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+Status ArmFaults(const std::string& spec) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  // Programmatic arming supersedes the environment.
+  registry.env_checked.store(true, std::memory_order_release);
+  return ArmLocked(spec, &registry);
+}
+
+void DisarmFaults() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.env_checked.store(true, std::memory_order_release);
+  registry.points.clear();
+  registry.armed.store(false, std::memory_order_release);
+}
+
+bool FaultsArmed() {
+  Registry& registry = GetRegistry();
+  if (registry.armed.load(std::memory_order_acquire)) return true;
+  if (registry.env_checked.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(registry.mu);
+  MaybeArmFromEnv(&registry);
+  return registry.armed.load(std::memory_order_acquire);
+}
+
+bool FaultTriggered(const char* point) {
+  Registry& registry = GetRegistry();
+  // Fast path: nothing armed and the environment already consulted —
+  // a single relaxed/acquire load pair, no locking.
+  if (!registry.armed.load(std::memory_order_acquire)) {
+    if (registry.env_checked.load(std::memory_order_acquire)) return false;
+    std::lock_guard<std::mutex> lock(registry.mu);
+    MaybeArmFromEnv(&registry);
+    if (!registry.armed.load(std::memory_order_acquire)) return false;
+  }
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(point);
+  if (it == registry.points.end()) return false;
+  FaultPoint& fault = *it->second;
+  const uint64_t visit =
+      fault.visits.fetch_add(1, std::memory_order_relaxed) + 1;
+  switch (fault.mode) {
+    case FireMode::kAlways:
+      return true;
+    case FireMode::kExactVisit:
+      return visit == fault.visit;
+    case FireMode::kFromVisit:
+      return visit >= fault.visit;
+  }
+  return false;
+}
+
+uint64_t FaultVisits(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(point);
+  if (it == registry.points.end()) return 0;
+  return it->second->visits.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> ArmedFaultPoints() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.points.size());
+  for (const auto& [name, point] : registry.points) names.push_back(name);
+  return names;
+}
+
+}  // namespace fdx

@@ -64,6 +64,34 @@ TEST(CsvTest, RaggedRowFails) {
   EXPECT_FALSE(ParseCsv("a,b\n1,2,3\n").ok());
 }
 
+TEST(CsvTest, RaggedRowErrorNamesLine) {
+  auto table = ParseCsv("a,b\n1,2\n3\n");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kIOError);
+  EXPECT_NE(table.status().message().find("line 3"), std::string::npos)
+      << table.status().message();
+}
+
+TEST(CsvTest, DuplicateHeaderRejected) {
+  auto table = ParseCsv("a,b,a\n1,2,3\n");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(table.status().message().find("'a'"), std::string::npos);
+}
+
+TEST(CsvTest, EmptyHeaderRejected) {
+  auto table = ParseCsv("a,,c\n1,2,3\n");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(table.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(CsvTest, HeaderlessInputSkipsHeaderValidation) {
+  CsvOptions options;
+  options.has_header = false;
+  EXPECT_TRUE(ParseCsv("1,2\n3,4\n", options).ok());
+}
+
 TEST(CsvTest, MissingFileFails) {
   EXPECT_FALSE(ReadCsv("/nonexistent/path/file.csv").ok());
 }

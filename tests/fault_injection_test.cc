@@ -1,0 +1,113 @@
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "data/csv.h"
+
+namespace fdx {
+namespace {
+
+/// Every test disarms on exit so state never leaks across cases.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { DisarmFaults(); }
+};
+
+// Must run first in this binary: the FDX_FAULTS environment variable is
+// only consulted until the first programmatic ArmFaults/DisarmFaults
+// call supersedes it.
+TEST_F(FaultInjectionTest, AEnvSpecIsArmedLazily) {
+  ASSERT_EQ(setenv("FDX_FAULTS", "env.point:2", 1), 0);
+  EXPECT_TRUE(FaultsArmed());
+  EXPECT_FALSE(FaultTriggered("env.point"));  // visit 1
+  EXPECT_TRUE(FaultTriggered("env.point"));   // visit 2
+  EXPECT_FALSE(FaultTriggered("env.point"));  // visit 3
+  ASSERT_EQ(unsetenv("FDX_FAULTS"), 0);
+  DisarmFaults();
+  EXPECT_FALSE(FaultsArmed());
+}
+
+TEST_F(FaultInjectionTest, UnarmedNeverTriggers) {
+  DisarmFaults();
+  EXPECT_FALSE(FaultsArmed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(FaultTriggered("glasso.sweep"));
+  }
+  EXPECT_EQ(FaultVisits("glasso.sweep"), 0u);
+}
+
+TEST_F(FaultInjectionTest, AlwaysFires) {
+  ASSERT_TRUE(ArmFaults("p").ok());
+  EXPECT_TRUE(FaultTriggered("p"));
+  EXPECT_TRUE(FaultTriggered("p"));
+  EXPECT_FALSE(FaultTriggered("q"));  // unarmed point
+}
+
+TEST_F(FaultInjectionTest, StarIsAlways) {
+  ASSERT_TRUE(ArmFaults("p:*").ok());
+  EXPECT_TRUE(FaultTriggered("p"));
+  EXPECT_TRUE(FaultTriggered("p"));
+}
+
+TEST_F(FaultInjectionTest, ExactVisitFiresOnce) {
+  ASSERT_TRUE(ArmFaults("p:3").ok());
+  EXPECT_FALSE(FaultTriggered("p"));
+  EXPECT_FALSE(FaultTriggered("p"));
+  EXPECT_TRUE(FaultTriggered("p"));
+  EXPECT_FALSE(FaultTriggered("p"));
+  EXPECT_EQ(FaultVisits("p"), 4u);
+}
+
+TEST_F(FaultInjectionTest, FromVisitFiresFromThenOn) {
+  ASSERT_TRUE(ArmFaults("p:2+").ok());
+  EXPECT_FALSE(FaultTriggered("p"));
+  EXPECT_TRUE(FaultTriggered("p"));
+  EXPECT_TRUE(FaultTriggered("p"));
+}
+
+TEST_F(FaultInjectionTest, CommaSeparatedSpecsAndSpaces) {
+  ASSERT_TRUE(ArmFaults(" a:1 , b , c:2+ ").ok());
+  auto points = ArmedFaultPoints();
+  EXPECT_EQ(points.size(), 3u);
+  EXPECT_TRUE(FaultTriggered("a"));
+  EXPECT_TRUE(FaultTriggered("b"));
+  EXPECT_FALSE(FaultTriggered("c"));
+  EXPECT_TRUE(FaultTriggered("c"));
+}
+
+TEST_F(FaultInjectionTest, ReArmingResetsCounters) {
+  ASSERT_TRUE(ArmFaults("p:1").ok());
+  EXPECT_TRUE(FaultTriggered("p"));
+  ASSERT_TRUE(ArmFaults("p:1").ok());
+  EXPECT_TRUE(FaultTriggered("p"));  // counter restarted
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecsRejected) {
+  EXPECT_EQ(ArmFaults("p:").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFaults(":3").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFaults("p:0").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFaults("p:abc").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFaults("p:3x").code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(FaultsArmed());  // a bad spec arms nothing
+}
+
+TEST_F(FaultInjectionTest, EmptySpecDisarms) {
+  ASSERT_TRUE(ArmFaults("p").ok());
+  ASSERT_TRUE(ArmFaults("").ok());
+  EXPECT_FALSE(FaultsArmed());
+  EXPECT_FALSE(FaultTriggered("p"));
+}
+
+TEST_F(FaultInjectionTest, CsvReadFaultPoint) {
+  ASSERT_TRUE(ArmFaults("csv.read").ok());
+  auto table = ReadCsv("/tmp/definitely-missing.csv");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kIOError);
+  EXPECT_NE(table.status().message().find("injected fault"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdx

@@ -276,6 +276,80 @@ TEST(FdxTest, HandlesMissingValues) {
   EXPECT_GT(score.f1, 0.4);
 }
 
+// --- Degenerate inputs: Discover must return a clean Status or an empty
+// result with diagnostics, never crash (paper tables only ever show
+// well-formed relations; real data is not so polite). ---
+
+TEST(FdxDegenerateTest, NoColumnsIsInvalidArgument) {
+  Table t{Schema(std::vector<std::string>{})};
+  auto result = FdxDiscoverer().Discover(t);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FdxDegenerateTest, ZeroRowsReturnsEmptyWithDiagnostics) {
+  Table t{Schema({"a", "b", "c"})};
+  auto result = FdxDiscoverer().Discover(t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->fds.empty());
+  EXPECT_EQ(result->theta.rows(), 3u);
+  EXPECT_EQ(result->ordering, (std::vector<size_t>{0, 1, 2}));
+  ASSERT_EQ(result->diagnostics.events.size(), 1u);
+  EXPECT_EQ(result->diagnostics.events[0].action, "degenerate_table");
+  EXPECT_FALSE(result->diagnostics.Degraded());
+}
+
+TEST(FdxDegenerateTest, SingleRowReturnsEmpty) {
+  Table t{Schema({"a", "b"})};
+  t.AppendRow({Value(int64_t{1}), Value(int64_t{2})});
+  auto result = FdxDiscoverer().Discover(t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->fds.empty());
+  EXPECT_EQ(result->diagnostics.events[0].action, "degenerate_table");
+}
+
+TEST(FdxDegenerateTest, SingleColumnReturnsEmpty) {
+  Table t{Schema({"only"})};
+  for (int i = 0; i < 50; ++i) t.AppendRow({Value(int64_t{i})});
+  auto result = FdxDiscoverer().Discover(t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->fds.empty());
+  EXPECT_EQ(result->ordering, (std::vector<size_t>{0}));
+}
+
+TEST(FdxDegenerateTest, AllConstantColumnsSucceedEmpty) {
+  Table t{Schema({"a", "b", "c"})};
+  for (int i = 0; i < 100; ++i) {
+    t.AppendRow({Value(int64_t{1}), Value(int64_t{2}), Value(int64_t{3})});
+  }
+  auto result = FdxDiscoverer().Discover(t);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->fds.empty());
+  // All three equality indicators are constant: flagged, not fatal.
+  ASSERT_FALSE(result->diagnostics.events.empty());
+  EXPECT_EQ(result->diagnostics.events[0].action, "degenerate_attributes");
+}
+
+TEST(FdxDegenerateTest, AllNullColumnSurvivesFullPipeline) {
+  // Nulls never compare equal, so an all-null column's indicator is
+  // constant-zero; it must not poison the other columns' structure.
+  Table t{Schema({"x", "y", "hole"})};
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t x = rng.NextInt(0, 19);
+    t.AppendRow({Value(x), Value((x * 7 + 3) % 20), Value::Null()});
+  }
+  auto result = FdxDiscoverer().Discover(t);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const auto& fd : result->fds) {
+    EXPECT_NE(fd.rhs, 2u);
+    for (size_t lhs : fd.lhs) EXPECT_NE(lhs, 2u);
+  }
+  FdScore score =
+      ScoreFdsUndirected(result->fds, {FunctionalDependency({0}, 1)});
+  EXPECT_DOUBLE_EQ(score.recall, 1.0);
+}
+
 TEST(FdxTest, TransformCapStillRecoversStructure) {
   SyntheticConfig config;
   config.num_tuples = 5000;

@@ -11,7 +11,11 @@
 //   generate --out=<csv>   emit a synthetic dataset with planted FDs
 //
 // Common flags: --format=text|json, --lambda=, --tau=, --ordering=,
-// --budget=, --tuples=, --attributes=, --noise=, --seed=, --max-pairs=.
+// --budget=, --tuples=, --attributes=, --noise=, --seed=, --max-pairs=,
+// --time-budget= (wall-clock seconds; expired runs exit 4 with a
+// Timeout status), --no-recovery (fail fast instead of retrying).
+//
+// Exit codes: 0 ok, 1 error, 2 usage, 3 validation violations, 4 timeout.
 
 #include <cstdio>
 #include <cstring>
@@ -77,9 +81,19 @@ class Args {
   std::vector<std::string> positional_;
 };
 
+/// Prints a failure status and maps it to the tool's exit code
+/// (4 for timeouts so scripts can distinguish budget expiry).
+int FailWith(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  return status.code() == StatusCode::kTimeout ? 4 : 1;
+}
+
 FdxOptions OptionsFromArgs(const Args& args) {
   FdxOptions options;
   options.lambda = args.GetDouble("lambda", options.lambda);
+  options.time_budget_seconds =
+      args.GetDouble("time-budget", options.time_budget_seconds);
+  if (args.Has("no-recovery")) options.recovery.enabled = false;
   options.sparsity_threshold =
       args.GetDouble("tau", options.sparsity_threshold);
   options.relative_threshold =
@@ -107,6 +121,10 @@ Result<Table> LoadTable(const Args& args, const std::string& path) {
 }
 
 void EmitFdsJson(const Table& table, const FdxResult& result) {
+  std::vector<std::string> attribute_names;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    attribute_names.push_back(table.schema().name(c));
+  }
   JsonWriter json;
   json.BeginObject();
   json.Key("rows");
@@ -117,6 +135,8 @@ void EmitFdsJson(const Table& table, const FdxResult& result) {
   json.Number(result.transform_seconds);
   json.Key("learning_seconds");
   json.Number(result.learning_seconds);
+  json.Key("diagnostics");
+  WriteRunDiagnosticsJson(&json, result.diagnostics, attribute_names);
   json.Key("fds");
   json.BeginArray();
   for (const auto& fd : result.fds) {
@@ -146,10 +166,7 @@ int Discover(const Args& args) {
   }
   FdxDiscoverer discoverer(OptionsFromArgs(args));
   auto result = discoverer.Discover(*table);
-  if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return 1;
-  }
+  if (!result.ok()) return FailWith(result.status());
   if (args.Get("format") == "json") {
     EmitFdsJson(*table, *result);
   } else {
@@ -158,6 +175,13 @@ int Discover(const Args& args) {
                 result->fds.size(),
                 result->transform_seconds + result->learning_seconds,
                 FdSetToString(result->fds, table->schema()).c_str());
+    std::vector<std::string> names;
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      names.push_back(table->schema().name(c));
+    }
+    const std::string diagnostics =
+        RenderRunDiagnostics(result->diagnostics, names);
+    if (!diagnostics.empty()) std::printf("\n%s", diagnostics.c_str());
   }
   return 0;
 }
@@ -174,10 +198,7 @@ int Profile(const Args& args) {
   }
   FdxDiscoverer discoverer(OptionsFromArgs(args));
   auto result = discoverer.Discover(*table);
-  if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return 1;
-  }
+  if (!result.ok()) return FailWith(result.status());
   const Schema& schema = table->schema();
   std::printf("Dependency heatmap (rows determine columns):\n\n");
   static const char kScale[] = " .:-=+*#%@";
@@ -196,6 +217,11 @@ int Profile(const Args& args) {
     std::printf("  %-50s %.4f\n", fd.ToString(schema).c_str(),
                 FdG3Error(encoded, fd));
   }
+  std::vector<std::string> names;
+  for (size_t c = 0; c < schema.size(); ++c) names.push_back(schema.name(c));
+  const std::string diagnostics =
+      RenderRunDiagnostics(result->diagnostics, names);
+  if (!diagnostics.empty()) std::printf("\n%s", diagnostics.c_str());
   return 0;
 }
 
@@ -290,6 +316,8 @@ int Compare(const Args& args) {
   config.time_budget_seconds = args.GetDouble("budget", 30.0);
   config.expected_error = args.GetDouble("error", 0.01);
   config.fdx = OptionsFromArgs(args);
+  std::printf("time budget: %s s per method\n\n",
+              FormatDouble(config.time_budget_seconds, 1).c_str());
   ReportTable report({"method", "time (s)", "# FDs", "status"});
   for (MethodId method : AllMethods()) {
     RunOutcome outcome = RunMethod(method, *table, config);
@@ -315,10 +343,7 @@ int Report(const Args& args) {
   ProfilerOptions options;
   options.fdx = OptionsFromArgs(args);
   auto profile = ProfileTable(*table, options);
-  if (!profile.ok()) {
-    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
-    return 1;
-  }
+  if (!profile.ok()) return FailWith(profile.status());
   std::printf("%s", RenderProfile(*profile, table->schema()).c_str());
   return 0;
 }
@@ -496,7 +521,12 @@ int Usage() {
       "  compare <csv>                     run all methods\n"
       "  rank <csv>                        score unary AFD candidates\n"
       "  cfd <csv>                         constant conditional FDs\n"
-      "  generate --out=<csv>              synthetic data generator\n");
+      "  generate --out=<csv>              synthetic data generator\n\n"
+      "robustness flags:\n"
+      "  --time-budget=S   wall-clock budget in seconds; expired runs\n"
+      "                    exit 4 with a Timeout status\n"
+      "  --no-recovery     fail fast on numerical errors instead of\n"
+      "                    retrying with ridge escalation / fallback\n");
   return 2;
 }
 
