@@ -242,6 +242,15 @@ Result<FdxResult> FdxDiscoverer::DiscoverFromCovariance(
   return DiscoverFromCovarianceInternal(covariance, &deadline);
 }
 
+Result<FdxResult> FdxDiscoverer::DiscoverFromCovariance(
+    const Matrix& covariance, const Deadline* deadline) const {
+  if (deadline == nullptr) {
+    const Deadline unlimited = Deadline::Unlimited();
+    return DiscoverFromCovarianceInternal(covariance, &unlimited);
+  }
+  return DiscoverFromCovarianceInternal(covariance, deadline);
+}
+
 Result<FdxResult> FdxDiscoverer::DiscoverFromCovarianceInternal(
     const Matrix& covariance, const Deadline* deadline) const {
   Stopwatch watch;

@@ -186,6 +186,12 @@ class FdxDiscoverer {
   /// covariance (used by ablations that bypass the pair transform).
   Result<FdxResult> DiscoverFromCovariance(const Matrix& covariance) const;
 
+  /// Same, under a caller-owned deadline that may already cover earlier
+  /// work (IncrementalFdx charges its covariance assembly against the
+  /// same budget). A null deadline means unlimited.
+  Result<FdxResult> DiscoverFromCovariance(const Matrix& covariance,
+                                           const Deadline* deadline) const;
+
  private:
   /// Shared implementation; `deadline` spans the caller's whole run.
   Result<FdxResult> DiscoverFromCovarianceInternal(

@@ -20,10 +20,18 @@ Status IncrementalFdx::Append(const Table& batch) {
     return Status::InvalidArgument("batch needs at least two rows");
   }
   // Per-batch pair transform; distinct seeds decorrelate the shuffles
-  // across batches.
+  // across batches. The time budget applies per Append call — moments
+  // are only merged after the transform succeeded in full, so a timed-
+  // out append leaves the session consistent.
+  const Deadline deadline(options_.time_budget_seconds);
   TransformOptions transform = options_.transform;
-  transform.seed = next_batch_seed_++;
+  transform.seed = next_batch_seed_;
+  if (transform.threads == 0) transform.threads = options_.threads;
+  if (transform.deadline == nullptr && options_.time_budget_seconds > 0.0) {
+    transform.deadline = &deadline;
+  }
   FDX_ASSIGN_OR_RETURN(Matrix samples, PairTransform(batch, transform));
+  ++next_batch_seed_;
   for (size_t row = 0; row < samples.rows(); ++row) {
     const double* values = samples.RowPtr(row);
     for (size_t x = 0; x < k; ++x) {
@@ -36,6 +44,7 @@ Status IncrementalFdx::Append(const Table& batch) {
   }
   total_samples_ += samples.rows();
   total_rows_ += batch.num_rows();
+  ++total_batches_;
   return Status::OK();
 }
 
@@ -61,10 +70,19 @@ Result<Matrix> IncrementalFdx::CurrentCovariance() const {
 }
 
 Result<FdxResult> IncrementalFdx::CurrentFds() const {
+  // One deadline spans the O(k^2) covariance assembly and the whole
+  // structure-learning solve, so the budget semantics match the batch
+  // Discover() path; the solve itself runs through the same recovery
+  // ladder (ridge escalation -> sequential fallback -> quarantine).
+  const Deadline deadline(options_.time_budget_seconds);
   FDX_ASSIGN_OR_RETURN(Matrix cov, CurrentCovariance());
+  if (deadline.Expired()) {
+    return Status::Timeout(
+        "incremental fdx: time budget exhausted assembling covariance");
+  }
   FdxDiscoverer discoverer(options_);
   FDX_ASSIGN_OR_RETURN(FdxResult result,
-                       discoverer.DiscoverFromCovariance(cov));
+                       discoverer.DiscoverFromCovariance(cov, &deadline));
   result.transform_samples = total_samples_;
   return result;
 }

@@ -27,15 +27,24 @@ class IncrementalFdx {
   explicit IncrementalFdx(Schema schema, FdxOptions options = {});
 
   const Schema& schema() const { return schema_; }
+  const FdxOptions& options() const { return options_; }
   size_t total_rows() const { return total_rows_; }
   size_t total_samples() const { return total_samples_; }
+  size_t total_batches() const { return total_batches_; }
 
   /// Accumulates one batch. The batch must match the schema width and
   /// contain at least two rows (a single row forms no pair).
+  /// `options.time_budget_seconds` caps the batch's pair transform; an
+  /// expired budget returns Status::Timeout and leaves the accumulated
+  /// moments untouched.
   Status Append(const Table& batch);
 
   /// Runs structure learning on the accumulated moments and returns the
-  /// current FD estimate. Requires at least one appended batch.
+  /// current FD estimate. Requires at least one appended batch. Honors
+  /// `options.time_budget_seconds` across the covariance assembly and
+  /// the whole solve, and walks the same recovery ladder as the batch
+  /// discoverer (ridge escalation -> sequential fallback -> quarantine),
+  /// surfacing what happened in FdxResult::diagnostics.
   Result<FdxResult> CurrentFds() const;
 
   /// The accumulated covariance (for diagnostics / tests).
@@ -46,6 +55,7 @@ class IncrementalFdx {
   FdxOptions options_;
   size_t total_rows_ = 0;
   size_t total_samples_ = 0;
+  size_t total_batches_ = 0;
   uint64_t next_batch_seed_ = 0;
   std::vector<uint64_t> ones_;       ///< per-column indicator sums
   std::vector<uint64_t> co_counts_;  ///< upper-triangular co-occurrences

@@ -111,14 +111,22 @@ Result<Table> ParseLines(std::istream& in, const CsvOptions& options) {
 Result<Table> ReadCsv(const std::string& path, const CsvOptions& options) {
   FDX_INJECT_FAULT(kFaultCsvRead,
                    Status::IOError("injected fault: csv.read " + path));
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) return Status::IOError("error while reading " + path);
+  return ReadCsvFromString(contents.str(), options);
+}
+
+Result<Table> ReadCsvFromString(const std::string& text,
+                                const CsvOptions& options) {
+  std::istringstream in(text);
   return ParseLines(in, options);
 }
 
 Result<Table> ParseCsv(const std::string& text, const CsvOptions& options) {
-  std::istringstream in(text);
-  return ParseLines(in, options);
+  return ReadCsvFromString(text, options);
 }
 
 Status WriteCsv(const Table& table, const std::string& path,

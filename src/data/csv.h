@@ -21,10 +21,17 @@ struct CsvOptions {
 /// (integer, double, else string); empty fields and null tokens map to
 /// null. Quoted fields with embedded delimiters/quotes are supported.
 /// Parse errors cite the 1-based line number; duplicate or empty header
-/// names are rejected with kInvalidArgument.
+/// names are rejected with kInvalidArgument. Implemented as "read the
+/// file, then ReadCsvFromString" so the two paths can never diverge.
 Result<Table> ReadCsv(const std::string& path, const CsvOptions& options = {});
 
-/// Parses CSV from an in-memory string (used heavily by tests).
+/// Parses CSV from an in-memory buffer — the server's ingestion path for
+/// uploaded batches (no temp files), with the same type inference, null
+/// handling, and 1-based line numbers in error messages as ReadCsv.
+Result<Table> ReadCsvFromString(const std::string& text,
+                                const CsvOptions& options = {});
+
+/// Historical alias of ReadCsvFromString (used heavily by tests).
 Result<Table> ParseCsv(const std::string& text, const CsvOptions& options = {});
 
 /// Writes a table as CSV with a header row.

@@ -87,7 +87,8 @@ std::string RenderRunDiagnostics(
 
 void WriteRunDiagnosticsJson(JsonWriter* json,
                              const RunDiagnostics& diagnostics,
-                             const std::vector<std::string>& attribute_names) {
+                             const std::vector<std::string>& attribute_names,
+                             bool include_timings) {
   json->BeginObject();
   json->Key("degraded");
   json->Bool(diagnostics.Degraded());
@@ -105,10 +106,12 @@ void WriteRunDiagnosticsJson(JsonWriter* json,
     json->String(AttributeLabel(attribute_names, attr));
   }
   json->EndArray();
-  json->Key("transform_seconds");
-  json->Number(diagnostics.transform_seconds);
-  json->Key("learning_seconds");
-  json->Number(diagnostics.learning_seconds);
+  if (include_timings) {
+    json->Key("transform_seconds");
+    json->Number(diagnostics.transform_seconds);
+    json->Key("learning_seconds");
+    json->Number(diagnostics.learning_seconds);
+  }
   json->Key("events");
   json->BeginArray();
   for (const RecoveryEvent& event : diagnostics.events) {

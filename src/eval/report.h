@@ -40,10 +40,15 @@ std::string RenderRunDiagnostics(
 
 /// Serializes the diagnostics as a JSON object value (the caller is
 /// responsible for the surrounding key). Always emitted, including for
-/// clean runs, so downstream consumers get a stable schema.
+/// clean runs, so downstream consumers get a stable schema. Pass
+/// `include_timings = false` to drop the wall-clock fields — the
+/// service's result cache requires byte-identical responses for
+/// identical (data, options), and stage timings are the one
+/// non-deterministic part of a diagnostics block.
 void WriteRunDiagnosticsJson(
     JsonWriter* json, const RunDiagnostics& diagnostics,
-    const std::vector<std::string>& attribute_names = {});
+    const std::vector<std::string>& attribute_names = {},
+    bool include_timings = true);
 
 }  // namespace fdx
 

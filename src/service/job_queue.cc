@@ -1,0 +1,67 @@
+#include "service/job_queue.h"
+
+#include <chrono>
+#include <utility>
+
+namespace fdx {
+
+JobQueue::JobQueue(size_t workers, size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      pool_(workers == 0 ? 1 : workers) {}
+
+JobQueue::~JobQueue() {
+  Drain(0.0);
+  // ~ThreadPool (run after this body) finishes anything still queued;
+  // Drain above already waited for it, so the teardown is quiet.
+}
+
+Status JobQueue::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("job queue draining; not accepting work");
+    }
+    if (active_ >= capacity_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(
+          "job queue full (capacity " + std::to_string(capacity_) +
+          "); retry later");
+    }
+    ++active_;
+  }
+  pool_.Submit([this, job = std::move(job)] {
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      executed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    drained_cv_.notify_all();
+  });
+  return Status::OK();
+}
+
+void JobQueue::CloseIntake() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+}
+
+bool JobQueue::Drain(double deadline_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  closed_ = true;
+  const auto done = [this] { return active_ == 0; };
+  if (deadline_seconds <= 0.0) {
+    drained_cv_.wait(lock, done);
+    return true;
+  }
+  return drained_cv_.wait_for(
+      lock, std::chrono::duration<double>(deadline_seconds), done);
+}
+
+size_t JobQueue::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+}  // namespace fdx

@@ -1,0 +1,72 @@
+#ifndef FDX_SERVICE_JOB_QUEUE_H_
+#define FDX_SERVICE_JOB_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace fdx {
+
+/// Bounded admission control in front of a ThreadPool: at most
+/// `capacity` jobs may be admitted-but-unfinished at once; submissions
+/// beyond that are rejected immediately with kUnavailable (the HTTP-429
+/// analogue) instead of queueing without bound. `workers` of them run
+/// concurrently; the rest wait inside the pool's FIFO. This is the
+/// backpressure layer of the fdxd daemon — a saturated daemon answers
+/// "busy, retry" in microseconds rather than timing out every caller.
+class JobQueue {
+ public:
+  JobQueue(size_t workers, size_t capacity);
+
+  /// Blocks until in-flight jobs finish (Drain semantics, unbounded).
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Admits `job` for asynchronous execution, or rejects it:
+  /// kUnavailable("job queue full...") at capacity, and
+  /// kUnavailable("draining") after Drain/CloseIntake. Jobs must not
+  /// throw.
+  Status Submit(std::function<void()> job);
+
+  /// Stops admitting new jobs. Idempotent.
+  void CloseIntake();
+
+  /// CloseIntake + wait until every admitted job finished or
+  /// `deadline_seconds` elapsed (non-positive: wait forever). Returns
+  /// true when the queue fully drained.
+  bool Drain(double deadline_seconds);
+
+  size_t workers() const { return pool_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Jobs admitted and not yet finished (running or waiting).
+  size_t active() const;
+
+  uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  size_t active_ = 0;       ///< guarded by mu_
+  bool closed_ = false;     ///< guarded by mu_
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  ThreadPool pool_;  ///< declared last: destroyed first, after intake closed
+};
+
+}  // namespace fdx
+
+#endif  // FDX_SERVICE_JOB_QUEUE_H_

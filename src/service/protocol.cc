@@ -1,0 +1,256 @@
+#include "service/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/ordering.h"
+#include "eval/report.h"
+#include "util/fingerprint.h"
+#include "util/json_writer.h"
+
+namespace fdx {
+
+namespace {
+
+/// Exact, locale-free double rendering for cache keys: %.17g preserves
+/// every bit of a finite IEEE double.
+std::string ExactDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+Result<FdxOptions> ParseOptionsJson(const JsonValue& json,
+                                    const FdxOptions& base) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("options must be a JSON object");
+  }
+  FdxOptions options = base;
+  for (const auto& [key, value] : json.members()) {
+    if (key == "estimator") {
+      const std::string name =
+          value.is_string() ? value.string_value() : std::string();
+      if (name == "glasso") {
+        options.estimator = StructureEstimator::kGraphicalLasso;
+      } else if (name == "seqlasso") {
+        options.estimator = StructureEstimator::kSequentialLasso;
+      } else {
+        return Status::InvalidArgument(
+            "options.estimator must be \"glasso\" or \"seqlasso\"");
+      }
+    } else if (key == "lambda" && value.is_number()) {
+      options.lambda = value.number_value();
+    } else if (key == "tau" && value.is_number()) {
+      options.sparsity_threshold = value.number_value();
+    } else if (key == "relative_threshold" && value.is_number()) {
+      options.relative_threshold = value.number_value();
+    } else if (key == "minimum_column_weight" && value.is_number()) {
+      options.minimum_column_weight = value.number_value();
+    } else if (key == "normalize" && value.is_bool()) {
+      options.normalize_covariance = value.bool_value();
+    } else if (key == "ordering" && value.is_string()) {
+      FDX_ASSIGN_OR_RETURN(options.ordering,
+                           ParseOrderingMethod(value.string_value()));
+    } else if (key == "seed" && value.is_number()) {
+      options.transform.seed =
+          static_cast<uint64_t>(value.number_value());
+    } else if (key == "max_pairs" && value.is_number()) {
+      options.transform.max_pairs_per_attribute =
+          static_cast<size_t>(value.number_value());
+    } else if (key == "pooled_covariance" && value.is_bool()) {
+      options.transform.pooled_covariance = value.bool_value();
+    } else if (key == "time_budget_seconds" && value.is_number()) {
+      options.time_budget_seconds = value.number_value();
+    } else if (key == "threads" && value.is_number()) {
+      options.threads = static_cast<size_t>(value.number_value());
+    } else if (key == "recovery" && value.is_bool()) {
+      options.recovery.enabled = value.bool_value();
+    } else {
+      return Status::InvalidArgument("unknown or mistyped option \"" + key +
+                                     "\"");
+    }
+  }
+  return options;
+}
+
+std::string CanonicalOptionsKey(const FdxOptions& o) {
+  // Fixed field order; every result-affecting knob, including the ones
+  // the protocol cannot set yet — adding a knob without extending this
+  // key would poison the cache.
+  std::string key;
+  key += "est=" + std::to_string(static_cast<int>(o.estimator));
+  key += ";lam=" + ExactDouble(o.lambda);
+  key += ";tau=" + ExactDouble(o.sparsity_threshold);
+  key += ";rel=" + ExactDouble(o.relative_threshold);
+  key += ";floor=" + ExactDouble(o.minimum_column_weight);
+  key += ";zero=" + ExactDouble(o.zero_tolerance);
+  key += ";norm=" + std::to_string(o.normalize_covariance ? 1 : 0);
+  key += ";ord=" + OrderingMethodName(o.ordering);
+  key += ";seed=" + std::to_string(o.transform.seed);
+  key += ";pairs=" + std::to_string(o.transform.max_pairs_per_attribute);
+  key += ";pooled=" + std::to_string(o.transform.pooled_covariance ? 1 : 0);
+  key += ";glam=" + ExactDouble(o.glasso.lambda);
+  key += ";giter=" + std::to_string(o.glasso.max_iterations);
+  key += ";gtol=" + ExactDouble(o.glasso.tolerance);
+  key += ";gridge=" + ExactDouble(o.glasso.diagonal_ridge);
+  key += ";gliter=" + std::to_string(o.glasso.lasso_max_iterations);
+  key += ";gltol=" + ExactDouble(o.glasso.lasso_tolerance);
+  key += ";rec=" + std::to_string(o.recovery.enabled ? 1 : 0);
+  key += ";rretry=" + std::to_string(o.recovery.max_ridge_retries);
+  key += ";rmul=" + ExactDouble(o.recovery.ridge_multiplier);
+  key += ";rmax=" + ExactDouble(o.recovery.max_ridge);
+  key += ";rfall=" +
+         std::to_string(o.recovery.allow_estimator_fallback ? 1 : 0);
+  key += ";rquar=" + std::to_string(o.recovery.allow_quarantine ? 1 : 0);
+  key += ";rvar=" + ExactDouble(o.recovery.degenerate_variance_floor);
+  // Excluded on purpose: threads (bit-identical results at any count,
+  // DESIGN.md section 7) and time_budget_seconds (bounds wall-clock,
+  // never changes the bytes of a run that finishes).
+  return key;
+}
+
+std::string FingerprintTable(const Table& table) {
+  Fingerprint fp;
+  fp.UpdateString("tbl");
+  UpdateTableFingerprint(&fp, table);
+  return fp.Hex();
+}
+
+void UpdateTableFingerprint(Fingerprint* out, const Table& table) {
+  Fingerprint& fp = *out;
+  fp.UpdateU64(table.num_rows());
+  fp.UpdateU64(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    fp.UpdateString(table.schema().name(c));
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const Value& cell = table.cell(r, c);
+      switch (cell.type()) {
+        case ValueType::kNull:
+          fp.UpdateU64(0);
+          break;
+        case ValueType::kInt:
+          fp.UpdateU64(1);
+          fp.UpdateU64(static_cast<uint64_t>(cell.AsInt()));
+          break;
+        case ValueType::kDouble:
+          fp.UpdateU64(2);
+          fp.UpdateDouble(cell.AsDouble());
+          break;
+        case ValueType::kString:
+          fp.UpdateU64(3);
+          fp.UpdateString(cell.AsString());
+          break;
+      }
+    }
+  }
+}
+
+Result<Value> JsonCellToValue(const JsonValue& cell) {
+  switch (cell.kind()) {
+    case JsonValue::Kind::kNull:
+      return Value::Null();
+    case JsonValue::Kind::kNumber: {
+      const double number = cell.number_value();
+      const double rounded = std::nearbyint(number);
+      if (number == rounded && std::fabs(number) < 9.0e15) {
+        return Value(static_cast<int64_t>(rounded));
+      }
+      return Value(number);
+    }
+    case JsonValue::Kind::kString:
+      return Value::Parse(cell.string_value());
+    default:
+      return Status::InvalidArgument(
+          "row cells must be null, a number, or a string");
+  }
+}
+
+std::string RenderDiscoverResponse(const Schema& schema, size_t rows,
+                                   const FdxResult& result) {
+  std::vector<std::string> names;
+  names.reserve(schema.size());
+  for (size_t c = 0; c < schema.size(); ++c) names.push_back(schema.name(c));
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok");
+  json.Bool(true);
+  json.Key("op");
+  json.String("discover");
+  json.Key("rows");
+  json.Integer(static_cast<int64_t>(rows));
+  json.Key("columns");
+  json.Integer(static_cast<int64_t>(schema.size()));
+  json.Key("samples");
+  json.Integer(static_cast<int64_t>(result.transform_samples));
+  json.Key("fds");
+  json.BeginArray();
+  for (const auto& fd : result.fds) {
+    json.BeginObject();
+    json.Key("lhs");
+    json.BeginArray();
+    for (size_t a : fd.lhs) json.String(schema.name(a));
+    json.EndArray();
+    json.Key("rhs");
+    json.String(schema.name(fd.rhs));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("diagnostics");
+  // Timings excluded: this payload is cached and must be bit-identical
+  // to a fresh run on the same (data, options).
+  WriteRunDiagnosticsJson(&json, result.diagnostics, names,
+                          /*include_timings=*/false);
+  json.EndObject();
+  return json.TakeString();
+}
+
+std::string StatusCodeName(StatusCode code) {
+  // Mirrors Status::ToString's names; kOk never reaches the wire.
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kNumericalError:
+      return "NumericalError";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+  }
+  return "Unknown";
+}
+
+std::string RenderErrorResponse(const std::string& op, const Status& status) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok");
+  json.Bool(false);
+  json.Key("op");
+  json.String(op);
+  json.Key("error");
+  json.BeginObject();
+  json.Key("code");
+  json.String(StatusCodeName(status.code()));
+  json.Key("message");
+  json.String(status.message());
+  json.EndObject();
+  if (status.code() == StatusCode::kUnavailable) {
+    json.Key("retry");
+    json.Bool(true);
+  }
+  json.EndObject();
+  return json.TakeString();
+}
+
+}  // namespace fdx

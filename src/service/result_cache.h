@@ -1,0 +1,57 @@
+#ifndef FDX_SERVICE_RESULT_CACHE_H_
+#define FDX_SERVICE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace fdx {
+
+/// LRU cache of serialized discovery responses, keyed by
+/// "(dataset content fingerprint)|(canonical options key)". The cached
+/// value is the exact response line a fresh run would produce (the
+/// discover renderer is deterministic and timing-free), so a hit is
+/// replayed byte-for-byte — extending the determinism contract of
+/// DESIGN.md section 7 across the service boundary. Thread-safe.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity);
+
+  /// Copies the payload for `key` into `*payload` and returns true on a
+  /// hit (bumping the entry to most-recently-used). Counts hit/miss.
+  bool Lookup(const std::string& key, std::string* payload);
+
+  /// Inserts or refreshes an entry, evicting the least-recently-used
+  /// one beyond capacity. Concurrent inserts of the same key are
+  /// harmless: both producers computed bit-identical payloads.
+  void Insert(const std::string& key, std::string payload);
+
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Entry = std::pair<std::string, std::string>;  ///< key, payload
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace fdx
+
+#endif  // FDX_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,539 @@
+#include "service/server.h"
+
+#include <chrono>
+#include <future>
+#include <set>
+#include <utility>
+
+#include "data/csv.h"
+#include "service/json_parser.h"
+#include "service/protocol.h"
+#include "util/fault_injection.h"
+#include "util/json_writer.h"
+
+namespace fdx {
+
+namespace {
+
+/// Builds a Table from an inline JSON row block: `rows` is an array of
+/// arrays whose cells are null / number / string. `schema` is the
+/// authoritative width.
+Result<Table> RowsToTable(const Schema& schema, const JsonValue& rows) {
+  if (!rows.is_array()) {
+    return Status::InvalidArgument("\"rows\" must be an array of arrays");
+  }
+  Table table(schema);
+  for (size_t r = 0; r < rows.array().size(); ++r) {
+    const JsonValue& row = rows.array()[r];
+    if (!row.is_array() || row.array().size() != schema.size()) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(r) + " must be an array of " +
+          std::to_string(schema.size()) + " cells");
+    }
+    std::vector<Value> cells;
+    cells.reserve(schema.size());
+    for (const JsonValue& cell : row.array()) {
+      FDX_ASSIGN_OR_RETURN(Value value, JsonCellToValue(cell));
+      cells.push_back(std::move(value));
+    }
+    table.AppendRow(std::move(cells));
+  }
+  return table;
+}
+
+/// Decodes a request's `schema` member (non-empty array of unique,
+/// non-empty strings).
+Result<Schema> ParseSchemaJson(const JsonValue& schema_json) {
+  if (!schema_json.is_array() || schema_json.array().empty()) {
+    return Status::InvalidArgument(
+        "\"schema\" must be a non-empty array of column names");
+  }
+  std::vector<std::string> names;
+  std::set<std::string> seen;
+  names.reserve(schema_json.array().size());
+  for (const JsonValue& name : schema_json.array()) {
+    if (!name.is_string() || name.string_value().empty()) {
+      return Status::InvalidArgument("schema names must be non-empty strings");
+    }
+    if (!seen.insert(name.string_value()).second) {
+      return Status::InvalidArgument("duplicate schema name \"" +
+                                     name.string_value() + "\"");
+    }
+    names.push_back(name.string_value());
+  }
+  return Schema(std::move(names));
+}
+
+}  // namespace
+
+FdxServer::FdxServer(ServerOptions options) : options_(std::move(options)) {}
+
+FdxServer::~FdxServer() { Shutdown(); }
+
+Status FdxServer::Start() {
+  FDX_ASSIGN_OR_RETURN(listener_, ListenSocket::BindLoopback(options_.port));
+  port_ = listener_.port();
+  queue_ = std::make_unique<JobQueue>(options_.workers, options_.queue_capacity);
+  cache_ = std::make_unique<ResultCache>(options_.cache_capacity);
+  sessions_ = std::make_unique<SessionRegistry>(options_.max_sessions,
+                                                options_.session_ttl_seconds);
+  uptime_.Reset();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    accepting_ = true;
+  }
+  accept_thread_ = std::thread(&FdxServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void FdxServer::AcceptLoop() {
+  while (true) {
+    Result<Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) break;  // listener shut down
+    if (FaultTriggered(kFaultServiceAccept)) {
+      // Drop the connection on the floor: the client sees EOF and the
+      // next connect succeeds — the transient-network failure mode.
+      accept_faults_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!accepting_) continue;  // teardown raced this accept; drop it
+    const uint64_t id = next_conn_id_++;
+    conn_sockets_[id] =
+        std::make_shared<Socket>(std::move(accepted).value());
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    conn_threads_.emplace_back(&FdxServer::ServeConnection, this, id);
+  }
+}
+
+void FdxServer::ServeConnection(uint64_t conn_id) {
+  std::shared_ptr<Socket> sock;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    auto it = conn_sockets_.find(conn_id);
+    if (it == conn_sockets_.end()) return;
+    sock = it->second;
+  }
+  std::string line;
+  while (sock->ReadLine(&line).ok()) {
+    if (line.empty()) continue;  // tolerate blank keep-alive lines
+    std::string response;
+    const bool keep_open = HandleRequest(line, &response);
+    response += '\n';
+    if (!sock->SendAll(response).ok()) break;
+    if (!keep_open) break;
+  }
+  sock->ShutdownBoth();
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_sockets_.erase(conn_id);
+}
+
+bool FdxServer::HandleRequest(const std::string& line, std::string* response) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Result<JsonValue> parsed = JsonValue::Parse(line);
+  if (!parsed.ok()) {
+    *response = RenderErrorResponse("request", parsed.status());
+    return true;
+  }
+  const JsonValue& request = parsed.value();
+  const std::string op = request.StringOr("op", "");
+  if (op.empty()) {
+    *response = RenderErrorResponse(
+        "request", Status::InvalidArgument("request needs a string \"op\""));
+    return true;
+  }
+  if (op == "open") {
+    *response = HandleOpen(request);
+  } else if (op == "append") {
+    *response = HandleAppend(request);
+  } else if (op == "discover") {
+    *response = HandleDiscover(request);
+  } else if (op == "status") {
+    *response = HandleStatus();
+  } else if (op == "sleep" && options_.enable_debug_ops) {
+    *response = HandleSleep(request);
+  } else if (op == "shutdown") {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("ok");
+    json.Bool(true);
+    json.Key("op");
+    json.String("shutdown");
+    json.Key("draining");
+    json.Bool(true);
+    json.EndObject();
+    *response = json.TakeString();
+    RequestShutdown();
+    return false;
+  } else {
+    *response = RenderErrorResponse(
+        op, Status::InvalidArgument("unknown op \"" + op + "\""));
+  }
+  return true;
+}
+
+std::string FdxServer::HandleOpen(const JsonValue& request) {
+  const JsonValue* schema_json = request.Find("schema");
+  if (schema_json == nullptr) {
+    return RenderErrorResponse(
+        "open", Status::InvalidArgument("open needs a \"schema\" array"));
+  }
+  Result<Schema> schema = ParseSchemaJson(*schema_json);
+  if (!schema.ok()) return RenderErrorResponse("open", schema.status());
+
+  FdxOptions fdx_options = options_.fdx;
+  if (const JsonValue* options_json = request.Find("options")) {
+    Result<FdxOptions> parsed = ParseOptionsJson(*options_json, fdx_options);
+    if (!parsed.ok()) return RenderErrorResponse("open", parsed.status());
+    fdx_options = std::move(parsed).value();
+  }
+
+  Result<std::shared_ptr<DatasetSession>> session =
+      sessions_->Open(std::move(schema).value(), fdx_options);
+  if (!session.ok()) return RenderErrorResponse("open", session.status());
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok");
+  json.Bool(true);
+  json.Key("op");
+  json.String("open");
+  json.Key("session");
+  json.String(session.value()->id);
+  json.Key("columns");
+  json.Integer(static_cast<int64_t>(session.value()->fdx.schema().size()));
+  json.EndObject();
+  return json.TakeString();
+}
+
+std::string FdxServer::HandleAppend(const JsonValue& request) {
+  const std::string id = request.StringOr("session", "");
+  if (id.empty()) {
+    return RenderErrorResponse(
+        "append", Status::InvalidArgument("append needs a \"session\" id"));
+  }
+  Result<std::shared_ptr<DatasetSession>> session_or = sessions_->Get(id);
+  if (!session_or.ok()) return RenderErrorResponse("append", session_or.status());
+  std::shared_ptr<DatasetSession> session = std::move(session_or).value();
+
+  const JsonValue* rows = request.Find("rows");
+  const JsonValue* csv = request.Find("csv");
+  if ((rows == nullptr) == (csv == nullptr)) {
+    return RenderErrorResponse(
+        "append", Status::InvalidArgument(
+                      "append needs exactly one of \"rows\" or \"csv\""));
+  }
+
+  Result<Table> batch_or = Status::Internal("unreachable");
+  if (rows != nullptr) {
+    batch_or = RowsToTable(session->fdx.schema(), *rows);
+  } else {
+    if (!csv->is_string()) {
+      return RenderErrorResponse(
+          "append", Status::InvalidArgument("\"csv\" must be a string"));
+    }
+    // Headerless by design: the session schema was fixed at open.
+    CsvOptions csv_options;
+    csv_options.has_header = false;
+    batch_or = ReadCsvFromString(csv->string_value(), csv_options);
+  }
+  if (!batch_or.ok()) return RenderErrorResponse("append", batch_or.status());
+  Table batch = std::move(batch_or).value();
+
+  std::lock_guard<std::mutex> lock(session->mu);
+  Status appended = session->fdx.Append(batch);
+  if (!appended.ok()) return RenderErrorResponse("append", appended);
+  session->content.UpdateString("batch");
+  UpdateTableFingerprint(&session->content, batch);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok");
+  json.Bool(true);
+  json.Key("op");
+  json.String("append");
+  json.Key("session");
+  json.String(session->id);
+  json.Key("rows");
+  json.Integer(static_cast<int64_t>(batch.num_rows()));
+  json.Key("total_rows");
+  json.Integer(static_cast<int64_t>(session->fdx.total_rows()));
+  json.Key("batches");
+  json.Integer(static_cast<int64_t>(session->fdx.total_batches()));
+  json.EndObject();
+  return json.TakeString();
+}
+
+std::string FdxServer::HandleDiscover(const JsonValue& request) {
+  if (const JsonValue* session_id = request.Find("session")) {
+    if (!session_id->is_string()) {
+      return RenderErrorResponse(
+          "discover", Status::InvalidArgument("\"session\" must be a string"));
+    }
+    if (request.Find("options") != nullptr) {
+      return RenderErrorResponse(
+          "discover",
+          Status::InvalidArgument(
+              "session options are fixed at open; omit \"options\""));
+    }
+    Result<std::shared_ptr<DatasetSession>> session_or =
+        sessions_->Get(session_id->string_value());
+    if (!session_or.ok()) {
+      return RenderErrorResponse("discover", session_or.status());
+    }
+    std::shared_ptr<DatasetSession> session = std::move(session_or).value();
+
+    // Fast path: a cache hit skips the job queue entirely.
+    std::string key;
+    {
+      std::lock_guard<std::mutex> lock(session->mu);
+      key = "sess|" + session->content.Hex() + "|" +
+            CanonicalOptionsKey(session->fdx.options());
+    }
+    std::string payload;
+    if (cache_->Lookup(key, &payload)) return payload;
+
+    Result<std::string> response = RunJob("discover", [this, session] {
+      // Recompute the key under the same lock as the solve, so a batch
+      // appended between admission and execution cannot file the newer
+      // result under the older fingerprint.
+      std::lock_guard<std::mutex> lock(session->mu);
+      const std::string job_key = "sess|" + session->content.Hex() + "|" +
+                                  CanonicalOptionsKey(session->fdx.options());
+      Result<FdxResult> result = session->fdx.CurrentFds();
+      if (!result.ok()) return RenderErrorResponse("discover", result.status());
+      std::string rendered =
+          RenderDiscoverResponse(session->fdx.schema(),
+                                 session->fdx.total_rows(), result.value());
+      cache_->Insert(job_key, rendered);
+      return rendered;
+    });
+    if (!response.ok()) return RenderErrorResponse("discover", response.status());
+    return std::move(response).value();
+  }
+
+  // One-shot table: exactly one of csv / csv_path / table.
+  const JsonValue* csv = request.Find("csv");
+  const JsonValue* csv_path = request.Find("csv_path");
+  const JsonValue* table_json = request.Find("table");
+  const int sources = (csv != nullptr) + (csv_path != nullptr) +
+                      (table_json != nullptr);
+  if (sources != 1) {
+    return RenderErrorResponse(
+        "discover",
+        Status::InvalidArgument("discover needs exactly one of \"session\", "
+                                "\"csv\", \"csv_path\", or \"table\""));
+  }
+
+  Result<Table> table_or = Status::Internal("unreachable");
+  if (csv != nullptr) {
+    if (!csv->is_string()) {
+      return RenderErrorResponse(
+          "discover", Status::InvalidArgument("\"csv\" must be a string"));
+    }
+    table_or = ReadCsvFromString(csv->string_value());
+  } else if (csv_path != nullptr) {
+    if (!csv_path->is_string()) {
+      return RenderErrorResponse(
+          "discover", Status::InvalidArgument("\"csv_path\" must be a string"));
+    }
+    table_or = ReadCsv(csv_path->string_value());
+  } else {
+    const JsonValue* schema_json = table_json->Find("schema");
+    const JsonValue* rows_json = table_json->Find("rows");
+    if (schema_json == nullptr || rows_json == nullptr) {
+      return RenderErrorResponse(
+          "discover", Status::InvalidArgument(
+                          "\"table\" needs \"schema\" and \"rows\" members"));
+    }
+    Result<Schema> schema = ParseSchemaJson(*schema_json);
+    if (!schema.ok()) return RenderErrorResponse("discover", schema.status());
+    table_or = RowsToTable(schema.value(), *rows_json);
+  }
+  if (!table_or.ok()) return RenderErrorResponse("discover", table_or.status());
+
+  FdxOptions fdx_options = options_.fdx;
+  if (const JsonValue* options_json = request.Find("options")) {
+    Result<FdxOptions> parsed = ParseOptionsJson(*options_json, fdx_options);
+    if (!parsed.ok()) return RenderErrorResponse("discover", parsed.status());
+    fdx_options = std::move(parsed).value();
+  }
+
+  auto table = std::make_shared<const Table>(std::move(table_or).value());
+  const std::string key =
+      "tbl|" + FingerprintTable(*table) + "|" + CanonicalOptionsKey(fdx_options);
+  std::string payload;
+  if (cache_->Lookup(key, &payload)) return payload;
+
+  Result<std::string> response =
+      RunJob("discover", [this, table, fdx_options, key] {
+        FdxDiscoverer discoverer(fdx_options);
+        Result<FdxResult> result = discoverer.Discover(*table);
+        if (!result.ok()) {
+          return RenderErrorResponse("discover", result.status());
+        }
+        std::string rendered = RenderDiscoverResponse(
+            table->schema(), table->num_rows(), result.value());
+        cache_->Insert(key, rendered);
+        return rendered;
+      });
+  if (!response.ok()) return RenderErrorResponse("discover", response.status());
+  return std::move(response).value();
+}
+
+std::string FdxServer::HandleStatus() {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok");
+  json.Bool(true);
+  json.Key("op");
+  json.String("status");
+  json.Key("uptime_seconds");
+  json.Number(uptime_.ElapsedSeconds());
+  json.Key("connections");
+  json.Integer(static_cast<int64_t>(connections_.load()));
+  json.Key("requests");
+  json.Integer(static_cast<int64_t>(requests_.load()));
+  json.Key("accept_faults");
+  json.Integer(static_cast<int64_t>(accept_faults_.load()));
+  json.Key("queue");
+  json.BeginObject();
+  json.Key("workers");
+  json.Integer(static_cast<int64_t>(queue_->workers()));
+  json.Key("capacity");
+  json.Integer(static_cast<int64_t>(queue_->capacity()));
+  json.Key("active");
+  json.Integer(static_cast<int64_t>(queue_->active()));
+  json.Key("executed");
+  json.Integer(static_cast<int64_t>(queue_->executed()));
+  json.Key("rejected");
+  json.Integer(static_cast<int64_t>(queue_->rejected()));
+  json.EndObject();
+  json.Key("cache");
+  json.BeginObject();
+  json.Key("size");
+  json.Integer(static_cast<int64_t>(cache_->size()));
+  json.Key("capacity");
+  json.Integer(static_cast<int64_t>(cache_->capacity()));
+  json.Key("hits");
+  json.Integer(static_cast<int64_t>(cache_->hits()));
+  json.Key("misses");
+  json.Integer(static_cast<int64_t>(cache_->misses()));
+  json.Key("evictions");
+  json.Integer(static_cast<int64_t>(cache_->evictions()));
+  json.EndObject();
+  json.Key("sessions");
+  json.BeginObject();
+  json.Key("open");
+  json.Integer(static_cast<int64_t>(sessions_->size()));
+  json.Key("max");
+  json.Integer(static_cast<int64_t>(sessions_->max_sessions()));
+  json.Key("opened");
+  json.Integer(static_cast<int64_t>(sessions_->opened()));
+  json.Key("evicted");
+  json.Integer(static_cast<int64_t>(sessions_->evicted()));
+  json.EndObject();
+  json.EndObject();
+  return json.TakeString();
+}
+
+std::string FdxServer::HandleSleep(const JsonValue& request) {
+  double seconds = request.NumberOr("seconds", 0.05);
+  if (seconds < 0.0) seconds = 0.0;
+  if (seconds > 30.0) seconds = 30.0;
+  Result<std::string> response = RunJob("sleep", [seconds] {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("ok");
+    json.Bool(true);
+    json.Key("op");
+    json.String("sleep");
+    json.EndObject();
+    return json.TakeString();
+  });
+  if (!response.ok()) return RenderErrorResponse("sleep", response.status());
+  return std::move(response).value();
+}
+
+Result<std::string> FdxServer::RunJob(const std::string& op,
+                                      std::function<std::string()> job) {
+  (void)op;
+  FDX_INJECT_FAULT(kFaultServiceEnqueue,
+                   Status::Internal("injected fault at service.enqueue"));
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+  FDX_RETURN_IF_ERROR(queue_->Submit(
+      [promise, job = std::move(job)] { promise->set_value(job()); }));
+  // The connection thread parks here; the worker's response is relayed
+  // from this thread so every socket write has a single writer.
+  return future.get();
+}
+
+void FdxServer::RequestShutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  shutdown_requested_ = true;
+  shutdown_cv_.notify_all();
+}
+
+void FdxServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(shutdown_mu_);
+    shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+  }
+  std::lock_guard<std::mutex> lock(teardown_mu_);
+  if (!teardown_done_) {
+    TeardownLocked();
+    teardown_done_ = true;
+  }
+}
+
+void FdxServer::Shutdown() {
+  RequestShutdown();
+  std::lock_guard<std::mutex> lock(teardown_mu_);
+  if (!teardown_done_) {
+    TeardownLocked();
+    teardown_done_ = true;
+  }
+}
+
+void FdxServer::TeardownLocked() {
+  // 1. Stop admitting connections and jobs. In-flight requests from live
+  //    connections now get structured "draining" rejections.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    accepting_ = false;
+  }
+  if (queue_) queue_->CloseIntake();
+
+  // 2. Wake the accept loop and retire it.
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 3. Drain in-flight jobs under the budget; their responses are still
+  //    deliverable because client sockets are untouched so far.
+  if (queue_) {
+    drained_cleanly_.store(queue_->Drain(options_.drain_seconds));
+  }
+
+  // 4. Unblock connection readers and join every connection thread.
+  //    Read-side only: Drain() returns once a job's *body* finishes, but
+  //    the connection thread may still be waking from future.get() to
+  //    send that job's response — a full SHUT_RDWR here would cut it
+  //    off mid-flight. SHUT_RD wakes idle readers with EOF while letting
+  //    pending SendAll calls complete; each thread fully shuts down its
+  //    own socket on exit.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [id, sock] : conn_sockets_) sock->ShutdownRead();
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+
+  listener_.Close();
+}
+
+}  // namespace fdx

@@ -1,0 +1,151 @@
+#ifndef FDX_SERVICE_SERVER_H_
+#define FDX_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fdx.h"
+#include "service/job_queue.h"
+#include "service/result_cache.h"
+#include "service/session_registry.h"
+#include "util/socket.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace fdx {
+
+class JsonValue;
+
+/// Configuration of an fdxd daemon instance.
+struct ServerOptions {
+  /// Loopback TCP port; 0 binds an ephemeral port (read back via port()).
+  uint16_t port = 0;
+  /// Worker threads executing discovery jobs.
+  size_t workers = 2;
+  /// Maximum admitted-but-unfinished discovery jobs; submissions beyond
+  /// this are answered with a structured kUnavailable error.
+  size_t queue_capacity = 8;
+  /// Open dataset sessions allowed at once.
+  size_t max_sessions = 32;
+  /// Idle seconds after which a session is evicted (<= 0: never).
+  double session_ttl_seconds = 600.0;
+  /// Graceful-shutdown drain budget for in-flight jobs.
+  double drain_seconds = 10.0;
+  /// Result-cache entries kept (LRU beyond this).
+  size_t cache_capacity = 64;
+  /// Baseline FdxOptions; per-request "options" objects layer on top.
+  FdxOptions fdx;
+  /// Enables test-only ops (currently `sleep`, which parks a worker for
+  /// a requested duration so integration tests can fill the queue
+  /// deterministically). Never enable in production.
+  bool enable_debug_ops = false;
+};
+
+/// fdxd: the FD-discovery daemon. One accept loop, one thread per
+/// connection doing line-delimited JSON framing, a bounded JobQueue
+/// running discovery, a SessionRegistry for incremental datasets, and a
+/// ResultCache replaying byte-identical responses for repeated
+/// (dataset fingerprint, canonical options) pairs.
+///
+/// Lifecycle: Start() binds and spawns the accept loop; Wait() blocks
+/// until a `shutdown` request (or Shutdown() call) and then performs the
+/// graceful teardown: stop admitting connections and jobs, wake the
+/// accept loop, drain in-flight jobs under `drain_seconds` (their
+/// responses still reach clients), unblock connection readers, join
+/// everything. Shutdown() is idempotent and safe to race with Wait().
+class FdxServer {
+ public:
+  explicit FdxServer(ServerOptions options);
+  ~FdxServer();
+
+  FdxServer(const FdxServer&) = delete;
+  FdxServer& operator=(const FdxServer&) = delete;
+
+  /// Binds the listener and starts serving. Fails on an occupied port.
+  Status Start();
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Blocks until shutdown is requested, then tears down.
+  void Wait();
+
+  /// Requests shutdown and performs (or waits for) the teardown.
+  void Shutdown();
+
+  /// True once every in-flight job at teardown finished inside the
+  /// drain budget (meaningful after Wait()/Shutdown() returned).
+  bool drained_cleanly() const { return drained_cleanly_.load(); }
+
+  // Introspection for tests and the `status` op.
+  uint64_t connections() const { return connections_.load(); }
+  uint64_t requests() const { return requests_.load(); }
+  uint64_t accept_faults() const { return accept_faults_.load(); }
+  const JobQueue& queue() const { return *queue_; }
+  const ResultCache& cache() const { return *cache_; }
+  const SessionRegistry& sessions() const { return *sessions_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(uint64_t conn_id);
+
+  /// Dispatches one request line; appends the response to `*response`.
+  /// Returns false when the connection must close (shutdown op).
+  bool HandleRequest(const std::string& line, std::string* response);
+
+  std::string HandleOpen(const JsonValue& request);
+  std::string HandleAppend(const JsonValue& request);
+  std::string HandleDiscover(const JsonValue& request);
+  std::string HandleStatus();
+  std::string HandleSleep(const JsonValue& request);
+
+  /// Runs `job` on the queue and blocks for its rendered response.
+  /// Carries the service.enqueue fault point and queue backpressure.
+  Result<std::string> RunJob(const std::string& op,
+                             std::function<std::string()> job);
+
+  void RequestShutdown();
+  void TeardownLocked();  ///< runs once; callers serialize via teardown_mu_
+
+  ServerOptions options_;
+  ListenSocket listener_;
+  uint16_t port_ = 0;
+  Stopwatch uptime_;
+
+  std::unique_ptr<JobQueue> queue_;
+  std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<SessionRegistry> sessions_;
+
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  uint64_t next_conn_id_ = 1;                     ///< guarded by conn_mu_
+  std::unordered_map<uint64_t, std::shared_ptr<Socket>>
+      conn_sockets_;                              ///< guarded by conn_mu_
+  std::vector<std::thread> conn_threads_;         ///< guarded by conn_mu_
+  bool accepting_ = false;                        ///< guarded by conn_mu_
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;               ///< guarded by shutdown_mu_
+
+  std::mutex teardown_mu_;
+  bool teardown_done_ = false;                    ///< guarded by teardown_mu_
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> accept_faults_{0};
+  std::atomic<bool> drained_cleanly_{true};
+};
+
+}  // namespace fdx
+
+#endif  // FDX_SERVICE_SERVER_H_

@@ -1,0 +1,73 @@
+#include "service/session_registry.h"
+
+#include <utility>
+
+namespace fdx {
+
+SessionRegistry::SessionRegistry(size_t max_sessions, double ttl_seconds)
+    : max_sessions_(max_sessions == 0 ? 1 : max_sessions),
+      ttl_seconds_(ttl_seconds) {}
+
+Result<std::shared_ptr<DatasetSession>> SessionRegistry::Open(
+    Schema schema, FdxOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = Clock::now();
+  EvictExpiredLocked(now);
+  if (slots_.size() >= max_sessions_) {
+    return Status::Unavailable(
+        "session limit reached (" + std::to_string(max_sessions_) +
+        " open); close or let one expire, then retry");
+  }
+  const std::string id = "s-" + std::to_string(next_id_++);
+  auto session = std::make_shared<DatasetSession>(id, std::move(schema),
+                                                  std::move(options));
+  slots_[id] = Slot{session, now};
+  opened_.fetch_add(1, std::memory_order_relaxed);
+  return session;
+}
+
+Result<std::shared_ptr<DatasetSession>> SessionRegistry::Get(
+    const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = Clock::now();
+  EvictExpiredLocked(now);
+  auto it = slots_.find(id);
+  if (it == slots_.end()) {
+    return Status::NotFound("unknown or expired session \"" + id + "\"");
+  }
+  it->second.last_used = now;
+  return it->second.session;
+}
+
+bool SessionRegistry::Close(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.erase(id) > 0;
+}
+
+size_t SessionRegistry::EvictExpired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EvictExpiredLocked(Clock::now());
+}
+
+size_t SessionRegistry::EvictExpiredLocked(Clock::time_point now) {
+  if (ttl_seconds_ <= 0.0) return 0;
+  size_t evicted = 0;
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    const std::chrono::duration<double> idle = now - it->second.last_used;
+    if (idle.count() > ttl_seconds_) {
+      it = slots_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  if (evicted > 0) evicted_.fetch_add(evicted, std::memory_order_relaxed);
+  return evicted;
+}
+
+size_t SessionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+}  // namespace fdx

@@ -1,0 +1,88 @@
+#ifndef FDX_SERVICE_SESSION_REGISTRY_H_
+#define FDX_SERVICE_SESSION_REGISTRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/incremental.h"
+#include "util/fingerprint.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// One open dataset: an IncrementalFdx accumulator plus a running
+/// content fingerprint over everything appended so far (the dataset
+/// half of the result-cache key for session discovers). The embedded
+/// mutex serializes appends and discovers on the same session; distinct
+/// sessions proceed in parallel.
+struct DatasetSession {
+  DatasetSession(std::string session_id, Schema schema, FdxOptions options)
+      : id(std::move(session_id)), fdx(std::move(schema), std::move(options)) {
+    content.UpdateString("session");
+  }
+
+  const std::string id;
+  std::mutex mu;        ///< serializes fdx + content mutations
+  IncrementalFdx fdx;   ///< guarded by mu
+  Fingerprint content;  ///< guarded by mu; framed per appended batch
+};
+
+/// Session table with a hard cap and idle-TTL eviction. Ids are
+/// deterministic ("s-1", "s-2", ...) so tests and logs are stable.
+/// Sessions are handed out as shared_ptr: an in-flight append on a
+/// session the TTL sweep just evicted finishes safely against its own
+/// reference, it is merely no longer reachable by id. Thread-safe.
+class SessionRegistry {
+ public:
+  /// `ttl_seconds <= 0` disables idle eviction.
+  SessionRegistry(size_t max_sessions, double ttl_seconds);
+
+  /// Creates a session, evicting idle-expired ones first. Returns
+  /// kUnavailable once `max_sessions` live sessions exist — the caller
+  /// should retry after the TTL frees a slot.
+  Result<std::shared_ptr<DatasetSession>> Open(Schema schema,
+                                               FdxOptions options);
+
+  /// Looks up a session and marks it used now. kNotFound covers both
+  /// never-existed and already-evicted ids.
+  Result<std::shared_ptr<DatasetSession>> Get(const std::string& id);
+
+  /// Drops a session by id; returns false if it was not present.
+  bool Close(const std::string& id);
+
+  /// Evicts every session idle past the TTL; returns how many.
+  size_t EvictExpired();
+
+  size_t size() const;
+  size_t max_sessions() const { return max_sessions_; }
+  double ttl_seconds() const { return ttl_seconds_; }
+  uint64_t opened() const { return opened_.load(std::memory_order_relaxed); }
+  uint64_t evicted() const { return evicted_.load(std::memory_order_relaxed); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Slot {
+    std::shared_ptr<DatasetSession> session;
+    Clock::time_point last_used;
+  };
+
+  size_t EvictExpiredLocked(Clock::time_point now);
+
+  const size_t max_sessions_;
+  const double ttl_seconds_;
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;                          ///< guarded by mu_
+  std::unordered_map<std::string, Slot> slots_;   ///< guarded by mu_
+  std::atomic<uint64_t> opened_{0};
+  std::atomic<uint64_t> evicted_{0};
+};
+
+}  // namespace fdx
+
+#endif  // FDX_SERVICE_SESSION_REGISTRY_H_

@@ -40,6 +40,8 @@ inline constexpr char kFaultUdutPivot[] = "udut.pivot";
 inline constexpr char kFaultLassoSolve[] = "lasso.solve";
 inline constexpr char kFaultSeqLassoColumn[] = "seqlasso.column";
 inline constexpr char kFaultCsvRead[] = "csv.read";
+inline constexpr char kFaultServiceAccept[] = "service.accept";
+inline constexpr char kFaultServiceEnqueue[] = "service.enqueue";
 
 /// Arms the faults described by `spec` (see grammar above), replacing any
 /// previously armed set. An empty spec disarms everything. Counters reset.

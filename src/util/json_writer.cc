@@ -99,6 +99,12 @@ std::string JsonWriter::Escape(const std::string& text) {
       case '\t':
         out += "\\t";
         break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       default:
         if (ch < 0x20) {
           char buf[8];

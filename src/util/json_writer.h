@@ -36,7 +36,11 @@ class JsonWriter {
   /// Finishes and returns the document.
   std::string TakeString() { return std::move(out_); }
 
-  /// Escapes a string per RFC 8259 (quotes, backslashes, control chars).
+  /// Escapes a string per RFC 8259: quotes, backslashes, the named
+  /// control escapes (\n \r \t \b \f), \u00XX for the rest of C0, and
+  /// byte-exact passthrough of everything >= 0x20 (UTF-8 sequences
+  /// survive untouched). The service protocol round-trips arbitrary
+  /// cell values through this, so the guarantee is load-bearing.
   static std::string Escape(const std::string& text);
 
  private:

@@ -1,0 +1,101 @@
+#ifndef FDX_UTIL_SOCKET_H_
+#define FDX_UTIL_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace fdx {
+
+/// Thin RAII wrappers over loopback TCP sockets — everything the fdxd
+/// daemon and its clients need and nothing more. Connections are bound
+/// to 127.0.0.1 only (the service is a local sidecar, not a network
+/// server), writes suppress SIGPIPE so a vanished peer surfaces as a
+/// Status instead of killing the process, and reads are buffered for
+/// the daemon's line-delimited framing.
+
+/// A connected stream socket. Movable, closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to 127.0.0.1:`port`.
+  static Result<Socket> ConnectLoopback(uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all of `data` (retrying short writes; EPIPE-safe).
+  Status SendAll(const std::string& data);
+
+  /// Reads up to and including the next '\n'; returns the line without
+  /// the terminator (a trailing '\r' is also stripped). A clean EOF with
+  /// no pending bytes yields kNotFound ("end of stream"); `max_bytes`
+  /// bounds a single line to keep a hostile peer from ballooning memory.
+  Status ReadLine(std::string* line, size_t max_bytes = 64 * 1024 * 1024);
+
+  /// Half-closes or fully shuts down the connection (wakes a blocked
+  /// reader on the other side — and on *this* side, which is how the
+  /// daemon unblocks connection threads during teardown).
+  void ShutdownBoth();
+
+  /// Half-closes the receive side only: a blocked ReadLine on *this*
+  /// socket wakes with EOF, but writes keep working. The daemon's
+  /// teardown uses this so a response already being sent for a drained
+  /// job still reaches the client.
+  void ShutdownRead();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received but not yet returned
+};
+
+/// A listening loopback socket.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket();
+
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral
+  /// port (read it back with port()).
+  static Result<ListenSocket> BindLoopback(uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection. After Shutdown() every pending and
+  /// future Accept returns kUnavailable ("listener shut down").
+  Result<Socket> Accept();
+
+  /// Wakes any blocked Accept and refuses new connections. The fd stays
+  /// open (and is only released by the destructor / Close), so there is
+  /// no close/accept race on fd reuse.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  explicit ListenSocket(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace fdx
+
+#endif  // FDX_UTIL_SOCKET_H_

@@ -17,6 +17,9 @@ enum class StatusCode {
   kNumericalError,
   kTimeout,
   kInternal,
+  /// Transient capacity exhaustion: the caller should back off and retry
+  /// (the HTTP-429 analogue used by the service's bounded job queue).
+  kUnavailable,
 };
 
 /// A Status describes the outcome of a fallible operation. Cheap to copy
@@ -46,6 +49,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

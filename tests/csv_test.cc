@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "data/csv.h"
 
@@ -94,6 +95,56 @@ TEST(CsvTest, HeaderlessInputSkipsHeaderValidation) {
 
 TEST(CsvTest, MissingFileFails) {
   EXPECT_FALSE(ReadCsv("/nonexistent/path/file.csv").ok());
+}
+
+TEST(CsvTest, ReadCsvFromStringMatchesReadCsv) {
+  // ReadCsv is implemented as "slurp, then ReadCsvFromString"; pin the
+  // two paths to identical results so they can never diverge.
+  const std::string text = "a,b,c\n1,x,2.5\n,NULL,\"q,z\"\n3,y,4.5\n";
+  auto from_string = ReadCsvFromString(text);
+  ASSERT_TRUE(from_string.ok());
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fdx_csv_string_test.csv")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+  }
+  auto from_file = ReadCsv(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(from_file.ok());
+
+  ASSERT_EQ(from_string->num_rows(), from_file->num_rows());
+  ASSERT_EQ(from_string->num_columns(), from_file->num_columns());
+  for (size_t r = 0; r < from_string->num_rows(); ++r) {
+    for (size_t c = 0; c < from_string->num_columns(); ++c) {
+      EXPECT_EQ(from_string->cell(r, c).ToString(),
+                from_file->cell(r, c).ToString())
+          << "cell " << r << "," << c;
+    }
+  }
+}
+
+TEST(CsvTest, ReadCsvFromStringKeepsLineNumbersInErrors) {
+  auto ragged = ReadCsvFromString("a,b\n1,2\n3\n");
+  ASSERT_FALSE(ragged.ok());
+  EXPECT_NE(ragged.status().message().find("line 3"), std::string::npos)
+      << ragged.status().ToString();
+}
+
+TEST(CsvTest, ReadCsvFromStringHandlesMissingTrailingNewline) {
+  auto table = ReadCsvFromString("a,b\n1,2\n3,4");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->cell(1, 1).AsInt(), 4);
+}
+
+TEST(CsvTest, ReadCsvFromStringEmptyInputYieldsEmptyTable) {
+  auto table = ReadCsvFromString("");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 0u);
+  EXPECT_EQ(table->num_columns(), 0u);
 }
 
 TEST(CsvTest, WriteReadRoundTrip) {

@@ -2,6 +2,7 @@
 
 #include "core/incremental.h"
 #include "synth/generator.h"
+#include "util/fault_injection.h"
 
 namespace fdx {
 namespace {
@@ -102,6 +103,115 @@ TEST(IncrementalFdxTest, EstimateImprovesWithData) {
   const double late_f1 = ScoreFdsUndirected(late->fds, ds->true_fds).f1;
   EXPECT_GE(late_f1 + 1e-9, early_f1);
   EXPECT_GT(late_f1, 0.6);
+}
+
+TEST(IncrementalFdxTest, AppendHonorsTimeBudget) {
+  SyntheticConfig config;
+  config.num_tuples = 500;
+  config.num_attributes = 6;
+  config.seed = 45;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+
+  FdxOptions options;
+  options.time_budget_seconds = 1e-9;  // expired before the first poll
+  IncrementalFdx incremental(ds->clean.schema(), options);
+  const Status appended = incremental.Append(ds->clean);
+  EXPECT_EQ(appended.code(), StatusCode::kTimeout) << appended.ToString();
+  // A timed-out append leaves the accumulator untouched.
+  EXPECT_EQ(incremental.total_rows(), 0u);
+  EXPECT_EQ(incremental.total_batches(), 0u);
+}
+
+TEST(IncrementalFdxTest, ExpiredDeadlineStopsCovarianceSolve) {
+  // The deadline CurrentFds builds is handed through to the covariance
+  // solve via the caller-owned-deadline overload; an already-expired
+  // one must stop the run with Timeout instead of computing anyway.
+  SyntheticConfig config;
+  config.num_tuples = 600;
+  config.num_attributes = 6;
+  config.seed = 46;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  IncrementalFdx incremental(ds->clean.schema(), FdxOptions{});
+  ASSERT_TRUE(incremental.Append(ds->clean).ok());
+  auto cov = incremental.CurrentCovariance();
+  ASSERT_TRUE(cov.ok());
+
+  FdxDiscoverer discoverer;
+  const Deadline expired(1e-9);
+  auto result = discoverer.DiscoverFromCovariance(*cov, &expired);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+
+  // Null deadline means unlimited — same covariance solves fine.
+  auto unlimited = discoverer.DiscoverFromCovariance(*cov, nullptr);
+  EXPECT_TRUE(unlimited.ok()) << unlimited.status().ToString();
+}
+
+TEST(IncrementalFdxTest, RecoveryLadderRunsThroughCurrentFds) {
+  // Arm the glasso fault on every attempt: the ridge escalation fails
+  // too, and CurrentFds must walk down to the sequential-lasso fallback
+  // and surface that in the diagnostics — same ladder as the batch path.
+  SyntheticConfig config;
+  config.num_tuples = 1200;
+  config.num_attributes = 6;
+  config.seed = 47;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  IncrementalFdx incremental(ds->clean.schema(), FdxOptions{});
+  ASSERT_TRUE(incremental.Append(ds->clean).ok());
+
+  ASSERT_TRUE(ArmFaults("glasso.sweep").ok());
+  auto result = incremental.CurrentFds();
+  DisarmFaults();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->diagnostics.fallback_sequential);
+  EXPECT_TRUE(result->diagnostics.Degraded());
+  EXPECT_FALSE(result->diagnostics.events.empty());
+}
+
+TEST(IncrementalFdxTest, MultiBatchMatchesSingleBatchOnPlantedFds) {
+  // Clean planted-FD data, split into halves: the batch-local pairing
+  // approximation must still land on the same FD set a single batch
+  // over the full table finds.
+  SyntheticConfig config;
+  config.num_tuples = 3000;
+  config.num_attributes = 10;
+  config.seed = 43;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+
+  IncrementalFdx single(ds->clean.schema(), FdxOptions{});
+  ASSERT_TRUE(single.Append(ds->clean).ok());
+  auto single_result = single.CurrentFds();
+  ASSERT_TRUE(single_result.ok());
+
+  IncrementalFdx split(ds->clean.schema(), FdxOptions{});
+  ASSERT_TRUE(split.Append(ds->clean.Head(1500)).ok());
+  Table rest{ds->clean.schema()};
+  for (size_t r = 1500; r < ds->clean.num_rows(); ++r) {
+    std::vector<Value> row;
+    for (size_t c = 0; c < ds->clean.num_columns(); ++c) {
+      row.push_back(ds->clean.cell(r, c));
+    }
+    rest.AppendRow(std::move(row));
+  }
+  ASSERT_TRUE(split.Append(rest).ok());
+  EXPECT_EQ(split.total_batches(), 2u);
+  auto split_result = split.CurrentFds();
+  ASSERT_TRUE(split_result.ok());
+
+  const double single_f1 =
+      ScoreFdsUndirected(single_result->fds, ds->true_fds).f1;
+  const double split_f1 =
+      ScoreFdsUndirected(split_result->fds, ds->true_fds).f1;
+  EXPECT_GT(single_f1, 0.6);
+  EXPECT_GT(split_f1, 0.6);
+  // And the two estimates agree with each other, not just with truth.
+  const double mutual_f1 =
+      ScoreFdsUndirected(split_result->fds, single_result->fds).f1;
+  EXPECT_GT(mutual_f1, 0.6);
 }
 
 TEST(IncrementalFdxTest, CovarianceMatchesBatchMoments) {

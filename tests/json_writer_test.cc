@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "util/json_writer.h"
 
 namespace fdx {
@@ -66,8 +68,53 @@ TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
   JsonWriter json;
   json.BeginArray();
   json.Number(1.0 / 0.0);
+  json.Number(-1.0 / 0.0);
+  json.Number(0.0 / 0.0);
+  json.Number(1.5);
   json.EndArray();
-  EXPECT_EQ(json.TakeString(), "[null]");
+  EXPECT_EQ(json.TakeString(), "[null,null,null,1.5]");
+}
+
+TEST(JsonWriterTest, EscapesEveryControlCharacter) {
+  // The full C0 sweep: named escapes where RFC 8259 defines them,
+  // \u00XX for the rest — every byte below 0x20 must be escaped.
+  const struct {
+    char byte;
+    const char* expected;
+  } named[] = {{'\b', "\\b"}, {'\f', "\\f"}, {'\n', "\\n"},
+               {'\r', "\\r"}, {'\t', "\\t"}};
+  for (const auto& c : named) {
+    EXPECT_EQ(JsonWriter::Escape(std::string(1, c.byte)), c.expected);
+  }
+  for (int c = 1; c < 0x20; ++c) {
+    if (c == '\b' || c == '\f' || c == '\n' || c == '\r' || c == '\t') {
+      continue;
+    }
+    char expected[8];
+    std::snprintf(expected, sizeof(expected), "\\u%04x", c);
+    EXPECT_EQ(JsonWriter::Escape(std::string(1, static_cast<char>(c))),
+              expected)
+        << "byte " << c;
+  }
+}
+
+TEST(JsonWriterTest, Utf8PassesThroughByteExact) {
+  // Multi-byte UTF-8 must survive untouched: é (2 bytes), 中 (3 bytes),
+  // 😀 (4 bytes), and a lone high byte (invalid UTF-8 — still passed
+  // through; the writer escapes, it does not validate).
+  const std::string utf8 = "\xC3\xA9\xE4\xB8\xAD\xF0\x9F\x98\x80\xFF";
+  EXPECT_EQ(JsonWriter::Escape(utf8), utf8);
+}
+
+TEST(JsonWriterTest, EscapedStringsStayInsideDocuments) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("cell");
+  json.String("a\x01"
+              "b\ttab \"quoted\" \xC3\xA9");
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(),
+            "{\"cell\":\"a\\u0001b\\ttab \\\"quoted\\\" \xC3\xA9\"}");
 }
 
 }  // namespace

@@ -1,0 +1,428 @@
+// End-to-end tests of the fdxd service stack: a real FdxServer on an
+// ephemeral loopback port, spoken to over real sockets with the
+// line-delimited JSON protocol. In-process (not via the binaries) so
+// the tests can assert on server counters directly and run under TSan.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/json_parser.h"
+#include "service/server.h"
+#include "util/fault_injection.h"
+#include "util/json_writer.h"
+#include "util/socket.h"
+#include "util/stopwatch.h"
+
+namespace fdx {
+namespace {
+
+/// One-shot request: connect, send one line, read one line.
+Result<std::string> Request(uint16_t port, const std::string& line) {
+  FDX_ASSIGN_OR_RETURN(Socket sock, Socket::ConnectLoopback(port));
+  FDX_RETURN_IF_ERROR(sock.SendAll(line + "\n"));
+  std::string response;
+  FDX_RETURN_IF_ERROR(sock.ReadLine(&response));
+  return response;
+}
+
+/// Spins until `pred` holds (tests gate on server counters, not sleeps).
+bool WaitFor(const std::function<bool()>& pred, double seconds = 10.0) {
+  Stopwatch watch;
+  while (!pred()) {
+    if (watch.ElapsedSeconds() > seconds) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+/// `[[i%m, 2*(i%m), i%3], ...]` — a planted a->b FD with repeats so the
+/// pair transform sees plenty of equal cells.
+std::string RowsJson(int rows, int modulus) {
+  std::string json = "[";
+  for (int i = 0; i < rows; ++i) {
+    if (i > 0) json += ",";
+    const int a = i % modulus;
+    json += "[" + std::to_string(a) + "," + std::to_string(2 * a) + "," +
+            std::to_string(i % 3) + "]";
+  }
+  return json + "]";
+}
+
+std::string DiscoverTableRequest(int rows, int modulus) {
+  return R"({"op":"discover","table":{"schema":["a","b","c"],"rows":)" +
+         RowsJson(rows, modulus) + "}}";
+}
+
+bool IsOk(const std::string& response) {
+  auto parsed = JsonValue::Parse(response);
+  return parsed.ok() && parsed->BoolOr("ok", false);
+}
+
+std::string ErrorCode(const std::string& response) {
+  auto parsed = JsonValue::Parse(response);
+  if (!parsed.ok()) return "<unparseable>";
+  const JsonValue* error = parsed->Find("error");
+  return error == nullptr ? "<no error>" : error->StringOr("code", "");
+}
+
+class ServiceIntegrationTest : public ::testing::Test {
+ protected:
+  void TearDown() override { DisarmFaults(); }
+
+  /// Starts a server with the given knobs; registers it for teardown.
+  FdxServer& StartServer(ServerOptions options) {
+    options.port = 0;
+    servers_.push_back(std::make_unique<FdxServer>(std::move(options)));
+    auto status = servers_.back()->Start();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return *servers_.back();
+  }
+
+  std::vector<std::unique_ptr<FdxServer>> servers_;
+};
+
+TEST_F(ServiceIntegrationTest, SessionLifecycleWithCachedDiscover) {
+  FdxServer& server = StartServer(ServerOptions{});
+
+  auto open = Request(server.port(),
+                      R"({"op":"open","schema":["a","b","c"]})");
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  ASSERT_TRUE(IsOk(*open)) << *open;
+  const std::string session =
+      JsonValue::Parse(*open)->StringOr("session", "");
+  EXPECT_EQ(session, "s-1");
+
+  auto append = Request(server.port(),
+                        R"({"op":"append","session":"s-1","rows":)" +
+                            RowsJson(24, 5) + "}");
+  ASSERT_TRUE(append.ok());
+  ASSERT_TRUE(IsOk(*append)) << *append;
+  EXPECT_DOUBLE_EQ(JsonValue::Parse(*append)->NumberOr("total_rows", 0), 24);
+
+  const std::string discover = R"({"op":"discover","session":"s-1"})";
+  auto cold = Request(server.port(), discover);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(IsOk(*cold)) << *cold;
+  EXPECT_EQ(server.cache().hits(), 0u);
+
+  // Second discover: byte-identical replay out of the cache, no new job.
+  auto cached = Request(server.port(), discover);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(*cold, *cached);
+  EXPECT_EQ(server.cache().hits(), 1u);
+  EXPECT_EQ(server.queue().executed(), 1u);
+
+  // Appending invalidates the fingerprint -> next discover recomputes.
+  ASSERT_TRUE(Request(server.port(),
+                      R"({"op":"append","session":"s-1","rows":)" +
+                          RowsJson(24, 5) + "}")
+                  .ok());
+  auto after_append = Request(server.port(), discover);
+  ASSERT_TRUE(after_append.ok());
+  ASSERT_TRUE(IsOk(*after_append)) << *after_append;
+  EXPECT_EQ(server.queue().executed(), 2u);
+}
+
+TEST_F(ServiceIntegrationTest, CsvAndInlineTableShareTheCache) {
+  FdxServer& server = StartServer(ServerOptions{});
+
+  // Same relation shipped two ways: inline CSV (with header) and a JSON
+  // table. Cells normalize identically, so the second form must hit the
+  // first one's cache entry and return the exact same bytes.
+  std::string csv = "a,b,c\n";
+  for (int i = 0; i < 24; ++i) {
+    const int a = i % 5;
+    csv += std::to_string(a) + "," + std::to_string(2 * a) + "," +
+           std::to_string(i % 3) + "\n";
+  }
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("op");
+  writer.String("discover");
+  writer.Key("csv");
+  writer.String(csv);
+  writer.EndObject();
+  auto via_csv = Request(server.port(), writer.TakeString());
+  ASSERT_TRUE(via_csv.ok());
+  ASSERT_TRUE(IsOk(*via_csv)) << *via_csv;
+
+  auto via_table = Request(server.port(), DiscoverTableRequest(24, 5));
+  ASSERT_TRUE(via_table.ok());
+  EXPECT_EQ(*via_csv, *via_table);
+  EXPECT_EQ(server.cache().hits(), 1u);
+  EXPECT_EQ(server.queue().executed(), 1u);
+}
+
+TEST_F(ServiceIntegrationTest, CachedResponseMatchesColdServerByteForByte) {
+  // A cache hit must be indistinguishable from a fresh computation —
+  // including across daemon restarts (nothing wall-clock or stateful
+  // may leak into the payload).
+  FdxServer& warm = StartServer(ServerOptions{});
+  auto first = Request(warm.port(), DiscoverTableRequest(30, 4));
+  auto second = Request(warm.port(), DiscoverTableRequest(30, 4));
+  ASSERT_TRUE(first.ok() && second.ok());
+  ASSERT_TRUE(IsOk(*first)) << *first;
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(warm.cache().hits(), 1u);
+
+  FdxServer& cold = StartServer(ServerOptions{});
+  auto fresh = Request(cold.port(), DiscoverTableRequest(30, 4));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(*first, *fresh);
+}
+
+TEST_F(ServiceIntegrationTest, EightConcurrentClients) {
+  ServerOptions options;
+  options.workers = 4;
+  options.queue_capacity = 16;
+  FdxServer& server = StartServer(options);
+
+  constexpr int kClients = 8;
+  std::vector<std::string> responses(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&server, &responses, i] {
+      // Distinct modulus per client -> distinct tables -> no cache
+      // collisions; every request is a real discovery job.
+      auto response =
+          Request(server.port(), DiscoverTableRequest(40, 3 + i));
+      responses[i] = response.ok() ? *response : response.status().ToString();
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(IsOk(responses[i])) << "client " << i << ": " << responses[i];
+  }
+  EXPECT_EQ(server.queue().executed(), static_cast<uint64_t>(kClients));
+  EXPECT_EQ(server.queue().rejected(), 0u);
+  EXPECT_EQ(server.connections(), static_cast<uint64_t>(kClients));
+}
+
+TEST_F(ServiceIntegrationTest, FullQueueReturnsStructuredBackpressure) {
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  options.enable_debug_ops = true;
+  FdxServer& server = StartServer(options);
+
+  // Deterministically fill the queue: one sleep running, one admitted.
+  const std::string sleep_request = R"({"op":"sleep","seconds":1.0})";
+  std::vector<std::thread> sleepers;
+  std::vector<std::string> sleep_responses(2);
+  for (int i = 0; i < 2; ++i) {
+    sleepers.emplace_back([&server, &sleep_responses, i, &sleep_request] {
+      auto response = Request(server.port(), sleep_request);
+      sleep_responses[i] =
+          response.ok() ? *response : response.status().ToString();
+    });
+  }
+  ASSERT_TRUE(WaitFor([&server] { return server.queue().active() == 2; }));
+
+  // Third job on a live connection: structured 429, connection survives.
+  auto sock = Socket::ConnectLoopback(server.port());
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(sock->SendAll(R"({"op":"sleep","seconds":0.01})"
+                            "\n")
+                  .ok());
+  std::string rejected;
+  ASSERT_TRUE(sock->ReadLine(&rejected).ok());
+  EXPECT_FALSE(IsOk(rejected)) << rejected;
+  EXPECT_EQ(ErrorCode(rejected), "Unavailable");
+  EXPECT_TRUE(JsonValue::Parse(rejected)->BoolOr("retry", false));
+  EXPECT_EQ(server.queue().rejected(), 1u);
+
+  // Same connection keeps working after the rejection.
+  ASSERT_TRUE(sock->SendAll("{\"op\":\"status\"}\n").ok());
+  std::string status_response;
+  ASSERT_TRUE(sock->ReadLine(&status_response).ok());
+  EXPECT_TRUE(IsOk(status_response)) << status_response;
+
+  for (auto& t : sleepers) t.join();
+  EXPECT_TRUE(IsOk(sleep_responses[0])) << sleep_responses[0];
+  EXPECT_TRUE(IsOk(sleep_responses[1])) << sleep_responses[1];
+}
+
+TEST_F(ServiceIntegrationTest, ShutdownDrainsInFlightJobs) {
+  ServerOptions options;
+  options.workers = 1;
+  options.enable_debug_ops = true;
+  options.drain_seconds = 10.0;
+  FdxServer& server = StartServer(options);
+  const uint16_t port = server.port();
+
+  std::string slow_response;
+  std::thread slow_client([port, &slow_response] {
+    auto response = Request(port, R"({"op":"sleep","seconds":0.4})");
+    slow_response = response.ok() ? *response : response.status().ToString();
+  });
+  ASSERT_TRUE(WaitFor([&server] { return server.queue().active() == 1; }));
+
+  auto shutdown = Request(port, R"({"op":"shutdown"})");
+  ASSERT_TRUE(shutdown.ok());
+  EXPECT_TRUE(IsOk(*shutdown)) << *shutdown;
+
+  server.Wait();  // performs the drain + teardown
+  EXPECT_TRUE(server.drained_cleanly());
+
+  // The in-flight sleep finished and its response reached the client.
+  slow_client.join();
+  EXPECT_TRUE(IsOk(slow_response)) << slow_response;
+
+  // Teardown completed: the queue drained and nothing is left running.
+  // (Probing the port would be racy under parallel ctest — a sibling
+  // test process can rebind the freed ephemeral port immediately.)
+  EXPECT_EQ(server.queue().active(), 0u);
+}
+
+TEST_F(ServiceIntegrationTest, AcceptFaultDropsOneConnection) {
+  FdxServer& server = StartServer(ServerOptions{});
+  ASSERT_TRUE(ArmFaults(std::string(kFaultServiceAccept) + ":1").ok());
+
+  // First connection is dropped by the injected accept fault: the
+  // client connects at the TCP level but reads EOF.
+  auto dropped = Request(server.port(), R"({"op":"status"})");
+  EXPECT_FALSE(dropped.ok());
+  ASSERT_TRUE(WaitFor([&server] { return server.accept_faults() == 1; }));
+
+  // The daemon shrugged it off; the next connection works.
+  auto healthy = Request(server.port(), R"({"op":"status"})");
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_TRUE(IsOk(*healthy)) << *healthy;
+}
+
+TEST_F(ServiceIntegrationTest, EnqueueFaultSurfacesAsInternalError) {
+  FdxServer& server = StartServer(ServerOptions{});
+  ASSERT_TRUE(ArmFaults(std::string(kFaultServiceEnqueue) + ":1").ok());
+
+  auto faulted = Request(server.port(), DiscoverTableRequest(20, 4));
+  ASSERT_TRUE(faulted.ok());
+  EXPECT_FALSE(IsOk(*faulted)) << *faulted;
+  EXPECT_EQ(ErrorCode(*faulted), "Internal");
+
+  DisarmFaults();
+  auto healthy = Request(server.port(), DiscoverTableRequest(20, 4));
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_TRUE(IsOk(*healthy)) << *healthy;
+}
+
+TEST_F(ServiceIntegrationTest, SessionErrorPaths) {
+  ServerOptions options;
+  options.max_sessions = 1;
+  FdxServer& server = StartServer(options);
+
+  auto unknown = Request(server.port(),
+                         R"({"op":"discover","session":"s-404"})");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(ErrorCode(*unknown), "NotFound");
+
+  auto dup_schema = Request(server.port(),
+                            R"({"op":"open","schema":["a","a"]})");
+  ASSERT_TRUE(dup_schema.ok());
+  EXPECT_EQ(ErrorCode(*dup_schema), "InvalidArgument");
+
+  auto open = Request(server.port(), R"({"op":"open","schema":["a","b"]})");
+  ASSERT_TRUE(open.ok());
+  ASSERT_TRUE(IsOk(*open)) << *open;
+
+  // Capacity: a second session is refused with the retry hint.
+  auto over_cap = Request(server.port(), R"({"op":"open","schema":["x"]})");
+  ASSERT_TRUE(over_cap.ok());
+  EXPECT_EQ(ErrorCode(*over_cap), "Unavailable");
+  EXPECT_TRUE(JsonValue::Parse(*over_cap)->BoolOr("retry", false));
+
+  // Width mismatch against the session schema.
+  auto bad_width = Request(
+      server.port(), R"({"op":"append","session":"s-1","rows":[[1],[2]]})");
+  ASSERT_TRUE(bad_width.ok());
+  EXPECT_EQ(ErrorCode(*bad_width), "InvalidArgument");
+
+  // Per-request options are rejected on session discovers.
+  auto opts = Request(
+      server.port(),
+      R"({"op":"discover","session":"s-1","options":{"lambda":0.1}})");
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(ErrorCode(*opts), "InvalidArgument");
+
+  // Sub-2-row append is refused by IncrementalFdx.
+  auto tiny = Request(server.port(),
+                      R"({"op":"append","session":"s-1","rows":[[1,2]]})");
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(ErrorCode(*tiny), "InvalidArgument");
+}
+
+TEST_F(ServiceIntegrationTest, SessionTtlEvictionOverTheWire) {
+  ServerOptions options;
+  options.session_ttl_seconds = 0.05;
+  FdxServer& server = StartServer(options);
+
+  auto open = Request(server.port(), R"({"op":"open","schema":["a","b"]})");
+  ASSERT_TRUE(open.ok());
+  ASSERT_TRUE(IsOk(*open)) << *open;
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  auto expired = Request(server.port(),
+                         R"({"op":"append","session":"s-1","rows":)" +
+                             RowsJson(4, 2) + "}");
+  ASSERT_TRUE(expired.ok());
+  EXPECT_EQ(ErrorCode(*expired), "NotFound");
+  EXPECT_EQ(server.sessions().evicted(), 1u);
+}
+
+TEST_F(ServiceIntegrationTest, MalformedRequestsKeepTheConnectionAlive) {
+  FdxServer& server = StartServer(ServerOptions{});
+  auto sock = Socket::ConnectLoopback(server.port());
+  ASSERT_TRUE(sock.ok());
+
+  const std::vector<std::string> bad_lines = {
+      "this is not json",
+      "{\"no\":\"op\"}",
+      "{\"op\":\"frobnicate\"}",
+      "{\"op\":\"sleep\"}",  // debug op while debug ops are disabled
+  };
+  for (const std::string& line : bad_lines) {
+    ASSERT_TRUE(sock->SendAll(line + "\n").ok());
+    std::string response;
+    ASSERT_TRUE(sock->ReadLine(&response).ok()) << line;
+    EXPECT_FALSE(IsOk(response)) << line << " -> " << response;
+  }
+  // Still alive after four bad requests.
+  ASSERT_TRUE(sock->SendAll("{\"op\":\"status\"}\n").ok());
+  std::string response;
+  ASSERT_TRUE(sock->ReadLine(&response).ok());
+  EXPECT_TRUE(IsOk(response)) << response;
+}
+
+TEST_F(ServiceIntegrationTest, DiscoverHonorsRequestOptions) {
+  FdxServer& server = StartServer(ServerOptions{});
+
+  // A microscopic time budget must produce a structured Timeout, and
+  // distinct options must produce distinct cache entries.
+  const std::string base = DiscoverTableRequest(40, 5);
+  std::string with_budget = base;
+  with_budget.insert(with_budget.size() - 1,
+                     R"(,"options":{"time_budget_seconds":1e-9})");
+  auto timed_out = Request(server.port(), with_budget);
+  ASSERT_TRUE(timed_out.ok());
+  EXPECT_EQ(ErrorCode(*timed_out), "Timeout") << *timed_out;
+
+  auto fine = Request(server.port(), base);
+  ASSERT_TRUE(fine.ok());
+  EXPECT_TRUE(IsOk(*fine)) << *fine;
+
+  std::string with_seed = base;
+  with_seed.insert(with_seed.size() - 1, R"(,"options":{"seed":9})");
+  auto seeded = Request(server.port(), with_seed);
+  ASSERT_TRUE(seeded.ok());
+  EXPECT_TRUE(IsOk(*seeded)) << *seeded;
+  // seed is part of the canonical key: no false cache hit.
+  EXPECT_EQ(server.cache().hits(), 0u);
+}
+
+}  // namespace
+}  // namespace fdx

@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "service/job_queue.h"
+#include "service/json_parser.h"
+#include "service/protocol.h"
+#include "service/result_cache.h"
+#include "service/session_registry.h"
+#include "util/fingerprint.h"
+#include "util/json_writer.h"
+
+namespace fdx {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+TEST(JsonParserTest, ParsesScalars) {
+  auto v = JsonValue::Parse("null");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+
+  v = JsonValue::Parse("true");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->bool_value());
+
+  v = JsonValue::Parse("-12.5e2");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->number_value(), -1250.0);
+
+  v = JsonValue::Parse("\"hi\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "hi");
+}
+
+TEST(JsonParserTest, ParsesNestedDocument) {
+  auto v = JsonValue::Parse(
+      R"({"op":"discover","rows":[[1,"x",null],[2,"y",3.5]],"nested":{"deep":[true]}})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->StringOr("op", ""), "discover");
+  const JsonValue* rows = v->Find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->array().size(), 2u);
+  EXPECT_DOUBLE_EQ(rows->array()[0].array()[0].number_value(), 1.0);
+  EXPECT_TRUE(rows->array()[0].array()[2].is_null());
+  const JsonValue* nested = v->Find("nested");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_TRUE(nested->Find("deep")->array()[0].bool_value());
+}
+
+TEST(JsonParserTest, DecodesEscapesAndSurrogatePairs) {
+  auto v = JsonValue::Parse(R"("a\n\t\"\\\u0041\u00e9\ud83d\ude00")");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->string_value(), "a\n\t\"\\A\xC3\xA9\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParserTest, LastDuplicateKeyWins) {
+  auto v = JsonValue::Parse(R"({"a":1,"a":2})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->Find("a")->number_value(), 2.0);
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("{}extra").ok());
+  EXPECT_FALSE(JsonValue::Parse("{'a':1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"\\ud83d\"").ok());  // lone surrogate
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  EXPECT_FALSE(JsonValue::Parse("1e999").ok());  // overflows to infinity
+}
+
+TEST(JsonParserTest, RejectsAbsurdNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonParserTest, RoundTripsWriterEscaping) {
+  // The writer's escaping and the parser's decoding must be inverse
+  // functions — the protocol ships arbitrary cell strings through both.
+  std::string nasty;
+  for (int c = 1; c < 0x20; ++c) nasty.push_back(static_cast<char>(c));
+  nasty += "\"\\ plain \xC3\xA9\xF0\x9F\x98\x80";
+  JsonWriter writer;
+  writer.String(nasty);
+  auto parsed = JsonValue::Parse(writer.TakeString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->string_value(), nasty);
+}
+
+// --------------------------------------------------------- Fingerprint
+
+TEST(FingerprintTest, FramingPreventsConcatenationCollisions) {
+  Fingerprint a;
+  a.UpdateString("ab");
+  a.UpdateString("c");
+  Fingerprint b;
+  b.UpdateString("a");
+  b.UpdateString("bc");
+  EXPECT_NE(a.Hex(), b.Hex());
+  EXPECT_EQ(a.Hex().size(), 32u);
+}
+
+TEST(FingerprintTest, Deterministic) {
+  Fingerprint a;
+  a.UpdateU64(7);
+  a.UpdateDouble(1.5);
+  Fingerprint b;
+  b.UpdateU64(7);
+  b.UpdateDouble(1.5);
+  EXPECT_EQ(a.Hex(), b.Hex());
+}
+
+Table MakeTable(std::vector<std::string> names,
+                const std::vector<std::vector<int64_t>>& rows) {
+  Table table{Schema(std::move(names))};
+  for (const auto& row : rows) {
+    std::vector<Value> cells;
+    for (int64_t v : row) cells.emplace_back(v);
+    table.AppendRow(std::move(cells));
+  }
+  return table;
+}
+
+TEST(FingerprintTableTest, SensitiveToCellsSchemaAndTypes) {
+  const Table base = MakeTable({"a", "b"}, {{1, 2}, {3, 4}});
+  EXPECT_EQ(FingerprintTable(base),
+            FingerprintTable(MakeTable({"a", "b"}, {{1, 2}, {3, 4}})));
+  EXPECT_NE(FingerprintTable(base),
+            FingerprintTable(MakeTable({"a", "b"}, {{1, 2}, {3, 5}})));
+  EXPECT_NE(FingerprintTable(base),
+            FingerprintTable(MakeTable({"a", "c"}, {{1, 2}, {3, 4}})));
+
+  // null, 0, and "" are three different cells, not one.
+  Table null_cell{Schema({"a"})};
+  null_cell.AppendRow({Value::Null()});
+  Table zero_cell{Schema({"a"})};
+  zero_cell.AppendRow({Value(int64_t{0})});
+  Table empty_cell{Schema({"a"})};
+  empty_cell.AppendRow({Value(std::string())});
+  EXPECT_NE(FingerprintTable(null_cell), FingerprintTable(zero_cell));
+  EXPECT_NE(FingerprintTable(null_cell), FingerprintTable(empty_cell));
+  EXPECT_NE(FingerprintTable(zero_cell), FingerprintTable(empty_cell));
+}
+
+TEST(FingerprintTableTest, BatchBoundariesAreResultRelevant) {
+  // One 4-row batch vs two 2-row batches: batch-local pairing makes
+  // these different datasets to IncrementalFdx, so their running
+  // fingerprints must differ too.
+  const Table whole = MakeTable({"a", "b"}, {{1, 2}, {3, 4}, {5, 6}, {7, 8}});
+  const Table first = MakeTable({"a", "b"}, {{1, 2}, {3, 4}});
+  const Table second = MakeTable({"a", "b"}, {{5, 6}, {7, 8}});
+
+  Fingerprint one_batch;
+  one_batch.UpdateString("batch");
+  UpdateTableFingerprint(&one_batch, whole);
+
+  Fingerprint two_batches;
+  two_batches.UpdateString("batch");
+  UpdateTableFingerprint(&two_batches, first);
+  two_batches.UpdateString("batch");
+  UpdateTableFingerprint(&two_batches, second);
+
+  EXPECT_NE(one_batch.Hex(), two_batches.Hex());
+}
+
+// -------------------------------------------------- options / protocol
+
+TEST(CanonicalOptionsKeyTest, TracksResultAffectingKnobsOnly) {
+  const FdxOptions base;
+  FdxOptions changed = base;
+  changed.lambda = 0.2;
+  EXPECT_NE(CanonicalOptionsKey(base), CanonicalOptionsKey(changed));
+
+  changed = base;
+  changed.recovery.enabled = false;
+  EXPECT_NE(CanonicalOptionsKey(base), CanonicalOptionsKey(changed));
+
+  changed = base;
+  changed.transform.seed = 99;
+  EXPECT_NE(CanonicalOptionsKey(base), CanonicalOptionsKey(changed));
+
+  // Output-invariant knobs: threads (determinism contract) and the
+  // wall-clock budget must NOT fragment the cache.
+  changed = base;
+  changed.threads = 7;
+  changed.time_budget_seconds = 123.0;
+  EXPECT_EQ(CanonicalOptionsKey(base), CanonicalOptionsKey(changed));
+}
+
+TEST(ParseOptionsJsonTest, AppliesKnownKeys) {
+  auto json = JsonValue::Parse(
+      R"({"estimator":"seqlasso","lambda":0.11,"seed":5,"normalize":false,
+          "time_budget_seconds":2.5,"recovery":false})");
+  ASSERT_TRUE(json.ok());
+  auto options = ParseOptionsJson(*json, FdxOptions{});
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options->estimator, StructureEstimator::kSequentialLasso);
+  EXPECT_DOUBLE_EQ(options->lambda, 0.11);
+  EXPECT_EQ(options->transform.seed, 5u);
+  EXPECT_FALSE(options->normalize_covariance);
+  EXPECT_DOUBLE_EQ(options->time_budget_seconds, 2.5);
+  EXPECT_FALSE(options->recovery.enabled);
+}
+
+TEST(ParseOptionsJsonTest, RejectsUnknownAndMistypedKeys) {
+  auto unknown = JsonValue::Parse(R"({"lambada":0.1})");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_FALSE(ParseOptionsJson(*unknown, FdxOptions{}).ok());
+
+  auto mistyped = JsonValue::Parse(R"({"lambda":"big"})");
+  ASSERT_TRUE(mistyped.ok());
+  EXPECT_FALSE(ParseOptionsJson(*mistyped, FdxOptions{}).ok());
+
+  auto bad_estimator = JsonValue::Parse(R"({"estimator":"ols"})");
+  ASSERT_TRUE(bad_estimator.ok());
+  EXPECT_FALSE(ParseOptionsJson(*bad_estimator, FdxOptions{}).ok());
+
+  auto not_object = JsonValue::Parse("[1]");
+  ASSERT_TRUE(not_object.ok());
+  EXPECT_FALSE(ParseOptionsJson(*not_object, FdxOptions{}).ok());
+}
+
+TEST(JsonCellToValueTest, MapsKinds) {
+  auto integral = JsonCellToValue(JsonValue::MakeNumber(42.0));
+  ASSERT_TRUE(integral.ok());
+  EXPECT_EQ(integral->type(), ValueType::kInt);
+  EXPECT_EQ(integral->AsInt(), 42);
+
+  auto fractional = JsonCellToValue(JsonValue::MakeNumber(1.25));
+  ASSERT_TRUE(fractional.ok());
+  EXPECT_EQ(fractional->type(), ValueType::kDouble);
+
+  auto null_cell = JsonCellToValue(JsonValue());
+  ASSERT_TRUE(null_cell.ok());
+  EXPECT_EQ(null_cell->type(), ValueType::kNull);
+
+  EXPECT_FALSE(JsonCellToValue(JsonValue::MakeBool(true)).ok());
+}
+
+TEST(RenderErrorResponseTest, UnavailableCarriesRetryHint) {
+  const std::string busy =
+      RenderErrorResponse("discover", Status::Unavailable("queue full"));
+  auto parsed = JsonValue::Parse(busy);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->BoolOr("ok", true));
+  EXPECT_TRUE(parsed->BoolOr("retry", false));
+  EXPECT_EQ(parsed->Find("error")->StringOr("code", ""), "Unavailable");
+
+  const std::string invalid =
+      RenderErrorResponse("open", Status::InvalidArgument("bad schema"));
+  parsed = JsonValue::Parse(invalid);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("retry"), nullptr);
+}
+
+// ------------------------------------------------------------ JobQueue
+
+TEST(JobQueueTest, ExecutesSubmittedJobs) {
+  JobQueue queue(2, 4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.Submit([&ran] { ran.fetch_add(1); }).ok());
+  }
+  EXPECT_TRUE(queue.Drain(5.0));
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_EQ(queue.executed(), 4u);
+  EXPECT_EQ(queue.rejected(), 0u);
+}
+
+TEST(JobQueueTest, RejectsBeyondCapacityWithUnavailable) {
+  JobQueue queue(1, 2);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  // Occupy the worker and the one remaining admission slot.
+  ASSERT_TRUE(queue.Submit([gate] { gate.wait(); }).ok());
+  ASSERT_TRUE(queue.Submit([gate] { gate.wait(); }).ok());
+  const Status third = queue.Submit([] {});
+  EXPECT_FALSE(third.ok());
+  EXPECT_EQ(third.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(queue.rejected(), 1u);
+  release.set_value();
+  EXPECT_TRUE(queue.Drain(5.0));
+  EXPECT_EQ(queue.executed(), 2u);
+}
+
+TEST(JobQueueTest, CloseIntakeRejectsNewWork) {
+  JobQueue queue(1, 4);
+  queue.CloseIntake();
+  const Status rejected = queue.Submit([] {});
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
+}
+
+TEST(JobQueueTest, DrainTimesOutOnStuckJob) {
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  JobQueue queue(1, 1);
+  ASSERT_TRUE(queue.Submit([gate] { gate.wait(); }).ok());
+  EXPECT_FALSE(queue.Drain(0.05));
+  release.set_value();  // let the destructor's unbounded drain finish
+}
+
+// ----------------------------------------------------------- Sessions
+
+TEST(SessionRegistryTest, OpenGetCloseLifecycle) {
+  SessionRegistry registry(4, 0.0);
+  auto first = registry.Open(Schema({"a", "b"}), FdxOptions{});
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ((*first)->id, "s-1");
+  auto second = registry.Open(Schema({"c"}), FdxOptions{});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*second)->id, "s-2");
+  EXPECT_EQ(registry.size(), 2u);
+
+  auto found = registry.Get("s-1");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->fdx.schema().size(), 2u);
+
+  auto missing = registry.Get("s-99");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  EXPECT_TRUE(registry.Close("s-1"));
+  EXPECT_FALSE(registry.Close("s-1"));
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(SessionRegistryTest, EnforcesMaxSessions) {
+  SessionRegistry registry(2, 0.0);
+  ASSERT_TRUE(registry.Open(Schema({"a"}), FdxOptions{}).ok());
+  ASSERT_TRUE(registry.Open(Schema({"a"}), FdxOptions{}).ok());
+  auto third = registry.Open(Schema({"a"}), FdxOptions{});
+  EXPECT_EQ(third.status().code(), StatusCode::kUnavailable);
+  // Freeing a slot lets the next open through; ids never recycle.
+  ASSERT_TRUE(registry.Close("s-1"));
+  auto fourth = registry.Open(Schema({"a"}), FdxOptions{});
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_EQ((*fourth)->id, "s-3");
+}
+
+TEST(SessionRegistryTest, EvictsIdleSessionsAfterTtl) {
+  SessionRegistry registry(4, 0.02);
+  ASSERT_TRUE(registry.Open(Schema({"a"}), FdxOptions{}).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(registry.EvictExpired(), 1u);
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.evicted(), 1u);
+  EXPECT_EQ(registry.Get("s-1").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SessionRegistryTest, GetRefreshesTtl) {
+  SessionRegistry registry(4, 0.2);
+  ASSERT_TRUE(registry.Open(Schema({"a"}), FdxOptions{}).ok());
+  for (int i = 0; i < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    ASSERT_TRUE(registry.Get("s-1").ok()) << "iteration " << i;
+  }
+}
+
+// -------------------------------------------------------- ResultCache
+
+TEST(ResultCacheTest, HitMissAndCounters) {
+  ResultCache cache(4);
+  std::string payload;
+  EXPECT_FALSE(cache.Lookup("k1", &payload));
+  cache.Insert("k1", "v1");
+  ASSERT_TRUE(cache.Lookup("k1", &payload));
+  EXPECT_EQ(payload, "v1");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.Insert("a", "1");
+  cache.Insert("b", "2");
+  std::string payload;
+  ASSERT_TRUE(cache.Lookup("a", &payload));  // "b" is now LRU
+  cache.Insert("c", "3");
+  EXPECT_FALSE(cache.Lookup("b", &payload));
+  EXPECT_TRUE(cache.Lookup("a", &payload));
+  EXPECT_TRUE(cache.Lookup("c", &payload));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCacheTest, InsertRefreshesExistingKey) {
+  ResultCache cache(2);
+  cache.Insert("a", "old");
+  cache.Insert("a", "new");
+  EXPECT_EQ(cache.size(), 1u);
+  std::string payload;
+  ASSERT_TRUE(cache.Lookup("a", &payload));
+  EXPECT_EQ(payload, "new");
+}
+
+}  // namespace
+}  // namespace fdx

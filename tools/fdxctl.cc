@@ -1,0 +1,229 @@
+// fdxctl — command-line client of the fdxd daemon.
+//
+// Subcommands (every one needs --port=N or --port-file=PATH):
+//   open     --schema=a,b,c [--options='{...}']          -> session id
+//   append   --session=s-1 (--csv-file=PATH | --rows='[[...]]')
+//   discover (--session=s-1 | --csv-file=PATH | --csv-path=PATH
+//             | --table='{...}') [--options='{...}']
+//   status
+//   shutdown
+//   sleep    --seconds=S          (needs a --debug-ops daemon; test aid)
+//   raw      --json='{"op":...}'  (send one verbatim request line)
+//
+// --csv-file reads a local CSV and ships its *contents* inline;
+// --csv-path sends the path for the daemon to read server-side.
+// --options / --rows / --table values are embedded verbatim as JSON.
+//
+// The raw response line is printed to stdout. Exit codes: 0 ok,
+// 1 server-reported error, 2 usage, 3 connect failure, 4 timeout
+// error, 5 busy (Unavailable — back off and retry).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/json_parser.h"
+#include "util/json_writer.h"
+#include "util/socket.h"
+
+namespace fdx::ctl {
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) flags_.emplace_back(argv[i]);
+  }
+
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    const std::string prefix = "--" + name + "=";
+    for (const auto& flag : flags_) {
+      if (flag.rfind(prefix, 0) == 0) return flag.substr(prefix.size());
+    }
+    return fallback;
+  }
+
+  bool Has(const std::string& name) const {
+    for (const auto& flag : flags_) {
+      if (flag == "--" + name) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::string> flags_;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: fdxctl <op> --port=N|--port-file=PATH [op flags]\n"
+      "  open     --schema=a,b,c [--options='{...}']\n"
+      "  append   --session=ID (--csv-file=PATH | --rows='[[...]]')\n"
+      "  discover (--session=ID | --csv-file=PATH | --csv-path=PATH |\n"
+      "            --table='{...}') [--options='{...}']\n"
+      "  status | shutdown | sleep --seconds=S | raw --json='{...}'\n");
+  return 2;
+}
+
+std::string Quote(const std::string& text) {
+  return "\"" + JsonWriter::Escape(text) + "\"";
+}
+
+/// Resolves the daemon port from --port or --port-file; 0 on failure.
+uint16_t ResolvePort(const Args& args) {
+  const std::string port = args.Get("port");
+  if (!port.empty()) return static_cast<uint16_t>(std::atoi(port.c_str()));
+  const std::string port_file = args.Get("port-file");
+  if (!port_file.empty()) {
+    std::ifstream in(port_file);
+    int value = 0;
+    if (in >> value && value > 0 && value < 65536) {
+      return static_cast<uint16_t>(value);
+    }
+  }
+  return 0;
+}
+
+Result<std::string> SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed on " + path);
+  return contents.str();
+}
+
+/// Builds the request line for `op`, or an error for bad flag combos.
+Result<std::string> BuildRequest(const std::string& op, const Args& args) {
+  if (op == "raw") {
+    const std::string json = args.Get("json");
+    if (json.empty()) return Status::InvalidArgument("raw needs --json=");
+    return json;
+  }
+
+  std::string request = "{\"op\":" + Quote(op);
+  const std::string options = args.Get("options");
+
+  if (op == "open") {
+    const std::string schema = args.Get("schema");
+    if (schema.empty()) return Status::InvalidArgument("open needs --schema=");
+    request += ",\"schema\":[";
+    std::string name;
+    std::istringstream names(schema);
+    bool first = true;
+    while (std::getline(names, name, ',')) {
+      if (!first) request += ",";
+      request += Quote(name);
+      first = false;
+    }
+    request += "]";
+  } else if (op == "append") {
+    const std::string session = args.Get("session");
+    if (session.empty()) {
+      return Status::InvalidArgument("append needs --session=");
+    }
+    request += ",\"session\":" + Quote(session);
+    const std::string csv_file = args.Get("csv-file");
+    const std::string rows = args.Get("rows");
+    if (csv_file.empty() == rows.empty()) {
+      return Status::InvalidArgument(
+          "append needs exactly one of --csv-file= or --rows=");
+    }
+    if (!csv_file.empty()) {
+      Result<std::string> contents = SlurpFile(csv_file);
+      if (!contents.ok()) return contents.status();
+      request += ",\"csv\":" + Quote(contents.value());
+    } else {
+      request += ",\"rows\":" + rows;
+    }
+  } else if (op == "discover") {
+    const std::string session = args.Get("session");
+    const std::string csv_file = args.Get("csv-file");
+    const std::string csv_path = args.Get("csv-path");
+    const std::string table = args.Get("table");
+    const int sources = !session.empty() + !csv_file.empty() +
+                        !csv_path.empty() + !table.empty();
+    if (sources != 1) {
+      return Status::InvalidArgument(
+          "discover needs exactly one of --session=, --csv-file=, "
+          "--csv-path=, --table=");
+    }
+    if (!session.empty()) {
+      request += ",\"session\":" + Quote(session);
+    } else if (!csv_file.empty()) {
+      Result<std::string> contents = SlurpFile(csv_file);
+      if (!contents.ok()) return contents.status();
+      request += ",\"csv\":" + Quote(contents.value());
+    } else if (!csv_path.empty()) {
+      request += ",\"csv_path\":" + Quote(csv_path);
+    } else {
+      request += ",\"table\":" + table;
+    }
+  } else if (op == "sleep") {
+    request += ",\"seconds\":" + args.Get("seconds", "0.05");
+  } else if (op != "status" && op != "shutdown") {
+    return Status::InvalidArgument("unknown op \"" + op + "\"");
+  }
+
+  if (!options.empty()) request += ",\"options\":" + options;
+  return request + "}";
+}
+
+/// Maps the response line to the exit code contract.
+int ExitCodeFor(const std::string& response) {
+  Result<JsonValue> parsed = JsonValue::Parse(response);
+  if (!parsed.ok()) return 1;  // daemon spoke, but not JSON — treat as error
+  if (parsed->BoolOr("ok", false)) return 0;
+  const JsonValue* error = parsed->Find("error");
+  const std::string code =
+      error == nullptr ? "" : error->StringOr("code", "");
+  if (code == "Unavailable") return 5;
+  if (code == "Timeout") return 4;
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string op = argv[1];
+  const Args args(argc, argv);
+
+  Result<std::string> request = BuildRequest(op, args);
+  if (!request.ok()) {
+    std::fprintf(stderr, "fdxctl: %s\n", request.status().ToString().c_str());
+    return 2;
+  }
+
+  const uint16_t port = ResolvePort(args);
+  if (port == 0) {
+    std::fprintf(stderr, "fdxctl: need --port=N or --port-file=PATH\n");
+    return 2;
+  }
+  Result<Socket> sock = Socket::ConnectLoopback(port);
+  if (!sock.ok()) {
+    std::fprintf(stderr, "fdxctl: %s\n", sock.status().ToString().c_str());
+    return 3;
+  }
+  Status sent = sock->SendAll(request.value() + "\n");
+  if (!sent.ok()) {
+    std::fprintf(stderr, "fdxctl: %s\n", sent.ToString().c_str());
+    return 3;
+  }
+  std::string response;
+  Status read = sock->ReadLine(&response);
+  if (!read.ok()) {
+    std::fprintf(stderr, "fdxctl: %s\n", read.ToString().c_str());
+    return 3;
+  }
+  std::printf("%s\n", response.c_str());
+  return ExitCodeFor(response);
+}
+
+}  // namespace
+}  // namespace fdx::ctl
+
+int main(int argc, char** argv) { return fdx::ctl::Main(argc, argv); }

@@ -1,0 +1,116 @@
+// fdxd — the FD-discovery daemon (loopback TCP, line-delimited JSON).
+//
+// Serves the ops documented in DESIGN.md §9: open / append / discover /
+// status / shutdown (plus the test-only `sleep` behind --debug-ops).
+// Shut it down with `fdxctl shutdown`; the daemon drains in-flight
+// discovery jobs under --drain-seconds and exits.
+//
+// Flags (all --key=value):
+//   --port=N            listen port; 0 (default) picks an ephemeral port
+//   --port-file=PATH    write the bound port to PATH (for scripts/CI)
+//   --workers=N         discovery worker threads            (default 2)
+//   --queue-capacity=N  admitted-unfinished job cap         (default 8)
+//   --max-sessions=N    open dataset sessions cap           (default 32)
+//   --session-ttl=SEC   idle-session eviction, <=0 disables (default 600)
+//   --drain-seconds=SEC shutdown drain budget               (default 10)
+//   --cache-capacity=N  result-cache entries                (default 64)
+//   --lambda=, --time-budget=   baseline FdxOptions for requests that
+//                               don't override them
+//   --debug-ops         enable the test-only `sleep` op
+//
+// Exit codes: 0 clean shutdown (jobs drained), 1 startup failure or
+// unclean drain, 2 usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "service/server.h"
+
+namespace fdx::daemon {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: fdxd [--port=N] [--port-file=PATH] [--workers=N]\n"
+               "            [--queue-capacity=N] [--max-sessions=N]\n"
+               "            [--session-ttl=SEC] [--drain-seconds=SEC]\n"
+               "            [--cache-capacity=N] [--lambda=L]\n"
+               "            [--time-budget=SEC] [--debug-ops]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  ServerOptions options;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg](const char* prefix) {
+      return arg.substr(std::string(prefix).size());
+    };
+    if (arg.rfind("--port=", 0) == 0) {
+      options.port = static_cast<uint16_t>(std::atoi(value("--port=").c_str()));
+    } else if (arg.rfind("--port-file=", 0) == 0) {
+      port_file = value("--port-file=");
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      options.workers =
+          static_cast<size_t>(std::atoi(value("--workers=").c_str()));
+    } else if (arg.rfind("--queue-capacity=", 0) == 0) {
+      options.queue_capacity =
+          static_cast<size_t>(std::atoi(value("--queue-capacity=").c_str()));
+    } else if (arg.rfind("--max-sessions=", 0) == 0) {
+      options.max_sessions =
+          static_cast<size_t>(std::atoi(value("--max-sessions=").c_str()));
+    } else if (arg.rfind("--session-ttl=", 0) == 0) {
+      options.session_ttl_seconds = std::atof(value("--session-ttl=").c_str());
+    } else if (arg.rfind("--drain-seconds=", 0) == 0) {
+      options.drain_seconds = std::atof(value("--drain-seconds=").c_str());
+    } else if (arg.rfind("--cache-capacity=", 0) == 0) {
+      options.cache_capacity =
+          static_cast<size_t>(std::atoi(value("--cache-capacity=").c_str()));
+    } else if (arg.rfind("--lambda=", 0) == 0) {
+      options.fdx.lambda = std::atof(value("--lambda=").c_str());
+    } else if (arg.rfind("--time-budget=", 0) == 0) {
+      options.fdx.time_budget_seconds =
+          std::atof(value("--time-budget=").c_str());
+    } else if (arg == "--debug-ops") {
+      options.enable_debug_ops = true;
+    } else {
+      std::fprintf(stderr, "fdxd: unknown flag %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  FdxServer server(options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "fdxd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    out << server.port() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "fdxd: cannot write port file %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+  }
+  std::printf("fdxd listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  server.Wait();  // returns after a `shutdown` request finished draining
+  if (!server.drained_cleanly()) {
+    std::fprintf(stderr, "fdxd: drain budget expired with jobs in flight\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdx::daemon
+
+int main(int argc, char** argv) { return fdx::daemon::Main(argc, argv); }
