@@ -63,6 +63,32 @@ BENCHMARK(BM_PairTransformMoments)
     ->Args({10000, 8})
     ->Args({10000, 32});
 
+void BM_PairTransformPacked(benchmark::State& state) {
+  const SyntheticDataset ds =
+      MakeData(static_cast<size_t>(state.range(0)),
+               static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto packed = PairTransformPacked(ds.noisy, {});
+    benchmark::DoNotOptimize(packed);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1));
+}
+BENCHMARK(BM_PairTransformPacked)->Args({10000, 8})->Args({10000, 32});
+
+void BM_PairTransformCounts(benchmark::State& state) {
+  const SyntheticDataset ds =
+      MakeData(static_cast<size_t>(state.range(0)),
+               static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto counts = PairTransformCounts(ds.noisy, {});
+    benchmark::DoNotOptimize(counts);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1));
+}
+BENCHMARK(BM_PairTransformCounts)->Args({10000, 8})->Args({10000, 32});
+
 void BM_GraphicalLasso(benchmark::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
   const SyntheticDataset ds = MakeData(2000, k);
@@ -238,7 +264,14 @@ int RunScalingReport(const bench::Flags& flags) {
     for (size_t j = 0; j < attrs; ++j) samples(i, j) = rng.NextGaussian();
   }
 
+  // The three transform_* stages break pair_transform_moments into its
+  // packed-engine phases (counting sort / bit packing / popcount
+  // accumulation). They are *CPU* seconds summed across worker threads,
+  // so at T threads they can exceed the stage's wall time.
   std::vector<ScalingStage> stages = {{"pair_transform_moments", {}},
+                                      {"transform_sort", {}},
+                                      {"transform_pack", {}},
+                                      {"transform_accumulate", {}},
                                       {"covariance", {}},
                                       {"fdx_discover", {}}};
   bool deterministic = true;
@@ -247,11 +280,23 @@ int RunScalingReport(const bench::Flags& flags) {
   for (size_t threads : thread_counts) {
     TransformOptions transform;
     transform.threads = threads;
-    const double transform_secs = MedianSeconds(reps, [&] {
+    std::vector<double> total_times, sort_times, pack_times, acc_times;
+    for (size_t r = 0; r < reps; ++r) {
+      TransformProfile profile;
+      transform.profile = &profile;
+      Stopwatch watch;
       auto moments = PairTransformMoments(ds.noisy, transform);
       benchmark::DoNotOptimize(moments);
-    });
-    stages[0].results.push_back({threads, transform_secs});
+      total_times.push_back(watch.ElapsedSeconds());
+      sort_times.push_back(profile.sort_seconds);
+      pack_times.push_back(profile.pack_seconds);
+      acc_times.push_back(profile.accumulate_seconds);
+    }
+    transform.profile = nullptr;
+    stages[0].results.push_back({threads, Median(total_times)});
+    stages[1].results.push_back({threads, Median(sort_times)});
+    stages[2].results.push_back({threads, Median(pack_times)});
+    stages[3].results.push_back({threads, Median(acc_times)});
     // Determinism check rides along: the moments at every thread count
     // must match the 1-thread reference bitwise.
     auto moments = PairTransformMoments(ds.noisy, transform);
@@ -267,7 +312,7 @@ int RunScalingReport(const bench::Flags& flags) {
       auto cov = Covariance(samples, threads);
       benchmark::DoNotOptimize(cov);
     });
-    stages[1].results.push_back({threads, cov_secs});
+    stages[4].results.push_back({threads, cov_secs});
 
     FdxOptions fdx_options;
     fdx_options.threads = threads;
@@ -276,7 +321,7 @@ int RunScalingReport(const bench::Flags& flags) {
       auto result = discoverer.Discover(ds.noisy);
       benchmark::DoNotOptimize(result);
     });
-    stages[2].results.push_back({threads, e2e_secs});
+    stages[5].results.push_back({threads, e2e_secs});
   }
 
   ReportTable table({"Stage", "Threads", "Seconds", "Speedup"});

@@ -30,19 +30,17 @@ Status IncrementalFdx::Append(const Table& batch) {
   if (transform.deadline == nullptr && options_.time_budget_seconds > 0.0) {
     transform.deadline = &deadline;
   }
-  FDX_ASSIGN_OR_RETURN(Matrix samples, PairTransform(batch, transform));
+  // The packed engine hands back the batch's integer moments directly:
+  // no double sample matrix is ever materialized, and the merged counts
+  // are identical to scanning one (the indicators are exact 0/1).
+  FDX_ASSIGN_OR_RETURN(TransformCounts batch_counts,
+                       PairTransformCounts(batch, transform));
   ++next_batch_seed_;
-  for (size_t row = 0; row < samples.rows(); ++row) {
-    const double* values = samples.RowPtr(row);
-    for (size_t x = 0; x < k; ++x) {
-      if (values[x] == 0.0) continue;
-      ++ones_[x];
-      for (size_t y = x; y < k; ++y) {
-        if (values[y] != 0.0) ++co_counts_[x * k + y];
-      }
-    }
+  for (size_t x = 0; x < k; ++x) ones_[x] += batch_counts.counts[x];
+  for (size_t c = 0; c < k * k; ++c) {
+    co_counts_[c] += batch_counts.co_counts[c];
   }
-  total_samples_ += samples.rows();
+  total_samples_ += batch_counts.num_samples;
   total_rows_ += batch.num_rows();
   ++total_batches_;
   return Status::OK();

@@ -14,9 +14,12 @@ namespace fdx {
 /// setting of DynFD, paper §6). The pair-transform moments are additive
 /// across *batches*: each appended batch contributes its own
 /// sort-and-shift tuple pairs, whose equality indicators accumulate
-/// into global co-occurrence counts. Re-estimating FDs after an append
-/// therefore costs one O(k^2) covariance assembly plus structure
-/// learning — no rescan of previous data.
+/// into global co-occurrence counts. A batch rides the bit-packed
+/// transform engine end to end (PairTransformCounts): its integer
+/// moments come straight out of the popcount kernels, with no per-batch
+/// double sample matrix. Re-estimating FDs after an append therefore
+/// costs one O(k^2) covariance assembly plus structure learning — no
+/// rescan of previous data.
 ///
 /// The batch-local pairing is an approximation of Algorithm 2 run on
 /// the union (pairs never span batches); it converges to the same

@@ -1,0 +1,47 @@
+#include "core/pairs.h"
+
+#include <numeric>
+
+namespace fdx {
+
+void StableSortByCodes(const std::vector<int32_t>& codes, size_t cardinality,
+                       const std::vector<uint32_t>& shuffled,
+                       std::vector<uint32_t>* order,
+                       std::vector<uint32_t>* buckets) {
+  const size_t n = shuffled.size();
+  order->resize(n);
+  // Key = code + 1, so kNullCode (-1) lands in bucket 0 and sorts first,
+  // exactly like the comparator `codes[a] < codes[b]`.
+  buckets->assign(cardinality + 2, 0);
+  std::vector<uint32_t>& b = *buckets;
+  for (uint32_t r : shuffled) {
+    ++b[static_cast<size_t>(codes[r] + 1) + 1];
+  }
+  for (size_t i = 1; i < b.size(); ++i) b[i] += b[i - 1];
+  // Placing elements in shuffle order keeps the shuffle as the tie
+  // breaker inside equal keys (counting sort is stable).
+  for (uint32_t r : shuffled) {
+    (*order)[b[static_cast<size_t>(codes[r] + 1)]++] = r;
+  }
+}
+
+void AttributePass::Reset(const EncodedTable& encoded,
+                          const std::vector<uint32_t>& shuffled, size_t attr,
+                          size_t max_pairs, uint64_t attr_seed) {
+  StableSortByCodes(encoded.column_codes(attr), encoded.Cardinality(attr),
+                    shuffled, &order_, &buckets_);
+  const size_t n = order_.size();
+  sampled_ = max_pairs != 0 && max_pairs < n;
+  num_pairs_ = n < 2 ? 0 : (sampled_ ? max_pairs : n);
+  if (!sampled_) return;
+  // Sampled variant: pick max_pairs distinct positions of the sorted
+  // sequence (still adjacent pairs, so the distribution matches the
+  // exact transform restricted to a subsample).
+  positions_.resize(n);
+  std::iota(positions_.begin(), positions_.end(), 0);
+  Rng rng(attr_seed);
+  rng.Shuffle(&positions_);
+  positions_.resize(max_pairs);
+}
+
+}  // namespace fdx

@@ -1,0 +1,80 @@
+#ifndef FDX_CORE_PAIRS_H_
+#define FDX_CORE_PAIRS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "util/rng.h"
+
+namespace fdx {
+
+/// Stable counting sort of `shuffled` by the dictionary codes of one
+/// column: `order` receives the permutation that std::stable_sort with
+/// key `codes[r]` would produce (kNullCode first, then codes ascending,
+/// ties kept in shuffle order). Codes are dense in [0, cardinality)
+/// (see EncodedTable), so cardinality + 1 buckets cover every key and
+/// the sort is O(n + cardinality) with no comparator calls. `buckets`
+/// is caller-owned scratch, reused across calls.
+///
+/// Row indices are uint32 throughout the pair layer: the order arrays
+/// are the hottest streamed data of the transform (every pass walks one
+/// per column), and 4-byte indices halve that bandwidth. PrepareTransform
+/// rejects tables with more than UINT32_MAX rows.
+void StableSortByCodes(const std::vector<int32_t>& codes, size_t cardinality,
+                       const std::vector<uint32_t>& shuffled,
+                       std::vector<uint32_t>* order,
+                       std::vector<uint32_t>* buckets);
+
+/// One sort-and-shift pass of Algorithm 2 for a single attribute: rows
+/// sorted by the attribute's codes (radix, shuffle as tie breaker), each
+/// sorted position paired with its successor (the last wraps to the
+/// first). Pairs are *enumerated*, never materialized: ForEachPair
+/// invokes an inline callback straight off the sorted order, so a pass
+/// costs no O(n) pair-vector allocation or extra walk.
+///
+/// The object is reusable scratch: Reset() re-sorts for the next
+/// attribute without reallocating.
+class AttributePass {
+ public:
+  /// Sorts for attribute `attr`. With max_pairs in (0, n) the pass emits
+  /// max_pairs sampled positions chosen by Rng(attr_seed) (the sampled
+  /// variant of the transform, §5.4); otherwise all n adjacent pairs.
+  void Reset(const EncodedTable& encoded,
+             const std::vector<uint32_t>& shuffled, size_t attr,
+             size_t max_pairs, uint64_t attr_seed);
+
+  size_t num_pairs() const { return num_pairs_; }
+  bool sampled() const { return sampled_; }
+  const std::vector<uint32_t>& order() const { return order_; }
+
+  /// Invokes fn(pair_index, row_a, row_b) for every emitted pair, in
+  /// emission order (pair_index runs 0..num_pairs()-1). row_a/row_b are
+  /// table row indices.
+  template <typename Fn>
+  void ForEachPair(Fn&& fn) const {
+    const size_t n = order_.size();
+    if (!sampled_) {
+      // Hot loop without the modulo: only the final pair wraps.
+      for (size_t j = 0; j + 1 < n; ++j) fn(j, order_[j], order_[j + 1]);
+      if (n >= 2) fn(n - 1, order_[n - 1], order_[0]);
+      return;
+    }
+    for (size_t i = 0; i < num_pairs_; ++i) {
+      const size_t j = positions_[i];
+      const size_t next = j + 1 == n ? 0 : j + 1;
+      fn(i, order_[j], order_[next]);
+    }
+  }
+
+ private:
+  std::vector<uint32_t> order_;
+  std::vector<uint32_t> buckets_;    ///< counting-sort scratch
+  std::vector<uint32_t> positions_;  ///< sampled sorted positions
+  size_t num_pairs_ = 0;
+  bool sampled_ = false;
+};
+
+}  // namespace fdx
+
+#endif  // FDX_CORE_PAIRS_H_

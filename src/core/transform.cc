@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <utility>
 
+#include "core/pairs.h"
 #include "util/thread_pool.h"
 
 namespace fdx {
@@ -25,119 +27,219 @@ size_t PairsPerAttribute(size_t n, size_t max_pairs) {
   return (max_pairs == 0 || max_pairs >= n) ? n : max_pairs;
 }
 
-/// Builds the per-attribute circularly-shifted pair list of Algorithm 2:
-/// rows are sorted by attribute `attr` and each row is paired with its
-/// successor (wrapping around). Returns pairs of row indices.
-std::vector<std::pair<size_t, size_t>> PairsForAttribute(
-    const EncodedTable& encoded, const std::vector<size_t>& shuffled,
-    size_t attr, size_t max_pairs, uint64_t attr_seed) {
-  std::vector<size_t> order = shuffled;
-  const auto& codes = encoded.column_codes(attr);
-  // Stable sort keeps the shuffle as the tie breaker inside equal keys,
-  // so pairs within a key group vary across attributes.
-  std::stable_sort(order.begin(), order.end(),
-                   [&codes](size_t a, size_t b) { return codes[a] < codes[b]; });
-  const size_t n = order.size();
-  std::vector<std::pair<size_t, size_t>> pairs;
-  if (n < 2) return pairs;
-  if (max_pairs == 0 || max_pairs >= n) {
-    pairs.reserve(n);
-    // Hot loop without the modulo: only the final pair wraps.
-    for (size_t j = 0; j + 1 < n; ++j) {
-      pairs.emplace_back(order[j], order[j + 1]);
-    }
-    pairs.emplace_back(order[n - 1], order[0]);
-    return pairs;
-  }
-  // Sampled variant: pick max_pairs distinct positions of the sorted
-  // sequence (still adjacent pairs, so the distribution matches the
-  // exact transform restricted to a subsample).
-  pairs.reserve(max_pairs);
-  std::vector<size_t> positions(n);
-  std::iota(positions.begin(), positions.end(), 0);
-  Rng rng(attr_seed);
-  rng.Shuffle(&positions);
-  for (size_t i = 0; i < max_pairs; ++i) {
-    const size_t j = positions[i];
-    const size_t next = j + 1 == n ? 0 : j + 1;
-    pairs.emplace_back(order[j], order[next]);
-  }
-  return pairs;
+/// Equality indicator with strict null semantics: a null matches nothing.
+inline uint64_t EqualCodes(int32_t a, int32_t b) {
+  return (a != EncodedTable::kNullCode && a == b) ? 1 : 0;
 }
 
-/// Equality indicator with strict null semantics: a null matches nothing.
-inline uint8_t EqualCodes(int32_t a, int32_t b) {
-  return (a != EncodedTable::kNullCode && a == b) ? 1 : 0;
+/// Sequential bit appender over a column's word array. Bits arrive in
+/// index order; whole words are stored once, the trailing partial word
+/// on Flush. The destination words must start zeroed (BitMatrix::Reset)
+/// or be fully overwritten (the writer covers every word it touches).
+class ColumnBitWriter {
+ public:
+  explicit ColumnBitWriter(uint64_t* words) : words_(words) {}
+
+  inline void Append(uint64_t bit) {
+    word_ |= bit << shift_;
+    if (++shift_ == 64) {
+      *words_++ = word_;
+      word_ = 0;
+      shift_ = 0;
+    }
+  }
+
+  void Flush() {
+    if (shift_ != 0) *words_ = word_;
+  }
+
+ private:
+  uint64_t* words_;
+  uint64_t word_ = 0;
+  unsigned shift_ = 0;
+};
+
+/// Appends one pass's equality bits for column `col` to `writer`. The
+/// full (uncapped) variant streams the sorted order with one gather per
+/// pair — the successor row of pair j is the predecessor row of pair
+/// j+1, so its code is carried over instead of reloaded.
+void AppendPassColumnBits(const EncodedTable& encoded,
+                          const AttributePass& pass, size_t col,
+                          ColumnBitWriter* writer) {
+  const std::vector<int32_t>& codes = encoded.column_codes(col);
+  if (!pass.sampled()) {
+    const std::vector<uint32_t>& order = pass.order();
+    const size_t n = order.size();
+    if (n < 2) return;
+    int32_t prev = codes[order[0]];
+    for (size_t j = 0; j + 1 < n; ++j) {
+      const int32_t cur = codes[order[j + 1]];
+      writer->Append(EqualCodes(prev, cur));
+      prev = cur;
+    }
+    // The wrap pair (order[n-1], order[0]); prev holds codes[order[n-1]].
+    writer->Append(EqualCodes(prev, codes[order[0]]));
+    return;
+  }
+  pass.ForEachPair([&](size_t, size_t a, size_t b) {
+    writer->Append(EqualCodes(codes[a], codes[b]));
+  });
+}
+
+/// Packs one pass's equality bits for every column into `bits`
+/// (num_pairs x k, reused across passes).
+void PackPassBits(const EncodedTable& encoded, const AttributePass& pass,
+                  BitMatrix* bits) {
+  const size_t k = encoded.num_columns();
+  bits->Reset(pass.num_pairs(), k);
+  for (size_t col = 0; col < k; ++col) {
+    ColumnBitWriter writer(bits->column_words(col));
+    AppendPassColumnBits(encoded, pass, col, &writer);
+    writer.Flush();
+  }
+}
+
+/// Per-thread stage timings, merged into the caller's TransformProfile
+/// under a mutex at chunk exit (profiling only; results never depend on
+/// it).
+struct LocalProfile {
+  double sort = 0.0;
+  double pack = 0.0;
+  double accumulate = 0.0;
+
+  void MergeInto(TransformProfile* profile, std::mutex* mu) const {
+    if (profile == nullptr) return;
+    std::lock_guard<std::mutex> lock(*mu);
+    profile->sort_seconds += sort;
+    profile->pack_seconds += pack;
+    profile->accumulate_seconds += accumulate;
+  }
+};
+
+/// Shared preamble of every transform entry point: validates the shape,
+/// encodes, shuffles, and forks the per-attribute seeds.
+struct TransformSetup {
+  EncodedTable encoded;
+  std::vector<uint32_t> shuffled;
+  std::vector<uint64_t> attr_seeds;
+  size_t per_attr = 0;
+};
+
+Result<TransformSetup> PrepareTransform(const Table& table,
+                                        const TransformOptions& options) {
+  const size_t k = table.num_columns();
+  const size_t n = table.num_rows();
+  if (k == 0 || n < 2) {
+    return Status::InvalidArgument(
+        "pair transform needs >= 2 rows and >= 1 column");
+  }
+  if (n > UINT32_MAX) {
+    // The pair layer streams 4-byte row indices (see core/pairs.h).
+    return Status::InvalidArgument("pair transform caps at 2^32 - 1 rows");
+  }
+  TransformSetup setup;
+  setup.encoded = EncodedTable::Encode(table);
+  Rng rng(options.seed);
+  setup.shuffled.resize(n);
+  std::iota(setup.shuffled.begin(), setup.shuffled.end(), uint32_t{0});
+  rng.Shuffle(&setup.shuffled);
+  setup.attr_seeds = ForkAttributeSeeds(&rng, k);
+  setup.per_attr = PairsPerAttribute(n, options.max_pairs_per_attribute);
+  return setup;
+}
+
+inline bool CheckDeadline(const TransformOptions& options,
+                          std::atomic<bool>* expired) {
+  if (options.deadline != nullptr &&
+      (expired->load(std::memory_order_relaxed) ||
+       options.deadline->Expired())) {
+    expired->store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
 
-Result<Matrix> PairTransform(const Table& table,
-                             const TransformOptions& options) {
-  const size_t k = table.num_columns();
-  const size_t n = table.num_rows();
-  if (k == 0 || n < 2) {
-    return Status::InvalidArgument(
-        "pair transform needs >= 2 rows and >= 1 column");
-  }
-  const EncodedTable encoded = EncodedTable::Encode(table);
-  Rng rng(options.seed);
-  std::vector<size_t> shuffled(n);
-  std::iota(shuffled.begin(), shuffled.end(), 0);
-  rng.Shuffle(&shuffled);
-  const std::vector<uint64_t> attr_seeds = ForkAttributeSeeds(&rng, k);
-
-  // Every pass emits the same pair count, so each attribute owns a fixed
-  // row range of the output; passes fill their ranges concurrently.
-  const size_t per_attr =
-      PairsPerAttribute(n, options.max_pairs_per_attribute);
-  Matrix out(per_attr * k, k);
+Result<BitMatrix> PairTransformPacked(const Table& table,
+                                      const TransformOptions& options) {
+  FDX_ASSIGN_OR_RETURN(TransformSetup setup, PrepareTransform(table, options));
+  const size_t k = setup.encoded.num_columns();
   std::atomic<bool> expired{false};
+  std::mutex profile_mu;
+
+  // Phase 1: sort every attribute pass (independent counting sorts).
+  // The orders are kept so phase 2 can parallelize over *output columns*
+  // instead of passes: one writer per column bit-vector, no word shared
+  // between threads, bit-identical at any thread count.
+  std::vector<AttributePass> passes(k);
   ParallelFor(0, k, options.threads, [&](size_t lo, size_t hi) {
+    LocalProfile local;
+    Stopwatch watch;
     for (size_t attr = lo; attr < hi; ++attr) {
-      if (options.deadline != nullptr &&
-          (expired.load(std::memory_order_relaxed) ||
-           options.deadline->Expired())) {
-        expired.store(true, std::memory_order_relaxed);
-        return;
-      }
-      const auto pairs =
-          PairsForAttribute(encoded, shuffled, attr,
-                            options.max_pairs_per_attribute, attr_seeds[attr]);
-      size_t row = attr * per_attr;
-      for (const auto& [a, b] : pairs) {
-        double* out_row = out.RowPtr(row++);
-        for (size_t c = 0; c < k; ++c) {
-          out_row[c] = EqualCodes(encoded.code(a, c), encoded.code(b, c));
-        }
-      }
+      if (CheckDeadline(options, &expired)) break;
+      watch.Reset();
+      passes[attr].Reset(setup.encoded, setup.shuffled, attr,
+                         options.max_pairs_per_attribute,
+                         setup.attr_seeds[attr]);
+      local.sort += watch.ElapsedSeconds();
     }
+    local.MergeInto(options.profile, &profile_mu);
   });
   if (expired.load(std::memory_order_relaxed)) {
     return Status::Timeout("pair transform: time budget exhausted");
   }
+
+  // Phase 2: pack the equality bits, one column per writer. Column c's
+  // bit r is sample r = pass * per_attr + pair_index, so each column is
+  // appended sequentially across all passes.
+  BitMatrix bits(setup.per_attr * k, k);
+  ParallelFor(0, k, options.threads, [&](size_t lo, size_t hi) {
+    LocalProfile local;
+    Stopwatch watch;
+    for (size_t col = lo; col < hi; ++col) {
+      if (CheckDeadline(options, &expired)) break;
+      watch.Reset();
+      ColumnBitWriter writer(bits.column_words(col));
+      for (size_t attr = 0; attr < k; ++attr) {
+        AppendPassColumnBits(setup.encoded, passes[attr], col, &writer);
+      }
+      writer.Flush();
+      local.pack += watch.ElapsedSeconds();
+    }
+    local.MergeInto(options.profile, &profile_mu);
+  });
+  if (expired.load(std::memory_order_relaxed)) {
+    return Status::Timeout("pair transform: time budget exhausted");
+  }
+  return bits;
+}
+
+Result<Matrix> PairTransform(const Table& table,
+                             const TransformOptions& options) {
+  FDX_ASSIGN_OR_RETURN(BitMatrix bits, PairTransformPacked(table, options));
+  Matrix out(bits.rows(), bits.cols());
+  ParallelFor(0, bits.rows(), options.threads, [&](size_t lo, size_t hi) {
+    bits.UnpackRows(lo, hi, &out);
+  });
   return out;
 }
 
-Result<TransformedMoments> PairTransformMoments(
-    const Table& table, const TransformOptions& options) {
-  const size_t k = table.num_columns();
-  const size_t n = table.num_rows();
-  if (k == 0 || n < 2) {
-    return Status::InvalidArgument(
-        "pair transform needs >= 2 rows and >= 1 column");
-  }
-  const EncodedTable encoded = EncodedTable::Encode(table);
-  Rng rng(options.seed);
-  std::vector<size_t> shuffled(n);
-  std::iota(shuffled.begin(), shuffled.end(), 0);
-  rng.Shuffle(&shuffled);
-  const std::vector<uint64_t> attr_seeds = ForkAttributeSeeds(&rng, k);
+namespace {
 
-  // Per-chunk integer accumulators: sums of counts commute exactly, so
-  // the merged moments are independent of the chunking. The pooled pass
-  // covariances are doubles, so they are kept per *attribute* and reduced
-  // in attribute order, which reproduces the serial accumulation bitwise.
+/// The streaming accumulation core shared by PairTransformCounts and
+/// PairTransformMoments: runs every attribute pass (sort, pack,
+/// popcount) without materializing more than one pass of bits per
+/// thread, merging integer counts commutatively. When `pass_cov` is
+/// non-null (pooled covariance), each pass additionally produces its
+/// own double covariance from its integer pass moments, stored per
+/// attribute and reduced in attribute order by the caller.
+Status AccumulatePasses(const TransformSetup& setup,
+                        const TransformOptions& options,
+                        std::vector<uint64_t>* counts,
+                        std::vector<uint64_t>* co_counts, size_t* total,
+                        std::vector<Matrix>* pass_cov) {
+  const size_t k = setup.encoded.num_columns();
   const size_t num_chunks =
       std::min(ResolveThreadCount(options.threads), k);
   std::vector<std::vector<uint64_t>> chunk_counts(
@@ -145,60 +247,46 @@ Result<TransformedMoments> PairTransformMoments(
   std::vector<std::vector<uint64_t>> chunk_co_counts(
       num_chunks, std::vector<uint64_t>(k * k, 0));
   std::vector<size_t> chunk_totals(num_chunks, 0);
-  std::vector<Matrix> pass_cov;
-  if (options.pooled_covariance) pass_cov.assign(k, Matrix());
   std::atomic<bool> expired{false};
+  std::mutex profile_mu;
 
   ParallelForChunks(
       0, k, num_chunks, options.threads,
       [&](size_t chunk, size_t lo, size_t hi) {
-        std::vector<uint64_t>& counts = chunk_counts[chunk];
-        std::vector<uint64_t>& co_counts = chunk_co_counts[chunk];
-        std::vector<uint64_t> pass_counts;
-        std::vector<uint64_t> pass_co_counts;
-        if (options.pooled_covariance) {
-          pass_counts.assign(k, 0);
-          pass_co_counts.assign(k * k, 0);
-        }
-        std::vector<size_t> ones;
-        ones.reserve(k);
+        AttributePass pass;
+        BitMatrix bits;
+        LocalProfile local;
+        Stopwatch watch;
+        std::vector<uint64_t> pass_counts(k, 0);
+        std::vector<uint64_t> pass_co_counts(k * k, 0);
         for (size_t attr = lo; attr < hi; ++attr) {
-          if (options.deadline != nullptr &&
-              (expired.load(std::memory_order_relaxed) ||
-               options.deadline->Expired())) {
-            expired.store(true, std::memory_order_relaxed);
-            return;
+          if (CheckDeadline(options, &expired)) break;
+          watch.Reset();
+          pass.Reset(setup.encoded, setup.shuffled, attr,
+                     options.max_pairs_per_attribute,
+                     setup.attr_seeds[attr]);
+          local.sort += watch.ElapsedSeconds();
+          watch.Reset();
+          PackPassBits(setup.encoded, pass, &bits);
+          local.pack += watch.ElapsedSeconds();
+          watch.Reset();
+          std::fill(pass_counts.begin(), pass_counts.end(), 0);
+          std::fill(pass_co_counts.begin(), pass_co_counts.end(), 0);
+          bits.AccumulateMoments(pass_counts.data(), pass_co_counts.data());
+          for (size_t c = 0; c < k; ++c) {
+            chunk_counts[chunk][c] += pass_counts[c];
           }
-          const auto pairs = PairsForAttribute(
-              encoded, shuffled, attr, options.max_pairs_per_attribute,
-              attr_seeds[attr]);
-          if (options.pooled_covariance) {
-            std::fill(pass_counts.begin(), pass_counts.end(), 0);
-            std::fill(pass_co_counts.begin(), pass_co_counts.end(), 0);
+          for (size_t c = 0; c < k * k; ++c) {
+            chunk_co_counts[chunk][c] += pass_co_counts[c];
           }
-          for (const auto& [a, b] : pairs) {
-            ones.clear();
-            for (size_t c = 0; c < k; ++c) {
-              if (EqualCodes(encoded.code(a, c), encoded.code(b, c))) {
-                ones.push_back(c);
-              }
-            }
-            for (size_t x : ones) {
-              ++counts[x];
-              if (options.pooled_covariance) ++pass_counts[x];
-              for (size_t y : ones) {
-                if (y < x) continue;
-                ++co_counts[x * k + y];
-                if (options.pooled_covariance) ++pass_co_counts[x * k + y];
-              }
-            }
-          }
-          chunk_totals[chunk] += pairs.size();
-          if (options.pooled_covariance && !pairs.empty()) {
-            // Pass-local covariance; summed across passes after the join.
+          chunk_totals[chunk] += pass.num_pairs();
+          local.accumulate += watch.ElapsedSeconds();
+          if (pass_cov != nullptr && pass.num_pairs() > 0) {
+            // Pass-local covariance from the pass's integer moments;
+            // summed across passes after the join.
             Matrix cov(k, k);
             const double inv_pass =
-                1.0 / static_cast<double>(pairs.size());
+                1.0 / static_cast<double>(pass.num_pairs());
             for (size_t x = 0; x < k; ++x) {
               const double mean_x =
                   static_cast<double>(pass_counts[x]) * inv_pass;
@@ -212,28 +300,55 @@ Result<TransformedMoments> PairTransformMoments(
                 cov(y, x) = value;
               }
             }
-            pass_cov[attr] = std::move(cov);
+            (*pass_cov)[attr] = std::move(cov);
           }
         }
+        local.MergeInto(options.profile, &profile_mu);
       });
 
   if (expired.load(std::memory_order_relaxed)) {
     return Status::Timeout("pair transform: time budget exhausted");
   }
-
-  std::vector<uint64_t> counts(k, 0);
-  std::vector<uint64_t> co_counts(k * k, 0);
-  size_t total = 0;
+  counts->assign(k, 0);
+  co_counts->assign(k * k, 0);
+  *total = 0;
   for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
-    for (size_t c = 0; c < k; ++c) counts[c] += chunk_counts[chunk][c];
+    for (size_t c = 0; c < k; ++c) (*counts)[c] += chunk_counts[chunk][c];
     for (size_t c = 0; c < k * k; ++c) {
-      co_counts[c] += chunk_co_counts[chunk][c];
+      (*co_counts)[c] += chunk_co_counts[chunk][c];
     }
-    total += chunk_totals[chunk];
+    *total += chunk_totals[chunk];
   }
-  if (total == 0) {
+  if (*total == 0) {
     return Status::InvalidArgument("pair transform produced no samples");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TransformCounts> PairTransformCounts(const Table& table,
+                                            const TransformOptions& options) {
+  FDX_ASSIGN_OR_RETURN(TransformSetup setup, PrepareTransform(table, options));
+  TransformCounts out;
+  FDX_RETURN_IF_ERROR(AccumulatePasses(setup, options, &out.counts,
+                                       &out.co_counts, &out.num_samples,
+                                       /*pass_cov=*/nullptr));
+  return out;
+}
+
+Result<TransformedMoments> PairTransformMoments(
+    const Table& table, const TransformOptions& options) {
+  FDX_ASSIGN_OR_RETURN(TransformSetup setup, PrepareTransform(table, options));
+  const size_t k = setup.encoded.num_columns();
+  std::vector<Matrix> pass_cov;
+  if (options.pooled_covariance) pass_cov.assign(k, Matrix());
+  std::vector<uint64_t> counts;
+  std::vector<uint64_t> co_counts;
+  size_t total = 0;
+  FDX_RETURN_IF_ERROR(AccumulatePasses(
+      setup, options, &counts, &co_counts, &total,
+      options.pooled_covariance ? &pass_cov : nullptr));
 
   TransformedMoments moments;
   moments.num_samples = total;

@@ -2,14 +2,27 @@
 #define FDX_CORE_TRANSFORM_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "data/table.h"
+#include "linalg/bitmatrix.h"
 #include "linalg/matrix.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 
 namespace fdx {
+
+/// Wall-clock breakdown of one transform call, filled when
+/// TransformOptions::profile points here. Purely observational (the
+/// bench's sort/pack/accumulate report); never influences results.
+/// Seconds are summed across attribute passes and threads, so with T
+/// threads the total can exceed the call's wall time.
+struct TransformProfile {
+  double sort_seconds = 0.0;        ///< counting-sort passes
+  double pack_seconds = 0.0;        ///< equality-bit packing
+  double accumulate_seconds = 0.0;  ///< popcount moment accumulation
+};
 
 /// Options of the pair-difference transform (paper Algorithm 2).
 struct TransformOptions {
@@ -40,19 +53,57 @@ struct TransformOptions {
   /// a run is over budget by at most one pass). Non-owning; expiry makes
   /// the transform return Status::Timeout.
   const Deadline* deadline = nullptr;
+  /// Optional stage-timing sink (see TransformProfile). Non-owning.
+  TransformProfile* profile = nullptr;
 };
 
+/// The packed transform engine. Samples of the pair transform are
+/// equality indicators Z_A = 1(t_i[A] = t_j[A]) — binary — so the
+/// engine never touches a double on the hot path:
+///
+///   1. each attribute pass sorts rows with a stable counting sort on
+///      the dictionary codes (O(n + cardinality), shuffle preserved as
+///      the tie breaker; see core/pairs.h);
+///   2. pairs are enumerated straight off the sorted order and their
+///      equality vectors packed into uint64 words (one bit per sample
+///      and column, column-major; see linalg/bitmatrix.h);
+///   3. moments come out of the words by popcount — counts[x] =
+///      popcount(col_x), co_counts[x][y] = popcount(col_x AND col_y) —
+///      all-integer, hence bit-identical at any thread count.
+///
+/// PairTransformPacked returns the packed sample matrix itself (pass
+/// p's samples are rows [p * pairs_per_pass, (p+1) * pairs_per_pass));
+/// PairTransform unpacks it into the dense 0/1 double matrix for
+/// callers that need one; PairTransformCounts and PairTransformMoments
+/// stream pass-by-pass and never materialize the full matrix at all.
+Result<BitMatrix> PairTransformPacked(const Table& table,
+                                      const TransformOptions& options = {});
+
 /// Materialized transform output: an (n_pairs x k) 0/1 sample matrix of
-/// the FDX model variables Z_A = 1(t_i[A] = t_j[A]). Used by tests, the
-/// ablation benches, and small inputs.
+/// the FDX model variables. Used by tests, the ablation benches, and
+/// small inputs. Exactly UnpackRows(PairTransformPacked(...)).
 Result<Matrix> PairTransform(const Table& table,
                              const TransformOptions& options = {});
 
+/// Raw integer moments of the transform: per-column indicator sums and
+/// upper-triangular co-occurrence counts (y >= x at [x * k + y],
+/// diagonal = counts). These are additive across batches — the currency
+/// of IncrementalFdx — and exact, so merging partial counts in any
+/// order reproduces the serial accumulation bitwise.
+struct TransformCounts {
+  std::vector<uint64_t> counts;     ///< per-column ones
+  std::vector<uint64_t> co_counts;  ///< k * k, upper triangle + diagonal
+  size_t num_samples = 0;
+};
+Result<TransformCounts> PairTransformCounts(
+    const Table& table, const TransformOptions& options = {});
+
 /// Same pair construction as PairTransform, but streams the samples into
 /// the mean vector and covariance matrix without materializing the
-/// (n * k) x k sample matrix. Equality indicators are binary, so the
-/// cross-moment matrix is an integer co-occurrence count; this keeps the
-/// computation exact. This is the production path of FdxDiscoverer.
+/// (n * k) x k sample matrix (packed or dense). Equality indicators are
+/// binary, so the cross-moment matrix is an integer co-occurrence count;
+/// this keeps the computation exact. This is the production path of
+/// FdxDiscoverer.
 struct TransformedMoments {
   Vector mean;    ///< Column means of the implicit sample matrix.
   Matrix cov;     ///< Empirical covariance (1/N normalization).

@@ -74,6 +74,13 @@ class Table {
 /// All discovery algorithms run on this representation — equality of
 /// cells is equality of codes, which makes partition refinement (TANE),
 /// entropy estimation (RFI) and the FDX pair transform cache friendly.
+///
+/// Contract: the non-null codes of column c are *dense* in
+/// [0, Cardinality(c)) — every value in that range occurs (codes are
+/// assigned by a first-appearance counter). The pair transform's
+/// counting sort keys on this: Cardinality(c) + 1 buckets (one extra
+/// for kNullCode) cover every possible key, so a per-attribute sort
+/// pass costs O(n + cardinality) instead of O(n log n).
 class EncodedTable {
  public:
   static constexpr int32_t kNullCode = -1;
@@ -88,6 +95,9 @@ class EncodedTable {
 
   /// Distinct non-null values in column `col`.
   size_t Cardinality(size_t col) const { return cardinalities_[col]; }
+
+  /// All per-column cardinalities (see the dense-code contract above).
+  const std::vector<size_t>& cardinalities() const { return cardinalities_; }
 
   /// Number of null cells in column `col`.
   size_t NullCount(size_t col) const { return null_counts_[col]; }

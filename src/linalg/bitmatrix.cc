@@ -1,0 +1,64 @@
+#include "linalg/bitmatrix.h"
+
+#include <algorithm>
+
+namespace fdx {
+
+namespace {
+
+/// Words per cache block of the Gram kernel: 64 words (512 B) per column
+/// keeps ~20 active column slices inside L1 while every column pair
+/// streams over the block.
+constexpr size_t kGramBlockWords = 64;
+
+inline uint64_t Popcount(uint64_t word) {
+  return static_cast<uint64_t>(__builtin_popcountll(word));
+}
+
+}  // namespace
+
+void BitMatrix::Reset(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  words_per_column_ = (rows + 63) / 64;
+  bits_.assign(cols_ * words_per_column_, 0);
+}
+
+void BitMatrix::AccumulateMoments(size_t word_lo, size_t word_hi,
+                                  uint64_t* counts,
+                                  uint64_t* co_counts) const {
+  const size_t k = cols_;
+  for (size_t w0 = word_lo; w0 < word_hi; w0 += kGramBlockWords) {
+    const size_t w1 = std::min(word_hi, w0 + kGramBlockWords);
+    const size_t len = w1 - w0;
+    for (size_t x = 0; x < k; ++x) {
+      const uint64_t* cx = column_words(x) + w0;
+      uint64_t self = 0;
+      for (size_t w = 0; w < len; ++w) self += Popcount(cx[w]);
+      counts[x] += self;
+      co_counts[x * k + x] += self;
+      for (size_t y = x + 1; y < k; ++y) {
+        const uint64_t* cy = column_words(y) + w0;
+        uint64_t both = 0;
+        for (size_t w = 0; w < len; ++w) both += Popcount(cx[w] & cy[w]);
+        co_counts[x * k + y] += both;
+      }
+    }
+  }
+}
+
+void BitMatrix::UnpackRows(size_t row_lo, size_t row_hi,
+                           Matrix* dense) const {
+  const size_t k = cols_;
+  for (size_t r = row_lo; r < row_hi; ++r) {
+    double* out = dense->RowPtr(r);
+    const size_t word = r >> 6;
+    const size_t bit = r & 63;
+    for (size_t c = 0; c < k; ++c) {
+      out[c] =
+          static_cast<double>((column_words(c)[word] >> bit) & uint64_t{1});
+    }
+  }
+}
+
+}  // namespace fdx

@@ -87,6 +87,53 @@ TEST(ParallelDeterminismTest, MomentsIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelDeterminismTest, PackedTransformIdenticalAcrossThreadCounts) {
+  // The packed engine's two parallel phases (per-attribute counting
+  // sorts, per-column bit packing) and the integer popcount moments must
+  // all be independent of the thread count — word-for-word.
+  const SyntheticDataset ds = MakeData(700, 11, 16);
+  TransformOptions options;
+  options.seed = 8;
+  options.threads = 1;
+  auto serial_bits = PairTransformPacked(ds.noisy, options);
+  auto serial_counts = PairTransformCounts(ds.noisy, options);
+  ASSERT_TRUE(serial_bits.ok() && serial_counts.ok());
+  auto serial_cov = Covariance(*serial_bits, 1);
+  ASSERT_TRUE(serial_cov.ok());
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    options.threads = threads;
+    auto bits = PairTransformPacked(ds.noisy, options);
+    ASSERT_TRUE(bits.ok());
+    EXPECT_TRUE(bits->IdenticalTo(*serial_bits)) << threads << " threads";
+    auto counts = PairTransformCounts(ds.noisy, options);
+    ASSERT_TRUE(counts.ok());
+    EXPECT_EQ(counts->counts, serial_counts->counts);
+    EXPECT_EQ(counts->co_counts, serial_counts->co_counts);
+    EXPECT_EQ(counts->num_samples, serial_counts->num_samples);
+    // The packed covariance is all-integer inside: bit-identical even
+    // between the serial and sharded accumulations.
+    auto cov = Covariance(*bits, threads);
+    ASSERT_TRUE(cov.ok());
+    ExpectBitIdentical(*serial_cov, *cov);
+  }
+}
+
+TEST(ParallelDeterminismTest, SampledPackedTransformIdenticalAcrossThreads) {
+  const SyntheticDataset ds = MakeData(900, 7, 17);
+  TransformOptions options;
+  options.seed = 4;
+  options.max_pairs_per_attribute = 100;
+  options.threads = 1;
+  auto serial = PairTransformPacked(ds.noisy, options);
+  ASSERT_TRUE(serial.ok());
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    options.threads = threads;
+    auto bits = PairTransformPacked(ds.noisy, options);
+    ASSERT_TRUE(bits.ok());
+    EXPECT_TRUE(bits->IdenticalTo(*serial)) << threads << " threads";
+  }
+}
+
 TEST(ParallelDeterminismTest, MomentsRepeatableAtFixedThreadCount) {
   const SyntheticDataset ds = MakeData(600, 10, 14);
   TransformOptions options;

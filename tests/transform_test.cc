@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <utility>
 
+#include "core/pairs.h"
 #include "core/transform.h"
 #include "data/csv.h"
 #include "linalg/stats.h"
@@ -14,6 +18,202 @@ Table TableFromCsv(const std::string& text) {
   auto t = ParseCsv(text);
   EXPECT_TRUE(t.ok());
   return *t;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementation of Algorithm 2, kept verbatim from the
+// pre-packed engine (std::stable_sort + materialized pair vectors +
+// double-by-double accumulation). The packed kernels must reproduce it
+// *bitwise*: same pair order, same integer counts, same derived doubles.
+
+std::vector<std::pair<size_t, size_t>> RefPairsForAttribute(
+    const EncodedTable& encoded, const std::vector<size_t>& shuffled,
+    size_t attr, size_t max_pairs, uint64_t attr_seed) {
+  std::vector<size_t> order = shuffled;
+  const auto& codes = encoded.column_codes(attr);
+  std::stable_sort(order.begin(), order.end(),
+                   [&codes](size_t a, size_t b) { return codes[a] < codes[b]; });
+  const size_t n = order.size();
+  std::vector<std::pair<size_t, size_t>> pairs;
+  if (n < 2) return pairs;
+  if (max_pairs == 0 || max_pairs >= n) {
+    pairs.reserve(n);
+    for (size_t j = 0; j + 1 < n; ++j) pairs.emplace_back(order[j], order[j + 1]);
+    pairs.emplace_back(order[n - 1], order[0]);
+    return pairs;
+  }
+  pairs.reserve(max_pairs);
+  std::vector<size_t> positions(n);
+  std::iota(positions.begin(), positions.end(), 0);
+  Rng rng(attr_seed);
+  rng.Shuffle(&positions);
+  for (size_t i = 0; i < max_pairs; ++i) {
+    const size_t j = positions[i];
+    const size_t next = j + 1 == n ? 0 : j + 1;
+    pairs.emplace_back(order[j], order[next]);
+  }
+  return pairs;
+}
+
+uint8_t RefEqualCodes(int32_t a, int32_t b) {
+  return (a != EncodedTable::kNullCode && a == b) ? 1 : 0;
+}
+
+struct RefSetup {
+  EncodedTable encoded;
+  std::vector<size_t> shuffled;
+  std::vector<uint64_t> attr_seeds;
+};
+
+RefSetup MakeRefSetup(const Table& table, const TransformOptions& options) {
+  RefSetup setup;
+  setup.encoded = EncodedTable::Encode(table);
+  Rng rng(options.seed);
+  setup.shuffled.resize(table.num_rows());
+  std::iota(setup.shuffled.begin(), setup.shuffled.end(), 0);
+  rng.Shuffle(&setup.shuffled);
+  setup.attr_seeds.resize(table.num_columns());
+  for (size_t attr = 0; attr < setup.attr_seeds.size(); ++attr) {
+    setup.attr_seeds[attr] = rng.engine()();
+  }
+  return setup;
+}
+
+Matrix RefTransform(const Table& table, const TransformOptions& options) {
+  const RefSetup setup = MakeRefSetup(table, options);
+  const size_t k = table.num_columns();
+  const size_t n = table.num_rows();
+  const size_t per_attr =
+      (options.max_pairs_per_attribute == 0 ||
+       options.max_pairs_per_attribute >= n)
+          ? n
+          : options.max_pairs_per_attribute;
+  Matrix out(per_attr * k, k);
+  for (size_t attr = 0; attr < k; ++attr) {
+    const auto pairs = RefPairsForAttribute(
+        setup.encoded, setup.shuffled, attr, options.max_pairs_per_attribute,
+        setup.attr_seeds[attr]);
+    size_t row = attr * per_attr;
+    for (const auto& [a, b] : pairs) {
+      double* out_row = out.RowPtr(row++);
+      for (size_t c = 0; c < k; ++c) {
+        out_row[c] =
+            RefEqualCodes(setup.encoded.code(a, c), setup.encoded.code(b, c));
+      }
+    }
+  }
+  return out;
+}
+
+struct RefMomentsResult {
+  std::vector<uint64_t> counts;
+  std::vector<uint64_t> co_counts;
+  size_t total = 0;
+  Vector mean;
+  Matrix cov;
+};
+
+RefMomentsResult RefMoments(const Table& table,
+                            const TransformOptions& options) {
+  const RefSetup setup = MakeRefSetup(table, options);
+  const size_t k = table.num_columns();
+  RefMomentsResult ref;
+  ref.counts.assign(k, 0);
+  ref.co_counts.assign(k * k, 0);
+  std::vector<uint64_t> pass_counts(k, 0);
+  std::vector<uint64_t> pass_co_counts(k * k, 0);
+  std::vector<Matrix> pass_cov(k);
+  std::vector<size_t> ones;
+  for (size_t attr = 0; attr < k; ++attr) {
+    const auto pairs = RefPairsForAttribute(
+        setup.encoded, setup.shuffled, attr, options.max_pairs_per_attribute,
+        setup.attr_seeds[attr]);
+    std::fill(pass_counts.begin(), pass_counts.end(), 0);
+    std::fill(pass_co_counts.begin(), pass_co_counts.end(), 0);
+    for (const auto& [a, b] : pairs) {
+      ones.clear();
+      for (size_t c = 0; c < k; ++c) {
+        if (RefEqualCodes(setup.encoded.code(a, c), setup.encoded.code(b, c))) {
+          ones.push_back(c);
+        }
+      }
+      for (size_t x : ones) {
+        ++ref.counts[x];
+        ++pass_counts[x];
+        for (size_t y : ones) {
+          if (y < x) continue;
+          ++ref.co_counts[x * k + y];
+          ++pass_co_counts[x * k + y];
+        }
+      }
+    }
+    ref.total += pairs.size();
+    if (options.pooled_covariance && !pairs.empty()) {
+      Matrix cov(k, k);
+      const double inv_pass = 1.0 / static_cast<double>(pairs.size());
+      for (size_t x = 0; x < k; ++x) {
+        const double mean_x = static_cast<double>(pass_counts[x]) * inv_pass;
+        for (size_t y = x; y < k; ++y) {
+          const double mean_y = static_cast<double>(pass_counts[y]) * inv_pass;
+          const double exy =
+              static_cast<double>(pass_co_counts[x * k + y]) * inv_pass;
+          const double value = exy - mean_x * mean_y;
+          cov(x, y) = value;
+          cov(y, x) = value;
+        }
+      }
+      pass_cov[attr] = std::move(cov);
+    }
+  }
+  ref.mean.assign(k, 0.0);
+  const double inv_n = 1.0 / static_cast<double>(ref.total);
+  for (size_t c = 0; c < k; ++c) {
+    ref.mean[c] = static_cast<double>(ref.counts[c]) * inv_n;
+  }
+  if (options.pooled_covariance) {
+    Matrix pooled(k, k);
+    size_t passes = 0;
+    for (size_t attr = 0; attr < k; ++attr) {
+      if (pass_cov[attr].empty()) continue;
+      pooled = pooled.Add(pass_cov[attr]);
+      ++passes;
+    }
+    ref.cov = pooled.Scale(1.0 / static_cast<double>(passes));
+    return ref;
+  }
+  ref.cov = Matrix(k, k);
+  for (size_t x = 0; x < k; ++x) {
+    for (size_t y = x; y < k; ++y) {
+      const double exy =
+          static_cast<double>(ref.co_counts[x * k + y]) * inv_n;
+      const double value = exy - ref.mean[x] * ref.mean[y];
+      ref.cov(x, y) = value;
+      ref.cov(y, x) = value;
+    }
+  }
+  return ref;
+}
+
+/// A table with ties (small domain) and ~15% nulls, the adversarial
+/// regime for the sort's stability and the null-never-matches rule.
+Table NoisyTiedTable(size_t rows, size_t cols, uint64_t seed) {
+  std::vector<std::string> names;
+  for (size_t c = 0; c < cols; ++c) names.push_back("a" + std::to_string(c));
+  Table t{Schema(std::move(names))};
+  Rng rng(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    row.reserve(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      if (rng.NextBernoulli(0.15)) {
+        row.emplace_back();  // null
+      } else {
+        row.emplace_back(Value(rng.NextInt(0, 3)));  // heavy ties
+      }
+    }
+    t.AppendRow(std::move(row));
+  }
+  return t;
 }
 
 TEST(TransformTest, OutputIsBinaryWithExpectedShape) {
@@ -176,6 +376,149 @@ TEST(TransformTest, PooledCovarianceKeepsFdSignal) {
           << "cov(" << x << "," << fd.rhs << ")";
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Packed-vs-scalar exact equivalence. k sweeps across the uint64 word
+// boundaries (1, 63, 64, 65, 130) and n = 130 puts every column
+// bit-vector at just over two words per pass, so partial trailing words,
+// nulls, and tie groups are all exercised.
+
+class PackedEquivalenceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PackedEquivalenceTest, MatrixMomentsAndCountsMatchScalarBitwise) {
+  const size_t k = GetParam();
+  const size_t n = 130;
+  const Table t = NoisyTiedTable(n, k, /*seed=*/1000 + k);
+  for (size_t max_pairs : {size_t{0}, size_t{37}, size_t{64}}) {
+    TransformOptions options;
+    options.seed = 17 + k;
+    options.max_pairs_per_attribute = max_pairs;
+
+    const Matrix ref_matrix = RefTransform(t, options);
+    auto matrix = PairTransform(t, options);
+    ASSERT_TRUE(matrix.ok());
+    ASSERT_EQ(matrix->rows(), ref_matrix.rows());
+    ASSERT_EQ(matrix->cols(), ref_matrix.cols());
+    EXPECT_EQ(matrix->Subtract(ref_matrix).MaxAbs(), 0.0)
+        << "k=" << k << " max_pairs=" << max_pairs;
+
+    auto packed = PairTransformPacked(t, options);
+    ASSERT_TRUE(packed.ok());
+    ASSERT_EQ(packed->rows(), ref_matrix.rows());
+    for (size_t r = 0; r < packed->rows(); ++r) {
+      for (size_t c = 0; c < k; ++c) {
+        ASSERT_EQ(packed->Get(r, c) ? 1.0 : 0.0, ref_matrix(r, c))
+            << "bit (" << r << "," << c << ") k=" << k
+            << " max_pairs=" << max_pairs;
+      }
+    }
+
+    const RefMomentsResult ref = RefMoments(t, options);
+    auto counts = PairTransformCounts(t, options);
+    ASSERT_TRUE(counts.ok());
+    EXPECT_EQ(counts->num_samples, ref.total);
+    EXPECT_EQ(counts->counts, ref.counts);
+    EXPECT_EQ(counts->co_counts, ref.co_counts);
+
+    auto moments = PairTransformMoments(t, options);
+    ASSERT_TRUE(moments.ok());
+    EXPECT_EQ(moments->num_samples, ref.total);
+    for (size_t c = 0; c < k; ++c) {
+      EXPECT_EQ(moments->mean[c], ref.mean[c]);
+    }
+    EXPECT_EQ(moments->cov.Subtract(ref.cov).MaxAbs(), 0.0)
+        << "k=" << k << " max_pairs=" << max_pairs;
+
+    // The packed covariance kernel in linalg forms the same integer
+    // moments, so it must agree with the streamed moments bitwise.
+    auto packed_cov = Covariance(*packed, /*threads=*/1);
+    ASSERT_TRUE(packed_cov.ok());
+    EXPECT_EQ(packed_cov->Subtract(moments->cov).MaxAbs(), 0.0);
+  }
+}
+
+TEST_P(PackedEquivalenceTest, PooledCovarianceMatchesScalarBitwise) {
+  const size_t k = GetParam();
+  const Table t = NoisyTiedTable(130, k, /*seed=*/2000 + k);
+  TransformOptions options;
+  options.seed = 29 + k;
+  options.pooled_covariance = true;
+  const RefMomentsResult ref = RefMoments(t, options);
+  auto moments = PairTransformMoments(t, options);
+  ASSERT_TRUE(moments.ok());
+  EXPECT_EQ(moments->cov.Subtract(ref.cov).MaxAbs(), 0.0) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, PackedEquivalenceTest,
+                         ::testing::Values(1, 63, 64, 65, 130));
+
+TEST(TransformTest, CountingSortMatchesStableSort) {
+  // The radix pass must reproduce std::stable_sort's permutation exactly:
+  // nulls first, codes ascending, shuffle preserved inside tie groups.
+  const Table t = NoisyTiedTable(257, 3, /*seed=*/7);
+  const EncodedTable encoded = EncodedTable::Encode(t);
+  Rng rng(123);
+  std::vector<uint32_t> shuffled(t.num_rows());
+  std::iota(shuffled.begin(), shuffled.end(), 0);
+  rng.Shuffle(&shuffled);
+  for (size_t attr = 0; attr < t.num_columns(); ++attr) {
+    std::vector<uint32_t> order;
+    std::vector<uint32_t> buckets;
+    StableSortByCodes(encoded.column_codes(attr), encoded.Cardinality(attr),
+                      shuffled, &order, &buckets);
+    std::vector<uint32_t> expected = shuffled;
+    const auto& codes = encoded.column_codes(attr);
+    std::stable_sort(
+        expected.begin(), expected.end(),
+        [&codes](uint32_t a, uint32_t b) { return codes[a] < codes[b]; });
+    EXPECT_EQ(order, expected) << "attr " << attr;
+  }
+}
+
+TEST(TransformTest, AttributePassEnumeratesWithoutMaterializing) {
+  const Table t = NoisyTiedTable(97, 2, /*seed=*/11);
+  const EncodedTable encoded = EncodedTable::Encode(t);
+  std::vector<uint32_t> shuffled(t.num_rows());
+  std::iota(shuffled.begin(), shuffled.end(), 0);
+  AttributePass pass;
+  pass.Reset(encoded, shuffled, /*attr=*/0, /*max_pairs=*/0, /*seed=*/1);
+  EXPECT_EQ(pass.num_pairs(), t.num_rows());
+  size_t calls = 0;
+  size_t last_index = 0;
+  pass.ForEachPair([&](size_t i, size_t a, size_t b) {
+    EXPECT_LT(a, t.num_rows());
+    EXPECT_LT(b, t.num_rows());
+    last_index = i;
+    ++calls;
+  });
+  EXPECT_EQ(calls, pass.num_pairs());
+  EXPECT_EQ(last_index, pass.num_pairs() - 1);
+
+  pass.Reset(encoded, shuffled, /*attr=*/1, /*max_pairs=*/13, /*seed=*/2);
+  EXPECT_TRUE(pass.sampled());
+  EXPECT_EQ(pass.num_pairs(), 13u);
+}
+
+TEST(TransformTest, PackedRejectsDegenerateInputs) {
+  Table empty{Schema({"a"})};
+  EXPECT_FALSE(PairTransformPacked(empty).ok());
+  EXPECT_FALSE(PairTransformCounts(empty).ok());
+}
+
+TEST(TransformTest, ProfileRecordsStageTimings) {
+  const Table t = NoisyTiedTable(500, 6, /*seed=*/3);
+  TransformProfile profile;
+  TransformOptions options;
+  options.profile = &profile;
+  auto moments = PairTransformMoments(t, options);
+  ASSERT_TRUE(moments.ok());
+  EXPECT_GE(profile.sort_seconds, 0.0);
+  EXPECT_GE(profile.pack_seconds, 0.0);
+  EXPECT_GE(profile.accumulate_seconds, 0.0);
+  EXPECT_GT(profile.sort_seconds + profile.pack_seconds +
+                profile.accumulate_seconds,
+            0.0);
 }
 
 TEST(TransformTest, SortedColumnHasHighAgreement) {
