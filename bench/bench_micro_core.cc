@@ -10,10 +10,18 @@
 //     The original google-benchmark micro-benchmarks for the FDX
 //     building blocks: pair transform, covariance, graphical lasso,
 //     U D U^T factorization, stripped partitions, and entropy.
+//
+//   bench_micro_core --glasso [--kmax=K] [--reps=R] [--out=PATH]
+//     Graphical-lasso solver scaling: the decomposed fast path vs the
+//     dense reference solver at k in {20, 50, 100, 200} across sparsity
+//     structures (block-diagonal, banded, dense, mixed), plus a
+//     warm-start cold-vs-warm cell, written as BENCH_glasso.json with a
+//     per-stage breakdown (screen / decompose / solve / assemble).
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -394,6 +402,269 @@ int RunScalingReport(const bench::Flags& flags) {
   return deterministic ? 0 : 2;
 }
 
+/// Deterministic correlation-style inputs for the solver scaling report.
+/// All are symmetric positive definite by construction, so the bench
+/// exercises the solver, not input pathology.
+Matrix BlockCorrelation(size_t k, size_t block, double rho) {
+  Matrix s(k, k);
+  for (size_t i = 0; i < k; ++i) {
+    s(i, i) = 1.0;
+    for (size_t j = i + 1; j < k; ++j) {
+      if (i / block == j / block) {
+        s(i, j) = rho;
+        s(j, i) = rho;
+      }
+    }
+  }
+  return s;
+}
+
+Matrix BandedCorrelation(size_t k, double rho) {
+  Matrix s(k, k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      s(i, j) = std::pow(rho, std::fabs(static_cast<double>(i) -
+                                        static_cast<double>(j)));
+    }
+  }
+  return s;
+}
+
+Matrix DenseCorrelation(size_t k, double rho) {
+  Matrix s(k, k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) s(i, j) = i == j ? 1.0 : rho;
+  }
+  return s;
+}
+
+/// Half coupled blocks, half free-standing variables: exercises the
+/// O(1) singleton closure alongside real block solves.
+Matrix MixedCorrelation(size_t k, size_t block, double rho) {
+  Matrix s = BlockCorrelation(k, block, rho);
+  for (size_t i = k / 2; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (i != j) {
+        s(i, j) = 0.0;
+        s(j, i) = 0.0;
+      }
+    }
+  }
+  return s;
+}
+
+struct GlassoCase {
+  std::string structure;
+  size_t k = 0;
+  double reference_seconds = 0.0;
+  double fast_seconds = 0.0;     ///< fast path, 1 thread
+  double fast_mt_seconds = 0.0;  ///< fast path, hardware threads
+  double max_abs_diff = 0.0;     ///< |theta_fast - theta_reference|
+  GlassoStats stats;             ///< from a single-thread fast solve
+};
+
+int RunGlassoReport(const bench::Flags& flags) {
+  const size_t kmax = flags.GetSize("kmax", 200);
+  const size_t reps = flags.GetSize("reps", 3);
+  const std::string out_path = flags.GetString("out", "BENCH_glasso.json");
+
+  const std::vector<size_t> sizes = {20, 50, 100, 200};
+  const std::vector<std::string> structures = {"block", "banded", "dense",
+                                               "mixed"};
+  GlassoOptions options;  // defaults: lambda 0.05, tolerance 1e-4
+
+  std::vector<GlassoCase> cases;
+  for (size_t k : sizes) {
+    if (k > kmax) continue;
+    for (const std::string& structure : structures) {
+      Matrix s;
+      if (structure == "block") {
+        s = BlockCorrelation(k, 10, 0.4);
+      } else if (structure == "banded") {
+        s = BandedCorrelation(k, 0.5);
+      } else if (structure == "dense") {
+        s = DenseCorrelation(k, 0.3);
+      } else {
+        s = MixedCorrelation(k, 10, 0.4);
+      }
+
+      GlassoCase cell;
+      cell.structure = structure;
+      cell.k = k;
+      cell.reference_seconds = MedianSeconds(reps, [&] {
+        auto result = GraphicalLassoReference(s, options);
+        benchmark::DoNotOptimize(result);
+      });
+      GlassoOptions fast_options = options;
+      fast_options.threads = 1;
+      cell.fast_seconds = MedianSeconds(reps, [&] {
+        auto result = GraphicalLasso(s, fast_options);
+        benchmark::DoNotOptimize(result);
+      });
+      GlassoOptions mt_options = options;
+      mt_options.threads = 0;  // FDX_THREADS / hardware concurrency
+      cell.fast_mt_seconds = MedianSeconds(reps, [&] {
+        auto result = GraphicalLasso(s, mt_options);
+        benchmark::DoNotOptimize(result);
+      });
+      auto fast = GraphicalLasso(s, fast_options);
+      auto reference = GraphicalLassoReference(s, options);
+      if (!fast.ok() || !reference.ok()) {
+        std::fprintf(stderr, "glasso bench solve failed: %s\n",
+                     (!fast.ok() ? fast : reference).status().ToString().c_str());
+        return 1;
+      }
+      cell.max_abs_diff =
+          fast->theta.Subtract(reference->theta).MaxAbs();
+      cell.stats = fast->stats;
+      cases.push_back(std::move(cell));
+    }
+  }
+
+  // Warm-start cell: solve the perturbed problem cold vs seeded with the
+  // solution of the unperturbed one (the IncrementalFdx::Append pattern).
+  const size_t warm_k = std::min<size_t>(kmax, 200);
+  const Matrix warm_base = BlockCorrelation(warm_k, 10, 0.4);
+  const Matrix warm_next = BlockCorrelation(warm_k, 10, 0.403);
+  auto seed_solve = GraphicalLasso(warm_base, options);
+  if (!seed_solve.ok()) {
+    std::fprintf(stderr, "glasso bench warm seed failed: %s\n",
+                 seed_solve.status().ToString().c_str());
+    return 1;
+  }
+  GlassoOptions cold_options = options;
+  cold_options.threads = 1;
+  const double cold_seconds = MedianSeconds(reps, [&] {
+    auto result = GraphicalLasso(warm_next, cold_options);
+    benchmark::DoNotOptimize(result);
+  });
+  GlassoOptions warm_options = cold_options;
+  warm_options.warm_w = &seed_solve->w;
+  warm_options.warm_theta = &seed_solve->theta;
+  const double warm_seconds = MedianSeconds(reps, [&] {
+    auto result = GraphicalLasso(warm_next, warm_options);
+    benchmark::DoNotOptimize(result);
+  });
+  auto cold_run = GraphicalLasso(warm_next, cold_options);
+  auto warm_run = GraphicalLasso(warm_next, warm_options);
+  if (!cold_run.ok() || !warm_run.ok()) {
+    std::fprintf(stderr, "glasso bench warm cell failed\n");
+    return 1;
+  }
+
+  ReportTable table({"Structure", "k", "Reference s", "Fast s", "Fast MT s",
+                     "Speedup", "Components", "MaxDiff"});
+  for (const GlassoCase& cell : cases) {
+    table.AddRow({cell.structure, std::to_string(cell.k),
+                  bench::Score3(cell.reference_seconds),
+                  bench::Score3(cell.fast_seconds),
+                  bench::Score3(cell.fast_mt_seconds),
+                  cell.fast_seconds > 0.0
+                      ? bench::Score3(cell.reference_seconds /
+                                      cell.fast_seconds)
+                      : "-",
+                  std::to_string(cell.stats.components),
+                  bench::Score3(cell.max_abs_diff)});
+  }
+  std::printf(
+      "Graphical-lasso solver scaling (median of %zu reps, hardware "
+      "threads: %zu)\n%s"
+      "Warm start at k=%zu block: cold %ss, warm %ss (%s sweeps -> %s)\n",
+      reps, DefaultThreadCount(), table.ToString().c_str(), warm_k,
+      bench::Score3(cold_seconds).c_str(), bench::Score3(warm_seconds).c_str(),
+      std::to_string(cold_run->sweeps).c_str(),
+      std::to_string(warm_run->sweeps).c_str());
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("glasso_scaling");
+  json.Key("reps");
+  json.Integer(static_cast<int64_t>(reps));
+  json.Key("hardware_threads");
+  json.Integer(static_cast<int64_t>(DefaultThreadCount()));
+  json.Key("lambda");
+  json.Number(options.lambda);
+  json.Key("cases");
+  json.BeginArray();
+  for (const GlassoCase& cell : cases) {
+    json.BeginObject();
+    json.Key("structure");
+    json.String(cell.structure);
+    json.Key("k");
+    json.Integer(static_cast<int64_t>(cell.k));
+    json.Key("reference_seconds");
+    json.Number(cell.reference_seconds);
+    json.Key("fast_seconds");
+    json.Number(cell.fast_seconds);
+    json.Key("fast_mt_seconds");
+    json.Number(cell.fast_mt_seconds);
+    json.Key("speedup");
+    json.Number(cell.fast_seconds > 0.0
+                    ? cell.reference_seconds / cell.fast_seconds
+                    : 0.0);
+    json.Key("speedup_mt");
+    json.Number(cell.fast_mt_seconds > 0.0
+                    ? cell.reference_seconds / cell.fast_mt_seconds
+                    : 0.0);
+    json.Key("max_abs_diff");
+    json.Number(cell.max_abs_diff);
+    json.Key("components");
+    json.Integer(static_cast<int64_t>(cell.stats.components));
+    json.Key("singletons");
+    json.Integer(static_cast<int64_t>(cell.stats.singletons));
+    json.Key("sweeps");
+    json.Integer(static_cast<int64_t>(cell.stats.sweeps));
+    json.Key("active_hit_rate");
+    json.Number(cell.stats.ActiveHitRate());
+    json.Key("breakdown");
+    json.BeginObject();
+    json.Key("screen_seconds");
+    json.Number(cell.stats.screen_seconds);
+    json.Key("decompose_seconds");
+    json.Number(cell.stats.decompose_seconds);
+    json.Key("solve_seconds");
+    json.Number(cell.stats.solve_seconds);
+    json.Key("assemble_seconds");
+    json.Number(cell.stats.assemble_seconds);
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("warm_start");
+  json.BeginObject();
+  json.Key("structure");
+  json.String("block");
+  json.Key("k");
+  json.Integer(static_cast<int64_t>(warm_k));
+  json.Key("cold_seconds");
+  json.Number(cold_seconds);
+  json.Key("warm_seconds");
+  json.Number(warm_seconds);
+  json.Key("speedup");
+  json.Number(warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0);
+  json.Key("cold_sweeps");
+  json.Integer(static_cast<int64_t>(cold_run->sweeps));
+  json.Key("warm_sweeps");
+  json.Integer(static_cast<int64_t>(warm_run->sweeps));
+  json.Key("warm_start_used");
+  json.Bool(warm_run->stats.warm_start_used);
+  json.EndObject();
+  json.EndObject();
+
+  const std::string doc = json.TakeString();
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("Wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "Could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace fdx
 
@@ -404,6 +675,9 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;
+  }
+  if (flags.Has("glasso")) {
+    return fdx::RunGlassoReport(flags);
   }
   return fdx::RunScalingReport(flags);
 }

@@ -63,6 +63,7 @@ Result<FdSet> DiscoverGlBaseline(const Table& table,
 
   GlassoOptions glasso_options;
   glasso_options.lambda = options.lambda;
+  glasso_options.threads = options.threads;
   FDX_ASSIGN_OR_RETURN(GlassoResult glasso,
                        GraphicalLasso(cov, glasso_options));
 

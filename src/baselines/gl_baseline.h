@@ -21,6 +21,9 @@ struct GlBaselineOptions {
   size_t max_lhs_size = 3;
   size_t permutations = 3;
   uint64_t seed = 21;
+  /// Worker threads for the glasso component fan-out (0 = FDX_THREADS /
+  /// hardware concurrency). Results are bit-identical at any count.
+  size_t threads = 0;
 };
 
 /// Runs glasso on the standardized raw encoding, reads the undirected

@@ -6,6 +6,7 @@
 
 #include "linalg/factorization.h"
 #include "linalg/lasso.h"
+#include "linalg/stats.h"
 #include "util/fault_injection.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -48,6 +49,8 @@ struct LearnedStructure {
   Matrix theta;                  ///< schema order
   Matrix b;                      ///< permuted coordinates (strictly upper)
   std::vector<size_t> ordering;  ///< perm[i] = schema attribute at pos i
+  Matrix glasso_w;               ///< glasso covariance estimate (else empty)
+  GlassoStats solver_stats;      ///< glasso internals (else default)
 };
 
 void AddEvent(RunDiagnostics* diag, std::string stage, std::string action,
@@ -66,10 +69,13 @@ Result<LearnedStructure> TryGlassoOnce(const Matrix& input,
   glasso_options.lambda = options.lambda;
   glasso_options.diagonal_ridge = ridge;
   glasso_options.deadline = deadline;
+  if (glasso_options.threads == 0) glasso_options.threads = options.threads;
   FDX_ASSIGN_OR_RETURN(GlassoResult glasso,
                        GraphicalLasso(input, glasso_options));
   LearnedStructure learned;
   learned.theta = glasso.theta;
+  learned.glasso_w = std::move(glasso.w);
+  learned.solver_stats = std::move(glasso.stats);
   learned.ordering = ComputeOrdering(glasso.theta, options.ordering,
                                      options.zero_tolerance);
   const Matrix permuted = glasso.theta.PermuteSymmetric(learned.ordering);
@@ -277,19 +283,7 @@ Result<FdxResult> FdxDiscoverer::DiscoverFromCovarianceInternal(
 
   Matrix input = covariance;
   if (options_.normalize_covariance) {
-    // Correlation rescaling; constant indicators (zero variance) keep a
-    // unit diagonal and zero couplings.
-    Vector scale(k, 1.0);
-    for (size_t i = 0; i < k; ++i) {
-      const double var = covariance(i, i);
-      scale[i] = var > options_.zero_tolerance ? 1.0 / std::sqrt(var) : 0.0;
-    }
-    for (size_t i = 0; i < k; ++i) {
-      for (size_t j = 0; j < k; ++j) {
-        input(i, j) = i == j ? 1.0
-                             : covariance(i, j) * scale[i] * scale[j];
-      }
-    }
+    input = CorrelationFromCovariance(covariance, options_.zero_tolerance);
   }
 
   LearnedStructure learned;
@@ -353,6 +347,17 @@ Result<FdxResult> FdxDiscoverer::DiscoverFromCovarianceInternal(
     return attempt.status();
   }
 
+  // Solver internals of the winning attempt; a quarantined run rebuilds
+  // `learned` by hand above and deliberately leaves these empty.
+  if (learned.solver_stats.components > 0) {
+    diag.solver_components = learned.solver_stats.components;
+    diag.solver_component_sizes = learned.solver_stats.component_sizes;
+    diag.solver_sweeps = learned.solver_stats.sweeps;
+    diag.solver_final_change = learned.solver_stats.final_mean_change;
+    diag.solver_active_hit_rate = learned.solver_stats.ActiveHitRate();
+    diag.solver_warm_start = learned.solver_stats.warm_start_used;
+  }
+  result.glasso_w = std::move(learned.glasso_w);
   result.theta = std::move(learned.theta);
   result.ordering = std::move(learned.ordering);
   result.fds = GenerateFdsFromAutoregression(

@@ -90,6 +90,18 @@ struct RunDiagnostics {
   double transform_seconds = 0.0;
   double learning_seconds = 0.0;
 
+  /// Solver internals of the winning graphical-lasso attempt (all zero /
+  /// empty when sequential lasso produced the result or the run was
+  /// quarantined). `solver_components > 0` marks the block populated.
+  size_t solver_components = 0;
+  std::vector<size_t> solver_component_sizes;
+  size_t solver_sweeps = 0;
+  double solver_final_change = 0.0;
+  /// Fraction of inner-lasso passes served by the active set.
+  double solver_active_hit_rate = 0.0;
+  /// True when the winning attempt was seeded from a previous solve.
+  bool solver_warm_start = false;
+
   /// True when a recovery action actually fired (retry, fallback, or
   /// quarantine) — the result is still valid but was produced on a
   /// degraded path worth surfacing to the operator. Purely informational
@@ -148,6 +160,12 @@ struct FdxOptions {
   /// expiry Discover returns Status::Timeout, matching the budget
   /// semantics of the TANE/PYRO/RFI baselines.
   double time_budget_seconds = 0.0;
+  /// Let chained solves (IncrementalFdx::Append, repeated fdxd discover
+  /// jobs on a growing session) warm-start graphical lasso from the
+  /// previous solution. Warm starts change only the solver's initial
+  /// point, never its fixed point, so results stay within the solver
+  /// tolerance of a cold run; disable to force every solve cold.
+  bool reuse_solver_state = true;
   /// Failure-recovery ladder for numerical errors (see RecoveryPolicy).
   RecoveryPolicy recovery;
 };
@@ -163,6 +181,12 @@ struct FdxResult {
   double transform_seconds = 0.0;
   double learning_seconds = 0.0;
   size_t transform_samples = 0;
+  /// Estimated covariance W of the winning graphical-lasso attempt, on
+  /// the (normalized) scale the solver ran on. Together with `theta` it
+  /// is the warm-start seed for the next solve of a perturbed problem.
+  /// Empty when sequential lasso produced the result or the run was
+  /// quarantined — never warm-start from a degraded solution.
+  Matrix glasso_w;
   /// What happened during the run: retries, fallbacks, quarantines.
   RunDiagnostics diagnostics;
 };

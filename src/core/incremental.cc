@@ -1,6 +1,7 @@
 #include "core/incremental.h"
 
 #include "core/transform.h"
+#include "util/fingerprint.h"
 
 namespace fdx {
 
@@ -68,6 +69,12 @@ Result<Matrix> IncrementalFdx::CurrentCovariance() const {
 }
 
 Result<FdxResult> IncrementalFdx::CurrentFds() const {
+  // The accumulated moments are unchanged since the last solve, so its
+  // result is still exact — answer from the memo without solving.
+  if (memo_ != nullptr && memo_batches_ == total_batches_) {
+    memo_hits_.fetch_add(1, std::memory_order_relaxed);
+    return *memo_;
+  }
   // One deadline spans the O(k^2) covariance assembly and the whole
   // structure-learning solve, so the budget semantics match the batch
   // Discover() path; the solve itself runs through the same recovery
@@ -78,11 +85,44 @@ Result<FdxResult> IncrementalFdx::CurrentFds() const {
     return Status::Timeout(
         "incremental fdx: time budget exhausted assembling covariance");
   }
-  FdxDiscoverer discoverer(options_);
+  const size_t k = schema_.size();
+  FdxOptions solve_options = options_;
+  const bool seeded = solve_options.reuse_solver_state && has_warm_ &&
+                      warm_w_.rows() == k;
+  if (seeded) {
+    solve_options.glasso.warm_w = &warm_w_;
+    solve_options.glasso.warm_theta = &warm_theta_;
+  }
+  FdxDiscoverer discoverer(solve_options);
   FDX_ASSIGN_OR_RETURN(FdxResult result,
                        discoverer.DiscoverFromCovariance(cov, &deadline));
   result.transform_samples = total_samples_;
+
+  // Capture the solver state for the next call. Degraded runs (fallback
+  // or quarantine) leave glasso_w empty and clear the warm state: never
+  // seed the next solve from a solution the ladder had to salvage.
+  if (solve_options.reuse_solver_state && result.glasso_w.rows() == k) {
+    warm_w_ = result.glasso_w;
+    warm_theta_ = result.theta;
+    has_warm_ = true;
+  } else {
+    has_warm_ = false;
+  }
+  const bool warmed = result.diagnostics.solver_warm_start;
+  if (!warmed) lineage_.clear();
+  lineage_.push_back(total_batches_);
+  solves_.fetch_add(1, std::memory_order_relaxed);
+  if (warmed) warm_solves_.fetch_add(1, std::memory_order_relaxed);
+  memo_ = std::make_unique<FdxResult>(result);
+  memo_batches_ = total_batches_;
   return result;
+}
+
+std::string IncrementalFdx::SolveStateKey() const {
+  Fingerprint fp;
+  fp.UpdateU64(static_cast<uint64_t>(lineage_.size()));
+  for (uint64_t entry : lineage_) fp.UpdateU64(entry);
+  return fp.Hex();
 }
 
 }  // namespace fdx

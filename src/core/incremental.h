@@ -1,7 +1,10 @@
 #ifndef FDX_CORE_INCREMENTAL_H_
 #define FDX_CORE_INCREMENTAL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/fdx.h"
@@ -53,6 +56,29 @@ class IncrementalFdx {
   /// The accumulated covariance (for diagnostics / tests).
   Result<Matrix> CurrentCovariance() const;
 
+  /// Solver-reuse counters (see FdxOptions::reuse_solver_state).
+  /// `solves()` counts completed structure-learning solves,
+  /// `warm_solves()` the subset that were warm-started from the previous
+  /// solution, and `memo_hits()` the CurrentFds() calls answered from
+  /// the memoized result without solving at all (no batch appended since
+  /// the last solve). Atomics so aggregators may read them without the
+  /// owner's lock.
+  uint64_t solves() const { return solves_.load(std::memory_order_relaxed); }
+  uint64_t warm_solves() const {
+    return warm_solves_.load(std::memory_order_relaxed);
+  }
+  uint64_t memo_hits() const {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
+
+  /// Fingerprint of the solve lineage: the batch count at every solve in
+  /// the current warm-start chain (a cold solve restarts the chain).
+  /// Cache layers append this to content-addressed keys so a payload
+  /// produced by a warm-started solve can never alias one produced by a
+  /// cold solve of the same data — warm starts are tolerance-equal, not
+  /// bit-equal.
+  std::string SolveStateKey() const;
+
  private:
   Schema schema_;
   FdxOptions options_;
@@ -62,6 +88,19 @@ class IncrementalFdx {
   uint64_t next_batch_seed_ = 0;
   std::vector<uint64_t> ones_;       ///< per-column indicator sums
   std::vector<uint64_t> co_counts_;  ///< upper-triangular co-occurrences
+
+  // Solver state chained across CurrentFds() calls. Mutable: CurrentFds
+  // is logically const (it never changes the accumulated moments), and
+  // callers already serialize access the way they must for Append().
+  mutable Matrix warm_w_;      ///< previous solve's W (normalized scale)
+  mutable Matrix warm_theta_;  ///< previous solve's Theta
+  mutable bool has_warm_ = false;
+  mutable std::unique_ptr<FdxResult> memo_;  ///< last result, if current
+  mutable size_t memo_batches_ = 0;
+  mutable std::vector<uint64_t> lineage_;    ///< batch count at each solve
+  mutable std::atomic<uint64_t> solves_{0};
+  mutable std::atomic<uint64_t> warm_solves_{0};
+  mutable std::atomic<uint64_t> memo_hits_{0};
 };
 
 }  // namespace fdx

@@ -68,6 +68,13 @@ std::string RenderRunDiagnostics(
            " (ridge used: " + FormatDouble(diagnostics.ridge_used, 8) +
            ")\n";
   }
+  if (diagnostics.solver_components > 0) {
+    out += "  solver: " + std::to_string(diagnostics.solver_components) +
+           " component(s), " + std::to_string(diagnostics.solver_sweeps) +
+           " sweep(s), active-set hit rate " +
+           FormatDouble(diagnostics.solver_active_hit_rate, 3) +
+           (diagnostics.solver_warm_start ? ", warm-started" : "") + "\n";
+  }
   if (diagnostics.fallback_sequential) {
     out += "  fell back to the sequential-lasso estimator\n";
   }
@@ -111,6 +118,30 @@ void WriteRunDiagnosticsJson(JsonWriter* json,
     json->Number(diagnostics.transform_seconds);
     json->Key("learning_seconds");
     json->Number(diagnostics.learning_seconds);
+  }
+  if (diagnostics.solver_components > 0) {
+    // Graphical-lasso internals of the winning attempt. Deterministic
+    // counters only (no wall times): this block flows into cacheable
+    // response payloads, which must be byte-stable per solve lineage.
+    json->Key("solver");
+    json->BeginObject();
+    json->Key("components");
+    json->Integer(static_cast<int64_t>(diagnostics.solver_components));
+    json->Key("component_sizes");
+    json->BeginArray();
+    for (size_t size : diagnostics.solver_component_sizes) {
+      json->Integer(static_cast<int64_t>(size));
+    }
+    json->EndArray();
+    json->Key("sweeps");
+    json->Integer(static_cast<int64_t>(diagnostics.solver_sweeps));
+    json->Key("final_mean_change");
+    json->Number(diagnostics.solver_final_change);
+    json->Key("active_hit_rate");
+    json->Number(diagnostics.solver_active_hit_rate);
+    json->Key("warm_start");
+    json->Bool(diagnostics.solver_warm_start);
+    json->EndObject();
   }
   json->Key("events");
   json->BeginArray();

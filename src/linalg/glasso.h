@@ -2,6 +2,7 @@
 #define FDX_LINALG_GLASSO_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "linalg/matrix.h"
 #include "util/status.h"
@@ -17,7 +18,8 @@ struct GlassoOptions {
   /// Maximum block-coordinate sweeps over the columns.
   size_t max_iterations = 100;
   /// Convergence: mean absolute change of W per sweep relative to the
-  /// mean absolute off-diagonal of S.
+  /// mean absolute off-diagonal of S (per connected component in the
+  /// fast solver).
   double tolerance = 1e-4;
   /// Ridge added to the diagonal of S before solving; keeps the problem
   /// well posed when the pair transform produces (near-)constant columns.
@@ -30,6 +32,59 @@ struct GlassoOptions {
   /// the call. When it expires the estimator returns Status::Timeout,
   /// matching the budget semantics of the TANE/PYRO/RFI baselines.
   const Deadline* deadline = nullptr;
+  /// Worker threads for the per-component fan-out of the fast solver
+  /// (0 = FDX_THREADS / hardware concurrency). Every component is solved
+  /// serially and written to disjoint output cells, so the result is
+  /// bit-identical at any thread count. Ignored by the reference solver.
+  size_t threads = 0;
+  /// Optional warm start (fast solver only; the reference ignores both).
+  /// `warm_w` seeds the off-diagonal of the working covariance estimate
+  /// and `warm_theta` seeds the per-column lasso coefficients via
+  /// beta_j = -theta_{.j} / theta_jj. Both must be k x k views of a
+  /// previous solve on (a perturbation of) the same problem; mismatched
+  /// dimensions are ignored. Warm starts change only the initial point
+  /// of an iterative scheme that converges to the same optimum — they
+  /// buy sweeps, not a different answer. Non-owning.
+  const Matrix* warm_w = nullptr;
+  const Matrix* warm_theta = nullptr;
+};
+
+/// Execution statistics of one fast-solver run: what screening found,
+/// how hard the block solves worked, and where the time went. Everything
+/// except the *_seconds timings is deterministic for a fixed input (at
+/// any thread count), so the counters are safe to surface in cacheable
+/// diagnostics payloads.
+struct GlassoStats {
+  /// Connected components of the screening graph |S_ij| > lambda.
+  size_t components = 0;
+  /// Component sizes in component order (by smallest member index).
+  std::vector<size_t> component_sizes;
+  /// Components of size one, closed in O(1) without entering the solver.
+  size_t singletons = 0;
+  /// Max block-coordinate sweeps over the non-singleton components.
+  size_t sweeps = 0;
+  /// Largest last-sweep mean absolute W change across components.
+  double final_mean_change = 0.0;
+  /// Inner-lasso pass counters, summed over all block solves.
+  size_t lasso_full_passes = 0;
+  size_t lasso_active_passes = 0;
+  /// True when a warm start was accepted and applied.
+  bool warm_start_used = false;
+  /// Stage wall times: screening graph + union-find, per-block input
+  /// gathering, the (possibly parallel) block solves, and writing the
+  /// blocks back into the full-size result.
+  double screen_seconds = 0.0;
+  double decompose_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double assemble_seconds = 0.0;
+
+  /// Fraction of inner-lasso passes that ran on the active set only.
+  double ActiveHitRate() const {
+    const size_t total = lasso_full_passes + lasso_active_passes;
+    return total == 0 ? 0.0
+                      : static_cast<double>(lasso_active_passes) /
+                            static_cast<double>(total);
+  }
 };
 
 /// Output of the graphical lasso: the estimated covariance W and the
@@ -38,16 +93,42 @@ struct GlassoOptions {
 struct GlassoResult {
   Matrix w;      ///< Estimated covariance (S + lambda on the diagonal).
   Matrix theta;  ///< Sparse precision matrix.
-  size_t sweeps = 0;  ///< Block sweeps until convergence.
+  size_t sweeps = 0;  ///< Block sweeps until convergence (max over blocks).
+  /// Populated by the fast solver; default-initialized by the reference.
+  GlassoStats stats;
 };
+
+/// Connected components of the covariance screening graph: nodes are
+/// variables, an edge joins i and j iff |S_ij| > lambda. For the
+/// lasso-penalized objective this partition is *exact* (Witten, Friedman
+/// & Simon 2011; Mazumder & Hastie 2012): the glasso solution is block
+/// diagonal over these components, so each can be solved independently
+/// and cross-component entries of Theta and W are identically zero.
+/// Components are ordered by smallest member; members are ascending.
+std::vector<std::vector<size_t>> GlassoScreenComponents(const Matrix& s,
+                                                        double lambda);
 
 /// Sparse inverse covariance estimation via the block coordinate descent
 /// of Friedman, Hastie & Tibshirani (2008). Solves
 ///   max_Theta  log det(Theta) - tr(S Theta) - lambda ||Theta||_1
 /// by repeatedly reducing each column to a lasso problem. This is the
 /// structure-learning engine behind FDX (paper §4.2) and the GL baseline.
+///
+/// The fast path: screens S into connected components (exact, see
+/// GlassoScreenComponents), closes singletons in O(1), and solves the
+/// remaining blocks independently — in parallel when `options.threads`
+/// allows — with zero-copy column views and the active-set inner lasso.
+/// Deterministic for a fixed input at any thread count.
 Result<GlassoResult> GraphicalLasso(const Matrix& s,
                                     const GlassoOptions& options);
+
+/// The pre-decomposition solver: one dense block-coordinate loop over
+/// all k columns with per-column submatrix materialization. Kept as the
+/// equivalence oracle for the fast path (same fixed point, same
+/// sparsity-pattern symmetrization contract) and for A/B benchmarks.
+/// Ignores `threads` and the warm-start fields.
+Result<GlassoResult> GraphicalLassoReference(const Matrix& s,
+                                             const GlassoOptions& options);
 
 }  // namespace fdx
 

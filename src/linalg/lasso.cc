@@ -12,20 +12,52 @@ double SoftThreshold(double x, double threshold) {
   return 0.0;
 }
 
-Status SolveQuadraticLasso(const Matrix& q, const Vector& c,
-                           const LassoOptions& options, Vector* beta) {
+Status SolveQuadraticLasso(const ConstMatrixView& q, const double* c,
+                           const LassoOptions& options, double* beta,
+                           LassoSolveStats* stats) {
   const size_t p = q.rows();
-  if (q.cols() != p || c.size() != p) {
+  if (q.cols() != p) {
     return Status::InvalidArgument("lasso dimension mismatch");
   }
   FDX_INJECT_FAULT(kFaultLassoSolve,
                    Status::NumericalError("injected fault: lasso.solve"));
-  if (beta->size() != p) beta->assign(p, 0.0);
 
   // Maintain the gradient residual r_l = c_l - sum_m Q(l, m) beta_m
   // incrementally so each coordinate pass is O(p^2) only when
   // coefficients actually move.
-  Vector qbeta = q.MultiplyVector(*beta);
+  Vector qbeta(p, 0.0);
+  for (size_t l = 0; l < p; ++l) {
+    const double b = beta[l];
+    if (b == 0.0) continue;
+    const double* q_row = q.RowPtr(l);
+    for (size_t m = 0; m < p; ++m) qbeta[m] += b * q_row[m];
+  }
+
+  // One coordinate update; returns false on a non-positive diagonal.
+  auto update = [&](size_t l, double* max_delta) {
+    const double q_ll = q(l, l);
+    if (q_ll <= 0.0) return false;
+    const double old = beta[l];
+    // Partial residual excludes l's own contribution.
+    const double rho = c[l] - (qbeta[l] - q_ll * old);
+    const double updated = SoftThreshold(rho, options.lambda) / q_ll;
+    const double delta = updated - old;
+    if (delta != 0.0) {
+      beta[l] = updated;
+      const double* q_row = q.RowPtr(l);
+      for (size_t m = 0; m < p; ++m) qbeta[m] += delta * q_row[m];
+      *max_delta = std::max(*max_delta, std::fabs(delta));
+    }
+    return true;
+  };
+
+  // Two-phase schedule: a full pass seeds the active set; active passes
+  // iterate the nonzeros until they stabilize; the next full pass either
+  // certifies convergence or refreshes the set. `max_iterations` caps
+  // the total pass count of both phases.
+  std::vector<size_t> active;
+  active.reserve(p);
+  bool need_full = true;
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     // Amortize the clock read: one poll every 8 coordinate passes keeps
     // the budget honored within milliseconds without touching the hot
@@ -35,26 +67,44 @@ Status SolveQuadraticLasso(const Matrix& q, const Vector& c,
       return Status::Timeout("lasso: time budget exhausted");
     }
     double max_delta = 0.0;
-    for (size_t l = 0; l < p; ++l) {
-      const double q_ll = q(l, l);
-      if (q_ll <= 0.0) {
-        return Status::NumericalError("lasso: non-positive diagonal");
+    if (need_full) {
+      if (stats != nullptr) ++stats->full_passes;
+      active.clear();
+      for (size_t l = 0; l < p; ++l) {
+        if (!update(l, &max_delta)) {
+          return Status::NumericalError("lasso: non-positive diagonal");
+        }
+        if (beta[l] != 0.0) active.push_back(l);
       }
-      const double old = (*beta)[l];
-      // Partial residual excludes l's own contribution.
-      const double rho = c[l] - (qbeta[l] - q_ll * old);
-      const double updated = SoftThreshold(rho, options.lambda) / q_ll;
-      const double delta = updated - old;
-      if (delta != 0.0) {
-        (*beta)[l] = updated;
-        const double* q_row = q.RowPtr(l);
-        for (size_t m = 0; m < p; ++m) qbeta[m] += delta * q_row[m];
-        max_delta = std::max(max_delta, std::fabs(delta));
+      if (max_delta < options.tolerance) break;  // certified by a full pass
+      // A saturated active set makes the restricted pass identical to a
+      // full one; keep rescanning so the set tracks coordinates that
+      // drop back to zero.
+      need_full = active.size() == p;
+    } else {
+      if (stats != nullptr) ++stats->active_passes;
+      for (size_t l : active) {
+        if (!update(l, &max_delta)) {
+          return Status::NumericalError("lasso: non-positive diagonal");
+        }
       }
+      // The nonzeros stabilized; rescan everything to certify (or pull
+      // newly violating coordinates into the set).
+      if (max_delta < options.tolerance) need_full = true;
     }
-    if (max_delta < options.tolerance) break;
   }
   return Status::OK();
+}
+
+Status SolveQuadraticLasso(const Matrix& q, const Vector& c,
+                           const LassoOptions& options, Vector* beta) {
+  const size_t p = q.rows();
+  if (q.cols() != p || c.size() != p) {
+    return Status::InvalidArgument("lasso dimension mismatch");
+  }
+  if (beta->size() != p) beta->assign(p, 0.0);
+  return SolveQuadraticLasso(ConstMatrixView(q), c.data(), options,
+                             beta->data(), /*stats=*/nullptr);
 }
 
 Result<Vector> SolveLassoRegression(const Matrix& x, const Vector& y,

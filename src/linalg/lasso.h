@@ -22,15 +22,38 @@ struct LassoOptions {
 /// Soft-thresholding operator S(x, t) = sign(x) * max(|x| - t, 0).
 double SoftThreshold(double x, double threshold);
 
+/// Pass counters of one quadratic-lasso solve, split by phase of the
+/// Friedman-style two-phase schedule: full passes visit every
+/// coordinate, active passes only the current nonzero set. Counters
+/// accumulate across calls so one instance can aggregate a whole
+/// graphical-lasso block solve.
+struct LassoSolveStats {
+  size_t full_passes = 0;
+  size_t active_passes = 0;
+};
+
 /// Solves the quadratic lasso subproblem
 ///   min_beta  (1/2) beta^T Q beta - beta^T c + lambda * ||beta||_1
-/// by cyclic coordinate descent. Q must be symmetric with positive
-/// diagonal. This is exactly the inner problem of graphical lasso
-/// (Friedman, Hastie & Tibshirani 2008, eq. 2.4).
+/// by cyclic coordinate descent with an active-set schedule: after a
+/// full pass over all coordinates, iterate only over the nonzero ones
+/// until they stabilize, then rescan everything; convergence is only
+/// declared by a full pass whose largest update is below the tolerance,
+/// so the active-set shortcut never weakens the stopping criterion. Q
+/// must be symmetric with positive diagonal. This is exactly the inner
+/// problem of graphical lasso (Friedman, Hastie & Tibshirani 2008,
+/// eq. 2.4).
 ///
 /// `beta` is used as the warm start and receives the solution.
 Status SolveQuadraticLasso(const Matrix& q, const Vector& c,
                            const LassoOptions& options, Vector* beta);
+
+/// View-based variant used by the graphical-lasso fast path: `q` may be
+/// a strided view into a larger working matrix (no copy), `c` and
+/// `beta` are raw arrays of length `q.rows()`. `stats`, when non-null,
+/// accumulates the pass counters.
+Status SolveQuadraticLasso(const ConstMatrixView& q, const double* c,
+                           const LassoOptions& options, double* beta,
+                           LassoSolveStats* stats);
 
 /// Solves a standard lasso regression
 ///   min_beta (1/2N) ||y - X beta||^2 + lambda ||beta||_1

@@ -173,9 +173,10 @@ Matrix Matrix::PermuteSymmetric(const std::vector<size_t>& perm) const {
 
 bool Matrix::IsSymmetric(double tol) const {
   if (rows_ != cols_) return false;
+  const double threshold = tol * std::max(1.0, MaxAbs());
   for (size_t i = 0; i < rows_; ++i) {
     for (size_t j = i + 1; j < cols_; ++j) {
-      if (std::fabs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+      if (std::fabs((*this)(i, j) - (*this)(j, i)) > threshold) return false;
     }
   }
   return true;

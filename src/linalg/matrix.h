@@ -73,7 +73,11 @@ class Matrix {
   /// old position perm[i].
   Matrix PermuteSymmetric(const std::vector<size_t>& perm) const;
 
-  /// True if max |A - A^T| <= tol.
+  /// True if max |A - A^T| <= tol * max(1, max|A|). The tolerance is
+  /// scale-relative: a covariance with entries in the millions and an
+  /// asymmetry at the rounding level still counts as symmetric, while
+  /// small matrices keep the plain absolute reading (the max(1, .)
+  /// floor makes the two coincide for entries up to unit magnitude).
   bool IsSymmetric(double tol = 1e-9) const;
 
   /// Debug rendering with fixed precision.
@@ -83,6 +87,44 @@ class Matrix {
   size_t rows_;
   size_t cols_;
   std::vector<double> data_;
+};
+
+/// Non-owning, read-only view of a dense row-major block whose row
+/// stride may exceed its logical width. This is how the graphical-lasso
+/// column steps hand the leading (m-1) x (m-1) corner of an m x m
+/// working matrix to the inner lasso without materializing a submatrix:
+/// the view costs two pointers, the copy costs O(m^2) per column per
+/// sweep. The viewed storage must outlive the view.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() : data_(nullptr), rows_(0), cols_(0), stride_(0) {}
+  ConstMatrixView(const double* data, size_t rows, size_t cols, size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    assert(cols <= stride || rows == 0);
+  }
+  /// Whole-matrix view (stride == cols).
+  ConstMatrixView(const Matrix& m)  // NOLINT(runtime/explicit): adapter
+      : data_(m.RowPtr(0)), rows_(m.rows()), cols_(m.cols()),
+        stride_(m.cols()) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t stride() const { return stride_; }
+
+  double operator()(size_t i, size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * stride_ + j];
+  }
+  const double* RowPtr(size_t i) const {
+    assert(i < rows_);
+    return data_ + i * stride_;
+  }
+
+ private:
+  const double* data_;
+  size_t rows_;
+  size_t cols_;
+  size_t stride_;
 };
 
 /// Dot product. Preconditions: equal sizes.

@@ -1,6 +1,7 @@
 #include "linalg/stats.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "util/thread_pool.h"
@@ -199,6 +200,25 @@ Result<Matrix> Correlation(const Matrix& samples, size_t threads) {
       } else {
         r(a, b) = s(a, b) / std::sqrt(va * vb);
       }
+    }
+  }
+  return r;
+}
+
+Matrix CorrelationFromCovariance(const Matrix& cov, double zero_tolerance) {
+  const size_t k = cov.rows();
+  assert(cov.cols() == k);
+  // Exactly the rescaling FDX applies before graphical lasso: a scale of
+  // zero (constant indicator) zeroes every coupling of that variable.
+  Vector scale(k, 1.0);
+  for (size_t i = 0; i < k; ++i) {
+    const double var = cov(i, i);
+    scale[i] = var > zero_tolerance ? 1.0 / std::sqrt(var) : 0.0;
+  }
+  Matrix r(k, k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      r(i, j) = i == j ? 1.0 : cov(i, j) * scale[i] * scale[j];
     }
   }
   return r;

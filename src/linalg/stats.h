@@ -46,6 +46,13 @@ Result<Matrix> CovarianceWithMean(const Matrix& samples, const Vector& mean,
 /// self-correlation and zero cross-correlation.
 Result<Matrix> Correlation(const Matrix& samples, size_t threads = 1);
 
+/// Rescales a covariance matrix to a correlation matrix: unit diagonal,
+/// off-diagonals divided by the product of the standard deviations.
+/// Variables whose variance is at or below `zero_tolerance` keep the
+/// unit diagonal and get zero couplings (the convention FDX uses for
+/// constant equality indicators). `cov` must be square.
+Matrix CorrelationFromCovariance(const Matrix& cov, double zero_tolerance);
+
 /// Standardizes columns in place to zero mean / unit variance. Columns
 /// with zero variance are centered only. Returns the per-column stddevs.
 Vector StandardizeColumns(Matrix* samples, size_t threads = 1);

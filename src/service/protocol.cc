@@ -67,6 +67,8 @@ Result<FdxOptions> ParseOptionsJson(const JsonValue& json,
       options.threads = static_cast<size_t>(value.number_value());
     } else if (key == "recovery" && value.is_bool()) {
       options.recovery.enabled = value.bool_value();
+    } else if (key == "warm_start" && value.is_bool()) {
+      options.reuse_solver_state = value.bool_value();
     } else {
       return Status::InvalidArgument("unknown or mistyped option \"" + key +
                                      "\"");
@@ -105,6 +107,10 @@ std::string CanonicalOptionsKey(const FdxOptions& o) {
          std::to_string(o.recovery.allow_estimator_fallback ? 1 : 0);
   key += ";rquar=" + std::to_string(o.recovery.allow_quarantine ? 1 : 0);
   key += ";rvar=" + ExactDouble(o.recovery.degenerate_variance_floor);
+  // Warm starts don't change a one-shot discover (there is no previous
+  // solve to seed from), but session keys splice this key together with
+  // the solve lineage, where the flag decides whether lineage exists.
+  key += ";wrm=" + std::to_string(o.reuse_solver_state ? 1 : 0);
   // Excluded on purpose: threads (bit-identical results at any count,
   // DESIGN.md section 7) and time_budget_seconds (bounds wall-clock,
   // never changes the bytes of a run that finishes).

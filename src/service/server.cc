@@ -283,25 +283,34 @@ std::string FdxServer::HandleDiscover(const JsonValue& request) {
     }
     std::shared_ptr<DatasetSession> session = std::move(session_or).value();
 
-    // Fast path: a cache hit skips the job queue entirely.
+    // Fast path: a cache hit skips the job queue entirely. The solve
+    // lineage is part of the key because warm-started solves are
+    // tolerance-equal, not byte-equal, to cold ones; the current lineage
+    // is only valid for lookup when no new solve would run, which is
+    // exactly the repeat-discover case the cache exists for.
     std::string key;
     {
       std::lock_guard<std::mutex> lock(session->mu);
       key = "sess|" + session->content.Hex() + "|" +
-            CanonicalOptionsKey(session->fdx.options());
+            CanonicalOptionsKey(session->fdx.options()) + "|" +
+            session->fdx.SolveStateKey();
     }
     std::string payload;
     if (cache_->Lookup(key, &payload)) return payload;
 
     Result<std::string> response = RunJob("discover", [this, session] {
-      // Recompute the key under the same lock as the solve, so a batch
-      // appended between admission and execution cannot file the newer
-      // result under the older fingerprint.
+      // Solve under the session lock, then file the payload under the
+      // post-solve key: the content and lineage the result was actually
+      // produced with. A batch appended between admission and execution
+      // therefore cannot file the newer result under the older
+      // fingerprint, and payloads from different solve histories never
+      // collide.
       std::lock_guard<std::mutex> lock(session->mu);
-      const std::string job_key = "sess|" + session->content.Hex() + "|" +
-                                  CanonicalOptionsKey(session->fdx.options());
       Result<FdxResult> result = session->fdx.CurrentFds();
       if (!result.ok()) return RenderErrorResponse("discover", result.status());
+      const std::string job_key = "sess|" + session->content.Hex() + "|" +
+                                  CanonicalOptionsKey(session->fdx.options()) +
+                                  "|" + session->fdx.SolveStateKey();
       std::string rendered =
           RenderDiscoverResponse(session->fdx.schema(),
                                  session->fdx.total_rows(), result.value());
@@ -432,6 +441,16 @@ std::string FdxServer::HandleStatus() {
   json.Integer(static_cast<int64_t>(sessions_->opened()));
   json.Key("evicted");
   json.Integer(static_cast<int64_t>(sessions_->evicted()));
+  json.EndObject();
+  const SessionRegistry::SolverTotals solver = sessions_->SolverStats();
+  json.Key("solver");
+  json.BeginObject();
+  json.Key("solves");
+  json.Integer(static_cast<int64_t>(solver.solves));
+  json.Key("warm_started");
+  json.Integer(static_cast<int64_t>(solver.warm_solves));
+  json.Key("memo_hits");
+  json.Integer(static_cast<int64_t>(solver.memo_hits));
   json.EndObject();
   json.EndObject();
   return json.TakeString();

@@ -65,6 +65,17 @@ size_t SessionRegistry::EvictExpiredLocked(Clock::time_point now) {
   return evicted;
 }
 
+SessionRegistry::SolverTotals SessionRegistry::SolverStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SolverTotals totals;
+  for (const auto& [id, slot] : slots_) {
+    totals.solves += slot.session->fdx.solves();
+    totals.warm_solves += slot.session->fdx.warm_solves();
+    totals.memo_hits += slot.session->fdx.memo_hits();
+  }
+  return totals;
+}
+
 size_t SessionRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return slots_.size();

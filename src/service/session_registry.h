@@ -58,6 +58,17 @@ class SessionRegistry {
   /// Evicts every session idle past the TTL; returns how many.
   size_t EvictExpired();
 
+  /// Solver-reuse counters summed over the currently open sessions
+  /// (closed and evicted sessions drop out of the totals). Reads only
+  /// the sessions' atomic counters under the registry lock — it never
+  /// takes a session's mutex, so it cannot stall behind a long solve.
+  struct SolverTotals {
+    uint64_t solves = 0;       ///< completed structure-learning solves
+    uint64_t warm_solves = 0;  ///< subset seeded from the previous solve
+    uint64_t memo_hits = 0;    ///< discovers answered without solving
+  };
+  SolverTotals SolverStats() const;
+
   size_t size() const;
   size_t max_sessions() const { return max_sessions_; }
   double ttl_seconds() const { return ttl_seconds_; }

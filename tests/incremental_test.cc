@@ -214,6 +214,95 @@ TEST(IncrementalFdxTest, MultiBatchMatchesSingleBatchOnPlantedFds) {
   EXPECT_GT(mutual_f1, 0.6);
 }
 
+TEST(IncrementalFdxTest, MemoAnswersRepeatedCurrentFds) {
+  SyntheticConfig config;
+  config.num_tuples = 800;
+  config.num_attributes = 6;
+  config.seed = 48;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  IncrementalFdx incremental(ds->clean.schema(), FdxOptions{});
+  ASSERT_TRUE(incremental.Append(ds->clean).ok());
+
+  auto first = incremental.CurrentFds();
+  ASSERT_TRUE(first.ok());
+  auto second = incremental.CurrentFds();
+  ASSERT_TRUE(second.ok());
+  // No batch arrived between the calls: the second is a memo hit, not a
+  // new solve, and returns the identical estimate.
+  EXPECT_EQ(incremental.solves(), 1u);
+  EXPECT_EQ(incremental.memo_hits(), 1u);
+  EXPECT_EQ(first->fds, second->fds);
+  EXPECT_DOUBLE_EQ(first->theta.Subtract(second->theta).MaxAbs(), 0.0);
+}
+
+TEST(IncrementalFdxTest, WarmStartChainsAcrossAppends) {
+  SyntheticConfig config;
+  config.num_tuples = 2000;
+  config.num_attributes = 8;
+  config.seed = 49;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+
+  IncrementalFdx incremental(ds->clean.schema(), FdxOptions{});
+  ASSERT_TRUE(incremental.Append(ds->clean.Head(1000)).ok());
+  const std::string key_before = incremental.SolveStateKey();
+
+  auto cold = incremental.CurrentFds();
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->diagnostics.solver_warm_start);
+  const std::string key_after_cold = incremental.SolveStateKey();
+  EXPECT_NE(key_before, key_after_cold);
+
+  Table rest{ds->clean.schema()};
+  for (size_t r = 1000; r < ds->clean.num_rows(); ++r) {
+    std::vector<Value> row;
+    for (size_t c = 0; c < ds->clean.num_columns(); ++c) {
+      row.push_back(ds->clean.cell(r, c));
+    }
+    rest.AppendRow(std::move(row));
+  }
+  ASSERT_TRUE(incremental.Append(rest).ok());
+
+  auto warm = incremental.CurrentFds();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->diagnostics.solver_warm_start);
+  EXPECT_EQ(incremental.solves(), 2u);
+  EXPECT_EQ(incremental.warm_solves(), 1u);
+  // Each solve extends the lineage, so the key keeps changing.
+  EXPECT_NE(incremental.SolveStateKey(), key_after_cold);
+}
+
+TEST(IncrementalFdxTest, ReuseDisabledForcesColdSolves) {
+  SyntheticConfig config;
+  config.num_tuples = 2000;
+  config.num_attributes = 8;
+  config.seed = 49;  // same data as WarmStartChainsAcrossAppends
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+
+  FdxOptions options;
+  options.reuse_solver_state = false;
+  IncrementalFdx incremental(ds->clean.schema(), options);
+  ASSERT_TRUE(incremental.Append(ds->clean.Head(1000)).ok());
+  ASSERT_TRUE(incremental.CurrentFds().ok());
+
+  Table rest{ds->clean.schema()};
+  for (size_t r = 1000; r < ds->clean.num_rows(); ++r) {
+    std::vector<Value> row;
+    for (size_t c = 0; c < ds->clean.num_columns(); ++c) {
+      row.push_back(ds->clean.cell(r, c));
+    }
+    rest.AppendRow(std::move(row));
+  }
+  ASSERT_TRUE(incremental.Append(rest).ok());
+  auto second = incremental.CurrentFds();
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->diagnostics.solver_warm_start);
+  EXPECT_EQ(incremental.solves(), 2u);
+  EXPECT_EQ(incremental.warm_solves(), 0u);
+}
+
 TEST(IncrementalFdxTest, CovarianceMatchesBatchMoments) {
   SyntheticConfig config;
   config.num_tuples = 800;

@@ -120,6 +120,19 @@ TEST(MatrixTest, IsSymmetric) {
   EXPECT_FALSE(Random(2, 3, 6).IsSymmetric());
 }
 
+TEST(MatrixTest, IsSymmetricToleranceIsScaleRelative) {
+  // A covariance with large entries accumulates rounding on the order
+  // of eps * magnitude; an absolute 1e-6 cutoff would falsely reject it.
+  Matrix big = Matrix::FromRows({{1e9, 2e8}, {2e8, 3e9}});
+  big(0, 1) += 1e-4;  // far above absolute 1e-6, tiny relative to 1e9
+  EXPECT_TRUE(big.IsSymmetric());
+  // Genuine asymmetry is still rejected at any scale.
+  big(0, 1) = 2e8 + 1e5;
+  EXPECT_FALSE(big.IsSymmetric());
+  Matrix small = Matrix::FromRows({{1.0, 0.5}, {-0.5, 1.0}});
+  EXPECT_FALSE(small.IsSymmetric());
+}
+
 TEST(MatrixTest, ToStringContainsValues) {
   Matrix m = Matrix::FromRows({{1.25}});
   EXPECT_NE(m.ToString(2).find("1.25"), std::string::npos);

@@ -128,6 +128,43 @@ TEST_F(ServiceIntegrationTest, SessionLifecycleWithCachedDiscover) {
   EXPECT_EQ(server.queue().executed(), 2u);
 }
 
+TEST_F(ServiceIntegrationTest, StatusReportsSolverCounters) {
+  FdxServer& server = StartServer(ServerOptions{});
+
+  auto open = Request(server.port(),
+                      R"({"op":"open","schema":["a","b","c"]})");
+  ASSERT_TRUE(open.ok());
+  ASSERT_TRUE(IsOk(*open)) << *open;
+
+  // Cold solve, then append + re-discover: the second solve warm-starts
+  // from the first and both land in the status counters.
+  ASSERT_TRUE(Request(server.port(),
+                      R"({"op":"append","session":"s-1","rows":)" +
+                          RowsJson(24, 5) + "}")
+                  .ok());
+  auto cold = Request(server.port(), R"({"op":"discover","session":"s-1"})");
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(IsOk(*cold)) << *cold;
+  ASSERT_TRUE(Request(server.port(),
+                      R"({"op":"append","session":"s-1","rows":)" +
+                          RowsJson(24, 5) + "}")
+                  .ok());
+  auto warm = Request(server.port(), R"({"op":"discover","session":"s-1"})");
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(IsOk(*warm)) << *warm;
+
+  auto status = Request(server.port(), R"({"op":"status"})");
+  ASSERT_TRUE(status.ok());
+  ASSERT_TRUE(IsOk(*status)) << *status;
+  auto parsed = JsonValue::Parse(*status);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* solver = parsed->Find("solver");
+  ASSERT_NE(solver, nullptr) << *status;
+  EXPECT_DOUBLE_EQ(solver->NumberOr("solves", -1), 2);
+  EXPECT_DOUBLE_EQ(solver->NumberOr("warm_started", -1), 1);
+  EXPECT_DOUBLE_EQ(solver->NumberOr("memo_hits", -1), 0);
+}
+
 TEST_F(ServiceIntegrationTest, CsvAndInlineTableShareTheCache) {
   FdxServer& server = StartServer(ServerOptions{});
 

@@ -185,6 +185,12 @@ TEST(CanonicalOptionsKeyTest, TracksResultAffectingKnobsOnly) {
   changed.transform.seed = 99;
   EXPECT_NE(CanonicalOptionsKey(base), CanonicalOptionsKey(changed));
 
+  // Warm-started solves are tolerance-equal but not byte-equal to cold
+  // ones, so the reuse knob must fragment the cache.
+  changed = base;
+  changed.reuse_solver_state = false;
+  EXPECT_NE(CanonicalOptionsKey(base), CanonicalOptionsKey(changed));
+
   // Output-invariant knobs: threads (determinism contract) and the
   // wall-clock budget must NOT fragment the cache.
   changed = base;
@@ -206,6 +212,12 @@ TEST(ParseOptionsJsonTest, AppliesKnownKeys) {
   EXPECT_FALSE(options->normalize_covariance);
   EXPECT_DOUBLE_EQ(options->time_budget_seconds, 2.5);
   EXPECT_FALSE(options->recovery.enabled);
+
+  auto warm = JsonValue::Parse(R"({"warm_start":false})");
+  ASSERT_TRUE(warm.ok());
+  auto cold_options = ParseOptionsJson(*warm, FdxOptions{});
+  ASSERT_TRUE(cold_options.ok()) << cold_options.status().ToString();
+  EXPECT_FALSE(cold_options->reuse_solver_state);
 }
 
 TEST(ParseOptionsJsonTest, RejectsUnknownAndMistypedKeys) {
