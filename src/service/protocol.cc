@@ -259,4 +259,113 @@ std::string RenderErrorResponse(const std::string& op, const Status& status) {
   return json.TakeString();
 }
 
+namespace {
+
+/// Integer member of `parent` (0 when absent / not an object).
+int64_t StatusInt(const JsonValue* parent, const std::string& key) {
+  if (parent == nullptr) return 0;
+  return static_cast<int64_t>(parent->NumberOr(key, 0.0));
+}
+
+}  // namespace
+
+std::string RenderStatusTextReport(const JsonValue& status) {
+  const JsonValue* io = status.Find("io");
+  const JsonValue* by_op = status.Find("requests_by_op");
+  const JsonValue* queue = status.Find("queue");
+  const JsonValue* cache = status.Find("cache");
+  const JsonValue* sessions = status.Find("sessions");
+  const JsonValue* solver = status.Find("solver");
+
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "fdxd status — up %.1fs\n",
+                status.NumberOr("uptime_seconds", 0.0));
+  out += line;
+
+  const std::string mode = io == nullptr ? "?" : io->StringOr("mode", "?");
+  std::snprintf(line, sizeof(line),
+                "io:          mode=%s io_threads=%lld connections_live=%lld "
+                "accept_transient_errors=%lld\n",
+                mode.c_str(), static_cast<long long>(StatusInt(io, "io_threads")),
+                static_cast<long long>(StatusInt(io, "connections_live")),
+                static_cast<long long>(StatusInt(io, "accept_transient_errors")));
+  out += line;
+
+  std::snprintf(line, sizeof(line),
+                "connections: total=%lld accept_faults=%lld\n",
+                static_cast<long long>(StatusInt(&status, "connections")),
+                static_cast<long long>(StatusInt(&status, "accept_faults")));
+  out += line;
+
+  std::snprintf(
+      line, sizeof(line),
+      "requests:    total=%lld open=%lld append=%lld discover=%lld "
+      "status=%lld sleep=%lld shutdown=%lld invalid=%lld\n",
+      static_cast<long long>(StatusInt(&status, "requests")),
+      static_cast<long long>(StatusInt(by_op, "open")),
+      static_cast<long long>(StatusInt(by_op, "append")),
+      static_cast<long long>(StatusInt(by_op, "discover")),
+      static_cast<long long>(StatusInt(by_op, "status")),
+      static_cast<long long>(StatusInt(by_op, "sleep")),
+      static_cast<long long>(StatusInt(by_op, "shutdown")),
+      static_cast<long long>(StatusInt(by_op, "invalid")));
+  out += line;
+
+  std::snprintf(line, sizeof(line),
+                "queue:       depth=%lld capacity=%lld workers=%lld "
+                "executed=%lld rejected=%lld\n",
+                static_cast<long long>(StatusInt(queue, "depth")),
+                static_cast<long long>(StatusInt(queue, "capacity")),
+                static_cast<long long>(StatusInt(queue, "workers")),
+                static_cast<long long>(StatusInt(queue, "executed")),
+                static_cast<long long>(StatusInt(queue, "rejected")));
+  out += line;
+
+  std::snprintf(line, sizeof(line),
+                "cache:       size=%lld capacity=%lld hits=%lld misses=%lld "
+                "evictions=%lld\n",
+                static_cast<long long>(StatusInt(cache, "size")),
+                static_cast<long long>(StatusInt(cache, "capacity")),
+                static_cast<long long>(StatusInt(cache, "hits")),
+                static_cast<long long>(StatusInt(cache, "misses")),
+                static_cast<long long>(StatusInt(cache, "evictions")));
+  out += line;
+
+  if (cache != nullptr) {
+    if (const JsonValue* shards = cache->Find("shards");
+        shards != nullptr && shards->is_array()) {
+      for (size_t s = 0; s < shards->array().size(); ++s) {
+        const JsonValue* shard = &shards->array()[s];
+        std::snprintf(line, sizeof(line),
+                      "  shard[%zu]   size=%lld hits=%lld misses=%lld "
+                      "evictions=%lld\n",
+                      s, static_cast<long long>(StatusInt(shard, "size")),
+                      static_cast<long long>(StatusInt(shard, "hits")),
+                      static_cast<long long>(StatusInt(shard, "misses")),
+                      static_cast<long long>(StatusInt(shard, "evictions")));
+        out += line;
+      }
+    }
+  }
+
+  std::snprintf(line, sizeof(line),
+                "sessions:    open=%lld max=%lld shards=%lld opened=%lld "
+                "evicted=%lld\n",
+                static_cast<long long>(StatusInt(sessions, "open")),
+                static_cast<long long>(StatusInt(sessions, "max")),
+                static_cast<long long>(StatusInt(sessions, "shards")),
+                static_cast<long long>(StatusInt(sessions, "opened")),
+                static_cast<long long>(StatusInt(sessions, "evicted")));
+  out += line;
+
+  std::snprintf(line, sizeof(line),
+                "solver:      solves=%lld warm_started=%lld memo_hits=%lld\n",
+                static_cast<long long>(StatusInt(solver, "solves")),
+                static_cast<long long>(StatusInt(solver, "warm_started")),
+                static_cast<long long>(StatusInt(solver, "memo_hits")));
+  out += line;
+  return out;
+}
+
 }  // namespace fdx

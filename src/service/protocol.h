@@ -67,6 +67,13 @@ std::string RenderErrorResponse(const std::string& op, const Status& status);
 /// Status-code name used on the wire ("InvalidArgument", "Timeout", ...).
 std::string StatusCodeName(StatusCode code);
 
+/// Renders a parsed `status` response as a human-readable multi-line
+/// report (what `fdxctl status --text` prints): I/O mode and live
+/// connection count, cumulative requests by op, queue depth, per-shard
+/// cache hit/miss counters, session and solver totals. Missing members
+/// render as zeros so reports against older daemons stay readable.
+std::string RenderStatusTextReport(const JsonValue& status);
+
 }  // namespace fdx
 
 #endif  // FDX_SERVICE_PROTOCOL_H_

@@ -1,49 +1,120 @@
 #include "service/result_cache.h"
 
+#include <functional>
+
 namespace fdx {
 
-ResultCache::ResultCache(size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(size_t capacity, size_t shards)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  size_t count = RoundUpPow2(shards == 0 ? 1 : shards);
+  // Never more shards than capacity: each shard must hold >= 1 entry.
+  while (count > 1 && count > capacity_) count >>= 1;
+  shard_mask_ = count - 1;
+  shard_capacity_ = (capacity_ + count - 1) / count;
+  shards_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key)&shard_mask_];
+}
+
+const ResultCache::Shard& ResultCache::ShardFor(const std::string& key) const {
+  return *shards_[std::hash<std::string>{}(key)&shard_mask_];
+}
 
 bool ResultCache::Lookup(const std::string& key, std::string* payload) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
     return false;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   *payload = it->second->second;
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.hits;
   return true;
 }
 
 void ResultCache::Insert(const std::string& key, std::string payload) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
     it->second->second = std::move(payload);
-    lru_.splice(lru_.begin(), lru_, it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(payload));
-  index_[key] = lru_.begin();
-  if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+  shard.lru.emplace_front(key, std::move(payload));
+  shard.index[key] = shard.lru.begin();
+  if (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
   }
 }
 
 void ResultCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  lru_.clear();
-  index_.clear();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+ResultCache::ShardStats ResultCache::shard_stats(size_t shard) const {
+  const Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return ShardStats{s.lru.size(), s.hits, s.misses, s.evictions};
 }
 
 size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return lru_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+uint64_t ResultCache::hits() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->hits;
+  }
+  return total;
+}
+
+uint64_t ResultCache::misses() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->misses;
+  }
+  return total;
+}
+
+uint64_t ResultCache::evictions() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->evictions;
+  }
+  return total;
 }
 
 }  // namespace fdx

@@ -1,13 +1,14 @@
 #ifndef FDX_SERVICE_RESULT_CACHE_H_
 #define FDX_SERVICE_RESULT_CACHE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace fdx {
 
@@ -16,40 +17,69 @@ namespace fdx {
 /// value is the exact response line a fresh run would produce (the
 /// discover renderer is deterministic and timing-free), so a hit is
 /// replayed byte-for-byte — extending the determinism contract of
-/// DESIGN.md section 7 across the service boundary. Thread-safe.
+/// DESIGN.md section 7 across the service boundary.
+///
+/// Internally mutex-striped: keys hash onto `shards` independent LRU
+/// segments, each behind its own lock, so concurrent lookups from the
+/// event loop and inserts from the worker pool contend only when they
+/// land on the same shard. Recency is therefore tracked *per shard*
+/// (there is no global LRU order — a classic segmented-LRU trade), and
+/// the total capacity is split evenly across shards. `shards == 1`
+/// reproduces the exact single-LRU semantics. Thread-safe.
 class ResultCache {
  public:
-  explicit ResultCache(size_t capacity);
+  /// `capacity` is the total entry budget; `shards` is rounded up to a
+  /// power of two. Each shard holds ceil(capacity / shards) entries.
+  explicit ResultCache(size_t capacity, size_t shards = 1);
 
   /// Copies the payload for `key` into `*payload` and returns true on a
-  /// hit (bumping the entry to most-recently-used). Counts hit/miss.
+  /// hit (bumping the entry to most-recently-used in its shard).
+  /// Counts hit/miss.
   bool Lookup(const std::string& key, std::string* payload);
 
-  /// Inserts or refreshes an entry, evicting the least-recently-used
-  /// one beyond capacity. Concurrent inserts of the same key are
-  /// harmless: both producers computed bit-identical payloads.
+  /// Inserts or refreshes an entry, evicting its shard's
+  /// least-recently-used entry beyond the shard capacity. Concurrent
+  /// inserts of the same key are harmless: both producers computed
+  /// bit-identical payloads.
   void Insert(const std::string& key, std::string payload);
 
   void Clear();
 
+  /// Counters for one shard, snapshot under that shard's lock.
+  struct ShardStats {
+    size_t size = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  ShardStats shard_stats(size_t shard) const;
+
   size_t size() const;
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  uint64_t evictions() const {
-    return evictions_.load(std::memory_order_relaxed);
-  }
+  size_t shards() const { return shards_.size(); }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
 
  private:
   using Entry = std::pair<std::string, std::string>;  ///< key, payload
 
-  const size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> evictions_{0};
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    uint64_t hits = 0;       ///< guarded by mu
+    uint64_t misses = 0;     ///< guarded by mu
+    uint64_t evictions = 0;  ///< guarded by mu
+  };
+
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+
+  size_t capacity_;
+  size_t shard_capacity_;
+  size_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace fdx

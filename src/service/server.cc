@@ -1,5 +1,6 @@
 #include "service/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <set>
@@ -64,7 +65,173 @@ Result<Schema> ParseSchemaJson(const JsonValue& schema_json) {
   return Schema(std::move(names));
 }
 
+/// A validated append: the target session and the decoded batch. Built
+/// outside any lock so both I/O paths (blocking and event-loop) share
+/// the parse and only diverge in how they take the session mutex.
+struct AppendPlan {
+  std::shared_ptr<DatasetSession> session;
+  Table batch;
+};
+
+Result<AppendPlan> PlanAppend(const JsonValue& request,
+                              SessionRegistry* sessions) {
+  const std::string id = request.StringOr("session", "");
+  if (id.empty()) {
+    return Status::InvalidArgument("append needs a \"session\" id");
+  }
+  FDX_ASSIGN_OR_RETURN(std::shared_ptr<DatasetSession> session,
+                       sessions->Get(id));
+
+  const JsonValue* rows = request.Find("rows");
+  const JsonValue* csv = request.Find("csv");
+  if ((rows == nullptr) == (csv == nullptr)) {
+    return Status::InvalidArgument(
+        "append needs exactly one of \"rows\" or \"csv\"");
+  }
+
+  Result<Table> batch_or = Status::Internal("unreachable");
+  if (rows != nullptr) {
+    batch_or = RowsToTable(session->fdx.schema(), *rows);
+  } else {
+    if (!csv->is_string()) {
+      return Status::InvalidArgument("\"csv\" must be a string");
+    }
+    // Headerless by design: the session schema was fixed at open.
+    CsvOptions csv_options;
+    csv_options.has_header = false;
+    batch_or = ReadCsvFromString(csv->string_value(), csv_options);
+  }
+  FDX_ASSIGN_OR_RETURN(Table batch, std::move(batch_or));
+  return AppendPlan{std::move(session), std::move(batch)};
+}
+
+/// A validated discover: either a session (session != nullptr) or a
+/// one-shot table plus its layered options and cache key.
+struct DiscoverPlan {
+  std::shared_ptr<DatasetSession> session;
+  std::shared_ptr<const Table> table;
+  FdxOptions table_options;
+  std::string table_key;
+};
+
+Result<DiscoverPlan> PlanDiscover(const JsonValue& request,
+                                  SessionRegistry* sessions,
+                                  const FdxOptions& base_options) {
+  if (const JsonValue* session_id = request.Find("session")) {
+    if (!session_id->is_string()) {
+      return Status::InvalidArgument("\"session\" must be a string");
+    }
+    if (request.Find("options") != nullptr) {
+      return Status::InvalidArgument(
+          "session options are fixed at open; omit \"options\"");
+    }
+    FDX_ASSIGN_OR_RETURN(std::shared_ptr<DatasetSession> session,
+                         sessions->Get(session_id->string_value()));
+    DiscoverPlan plan;
+    plan.session = std::move(session);
+    return plan;
+  }
+
+  // One-shot table: exactly one of csv / csv_path / table.
+  const JsonValue* csv = request.Find("csv");
+  const JsonValue* csv_path = request.Find("csv_path");
+  const JsonValue* table_json = request.Find("table");
+  const int sources = (csv != nullptr) + (csv_path != nullptr) +
+                      (table_json != nullptr);
+  if (sources != 1) {
+    return Status::InvalidArgument(
+        "discover needs exactly one of \"session\", \"csv\", \"csv_path\", "
+        "or \"table\"");
+  }
+
+  Result<Table> table_or = Status::Internal("unreachable");
+  if (csv != nullptr) {
+    if (!csv->is_string()) {
+      return Status::InvalidArgument("\"csv\" must be a string");
+    }
+    table_or = ReadCsvFromString(csv->string_value());
+  } else if (csv_path != nullptr) {
+    if (!csv_path->is_string()) {
+      return Status::InvalidArgument("\"csv_path\" must be a string");
+    }
+    table_or = ReadCsv(csv_path->string_value());
+  } else {
+    const JsonValue* schema_json = table_json->Find("schema");
+    const JsonValue* rows_json = table_json->Find("rows");
+    if (schema_json == nullptr || rows_json == nullptr) {
+      return Status::InvalidArgument(
+          "\"table\" needs \"schema\" and \"rows\" members");
+    }
+    FDX_ASSIGN_OR_RETURN(Schema schema, ParseSchemaJson(*schema_json));
+    table_or = RowsToTable(schema, *rows_json);
+  }
+  FDX_ASSIGN_OR_RETURN(Table table, std::move(table_or));
+
+  FdxOptions fdx_options = base_options;
+  if (const JsonValue* options_json = request.Find("options")) {
+    FDX_ASSIGN_OR_RETURN(fdx_options,
+                         ParseOptionsJson(*options_json, fdx_options));
+  }
+
+  DiscoverPlan plan;
+  plan.table = std::make_shared<const Table>(std::move(table));
+  plan.table_options = std::move(fdx_options);
+  plan.table_key = "tbl|" + FingerprintTable(*plan.table) + "|" +
+                   CanonicalOptionsKey(plan.table_options);
+  return plan;
+}
+
+std::string RenderShutdownResponse() {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok");
+  json.Bool(true);
+  json.Key("op");
+  json.String("shutdown");
+  json.Key("draining");
+  json.Bool(true);
+  json.EndObject();
+  return json.TakeString();
+}
+
+/// Worker-side body of the debug `sleep` op.
+std::string SleepBody(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  if (seconds > 30.0) seconds = 30.0;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok");
+  json.Bool(true);
+  json.Key("op");
+  json.String("sleep");
+  json.EndObject();
+  return json.TakeString();
+}
+
 }  // namespace
+
+const char* RequestKindName(FdxServer::RequestKind kind) {
+  switch (kind) {
+    case FdxServer::RequestKind::kOpen:
+      return "open";
+    case FdxServer::RequestKind::kAppend:
+      return "append";
+    case FdxServer::RequestKind::kDiscover:
+      return "discover";
+    case FdxServer::RequestKind::kStatus:
+      return "status";
+    case FdxServer::RequestKind::kSleep:
+      return "sleep";
+    case FdxServer::RequestKind::kShutdown:
+      return "shutdown";
+    case FdxServer::RequestKind::kInvalid:
+      return "invalid";
+    case FdxServer::RequestKind::kCount:
+      break;
+  }
+  return "invalid";
+}
 
 FdxServer::FdxServer(ServerOptions options) : options_(std::move(options)) {}
 
@@ -74,25 +241,73 @@ Status FdxServer::Start() {
   FDX_ASSIGN_OR_RETURN(listener_, ListenSocket::BindLoopback(options_.port));
   port_ = listener_.port();
   queue_ = std::make_unique<JobQueue>(options_.workers, options_.queue_capacity);
-  cache_ = std::make_unique<ResultCache>(options_.cache_capacity);
+  cache_ = std::make_unique<ResultCache>(options_.cache_capacity,
+                                         options_.cache_shards);
   sessions_ = std::make_unique<SessionRegistry>(options_.max_sessions,
-                                                options_.session_ttl_seconds);
+                                                options_.session_ttl_seconds,
+                                                options_.session_shards);
   uptime_.Reset();
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     accepting_ = true;
   }
-  accept_thread_ = std::thread(&FdxServer::AcceptLoop, this);
+  if (options_.io_mode == IoMode::kEventLoop) {
+    EventLoop::Options loop_options;
+    loop_options.max_pipeline_depth = std::max<size_t>(
+        1, options_.max_pipeline_depth);
+    EventLoop::Callbacks callbacks;
+    callbacks.dispatch = [this](std::string line, EventLoop::DoneFn done) {
+      DispatchAsync(std::move(line), std::move(done));
+    };
+    callbacks.on_accept = [this](Socket sock) { OnAccept(std::move(sock)); };
+    const size_t loops = std::max<size_t>(1, options_.io_threads);
+    for (size_t i = 0; i < loops; ++i) {
+      event_loops_.push_back(
+          std::make_unique<EventLoop>(loop_options, callbacks));
+    }
+    event_loops_.front()->AttachListener(&listener_);
+    for (auto& loop : event_loops_) {
+      FDX_RETURN_IF_ERROR(loop->Start());
+    }
+  } else {
+    accept_thread_ = std::thread(&FdxServer::AcceptLoop, this);
+  }
   return Status::OK();
+}
+
+void FdxServer::OnAccept(Socket sock) {
+  if (FaultTriggered(kFaultServiceAccept)) {
+    // Drop the connection on the floor: the client sees EOF and the
+    // next connect succeeds — the transient-network failure mode.
+    accept_faults_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!accepting_) return;  // teardown raced this accept; drop it
+  }
+  connections_.fetch_add(1, std::memory_order_relaxed);
+  const size_t target = next_loop_.fetch_add(1, std::memory_order_relaxed) %
+                        event_loops_.size();
+  event_loops_[target]->AdoptConnection(std::move(sock));
 }
 
 void FdxServer::AcceptLoop() {
   while (true) {
     Result<Socket> accepted = listener_.Accept();
-    if (!accepted.ok()) break;  // listener shut down
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kIOError) {
+        // Transient failure (ECONNABORTED, EMFILE, ...): intake must
+        // survive it. Back off briefly so an fd drought does not turn
+        // into a hot accept/fail spin, then keep accepting.
+        accept_transient_legacy_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;  // listener shut down
+    }
+    ReapFinishedConnThreads();
     if (FaultTriggered(kFaultServiceAccept)) {
-      // Drop the connection on the floor: the client sees EOF and the
-      // next connect succeeds — the transient-network failure mode.
       accept_faults_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
@@ -102,7 +317,29 @@ void FdxServer::AcceptLoop() {
     conn_sockets_[id] =
         std::make_shared<Socket>(std::move(accepted).value());
     connections_.fetch_add(1, std::memory_order_relaxed);
-    conn_threads_.emplace_back(&FdxServer::ServeConnection, this, id);
+    conn_threads_.emplace(id,
+                          std::thread(&FdxServer::ServeConnection, this, id));
+  }
+}
+
+void FdxServer::ReapFinishedConnThreads() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    finished.reserve(finished_conn_ids_.size());
+    for (const uint64_t id : finished_conn_ids_) {
+      auto it = conn_threads_.find(id);
+      if (it == conn_threads_.end()) continue;
+      finished.push_back(std::move(it->second));
+      conn_threads_.erase(it);
+    }
+    finished_conn_ids_.clear();
+  }
+  // Joining outside the lock: the handler already ran its last line, so
+  // each join completes promptly, but it must not block the accept path
+  // from admitting sockets meanwhile.
+  for (std::thread& thread : finished) {
+    if (thread.joinable()) thread.join();
   }
 }
 
@@ -126,17 +363,42 @@ void FdxServer::ServeConnection(uint64_t conn_id) {
   sock->ShutdownBoth();
   std::lock_guard<std::mutex> lock(conn_mu_);
   conn_sockets_.erase(conn_id);
+  // The accept loop joins this thread on its next pass (or teardown
+  // catches whatever is left).
+  finished_conn_ids_.push_back(conn_id);
+}
+
+FdxServer::RequestKind FdxServer::RecordRequest(const std::string& op) {
+  RequestKind kind = RequestKind::kInvalid;
+  if (op == "open") {
+    kind = RequestKind::kOpen;
+  } else if (op == "append") {
+    kind = RequestKind::kAppend;
+  } else if (op == "discover") {
+    kind = RequestKind::kDiscover;
+  } else if (op == "status") {
+    kind = RequestKind::kStatus;
+  } else if (op == "sleep" && options_.enable_debug_ops) {
+    kind = RequestKind::kSleep;
+  } else if (op == "shutdown") {
+    kind = RequestKind::kShutdown;
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_by_kind_[static_cast<size_t>(kind)].fetch_add(
+      1, std::memory_order_relaxed);
+  return kind;
 }
 
 bool FdxServer::HandleRequest(const std::string& line, std::string* response) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
   Result<JsonValue> parsed = JsonValue::Parse(line);
   if (!parsed.ok()) {
+    RecordRequest("");
     *response = RenderErrorResponse("request", parsed.status());
     return true;
   }
   const JsonValue& request = parsed.value();
   const std::string op = request.StringOr("op", "");
+  RecordRequest(op);
   if (op.empty()) {
     *response = RenderErrorResponse(
         "request", Status::InvalidArgument("request needs a string \"op\""));
@@ -153,16 +415,7 @@ bool FdxServer::HandleRequest(const std::string& line, std::string* response) {
   } else if (op == "sleep" && options_.enable_debug_ops) {
     *response = HandleSleep(request);
   } else if (op == "shutdown") {
-    JsonWriter json;
-    json.BeginObject();
-    json.Key("ok");
-    json.Bool(true);
-    json.Key("op");
-    json.String("shutdown");
-    json.Key("draining");
-    json.Bool(true);
-    json.EndObject();
-    *response = json.TakeString();
+    *response = RenderShutdownResponse();
     RequestShutdown();
     return false;
   } else {
@@ -170,6 +423,45 @@ bool FdxServer::HandleRequest(const std::string& line, std::string* response) {
         op, Status::InvalidArgument("unknown op \"" + op + "\""));
   }
   return true;
+}
+
+void FdxServer::DispatchAsync(std::string line, EventLoop::DoneFn done) {
+  Result<JsonValue> parsed = JsonValue::Parse(line);
+  if (!parsed.ok()) {
+    RecordRequest("");
+    done(RenderErrorResponse("request", parsed.status()), true);
+    return;
+  }
+  const JsonValue& request = parsed.value();
+  const std::string op = request.StringOr("op", "");
+  RecordRequest(op);
+  if (op.empty()) {
+    done(RenderErrorResponse(
+             "request",
+             Status::InvalidArgument("request needs a string \"op\"")),
+         true);
+    return;
+  }
+  if (op == "open") {
+    done(HandleOpen(request), true);
+  } else if (op == "append") {
+    HandleAppendAsync(request, std::move(done));
+  } else if (op == "discover") {
+    HandleDiscoverAsync(request, std::move(done));
+  } else if (op == "status") {
+    done(HandleStatus(), true);
+  } else if (op == "sleep" && options_.enable_debug_ops) {
+    const double seconds = request.NumberOr("seconds", 0.05);
+    SubmitJobAsync("sleep", [seconds] { return SleepBody(seconds); },
+                   std::move(done));
+  } else if (op == "shutdown") {
+    done(RenderShutdownResponse(), false);
+    RequestShutdown();
+  } else {
+    done(RenderErrorResponse(
+             op, Status::InvalidArgument("unknown op \"" + op + "\"")),
+         true);
+  }
 }
 
 std::string FdxServer::HandleOpen(const JsonValue& request) {
@@ -206,41 +498,7 @@ std::string FdxServer::HandleOpen(const JsonValue& request) {
   return json.TakeString();
 }
 
-std::string FdxServer::HandleAppend(const JsonValue& request) {
-  const std::string id = request.StringOr("session", "");
-  if (id.empty()) {
-    return RenderErrorResponse(
-        "append", Status::InvalidArgument("append needs a \"session\" id"));
-  }
-  Result<std::shared_ptr<DatasetSession>> session_or = sessions_->Get(id);
-  if (!session_or.ok()) return RenderErrorResponse("append", session_or.status());
-  std::shared_ptr<DatasetSession> session = std::move(session_or).value();
-
-  const JsonValue* rows = request.Find("rows");
-  const JsonValue* csv = request.Find("csv");
-  if ((rows == nullptr) == (csv == nullptr)) {
-    return RenderErrorResponse(
-        "append", Status::InvalidArgument(
-                      "append needs exactly one of \"rows\" or \"csv\""));
-  }
-
-  Result<Table> batch_or = Status::Internal("unreachable");
-  if (rows != nullptr) {
-    batch_or = RowsToTable(session->fdx.schema(), *rows);
-  } else {
-    if (!csv->is_string()) {
-      return RenderErrorResponse(
-          "append", Status::InvalidArgument("\"csv\" must be a string"));
-    }
-    // Headerless by design: the session schema was fixed at open.
-    CsvOptions csv_options;
-    csv_options.has_header = false;
-    batch_or = ReadCsvFromString(csv->string_value(), csv_options);
-  }
-  if (!batch_or.ok()) return RenderErrorResponse("append", batch_or.status());
-  Table batch = std::move(batch_or).value();
-
-  std::lock_guard<std::mutex> lock(session->mu);
+std::string FdxServer::ApplyAppendLocked(DatasetSession* session, Table batch) {
   Status appended = session->fdx.Append(batch);
   if (!appended.ok()) return RenderErrorResponse("append", appended);
   session->content.UpdateString("batch");
@@ -264,130 +522,167 @@ std::string FdxServer::HandleAppend(const JsonValue& request) {
   return json.TakeString();
 }
 
-std::string FdxServer::HandleDiscover(const JsonValue& request) {
-  if (const JsonValue* session_id = request.Find("session")) {
-    if (!session_id->is_string()) {
-      return RenderErrorResponse(
-          "discover", Status::InvalidArgument("\"session\" must be a string"));
-    }
-    if (request.Find("options") != nullptr) {
-      return RenderErrorResponse(
-          "discover",
-          Status::InvalidArgument(
-              "session options are fixed at open; omit \"options\""));
-    }
-    Result<std::shared_ptr<DatasetSession>> session_or =
-        sessions_->Get(session_id->string_value());
-    if (!session_or.ok()) {
-      return RenderErrorResponse("discover", session_or.status());
-    }
-    std::shared_ptr<DatasetSession> session = std::move(session_or).value();
+std::string FdxServer::HandleAppend(const JsonValue& request) {
+  Result<AppendPlan> plan_or = PlanAppend(request, sessions_.get());
+  if (!plan_or.ok()) return RenderErrorResponse("append", plan_or.status());
+  AppendPlan plan = std::move(plan_or).value();
+  std::lock_guard<std::mutex> lock(plan.session->mu);
+  return ApplyAppendLocked(plan.session.get(), std::move(plan.batch));
+}
 
-    // Fast path: a cache hit skips the job queue entirely. The solve
-    // lineage is part of the key because warm-started solves are
-    // tolerance-equal, not byte-equal, to cold ones; the current lineage
-    // is only valid for lookup when no new solve would run, which is
-    // exactly the repeat-discover case the cache exists for.
+void FdxServer::HandleAppendAsync(const JsonValue& request,
+                                  EventLoop::DoneFn done) {
+  Result<AppendPlan> plan_or = PlanAppend(request, sessions_.get());
+  if (!plan_or.ok()) {
+    done(RenderErrorResponse("append", plan_or.status()), true);
+    return;
+  }
+  AppendPlan plan = std::move(plan_or).value();
+  // An append is cheap, but the session mutex may be held for a whole
+  // solve by a worker. try_lock keeps the fast case on the I/O thread
+  // and moves the contended case to the queue instead of stalling every
+  // connection on this loop behind one session.
+  std::unique_lock<std::mutex> lock(plan.session->mu, std::try_to_lock);
+  if (lock.owns_lock()) {
+    std::string response =
+        ApplyAppendLocked(plan.session.get(), std::move(plan.batch));
+    lock.unlock();
+    done(std::move(response), true);
+    return;
+  }
+  std::shared_ptr<DatasetSession> session = plan.session;
+  auto batch = std::make_shared<Table>(std::move(plan.batch));
+  SubmitJobAsync(
+      "append",
+      [this, session, batch] {
+        std::lock_guard<std::mutex> job_lock(session->mu);
+        return ApplyAppendLocked(session.get(), std::move(*batch));
+      },
+      std::move(done));
+}
+
+std::string FdxServer::SessionDiscoverKeyLocked(const DatasetSession& session) {
+  // The solve lineage is part of the key because warm-started solves are
+  // tolerance-equal, not byte-equal, to cold ones; the current lineage
+  // is only valid for lookup when no new solve would run, which is
+  // exactly the repeat-discover case the cache exists for.
+  return "sess|" + session.content.Hex() + "|" +
+         CanonicalOptionsKey(session.fdx.options()) + "|" +
+         session.fdx.SolveStateKey();
+}
+
+std::string FdxServer::RunSessionDiscover(
+    const std::shared_ptr<DatasetSession>& session) {
+  // Solve under the session lock, then file the payload under the
+  // post-solve key: the content and lineage the result was actually
+  // produced with. A batch appended between admission and execution
+  // therefore cannot file the newer result under the older
+  // fingerprint, and payloads from different solve histories never
+  // collide.
+  std::lock_guard<std::mutex> lock(session->mu);
+  Result<FdxResult> result = session->fdx.CurrentFds();
+  if (!result.ok()) return RenderErrorResponse("discover", result.status());
+  const std::string job_key = SessionDiscoverKeyLocked(*session);
+  std::string rendered = RenderDiscoverResponse(
+      session->fdx.schema(), session->fdx.total_rows(), result.value());
+  cache_->Insert(job_key, rendered);
+  return rendered;
+}
+
+std::string FdxServer::RunTableDiscover(
+    const std::shared_ptr<const Table>& table, const FdxOptions& options,
+    const std::string& key) {
+  FdxDiscoverer discoverer(options);
+  Result<FdxResult> result = discoverer.Discover(*table);
+  if (!result.ok()) return RenderErrorResponse("discover", result.status());
+  std::string rendered = RenderDiscoverResponse(
+      table->schema(), table->num_rows(), result.value());
+  cache_->Insert(key, rendered);
+  return rendered;
+}
+
+std::string FdxServer::HandleDiscover(const JsonValue& request) {
+  Result<DiscoverPlan> plan_or =
+      PlanDiscover(request, sessions_.get(), options_.fdx);
+  if (!plan_or.ok()) return RenderErrorResponse("discover", plan_or.status());
+  DiscoverPlan plan = std::move(plan_or).value();
+
+  if (plan.session != nullptr) {
+    // Fast path: a cache hit skips the job queue entirely.
     std::string key;
     {
-      std::lock_guard<std::mutex> lock(session->mu);
-      key = "sess|" + session->content.Hex() + "|" +
-            CanonicalOptionsKey(session->fdx.options()) + "|" +
-            session->fdx.SolveStateKey();
+      std::lock_guard<std::mutex> lock(plan.session->mu);
+      key = SessionDiscoverKeyLocked(*plan.session);
     }
     std::string payload;
     if (cache_->Lookup(key, &payload)) return payload;
 
-    Result<std::string> response = RunJob("discover", [this, session] {
-      // Solve under the session lock, then file the payload under the
-      // post-solve key: the content and lineage the result was actually
-      // produced with. A batch appended between admission and execution
-      // therefore cannot file the newer result under the older
-      // fingerprint, and payloads from different solve histories never
-      // collide.
-      std::lock_guard<std::mutex> lock(session->mu);
-      Result<FdxResult> result = session->fdx.CurrentFds();
-      if (!result.ok()) return RenderErrorResponse("discover", result.status());
-      const std::string job_key = "sess|" + session->content.Hex() + "|" +
-                                  CanonicalOptionsKey(session->fdx.options()) +
-                                  "|" + session->fdx.SolveStateKey();
-      std::string rendered =
-          RenderDiscoverResponse(session->fdx.schema(),
-                                 session->fdx.total_rows(), result.value());
-      cache_->Insert(job_key, rendered);
-      return rendered;
-    });
-    if (!response.ok()) return RenderErrorResponse("discover", response.status());
+    Result<std::string> response =
+        RunJob("discover", [this, session = plan.session] {
+          return RunSessionDiscover(session);
+        });
+    if (!response.ok()) {
+      return RenderErrorResponse("discover", response.status());
+    }
     return std::move(response).value();
   }
 
-  // One-shot table: exactly one of csv / csv_path / table.
-  const JsonValue* csv = request.Find("csv");
-  const JsonValue* csv_path = request.Find("csv_path");
-  const JsonValue* table_json = request.Find("table");
-  const int sources = (csv != nullptr) + (csv_path != nullptr) +
-                      (table_json != nullptr);
-  if (sources != 1) {
-    return RenderErrorResponse(
-        "discover",
-        Status::InvalidArgument("discover needs exactly one of \"session\", "
-                                "\"csv\", \"csv_path\", or \"table\""));
-  }
-
-  Result<Table> table_or = Status::Internal("unreachable");
-  if (csv != nullptr) {
-    if (!csv->is_string()) {
-      return RenderErrorResponse(
-          "discover", Status::InvalidArgument("\"csv\" must be a string"));
-    }
-    table_or = ReadCsvFromString(csv->string_value());
-  } else if (csv_path != nullptr) {
-    if (!csv_path->is_string()) {
-      return RenderErrorResponse(
-          "discover", Status::InvalidArgument("\"csv_path\" must be a string"));
-    }
-    table_or = ReadCsv(csv_path->string_value());
-  } else {
-    const JsonValue* schema_json = table_json->Find("schema");
-    const JsonValue* rows_json = table_json->Find("rows");
-    if (schema_json == nullptr || rows_json == nullptr) {
-      return RenderErrorResponse(
-          "discover", Status::InvalidArgument(
-                          "\"table\" needs \"schema\" and \"rows\" members"));
-    }
-    Result<Schema> schema = ParseSchemaJson(*schema_json);
-    if (!schema.ok()) return RenderErrorResponse("discover", schema.status());
-    table_or = RowsToTable(schema.value(), *rows_json);
-  }
-  if (!table_or.ok()) return RenderErrorResponse("discover", table_or.status());
-
-  FdxOptions fdx_options = options_.fdx;
-  if (const JsonValue* options_json = request.Find("options")) {
-    Result<FdxOptions> parsed = ParseOptionsJson(*options_json, fdx_options);
-    if (!parsed.ok()) return RenderErrorResponse("discover", parsed.status());
-    fdx_options = std::move(parsed).value();
-  }
-
-  auto table = std::make_shared<const Table>(std::move(table_or).value());
-  const std::string key =
-      "tbl|" + FingerprintTable(*table) + "|" + CanonicalOptionsKey(fdx_options);
   std::string payload;
-  if (cache_->Lookup(key, &payload)) return payload;
+  if (cache_->Lookup(plan.table_key, &payload)) return payload;
 
   Result<std::string> response =
-      RunJob("discover", [this, table, fdx_options, key] {
-        FdxDiscoverer discoverer(fdx_options);
-        Result<FdxResult> result = discoverer.Discover(*table);
-        if (!result.ok()) {
-          return RenderErrorResponse("discover", result.status());
-        }
-        std::string rendered = RenderDiscoverResponse(
-            table->schema(), table->num_rows(), result.value());
-        cache_->Insert(key, rendered);
-        return rendered;
+      RunJob("discover", [this, table = plan.table,
+                          options = plan.table_options, key = plan.table_key] {
+        return RunTableDiscover(table, options, key);
       });
   if (!response.ok()) return RenderErrorResponse("discover", response.status());
   return std::move(response).value();
+}
+
+void FdxServer::HandleDiscoverAsync(const JsonValue& request,
+                                    EventLoop::DoneFn done) {
+  Result<DiscoverPlan> plan_or =
+      PlanDiscover(request, sessions_.get(), options_.fdx);
+  if (!plan_or.ok()) {
+    done(RenderErrorResponse("discover", plan_or.status()), true);
+    return;
+  }
+  DiscoverPlan plan = std::move(plan_or).value();
+
+  if (plan.session != nullptr) {
+    // The cache fast path needs the session lock to render the key, and
+    // on the I/O thread only a try_lock is affordable — a worker may
+    // hold the mutex for a whole solve, and a blocking lock here would
+    // stall every connection on this loop behind one session. On
+    // contention the discover goes straight to the queue, which is
+    // where a non-cached discover was headed anyway.
+    std::unique_lock<std::mutex> lock(plan.session->mu, std::try_to_lock);
+    if (lock.owns_lock()) {
+      const std::string key = SessionDiscoverKeyLocked(*plan.session);
+      lock.unlock();
+      std::string payload;
+      if (cache_->Lookup(key, &payload)) {
+        done(std::move(payload), true);
+        return;
+      }
+    }
+    SubmitJobAsync(
+        "discover",
+        [this, session = plan.session] { return RunSessionDiscover(session); },
+        std::move(done));
+    return;
+  }
+
+  std::string payload;
+  if (cache_->Lookup(plan.table_key, &payload)) {
+    done(std::move(payload), true);
+    return;
+  }
+  SubmitJobAsync(
+      "discover",
+      [this, table = plan.table, options = plan.table_options,
+       key = plan.table_key] { return RunTableDiscover(table, options, key); },
+      std::move(done));
 }
 
 std::string FdxServer::HandleStatus() {
@@ -403,8 +698,29 @@ std::string FdxServer::HandleStatus() {
   json.Integer(static_cast<int64_t>(connections_.load()));
   json.Key("requests");
   json.Integer(static_cast<int64_t>(requests_.load()));
+  json.Key("requests_by_op");
+  json.BeginObject();
+  for (size_t k = 0; k < static_cast<size_t>(RequestKind::kCount); ++k) {
+    json.Key(RequestKindName(static_cast<RequestKind>(k)));
+    json.Integer(static_cast<int64_t>(
+        requests_by_kind_[k].load(std::memory_order_relaxed)));
+  }
+  json.EndObject();
   json.Key("accept_faults");
   json.Integer(static_cast<int64_t>(accept_faults_.load()));
+  json.Key("io");
+  json.BeginObject();
+  json.Key("mode");
+  json.String(options_.io_mode == IoMode::kEventLoop ? "epoll" : "threads");
+  json.Key("io_threads");
+  json.Integer(static_cast<int64_t>(event_loops_.size()));
+  json.Key("connections_live");
+  json.Integer(static_cast<int64_t>(live_connections()));
+  json.Key("max_pipeline_depth");
+  json.Integer(static_cast<int64_t>(options_.max_pipeline_depth));
+  json.Key("accept_transient_errors");
+  json.Integer(static_cast<int64_t>(accept_transient_errors()));
+  json.EndObject();
   json.Key("queue");
   json.BeginObject();
   json.Key("workers");
@@ -412,6 +728,8 @@ std::string FdxServer::HandleStatus() {
   json.Key("capacity");
   json.Integer(static_cast<int64_t>(queue_->capacity()));
   json.Key("active");
+  json.Integer(static_cast<int64_t>(queue_->active()));
+  json.Key("depth");
   json.Integer(static_cast<int64_t>(queue_->active()));
   json.Key("executed");
   json.Integer(static_cast<int64_t>(queue_->executed()));
@@ -430,6 +748,22 @@ std::string FdxServer::HandleStatus() {
   json.Integer(static_cast<int64_t>(cache_->misses()));
   json.Key("evictions");
   json.Integer(static_cast<int64_t>(cache_->evictions()));
+  json.Key("shards");
+  json.BeginArray();
+  for (size_t shard = 0; shard < cache_->shards(); ++shard) {
+    const ResultCache::ShardStats stats = cache_->shard_stats(shard);
+    json.BeginObject();
+    json.Key("size");
+    json.Integer(static_cast<int64_t>(stats.size));
+    json.Key("hits");
+    json.Integer(static_cast<int64_t>(stats.hits));
+    json.Key("misses");
+    json.Integer(static_cast<int64_t>(stats.misses));
+    json.Key("evictions");
+    json.Integer(static_cast<int64_t>(stats.evictions));
+    json.EndObject();
+  }
+  json.EndArray();
   json.EndObject();
   json.Key("sessions");
   json.BeginObject();
@@ -437,6 +771,8 @@ std::string FdxServer::HandleStatus() {
   json.Integer(static_cast<int64_t>(sessions_->size()));
   json.Key("max");
   json.Integer(static_cast<int64_t>(sessions_->max_sessions()));
+  json.Key("shards");
+  json.Integer(static_cast<int64_t>(sessions_->shards()));
   json.Key("opened");
   json.Integer(static_cast<int64_t>(sessions_->opened()));
   json.Key("evicted");
@@ -457,20 +793,9 @@ std::string FdxServer::HandleStatus() {
 }
 
 std::string FdxServer::HandleSleep(const JsonValue& request) {
-  double seconds = request.NumberOr("seconds", 0.05);
-  if (seconds < 0.0) seconds = 0.0;
-  if (seconds > 30.0) seconds = 30.0;
-  Result<std::string> response = RunJob("sleep", [seconds] {
-    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-    JsonWriter json;
-    json.BeginObject();
-    json.Key("ok");
-    json.Bool(true);
-    json.Key("op");
-    json.String("sleep");
-    json.EndObject();
-    return json.TakeString();
-  });
+  const double seconds = request.NumberOr("seconds", 0.05);
+  Result<std::string> response =
+      RunJob("sleep", [seconds] { return SleepBody(seconds); });
   if (!response.ok()) return RenderErrorResponse("sleep", response.status());
   return std::move(response).value();
 }
@@ -487,6 +812,38 @@ Result<std::string> FdxServer::RunJob(const std::string& op,
   // The connection thread parks here; the worker's response is relayed
   // from this thread so every socket write has a single writer.
   return future.get();
+}
+
+void FdxServer::SubmitJobAsync(const std::string& op,
+                               std::function<std::string()> body,
+                               EventLoop::DoneFn done) {
+  if (FaultTriggered(kFaultServiceEnqueue)) {
+    done(RenderErrorResponse(
+             op, Status::Internal("injected fault at service.enqueue")),
+         true);
+    return;
+  }
+  // The completion is shared between the job and the rejection path;
+  // exactly one of them runs.
+  auto done_ptr = std::make_shared<EventLoop::DoneFn>(std::move(done));
+  Status submitted = queue_->Submit(
+      [body = std::move(body), done_ptr] { (*done_ptr)(body(), true); });
+  if (!submitted.ok()) {
+    (*done_ptr)(RenderErrorResponse(op, submitted), true);
+  }
+}
+
+size_t FdxServer::live_connections() const {
+  size_t live = 0;
+  for (const auto& loop : event_loops_) live += loop->live_connections();
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return live + conn_sockets_.size();
+}
+
+uint64_t FdxServer::accept_transient_errors() const {
+  uint64_t total = accept_transient_legacy_.load(std::memory_order_relaxed);
+  for (const auto& loop : event_loops_) total += loop->accept_transient_errors();
+  return total;
 }
 
 void FdxServer::RequestShutdown() {
@@ -525,31 +882,41 @@ void FdxServer::TeardownLocked() {
   }
   if (queue_) queue_->CloseIntake();
 
-  // 2. Wake the accept loop and retire it.
+  // 2. Wake the accept path and retire it. The event loops discover the
+  //    dead listener on their next poll; the legacy accept thread is
+  //    joined here.
   listener_.Shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
 
   // 3. Drain in-flight jobs under the budget; their responses are still
-  //    deliverable because client sockets are untouched so far.
+  //    deliverable because client sockets are untouched so far. In
+  //    event mode every job's completion is in a loop mailbox once
+  //    Drain returns (jobs post before they count as finished).
   if (queue_) {
     drained_cleanly_.store(queue_->Drain(options_.drain_seconds));
   }
 
-  // 4. Unblock connection readers and join every connection thread.
-  //    Read-side only: Drain() returns once a job's *body* finishes, but
-  //    the connection thread may still be waking from future.get() to
-  //    send that job's response — a full SHUT_RDWR here would cut it
-  //    off mid-flight. SHUT_RD wakes idle readers with EOF while letting
-  //    pending SendAll calls complete; each thread fully shuts down its
-  //    own socket on exit.
-  std::vector<std::thread> threads;
+  // 4a. Event mode: ask each loop to deliver queued completions, flush
+  //     write buffers to slow readers (bounded), close, and exit.
+  for (auto& loop : event_loops_) loop->RequestStop();
+  for (auto& loop : event_loops_) loop->Join();
+
+  // 4b. Legacy mode: unblock connection readers and join every
+  //     connection thread. Read-side only: Drain() returns once a job's
+  //     *body* finishes, but the connection thread may still be waking
+  //     from future.get() to send that job's response — a full
+  //     SHUT_RDWR here would cut it off mid-flight. SHUT_RD wakes idle
+  //     readers with EOF while letting pending SendAll calls complete;
+  //     each thread fully shuts down its own socket on exit.
+  std::unordered_map<uint64_t, std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     for (auto& [id, sock] : conn_sockets_) sock->ShutdownRead();
     threads.swap(conn_threads_);
+    finished_conn_ids_.clear();
   }
-  for (std::thread& t : threads) {
-    if (t.joinable()) t.join();
+  for (auto& [id, thread] : threads) {
+    if (thread.joinable()) thread.join();
   }
 
   listener_.Close();

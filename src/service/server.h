@@ -1,6 +1,7 @@
 #ifndef FDX_SERVICE_SERVER_H_
 #define FDX_SERVICE_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "core/fdx.h"
+#include "service/event_loop.h"
 #include "service/job_queue.h"
 #include "service/result_cache.h"
 #include "service/session_registry.h"
@@ -23,11 +25,28 @@
 namespace fdx {
 
 class JsonValue;
+class Table;
+
+/// I/O architecture of an fdxd instance.
+enum class IoMode {
+  /// Non-blocking epoll event loop(s): a fixed number of I/O threads
+  /// multiplex every connection, requests may be pipelined, CPU work
+  /// runs on the JobQueue workers. The production default.
+  kEventLoop,
+  /// Legacy thread-per-connection blocking I/O. Kept for baseline
+  /// benchmarking (fdxload --label comparisons) and as a fallback.
+  kThreadPerConnection,
+};
 
 /// Configuration of an fdxd daemon instance.
 struct ServerOptions {
   /// Loopback TCP port; 0 binds an ephemeral port (read back via port()).
   uint16_t port = 0;
+  /// I/O layer; see IoMode.
+  IoMode io_mode = IoMode::kEventLoop;
+  /// Event-loop I/O threads (>= 1). Connections are assigned
+  /// round-robin; each socket is owned by exactly one loop thread.
+  size_t io_threads = 1;
   /// Worker threads executing discovery jobs.
   size_t workers = 2;
   /// Maximum admitted-but-unfinished discovery jobs; submissions beyond
@@ -35,12 +54,19 @@ struct ServerOptions {
   size_t queue_capacity = 8;
   /// Open dataset sessions allowed at once.
   size_t max_sessions = 32;
+  /// Mutex stripes of the session registry.
+  size_t session_shards = 8;
   /// Idle seconds after which a session is evicted (<= 0: never).
   double session_ttl_seconds = 600.0;
   /// Graceful-shutdown drain budget for in-flight jobs.
   double drain_seconds = 10.0;
   /// Result-cache entries kept (LRU beyond this).
   size_t cache_capacity = 64;
+  /// Mutex stripes of the result cache (recency is per-stripe).
+  size_t cache_shards = 8;
+  /// Parsed-but-unexecuted pipelined requests allowed per connection
+  /// before the event loop stops reading from that socket.
+  size_t max_pipeline_depth = 1024;
   /// Baseline FdxOptions; per-request "options" objects layer on top.
   FdxOptions fdx;
   /// Enables test-only ops (currently `sleep`, which parks a worker for
@@ -49,18 +75,19 @@ struct ServerOptions {
   bool enable_debug_ops = false;
 };
 
-/// fdxd: the FD-discovery daemon. One accept loop, one thread per
-/// connection doing line-delimited JSON framing, a bounded JobQueue
-/// running discovery, a SessionRegistry for incremental datasets, and a
-/// ResultCache replaying byte-identical responses for repeated
-/// (dataset fingerprint, canonical options) pairs.
+/// fdxd: the FD-discovery daemon. An epoll event loop (or, in legacy
+/// mode, one thread per connection) doing line-delimited JSON framing,
+/// a bounded JobQueue running discovery, a sharded SessionRegistry for
+/// incremental datasets, and a sharded ResultCache replaying
+/// byte-identical responses for repeated (dataset fingerprint,
+/// canonical options) pairs.
 ///
-/// Lifecycle: Start() binds and spawns the accept loop; Wait() blocks
-/// until a `shutdown` request (or Shutdown() call) and then performs the
-/// graceful teardown: stop admitting connections and jobs, wake the
-/// accept loop, drain in-flight jobs under `drain_seconds` (their
-/// responses still reach clients), unblock connection readers, join
-/// everything. Shutdown() is idempotent and safe to race with Wait().
+/// Lifecycle: Start() binds and spawns the I/O layer; Wait() blocks
+/// until a `shutdown` request (or Shutdown() call) and then performs
+/// the graceful teardown: stop admitting connections and jobs, drain
+/// in-flight jobs under `drain_seconds` (their responses still reach
+/// clients), flush and close connections, join everything. Shutdown()
+/// is idempotent and safe to race with Wait().
 class FdxServer {
  public:
   explicit FdxServer(ServerOptions options);
@@ -85,10 +112,30 @@ class FdxServer {
   /// drain budget (meaningful after Wait()/Shutdown() returned).
   bool drained_cleanly() const { return drained_cleanly_.load(); }
 
+  /// Request kinds tracked by the per-op counters (status output).
+  enum class RequestKind : size_t {
+    kOpen = 0,
+    kAppend,
+    kDiscover,
+    kStatus,
+    kSleep,
+    kShutdown,
+    kInvalid,  ///< unparseable / unknown-op requests
+    kCount,
+  };
+
   // Introspection for tests and the `status` op.
+  IoMode io_mode() const { return options_.io_mode; }
+  size_t io_threads() const { return event_loops_.size(); }
   uint64_t connections() const { return connections_.load(); }
+  size_t live_connections() const;
   uint64_t requests() const { return requests_.load(); }
+  uint64_t requests_by_kind(RequestKind kind) const {
+    return requests_by_kind_[static_cast<size_t>(kind)].load(
+        std::memory_order_relaxed);
+  }
   uint64_t accept_faults() const { return accept_faults_.load(); }
+  uint64_t accept_transient_errors() const;
   const JobQueue& queue() const { return *queue_; }
   const ResultCache& cache() const { return *cache_; }
   const SessionRegistry& sessions() const { return *sessions_; }
@@ -96,21 +143,59 @@ class FdxServer {
  private:
   void AcceptLoop();
   void ServeConnection(uint64_t conn_id);
+  /// Joins connection threads whose handler already returned (the
+  /// legacy path would otherwise accumulate one std::thread per
+  /// connection ever accepted until shutdown).
+  void ReapFinishedConnThreads();
+
+  /// Event-loop accept callback: fault injection, admission, and
+  /// round-robin assignment to an I/O loop.
+  void OnAccept(Socket sock);
+
+  /// Event-loop request dispatch: answers fast ops synchronously on
+  /// the I/O thread and hands solver-bound ops to the JobQueue. `done`
+  /// is invoked exactly once (possibly from a worker thread).
+  void DispatchAsync(std::string line, EventLoop::DoneFn done);
 
   /// Dispatches one request line; appends the response to `*response`.
   /// Returns false when the connection must close (shutdown op).
+  /// Legacy blocking path (parks the connection thread on job futures).
   bool HandleRequest(const std::string& line, std::string* response);
 
+  /// Bumps the total and per-op request counters; returns the kind.
+  RequestKind RecordRequest(const std::string& op);
+
   std::string HandleOpen(const JsonValue& request);
-  std::string HandleAppend(const JsonValue& request);
-  std::string HandleDiscover(const JsonValue& request);
   std::string HandleStatus();
+
+  /// Applies one validated batch; requires the session mutex held.
+  std::string ApplyAppendLocked(DatasetSession* session, Table batch);
+  std::string HandleAppend(const JsonValue& request);
+  void HandleAppendAsync(const JsonValue& request, EventLoop::DoneFn done);
+
+  // Discover: shared job bodies. RunSessionDiscover computes (or
+  // replays) the session's current result under its mutex;
+  // RunTableDiscover solves a one-shot table.
+  std::string SessionDiscoverKeyLocked(const DatasetSession& session);
+  std::string RunSessionDiscover(const std::shared_ptr<DatasetSession>& s);
+  std::string RunTableDiscover(const std::shared_ptr<const Table>& table,
+                               const FdxOptions& options,
+                               const std::string& key);
+  std::string HandleDiscover(const JsonValue& request);
+  void HandleDiscoverAsync(const JsonValue& request, EventLoop::DoneFn done);
+
   std::string HandleSleep(const JsonValue& request);
 
   /// Runs `job` on the queue and blocks for its rendered response.
   /// Carries the service.enqueue fault point and queue backpressure.
   Result<std::string> RunJob(const std::string& op,
                              std::function<std::string()> job);
+
+  /// Async variant: submits `body` and routes its response through
+  /// `done`; rejections and the service.enqueue fault point are
+  /// rendered as structured errors for `op`.
+  void SubmitJobAsync(const std::string& op, std::function<std::string()> body,
+                      EventLoop::DoneFn done);
 
   void RequestShutdown();
   void TeardownLocked();  ///< runs once; callers serialize via teardown_mu_
@@ -120,17 +205,27 @@ class FdxServer {
   uint16_t port_ = 0;
   Stopwatch uptime_;
 
-  std::unique_ptr<JobQueue> queue_;
+  // Declaration order is load-bearing for destruction: ~JobQueue waits
+  // for in-flight jobs (a drain-budget overrun leaves some running into
+  // ~FdxServer), and those jobs touch the cache, the sessions, and the
+  // event loops' completion mailboxes — so queue_ is declared last and
+  // destroyed first.
+  std::vector<std::unique_ptr<EventLoop>> event_loops_;
+  std::atomic<size_t> next_loop_{0};
+
   std::unique_ptr<ResultCache> cache_;
   std::unique_ptr<SessionRegistry> sessions_;
+  std::unique_ptr<JobQueue> queue_;
 
   std::thread accept_thread_;
 
-  std::mutex conn_mu_;
+  mutable std::mutex conn_mu_;
   uint64_t next_conn_id_ = 1;                     ///< guarded by conn_mu_
   std::unordered_map<uint64_t, std::shared_ptr<Socket>>
       conn_sockets_;                              ///< guarded by conn_mu_
-  std::vector<std::thread> conn_threads_;         ///< guarded by conn_mu_
+  std::unordered_map<uint64_t, std::thread>
+      conn_threads_;                              ///< guarded by conn_mu_
+  std::vector<uint64_t> finished_conn_ids_;       ///< guarded by conn_mu_
   bool accepting_ = false;                        ///< guarded by conn_mu_
 
   std::mutex shutdown_mu_;
@@ -142,9 +237,15 @@ class FdxServer {
 
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> requests_{0};
+  std::array<std::atomic<uint64_t>, static_cast<size_t>(RequestKind::kCount)>
+      requests_by_kind_{};
   std::atomic<uint64_t> accept_faults_{0};
+  std::atomic<uint64_t> accept_transient_legacy_{0};
   std::atomic<bool> drained_cleanly_{true};
 };
+
+/// Wire name of a request kind ("open", "append", ..., "invalid").
+const char* RequestKindName(FdxServer::RequestKind kind);
 
 }  // namespace fdx
 

@@ -1,38 +1,85 @@
 #include "service/session_registry.h"
 
+#include <functional>
 #include <utility>
 
 namespace fdx {
 
-SessionRegistry::SessionRegistry(size_t max_sessions, double ttl_seconds)
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SessionRegistry::SessionRegistry(size_t max_sessions, double ttl_seconds,
+                                 size_t shards)
     : max_sessions_(max_sessions == 0 ? 1 : max_sessions),
-      ttl_seconds_(ttl_seconds) {}
+      ttl_seconds_(ttl_seconds) {
+  const size_t count = RoundUpPow2(shards == 0 ? 1 : shards);
+  shard_mask_ = count - 1;
+  shards_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SessionRegistry::Shard& SessionRegistry::ShardFor(const std::string& id) {
+  return *shards_[std::hash<std::string>{}(id)&shard_mask_];
+}
+
+const SessionRegistry::Shard& SessionRegistry::ShardFor(
+    const std::string& id) const {
+  return *shards_[std::hash<std::string>{}(id)&shard_mask_];
+}
+
+bool SessionRegistry::TryReserveSlot() {
+  size_t live = live_.load(std::memory_order_relaxed);
+  while (live < max_sessions_) {
+    if (live_.compare_exchange_weak(live, live + 1,
+                                    std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
 
 Result<std::shared_ptr<DatasetSession>> SessionRegistry::Open(
     Schema schema, FdxOptions options) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto now = Clock::now();
-  EvictExpiredLocked(now);
-  if (slots_.size() >= max_sessions_) {
-    return Status::Unavailable(
-        "session limit reached (" + std::to_string(max_sessions_) +
-        " open); close or let one expire, then retry");
+  if (!TryReserveSlot()) {
+    // At capacity: a TTL sweep across every shard may free admission.
+    EvictExpired();
+    if (!TryReserveSlot()) {
+      return Status::Unavailable(
+          "session limit reached (" + std::to_string(max_sessions_) +
+          " open); close or let one expire, then retry");
+    }
   }
-  const std::string id = "s-" + std::to_string(next_id_++);
+  const std::string id =
+      "s-" + std::to_string(next_id_.fetch_add(1, std::memory_order_relaxed));
   auto session = std::make_shared<DatasetSession>(id, std::move(schema),
                                                   std::move(options));
-  slots_[id] = Slot{session, now};
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    EvictExpiredLocked(&shard, Clock::now());
+    shard.slots[id] = Slot{session, Clock::now()};
+  }
   opened_.fetch_add(1, std::memory_order_relaxed);
   return session;
 }
 
 Result<std::shared_ptr<DatasetSession>> SessionRegistry::Get(
     const std::string& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
   const auto now = Clock::now();
-  EvictExpiredLocked(now);
-  auto it = slots_.find(id);
-  if (it == slots_.end()) {
+  EvictExpiredLocked(&shard, now);
+  auto it = shard.slots.find(id);
+  if (it == shard.slots.end()) {
     return Status::NotFound("unknown or expired session \"" + id + "\"");
   }
   it->second.last_used = now;
@@ -40,45 +87,63 @@ Result<std::shared_ptr<DatasetSession>> SessionRegistry::Get(
 }
 
 bool SessionRegistry::Close(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return slots_.erase(id) > 0;
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.slots.erase(id) == 0) return false;
+  live_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
 }
 
 size_t SessionRegistry::EvictExpired() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return EvictExpiredLocked(Clock::now());
+  size_t evicted = 0;
+  const auto now = Clock::now();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    evicted += EvictExpiredLocked(shard.get(), now);
+  }
+  return evicted;
 }
 
-size_t SessionRegistry::EvictExpiredLocked(Clock::time_point now) {
+size_t SessionRegistry::EvictExpiredLocked(Shard* shard,
+                                           Clock::time_point now) {
   if (ttl_seconds_ <= 0.0) return 0;
   size_t evicted = 0;
-  for (auto it = slots_.begin(); it != slots_.end();) {
+  for (auto it = shard->slots.begin(); it != shard->slots.end();) {
     const std::chrono::duration<double> idle = now - it->second.last_used;
     if (idle.count() > ttl_seconds_) {
-      it = slots_.erase(it);
+      it = shard->slots.erase(it);
       ++evicted;
     } else {
       ++it;
     }
   }
-  if (evicted > 0) evicted_.fetch_add(evicted, std::memory_order_relaxed);
+  if (evicted > 0) {
+    live_.fetch_sub(evicted, std::memory_order_relaxed);
+    evicted_.fetch_add(evicted, std::memory_order_relaxed);
+  }
   return evicted;
 }
 
 SessionRegistry::SolverTotals SessionRegistry::SolverStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   SolverTotals totals;
-  for (const auto& [id, slot] : slots_) {
-    totals.solves += slot.session->fdx.solves();
-    totals.warm_solves += slot.session->fdx.warm_solves();
-    totals.memo_hits += slot.session->fdx.memo_hits();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, slot] : shard->slots) {
+      totals.solves += slot.session->fdx.solves();
+      totals.warm_solves += slot.session->fdx.warm_solves();
+      totals.memo_hits += slot.session->fdx.memo_hits();
+    }
   }
   return totals;
 }
 
 size_t SessionRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return slots_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->slots.size();
+  }
+  return total;
 }
 
 }  // namespace fdx

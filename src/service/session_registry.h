@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/incremental.h"
 #include "util/fingerprint.h"
@@ -36,11 +37,20 @@ struct DatasetSession {
 /// deterministic ("s-1", "s-2", ...) so tests and logs are stable.
 /// Sessions are handed out as shared_ptr: an in-flight append on a
 /// session the TTL sweep just evicted finishes safely against its own
-/// reference, it is merely no longer reachable by id. Thread-safe.
+/// reference, it is merely no longer reachable by id.
+///
+/// Mutex-striped: ids hash onto `shards` independent tables, each with
+/// its own lock, so lookups for different sessions never contend. The
+/// `max_sessions` cap stays *global and exact* — admission goes through
+/// a compare-exchange loop on an atomic live count, so two racing Opens
+/// at the cap cannot both succeed. Get() sweeps only the target id's
+/// shard for TTL expiry; Open() sweeps every shard when the cap is hit
+/// (an expired slot anywhere should free admission). Thread-safe.
 class SessionRegistry {
  public:
-  /// `ttl_seconds <= 0` disables idle eviction.
-  SessionRegistry(size_t max_sessions, double ttl_seconds);
+  /// `ttl_seconds <= 0` disables idle eviction. `shards` is rounded up
+  /// to a power of two.
+  SessionRegistry(size_t max_sessions, double ttl_seconds, size_t shards = 1);
 
   /// Creates a session, evicting idle-expired ones first. Returns
   /// kUnavailable once `max_sessions` live sessions exist — the caller
@@ -60,7 +70,7 @@ class SessionRegistry {
 
   /// Solver-reuse counters summed over the currently open sessions
   /// (closed and evicted sessions drop out of the totals). Reads only
-  /// the sessions' atomic counters under the registry lock — it never
+  /// the sessions' atomic counters under each shard lock — it never
   /// takes a session's mutex, so it cannot stall behind a long solve.
   struct SolverTotals {
     uint64_t solves = 0;       ///< completed structure-learning solves
@@ -72,6 +82,7 @@ class SessionRegistry {
   size_t size() const;
   size_t max_sessions() const { return max_sessions_; }
   double ttl_seconds() const { return ttl_seconds_; }
+  size_t shards() const { return shards_.size(); }
   uint64_t opened() const { return opened_.load(std::memory_order_relaxed); }
   uint64_t evicted() const { return evicted_.load(std::memory_order_relaxed); }
 
@@ -83,13 +94,26 @@ class SessionRegistry {
     Clock::time_point last_used;
   };
 
-  size_t EvictExpiredLocked(Clock::time_point now);
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Slot> slots;  ///< guarded by mu
+  };
+
+  Shard& ShardFor(const std::string& id);
+  const Shard& ShardFor(const std::string& id) const;
+
+  /// Sweeps one shard; caller holds its lock. Decrements live_.
+  size_t EvictExpiredLocked(Shard* shard, Clock::time_point now);
+
+  /// Tries to reserve one slot of the global cap; false when full.
+  bool TryReserveSlot();
 
   const size_t max_sessions_;
   const double ttl_seconds_;
-  mutable std::mutex mu_;
-  uint64_t next_id_ = 1;                          ///< guarded by mu_
-  std::unordered_map<std::string, Slot> slots_;   ///< guarded by mu_
+  size_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<size_t> live_{0};  ///< exact count of open sessions
   std::atomic<uint64_t> opened_{0};
   std::atomic<uint64_t> evicted_{0};
 };

@@ -1,0 +1,120 @@
+#include "util/epoll.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace fdx {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Epoll::~Epoll() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
+}
+
+Epoll::Epoll(Epoll&& other) noexcept
+    : epoll_fd_(other.epoll_fd_), wakeup_fd_(other.wakeup_fd_) {
+  other.epoll_fd_ = -1;
+  other.wakeup_fd_ = -1;
+}
+
+Epoll& Epoll::operator=(Epoll&& other) noexcept {
+  if (this != &other) {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
+    epoll_fd_ = other.epoll_fd_;
+    wakeup_fd_ = other.wakeup_fd_;
+    other.epoll_fd_ = -1;
+    other.wakeup_fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Epoll> Epoll::Create() {
+  Epoll ep;
+  ep.epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (ep.epoll_fd_ < 0) return Errno("epoll_create1");
+  ep.wakeup_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (ep.wakeup_fd_ < 0) return Errno("eventfd");
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.u64 = kWakeupTag;
+  if (::epoll_ctl(ep.epoll_fd_, EPOLL_CTL_ADD, ep.wakeup_fd_, &event) != 0) {
+    return Errno("epoll_ctl(wakeup)");
+  }
+  return ep;
+}
+
+Status Epoll::Add(int fd, uint64_t tag, bool want_write) {
+  epoll_event event{};
+  event.events = EPOLLIN | EPOLLRDHUP | (want_write ? EPOLLOUT : 0u);
+  event.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    return Errno("epoll_ctl(add)");
+  }
+  return Status::OK();
+}
+
+Status Epoll::Modify(int fd, uint64_t tag, bool want_read, bool want_write) {
+  epoll_event event{};
+  event.events = (want_read ? EPOLLIN : 0u) | EPOLLRDHUP |
+                 (want_write ? EPOLLOUT : 0u);
+  event.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
+    return Errno("epoll_ctl(mod)");
+  }
+  return Status::OK();
+}
+
+void Epoll::Remove(int fd) {
+  // A closed fd is auto-removed by the kernel; EBADF/ENOENT here are
+  // expected in teardown races and deliberately ignored.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+Result<size_t> Epoll::Wait(int timeout_ms, std::vector<Event>* events) {
+  events->clear();
+  epoll_event ready[64];
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_, ready, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return Errno("epoll_wait");
+  for (int i = 0; i < n; ++i) {
+    if (ready[i].data.u64 == kWakeupTag) {
+      uint64_t drained = 0;
+      // Non-blocking eventfd: one read clears the counter.
+      while (::read(wakeup_fd_, &drained, sizeof(drained)) > 0) {
+      }
+      continue;
+    }
+    Event event;
+    event.tag = ready[i].data.u64;
+    event.readable = (ready[i].events & EPOLLIN) != 0;
+    event.writable = (ready[i].events & EPOLLOUT) != 0;
+    event.hangup =
+        (ready[i].events & (EPOLLHUP | EPOLLERR | EPOLLRDHUP)) != 0;
+    events->push_back(event);
+  }
+  return events->size();
+}
+
+void Epoll::Notify() {
+  const uint64_t one = 1;
+  // EAGAIN (counter saturated) still leaves Wait() wakeable; short
+  // writes cannot happen on an eventfd.
+  [[maybe_unused]] ssize_t n = ::write(wakeup_fd_, &one, sizeof(one));
+}
+
+}  // namespace fdx

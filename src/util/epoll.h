@@ -1,0 +1,74 @@
+#ifndef FDX_UTIL_EPOLL_H_
+#define FDX_UTIL_EPOLL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fdx {
+
+/// Thin RAII wrapper over a Linux epoll instance plus an eventfd wakeup
+/// channel — the readiness substrate of the fdxd event loop. Each
+/// registered fd carries a caller-chosen 64-bit tag that comes back in
+/// the ready events, so the loop can map events to connections without
+/// a side table. One extra fd (the eventfd) is registered internally
+/// under kWakeupTag: Notify() from any thread makes a blocked Wait()
+/// return, which is how worker threads hand completed responses back to
+/// the I/O thread.
+class Epoll {
+ public:
+  /// Tag reserved for the internal wakeup eventfd; never returned to
+  /// callers (Wait() swallows it after draining the eventfd counter).
+  static constexpr uint64_t kWakeupTag = ~uint64_t{0};
+
+  struct Event {
+    uint64_t tag = 0;
+    bool readable = false;   ///< EPOLLIN
+    bool writable = false;   ///< EPOLLOUT
+    bool hangup = false;     ///< EPOLLHUP | EPOLLERR | EPOLLRDHUP
+  };
+
+  Epoll() = default;
+  ~Epoll();
+
+  Epoll(Epoll&& other) noexcept;
+  Epoll& operator=(Epoll&& other) noexcept;
+  Epoll(const Epoll&) = delete;
+  Epoll& operator=(const Epoll&) = delete;
+
+  /// Creates the epoll instance and its wakeup eventfd.
+  static Result<Epoll> Create();
+
+  bool valid() const { return epoll_fd_ >= 0; }
+
+  /// Registers `fd` (level-triggered). `want_write` additionally arms
+  /// EPOLLOUT; EPOLLIN and EPOLLRDHUP are always armed.
+  Status Add(int fd, uint64_t tag, bool want_write = false);
+
+  /// Re-arms `fd`'s interest set. The event loop disarms reads to
+  /// backpressure a connection whose pipeline queue is full, and arms
+  /// EPOLLOUT while its write buffer has pending bytes. EPOLLRDHUP
+  /// stays armed either way so hangups are always seen.
+  Status Modify(int fd, uint64_t tag, bool want_read, bool want_write);
+
+  /// Deregisters `fd`. Safe to call for fds the kernel already dropped.
+  void Remove(int fd);
+
+  /// Blocks up to `timeout_ms` (-1: forever) and appends ready events to
+  /// `*events` (cleared first). The wakeup eventfd is drained and never
+  /// reported. Returns the number of external events delivered.
+  Result<size_t> Wait(int timeout_ms, std::vector<Event>* events);
+
+  /// Wakes a concurrent (or the next) Wait(). Async-signal-unsafe but
+  /// thread-safe; cheap enough to call per completed job.
+  void Notify();
+
+ private:
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;
+};
+
+}  // namespace fdx
+
+#endif  // FDX_UTIL_EPOLL_H_

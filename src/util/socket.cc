@@ -3,9 +3,12 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <utility>
@@ -26,7 +29,37 @@ sockaddr_in LoopbackAddress(uint16_t port) {
   return addr;
 }
 
+Status SetFdNonBlocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int updated =
+      nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, updated) < 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
 }  // namespace
+
+bool IsTransientAcceptErrno(int error) {
+  switch (error) {
+    case ECONNABORTED:  // peer gave up during the handshake
+    case EMFILE:        // process fd limit — frees up as conns close
+    case ENFILE:        // system fd limit
+    case ENOBUFS:
+    case ENOMEM:
+    case EPERM:         // firewall said no to this one peer
+    case EPROTO:
+    case EINTR:
+      return true;
+    default:
+      return false;
+  }
+}
 
 Socket::~Socket() { Close(); }
 
@@ -45,19 +78,86 @@ Socket& Socket::operator=(Socket&& other) noexcept {
   return *this;
 }
 
-Result<Socket> Socket::ConnectLoopback(uint16_t port) {
+Result<Socket> Socket::ConnectLoopback(uint16_t port, double timeout_seconds) {
+  if (timeout_seconds <= 0.0) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    sockaddr_in addr = LoopbackAddress(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const Status status =
+          Errno("connect to 127.0.0.1:" + std::to_string(port));
+      ::close(fd);
+      return status;
+    }
+    SetNoDelay(fd);
+    return Socket(fd);
+  }
+
+  // Deadline-bounded connect: non-blocking connect + poll for
+  // writability, then restore blocking mode for the caller.
+  FDX_ASSIGN_OR_RETURN(Socket sock, ConnectLoopbackAsync(port));
+  pollfd pfd{};
+  pfd.fd = sock.fd();
+  pfd.events = POLLOUT;
+  const int timeout_ms = static_cast<int>(timeout_seconds * 1000.0);
+  int polled;
+  do {
+    polled = ::poll(&pfd, 1, timeout_ms < 1 ? 1 : timeout_ms);
+  } while (polled < 0 && errno == EINTR);
+  if (polled < 0) return Errno("poll(connect)");
+  if (polled == 0) {
+    return Status::Timeout("connect to 127.0.0.1:" + std::to_string(port) +
+                           " timed out after " +
+                           std::to_string(timeout_seconds) + "s");
+  }
+  FDX_RETURN_IF_ERROR(sock.FinishConnect());
+  FDX_RETURN_IF_ERROR(sock.SetNonBlocking(false));
+  return sock;
+}
+
+Result<Socket> Socket::ConnectLoopbackAsync(uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  FDX_RETURN_IF_ERROR(sock.SetNonBlocking(true));
   sockaddr_in addr = LoopbackAddress(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Status status =
-        Errno("connect to 127.0.0.1:" + std::to_string(port));
-    ::close(fd);
-    return status;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    return Errno("connect to 127.0.0.1:" + std::to_string(port));
   }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return Socket(fd);
+  SetNoDelay(fd);
+  return sock;
+}
+
+Status Socket::FinishConnect() {
+  int error = 0;
+  socklen_t len = sizeof(error);
+  if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &error, &len) != 0) {
+    return Errno("getsockopt(SO_ERROR)");
+  }
+  if (error != 0) {
+    return Status::IOError(std::string("connect: ") + std::strerror(error));
+  }
+  return Status::OK();
+}
+
+Status Socket::SetNonBlocking(bool nonblocking) {
+  if (fd_ < 0) return Status::IOError("socket closed");
+  return SetFdNonBlocking(fd_, nonblocking);
+}
+
+Status Socket::SetReadTimeout(double seconds) {
+  if (fd_ < 0) return Status::IOError("socket closed");
+  timeval tv{};
+  if (seconds > 0.0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - tv.tv_sec) * 1e6);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
 }
 
 Status Socket::SendAll(const std::string& data) {
@@ -73,6 +173,54 @@ Status Socket::SendAll(const std::string& data) {
     sent += static_cast<size_t>(n);
   }
   return Status::OK();
+}
+
+Result<IoOutcome> Socket::SendRaw(const char* data, size_t size) {
+  if (fd_ < 0) return Status::IOError("send on closed socket");
+  IoOutcome outcome;
+  for (;;) {
+    const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (n >= 0) {
+      outcome.bytes = static_cast<size_t>(n);
+      return outcome;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      outcome.would_block = true;
+      return outcome;
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      outcome.closed = true;
+      return outcome;
+    }
+    return Errno("send");
+  }
+}
+
+Result<IoOutcome> Socket::RecvRaw(char* buf, size_t size) {
+  if (fd_ < 0) return Status::IOError("recv on closed socket");
+  IoOutcome outcome;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, size, 0);
+    if (n > 0) {
+      outcome.bytes = static_cast<size_t>(n);
+      return outcome;
+    }
+    if (n == 0) {
+      outcome.closed = true;
+      return outcome;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      outcome.would_block = true;
+      return outcome;
+    }
+    if (errno == ECONNRESET) {
+      outcome.closed = true;
+      return outcome;
+    }
+    return Errno("recv");
+  }
 }
 
 Status Socket::ReadLine(std::string* line, size_t max_bytes) {
@@ -94,6 +242,11 @@ Status Socket::ReadLine(std::string* line, size_t max_bytes) {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Only reachable with SO_RCVTIMEO armed (blocking reads without
+        // a timeout never see EAGAIN): the deadline expired.
+        return Status::Timeout("read timed out");
+      }
       return Errno("recv");
     }
     if (n == 0) {
@@ -154,7 +307,9 @@ Result<ListenSocket> ListenSocket::BindLoopback(uint16_t port) {
     ::close(fd);
     return status;
   }
-  if (::listen(fd, 64) != 0) {
+  // The event loop serves thousands of concurrent connects; ask for a
+  // deep backlog (the kernel clamps to somaxconn).
+  if (::listen(fd, 4096) != 0) {
     const Status status = Errno("listen");
     ::close(fd);
     return status;
@@ -168,20 +323,54 @@ Result<ListenSocket> ListenSocket::BindLoopback(uint16_t port) {
   return ListenSocket(fd, ntohs(addr.sin_port));
 }
 
+Status ListenSocket::SetNonBlocking(bool nonblocking) {
+  if (fd_ < 0) return Status::IOError("listener closed");
+  return SetFdNonBlocking(fd_, nonblocking);
+}
+
 Result<Socket> ListenSocket::Accept() {
   if (fd_ < 0) return Status::Unavailable("listener shut down");
   for (;;) {
     const int conn = ::accept(fd_, nullptr, nullptr);
     if (conn >= 0) {
-      const int one = 1;
-      ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      SetNoDelay(conn);
       return Socket(conn);
     }
     if (errno == EINTR) continue;
-    // EINVAL is what a shutdown() listener reports; treat every other
-    // error the same way — the accept loop only needs "stop or retry".
+    if (IsTransientAcceptErrno(errno)) {
+      // Not fatal: the caller should back off briefly and re-Accept —
+      // EMFILE clears when a connection closes, ECONNABORTED affects
+      // only the one handshake that died.
+      return Status::IOError("transient accept failure: " +
+                             std::string(std::strerror(errno)));
+    }
+    // EINVAL is what a shutdown() listener reports; everything else
+    // non-transient (EBADF, ...) equally means "stop accepting".
     return Status::Unavailable("listener shut down: " +
                                std::string(std::strerror(errno)));
+  }
+}
+
+ListenSocket::AcceptOutcome ListenSocket::AcceptNonBlocking(
+    Socket* out, std::string* error) {
+  if (fd_ < 0) {
+    *error = "listener closed";
+    return AcceptOutcome::kShutdown;
+  }
+  for (;;) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) {
+      SetNoDelay(conn);
+      *out = Socket(conn);
+      return AcceptOutcome::kAccepted;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return AcceptOutcome::kWouldBlock;
+    }
+    *error = std::strerror(errno);
+    return IsTransientAcceptErrno(errno) ? AcceptOutcome::kRetryable
+                                         : AcceptOutcome::kShutdown;
   }
 }
 

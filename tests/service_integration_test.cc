@@ -115,7 +115,7 @@ TEST_F(ServiceIntegrationTest, SessionLifecycleWithCachedDiscover) {
   ASSERT_TRUE(cached.ok());
   EXPECT_EQ(*cold, *cached);
   EXPECT_EQ(server.cache().hits(), 1u);
-  EXPECT_EQ(server.queue().executed(), 1u);
+  EXPECT_TRUE(WaitFor([&] { return server.queue().executed() == 1u; }));
 
   // Appending invalidates the fingerprint -> next discover recomputes.
   ASSERT_TRUE(Request(server.port(),
@@ -125,7 +125,9 @@ TEST_F(ServiceIntegrationTest, SessionLifecycleWithCachedDiscover) {
   auto after_append = Request(server.port(), discover);
   ASSERT_TRUE(after_append.ok());
   ASSERT_TRUE(IsOk(*after_append)) << *after_append;
-  EXPECT_EQ(server.queue().executed(), 2u);
+  // The response is posted from inside the job body, so the executed
+  // counter can lag the client's read of the response by an instant.
+  EXPECT_TRUE(WaitFor([&] { return server.queue().executed() == 2u; }));
 }
 
 TEST_F(ServiceIntegrationTest, StatusReportsSolverCounters) {
@@ -192,7 +194,7 @@ TEST_F(ServiceIntegrationTest, CsvAndInlineTableShareTheCache) {
   ASSERT_TRUE(via_table.ok());
   EXPECT_EQ(*via_csv, *via_table);
   EXPECT_EQ(server.cache().hits(), 1u);
-  EXPECT_EQ(server.queue().executed(), 1u);
+  EXPECT_TRUE(WaitFor([&] { return server.queue().executed() == 1u; }));
 }
 
 TEST_F(ServiceIntegrationTest, CachedResponseMatchesColdServerByteForByte) {
@@ -463,6 +465,176 @@ TEST_F(ServiceIntegrationTest, DiscoverHonorsRequestOptions) {
   EXPECT_TRUE(IsOk(*seeded)) << *seeded;
   // seed is part of the canonical key: no false cache hit.
   EXPECT_EQ(server.cache().hits(), 0u);
+}
+
+TEST_F(ServiceIntegrationTest, PipelinedRequestsAnswerInOrder) {
+  ServerOptions options;
+  options.enable_debug_ops = true;
+  FdxServer& server = StartServer(options);
+
+  // One write carrying six frames: a slow job first, then fast inline
+  // ops and distinguishable discovers. Responses must come back in
+  // request order even though the later requests finish first on the
+  // worker side — per-connection execution is serial by contract.
+  auto sock = Socket::ConnectLoopback(server.port());
+  ASSERT_TRUE(sock.ok());
+  const std::string batch = std::string(R"({"op":"sleep","seconds":0.2})") +
+                            "\n" + R"({"op":"status"})" + "\n" +
+                            DiscoverTableRequest(10, 5) + "\n" +
+                            DiscoverTableRequest(12, 5) + "\n" +
+                            DiscoverTableRequest(14, 5) + "\n" +
+                            R"({"op":"status"})" + "\n";
+  ASSERT_TRUE(sock->SendAll(batch).ok());
+
+  const std::vector<std::string> expected_ops = {
+      "sleep", "status", "discover", "discover", "discover", "status"};
+  const std::vector<double> expected_rows = {0, 0, 10, 12, 14, 0};
+  for (size_t i = 0; i < expected_ops.size(); ++i) {
+    std::string response;
+    ASSERT_TRUE(sock->ReadLine(&response).ok()) << "response " << i;
+    auto parsed = JsonValue::Parse(response);
+    ASSERT_TRUE(parsed.ok()) << response;
+    EXPECT_TRUE(parsed->BoolOr("ok", false)) << response;
+    EXPECT_EQ(parsed->StringOr("op", ""), expected_ops[i]) << response;
+    if (expected_rows[i] > 0) {
+      EXPECT_DOUBLE_EQ(parsed->NumberOr("rows", 0), expected_rows[i])
+          << response;
+    }
+  }
+}
+
+TEST_F(ServiceIntegrationTest, PartialFramesAndSlowWriterParseCorrectly) {
+  FdxServer& server = StartServer(ServerOptions{});
+
+  auto sock = Socket::ConnectLoopback(server.port());
+  ASSERT_TRUE(sock.ok());
+
+  // A frame dribbled in five writes with pauses: the incremental parser
+  // must buffer the partial line without dispatching anything.
+  const std::string request = R"({"op":"status"})";
+  for (size_t off = 0; off < request.size(); off += 4) {
+    ASSERT_TRUE(sock->SendAll(request.substr(off, 4)).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.requests(), 0u);  // no terminator yet: nothing ran
+  ASSERT_TRUE(sock->SendAll("\n").ok());
+  std::string response;
+  ASSERT_TRUE(sock->ReadLine(&response).ok());
+  EXPECT_TRUE(IsOk(response)) << response;
+
+  // CRLF framing, blank keep-alive lines, and a frame split exactly at
+  // the boundary between two pipelined requests.
+  ASSERT_TRUE(sock->SendAll("\r\n\n{\"op\":\"status\"}\r\n{\"op\":").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(sock->SendAll("\"status\"}\n").ok());
+  for (int i = 0; i < 2; ++i) {
+    std::string line;
+    ASSERT_TRUE(sock->ReadLine(&line).ok()) << "response " << i;
+    EXPECT_TRUE(IsOk(line)) << line;
+  }
+}
+
+TEST_F(ServiceIntegrationTest, StatusExposesIoAndShardObservability) {
+  ServerOptions options;
+  options.cache_shards = 4;
+  options.session_shards = 4;
+  FdxServer& server = StartServer(options);
+
+  ASSERT_TRUE(
+      Request(server.port(), R"({"op":"open","schema":["a","b","c"]})").ok());
+  ASSERT_TRUE(Request(server.port(), DiscoverTableRequest(10, 5)).ok());
+  ASSERT_TRUE(Request(server.port(), DiscoverTableRequest(10, 5)).ok());
+
+  auto status = Request(server.port(), R"({"op":"status"})");
+  ASSERT_TRUE(status.ok());
+  auto parsed = JsonValue::Parse(*status);
+  ASSERT_TRUE(parsed.ok()) << *status;
+
+  const JsonValue* by_op = parsed->Find("requests_by_op");
+  ASSERT_NE(by_op, nullptr) << *status;
+  EXPECT_DOUBLE_EQ(by_op->NumberOr("open", 0), 1);
+  EXPECT_DOUBLE_EQ(by_op->NumberOr("discover", 0), 2);
+  EXPECT_DOUBLE_EQ(by_op->NumberOr("append", -1), 0);
+
+  const JsonValue* io = parsed->Find("io");
+  ASSERT_NE(io, nullptr) << *status;
+  EXPECT_EQ(io->StringOr("mode", ""), "epoll");
+  EXPECT_DOUBLE_EQ(io->NumberOr("io_threads", 0), 1);
+  // This status connection itself is live while being served.
+  EXPECT_GE(io->NumberOr("connections_live", -1), 1);
+  EXPECT_GE(io->NumberOr("accept_transient_errors", -1), 0);
+
+  const JsonValue* queue = parsed->Find("queue");
+  ASSERT_NE(queue, nullptr) << *status;
+  EXPECT_GE(queue->NumberOr("depth", -1), 0);
+
+  const JsonValue* cache = parsed->Find("cache");
+  ASSERT_NE(cache, nullptr) << *status;
+  const JsonValue* shards = cache->Find("shards");
+  ASSERT_NE(shards, nullptr) << *status;
+  ASSERT_TRUE(shards->is_array());
+  ASSERT_EQ(shards->array().size(), 4u);
+  double shard_hits = 0;
+  double shard_misses = 0;
+  for (const JsonValue& shard : shards->array()) {
+    shard_hits += shard.NumberOr("hits", 0);
+    shard_misses += shard.NumberOr("misses", 0);
+  }
+  // Per-shard counters must reconcile with the aggregate view.
+  EXPECT_DOUBLE_EQ(shard_hits, cache->NumberOr("hits", -1));
+  EXPECT_DOUBLE_EQ(shard_misses, cache->NumberOr("misses", -1));
+  EXPECT_DOUBLE_EQ(shard_hits, 1);  // the repeated table discover
+
+  const JsonValue* sessions = parsed->Find("sessions");
+  ASSERT_NE(sessions, nullptr) << *status;
+  EXPECT_DOUBLE_EQ(sessions->NumberOr("shards", 0), 4);
+}
+
+TEST_F(ServiceIntegrationTest, LegacyThreadModeStillServes) {
+  ServerOptions options;
+  options.io_mode = IoMode::kThreadPerConnection;
+  FdxServer& server = StartServer(options);
+
+  // Lifecycle smoke on the legacy path (the suite default is epoll, so
+  // this is the thread-per-connection regression coverage).
+  auto open = Request(server.port(),
+                      R"({"op":"open","schema":["a","b","c"]})");
+  ASSERT_TRUE(open.ok());
+  ASSERT_TRUE(IsOk(*open)) << *open;
+  ASSERT_TRUE(Request(server.port(),
+                      R"({"op":"append","session":"s-1","rows":)" +
+                          RowsJson(24, 5) + "}")
+                  .ok());
+  auto cold = Request(server.port(), R"({"op":"discover","session":"s-1"})");
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE(IsOk(*cold)) << *cold;
+  auto cached = Request(server.port(), R"({"op":"discover","session":"s-1"})");
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(*cold, *cached);
+  EXPECT_EQ(server.cache().hits(), 1u);
+
+  // Legacy connections also serve pipelined batches in order (the
+  // blocking loop reads frames sequentially).
+  auto sock = Socket::ConnectLoopback(server.port());
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(sock->SendAll(DiscoverTableRequest(10, 5) + "\n" +
+                            DiscoverTableRequest(12, 5) + "\n")
+                  .ok());
+  for (const double rows : {10.0, 12.0}) {
+    std::string line;
+    ASSERT_TRUE(sock->ReadLine(&line).ok());
+    auto parsed = JsonValue::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    EXPECT_DOUBLE_EQ(parsed->NumberOr("rows", 0), rows) << line;
+  }
+
+  auto status = Request(server.port(), R"({"op":"status"})");
+  ASSERT_TRUE(status.ok());
+  auto parsed = JsonValue::Parse(*status);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* io = parsed->Find("io");
+  ASSERT_NE(io, nullptr) << *status;
+  EXPECT_EQ(io->StringOr("mode", ""), "threads");
 }
 
 }  // namespace

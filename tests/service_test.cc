@@ -3,7 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "service/job_queue.h"
 #include "service/json_parser.h"
@@ -408,6 +410,164 @@ TEST(ResultCacheTest, InsertRefreshesExistingKey) {
   std::string payload;
   ASSERT_TRUE(cache.Lookup("a", &payload));
   EXPECT_EQ(payload, "new");
+}
+
+TEST(ResultCacheTest, ShardedCacheBehavesLikeUnsharded) {
+  ResultCache cache(16, /*shards=*/4);
+  EXPECT_EQ(cache.shards(), 4u);
+  std::string payload;
+  for (int i = 0; i < 12; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    EXPECT_FALSE(cache.Lookup(key, &payload));
+    cache.Insert(key, "v" + std::to_string(i));
+    ASSERT_TRUE(cache.Lookup(key, &payload));
+    EXPECT_EQ(payload, "v" + std::to_string(i));
+  }
+  EXPECT_EQ(cache.hits(), 12u);
+  EXPECT_EQ(cache.misses(), 12u);
+  // Aggregate counters are exactly the sum over the shard views.
+  ResultCache::ShardStats totals;
+  for (size_t shard = 0; shard < cache.shards(); ++shard) {
+    const ResultCache::ShardStats stats = cache.shard_stats(shard);
+    totals.size += stats.size;
+    totals.hits += stats.hits;
+    totals.misses += stats.misses;
+    totals.evictions += stats.evictions;
+  }
+  EXPECT_EQ(totals.size, cache.size());
+  EXPECT_EQ(totals.hits, cache.hits());
+  EXPECT_EQ(totals.misses, cache.misses());
+  EXPECT_EQ(totals.evictions, cache.evictions());
+}
+
+TEST(ResultCacheTest, ShardedConcurrentHammer) {
+  // 8 threads × shared + private keys: exercised under TSan in CI. The
+  // striped locks must keep every counter exact and every payload
+  // uncorrupted.
+  ResultCache cache(256, /*shards=*/8);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> observed_hits{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &observed_hits, t] {
+      std::string payload;
+      for (int i = 0; i < kIters; ++i) {
+        const std::string shared = "shared-" + std::to_string(i % 16);
+        const std::string mine =
+            "private-" + std::to_string(t) + "-" + std::to_string(i % 8);
+        cache.Insert(shared, shared);
+        cache.Insert(mine, mine);
+        if (cache.Lookup(shared, &payload)) {
+          observed_hits.fetch_add(1);
+          EXPECT_EQ(payload, shared);
+        }
+        if (cache.Lookup(mine, &payload)) {
+          observed_hits.fetch_add(1);
+          EXPECT_EQ(payload, mine);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<uint64_t>(2 * kThreads * kIters));
+  EXPECT_EQ(cache.hits(), observed_hits.load());
+  uint64_t shard_sizes = 0;
+  for (size_t shard = 0; shard < cache.shards(); ++shard) {
+    shard_sizes += cache.shard_stats(shard).size;
+  }
+  EXPECT_EQ(shard_sizes, cache.size());
+}
+
+TEST(SessionRegistryTest, ShardedConcurrentOpenCloseKeepsExactCap) {
+  // The global session cap is enforced with a CAS across shards: no
+  // interleaving may ever admit more than max_sessions at once.
+  SessionRegistry registry(16, 0.0, /*shards=*/4);
+  EXPECT_EQ(registry.shards(), 4u);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 120;
+  std::atomic<uint64_t> opened{0};
+  std::atomic<uint64_t> rejected{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &opened, &rejected] {
+      std::vector<std::string> mine;
+      for (int i = 0; i < kIters; ++i) {
+        auto session = registry.Open(Schema({"a", "b"}), FdxOptions{});
+        if (session.ok()) {
+          opened.fetch_add(1);
+          EXPECT_LE(registry.size(), 16u);
+          mine.push_back((*session)->id);
+          if (mine.size() >= 2) {
+            EXPECT_TRUE(registry.Close(mine.back()));
+            mine.pop_back();
+          }
+        } else {
+          EXPECT_EQ(session.status().code(), StatusCode::kUnavailable);
+          rejected.fetch_add(1);
+          if (!mine.empty()) {
+            EXPECT_TRUE(registry.Close(mine.back()));
+            mine.pop_back();
+          }
+        }
+      }
+      for (const std::string& id : mine) EXPECT_TRUE(registry.Close(id));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.opened(), opened.load());
+  EXPECT_EQ(opened.load() + rejected.load(),
+            static_cast<uint64_t>(kThreads * kIters));
+}
+
+// ------------------------------------------------- Status text report
+
+TEST(StatusTextReportTest, RendersCountersAndShards) {
+  const std::string status = R"({
+    "ok": true, "op": "status", "uptime_seconds": 12.5,
+    "connections": 7, "requests": 42,
+    "requests_by_op": {"open": 2, "append": 3, "discover": 30,
+                       "status": 5, "sleep": 0, "shutdown": 0, "invalid": 2},
+    "accept_faults": 0,
+    "io": {"mode": "epoll", "io_threads": 2, "connections_live": 3,
+           "max_pipeline_depth": 1024, "accept_transient_errors": 1},
+    "queue": {"workers": 2, "capacity": 8, "active": 1, "depth": 1,
+              "executed": 29, "rejected": 4},
+    "cache": {"size": 5, "capacity": 64, "hits": 11, "misses": 18,
+              "evictions": 0,
+              "shards": [{"size": 2, "hits": 6, "misses": 9, "evictions": 0},
+                         {"size": 3, "hits": 5, "misses": 9, "evictions": 0}]},
+    "sessions": {"open": 2, "max": 32, "shards": 8, "opened": 2,
+                 "evicted": 0},
+    "solver": {"solves": 18, "warm_started": 4, "memo_hits": 2}
+  })";
+  auto parsed = JsonValue::Parse(status);
+  ASSERT_TRUE(parsed.ok());
+  const std::string report = RenderStatusTextReport(parsed.value());
+
+  EXPECT_NE(report.find("mode=epoll"), std::string::npos) << report;
+  EXPECT_NE(report.find("io_threads=2"), std::string::npos) << report;
+  EXPECT_NE(report.find("connections_live=3"), std::string::npos) << report;
+  EXPECT_NE(report.find("accept_transient_errors=1"), std::string::npos);
+  EXPECT_NE(report.find("discover=30"), std::string::npos) << report;
+  EXPECT_NE(report.find("invalid=2"), std::string::npos) << report;
+  EXPECT_NE(report.find("depth=1"), std::string::npos) << report;
+  EXPECT_NE(report.find("hits=11"), std::string::npos) << report;
+  EXPECT_NE(report.find("shard[0]"), std::string::npos) << report;
+  EXPECT_NE(report.find("shard[1]"), std::string::npos) << report;
+  EXPECT_NE(report.find("warm_started=4"), std::string::npos) << report;
+}
+
+TEST(StatusTextReportTest, MissingMembersRenderAsZeros) {
+  // A minimal status from an older daemon must still render (zeros, no
+  // shard lines) instead of crashing or printing garbage.
+  auto parsed = JsonValue::Parse(R"({"ok": true, "op": "status"})");
+  ASSERT_TRUE(parsed.ok());
+  const std::string report = RenderStatusTextReport(parsed.value());
+  EXPECT_NE(report.find("total=0"), std::string::npos) << report;
+  EXPECT_EQ(report.find("shard["), std::string::npos) << report;
 }
 
 }  // namespace

@@ -5,7 +5,7 @@
 //   append   --session=s-1 (--csv-file=PATH | --rows='[[...]]')
 //   discover (--session=s-1 | --csv-file=PATH | --csv-path=PATH
 //             | --table='{...}') [--options='{...}']
-//   status
+//   status   [--text]             (--text: human-readable report)
 //   shutdown
 //   sleep    --seconds=S          (needs a --debug-ops daemon; test aid)
 //   raw      --json='{"op":...}'  (send one verbatim request line)
@@ -13,10 +13,13 @@
 // --csv-file reads a local CSV and ships its *contents* inline;
 // --csv-path sends the path for the daemon to read server-side.
 // --options / --rows / --table values are embedded verbatim as JSON.
+// --timeout=SEC (any op) bounds both the connect and the wait for the
+// response line; an expired deadline exits 6 without a response.
 //
 // The raw response line is printed to stdout. Exit codes: 0 ok,
-// 1 server-reported error, 2 usage, 3 connect failure, 4 timeout
-// error, 5 busy (Unavailable — back off and retry).
+// 1 server-reported error, 2 usage, 3 connect failure, 4 server-
+// reported timeout, 5 busy (Unavailable — back off and retry),
+// 6 client-side deadline (--timeout) expired.
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +29,7 @@
 #include <vector>
 
 #include "service/json_parser.h"
+#include "service/protocol.h"
 #include "util/json_writer.h"
 #include "util/socket.h"
 
@@ -66,7 +70,8 @@ int Usage() {
       "  append   --session=ID (--csv-file=PATH | --rows='[[...]]')\n"
       "  discover (--session=ID | --csv-file=PATH | --csv-path=PATH |\n"
       "            --table='{...}') [--options='{...}']\n"
-      "  status | shutdown | sleep --seconds=S | raw --json='{...}'\n");
+      "  status [--text] | shutdown | sleep --seconds=S | raw --json='{...}'\n"
+      "  any op: --timeout=SEC (connect + response deadline; exit 6)\n");
   return 2;
 }
 
@@ -203,10 +208,24 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "fdxctl: need --port=N or --port-file=PATH\n");
     return 2;
   }
-  Result<Socket> sock = Socket::ConnectLoopback(port);
+  const double timeout = std::atof(args.Get("timeout", "0").c_str());
+  if (timeout < 0.0) {
+    std::fprintf(stderr, "fdxctl: --timeout must be non-negative\n");
+    return 2;
+  }
+  Result<Socket> sock = Socket::ConnectLoopback(port, timeout);
   if (!sock.ok()) {
     std::fprintf(stderr, "fdxctl: %s\n", sock.status().ToString().c_str());
-    return 3;
+    return sock.status().code() == StatusCode::kTimeout ? 6 : 3;
+  }
+  if (timeout > 0.0) {
+    // Read deadline: a wedged daemon makes ReadLine return kTimeout
+    // instead of blocking forever.
+    Status armed = sock->SetReadTimeout(timeout);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "fdxctl: %s\n", armed.ToString().c_str());
+      return 3;
+    }
   }
   Status sent = sock->SendAll(request.value() + "\n");
   if (!sent.ok()) {
@@ -217,7 +236,15 @@ int Main(int argc, char** argv) {
   Status read = sock->ReadLine(&response);
   if (!read.ok()) {
     std::fprintf(stderr, "fdxctl: %s\n", read.ToString().c_str());
-    return 3;
+    return read.code() == StatusCode::kTimeout ? 6 : 3;
+  }
+  if (op == "status" && args.Has("text")) {
+    Result<JsonValue> parsed = JsonValue::Parse(response);
+    if (parsed.ok() && parsed->BoolOr("ok", false)) {
+      std::fputs(RenderStatusTextReport(parsed.value()).c_str(), stdout);
+      return 0;
+    }
+    // Fall through to the raw line for errors (and their exit codes).
   }
   std::printf("%s\n", response.c_str());
   return ExitCodeFor(response);

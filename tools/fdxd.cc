@@ -5,21 +5,33 @@
 // Shut it down with `fdxctl shutdown`; the daemon drains in-flight
 // discovery jobs under --drain-seconds and exits.
 //
+// I/O architecture (DESIGN.md §12): the default `--io=epoll` mode runs
+// a fixed set of event-loop threads multiplexing every connection with
+// pipelined request framing; `--io=threads` keeps the legacy
+// thread-per-connection path for baseline comparisons.
+//
 // Flags (all --key=value):
 //   --port=N            listen port; 0 (default) picks an ephemeral port
 //   --port-file=PATH    write the bound port to PATH (for scripts/CI)
+//   --io=epoll|threads  I/O mode                            (default epoll)
+//   --io-threads=N      event-loop threads (epoll mode)     (default 1)
 //   --workers=N         discovery worker threads            (default 2)
 //   --queue-capacity=N  admitted-unfinished job cap         (default 8)
 //   --max-sessions=N    open dataset sessions cap           (default 32)
 //   --session-ttl=SEC   idle-session eviction, <=0 disables (default 600)
+//   --session-shards=N  session-registry mutex stripes      (default 8)
 //   --drain-seconds=SEC shutdown drain budget               (default 10)
 //   --cache-capacity=N  result-cache entries                (default 64)
+//   --cache-shards=N    result-cache mutex stripes          (default 8)
+//   --max-pipeline-depth=N  per-connection pipelined frames (default 1024)
 //   --lambda=, --time-budget=   baseline FdxOptions for requests that
 //                               don't override them
 //   --debug-ops         enable the test-only `sleep` op
 //
 // Exit codes: 0 clean shutdown (jobs drained), 1 startup failure or
 // unclean drain, 2 usage.
+
+#include <sys/resource.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,12 +46,28 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: fdxd [--port=N] [--port-file=PATH] [--workers=N]\n"
-               "            [--queue-capacity=N] [--max-sessions=N]\n"
-               "            [--session-ttl=SEC] [--drain-seconds=SEC]\n"
-               "            [--cache-capacity=N] [--lambda=L]\n"
+               "usage: fdxd [--port=N] [--port-file=PATH]\n"
+               "            [--io=epoll|threads] [--io-threads=N]\n"
+               "            [--workers=N] [--queue-capacity=N]\n"
+               "            [--max-sessions=N] [--session-ttl=SEC]\n"
+               "            [--session-shards=N] [--drain-seconds=SEC]\n"
+               "            [--cache-capacity=N] [--cache-shards=N]\n"
+               "            [--max-pipeline-depth=N] [--lambda=L]\n"
                "            [--time-budget=SEC] [--debug-ops]\n");
   return 2;
+}
+
+/// Raises the fd soft limit to the hard limit. One epoll thread happily
+/// owns thousands of sockets; the usual 1024 soft default would cap the
+/// daemon long before the event loop breaks a sweat. Best-effort — on
+/// failure the accept path's transient-EMFILE handling degrades
+/// gracefully instead of dying.
+void RaiseFdLimit() {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  if (limit.rlim_cur >= limit.rlim_max) return;
+  limit.rlim_cur = limit.rlim_max;
+  ::setrlimit(RLIMIT_NOFILE, &limit);
 }
 
 int Main(int argc, char** argv) {
@@ -54,6 +82,19 @@ int Main(int argc, char** argv) {
       options.port = static_cast<uint16_t>(std::atoi(value("--port=").c_str()));
     } else if (arg.rfind("--port-file=", 0) == 0) {
       port_file = value("--port-file=");
+    } else if (arg.rfind("--io=", 0) == 0) {
+      const std::string mode = value("--io=");
+      if (mode == "epoll") {
+        options.io_mode = IoMode::kEventLoop;
+      } else if (mode == "threads") {
+        options.io_mode = IoMode::kThreadPerConnection;
+      } else {
+        std::fprintf(stderr, "fdxd: --io must be epoll or threads\n");
+        return Usage();
+      }
+    } else if (arg.rfind("--io-threads=", 0) == 0) {
+      options.io_threads =
+          static_cast<size_t>(std::atoi(value("--io-threads=").c_str()));
     } else if (arg.rfind("--workers=", 0) == 0) {
       options.workers =
           static_cast<size_t>(std::atoi(value("--workers=").c_str()));
@@ -65,11 +106,20 @@ int Main(int argc, char** argv) {
           static_cast<size_t>(std::atoi(value("--max-sessions=").c_str()));
     } else if (arg.rfind("--session-ttl=", 0) == 0) {
       options.session_ttl_seconds = std::atof(value("--session-ttl=").c_str());
+    } else if (arg.rfind("--session-shards=", 0) == 0) {
+      options.session_shards =
+          static_cast<size_t>(std::atoi(value("--session-shards=").c_str()));
     } else if (arg.rfind("--drain-seconds=", 0) == 0) {
       options.drain_seconds = std::atof(value("--drain-seconds=").c_str());
     } else if (arg.rfind("--cache-capacity=", 0) == 0) {
       options.cache_capacity =
           static_cast<size_t>(std::atoi(value("--cache-capacity=").c_str()));
+    } else if (arg.rfind("--cache-shards=", 0) == 0) {
+      options.cache_shards =
+          static_cast<size_t>(std::atoi(value("--cache-shards=").c_str()));
+    } else if (arg.rfind("--max-pipeline-depth=", 0) == 0) {
+      options.max_pipeline_depth = static_cast<size_t>(
+          std::atoi(value("--max-pipeline-depth=").c_str()));
     } else if (arg.rfind("--lambda=", 0) == 0) {
       options.fdx.lambda = std::atof(value("--lambda=").c_str());
     } else if (arg.rfind("--time-budget=", 0) == 0) {
@@ -82,6 +132,8 @@ int Main(int argc, char** argv) {
       return Usage();
     }
   }
+
+  RaiseFdLimit();
 
   FdxServer server(options);
   const Status started = server.Start();
@@ -98,8 +150,9 @@ int Main(int argc, char** argv) {
       return 1;
     }
   }
-  std::printf("fdxd listening on 127.0.0.1:%u\n",
-              static_cast<unsigned>(server.port()));
+  std::printf("fdxd listening on 127.0.0.1:%u (%s)\n",
+              static_cast<unsigned>(server.port()),
+              server.io_mode() == IoMode::kEventLoop ? "epoll" : "threads");
   std::fflush(stdout);
 
   server.Wait();  // returns after a `shutdown` request finished draining
