@@ -1,5 +1,6 @@
 #include "service/event_loop.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace fdx {
@@ -54,7 +55,7 @@ void EventLoop::Join() {
 EventLoop::DoneFn EventLoop::MakeDone(uint64_t conn_id) {
   return [this, conn_id](std::string response, bool keep_open) {
     Completion completion{conn_id, std::move(response), keep_open};
-    if (std::this_thread::get_id() == thread_.get_id()) {
+    if (std::this_thread::get_id() == loop_thread_id_) {
       // Synchronous fast path: the dispatcher answered on the loop
       // thread inside Pump(); apply directly (Pump's loop continues
       // with the next pending frame when it sees executing == false).
@@ -70,6 +71,10 @@ EventLoop::DoneFn EventLoop::MakeDone(uint64_t conn_id) {
 }
 
 void EventLoop::Run() {
+  // Completions compare against this id, possibly while TeardownLocked
+  // concurrently joins thread_ — so cache it rather than calling
+  // thread_.get_id() from two threads at once.
+  loop_thread_id_ = std::this_thread::get_id();
   std::vector<Epoll::Event> events;
   while (true) {
     // A pending accept backoff bounds the poll so accepting resumes on
@@ -195,20 +200,33 @@ void EventLoop::ExtractFrames(Conn* conn) {
 }
 
 void EventLoop::Pump(Conn* conn) {
-  while (!conn->executing && !conn->dead && !conn->close_after_flush &&
-         !conn->pending.empty()) {
-    std::string line = std::move(conn->pending.front());
-    conn->pending.pop_front();
-    conn->executing = true;
-    // The dispatcher may complete synchronously (clearing `executing`
-    // before returning) or asynchronously from a worker thread — in
-    // which case this loop exits and resumes on completion delivery.
-    callbacks_.dispatch(std::move(line), MakeDone(conn->id));
-  }
-  if (conn->read_paused &&
-      conn->pending.size() < options_.max_pipeline_depth / 2) {
-    conn->read_paused = false;
-    ExtractFrames(conn);  // frames may already be buffered
+  // Frames freed by the un-pause tail must be dispatched right here:
+  // HandleReadable already drained the kernel buffer, so no further
+  // EPOLLIN will arrive to pick them up — hence the outer loop.
+  for (bool progressed = true; progressed;) {
+    progressed = false;
+    while (!conn->executing && !conn->dead && !conn->close_after_flush &&
+           !conn->pending.empty()) {
+      std::string line = std::move(conn->pending.front());
+      conn->pending.pop_front();
+      conn->executing = true;
+      // The dispatcher may complete synchronously (clearing `executing`
+      // before returning) or asynchronously from a worker thread — in
+      // which case this loop exits and resumes on completion delivery.
+      callbacks_.dispatch(std::move(line), MakeDone(conn->id));
+    }
+    // Resume reading once the queue drained below half depth — with a
+    // floor of one slot, so depth 1 resumes on an empty queue instead
+    // of comparing against depth/2 == 0 (never true).
+    const size_t resume_below =
+        std::max<size_t>(1, options_.max_pipeline_depth / 2);
+    if (conn->read_paused && !conn->dead && !conn->close_after_flush &&
+        conn->pending.size() < resume_below) {
+      conn->read_paused = false;
+      const size_t before = conn->pending.size();
+      ExtractFrames(conn);  // frames may already be buffered
+      progressed = conn->pending.size() > before;
+    }
   }
 }
 
@@ -265,7 +283,15 @@ void EventLoop::ApplyCompletion(const Completion& completion) {
   conn->executing = false;
   conn->write_buf += completion.response;
   conn->write_buf += '\n';
-  if (!completion.keep_open) conn->close_after_flush = true;
+  if (!completion.keep_open) {
+    conn->close_after_flush = true;
+    // Frames pipelined behind a closing response are dropped, matching
+    // the legacy path (the connection closes after this reply); keeping
+    // them would park the connection forever, since they never execute
+    // and MaybeClose waits for an empty queue.
+    conn->pending.clear();
+    conn->read_buf.clear();
+  }
 }
 
 void EventLoop::DrainMailbox() {

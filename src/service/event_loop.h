@@ -158,6 +158,7 @@ class EventLoop {
   std::chrono::steady_clock::time_point accept_backoff_until_{};
 
   std::thread thread_;
+  std::thread::id loop_thread_id_;  ///< set at the top of Run()
   std::atomic<bool> started_{false};
   std::atomic<bool> stop_{false};
 

@@ -312,10 +312,12 @@ std::string RenderStatusTextReport(const JsonValue& status) {
       static_cast<long long>(StatusInt(by_op, "invalid")));
   out += line;
 
+  // "depth" in the human report is the JSON "active" count: jobs
+  // admitted and not yet finished (running or waiting).
   std::snprintf(line, sizeof(line),
                 "queue:       depth=%lld capacity=%lld workers=%lld "
                 "executed=%lld rejected=%lld\n",
-                static_cast<long long>(StatusInt(queue, "depth")),
+                static_cast<long long>(StatusInt(queue, "active")),
                 static_cast<long long>(StatusInt(queue, "capacity")),
                 static_cast<long long>(StatusInt(queue, "workers")),
                 static_cast<long long>(StatusInt(queue, "executed")),

@@ -729,8 +729,6 @@ std::string FdxServer::HandleStatus() {
   json.Integer(static_cast<int64_t>(queue_->capacity()));
   json.Key("active");
   json.Integer(static_cast<int64_t>(queue_->active()));
-  json.Key("depth");
-  json.Integer(static_cast<int64_t>(queue_->active()));
   json.Key("executed");
   json.Integer(static_cast<int64_t>(queue_->executed()));
   json.Key("rejected");

@@ -503,6 +503,55 @@ TEST_F(ServiceIntegrationTest, PipelinedRequestsAnswerInOrder) {
   }
 }
 
+TEST_F(ServiceIntegrationTest, BurstBeyondPipelineDepthAnswersEverything) {
+  // Regression: a single burst of more synchronously-answered requests
+  // than max_pipeline_depth used to hang — the loop read-paused at
+  // depth, and the frames extracted by Pump's un-pause tail were never
+  // dispatched (the kernel buffer was already drained, so no further
+  // EPOLLIN arrived to pick them up).
+  ServerOptions options;
+  options.max_pipeline_depth = 8;
+  FdxServer& server = StartServer(options);
+
+  auto sock = Socket::ConnectLoopback(server.port());
+  ASSERT_TRUE(sock.ok());
+  constexpr int kBurst = 64;
+  std::string batch;
+  for (int i = 0; i < kBurst; ++i) batch += "{\"op\":\"status\"}\n";
+  ASSERT_TRUE(sock->SendAll(batch).ok());
+  for (int i = 0; i < kBurst; ++i) {
+    std::string response;
+    ASSERT_TRUE(sock->ReadLine(&response).ok()) << "response " << i;
+    EXPECT_TRUE(IsOk(response)) << response;
+  }
+  EXPECT_EQ(server.requests(), static_cast<uint64_t>(kBurst));
+}
+
+TEST_F(ServiceIntegrationTest, PipelineDepthOneStillServesFollowOnRequests) {
+  // Regression: with depth 1 the resume threshold depth/2 == 0 was
+  // never satisfied, so every connection stayed read-paused after its
+  // first request.
+  ServerOptions options;
+  options.max_pipeline_depth = 1;
+  FdxServer& server = StartServer(options);
+
+  auto sock = Socket::ConnectLoopback(server.port());
+  ASSERT_TRUE(sock.ok());
+  // Both shapes must work: a pipelined pair in one write, and a fresh
+  // request sent after the first responses were consumed.
+  ASSERT_TRUE(
+      sock->SendAll("{\"op\":\"status\"}\n{\"op\":\"status\"}\n").ok());
+  for (int i = 0; i < 2; ++i) {
+    std::string response;
+    ASSERT_TRUE(sock->ReadLine(&response).ok()) << "response " << i;
+    EXPECT_TRUE(IsOk(response)) << response;
+  }
+  ASSERT_TRUE(sock->SendAll(DiscoverTableRequest(10, 5) + "\n").ok());
+  std::string response;
+  ASSERT_TRUE(sock->ReadLine(&response).ok());
+  EXPECT_TRUE(IsOk(response)) << response;
+}
+
 TEST_F(ServiceIntegrationTest, PartialFramesAndSlowWriterParseCorrectly) {
   FdxServer& server = StartServer(ServerOptions{});
 
@@ -566,7 +615,7 @@ TEST_F(ServiceIntegrationTest, StatusExposesIoAndShardObservability) {
 
   const JsonValue* queue = parsed->Find("queue");
   ASSERT_NE(queue, nullptr) << *status;
-  EXPECT_GE(queue->NumberOr("depth", -1), 0);
+  EXPECT_GE(queue->NumberOr("active", -1), 0);
 
   const JsonValue* cache = parsed->Find("cache");
   ASSERT_NE(cache, nullptr) << *status;

@@ -533,7 +533,7 @@ TEST(StatusTextReportTest, RendersCountersAndShards) {
     "accept_faults": 0,
     "io": {"mode": "epoll", "io_threads": 2, "connections_live": 3,
            "max_pipeline_depth": 1024, "accept_transient_errors": 1},
-    "queue": {"workers": 2, "capacity": 8, "active": 1, "depth": 1,
+    "queue": {"workers": 2, "capacity": 8, "active": 1,
               "executed": 29, "rejected": 4},
     "cache": {"size": 5, "capacity": 64, "hits": 11, "misses": 18,
               "evictions": 0,
