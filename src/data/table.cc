@@ -14,6 +14,12 @@ int Schema::Find(const std::string& name) const {
   return -1;
 }
 
+void Table::ReplaceSchema(Schema schema) {
+  assert(schema.size() == columns_.size() || num_rows() == 0);
+  columns_.resize(schema.size());
+  schema_ = std::move(schema);
+}
+
 void Table::AppendRow(std::vector<Value> row) {
   assert(row.size() == columns_.size());
   for (size_t c = 0; c < row.size(); ++c) {

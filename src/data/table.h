@@ -54,6 +54,10 @@ class Table {
   /// Appends a row. Precondition: row.size() == num_columns().
   void AppendRow(std::vector<Value> row);
 
+  /// Rebinds the attribute names, keeping cell data. Precondition:
+  /// schema.size() == num_columns(), or the table holds no rows.
+  void ReplaceSchema(Schema schema);
+
   /// Returns a copy with rows shuffled by `rng` (Alg. 2 shuffles before
   /// building pairs).
   Table ShuffleRows(Rng* rng) const;

@@ -270,6 +270,14 @@ void EventLoop::MaybeClose(Conn* conn) {
 void EventLoop::CloseConn(uint64_t id) {
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
+  const Conn& conn = *it->second;
+  // A close that strands work — an I/O error, an undelivered response,
+  // or unexecuted pipelined frames — is an abort, not a clean goodbye.
+  // The chaos harness reconciles this count against client-side kills.
+  if (conn.dead || conn.write_off < conn.write_buf.size() ||
+      conn.executing || !conn.pending.empty()) {
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+  }
   epoll_.Remove(it->second->sock.fd());
   it->second->sock.ShutdownBoth();
   conns_.erase(it);

@@ -111,6 +111,11 @@ class EventLoop {
   uint64_t accept_transient_errors() const {
     return accept_transient_errors_.load(std::memory_order_relaxed);
   }
+  /// Connections closed abruptly: an I/O error, a peer that vanished
+  /// with a response undelivered, or unexecuted pipelined frames.
+  uint64_t aborted_connections() const {
+    return aborted_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Conn {
@@ -171,6 +176,7 @@ class EventLoop {
 
   std::atomic<size_t> live_{0};
   std::atomic<uint64_t> accept_transient_errors_{0};
+  std::atomic<uint64_t> aborted_{0};
 
   static constexpr uint64_t kListenerTag = ~uint64_t{0} - 1;
 };

@@ -237,7 +237,8 @@ std::string StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
-std::string RenderErrorResponse(const std::string& op, const Status& status) {
+std::string RenderErrorResponse(const std::string& op, const Status& status,
+                                double retry_after_seconds) {
   JsonWriter json;
   json.BeginObject();
   json.Key("ok");
@@ -251,9 +252,14 @@ std::string RenderErrorResponse(const std::string& op, const Status& status) {
   json.Key("message");
   json.String(status.message());
   json.EndObject();
-  if (status.code() == StatusCode::kUnavailable) {
+  if (status.code() == StatusCode::kUnavailable ||
+      retry_after_seconds > 0.0) {
     json.Key("retry");
     json.Bool(true);
+  }
+  if (retry_after_seconds > 0.0) {
+    json.Key("retry_after");
+    json.Number(retry_after_seconds);
   }
   json.EndObject();
   return json.TakeString();
@@ -366,6 +372,31 @@ std::string RenderStatusTextReport(const JsonValue& status) {
                 static_cast<long long>(StatusInt(solver, "solves")),
                 static_cast<long long>(StatusInt(solver, "warm_started")),
                 static_cast<long long>(StatusInt(solver, "memo_hits")));
+  out += line;
+
+  // Overload + durability sections. StatusInt renders absent members
+  // as zeros, so reports against older daemons stay readable.
+  const JsonValue* shed = status.Find("shed");
+  std::snprintf(line, sizeof(line),
+                "shed:        queue=%lld memory=%lld deadline=%lld\n",
+                static_cast<long long>(StatusInt(shed, "queue")),
+                static_cast<long long>(StatusInt(shed, "memory")),
+                static_cast<long long>(StatusInt(shed, "deadline")));
+  out += line;
+
+  const JsonValue* durability = status.Find("durability");
+  const bool durable =
+      durability != nullptr && durability->BoolOr("enabled", false);
+  std::snprintf(
+      line, sizeof(line),
+      "durability:  enabled=%d recovered=%lld recovery_failed=%lld "
+      "cache_restored=%lld snapshot_writes=%lld snapshot_failures=%lld\n",
+      durable ? 1 : 0,
+      static_cast<long long>(StatusInt(durability, "sessions_recovered")),
+      static_cast<long long>(StatusInt(durability, "sessions_recovery_failed")),
+      static_cast<long long>(StatusInt(durability, "cache_entries_restored")),
+      static_cast<long long>(StatusInt(durability, "snapshot_writes")),
+      static_cast<long long>(StatusInt(durability, "snapshot_failures")));
   out += line;
   return out;
 }

@@ -61,8 +61,12 @@ std::string RenderDiscoverResponse(const Schema& schema, size_t rows,
 
 /// Renders a failure response: `{"ok":false,"op":...,"error":{...}}`.
 /// Unavailable errors additionally carry `"retry":true` — the HTTP-429
-/// analogue clients key their backoff on.
-std::string RenderErrorResponse(const std::string& op, const Status& status);
+/// analogue clients key their backoff on. A positive
+/// `retry_after_seconds` (load shedding, expired server deadlines)
+/// additionally emits `"retry":true` and `"retry_after":<seconds>` —
+/// the server's backoff hint — regardless of the status code.
+std::string RenderErrorResponse(const std::string& op, const Status& status,
+                                double retry_after_seconds = 0.0);
 
 /// Status-code name used on the wire ("InvalidArgument", "Timeout", ...).
 std::string StatusCodeName(StatusCode code);

@@ -67,6 +67,20 @@ void ResultCache::Insert(const std::string& key, std::string payload) {
   }
 }
 
+std::vector<std::pair<std::string, std::string>> ResultCache::Snapshot()
+    const {
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    // Walk back-to-front (LRU first): re-inserting in snapshot order
+    // then rebuilds the same recency order.
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
+      entries.push_back(*it);
+    }
+  }
+  return entries;
+}
+
 void ResultCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

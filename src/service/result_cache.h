@@ -45,6 +45,12 @@ class ResultCache {
 
   void Clear();
 
+  /// Every live (key, payload) pair, LRU-first within each shard, so
+  /// feeding the list back through Insert() in order reproduces each
+  /// shard's recency order. Used by the durability layer's periodic
+  /// cache spill; counters are not part of the snapshot.
+  std::vector<std::pair<std::string, std::string>> Snapshot() const;
+
   /// Counters for one shard, snapshot under that shard's lock.
   struct ShardStats {
     size_t size = 0;

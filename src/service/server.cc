@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <future>
 #include <set>
 #include <utility>
@@ -9,7 +10,9 @@
 #include "data/csv.h"
 #include "service/json_parser.h"
 #include "service/protocol.h"
+#include "service/snapshot.h"
 #include "util/fault_injection.h"
+#include "util/file_io.h"
 #include "util/json_writer.h"
 
 namespace fdx {
@@ -102,6 +105,19 @@ Result<AppendPlan> PlanAppend(const JsonValue& request,
     batch_or = ReadCsvFromString(csv->string_value(), csv_options);
   }
   FDX_ASSIGN_OR_RETURN(Table batch, std::move(batch_or));
+  if (csv != nullptr) {
+    const Schema& schema = session->fdx.schema();
+    if (batch.num_columns() != schema.size()) {
+      return Status::InvalidArgument(
+          "csv batch has " + std::to_string(batch.num_columns()) +
+          " columns; session schema has " + std::to_string(schema.size()));
+    }
+    // Headerless CSV parsing invents positional column names, but the
+    // batch belongs to the schema fixed at open. Rebind it so every
+    // fingerprint of this batch — including the durability replay that
+    // recomputes it from a snapshot — sees the same table.
+    batch.ReplaceSchema(schema);
+  }
   return AppendPlan{std::move(session), std::move(batch)};
 }
 
@@ -246,6 +262,19 @@ Status FdxServer::Start() {
   sessions_ = std::make_unique<SessionRegistry>(options_.max_sessions,
                                                 options_.session_ttl_seconds,
                                                 options_.session_shards);
+  if (durable()) {
+    FDX_RETURN_IF_ERROR(EnsureDirectory(options_.state_dir));
+    FDX_RETURN_IF_ERROR(EnsureDirectory(SessionsDir()));
+    // Replay before the listener serves anything: restored sessions and
+    // cache entries must be visible to the very first request.
+    FDX_RETURN_IF_ERROR(RestoreState());
+    sessions_->SetEvictionListener([this](const std::vector<std::string>& ids) {
+      for (const std::string& id : ids) {
+        (void)RemoveFile(SessionSnapshotPath(id));
+      }
+    });
+    snapshot_thread_ = std::thread(&FdxServer::SnapshotSpillLoop, this);
+  }
   uptime_.Reset();
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
@@ -452,7 +481,11 @@ void FdxServer::DispatchAsync(std::string line, EventLoop::DoneFn done) {
     done(HandleStatus(), true);
   } else if (op == "sleep" && options_.enable_debug_ops) {
     const double seconds = request.NumberOr("seconds", 0.05);
-    SubmitJobAsync("sleep", [seconds] { return SleepBody(seconds); },
+    SubmitJobAsync("sleep",
+                   WithDeadline("sleep", RequestDeadlineSeconds(request),
+                                [seconds](double /*remaining*/) {
+                                  return SleepBody(seconds);
+                                }),
                    std::move(done));
   } else if (op == "shutdown") {
     done(RenderShutdownResponse(), false);
@@ -484,6 +517,12 @@ std::string FdxServer::HandleOpen(const JsonValue& request) {
       sessions_->Open(std::move(schema).value(), fdx_options);
   if (!session.ok()) return RenderErrorResponse("open", session.status());
 
+  if (durable()) {
+    std::lock_guard<std::mutex> lock(session.value()->mu);
+    session.value()->retain_batches = true;
+    PersistSessionLocked(session.value().get());
+  }
+
   JsonWriter json;
   json.BeginObject();
   json.Key("ok");
@@ -503,6 +542,13 @@ std::string FdxServer::ApplyAppendLocked(DatasetSession* session, Table batch) {
   if (!appended.ok()) return RenderErrorResponse("append", appended);
   session->content.UpdateString("batch");
   UpdateTableFingerprint(&session->content, batch);
+  if (session->retain_batches) {
+    // Persist before answering: once the client sees ok:true the batch
+    // must survive a crash (write-temp-then-rename keeps the previous
+    // snapshot intact if this write dies half-way).
+    session->batches_json.push_back(EncodeBatchRows(batch));
+    PersistSessionLocked(session);
+  }
 
   JsonWriter json;
   json.BeginObject();
@@ -606,9 +652,12 @@ std::string FdxServer::HandleDiscover(const JsonValue& request) {
       PlanDiscover(request, sessions_.get(), options_.fdx);
   if (!plan_or.ok()) return RenderErrorResponse("discover", plan_or.status());
   DiscoverPlan plan = std::move(plan_or).value();
+  const double deadline_seconds = RequestDeadlineSeconds(request);
 
   if (plan.session != nullptr) {
-    // Fast path: a cache hit skips the job queue entirely.
+    // Fast path: a cache hit skips the job queue entirely — it is also
+    // exempt from shedding, because serving it costs less than the
+    // rejection would.
     std::string key;
     {
       std::lock_guard<std::mutex> lock(plan.session->mu);
@@ -617,10 +666,17 @@ std::string FdxServer::HandleDiscover(const JsonValue& request) {
     std::string payload;
     if (cache_->Lookup(key, &payload)) return payload;
 
-    Result<std::string> response =
-        RunJob("discover", [this, session = plan.session] {
-          return RunSessionDiscover(session);
-        });
+    Status shed = CheckShed();
+    if (!shed.ok()) {
+      return RenderErrorResponse("discover", shed,
+                                 options_.shed_retry_after_seconds);
+    }
+    Result<std::string> response = RunJob(
+        "discover",
+        WithDeadline("discover", deadline_seconds,
+                     [this, session = plan.session](double /*remaining*/) {
+                       return RunSessionDiscover(session);
+                     }));
     if (!response.ok()) {
       return RenderErrorResponse("discover", response.status());
     }
@@ -630,11 +686,26 @@ std::string FdxServer::HandleDiscover(const JsonValue& request) {
   std::string payload;
   if (cache_->Lookup(plan.table_key, &payload)) return payload;
 
-  Result<std::string> response =
-      RunJob("discover", [this, table = plan.table,
-                          options = plan.table_options, key = plan.table_key] {
-        return RunTableDiscover(table, options, key);
-      });
+  Status shed = CheckShed();
+  if (!shed.ok()) {
+    return RenderErrorResponse("discover", shed,
+                               options_.shed_retry_after_seconds);
+  }
+  Result<std::string> response = RunJob(
+      "discover",
+      WithDeadline("discover", deadline_seconds,
+                   [this, table = plan.table, options = plan.table_options,
+                    key = plan.table_key](double remaining) mutable {
+                     // Feed what is left of the request deadline into the
+                     // solver's own wall-clock budget so an in-flight job
+                     // cannot overrun the deadline it was admitted under.
+                     if (remaining > 0.0 &&
+                         (options.time_budget_seconds <= 0.0 ||
+                          options.time_budget_seconds > remaining)) {
+                       options.time_budget_seconds = remaining;
+                     }
+                     return RunTableDiscover(table, options, key);
+                   }));
   if (!response.ok()) return RenderErrorResponse("discover", response.status());
   return std::move(response).value();
 }
@@ -648,6 +719,7 @@ void FdxServer::HandleDiscoverAsync(const JsonValue& request,
     return;
   }
   DiscoverPlan plan = std::move(plan_or).value();
+  const double deadline_seconds = RequestDeadlineSeconds(request);
 
   if (plan.session != nullptr) {
     // The cache fast path needs the session lock to render the key, and
@@ -666,9 +738,19 @@ void FdxServer::HandleDiscoverAsync(const JsonValue& request,
         return;
       }
     }
+    Status shed = CheckShed();
+    if (!shed.ok()) {
+      done(RenderErrorResponse("discover", shed,
+                               options_.shed_retry_after_seconds),
+           true);
+      return;
+    }
     SubmitJobAsync(
         "discover",
-        [this, session = plan.session] { return RunSessionDiscover(session); },
+        WithDeadline("discover", deadline_seconds,
+                     [this, session = plan.session](double /*remaining*/) {
+                       return RunSessionDiscover(session);
+                     }),
         std::move(done));
     return;
   }
@@ -678,10 +760,25 @@ void FdxServer::HandleDiscoverAsync(const JsonValue& request,
     done(std::move(payload), true);
     return;
   }
+  Status shed = CheckShed();
+  if (!shed.ok()) {
+    done(RenderErrorResponse("discover", shed,
+                             options_.shed_retry_after_seconds),
+         true);
+    return;
+  }
   SubmitJobAsync(
       "discover",
-      [this, table = plan.table, options = plan.table_options,
-       key = plan.table_key] { return RunTableDiscover(table, options, key); },
+      WithDeadline("discover", deadline_seconds,
+                   [this, table = plan.table, options = plan.table_options,
+                    key = plan.table_key](double remaining) mutable {
+                     if (remaining > 0.0 &&
+                         (options.time_budget_seconds <= 0.0 ||
+                          options.time_budget_seconds > remaining)) {
+                       options.time_budget_seconds = remaining;
+                     }
+                     return RunTableDiscover(table, options, key);
+                   }),
       std::move(done));
 }
 
@@ -720,6 +817,8 @@ std::string FdxServer::HandleStatus() {
   json.Integer(static_cast<int64_t>(options_.max_pipeline_depth));
   json.Key("accept_transient_errors");
   json.Integer(static_cast<int64_t>(accept_transient_errors()));
+  json.Key("connections_aborted");
+  json.Integer(static_cast<int64_t>(aborted_connections()));
   json.EndObject();
   json.Key("queue");
   json.BeginObject();
@@ -786,6 +885,30 @@ std::string FdxServer::HandleStatus() {
   json.Key("memo_hits");
   json.Integer(static_cast<int64_t>(solver.memo_hits));
   json.EndObject();
+  json.Key("shed");
+  json.BeginObject();
+  json.Key("queue");
+  json.Integer(static_cast<int64_t>(shed_queue()));
+  json.Key("memory");
+  json.Integer(static_cast<int64_t>(shed_memory()));
+  json.Key("deadline");
+  json.Integer(static_cast<int64_t>(shed_deadline()));
+  json.EndObject();
+  json.Key("durability");
+  json.BeginObject();
+  json.Key("enabled");
+  json.Bool(durable());
+  json.Key("sessions_recovered");
+  json.Integer(static_cast<int64_t>(sessions_recovered()));
+  json.Key("sessions_recovery_failed");
+  json.Integer(static_cast<int64_t>(sessions_recovery_failed()));
+  json.Key("cache_entries_restored");
+  json.Integer(static_cast<int64_t>(cache_entries_restored()));
+  json.Key("snapshot_writes");
+  json.Integer(static_cast<int64_t>(snapshot_writes()));
+  json.Key("snapshot_failures");
+  json.Integer(static_cast<int64_t>(snapshot_failures()));
+  json.EndObject();
   json.EndObject();
   return json.TakeString();
 }
@@ -793,9 +916,195 @@ std::string FdxServer::HandleStatus() {
 std::string FdxServer::HandleSleep(const JsonValue& request) {
   const double seconds = request.NumberOr("seconds", 0.05);
   Result<std::string> response =
-      RunJob("sleep", [seconds] { return SleepBody(seconds); });
+      RunJob("sleep", WithDeadline("sleep", RequestDeadlineSeconds(request),
+                                   [seconds](double /*remaining*/) {
+                                     return SleepBody(seconds);
+                                   }));
   if (!response.ok()) return RenderErrorResponse("sleep", response.status());
   return std::move(response).value();
+}
+
+std::string FdxServer::SessionsDir() const {
+  return options_.state_dir + "/sessions";
+}
+
+std::string FdxServer::SessionSnapshotPath(const std::string& id) const {
+  return SessionsDir() + "/" + id + ".json";
+}
+
+std::string FdxServer::CacheSnapshotPath() const {
+  return options_.state_dir + "/cache.json";
+}
+
+Status FdxServer::RestoreState() {
+  FDX_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                       ListDirectory(SessionsDir()));
+  for (const std::string& name : names) {
+    // Skip leftovers of interrupted atomic writes ("*.json.tmp.<pid>")
+    // and anything else that is not a snapshot.
+    if (name.size() < 6 || name.compare(name.size() - 5, 5, ".json") != 0) {
+      continue;
+    }
+    const std::string path = SessionsDir() + "/" + name;
+    auto drop = [&](const Status& why) {
+      std::fprintf(stderr, "fdxd: dropping snapshot %s: %s\n", path.c_str(),
+                   why.ToString().c_str());
+      (void)RemoveFile(path);
+      sessions_recovery_failed_.fetch_add(1, std::memory_order_relaxed);
+    };
+    Result<std::string> text = ReadFileToString(path);
+    if (!text.ok()) {
+      drop(text.status());
+      continue;
+    }
+    Result<SessionSnapshot> snapshot_or = DecodeSessionSnapshot(text.value());
+    if (!snapshot_or.ok()) {
+      drop(snapshot_or.status());
+      continue;
+    }
+    SessionSnapshot snapshot = std::move(snapshot_or).value();
+    Result<std::shared_ptr<DatasetSession>> restored =
+        sessions_->Restore(snapshot.id, snapshot.schema, snapshot.options);
+    if (!restored.ok()) {
+      drop(restored.status());
+      continue;
+    }
+    DatasetSession* session = restored.value().get();
+    bool replayed = true;
+    {
+      std::lock_guard<std::mutex> lock(session->mu);
+      session->retain_batches = true;
+      for (const Table& batch : snapshot.batches) {
+        Status appended = session->fdx.Append(batch);
+        if (!appended.ok()) {
+          replayed = false;
+          break;
+        }
+        session->content.UpdateString("batch");
+        UpdateTableFingerprint(&session->content, batch);
+        session->batches_json.push_back(EncodeBatchRows(batch));
+      }
+    }
+    if (!replayed) {
+      sessions_->Close(snapshot.id);
+      drop(Status::Internal("batch replay failed"));
+      continue;
+    }
+    sessions_recovered_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Result<std::string> cache_text = ReadFileToString(CacheSnapshotPath());
+  if (cache_text.ok()) {
+    Result<std::vector<std::pair<std::string, std::string>>> entries =
+        DecodeCacheSnapshot(cache_text.value());
+    if (entries.ok()) {
+      for (auto& [key, payload] : entries.value()) {
+        cache_->Insert(key, std::move(payload));
+      }
+      cache_entries_restored_.fetch_add(entries.value().size(),
+                                        std::memory_order_relaxed);
+    } else {
+      // A torn cache spill only costs warm starts, never correctness.
+      (void)RemoveFile(CacheSnapshotPath());
+    }
+  }
+  return Status::OK();
+}
+
+void FdxServer::PersistSessionLocked(DatasetSession* session) {
+  const FdxOptions& options = session->fdx.options();
+  const std::string text = EncodeSessionSnapshot(
+      session->id, session->fdx.schema(), options, CanonicalOptionsKey(options),
+      session->content.Hex(), session->batches_json);
+  if (WriteFileAtomic(SessionSnapshotPath(session->id), text).ok()) {
+    snapshot_writes_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    snapshot_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FdxServer::PersistCache() {
+  if (!durable() || cache_ == nullptr) return;
+  const std::string text = EncodeCacheSnapshot(cache_->Snapshot());
+  if (WriteFileAtomic(CacheSnapshotPath(), text).ok()) {
+    snapshot_writes_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    snapshot_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FdxServer::SnapshotSpillLoop() {
+  const auto interval = std::chrono::duration<double>(
+      options_.snapshot_interval_seconds > 0.0
+          ? options_.snapshot_interval_seconds
+          : 5.0);
+  std::unique_lock<std::mutex> lock(snapshot_mu_);
+  while (!snapshot_stop_) {
+    snapshot_cv_.wait_for(lock, interval, [this] { return snapshot_stop_; });
+    if (snapshot_stop_) break;
+    lock.unlock();
+    PersistCache();
+    lock.lock();
+  }
+}
+
+double FdxServer::RequestDeadlineSeconds(const JsonValue& request) const {
+  return request.NumberOr("deadline_seconds",
+                          options_.default_deadline_seconds);
+}
+
+std::function<std::string()> FdxServer::WithDeadline(
+    std::string op, double deadline_seconds,
+    std::function<std::string(double)> body) {
+  if (deadline_seconds <= 0.0) {
+    return [body = std::move(body)] { return body(0.0); };
+  }
+  // The deadline starts at admission; by the time a worker picks the
+  // job up it may already be hopeless — answering Timeout immediately
+  // is cheaper for everyone than computing a result the client gave up
+  // on (and it frees the worker for requests that can still make it).
+  auto deadline = std::make_shared<Deadline>(deadline_seconds);
+  return [this, op = std::move(op), deadline, body = std::move(body)] {
+    if (deadline->Expired()) {
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      return RenderErrorResponse(
+          op,
+          Status::Timeout("server deadline (" +
+                          std::to_string(deadline->budget_seconds()) +
+                          "s) expired while the request was queued"),
+          options_.shed_retry_after_seconds);
+    }
+    const double left = deadline->remaining_seconds();
+    return body(left > 0.0 ? left : 1e-9);
+  };
+}
+
+Status FdxServer::CheckShed() {
+  if (options_.shed_queue_watermark > 0.0 && queue_ != nullptr) {
+    const size_t limit = std::max<size_t>(
+        1, static_cast<size_t>(options_.shed_queue_watermark *
+                               static_cast<double>(queue_->capacity())));
+    if (queue_->active() >= limit) {
+      shed_queue_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(
+          "overloaded: queue depth " + std::to_string(queue_->active()) +
+          " crossed the shed watermark (" + std::to_string(limit) + " of " +
+          std::to_string(queue_->capacity()) + "); retry later");
+    }
+  }
+  if (options_.shed_max_rss_mb > 0) {
+    const uint64_t rss = CurrentRssBytes();
+    const uint64_t limit =
+        static_cast<uint64_t>(options_.shed_max_rss_mb) * 1024 * 1024;
+    if (rss > limit) {
+      shed_memory_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(
+          "overloaded: resident memory " + std::to_string(rss >> 20) +
+          " MiB crossed the shed watermark (" +
+          std::to_string(options_.shed_max_rss_mb) + " MiB); retry later");
+    }
+  }
+  return Status::OK();
 }
 
 Result<std::string> FdxServer::RunJob(const std::string& op,
@@ -841,6 +1150,12 @@ size_t FdxServer::live_connections() const {
 uint64_t FdxServer::accept_transient_errors() const {
   uint64_t total = accept_transient_legacy_.load(std::memory_order_relaxed);
   for (const auto& loop : event_loops_) total += loop->accept_transient_errors();
+  return total;
+}
+
+uint64_t FdxServer::aborted_connections() const {
+  uint64_t total = 0;
+  for (const auto& loop : event_loops_) total += loop->aborted_connections();
   return total;
 }
 
@@ -892,6 +1207,20 @@ void FdxServer::TeardownLocked() {
   //    Drain returns (jobs post before they count as finished).
   if (queue_) {
     drained_cleanly_.store(queue_->Drain(options_.drain_seconds));
+  }
+
+  // 3b. Durable mode: retire the periodic spill thread and take one
+  //     final cache snapshot now that the queue is quiet. Session
+  //     snapshots need no flush — they are written synchronously on
+  //     every open/append.
+  if (durable()) {
+    {
+      std::lock_guard<std::mutex> lock(snapshot_mu_);
+      snapshot_stop_ = true;
+    }
+    snapshot_cv_.notify_all();
+    if (snapshot_thread_.joinable()) snapshot_thread_.join();
+    PersistCache();
   }
 
   // 4a. Event mode: ask each loop to deliver queued completions, flush

@@ -73,6 +73,33 @@ struct ServerOptions {
   /// a requested duration so integration tests can fill the queue
   /// deterministically). Never enable in production.
   bool enable_debug_ops = false;
+
+  // --- Durability (DESIGN.md §13) ---
+  /// When non-empty, every session is snapshotted here (atomic
+  /// write-temp-then-rename on open/append, deleted on eviction) and
+  /// the result cache is spilled periodically; Start() replays the
+  /// directory, restoring sessions that serve bit-identical results.
+  std::string state_dir;
+  /// Seconds between result-cache spills in state-dir mode.
+  double snapshot_interval_seconds = 5.0;
+
+  // --- Overload robustness ---
+  /// Server-side deadline applied to queued ops when the request does
+  /// not carry its own "deadline_seconds" (<= 0: unlimited). Measured
+  /// from admission; a job whose deadline expired while it waited in
+  /// the queue answers Timeout + retry_after instead of running.
+  double default_deadline_seconds = 0.0;
+  /// Shed new discover jobs once queue occupancy reaches this fraction
+  /// of `queue_capacity` (0 disables). Shedding answers a structured
+  /// kUnavailable with `retry_after` *before* the job ties up a queue
+  /// slot; cache hits are never shed.
+  double shed_queue_watermark = 0.0;
+  /// Shed new discover jobs while resident memory exceeds this many
+  /// MiB (0 disables).
+  size_t shed_max_rss_mb = 0;
+  /// Backoff hint (seconds) carried in shed / expired-deadline
+  /// responses as `retry_after`.
+  double shed_retry_after_seconds = 0.2;
 };
 
 /// fdxd: the FD-discovery daemon. An epoll event loop (or, in legacy
@@ -136,9 +163,25 @@ class FdxServer {
   }
   uint64_t accept_faults() const { return accept_faults_.load(); }
   uint64_t accept_transient_errors() const;
+  uint64_t aborted_connections() const;
   const JobQueue& queue() const { return *queue_; }
   const ResultCache& cache() const { return *cache_; }
   const SessionRegistry& sessions() const { return *sessions_; }
+
+  // Overload + durability counters (status output and tests).
+  uint64_t shed_queue() const { return shed_queue_.load(); }
+  uint64_t shed_memory() const { return shed_memory_.load(); }
+  uint64_t shed_deadline() const { return shed_deadline_.load(); }
+  bool durable() const { return !options_.state_dir.empty(); }
+  uint64_t sessions_recovered() const { return sessions_recovered_.load(); }
+  uint64_t sessions_recovery_failed() const {
+    return sessions_recovery_failed_.load();
+  }
+  uint64_t cache_entries_restored() const {
+    return cache_entries_restored_.load();
+  }
+  uint64_t snapshot_writes() const { return snapshot_writes_.load(); }
+  uint64_t snapshot_failures() const { return snapshot_failures_.load(); }
 
  private:
   void AcceptLoop();
@@ -185,6 +228,40 @@ class FdxServer {
   void HandleDiscoverAsync(const JsonValue& request, EventLoop::DoneFn done);
 
   std::string HandleSleep(const JsonValue& request);
+
+  // --- Durability (state-dir mode) ---
+  std::string SessionsDir() const;
+  std::string SessionSnapshotPath(const std::string& id) const;
+  std::string CacheSnapshotPath() const;
+  /// Replays the state directory on startup: restores sessions (or
+  /// deletes + counts unrecoverable snapshots) and re-inserts spilled
+  /// cache entries.
+  Status RestoreState();
+  /// Atomically rewrites one session's snapshot file. Requires the
+  /// session mutex held (the encoded batches live behind it).
+  void PersistSessionLocked(DatasetSession* session);
+  /// Spills the result cache to its snapshot file.
+  void PersistCache();
+  /// Periodic cache-spill thread body.
+  void SnapshotSpillLoop();
+
+  // --- Overload robustness ---
+  /// Effective server-side deadline for a request, seconds (<= 0:
+  /// unlimited): the request's "deadline_seconds" or the configured
+  /// default.
+  double RequestDeadlineSeconds(const JsonValue& request) const;
+  /// Wraps a job body so that a deadline which expired while the job
+  /// waited in the queue renders Timeout + retry_after instead of
+  /// running the work. The body receives the seconds left on the
+  /// deadline when it starts (0 = unlimited) so it can bound its own
+  /// wall-clock, e.g. via FdxOptions::time_budget_seconds.
+  std::function<std::string()> WithDeadline(
+      std::string op, double deadline_seconds,
+      std::function<std::string(double)> body);
+  /// Admission-time load shedding for discover jobs: OK, or a
+  /// kUnavailable explaining which watermark (queue depth, RSS) was
+  /// crossed. Bumps the corresponding shed counter.
+  Status CheckShed();
 
   /// Runs `job` on the queue and blocks for its rendered response.
   /// Carries the service.enqueue fault point and queue backpressure.
@@ -242,6 +319,22 @@ class FdxServer {
   std::atomic<uint64_t> accept_faults_{0};
   std::atomic<uint64_t> accept_transient_legacy_{0};
   std::atomic<bool> drained_cleanly_{true};
+
+  // Overload counters.
+  std::atomic<uint64_t> shed_queue_{0};
+  std::atomic<uint64_t> shed_memory_{0};
+  std::atomic<uint64_t> shed_deadline_{0};
+
+  // Durability counters + the periodic cache-spill thread.
+  std::atomic<uint64_t> sessions_recovered_{0};
+  std::atomic<uint64_t> sessions_recovery_failed_{0};
+  std::atomic<uint64_t> cache_entries_restored_{0};
+  std::atomic<uint64_t> snapshot_writes_{0};
+  std::atomic<uint64_t> snapshot_failures_{0};
+  std::thread snapshot_thread_;
+  std::mutex snapshot_mu_;
+  std::condition_variable snapshot_cv_;
+  bool snapshot_stop_ = false;  ///< guarded by snapshot_mu_
 };
 
 /// Wire name of a request kind ("open", "append", ..., "invalid").

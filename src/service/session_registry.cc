@@ -1,5 +1,6 @@
 #include "service/session_registry.h"
 
+#include <cstdlib>
 #include <functional>
 #include <utility>
 
@@ -63,10 +64,52 @@ Result<std::shared_ptr<DatasetSession>> SessionRegistry::Open(
   auto session = std::make_shared<DatasetSession>(id, std::move(schema),
                                                   std::move(options));
   Shard& shard = ShardFor(id);
+  std::vector<std::string> evicted_ids;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    EvictExpiredLocked(&shard, Clock::now());
+    EvictExpiredLocked(&shard, Clock::now(), &evicted_ids);
     shard.slots[id] = Slot{session, Clock::now()};
+  }
+  NotifyEvicted(evicted_ids);
+  opened_.fetch_add(1, std::memory_order_relaxed);
+  return session;
+}
+
+Result<std::shared_ptr<DatasetSession>> SessionRegistry::Restore(
+    const std::string& id, Schema schema, FdxOptions options) {
+  // Only ids a prior run could have issued are restorable.
+  if (id.size() < 3 || id.compare(0, 2, "s-") != 0) {
+    return Status::InvalidArgument("cannot restore session id \"" + id +
+                                   "\": not of the form s-<n>");
+  }
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(id.c_str() + 2, &end, 10);
+  if (end == nullptr || *end != '\0' || n == 0) {
+    return Status::InvalidArgument("cannot restore session id \"" + id +
+                                   "\": not of the form s-<n>");
+  }
+  // Reserve the id range first — even if the restore fails below, a
+  // future Open() must never re-issue this id.
+  uint64_t next = next_id_.load(std::memory_order_relaxed);
+  while (next <= n && !next_id_.compare_exchange_weak(
+                          next, n + 1, std::memory_order_relaxed)) {
+  }
+  if (!TryReserveSlot()) {
+    return Status::Unavailable(
+        "session limit reached (" + std::to_string(max_sessions_) +
+        " open); cannot restore \"" + id + "\"");
+  }
+  auto session = std::make_shared<DatasetSession>(id, std::move(schema),
+                                                  std::move(options));
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.slots.emplace(id, Slot{session, Clock::now()});
+    if (!inserted) {
+      live_.fetch_sub(1, std::memory_order_relaxed);
+      return Status::InvalidArgument("session \"" + id +
+                                     "\" already exists; not restored");
+    }
   }
   opened_.fetch_add(1, std::memory_order_relaxed);
   return session;
@@ -75,15 +118,21 @@ Result<std::shared_ptr<DatasetSession>> SessionRegistry::Open(
 Result<std::shared_ptr<DatasetSession>> SessionRegistry::Get(
     const std::string& id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  const auto now = Clock::now();
-  EvictExpiredLocked(&shard, now);
-  auto it = shard.slots.find(id);
-  if (it == shard.slots.end()) {
-    return Status::NotFound("unknown or expired session \"" + id + "\"");
-  }
-  it->second.last_used = now;
-  return it->second.session;
+  std::vector<std::string> evicted_ids;
+  Result<std::shared_ptr<DatasetSession>> result = [&] {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto now = Clock::now();
+    EvictExpiredLocked(&shard, now, &evicted_ids);
+    auto it = shard.slots.find(id);
+    if (it == shard.slots.end()) {
+      return Result<std::shared_ptr<DatasetSession>>(
+          Status::NotFound("unknown or expired session \"" + id + "\""));
+    }
+    it->second.last_used = now;
+    return Result<std::shared_ptr<DatasetSession>>(it->second.session);
+  }();
+  NotifyEvicted(evicted_ids);
+  return result;
 }
 
 bool SessionRegistry::Close(const std::string& id) {
@@ -97,20 +146,24 @@ bool SessionRegistry::Close(const std::string& id) {
 size_t SessionRegistry::EvictExpired() {
   size_t evicted = 0;
   const auto now = Clock::now();
+  std::vector<std::string> evicted_ids;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    evicted += EvictExpiredLocked(shard.get(), now);
+    evicted += EvictExpiredLocked(shard.get(), now, &evicted_ids);
   }
+  NotifyEvicted(evicted_ids);
   return evicted;
 }
 
-size_t SessionRegistry::EvictExpiredLocked(Shard* shard,
-                                           Clock::time_point now) {
+size_t SessionRegistry::EvictExpiredLocked(
+    Shard* shard, Clock::time_point now,
+    std::vector<std::string>* evicted_ids) {
   if (ttl_seconds_ <= 0.0) return 0;
   size_t evicted = 0;
   for (auto it = shard->slots.begin(); it != shard->slots.end();) {
     const std::chrono::duration<double> idle = now - it->second.last_used;
     if (idle.count() > ttl_seconds_) {
+      if (evicted_ids != nullptr) evicted_ids->push_back(it->first);
       it = shard->slots.erase(it);
       ++evicted;
     } else {
@@ -122,6 +175,11 @@ size_t SessionRegistry::EvictExpiredLocked(Shard* shard,
     evicted_.fetch_add(evicted, std::memory_order_relaxed);
   }
   return evicted;
+}
+
+void SessionRegistry::NotifyEvicted(const std::vector<std::string>& ids) {
+  if (ids.empty() || !eviction_listener_) return;
+  eviction_listener_(ids);
 }
 
 SessionRegistry::SolverTotals SessionRegistry::SolverStats() const {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -31,6 +32,12 @@ struct DatasetSession {
   std::mutex mu;        ///< serializes fdx + content mutations
   IncrementalFdx fdx;   ///< guarded by mu
   Fingerprint content;  ///< guarded by mu; framed per appended batch
+  /// Durability hooks (set by the server when --state-dir is active;
+  /// both guarded by mu). IncrementalFdx folds batches into moments and
+  /// drops the rows, so a crash-safe server keeps each batch's encoded
+  /// rows alongside — the snapshot file is the only place they survive.
+  bool retain_batches = false;
+  std::vector<std::string> batches_json;  ///< EncodeBatchRows per append
 };
 
 /// Session table with a hard cap and idle-TTL eviction. Ids are
@@ -58,6 +65,15 @@ class SessionRegistry {
   Result<std::shared_ptr<DatasetSession>> Open(Schema schema,
                                                FdxOptions options);
 
+  /// Re-creates a session under its *original* id (crash recovery from
+  /// a snapshot). Bumps the id counter past the restored id so future
+  /// Open() calls can never collide with it, enforces the same global
+  /// cap as Open(), and rejects duplicate ids. Ids must look like
+  /// "s-<n>" (anything a prior run could have handed out).
+  Result<std::shared_ptr<DatasetSession>> Restore(const std::string& id,
+                                                  Schema schema,
+                                                  FdxOptions options);
+
   /// Looks up a session and marks it used now. kNotFound covers both
   /// never-existed and already-evicted ids.
   Result<std::shared_ptr<DatasetSession>> Get(const std::string& id);
@@ -67,6 +83,15 @@ class SessionRegistry {
 
   /// Evicts every session idle past the TTL; returns how many.
   size_t EvictExpired();
+
+  /// Called with the ids of TTL-evicted sessions, after the shard locks
+  /// are released (the listener may do file I/O). Set once, before the
+  /// registry sees traffic; the server uses it to delete snapshot files
+  /// of sessions that no longer exist.
+  void SetEvictionListener(
+      std::function<void(const std::vector<std::string>&)> listener) {
+    eviction_listener_ = std::move(listener);
+  }
 
   /// Solver-reuse counters summed over the currently open sessions
   /// (closed and evicted sessions drop out of the totals). Reads only
@@ -102,8 +127,14 @@ class SessionRegistry {
   Shard& ShardFor(const std::string& id);
   const Shard& ShardFor(const std::string& id) const;
 
-  /// Sweeps one shard; caller holds its lock. Decrements live_.
-  size_t EvictExpiredLocked(Shard* shard, Clock::time_point now);
+  /// Sweeps one shard; caller holds its lock. Decrements live_. Evicted
+  /// ids are appended to `evicted_ids` (when non-null) so the caller
+  /// can notify the eviction listener after unlocking.
+  size_t EvictExpiredLocked(Shard* shard, Clock::time_point now,
+                            std::vector<std::string>* evicted_ids = nullptr);
+
+  /// Fires the eviction listener. Call with no shard lock held.
+  void NotifyEvicted(const std::vector<std::string>& ids);
 
   /// Tries to reserve one slot of the global cap; false when full.
   bool TryReserveSlot();
@@ -116,6 +147,7 @@ class SessionRegistry {
   std::atomic<size_t> live_{0};  ///< exact count of open sessions
   std::atomic<uint64_t> opened_{0};
   std::atomic<uint64_t> evicted_{0};
+  std::function<void(const std::vector<std::string>&)> eviction_listener_;
 };
 
 }  // namespace fdx

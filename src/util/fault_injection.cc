@@ -18,6 +18,7 @@ enum class FireMode {
   kAlways,      ///< every visit
   kExactVisit,  ///< the N-th visit only
   kFromVisit,   ///< the N-th visit and every later one
+  kEveryNth,    ///< every N-th visit (N, 2N, 3N, ...)
 };
 
 struct FaultPoint {
@@ -62,6 +63,9 @@ Status ParseElement(const std::string& element, Registry* registry) {
       if (schedule.back() == '+') {
         point->mode = FireMode::kFromVisit;
         schedule.pop_back();
+      } else if (schedule.back() == '%') {
+        point->mode = FireMode::kEveryNth;
+        schedule.pop_back();
       } else {
         point->mode = FireMode::kExactVisit;
       }
@@ -69,7 +73,8 @@ Status ParseElement(const std::string& element, Registry* registry) {
       const unsigned long long n = std::strtoull(schedule.c_str(), &end, 10);
       if (schedule.empty() || end == nullptr || *end != '\0' || n == 0) {
         return Status::InvalidArgument(
-            "FDX_FAULTS: schedule must be *, N, or N+ in '" + trimmed + "'");
+            "FDX_FAULTS: schedule must be *, N, N+, or N% in '" + trimmed +
+            "'");
       }
       point->visit = n;
     }
@@ -161,6 +166,8 @@ bool FaultTriggered(const char* point) {
       return visit == fault.visit;
     case FireMode::kFromVisit:
       return visit >= fault.visit;
+    case FireMode::kEveryNth:
+      return visit % fault.visit == 0;
   }
   return false;
 }

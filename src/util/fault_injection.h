@@ -24,6 +24,7 @@ namespace fdx {
 ///   point:*       same as above
 ///   point:N       fire on the N-th visit only (1-based)
 ///   point:N+      fire on the N-th visit and every later one
+///   point:N%      fire on every N-th visit (N, 2N, 3N, ...)
 ///
 /// Example: `FDX_FAULTS=glasso.sweep,seqlasso.column:1` makes every
 /// graphical-lasso attempt diverge and the first sequential-lasso column
@@ -42,6 +43,16 @@ inline constexpr char kFaultSeqLassoColumn[] = "seqlasso.column";
 inline constexpr char kFaultCsvRead[] = "csv.read";
 inline constexpr char kFaultServiceAccept[] = "service.accept";
 inline constexpr char kFaultServiceEnqueue[] = "service.enqueue";
+/// Socket-level chaos points (see util/socket.cc). Short reads/writes
+/// clamp one transfer to a single byte; `socket.write.eagain` reports a
+/// spurious would-block to non-blocking writers; `conn.drop` makes the
+/// operation behave as if the peer vanished (reset/EOF). Prefer the
+/// `:N%` schedule for the sustained modes — an always-firing EAGAIN
+/// never lets a writer make progress.
+inline constexpr char kFaultSocketReadShort[] = "socket.read.short";
+inline constexpr char kFaultSocketWriteShort[] = "socket.write.short";
+inline constexpr char kFaultSocketWriteEagain[] = "socket.write.eagain";
+inline constexpr char kFaultConnDrop[] = "conn.drop";
 
 /// Arms the faults described by `spec` (see grammar above), replacing any
 /// previously armed set. An empty spec disarms everything. Counters reset.

@@ -13,6 +13,8 @@
 
 #include <utility>
 
+#include "util/fault_injection.h"
+
 namespace fdx {
 
 namespace {
@@ -164,8 +166,12 @@ Status Socket::SendAll(const std::string& data) {
   if (fd_ < 0) return Status::IOError("send on closed socket");
   size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
+    if (FaultsArmed() && FaultTriggered(kFaultConnDrop)) {
+      return Status::IOError("send: injected connection drop");
+    }
+    size_t chunk = data.size() - sent;
+    if (FaultsArmed() && FaultTriggered(kFaultSocketWriteShort)) chunk = 1;
+    const ssize_t n = ::send(fd_, data.data() + sent, chunk, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Errno("send");
@@ -178,6 +184,17 @@ Status Socket::SendAll(const std::string& data) {
 Result<IoOutcome> Socket::SendRaw(const char* data, size_t size) {
   if (fd_ < 0) return Status::IOError("send on closed socket");
   IoOutcome outcome;
+  if (FaultsArmed()) {
+    if (FaultTriggered(kFaultConnDrop)) {
+      outcome.closed = true;
+      return outcome;
+    }
+    if (FaultTriggered(kFaultSocketWriteEagain)) {
+      outcome.would_block = true;
+      return outcome;
+    }
+    if (size > 1 && FaultTriggered(kFaultSocketWriteShort)) size = 1;
+  }
   for (;;) {
     const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
     if (n >= 0) {
@@ -200,6 +217,13 @@ Result<IoOutcome> Socket::SendRaw(const char* data, size_t size) {
 Result<IoOutcome> Socket::RecvRaw(char* buf, size_t size) {
   if (fd_ < 0) return Status::IOError("recv on closed socket");
   IoOutcome outcome;
+  if (FaultsArmed()) {
+    if (FaultTriggered(kFaultConnDrop)) {
+      outcome.closed = true;
+      return outcome;
+    }
+    if (size > 1 && FaultTriggered(kFaultSocketReadShort)) size = 1;
+  }
   for (;;) {
     const ssize_t n = ::recv(fd_, buf, size, 0);
     if (n > 0) {
@@ -238,8 +262,14 @@ Status Socket::ReadLine(std::string* line, size_t max_bytes) {
                                      std::to_string(max_bytes) + " bytes");
     }
     if (fd_ < 0) return Status::NotFound("end of stream");
+    if (FaultsArmed() && FaultTriggered(kFaultConnDrop)) {
+      buffer_.clear();
+      return Status::NotFound("end of stream (injected connection drop)");
+    }
     char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    size_t want = sizeof(chunk);
+    if (FaultsArmed() && FaultTriggered(kFaultSocketReadShort)) want = 1;
+    const ssize_t n = ::recv(fd_, chunk, want, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {

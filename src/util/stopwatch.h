@@ -44,6 +44,15 @@ class Deadline {
 
   double budget_seconds() const { return budget_seconds_; }
 
+  /// Seconds left before expiry: 0 once expired, budget_seconds() for
+  /// an unlimited deadline (callers treat non-positive budgets as "no
+  /// limit", so the convention carries through).
+  double remaining_seconds() const {
+    if (budget_seconds_ <= 0.0) return budget_seconds_;
+    const double left = budget_seconds_ - watch_.ElapsedSeconds();
+    return left > 0.0 ? left : 0.0;
+  }
+
  private:
   double budget_seconds_;
   Stopwatch watch_;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <vector>
 
 #include "data/csv.h"
 
@@ -84,12 +85,32 @@ TEST_F(FaultInjectionTest, ReArmingResetsCounters) {
   EXPECT_TRUE(FaultTriggered("p"));  // counter restarted
 }
 
+TEST_F(FaultInjectionTest, EveryNthFiresOnMultiples) {
+  ASSERT_TRUE(ArmFaults("p:3%").ok());
+  // Fires on visits 3, 6, 9, ... — a sustained fault *rate*, unlike N
+  // (one-shot) or N+ (permanent). This is what keeps an always-on
+  // socket fault from wedging an event loop: most visits still succeed.
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(FaultTriggered("p"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+}
+
+TEST_F(FaultInjectionTest, EveryFirstIsAlways) {
+  ASSERT_TRUE(ArmFaults("p:1%").ok());
+  EXPECT_TRUE(FaultTriggered("p"));
+  EXPECT_TRUE(FaultTriggered("p"));
+}
+
 TEST_F(FaultInjectionTest, MalformedSpecsRejected) {
   EXPECT_EQ(ArmFaults("p:").code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(ArmFaults(":3").code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(ArmFaults("p:0").code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(ArmFaults("p:abc").code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(ArmFaults("p:3x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFaults("p:%").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFaults("p:0%").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFaults("p:3%%").code(), StatusCode::kInvalidArgument);
   EXPECT_FALSE(FaultsArmed());  // a bad spec arms nothing
 }
 

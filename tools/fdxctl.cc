@@ -15,17 +15,36 @@
 // --options / --rows / --table values are embedded verbatim as JSON.
 // --timeout=SEC (any op) bounds both the connect and the wait for the
 // response line; an expired deadline exits 6 without a response.
+// --deadline=SEC (any op) asks the *server* to shed the request if it
+// cannot start within SEC (adds "deadline_seconds" to the request).
+//
+// --retries=N re-attempts a failed request up to N extra times with
+// exponential backoff plus jitter (--retry-base-ms=MS, default 100,
+// doubling per attempt; a server-sent retry_after hint extends the
+// wait). Retryable outcomes:
+//   exit 3 (connect failure)   — always; the daemon may be restarting
+//   exit 5 (busy/Unavailable)  — always; shedding asks for exactly this
+//   exit 4/6 (timeouts)        — only for idempotent ops (discover,
+//                                status, sleep); a timed-out open or
+//                                append may have been applied, and
+//                                replaying it would duplicate state
+// Intermediate failures go to stderr; only the final response is
+// printed.
 //
 // The raw response line is printed to stdout. Exit codes: 0 ok,
 // 1 server-reported error, 2 usage, 3 connect failure, 4 server-
 // reported timeout, 5 busy (Unavailable — back off and retry),
 // 6 client-side deadline (--timeout) expired.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/json_parser.h"
@@ -71,7 +90,10 @@ int Usage() {
       "  discover (--session=ID | --csv-file=PATH | --csv-path=PATH |\n"
       "            --table='{...}') [--options='{...}']\n"
       "  status [--text] | shutdown | sleep --seconds=S | raw --json='{...}'\n"
-      "  any op: --timeout=SEC (connect + response deadline; exit 6)\n");
+      "  any op: --timeout=SEC (connect + response deadline; exit 6)\n"
+      "          --deadline=SEC (server-side deadline for the request)\n"
+      "          --retries=N --retry-base-ms=MS (backoff on 3/5, and on\n"
+      "          4/6 for idempotent ops)\n");
   return 2;
 }
 
@@ -176,6 +198,17 @@ Result<std::string> BuildRequest(const std::string& op, const Args& args) {
   }
 
   if (!options.empty()) request += ",\"options\":" + options;
+  const std::string deadline = args.Get("deadline");
+  if (!deadline.empty()) {
+    const double seconds = std::atof(deadline.c_str());
+    if (seconds <= 0.0) {
+      return Status::InvalidArgument("--deadline must be a positive number");
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", seconds);
+    request += ",\"deadline_seconds\":";
+    request += buffer;
+  }
   return request + "}";
 }
 
@@ -190,6 +223,47 @@ int ExitCodeFor(const std::string& response) {
   if (code == "Unavailable") return 5;
   if (code == "Timeout") return 4;
   return 1;
+}
+
+/// One connect → send → read round trip. `response` is empty when the
+/// failure happened before a response line arrived.
+int RunAttempt(uint16_t port, double timeout, const std::string& request,
+               std::string* response) {
+  response->clear();
+  Result<Socket> sock = Socket::ConnectLoopback(port, timeout);
+  if (!sock.ok()) {
+    std::fprintf(stderr, "fdxctl: %s\n", sock.status().ToString().c_str());
+    return sock.status().code() == StatusCode::kTimeout ? 6 : 3;
+  }
+  if (timeout > 0.0) {
+    // Read deadline: a wedged daemon makes ReadLine return kTimeout
+    // instead of blocking forever.
+    Status armed = sock->SetReadTimeout(timeout);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "fdxctl: %s\n", armed.ToString().c_str());
+      return 3;
+    }
+  }
+  Status sent = sock->SendAll(request + "\n");
+  if (!sent.ok()) {
+    std::fprintf(stderr, "fdxctl: %s\n", sent.ToString().c_str());
+    return 3;
+  }
+  Status read = sock->ReadLine(response);
+  if (!read.ok()) {
+    response->clear();
+    std::fprintf(stderr, "fdxctl: %s\n", read.ToString().c_str());
+    return read.code() == StatusCode::kTimeout ? 6 : 3;
+  }
+  return ExitCodeFor(*response);
+}
+
+/// Server-suggested wait before the next attempt, 0 when absent.
+double RetryAfterSeconds(const std::string& response) {
+  if (response.empty()) return 0.0;
+  Result<JsonValue> parsed = JsonValue::Parse(response);
+  if (!parsed.ok()) return 0.0;
+  return parsed->NumberOr("retry_after", 0.0);
 }
 
 int Main(int argc, char** argv) {
@@ -213,31 +287,38 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "fdxctl: --timeout must be non-negative\n");
     return 2;
   }
-  Result<Socket> sock = Socket::ConnectLoopback(port, timeout);
-  if (!sock.ok()) {
-    std::fprintf(stderr, "fdxctl: %s\n", sock.status().ToString().c_str());
-    return sock.status().code() == StatusCode::kTimeout ? 6 : 3;
+  const int retries = std::atoi(args.Get("retries", "0").c_str());
+  const double base_ms = std::atof(args.Get("retry-base-ms", "100").c_str());
+  if (retries < 0 || base_ms <= 0.0) {
+    std::fprintf(stderr,
+                 "fdxctl: --retries must be >= 0, --retry-base-ms > 0\n");
+    return 2;
   }
-  if (timeout > 0.0) {
-    // Read deadline: a wedged daemon makes ReadLine return kTimeout
-    // instead of blocking forever.
-    Status armed = sock->SetReadTimeout(timeout);
-    if (!armed.ok()) {
-      std::fprintf(stderr, "fdxctl: %s\n", armed.ToString().c_str());
-      return 3;
-    }
-  }
-  Status sent = sock->SendAll(request.value() + "\n");
-  if (!sent.ok()) {
-    std::fprintf(stderr, "fdxctl: %s\n", sent.ToString().c_str());
-    return 3;
-  }
+  // Replaying a timed-out open/append could duplicate server state; see
+  // the retry policy in the header comment.
+  const bool idempotent = op == "discover" || op == "status" || op == "sleep";
+  std::mt19937 rng(std::random_device{}());
+
   std::string response;
-  Status read = sock->ReadLine(&response);
-  if (!read.ok()) {
-    std::fprintf(stderr, "fdxctl: %s\n", read.ToString().c_str());
-    return read.code() == StatusCode::kTimeout ? 6 : 3;
+  int code = 0;
+  for (int attempt = 0;; ++attempt) {
+    code = RunAttempt(port, timeout, request.value(), &response);
+    const bool retryable =
+        code == 3 || code == 5 || ((code == 4 || code == 6) && idempotent);
+    if (code == 0 || attempt >= retries || !retryable) break;
+    const double backoff_ms =
+        base_ms * static_cast<double>(1 << std::min(attempt, 10)) +
+        std::uniform_real_distribution<double>(0.0, base_ms)(rng);
+    const double wait_ms =
+        std::max(backoff_ms, RetryAfterSeconds(response) * 1000.0);
+    std::fprintf(stderr,
+                 "fdxctl: attempt %d/%d failed (exit %d), retrying in %.0f ms\n",
+                 attempt + 1, retries + 1, code, wait_ms);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(wait_ms));
   }
+
+  if (response.empty()) return code;  // never got a response line
   if (op == "status" && args.Has("text")) {
     Result<JsonValue> parsed = JsonValue::Parse(response);
     if (parsed.ok() && parsed->BoolOr("ok", false)) {
@@ -247,7 +328,7 @@ int Main(int argc, char** argv) {
     // Fall through to the raw line for errors (and their exit codes).
   }
   std::printf("%s\n", response.c_str());
-  return ExitCodeFor(response);
+  return code;
 }
 
 }  // namespace

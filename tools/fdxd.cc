@@ -28,15 +28,36 @@
 //                               don't override them
 //   --debug-ops         enable the test-only `sleep` op
 //
-// Exit codes: 0 clean shutdown (jobs drained), 1 startup failure or
-// unclean drain, 2 usage.
+// Robustness flags (DESIGN.md §13):
+//   --state-dir=PATH    durable mode: snapshot sessions + result cache
+//                       under PATH; on startup the daemon replays the
+//                       snapshots and serves bit-identical results
+//   --snapshot-interval=SEC  cache spill period in durable mode (default 5)
+//   --default-deadline=SEC   server-side deadline applied to requests
+//                            that don't send "deadline_seconds" (0 = none)
+//   --shed-watermark=F  shed new discover jobs once queue depth crosses
+//                       F * queue capacity (0 disables shedding)
+//   --shed-rss-mb=N     shed new discover jobs above N MiB RSS (0 = off)
+//   --shed-retry-after=SEC   retry_after hint on shed responses (default 0.2)
+//
+// SIGTERM/SIGINT trigger the same graceful drain as a `shutdown`
+// request.
+//
+// Exit codes: 0 clean client-requested shutdown (jobs drained), 1
+// startup failure or unclean drain, 2 usage, 3 clean signal-initiated
+// shutdown (so supervisors can tell a drained SIGTERM from an operator
+// `fdxctl shutdown`).
 
+#include <signal.h>
 #include <sys/resource.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/server.h"
@@ -53,7 +74,10 @@ int Usage() {
                "            [--session-shards=N] [--drain-seconds=SEC]\n"
                "            [--cache-capacity=N] [--cache-shards=N]\n"
                "            [--max-pipeline-depth=N] [--lambda=L]\n"
-               "            [--time-budget=SEC] [--debug-ops]\n");
+               "            [--time-budget=SEC] [--debug-ops]\n"
+               "            [--state-dir=PATH] [--snapshot-interval=SEC]\n"
+               "            [--default-deadline=SEC] [--shed-watermark=F]\n"
+               "            [--shed-rss-mb=N] [--shed-retry-after=SEC]\n");
   return 2;
 }
 
@@ -127,6 +151,23 @@ int Main(int argc, char** argv) {
           std::atof(value("--time-budget=").c_str());
     } else if (arg == "--debug-ops") {
       options.enable_debug_ops = true;
+    } else if (arg.rfind("--state-dir=", 0) == 0) {
+      options.state_dir = value("--state-dir=");
+    } else if (arg.rfind("--snapshot-interval=", 0) == 0) {
+      options.snapshot_interval_seconds =
+          std::atof(value("--snapshot-interval=").c_str());
+    } else if (arg.rfind("--default-deadline=", 0) == 0) {
+      options.default_deadline_seconds =
+          std::atof(value("--default-deadline=").c_str());
+    } else if (arg.rfind("--shed-watermark=", 0) == 0) {
+      options.shed_queue_watermark =
+          std::atof(value("--shed-watermark=").c_str());
+    } else if (arg.rfind("--shed-rss-mb=", 0) == 0) {
+      options.shed_max_rss_mb =
+          static_cast<size_t>(std::atoi(value("--shed-rss-mb=").c_str()));
+    } else if (arg.rfind("--shed-retry-after=", 0) == 0) {
+      options.shed_retry_after_seconds =
+          std::atof(value("--shed-retry-after=").c_str());
     } else {
       std::fprintf(stderr, "fdxd: unknown flag %s\n", arg.c_str());
       return Usage();
@@ -135,12 +176,40 @@ int Main(int argc, char** argv) {
 
   RaiseFdLimit();
 
+  // SIGTERM/SIGINT must drain, not kill. The signals are blocked in
+  // every thread (spawned threads inherit this mask) and consumed by a
+  // dedicated sigwait thread — signal-safe by construction, since the
+  // handler work (server.Shutdown()) runs in ordinary thread context.
+  sigset_t signal_mask;
+  sigemptyset(&signal_mask);
+  sigaddset(&signal_mask, SIGTERM);
+  sigaddset(&signal_mask, SIGINT);
+  sigaddset(&signal_mask, SIGUSR1);  // wake-up for clean sigwait exit
+  pthread_sigmask(SIG_BLOCK, &signal_mask, nullptr);
+
   FdxServer server(options);
   const Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "fdxd: %s\n", started.ToString().c_str());
     return 1;
   }
+
+  std::atomic<bool> signal_shutdown{false};
+  std::atomic<bool> exiting{false};
+  std::thread signal_thread([&] {
+    for (;;) {
+      int sig = 0;
+      if (sigwait(&signal_mask, &sig) != 0) continue;
+      if (exiting.load()) return;
+      if (sig == SIGTERM || sig == SIGINT) {
+        std::fprintf(stderr, "fdxd: caught %s, draining\n",
+                     sig == SIGTERM ? "SIGTERM" : "SIGINT");
+        signal_shutdown.store(true);
+        server.Shutdown();
+        return;
+      }
+    }
+  });
   if (!port_file.empty()) {
     std::ofstream out(port_file, std::ios::trunc);
     out << server.port() << "\n";
@@ -155,12 +224,17 @@ int Main(int argc, char** argv) {
               server.io_mode() == IoMode::kEventLoop ? "epoll" : "threads");
   std::fflush(stdout);
 
-  server.Wait();  // returns after a `shutdown` request finished draining
+  server.Wait();  // returns once a `shutdown` request or signal drained
+
+  exiting.store(true);
+  ::kill(::getpid(), SIGUSR1);  // wake sigwait if no signal ever arrived
+  signal_thread.join();
+
   if (!server.drained_cleanly()) {
     std::fprintf(stderr, "fdxd: drain budget expired with jobs in flight\n");
     return 1;
   }
-  return 0;
+  return signal_shutdown.load() ? 3 : 0;
 }
 
 }  // namespace

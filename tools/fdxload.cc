@@ -36,8 +36,23 @@
 //   --label=STR                  run label in the output (default io mode)
 //   --out=PATH                   benchmark file (default BENCH_service.json)
 //
-// Exit codes: 0 success, 1 runtime failure (connect/protocol errors),
-// 2 usage.
+// Chaos mode (--chaos) turns the harness into a crash-consistency
+// checker: every --chaos-kill-every'th client abruptly closes its
+// socket halfway through its mix — mid-pipeline, with requests still in
+// flight — then reconnects, resumes its *existing* session, and resends
+// the requests whose responses were lost. The run verifies response
+// integrity under this abuse: every successful discover response across
+// the whole fleet must be byte-identical to the first one seen (they
+// all query the same shared table), every line must parse, and
+// responses must reconcile one-to-one with requests. Kill/reconnect/
+// resend counters land in a "chaos" object in the run JSON.
+//
+// If the daemon disappears mid-run the harness does not crash or hang:
+// a stall watchdog aborts the run, the partial results are written with
+// "aborted": true, and the exit code is 1.
+//
+// Exit codes: 0 success, 1 runtime failure (connect/protocol errors,
+// chaos verification failure, aborted run), 2 usage.
 
 #include <sys/resource.h>
 
@@ -102,6 +117,8 @@ struct Config {
   size_t pipeline = 4;
   size_t discover_pct = 60;
   size_t append_pct = 20;
+  bool chaos = false;
+  size_t chaos_kill_every = 3;  ///< every N-th client gets killed once
   std::string label;
   std::string out = "BENCH_service.json";
 };
@@ -114,6 +131,7 @@ int Usage() {
       "               [--queue-capacity=N] [--cache-capacity=N]\n"
       "               [--clients=N] [--requests=N] [--pipeline=N]\n"
       "               [--discover-pct=P] [--append-pct=P]\n"
+      "               [--chaos] [--chaos-kill-every=N]\n"
       "               [--label=STR] [--out=PATH]\n");
   return 2;
 }
@@ -142,6 +160,9 @@ struct Client {
   std::deque<std::pair<size_t, Clock::time_point>> in_flight;
   size_t sent = 0;      ///< mix requests sent
   size_t received = 0;  ///< mix responses received
+  bool setup_done = false;   ///< open response processed (phase-2 member)
+  bool killed = false;       ///< this client already took its chaos kill
+  bool kill_pending = false; ///< kill deferred to the end of OnReadable
 };
 
 struct TypeStats {
@@ -162,6 +183,7 @@ class LoadEngine {
       return false;
     }
     epoll_ = std::move(epoll).value();
+    port_ = port;
     pending_setup_ = config_.clients;
     pending_runs_ = config_.clients;
 
@@ -195,19 +217,39 @@ class LoadEngine {
       Flush(client.get());
       UpdateInterest(client.get());
     }
-    if (!Loop([this] { return pending_runs_ == 0; })) return false;
+    const bool completed = Loop([this] { return pending_runs_ == 0; });
+    // Even an aborted run reports how long it actually ran.
     elapsed_seconds_ = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!completed) return false;
+    if (fingerprint_mismatches_ > 0 || torn_lines_ > 0) {
+      std::fprintf(stderr,
+                   "fdxload: chaos verification FAILED: %llu fingerprint "
+                   "mismatches, %llu torn lines\n",
+                   static_cast<unsigned long long>(fingerprint_mismatches_),
+                   static_cast<unsigned long long>(torn_lines_));
+      return false;
+    }
     return failures_ == 0;
   }
 
   double elapsed_seconds() const { return elapsed_seconds_; }
   uint64_t total_responses() const { return total_responses_; }
   const TypeStats& stats(size_t type) const { return stats_[type]; }
+  uint64_t chaos_kills() const { return chaos_kills_; }
+  uint64_t chaos_reconnects() const { return chaos_reconnects_; }
+  uint64_t chaos_resent() const { return chaos_resent_; }
+  uint64_t fingerprint_mismatches() const { return fingerprint_mismatches_; }
+  uint64_t torn_lines() const { return torn_lines_; }
 
  private:
   /// Pumps the epoll loop until `finished` holds (or the fleet dies).
+  /// A stall watchdog guarantees forward progress or a clean abort: if
+  /// no response arrives and no client fails for ~30s (a vanished or
+  /// wedged daemon), the run aborts instead of hanging forever.
   bool Loop(const std::function<bool()>& finished) {
     std::vector<Epoll::Event> events;
+    uint64_t last_mark = ProgressMark();
+    Clock::time_point last_progress = Clock::now();
     while (!finished()) {
       if (live_clients() == 0) {
         std::fprintf(stderr, "fdxload: all connections failed\n");
@@ -215,6 +257,22 @@ class LoadEngine {
       }
       if (!epoll_.Wait(5000, &events).ok()) {
         std::fprintf(stderr, "fdxload: epoll wait failed\n");
+        return false;
+      }
+      // Wall-clock watchdog, deliberately not a wait counter: under
+      // fragmented I/O (e.g. injected one-byte reads) a single response
+      // takes hundreds of instant event rounds, and counting those as
+      // stalls would abort a run that is progressing fine.
+      const uint64_t mark = ProgressMark();
+      if (mark != last_mark) {
+        last_mark = mark;
+        last_progress = Clock::now();
+      } else if (std::chrono::duration<double>(Clock::now() - last_progress)
+                     .count() > 30.0) {
+        std::fprintf(stderr,
+                     "fdxload: no progress for 30s with %zu clients live; "
+                     "aborting (daemon gone?)\n",
+                     live_clients());
         return false;
       }
       for (const Epoll::Event& event : events) {
@@ -237,10 +295,23 @@ class LoadEngine {
     return clients_.size() - failed_ - done_;
   }
 
+  /// Monotone activity counter for the stall watchdog.
+  uint64_t ProgressMark() const {
+    return responses_seen_ + failed_ + done_;
+  }
+
   void OnConnected(Client* client) {
     Status connected = client->sock.FinishConnect();
     if (!connected.ok()) {
       Fail(client, "connect", connected.ToString());
+      return;
+    }
+    if (!client->session_id.empty()) {
+      // Chaos reconnect: the session outlives the connection server-side,
+      // so the client resumes it directly and resends the lost requests.
+      client->phase = Client::Phase::kRunning;
+      FillPipeline(client);
+      Flush(client);
       return;
     }
     client->phase = Client::Phase::kOpening;
@@ -333,9 +404,18 @@ class LoadEngine {
     if (start > 0) client->read_buf.erase(0, start);
     FillPipeline(client);
     Flush(client);
+    if (client->kill_pending) {
+      // Deferred from OnResponse so the kill never races the buffered
+      // lines of the connection it is about to destroy — and run AFTER
+      // the refill so the connection dies with requests genuinely in
+      // flight (the torn-pipeline case the resend path must absorb).
+      client->kill_pending = false;
+      KillAndReconnect(client);
+    }
   }
 
   void OnResponse(Client* client, const std::string& line) {
+    ++responses_seen_;
     if (client->in_flight.empty()) {
       Fail(client, "protocol", "response without a pending request");
       return;
@@ -348,6 +428,7 @@ class LoadEngine {
     stats_[type].latencies_ms.push_back(latency_ms);
 
     Result<JsonValue> parsed = JsonValue::Parse(line);
+    if (!parsed.ok()) ++torn_lines_;
     const bool ok = parsed.ok() && parsed->BoolOr("ok", false);
     if (!ok) ++stats_[type].errors;
 
@@ -358,8 +439,20 @@ class LoadEngine {
       }
       client->session_id = parsed->StringOr("session", "");
       client->phase = Client::Phase::kRunning;
+      client->setup_done = true;
       --pending_setup_;
       return;  // the timed phase fills the pipeline
+    }
+
+    if (type == kDiscover && ok) {
+      // Every client discovers the identical shared table, so every
+      // successful response must be byte-identical to the first one —
+      // a duplicated, interleaved, or torn result cannot pass this.
+      if (discover_reference_.empty()) {
+        discover_reference_ = line;
+      } else if (line != discover_reference_) {
+        ++fingerprint_mismatches_;
+      }
     }
 
     ++client->received;
@@ -370,12 +463,51 @@ class LoadEngine {
       client->sock.ShutdownBoth();
       ++done_;
       --pending_runs_;
+      return;
     }
+    if (config_.chaos && !client->killed &&
+        config_.chaos_kill_every > 0 &&
+        client->id % config_.chaos_kill_every == 0 &&
+        client->received ==
+            std::max<size_t>(1, config_.requests_per_client / 2)) {
+      client->killed = true;
+      client->kill_pending = true;  // executed after the read-buffer drain
+    }
+  }
+
+  /// Chaos: abruptly drop the connection mid-pipeline, then reconnect
+  /// and resume the same session, resending what was lost. The requests
+  /// are regenerated deterministically from the per-index mix, so the
+  /// retry sends exactly the request whose response never arrived.
+  void KillAndReconnect(Client* client) {
+    ++chaos_kills_;
+    chaos_resent_ += client->in_flight.size();
+    epoll_.Remove(client->sock.fd());
+    client->sock.ShutdownBoth();
+    client->in_flight.clear();
+    client->read_buf.clear();
+    client->write_buf.clear();
+    client->write_off = 0;
+    client->sent = client->received;  // regenerate the lost tail
+    Result<Socket> sock = Socket::ConnectLoopbackAsync(port_);
+    if (!sock.ok()) {
+      Fail(client, "reconnect", sock.status().ToString());
+      return;
+    }
+    client->sock = std::move(sock).value();
+    client->phase = Client::Phase::kConnecting;
+    if (!epoll_.Add(client->sock.fd(), client->id, /*want_write=*/true).ok()) {
+      Fail(client, "reconnect", "epoll add failed");
+      return;
+    }
+    client->want_write_armed = true;
+    ++chaos_reconnects_;
   }
 
   void Flush(Client* client) {
     if (client->phase == Client::Phase::kDone ||
-        client->phase == Client::Phase::kFailed) {
+        client->phase == Client::Phase::kFailed ||
+        client->phase == Client::Phase::kConnecting) {
       return;
     }
     while (client->write_off < client->write_buf.size()) {
@@ -396,7 +528,10 @@ class LoadEngine {
 
   void UpdateInterest(Client* client) {
     if (client->phase == Client::Phase::kDone ||
-        client->phase == Client::Phase::kFailed) {
+        client->phase == Client::Phase::kFailed ||
+        client->phase == Client::Phase::kConnecting) {
+      // A connecting socket stays write-armed until OnConnected; poking
+      // epoll here would disarm the connect-completion signal.
       return;
     }
     const bool want_write = client->write_off < client->write_buf.size();
@@ -413,8 +548,9 @@ class LoadEngine {
                    static_cast<unsigned long long>(client->id), where,
                    detail.c_str());
     }
-    const bool was_setup = client->phase == Client::Phase::kConnecting ||
-                           client->phase == Client::Phase::kOpening;
+    // A chaos reconnect puts a mid-run client back into kConnecting, so
+    // the phase alone cannot tell setup from run — setup_done can.
+    const bool was_setup = !client->setup_done;
     client->phase = Client::Phase::kFailed;
     epoll_.Remove(client->sock.fd());
     client->sock.ShutdownBoth();
@@ -430,13 +566,21 @@ class LoadEngine {
   const Config config_;
   Epoll epoll_;
   std::unordered_map<uint64_t, std::unique_ptr<Client>> clients_;
+  uint16_t port_ = 0;
   size_t pending_setup_ = 0;
   size_t pending_runs_ = 0;
   size_t done_ = 0;
   size_t failed_ = 0;
   uint64_t failures_ = 0;
   uint64_t total_responses_ = 0;
+  uint64_t responses_seen_ = 0;
   double elapsed_seconds_ = 0.0;
+  uint64_t chaos_kills_ = 0;
+  uint64_t chaos_reconnects_ = 0;
+  uint64_t chaos_resent_ = 0;
+  uint64_t fingerprint_mismatches_ = 0;
+  uint64_t torn_lines_ = 0;
+  std::string discover_reference_;
   TypeStats stats_[kTypeCount];
 };
 
@@ -447,13 +591,17 @@ double Percentile(std::vector<double>* sorted_ms, double p) {
   return (*sorted_ms)[std::min(index, sorted_ms->size() - 1)];
 }
 
-/// Renders this run's JSON object.
+/// Renders this run's JSON object. `aborted` marks a run that ended
+/// early (daemon vanished, verification failed) — its numbers are the
+/// partial truth, not a completed measurement.
 std::string RenderRun(const Config& config, const std::string& label,
-                      LoadEngine* engine) {
+                      LoadEngine* engine, bool aborted) {
   JsonWriter json;
   json.BeginObject();
   json.Key("label");
   json.String(label);
+  json.Key("aborted");
+  json.Bool(aborted);
   json.Key("io_mode");
   json.String(config.self_host
                   ? (config.io_mode == IoMode::kEventLoop ? "epoll" : "threads")
@@ -498,6 +646,21 @@ std::string RenderRun(const Config& config, const std::string& label,
     json.EndObject();
   }
   json.EndObject();
+  if (config.chaos) {
+    json.Key("chaos");
+    json.BeginObject();
+    json.Key("kills");
+    json.Integer(static_cast<int64_t>(engine->chaos_kills()));
+    json.Key("reconnects");
+    json.Integer(static_cast<int64_t>(engine->chaos_reconnects()));
+    json.Key("resent_requests");
+    json.Integer(static_cast<int64_t>(engine->chaos_resent()));
+    json.Key("fingerprint_mismatches");
+    json.Integer(static_cast<int64_t>(engine->fingerprint_mismatches()));
+    json.Key("torn_lines");
+    json.Integer(static_cast<int64_t>(engine->torn_lines()));
+    json.EndObject();
+  }
   json.EndObject();
   return json.TakeString();
 }
@@ -593,6 +756,11 @@ int Main(int argc, char** argv) {
     } else if (arg.rfind("--append-pct=", 0) == 0) {
       config.append_pct =
           static_cast<size_t>(std::atoi(value("--append-pct=").c_str()));
+    } else if (arg == "--chaos") {
+      config.chaos = true;
+    } else if (arg.rfind("--chaos-kill-every=", 0) == 0) {
+      config.chaos_kill_every = static_cast<size_t>(
+          std::atoi(value("--chaos-kill-every=").c_str()));
     } else if (arg.rfind("--label=", 0) == 0) {
       config.label = value("--label=");
     } else if (arg.rfind("--out=", 0) == 0) {
@@ -651,9 +819,10 @@ int Main(int argc, char** argv) {
   LoadEngine engine(config);
   const bool ok = engine.Run(port);
   if (server) server->Shutdown();
-  if (!ok) return 1;
 
-  const std::string run_json = RenderRun(config, label, &engine);
+  // Aborted runs still record their partial results (marked as such) —
+  // a crashed daemon should leave evidence, not an empty file.
+  const std::string run_json = RenderRun(config, label, &engine, !ok);
   if (!WriteBenchFile(config.out, label, run_json)) return 1;
 
   const double throughput =
@@ -662,12 +831,23 @@ int Main(int argc, char** argv) {
                 engine.elapsed_seconds()
           : 0.0;
   std::printf("fdxload[%s]: %llu responses from %zu clients in %.2fs "
-              "(%.0f req/s) -> %s\n",
+              "(%.0f req/s)%s -> %s\n",
               label.c_str(),
               static_cast<unsigned long long>(engine.total_responses()),
               config.clients, engine.elapsed_seconds(), throughput,
-              config.out.c_str());
-  return 0;
+              ok ? "" : " [ABORTED]", config.out.c_str());
+  if (config.chaos) {
+    std::printf("fdxload[%s]: chaos: %llu kills, %llu reconnects, %llu "
+                "resent, %llu fingerprint mismatches, %llu torn lines\n",
+                label.c_str(),
+                static_cast<unsigned long long>(engine.chaos_kills()),
+                static_cast<unsigned long long>(engine.chaos_reconnects()),
+                static_cast<unsigned long long>(engine.chaos_resent()),
+                static_cast<unsigned long long>(
+                    engine.fingerprint_mismatches()),
+                static_cast<unsigned long long>(engine.torn_lines()));
+  }
+  return ok ? 0 : 1;
 }
 
 }  // namespace
