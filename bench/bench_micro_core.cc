@@ -17,8 +17,17 @@
 //     structures (block-diagonal, banded, dense, mixed), plus a
 //     warm-start cold-vs-warm cell, written as BENCH_glasso.json with a
 //     per-stage breakdown (screen / decompose / solve / assemble).
+//
+//   bench_micro_core --oocore [--rows-max=N] [--attrs=K] [--out=PATH]
+//     Out-of-core columnar store: CSV ingest throughput into a spilled
+//     chunk store, streaming-transform time vs the in-memory transform
+//     (bit-identity checked), and process peak RSS, at 100k / 1M / 5M
+//     rows, written as BENCH_store.json. --max-in-memory-rows caps the
+//     in-memory leg (skipped above it); --cache-mb bounds the decoded
+//     column cache of the streaming leg.
 
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <cmath>
@@ -32,12 +41,16 @@
 #include "bench_util.h"
 #include "core/fdx.h"
 #include "core/transform.h"
+#include "data/csv.h"
 #include "eval/report.h"
 #include "fd/partition.h"
 #include "linalg/factorization.h"
 #include "linalg/glasso.h"
 #include "linalg/stats.h"
+#include "store/chunked_table.h"
+#include "store/stream_transform.h"
 #include "synth/generator.h"
+#include "util/file_io.h"
 #include "util/json_writer.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -665,6 +678,191 @@ int RunGlassoReport(const bench::Flags& flags) {
   return 0;
 }
 
+/// Process-lifetime peak RSS in bytes (ru_maxrss is KiB on Linux).
+uint64_t PeakRssBytes() {
+  struct rusage usage = {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+/// One row-count cell of the out-of-core report.
+struct OocoreCase {
+  size_t rows = 0;
+  size_t chunks = 0;
+  double ingest_seconds = 0.0;
+  double chunked_transform_seconds = 0.0;
+  double in_memory_transform_seconds = -1.0;  ///< < 0 means skipped
+  bool bit_identical = true;  ///< vacuously true when in-memory skipped
+  uint64_t peak_rss_bytes = 0;
+};
+
+int RunOocoreReport(const bench::Flags& flags) {
+  const size_t rows_max = flags.GetSize("rows-max", 5000000);
+  const size_t attrs = flags.GetSize("attrs", 12);
+  const size_t chunk_rows = flags.GetSize("chunk-rows", 65536);
+  const size_t max_in_memory_rows =
+      flags.GetSize("max-in-memory-rows", 5000000);
+  const uint64_t cache_bytes =
+      static_cast<uint64_t>(flags.GetSize("cache-mb", 64)) * 1024 * 1024;
+  const std::string out_path = flags.GetString("out", "BENCH_store.json");
+  const std::string work_dir = flags.GetString("work-dir", "bench_oocore");
+
+  (void)RemoveDirectoryRecursive(work_dir);
+  Status made = EnsureDirectory(work_dir);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.ToString().c_str());
+    return 1;
+  }
+  const std::string csv_path = work_dir + "/oocore.csv";
+  const std::string store_dir = work_dir + "/store";
+
+  std::vector<OocoreCase> cases;
+  for (size_t rows : std::vector<size_t>{100000, 1000000, 5000000}) {
+    if (rows > rows_max) continue;
+    OocoreCase cell;
+    cell.rows = rows;
+
+    std::printf("oocore %zu rows x %zu attrs: generating...\n", rows, attrs);
+    const SyntheticDataset ds = MakeData(rows, attrs);
+    Status written = WriteCsv(ds.noisy, csv_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+
+    // Ingest leg: stream the CSV into a spilled chunk store.
+    (void)RemoveDirectoryRecursive(store_dir);
+    ChunkedTable store;
+    bool created = false;
+    Stopwatch ingest_watch;
+    Status ingest = ReadCsvChunked(
+        csv_path, {}, chunk_rows, [&](Table&& chunk) -> Status {
+          if (!created) {
+            FDX_ASSIGN_OR_RETURN(
+                store, ChunkedTable::Create(chunk.schema(), store_dir));
+            created = true;
+          }
+          if (chunk.num_rows() == 0) return Status::OK();
+          return store.AppendBatch(chunk);
+        });
+    if (!ingest.ok()) {
+      std::fprintf(stderr, "%s\n", ingest.ToString().c_str());
+      return 1;
+    }
+    cell.ingest_seconds = ingest_watch.ElapsedSeconds();
+    cell.chunks = store.num_chunks();
+
+    // Streaming transform leg, decoded columns bounded by --cache-mb.
+    StreamTransformOptions stream;
+    stream.column_cache_bytes = cache_bytes;
+    Stopwatch chunked_watch;
+    auto chunked = StreamTransformMoments(store, stream);
+    cell.chunked_transform_seconds = chunked_watch.ElapsedSeconds();
+    if (!chunked.ok()) {
+      std::fprintf(stderr, "%s\n", chunked.status().ToString().c_str());
+      return 1;
+    }
+
+    // In-memory leg (skipped above the cap; the point of the store is
+    // tables where this leg would not fit).
+    if (rows <= max_in_memory_rows) {
+      Stopwatch in_memory_watch;
+      auto in_memory = PairTransformMoments(ds.noisy, {});
+      cell.in_memory_transform_seconds = in_memory_watch.ElapsedSeconds();
+      if (!in_memory.ok()) {
+        std::fprintf(stderr, "%s\n", in_memory.status().ToString().c_str());
+        return 1;
+      }
+      cell.bit_identical =
+          chunked->cov.Subtract(in_memory->cov).MaxAbs() == 0.0;
+    }
+    cell.peak_rss_bytes = PeakRssBytes();
+    cases.push_back(cell);
+  }
+  (void)RemoveDirectoryRecursive(work_dir);
+
+  bool all_identical = true;
+  ReportTable table({"Rows", "Chunks", "Ingest s", "Rows/s", "Chunked s",
+                     "In-memory s", "Identical", "Peak RSS MB"});
+  for (const OocoreCase& cell : cases) {
+    if (!cell.bit_identical) all_identical = false;
+    table.AddRow(
+        {std::to_string(cell.rows), std::to_string(cell.chunks),
+         bench::Score3(cell.ingest_seconds),
+         bench::Score3(cell.ingest_seconds > 0.0
+                           ? static_cast<double>(cell.rows) /
+                                 cell.ingest_seconds
+                           : 0.0),
+         bench::Score3(cell.chunked_transform_seconds),
+         cell.in_memory_transform_seconds < 0.0
+             ? "skipped"
+             : bench::Score3(cell.in_memory_transform_seconds),
+         cell.in_memory_transform_seconds < 0.0
+             ? "-"
+             : (cell.bit_identical ? "yes" : "NO"),
+         std::to_string(cell.peak_rss_bytes / (1024 * 1024))});
+  }
+  std::printf("Out-of-core store (%zu attrs, chunk %zu rows, cache %zu MB)\n%s",
+              attrs, chunk_rows,
+              static_cast<size_t>(cache_bytes / (1024 * 1024)),
+              table.ToString().c_str());
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("store_oocore");
+  json.Key("attrs");
+  json.Integer(static_cast<int64_t>(attrs));
+  json.Key("chunk_rows");
+  json.Integer(static_cast<int64_t>(chunk_rows));
+  json.Key("column_cache_bytes");
+  json.Integer(static_cast<int64_t>(cache_bytes));
+  json.Key("bit_identical");
+  json.Bool(all_identical);
+  json.Key("cases");
+  json.BeginArray();
+  for (const OocoreCase& cell : cases) {
+    json.BeginObject();
+    json.Key("rows");
+    json.Integer(static_cast<int64_t>(cell.rows));
+    json.Key("chunks");
+    json.Integer(static_cast<int64_t>(cell.chunks));
+    json.Key("ingest_seconds");
+    json.Number(cell.ingest_seconds);
+    json.Key("ingest_rows_per_second");
+    json.Number(cell.ingest_seconds > 0.0
+                    ? static_cast<double>(cell.rows) / cell.ingest_seconds
+                    : 0.0);
+    json.Key("chunked_transform_seconds");
+    json.Number(cell.chunked_transform_seconds);
+    json.Key("in_memory_transform_seconds");
+    if (cell.in_memory_transform_seconds < 0.0) {
+      json.Null();
+    } else {
+      json.Number(cell.in_memory_transform_seconds);
+    }
+    json.Key("bit_identical");
+    json.Bool(cell.bit_identical);
+    json.Key("peak_rss_bytes");
+    json.Integer(static_cast<int64_t>(cell.peak_rss_bytes));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  const std::string doc = json.TakeString();
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("Wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "Could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  return all_identical ? 0 : 2;
+}
+
 }  // namespace
 }  // namespace fdx
 
@@ -678,6 +876,9 @@ int main(int argc, char** argv) {
   }
   if (flags.Has("glasso")) {
     return fdx::RunGlassoReport(flags);
+  }
+  if (flags.Has("oocore")) {
+    return fdx::RunOocoreReport(flags);
   }
   return fdx::RunScalingReport(flags);
 }

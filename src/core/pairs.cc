@@ -1,6 +1,6 @@
 #include "core/pairs.h"
 
-#include <numeric>
+#include "util/reservoir.h"
 
 namespace fdx {
 
@@ -28,20 +28,27 @@ void StableSortByCodes(const std::vector<int32_t>& codes, size_t cardinality,
 void AttributePass::Reset(const EncodedTable& encoded,
                           const std::vector<uint32_t>& shuffled, size_t attr,
                           size_t max_pairs, uint64_t attr_seed) {
-  StableSortByCodes(encoded.column_codes(attr), encoded.Cardinality(attr),
-                    shuffled, &order_, &buckets_);
+  Reset(encoded.column_codes(attr), encoded.Cardinality(attr), shuffled,
+        max_pairs, attr_seed);
+}
+
+void AttributePass::Reset(const std::vector<int32_t>& codes,
+                          size_t cardinality,
+                          const std::vector<uint32_t>& shuffled,
+                          size_t max_pairs, uint64_t attr_seed) {
+  StableSortByCodes(codes, cardinality, shuffled, &order_, &buckets_);
   const size_t n = order_.size();
   sampled_ = max_pairs != 0 && max_pairs < n;
   num_pairs_ = n < 2 ? 0 : (sampled_ ? max_pairs : n);
   if (!sampled_) return;
   // Sampled variant: pick max_pairs distinct positions of the sorted
   // sequence (still adjacent pairs, so the distribution matches the
-  // exact transform restricted to a subsample).
-  positions_.resize(n);
-  std::iota(positions_.begin(), positions_.end(), 0);
-  Rng rng(attr_seed);
-  rng.Shuffle(&positions_);
-  positions_.resize(max_pairs);
+  // exact transform restricted to a subsample). A reservoir keeps the
+  // selection O(max_pairs) in memory for out-of-core columns, and the
+  // ascending emission order keeps the gathers sequential.
+  ReservoirSampler sampler(max_pairs, attr_seed);
+  sampler.AddRange(0, static_cast<uint32_t>(n));
+  positions_ = sampler.Sorted();
 }
 
 }  // namespace fdx

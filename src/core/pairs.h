@@ -38,11 +38,23 @@ void StableSortByCodes(const std::vector<int32_t>& codes, size_t cardinality,
 class AttributePass {
  public:
   /// Sorts for attribute `attr`. With max_pairs in (0, n) the pass emits
-  /// max_pairs sampled positions chosen by Rng(attr_seed) (the sampled
-  /// variant of the transform, §5.4); otherwise all n adjacent pairs.
+  /// max_pairs sampled positions chosen by a seeded reservoir over the
+  /// sorted positions (the sampled variant of the transform, §5.4),
+  /// emitted in ascending position order; otherwise all n adjacent
+  /// pairs. The reservoir needs O(max_pairs) memory and its selection
+  /// is a pure function of (n, max_pairs, attr_seed) — independent of
+  /// how the rows were chunked — which is what lets the out-of-core
+  /// path reproduce the in-memory sample exactly.
   void Reset(const EncodedTable& encoded,
              const std::vector<uint32_t>& shuffled, size_t attr,
              size_t max_pairs, uint64_t attr_seed);
+
+  /// Same pass over a bare code column (dense codes in [0, cardinality),
+  /// kNullCode for nulls) — the out-of-core entry point, where there is
+  /// no EncodedTable to point at.
+  void Reset(const std::vector<int32_t>& codes, size_t cardinality,
+             const std::vector<uint32_t>& shuffled, size_t max_pairs,
+             uint64_t attr_seed);
 
   size_t num_pairs() const { return num_pairs_; }
   bool sampled() const { return sampled_; }

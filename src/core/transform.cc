@@ -7,84 +7,12 @@
 #include <utility>
 
 #include "core/pairs.h"
+#include "core/transform_kernels.h"
 #include "util/thread_pool.h"
 
 namespace fdx {
 
 namespace {
-
-/// Per-attribute RNG seeds, forked serially from the parent stream so the
-/// sampled pair selection of one attribute never depends on how many
-/// passes ran before it (or on which thread runs it).
-std::vector<uint64_t> ForkAttributeSeeds(Rng* rng, size_t k) {
-  std::vector<uint64_t> seeds(k);
-  for (size_t attr = 0; attr < k; ++attr) seeds[attr] = rng->engine()();
-  return seeds;
-}
-
-/// Number of pairs one attribute pass emits for an n-row table.
-size_t PairsPerAttribute(size_t n, size_t max_pairs) {
-  return (max_pairs == 0 || max_pairs >= n) ? n : max_pairs;
-}
-
-/// Equality indicator with strict null semantics: a null matches nothing.
-inline uint64_t EqualCodes(int32_t a, int32_t b) {
-  return (a != EncodedTable::kNullCode && a == b) ? 1 : 0;
-}
-
-/// Sequential bit appender over a column's word array. Bits arrive in
-/// index order; whole words are stored once, the trailing partial word
-/// on Flush. The destination words must start zeroed (BitMatrix::Reset)
-/// or be fully overwritten (the writer covers every word it touches).
-class ColumnBitWriter {
- public:
-  explicit ColumnBitWriter(uint64_t* words) : words_(words) {}
-
-  inline void Append(uint64_t bit) {
-    word_ |= bit << shift_;
-    if (++shift_ == 64) {
-      *words_++ = word_;
-      word_ = 0;
-      shift_ = 0;
-    }
-  }
-
-  void Flush() {
-    if (shift_ != 0) *words_ = word_;
-  }
-
- private:
-  uint64_t* words_;
-  uint64_t word_ = 0;
-  unsigned shift_ = 0;
-};
-
-/// Appends one pass's equality bits for column `col` to `writer`. The
-/// full (uncapped) variant streams the sorted order with one gather per
-/// pair — the successor row of pair j is the predecessor row of pair
-/// j+1, so its code is carried over instead of reloaded.
-void AppendPassColumnBits(const EncodedTable& encoded,
-                          const AttributePass& pass, size_t col,
-                          ColumnBitWriter* writer) {
-  const std::vector<int32_t>& codes = encoded.column_codes(col);
-  if (!pass.sampled()) {
-    const std::vector<uint32_t>& order = pass.order();
-    const size_t n = order.size();
-    if (n < 2) return;
-    int32_t prev = codes[order[0]];
-    for (size_t j = 0; j + 1 < n; ++j) {
-      const int32_t cur = codes[order[j + 1]];
-      writer->Append(EqualCodes(prev, cur));
-      prev = cur;
-    }
-    // The wrap pair (order[n-1], order[0]); prev holds codes[order[n-1]].
-    writer->Append(EqualCodes(prev, codes[order[0]]));
-    return;
-  }
-  pass.ForEachPair([&](size_t, size_t a, size_t b) {
-    writer->Append(EqualCodes(codes[a], codes[b]));
-  });
-}
 
 /// Packs one pass's equality bits for every column into `bits`
 /// (num_pairs x k, reused across passes).
@@ -94,7 +22,7 @@ void PackPassBits(const EncodedTable& encoded, const AttributePass& pass,
   bits->Reset(pass.num_pairs(), k);
   for (size_t col = 0; col < k; ++col) {
     ColumnBitWriter writer(bits->column_words(col));
-    AppendPassColumnBits(encoded, pass, col, &writer);
+    AppendPassColumnBits(encoded.column_codes(col), pass, &writer);
     writer.Flush();
   }
 }
@@ -139,11 +67,8 @@ Result<TransformSetup> PrepareTransform(const Table& table,
   }
   TransformSetup setup;
   setup.encoded = EncodedTable::Encode(table);
-  Rng rng(options.seed);
-  setup.shuffled.resize(n);
-  std::iota(setup.shuffled.begin(), setup.shuffled.end(), uint32_t{0});
-  rng.Shuffle(&setup.shuffled);
-  setup.attr_seeds = ForkAttributeSeeds(&rng, k);
+  PrepareTransformStreams(options.seed, n, k, &setup.shuffled,
+                          &setup.attr_seeds);
   setup.per_attr = PairsPerAttribute(n, options.max_pairs_per_attribute);
   return setup;
 }
@@ -202,7 +127,8 @@ Result<BitMatrix> PairTransformPacked(const Table& table,
       watch.Reset();
       ColumnBitWriter writer(bits.column_words(col));
       for (size_t attr = 0; attr < k; ++attr) {
-        AppendPassColumnBits(setup.encoded, passes[attr], col, &writer);
+        AppendPassColumnBits(setup.encoded.column_codes(col), passes[attr],
+                             &writer);
       }
       writer.Flush();
       local.pack += watch.ElapsedSeconds();
@@ -284,23 +210,9 @@ Status AccumulatePasses(const TransformSetup& setup,
           if (pass_cov != nullptr && pass.num_pairs() > 0) {
             // Pass-local covariance from the pass's integer moments;
             // summed across passes after the join.
-            Matrix cov(k, k);
-            const double inv_pass =
-                1.0 / static_cast<double>(pass.num_pairs());
-            for (size_t x = 0; x < k; ++x) {
-              const double mean_x =
-                  static_cast<double>(pass_counts[x]) * inv_pass;
-              for (size_t y = x; y < k; ++y) {
-                const double mean_y =
-                    static_cast<double>(pass_counts[y]) * inv_pass;
-                const double exy =
-                    static_cast<double>(pass_co_counts[x * k + y]) * inv_pass;
-                const double value = exy - mean_x * mean_y;
-                cov(x, y) = value;
-                cov(y, x) = value;
-              }
-            }
-            (*pass_cov)[attr] = std::move(cov);
+            (*pass_cov)[attr] = PassCovarianceFromCounts(
+                pass_counts.data(), pass_co_counts.data(), k,
+                pass.num_pairs());
           }
         }
         local.MergeInto(options.profile, &profile_mu);
@@ -350,33 +262,9 @@ Result<TransformedMoments> PairTransformMoments(
       setup, options, &counts, &co_counts, &total,
       options.pooled_covariance ? &pass_cov : nullptr));
 
-  TransformedMoments moments;
-  moments.num_samples = total;
-  moments.mean.assign(k, 0.0);
-  const double inv_n = 1.0 / static_cast<double>(total);
-  for (size_t c = 0; c < k; ++c) {
-    moments.mean[c] = static_cast<double>(counts[c]) * inv_n;
-  }
+  TransformedMoments moments = MomentsFromCounts(counts, co_counts, total, k);
   if (options.pooled_covariance) {
-    Matrix pooled_cov(k, k);
-    size_t pooled_passes = 0;
-    for (size_t attr = 0; attr < k; ++attr) {
-      if (pass_cov[attr].empty()) continue;
-      pooled_cov = pooled_cov.Add(pass_cov[attr]);
-      ++pooled_passes;
-    }
-    moments.cov =
-        pooled_cov.Scale(1.0 / static_cast<double>(pooled_passes));
-    return moments;
-  }
-  moments.cov = Matrix(k, k);
-  for (size_t x = 0; x < k; ++x) {
-    for (size_t y = x; y < k; ++y) {
-      const double exy = static_cast<double>(co_counts[x * k + y]) * inv_n;
-      const double cov = exy - moments.mean[x] * moments.mean[y];
-      moments.cov(x, y) = cov;
-      moments.cov(y, x) = cov;
-    }
+    moments.cov = ReducePooledCovariance(pass_cov);
   }
   return moments;
 }

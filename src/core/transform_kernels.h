@@ -1,0 +1,177 @@
+#ifndef FDX_CORE_TRANSFORM_KERNELS_H_
+#define FDX_CORE_TRANSFORM_KERNELS_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/pairs.h"
+#include "core/transform.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+/// Shared internals of the pair-difference transform. Two engines
+/// consume these: the in-memory PairTransform* entry points
+/// (core/transform.cc) and the out-of-core streaming transform
+/// (store/stream_transform.cc). Everything that determines the *result*
+/// of a transform — randomness ordering, equality semantics, bit
+/// layout, and the integer→double moment expressions — lives here, so
+/// the two engines cannot drift apart: bit-identical inputs produce
+/// bit-identical moments on either path.
+namespace fdx {
+
+/// Equality indicator with strict null semantics: a null matches nothing.
+inline uint64_t EqualCodes(int32_t a, int32_t b) {
+  return (a != EncodedTable::kNullCode && a == b) ? 1 : 0;
+}
+
+/// Number of pairs one attribute pass emits for an n-row table.
+inline size_t PairsPerAttribute(size_t n, size_t max_pairs) {
+  return (max_pairs == 0 || max_pairs >= n) ? n : max_pairs;
+}
+
+/// Per-attribute RNG seeds, forked serially from the parent stream so the
+/// sampled pair selection of one attribute never depends on how many
+/// passes ran before it (or on which thread runs it).
+inline std::vector<uint64_t> ForkAttributeSeeds(Rng* rng, size_t k) {
+  std::vector<uint64_t> seeds(k);
+  for (size_t attr = 0; attr < k; ++attr) seeds[attr] = rng->engine()();
+  return seeds;
+}
+
+/// The canonical randomness preamble of every transform: one Rng seeded
+/// with `seed` shuffles the row identity permutation, then forks the k
+/// per-attribute seeds — in that exact order. Any engine that wants to
+/// reproduce a transform must consume the stream this way.
+inline void PrepareTransformStreams(uint64_t seed, size_t n, size_t k,
+                                    std::vector<uint32_t>* shuffled,
+                                    std::vector<uint64_t>* attr_seeds) {
+  Rng rng(seed);
+  shuffled->resize(n);
+  std::iota(shuffled->begin(), shuffled->end(), uint32_t{0});
+  rng.Shuffle(shuffled);
+  *attr_seeds = ForkAttributeSeeds(&rng, k);
+}
+
+/// Sequential bit appender over a column's word array. Bits arrive in
+/// index order; whole words are stored once, the trailing partial word
+/// on Flush. The destination words must start zeroed (BitMatrix::Reset)
+/// or be fully overwritten (the writer covers every word it touches).
+class ColumnBitWriter {
+ public:
+  explicit ColumnBitWriter(uint64_t* words) : words_(words) {}
+
+  inline void Append(uint64_t bit) {
+    word_ |= bit << shift_;
+    if (++shift_ == 64) {
+      *words_++ = word_;
+      word_ = 0;
+      shift_ = 0;
+    }
+  }
+
+  void Flush() {
+    if (shift_ != 0) *words_ = word_;
+  }
+
+ private:
+  uint64_t* words_;
+  uint64_t word_ = 0;
+  unsigned shift_ = 0;
+};
+
+/// Appends one pass's equality bits for the column with dictionary codes
+/// `codes` to `writer`. The full (uncapped) variant streams the sorted
+/// order with one gather per pair — the successor row of pair j is the
+/// predecessor row of pair j+1, so its code is carried over instead of
+/// reloaded.
+inline void AppendPassColumnBits(const std::vector<int32_t>& codes,
+                                 const AttributePass& pass,
+                                 ColumnBitWriter* writer) {
+  if (!pass.sampled()) {
+    const std::vector<uint32_t>& order = pass.order();
+    const size_t n = order.size();
+    if (n < 2) return;
+    int32_t prev = codes[order[0]];
+    for (size_t j = 0; j + 1 < n; ++j) {
+      const int32_t cur = codes[order[j + 1]];
+      writer->Append(EqualCodes(prev, cur));
+      prev = cur;
+    }
+    // The wrap pair (order[n-1], order[0]); prev holds codes[order[n-1]].
+    writer->Append(EqualCodes(prev, codes[order[0]]));
+    return;
+  }
+  pass.ForEachPair([&](size_t, size_t a, size_t b) {
+    writer->Append(EqualCodes(codes[a], codes[b]));
+  });
+}
+
+/// Pass-local covariance from one pass's integer moments. Used by the
+/// pooled estimator: each attribute pass contributes its own covariance,
+/// reduced across passes in attribute order.
+inline Matrix PassCovarianceFromCounts(const uint64_t* pass_counts,
+                                       const uint64_t* pass_co_counts,
+                                       size_t k, size_t num_pairs) {
+  Matrix cov(k, k);
+  const double inv_pass = 1.0 / static_cast<double>(num_pairs);
+  for (size_t x = 0; x < k; ++x) {
+    const double mean_x = static_cast<double>(pass_counts[x]) * inv_pass;
+    for (size_t y = x; y < k; ++y) {
+      const double mean_y = static_cast<double>(pass_counts[y]) * inv_pass;
+      const double exy =
+          static_cast<double>(pass_co_counts[x * k + y]) * inv_pass;
+      const double value = exy - mean_x * mean_y;
+      cov(x, y) = value;
+      cov(y, x) = value;
+    }
+  }
+  return cov;
+}
+
+/// Reduces the per-pass pooled covariances in attribute order (the order
+/// is part of the determinism contract: floating-point addition is not
+/// associative).
+inline Matrix ReducePooledCovariance(const std::vector<Matrix>& pass_cov) {
+  Matrix pooled;
+  size_t pooled_passes = 0;
+  for (const Matrix& cov : pass_cov) {
+    if (cov.empty()) continue;
+    if (pooled.empty()) {
+      pooled = Matrix(cov.rows(), cov.cols());
+    }
+    pooled = pooled.Add(cov);
+    ++pooled_passes;
+  }
+  if (pooled_passes == 0) return pooled;
+  return pooled.Scale(1.0 / static_cast<double>(pooled_passes));
+}
+
+/// Assembles the final mean/covariance from the accumulated integer
+/// moments (the non-pooled estimator). Both engines funnel through these
+/// exact expressions so their doubles agree bitwise.
+inline TransformedMoments MomentsFromCounts(
+    const std::vector<uint64_t>& counts,
+    const std::vector<uint64_t>& co_counts, size_t total, size_t k) {
+  TransformedMoments moments;
+  moments.num_samples = total;
+  moments.mean.assign(k, 0.0);
+  const double inv_n = 1.0 / static_cast<double>(total);
+  for (size_t c = 0; c < k; ++c) {
+    moments.mean[c] = static_cast<double>(counts[c]) * inv_n;
+  }
+  moments.cov = Matrix(k, k);
+  for (size_t x = 0; x < k; ++x) {
+    for (size_t y = x; y < k; ++y) {
+      const double exy = static_cast<double>(co_counts[x * k + y]) * inv_n;
+      const double cov = exy - moments.mean[x] * moments.mean[y];
+      moments.cov(x, y) = cov;
+      moments.cov(y, x) = cov;
+    }
+  }
+  return moments;
+}
+
+}  // namespace fdx
+
+#endif  // FDX_CORE_TRANSFORM_KERNELS_H_

@@ -50,17 +50,27 @@ bool IsNullToken(const std::string& field, const CsvOptions& options) {
   return false;
 }
 
-Result<Table> ParseLines(std::istream& in, const CsvOptions& options) {
+/// The single incremental parser behind every CSV entry point. Walks the
+/// stream line by line (never buffering the input), emits chunks of at
+/// most `chunk_rows` rows to `sink` (0 = one chunk at end-of-stream),
+/// and reports errors with 1-based physical line numbers. `stream_name`
+/// only decorates the message of a low-level read failure.
+Status ParseCsvStream(std::istream& in, const CsvOptions& options,
+                      size_t chunk_rows, const CsvChunkSink& sink,
+                      const std::string& stream_name) {
   std::string line;
   std::vector<std::string> header;
-  std::vector<std::vector<Value>> rows;
+  Table chunk;
+  bool have_schema = false;
+  bool emitted_chunk = false;
+  bool any_rows = false;
   size_t width = 0;
   size_t line_number = 0;  // 1-based, counting every physical line
   bool first = true;
   while (std::getline(in, line)) {
     ++line_number;
     if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty() && rows.empty() && header.empty()) continue;
+    if (line.empty() && !any_rows && header.empty()) continue;
     std::vector<std::string> fields = SplitCsvLine(line, options.delimiter);
     if (first) {
       width = fields.size();
@@ -82,12 +92,21 @@ Result<Table> ParseLines(std::istream& in, const CsvOptions& options) {
         header = std::move(fields);
         continue;
       }
+      // Headerless: synthesize the names the moment the width is known,
+      // so chunks can carry the schema from the first row on.
+      for (size_t i = 0; i < width; ++i) {
+        header.push_back("col" + std::to_string(i));
+      }
     }
     if (fields.size() != width) {
       return Status::IOError("line " + std::to_string(line_number) +
                              ": CSV row with " +
                              std::to_string(fields.size()) +
                              " fields; expected " + std::to_string(width));
+    }
+    if (!have_schema) {
+      chunk = Table{Schema(header)};
+      have_schema = true;
     }
     std::vector<Value> row;
     row.reserve(width);
@@ -96,14 +115,24 @@ Result<Table> ParseLines(std::istream& in, const CsvOptions& options) {
       row.push_back(IsNullToken(trimmed, options) ? Value::Null()
                                                   : Value::Parse(trimmed));
     }
-    rows.push_back(std::move(row));
+    chunk.AppendRow(std::move(row));
+    any_rows = true;
+    if (chunk_rows != 0 && chunk.num_rows() >= chunk_rows) {
+      FDX_RETURN_IF_ERROR(sink(std::move(chunk)));
+      emitted_chunk = true;
+      chunk = Table{Schema(header)};
+    }
   }
-  if (header.empty()) {
-    for (size_t i = 0; i < width; ++i) header.push_back("col" + std::to_string(i));
+  if (in.bad()) {
+    return Status::IOError("error while reading " + stream_name);
   }
-  Table table{Schema(std::move(header))};
-  for (auto& row : rows) table.AppendRow(std::move(row));
-  return table;
+  // Flush the trailing partial chunk. A row-less stream still emits one
+  // empty chunk so the sink always learns the schema.
+  if (!have_schema) chunk = Table{Schema(std::move(header))};
+  if (chunk.num_rows() > 0 || !emitted_chunk) {
+    FDX_RETURN_IF_ERROR(sink(std::move(chunk)));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -113,16 +142,45 @@ Result<Table> ReadCsv(const std::string& path, const CsvOptions& options) {
                    Status::IOError("injected fault: csv.read " + path));
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream contents;
-  contents << in.rdbuf();
-  if (in.bad()) return Status::IOError("error while reading " + path);
-  return ReadCsvFromString(contents.str(), options);
+  Table out;
+  FDX_RETURN_IF_ERROR(ParseCsvStream(
+      in, options, /*chunk_rows=*/0,
+      [&out](Table&& table) {
+        out = std::move(table);
+        return Status::OK();
+      },
+      path));
+  return out;
 }
 
 Result<Table> ReadCsvFromString(const std::string& text,
                                 const CsvOptions& options) {
   std::istringstream in(text);
-  return ParseLines(in, options);
+  Table out;
+  FDX_RETURN_IF_ERROR(ParseCsvStream(
+      in, options, /*chunk_rows=*/0,
+      [&out](Table&& table) {
+        out = std::move(table);
+        return Status::OK();
+      },
+      "CSV buffer"));
+  return out;
+}
+
+Status ReadCsvChunked(const std::string& path, const CsvOptions& options,
+                      size_t chunk_rows, const CsvChunkSink& sink) {
+  FDX_INJECT_FAULT(kFaultCsvRead,
+                   Status::IOError("injected fault: csv.read " + path));
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ParseCsvStream(in, options, chunk_rows, sink, path);
+}
+
+Status ReadCsvChunkedFromString(const std::string& text,
+                                const CsvOptions& options, size_t chunk_rows,
+                                const CsvChunkSink& sink) {
+  std::istringstream in(text);
+  return ParseCsvStream(in, options, chunk_rows, sink, "CSV buffer");
 }
 
 Result<Table> ParseCsv(const std::string& text, const CsvOptions& options) {

@@ -1,6 +1,7 @@
 #ifndef FDX_DATA_CSV_H_
 #define FDX_DATA_CSV_H_
 
+#include <functional>
 #include <string>
 
 #include "data/table.h"
@@ -21,8 +22,12 @@ struct CsvOptions {
 /// (integer, double, else string); empty fields and null tokens map to
 /// null. Quoted fields with embedded delimiters/quotes are supported.
 /// Parse errors cite the 1-based line number; duplicate or empty header
-/// names are rejected with kInvalidArgument. Implemented as "read the
-/// file, then ReadCsvFromString" so the two paths can never diverge.
+/// names are rejected with kInvalidArgument. Every entry point —
+/// ReadCsv, ReadCsvFromString, and the chunked readers below — runs the
+/// same incremental line parser, so they cannot diverge: identical
+/// tables, identical error messages with identical line numbers. ReadCsv
+/// streams the file through that parser line by line; it never buffers
+/// the file contents.
 Result<Table> ReadCsv(const std::string& path, const CsvOptions& options = {});
 
 /// Parses CSV from an in-memory buffer — the server's ingestion path for
@@ -30,6 +35,25 @@ Result<Table> ReadCsv(const std::string& path, const CsvOptions& options = {});
 /// handling, and 1-based line numbers in error messages as ReadCsv.
 Result<Table> ReadCsvFromString(const std::string& text,
                                 const CsvOptions& options = {});
+
+/// Receives one parsed chunk. Chunks arrive in file order, each carrying
+/// the full schema; a non-OK return aborts the read and propagates.
+using CsvChunkSink = std::function<Status(Table&&)>;
+
+/// Streaming ingest: parses `path` and hands the rows to `sink` in
+/// chunks of at most `chunk_rows` rows (0 means a single chunk), never
+/// holding more than one chunk in memory. On success the sink is
+/// invoked at least once — a row-less file yields one empty chunk whose
+/// schema carries the (possibly empty) header — so callers always learn
+/// the schema. On error, chunks already delivered are void: the file
+/// failed to parse as a whole, exactly as ReadCsv would report it.
+Status ReadCsvChunked(const std::string& path, const CsvOptions& options,
+                      size_t chunk_rows, const CsvChunkSink& sink);
+
+/// ReadCsvChunked over an in-memory buffer (tests and the service).
+Status ReadCsvChunkedFromString(const std::string& text,
+                                const CsvOptions& options, size_t chunk_rows,
+                                const CsvChunkSink& sink);
 
 /// Historical alias of ReadCsvFromString (used heavily by tests).
 Result<Table> ParseCsv(const std::string& text, const CsvOptions& options = {});

@@ -5,7 +5,7 @@
 
 #include "core/fdx.h"
 #include "data/table.h"
-#include "service/json_parser.h"
+#include "util/json_parser.h"
 #include "util/fingerprint.h"
 #include "util/status.h"
 

@@ -8,7 +8,7 @@
 #include <utility>
 
 #include "data/csv.h"
-#include "service/json_parser.h"
+#include "util/json_parser.h"
 #include "service/protocol.h"
 #include "service/snapshot.h"
 #include "util/fault_injection.h"
@@ -265,12 +265,14 @@ Status FdxServer::Start() {
   if (durable()) {
     FDX_RETURN_IF_ERROR(EnsureDirectory(options_.state_dir));
     FDX_RETURN_IF_ERROR(EnsureDirectory(SessionsDir()));
+    FDX_RETURN_IF_ERROR(EnsureDirectory(StoresDir()));
     // Replay before the listener serves anything: restored sessions and
     // cache entries must be visible to the very first request.
     FDX_RETURN_IF_ERROR(RestoreState());
     sessions_->SetEvictionListener([this](const std::vector<std::string>& ids) {
       for (const std::string& id : ids) {
         (void)RemoveFile(SessionSnapshotPath(id));
+        (void)RemoveDirectoryRecursive(SessionStoreDir(id));
       }
     });
     snapshot_thread_ = std::thread(&FdxServer::SnapshotSpillLoop, this);
@@ -513,14 +515,37 @@ std::string FdxServer::HandleOpen(const JsonValue& request) {
     fdx_options = std::move(parsed).value();
   }
 
+  const std::string storage = request.StringOr("storage", "memory");
+  if (storage != "memory" && storage != "chunked") {
+    return RenderErrorResponse(
+        "open", Status::InvalidArgument("open: unknown storage \"" + storage +
+                                        "\" (want \"memory\" or \"chunked\")"));
+  }
+
   Result<std::shared_ptr<DatasetSession>> session =
       sessions_->Open(std::move(schema).value(), fdx_options);
   if (!session.ok()) return RenderErrorResponse("open", session.status());
 
-  if (durable()) {
+  if (storage == "chunked" || durable()) {
     std::lock_guard<std::mutex> lock(session.value()->mu);
-    session.value()->retain_batches = true;
-    PersistSessionLocked(session.value().get());
+    if (storage == "chunked") {
+      // Batches land in a chunk store (spilled to disk in durable mode,
+      // in-memory chunks otherwise); snapshots then reference the store
+      // manifest instead of embedding the rows.
+      Result<ChunkedTable> store = ChunkedTable::Create(
+          session.value()->fdx.schema(),
+          durable() ? SessionStoreDir(session.value()->id) : "");
+      if (!store.ok()) {
+        sessions_->Close(session.value()->id);
+        return RenderErrorResponse("open", store.status());
+      }
+      session.value()->storage = "chunked";
+      session.value()->store =
+          std::make_unique<ChunkedTable>(std::move(store).value());
+    } else {
+      session.value()->retain_batches = true;
+    }
+    if (durable()) PersistSessionLocked(session.value().get());
   }
 
   JsonWriter json;
@@ -531,6 +556,10 @@ std::string FdxServer::HandleOpen(const JsonValue& request) {
   json.String("open");
   json.Key("session");
   json.String(session.value()->id);
+  if (storage != "memory") {
+    json.Key("storage");
+    json.String(storage);
+  }
   json.Key("columns");
   json.Integer(static_cast<int64_t>(session.value()->fdx.schema().size()));
   json.EndObject();
@@ -542,7 +571,17 @@ std::string FdxServer::ApplyAppendLocked(DatasetSession* session, Table batch) {
   if (!appended.ok()) return RenderErrorResponse("append", appended);
   session->content.UpdateString("batch");
   UpdateTableFingerprint(&session->content, batch);
-  if (session->retain_batches) {
+  if (session->store != nullptr) {
+    // Chunked session: the store is the durable copy of the rows. A
+    // failed spill degrades durability only (counted like any snapshot
+    // failure); restart-time fingerprint verification then drops the
+    // stale session instead of reviving inconsistent state.
+    if (session->store->AppendBatch(batch).ok()) {
+      if (durable()) PersistSessionLocked(session);
+    } else {
+      snapshot_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (session->retain_batches) {
     // Persist before answering: once the client sees ok:true the batch
     // must survive a crash (write-temp-then-rename keeps the previous
     // snapshot intact if this write dies half-way).
@@ -936,6 +975,14 @@ std::string FdxServer::CacheSnapshotPath() const {
   return options_.state_dir + "/cache.json";
 }
 
+std::string FdxServer::StoresDir() const {
+  return options_.state_dir + "/stores";
+}
+
+std::string FdxServer::SessionStoreDir(const std::string& id) const {
+  return StoresDir() + "/" + id;
+}
+
 Status FdxServer::RestoreState() {
   FDX_ASSIGN_OR_RETURN(std::vector<std::string> names,
                        ListDirectory(SessionsDir()));
@@ -963,6 +1010,64 @@ Status FdxServer::RestoreState() {
       continue;
     }
     SessionSnapshot snapshot = std::move(snapshot_or).value();
+    if (snapshot.storage == "chunked") {
+      // The rows live in the session's chunk store; Open() verifies
+      // every chunk fingerprint, and the replayed content fingerprint
+      // must reproduce the snapshot's — otherwise the whole session
+      // (snapshot + store) is dropped rather than revived wrong.
+      const std::string store_dir = SessionStoreDir(snapshot.id);
+      auto drop_chunked = [&](const Status& why) {
+        drop(why);
+        (void)RemoveDirectoryRecursive(store_dir);
+      };
+      Result<ChunkedTable> store_or = ChunkedTable::Open(store_dir);
+      if (!store_or.ok()) {
+        drop_chunked(store_or.status());
+        continue;
+      }
+      if (store_or.value().schema().names() != snapshot.schema.names()) {
+        drop_chunked(Status::Internal(
+            "chunk store schema disagrees with the session snapshot"));
+        continue;
+      }
+      Result<std::shared_ptr<DatasetSession>> restored =
+          sessions_->Restore(snapshot.id, snapshot.schema, snapshot.options);
+      if (!restored.ok()) {
+        drop_chunked(restored.status());
+        continue;
+      }
+      DatasetSession* session = restored.value().get();
+      Status replay = Status::OK();
+      {
+        std::lock_guard<std::mutex> lock(session->mu);
+        session->storage = "chunked";
+        for (size_t i = 0; i < store_or.value().num_chunks(); ++i) {
+          Result<Table> batch = store_or.value().ReadChunkValues(i);
+          replay = batch.status();
+          if (!replay.ok()) break;
+          replay = session->fdx.Append(batch.value());
+          if (!replay.ok()) break;
+          session->content.UpdateString("batch");
+          UpdateTableFingerprint(&session->content, batch.value());
+        }
+        if (replay.ok() && session->content.Hex() != snapshot.content_hex) {
+          replay = Status::Internal(
+              "replayed chunks do not reproduce the stored content "
+              "fingerprint");
+        }
+        if (replay.ok()) {
+          session->store =
+              std::make_unique<ChunkedTable>(std::move(store_or).value());
+        }
+      }
+      if (!replay.ok()) {
+        sessions_->Close(snapshot.id);
+        drop_chunked(replay);
+        continue;
+      }
+      sessions_recovered_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     Result<std::shared_ptr<DatasetSession>> restored =
         sessions_->Restore(snapshot.id, snapshot.schema, snapshot.options);
     if (!restored.ok()) {
@@ -1015,7 +1120,7 @@ void FdxServer::PersistSessionLocked(DatasetSession* session) {
   const FdxOptions& options = session->fdx.options();
   const std::string text = EncodeSessionSnapshot(
       session->id, session->fdx.schema(), options, CanonicalOptionsKey(options),
-      session->content.Hex(), session->batches_json);
+      session->content.Hex(), session->batches_json, session->storage);
   if (WriteFileAtomic(SessionSnapshotPath(session->id), text).ok()) {
     snapshot_writes_.fetch_add(1, std::memory_order_relaxed);
   } else {

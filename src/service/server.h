@@ -233,6 +233,10 @@ class FdxServer {
   std::string SessionsDir() const;
   std::string SessionSnapshotPath(const std::string& id) const;
   std::string CacheSnapshotPath() const;
+  /// Chunk stores of "storage":"chunked" sessions, one directory per
+  /// session id under <state_dir>/stores/.
+  std::string StoresDir() const;
+  std::string SessionStoreDir(const std::string& id) const;
   /// Replays the state directory on startup: restores sessions (or
   /// deletes + counts unrecoverable snapshots) and re-inserts spilled
   /// cache entries.

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/incremental.h"
+#include "store/chunked_table.h"
 #include "util/fingerprint.h"
 #include "util/status.h"
 
@@ -38,6 +39,12 @@ struct DatasetSession {
   /// rows alongside — the snapshot file is the only place they survive.
   bool retain_batches = false;
   std::vector<std::string> batches_json;  ///< EncodeBatchRows per append
+  /// Out-of-core sessions ("storage":"chunked" at open): every appended
+  /// batch also lands in this chunk store, and durability snapshots
+  /// reference the store's manifest instead of embedding the rows.
+  /// Guarded by mu; null for memory sessions.
+  std::string storage = "memory";
+  std::unique_ptr<ChunkedTable> store;
 };
 
 /// Session table with a hard cap and idle-TTL eviction. Ids are

@@ -6,7 +6,7 @@
 #include <cstring>
 
 #include "core/ordering.h"
-#include "service/json_parser.h"
+#include "util/json_parser.h"
 #include "service/protocol.h"
 #include "util/fingerprint.h"
 #include "util/json_writer.h"
@@ -334,13 +334,18 @@ std::string ReplayContentHex(const std::vector<Table>& batches) {
 std::string EncodeSessionSnapshot(
     const std::string& id, const Schema& schema, const FdxOptions& options,
     const std::string& options_key, const std::string& content_hex,
-    const std::vector<std::string>& batches_json) {
+    const std::vector<std::string>& batches_json,
+    const std::string& storage) {
   JsonWriter json;
   json.BeginObject();
   json.Key("version");
   json.Integer(kSnapshotVersion);
   json.Key("session");
   json.String(id);
+  if (storage != "memory") {
+    json.Key("storage");
+    json.String(storage);
+  }
   json.Key("schema");
   json.BeginArray();
   for (const std::string& name : schema.names()) json.String(name);
@@ -352,6 +357,11 @@ std::string EncodeSessionSnapshot(
   json.Key("content");
   json.String(content_hex);
   json.EndObject();
+  if (storage != "memory") {
+    // Chunked sessions keep their rows in the chunk store; the snapshot
+    // is a manifest reference, not a copy of the data.
+    return json.TakeString();
+  }
   // Splice the pre-encoded batch arrays in front of the closing brace;
   // the key itself needs no escaping.
   std::string text = json.TakeString();
@@ -411,6 +421,21 @@ Result<SessionSnapshot> DecodeSessionSnapshot(const std::string& text) {
         "snapshot: decoded options do not reproduce the stored options key "
         "(codec drift or corrupted file)");
   }
+  snapshot.storage = root.StringOr("storage", "memory");
+  if (snapshot.storage != "memory" && snapshot.storage != "chunked") {
+    return Status::InvalidArgument("snapshot: unknown storage \"" +
+                                   snapshot.storage + "\"");
+  }
+  snapshot.content_hex = root.StringOr("content", "");
+  if (snapshot.storage == "chunked") {
+    // The rows live in the chunk store; the server replays them from
+    // there and verifies the replayed fingerprint against content_hex.
+    if (snapshot.content_hex.empty()) {
+      return Status::InvalidArgument(
+          "snapshot: chunked session missing content fingerprint");
+    }
+    return snapshot;
+  }
   const JsonValue* batches_json = root.Find("batches");
   if (batches_json == nullptr || !batches_json->is_array()) {
     return Status::InvalidArgument("snapshot: missing batches");
@@ -421,7 +446,6 @@ Result<SessionSnapshot> DecodeSessionSnapshot(const std::string& text) {
                          ParseBatchJson(batch_json, snapshot.schema));
     snapshot.batches.push_back(std::move(batch));
   }
-  snapshot.content_hex = root.StringOr("content", "");
   if (ReplayContentHex(snapshot.batches) != snapshot.content_hex) {
     return Status::InvalidArgument(
         "snapshot: replayed batches do not reproduce the stored content "

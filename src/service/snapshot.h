@@ -32,23 +32,34 @@ struct SessionSnapshot {
   std::string options_key;   ///< CanonicalOptionsKey at encode time
   std::string content_hex;   ///< session fingerprint after all batches
   std::vector<Table> batches;
+  /// "memory" (default; batches embedded above) or "chunked" (batches
+  /// live in the session's ChunkedTable store directory — the snapshot
+  /// only references them, and the expected content fingerprint is
+  /// verified by the server after replaying the chunks).
+  std::string storage = "memory";
 };
 
 /// Renders one session to its snapshot file contents (single-line
 /// JSON). `batches_json` holds each batch pre-encoded by
 /// EncodeBatchRows — the live server keeps those strings instead of the
 /// row data (IncrementalFdx folds batches into moments and drops the
-/// rows), so the encoder splices rather than re-encodes.
+/// rows), so the encoder splices rather than re-encodes. With storage
+/// "chunked" no batches are embedded (the chunk store is the durable
+/// copy; pass an empty `batches_json`) and a "storage" key is written;
+/// memory snapshots stay byte-identical to the historical format.
 std::string EncodeSessionSnapshot(
     const std::string& id, const Schema& schema, const FdxOptions& options,
     const std::string& options_key, const std::string& content_hex,
-    const std::vector<std::string>& batches_json);
+    const std::vector<std::string>& batches_json,
+    const std::string& storage = "memory");
 
 /// Parses and *verifies* a snapshot: the decoded options must reproduce
 /// the stored canonical options key, and the decoded batches must
 /// reproduce the stored session fingerprint. Any mismatch — codec
 /// drift, truncation, manual edits — fails loudly instead of reviving a
 /// session that would serve different bytes than before the crash.
+/// Chunked snapshots carry no batches; their content verification
+/// happens in the server once the chunk store has been replayed.
 Result<SessionSnapshot> DecodeSessionSnapshot(const std::string& text);
 
 /// Renders one batch's rows as the type-tagged cell arrays described

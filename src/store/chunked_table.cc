@@ -1,0 +1,529 @@
+#include "store/chunked_table.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/file_io.h"
+#include "util/fingerprint.h"
+#include "util/json_parser.h"
+#include "util/json_writer.h"
+
+namespace fdx {
+namespace {
+
+constexpr char kChunkMagic[8] = {'F', 'D', 'X', 'C', 'H', 'N', 'K', '1'};
+constexpr size_t kChunkHeaderBytes = 8 + 3 * 8;  // magic + rows/cols/dict_bytes
+constexpr int kManifestVersion = 1;
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+void AppendI32(std::string* out, int32_t v) {
+  const uint32_t u = static_cast<uint32_t>(v);
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(u >> (8 * i)));
+}
+
+int32_t ReadI32(const char* p) {
+  uint32_t u = 0;
+  for (int i = 0; i < 4; ++i) {
+    u |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return static_cast<int32_t>(u);
+}
+
+std::string ChunkFileName(size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "chunk-%06zu.bin", index);
+  return buf;
+}
+
+std::string FingerprintHexOf(const std::string& contents) {
+  Fingerprint fp;
+  fp.UpdateString(contents);
+  return fp.Hex();
+}
+
+/// Exact-double text, round-trippable (same codec as the service
+/// snapshots: %.17g survives strtod bit-exactly).
+std::string ExactDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+/// Type-tagged cell: null | ["i",text] | ["d",text] | ["s",text].
+void WriteCellJson(JsonWriter* json, const Value& cell) {
+  switch (cell.type()) {
+    case ValueType::kNull:
+      json->Null();
+      return;
+    case ValueType::kInt:
+      json->BeginArray();
+      json->String("i");
+      json->String(std::to_string(cell.AsInt()));
+      json->EndArray();
+      return;
+    case ValueType::kDouble:
+      json->BeginArray();
+      json->String("d");
+      json->String(ExactDouble(cell.AsDouble()));
+      json->EndArray();
+      return;
+    case ValueType::kString:
+      json->BeginArray();
+      json->String("s");
+      json->String(cell.AsString());
+      json->EndArray();
+      return;
+  }
+}
+
+Result<Value> ParseCellJson(const JsonValue& cell) {
+  if (!cell.is_array() || cell.array().size() != 2 ||
+      !cell.array()[0].is_string() || !cell.array()[1].is_string()) {
+    return Status::IOError("store: dictionary cell must be a [tag, text] pair");
+  }
+  const std::string& tag = cell.array()[0].string_value();
+  const std::string& text = cell.array()[1].string_value();
+  errno = 0;
+  char* end = nullptr;
+  if (tag == "i") {
+    const long long parsed = std::strtoll(text.c_str(), &end, 10);
+    if (text.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+      return Status::IOError("store: malformed int cell '" + text + "'");
+    }
+    return Value(static_cast<int64_t>(parsed));
+  }
+  if (tag == "d") {
+    const double parsed = std::strtod(text.c_str(), &end);
+    if (text.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+      return Status::IOError("store: malformed double cell '" + text + "'");
+    }
+    return Value(parsed);
+  }
+  if (tag == "s") return Value(text);
+  return Status::IOError("store: unknown cell tag '" + tag + "'");
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+Result<ChunkedTable> ChunkedTable::Create(const Schema& schema,
+                                          std::string dir) {
+  ChunkedTable table;
+  table.schema_ = schema;
+  table.dir_ = std::move(dir);
+  table.dicts_.resize(schema.size());
+  if (!table.dir_.empty()) {
+    FDX_RETURN_IF_ERROR(EnsureDirectory(table.dir_));
+    FDX_RETURN_IF_ERROR(table.WriteManifest());
+  }
+  return table;
+}
+
+int32_t ChunkedTable::EncodeCell(const Value& v, size_t col,
+                                 std::vector<Value>* fresh) {
+  ColumnDictionary& dict = dicts_[col];
+  if (v.is_null()) {
+    ++dict.null_count;
+    return EncodedTable::kNullCode;
+  }
+  const int32_t next_storage = static_cast<int32_t>(dict.values.size());
+  int32_t storage;
+  switch (v.type()) {
+    case ValueType::kString: {
+      auto [it, inserted] = dict.by_string.try_emplace(v.AsString(),
+                                                       next_storage);
+      storage = it->second;
+      if (!inserted) return storage;
+      break;
+    }
+    case ValueType::kInt: {
+      auto [it, inserted] = dict.by_int.try_emplace(v.AsInt(), next_storage);
+      storage = it->second;
+      if (!inserted) return storage;
+      break;
+    }
+    default: {
+      auto [it, inserted] =
+          dict.by_double_bits.try_emplace(DoubleBits(v.AsDouble()),
+                                          next_storage);
+      storage = it->second;
+      if (!inserted) return storage;
+      break;
+    }
+  }
+  // First appearance of this exact value: record it and assign (or
+  // share) the transform code — numerics merge on their double value,
+  // matching EncodedTable::Encode.
+  dict.values.push_back(v);
+  if (fresh != nullptr) fresh->push_back(v);
+  int32_t transform;
+  if (v.type() == ValueType::kString) {
+    auto [it, inserted] =
+        dict.t_string.try_emplace(v.AsString(), dict.next_transform);
+    transform = it->second;
+    if (inserted) ++dict.next_transform;
+  } else {
+    auto [it, inserted] =
+        dict.t_numeric.try_emplace(v.ToNumeric(), dict.next_transform);
+    transform = it->second;
+    if (inserted) ++dict.next_transform;
+  }
+  dict.to_transform.push_back(transform);
+  return storage;
+}
+
+std::string ChunkedTable::SerializeChunk(
+    const StoredChunk& chunk, const std::vector<size_t>& dict_starts) const {
+  const size_t k = schema_.size();
+  // Dictionary delta: per column, the storage codes [start, end) this
+  // chunk introduced and their exact values.
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("cols");
+  json.BeginArray();
+  for (size_t c = 0; c < k; ++c) {
+    json.BeginObject();
+    json.Key("start");
+    json.Integer(static_cast<int64_t>(dict_starts[c]));
+    json.Key("values");
+    json.BeginArray();
+    for (size_t s = dict_starts[c]; s < dicts_[c].values.size(); ++s) {
+      WriteCellJson(&json, dicts_[c].values[s]);
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  const std::string dict_json = json.TakeString();
+
+  std::string out;
+  out.reserve(kChunkHeaderBytes + chunk.rows * k * 4 + dict_json.size());
+  out.append(kChunkMagic, sizeof(kChunkMagic));
+  AppendU64(&out, chunk.rows);
+  AppendU64(&out, k);
+  AppendU64(&out, dict_json.size());
+  for (size_t c = 0; c < k; ++c) {
+    for (int32_t code : chunk.codes[c]) AppendI32(&out, code);
+  }
+  out += dict_json;
+  return out;
+}
+
+std::string ChunkedTable::EncodeManifest() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("version");
+  json.Integer(kManifestVersion);
+  json.Key("schema");
+  json.BeginArray();
+  for (size_t c = 0; c < schema_.size(); ++c) json.String(schema_.name(c));
+  json.EndArray();
+  json.Key("total_rows");
+  json.Integer(static_cast<int64_t>(total_rows_));
+  json.Key("chunks");
+  json.BeginArray();
+  for (const StoredChunk& chunk : chunks_) {
+    json.BeginObject();
+    json.Key("file");
+    json.String(chunk.file);
+    json.Key("rows");
+    json.Integer(static_cast<int64_t>(chunk.rows));
+    json.Key("fingerprint");
+    json.String(chunk.fingerprint_hex);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.TakeString();
+}
+
+Status ChunkedTable::WriteManifest() const {
+  return WriteFileAtomic(dir_ + "/manifest.json", EncodeManifest());
+}
+
+Status ChunkedTable::AppendBatch(const Table& batch) {
+  const size_t k = schema_.size();
+  if (batch.num_columns() != k) {
+    return Status::InvalidArgument(
+        "store: batch has " + std::to_string(batch.num_columns()) +
+        " columns; expected " + std::to_string(k));
+  }
+  if (batch.num_rows() == 0) {
+    return Status::InvalidArgument("store: batch has no rows");
+  }
+  std::vector<size_t> dict_starts(k);
+  for (size_t c = 0; c < k; ++c) dict_starts[c] = dicts_[c].values.size();
+
+  StoredChunk chunk;
+  chunk.rows = batch.num_rows();
+  chunk.codes.resize(k);
+  for (size_t c = 0; c < k; ++c) {
+    chunk.codes[c].reserve(chunk.rows);
+    for (size_t r = 0; r < chunk.rows; ++r) {
+      chunk.codes[c].push_back(EncodeCell(batch.cell(r, c), c, nullptr));
+    }
+  }
+
+  const std::string payload = SerializeChunk(chunk, dict_starts);
+  chunk.fingerprint_hex = FingerprintHexOf(payload);
+  if (!dir_.empty()) {
+    chunk.file = ChunkFileName(chunks_.size());
+    FDX_RETURN_IF_ERROR(WriteFileAtomic(dir_ + "/" + chunk.file, payload));
+    chunk.codes.clear();  // durable now; drop the resident copy
+  }
+  total_rows_ += chunk.rows;
+  chunks_.push_back(std::move(chunk));
+  if (!dir_.empty()) {
+    // Manifest is the commit point: a crash between the chunk write and
+    // here leaves an orphan file the stale manifest never references.
+    FDX_RETURN_IF_ERROR(WriteManifest());
+  }
+  return Status::OK();
+}
+
+Status ChunkedTable::LoadChunkPayload(size_t index,
+                                      std::string* contents) const {
+  const StoredChunk& chunk = chunks_[index];
+  const std::string path = dir_ + "/" + chunk.file;
+  FDX_ASSIGN_OR_RETURN(*contents, ReadFileToString(path));
+  if (FingerprintHexOf(*contents) != chunk.fingerprint_hex) {
+    return Status::IOError("store: chunk '" + path +
+                           "' fingerprint mismatch (corrupt store)");
+  }
+  const size_t k = schema_.size();
+  if (contents->size() < kChunkHeaderBytes ||
+      std::memcmp(contents->data(), kChunkMagic, sizeof(kChunkMagic)) != 0) {
+    return Status::IOError("store: chunk '" + path + "' has a bad header");
+  }
+  const uint64_t rows = ReadU64(contents->data() + 8);
+  const uint64_t cols = ReadU64(contents->data() + 16);
+  const uint64_t dict_bytes = ReadU64(contents->data() + 24);
+  if (rows != chunk.rows || cols != k ||
+      contents->size() != kChunkHeaderBytes + rows * cols * 4 + dict_bytes) {
+    return Status::IOError("store: chunk '" + path +
+                           "' shape disagrees with the manifest");
+  }
+  return Status::OK();
+}
+
+Status ChunkedTable::ReadColumnCodes(size_t col,
+                                     std::vector<int32_t>* out) const {
+  const ColumnDictionary& dict = dicts_[col];
+  out->clear();
+  out->reserve(total_rows_);
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    const StoredChunk& chunk = chunks_[i];
+    if (!chunk.codes.empty()) {
+      for (int32_t storage : chunk.codes[col]) {
+        out->push_back(storage < 0 ? EncodedTable::kNullCode
+                                   : dict.to_transform[storage]);
+      }
+      continue;
+    }
+    // Spilled: the column is one contiguous slice of the chunk file.
+    const uint64_t offset = kChunkHeaderBytes + col * chunk.rows * 4;
+    FDX_ASSIGN_OR_RETURN(
+        std::string slice,
+        ReadFileSlice(dir_ + "/" + chunk.file, offset, chunk.rows * 4));
+    for (size_t r = 0; r < chunk.rows; ++r) {
+      const int32_t storage = ReadI32(slice.data() + r * 4);
+      if (storage < EncodedTable::kNullCode ||
+          storage >= static_cast<int32_t>(dict.to_transform.size())) {
+        return Status::IOError("store: chunk '" + chunk.file +
+                               "' column " + std::to_string(col) +
+                               " has out-of-range code " +
+                               std::to_string(storage));
+      }
+      out->push_back(storage < 0 ? EncodedTable::kNullCode
+                                 : dict.to_transform[storage]);
+    }
+  }
+  return Status::OK();
+}
+
+Result<Table> ChunkedTable::ReadChunkValues(size_t index) const {
+  if (index >= chunks_.size()) {
+    return Status::InvalidArgument("store: no chunk " + std::to_string(index));
+  }
+  const StoredChunk& chunk = chunks_[index];
+  const size_t k = schema_.size();
+  Table out{schema_};
+  std::vector<Value> row(k);
+
+  const auto decode_cell = [&](size_t col, int32_t storage) -> Result<Value> {
+    if (storage == EncodedTable::kNullCode) return Value::Null();
+    if (storage < 0 ||
+        storage >= static_cast<int32_t>(dicts_[col].values.size())) {
+      return Status::IOError("store: chunk " + std::to_string(index) +
+                             " column " + std::to_string(col) +
+                             " has out-of-range code " +
+                             std::to_string(storage));
+    }
+    return dicts_[col].values[storage];
+  };
+
+  if (!chunk.codes.empty()) {
+    for (size_t r = 0; r < chunk.rows; ++r) {
+      for (size_t c = 0; c < k; ++c) {
+        FDX_ASSIGN_OR_RETURN(row[c], decode_cell(c, chunk.codes[c][r]));
+      }
+      out.AppendRow(row);
+    }
+    return out;
+  }
+  std::string payload;
+  FDX_RETURN_IF_ERROR(LoadChunkPayload(index, &payload));
+  const char* codes = payload.data() + kChunkHeaderBytes;
+  for (size_t r = 0; r < chunk.rows; ++r) {
+    for (size_t c = 0; c < k; ++c) {
+      const int32_t storage = ReadI32(codes + (c * chunk.rows + r) * 4);
+      FDX_ASSIGN_OR_RETURN(row[c], decode_cell(c, storage));
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+Result<ChunkedTable> ChunkedTable::Open(std::string dir) {
+  FDX_ASSIGN_OR_RETURN(std::string manifest_text,
+                       ReadFileToString(dir + "/manifest.json"));
+  FDX_ASSIGN_OR_RETURN(JsonValue root, JsonValue::Parse(manifest_text));
+  if (!root.is_object()) {
+    return Status::IOError("store: manifest must be an object");
+  }
+  const int64_t version = static_cast<int64_t>(root.NumberOr("version", 0));
+  if (version != kManifestVersion) {
+    return Status::IOError("store: unsupported manifest version " +
+                           std::to_string(version));
+  }
+  const JsonValue* schema_json = root.Find("schema");
+  if (schema_json == nullptr || !schema_json->is_array()) {
+    return Status::IOError("store: manifest missing schema");
+  }
+  std::vector<std::string> names;
+  names.reserve(schema_json->array().size());
+  for (const JsonValue& name : schema_json->array()) {
+    if (!name.is_string()) {
+      return Status::IOError("store: schema names must be strings");
+    }
+    names.push_back(name.string_value());
+  }
+
+  ChunkedTable table;
+  table.schema_ = Schema(std::move(names));
+  table.dir_ = std::move(dir);
+  table.dicts_.resize(table.schema_.size());
+  const size_t k = table.schema_.size();
+
+  const JsonValue* chunks_json = root.Find("chunks");
+  if (chunks_json == nullptr || !chunks_json->is_array()) {
+    return Status::IOError("store: manifest missing chunks");
+  }
+  for (const JsonValue& entry : chunks_json->array()) {
+    if (!entry.is_object()) {
+      return Status::IOError("store: chunk entries must be objects");
+    }
+    StoredChunk chunk;
+    chunk.file = entry.StringOr("file", "");
+    chunk.rows = static_cast<size_t>(entry.NumberOr("rows", 0));
+    chunk.fingerprint_hex = entry.StringOr("fingerprint", "");
+    if (chunk.file.empty() || chunk.rows == 0 ||
+        chunk.fingerprint_hex.empty()) {
+      return Status::IOError("store: malformed chunk entry in manifest");
+    }
+    table.chunks_.push_back(std::move(chunk));
+  }
+
+  // Replay each chunk in order: verify its fingerprint, extend the
+  // dictionaries with its delta, and recount nulls from its codes.
+  for (size_t i = 0; i < table.chunks_.size(); ++i) {
+    StoredChunk& chunk = table.chunks_[i];
+    std::string payload;
+    FDX_RETURN_IF_ERROR(table.LoadChunkPayload(i, &payload));
+    const uint64_t dict_bytes = ReadU64(payload.data() + 24);
+    const size_t codes_end = kChunkHeaderBytes + chunk.rows * k * 4;
+    const std::string dict_json = payload.substr(codes_end, dict_bytes);
+    FDX_ASSIGN_OR_RETURN(JsonValue dict_root, JsonValue::Parse(dict_json));
+    const JsonValue* cols = dict_root.Find("cols");
+    if (cols == nullptr || !cols->is_array() || cols->array().size() != k) {
+      return Status::IOError("store: chunk '" + chunk.file +
+                             "' dictionary delta is malformed");
+    }
+    for (size_t c = 0; c < k; ++c) {
+      const JsonValue& col = cols->array()[c];
+      const size_t start = static_cast<size_t>(col.NumberOr("start", 0));
+      if (start != table.dicts_[c].values.size()) {
+        return Status::IOError("store: chunk '" + chunk.file +
+                               "' dictionary delta is out of sequence");
+      }
+      const JsonValue* values = col.Find("values");
+      if (values == nullptr || !values->is_array()) {
+        return Status::IOError("store: chunk '" + chunk.file +
+                               "' dictionary delta missing values");
+      }
+      for (const JsonValue& cell : values->array()) {
+        FDX_ASSIGN_OR_RETURN(Value v, ParseCellJson(cell));
+        // Re-encode through the normal path; a fresh value must land on
+        // the exact storage code the delta implies.
+        std::vector<Value> fresh;
+        const size_t before = table.dicts_[c].values.size();
+        table.EncodeCell(v, c, &fresh);
+        if (table.dicts_[c].values.size() != before + 1) {
+          return Status::IOError("store: chunk '" + chunk.file +
+                                 "' dictionary delta repeats a value");
+        }
+      }
+    }
+    // Null counts come from the codes themselves (EncodeCell above
+    // counted nothing: dictionary values are never null).
+    const char* codes = payload.data() + kChunkHeaderBytes;
+    for (size_t c = 0; c < k; ++c) {
+      const int32_t dict_size =
+          static_cast<int32_t>(table.dicts_[c].values.size());
+      for (size_t r = 0; r < chunk.rows; ++r) {
+        const int32_t storage = ReadI32(codes + (c * chunk.rows + r) * 4);
+        if (storage == EncodedTable::kNullCode) {
+          ++table.dicts_[c].null_count;
+        } else if (storage < 0 || storage >= dict_size) {
+          return Status::IOError("store: chunk '" + chunk.file +
+                                 "' column " + std::to_string(c) +
+                                 " has out-of-range code " +
+                                 std::to_string(storage));
+        }
+      }
+    }
+    table.total_rows_ += chunk.rows;
+  }
+
+  const uint64_t manifest_rows =
+      static_cast<uint64_t>(root.NumberOr("total_rows", 0));
+  if (manifest_rows != table.total_rows_) {
+    return Status::IOError("store: manifest row count " +
+                           std::to_string(manifest_rows) +
+                           " disagrees with chunks (" +
+                           std::to_string(table.total_rows_) + ")");
+  }
+  return table;
+}
+
+}  // namespace fdx

@@ -1,0 +1,149 @@
+#ifndef FDX_STORE_CHUNKED_TABLE_H_
+#define FDX_STORE_CHUNKED_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace fdx {
+
+/// Out-of-core columnar table: rows arrive in batches, each batch is
+/// dictionary-encoded against an *incremental* dictionary (codes are
+/// stable across chunks — appending never renumbers anything) and kept
+/// as one immutable chunk. With a store directory, chunk payloads spill
+/// to disk through the same write-temp-fsync-rename pattern as the
+/// service snapshots and only the dictionaries stay resident, so the
+/// table itself can be far larger than RAM; without one, chunks stay in
+/// memory (same code paths, useful for tests and small inputs).
+///
+/// Two code spaces per column:
+///
+///  * storage codes — exact values. int 3, double 3.0, and string "3"
+///    get distinct codes, so chunks round-trip losslessly through
+///    ReadChunkValues (the service replays them through fingerprinted
+///    appends, which must reproduce the original bytes).
+///  * transform codes — the EncodedTable contract: numerics merge on
+///    their double value (3 == 3.0), first appearance in row order
+///    assigns the next dense code. ReadColumnCodes emits these, which
+///    is what makes the streaming transform bit-identical to
+///    EncodedTable::Encode of the concatenated table.
+///
+/// Durable layout under `dir`:
+///
+///   manifest.json    — schema, total rows, per-chunk {file, rows,
+///                      fingerprint}; rewritten atomically per append
+///                      (O(#chunks), the chunk payloads are immutable)
+///   chunk-NNNNNN.bin — magic FDXCHNK1; u64 rows, cols, dict_bytes;
+///                      column-major i32 storage codes (so one column
+///                      is one contiguous slice, readable with a single
+///                      pread); then a JSON dictionary *delta* — only
+///                      the values first seen in this chunk
+///
+/// Open() replays the dictionary deltas in chunk order and verifies
+/// every chunk's fingerprint, so a reopened store either matches the
+/// writer's state exactly or fails loudly.
+///
+/// Not thread-safe; callers serialize access (the service wraps a store
+/// in its per-session mutex).
+class ChunkedTable {
+ public:
+  ChunkedTable() = default;
+  ChunkedTable(ChunkedTable&&) = default;
+  ChunkedTable& operator=(ChunkedTable&&) = default;
+  ChunkedTable(const ChunkedTable&) = delete;
+  ChunkedTable& operator=(const ChunkedTable&) = delete;
+
+  /// New empty store. `dir` empty keeps chunks in memory; otherwise the
+  /// directory is created and an empty manifest written immediately.
+  static Result<ChunkedTable> Create(const Schema& schema, std::string dir);
+
+  /// Reopens a spilled store, replaying dictionary deltas and verifying
+  /// every chunk fingerprint against the manifest.
+  static Result<ChunkedTable> Open(std::string dir);
+
+  /// Encodes `batch` as one new chunk. Column count must match the
+  /// schema; zero-row batches are rejected. With a store dir the chunk
+  /// file and updated manifest are durable before this returns, and the
+  /// chunk's codes are dropped from memory — append I/O is O(chunk)
+  /// plus the O(#chunks) manifest rewrite.
+  Status AppendBatch(const Table& batch);
+
+  const Schema& schema() const { return schema_; }
+  const std::string& dir() const { return dir_; }
+  bool spilled() const { return !dir_.empty(); }
+  size_t num_rows() const { return total_rows_; }
+  size_t num_columns() const { return schema_.size(); }
+  size_t num_chunks() const { return chunks_.size(); }
+  size_t ChunkRowCount(size_t chunk) const { return chunks_[chunk].rows; }
+  const std::string& ChunkFingerprintHex(size_t chunk) const {
+    return chunks_[chunk].fingerprint_hex;
+  }
+
+  /// Transform-code cardinality of a column (numerics merged), i.e.
+  /// exactly EncodedTable::Encode(concatenated table).Cardinality(col).
+  size_t Cardinality(size_t col) const {
+    return static_cast<size_t>(dicts_[col].next_transform);
+  }
+  size_t NullCount(size_t col) const { return dicts_[col].null_count; }
+  /// Distinct exact values seen in a column (storage codes).
+  size_t DictionarySize(size_t col) const { return dicts_[col].values.size(); }
+
+  /// Streams one column's transform codes (kNullCode for nulls) across
+  /// all chunks into `out` — the streaming transform's input. Spilled
+  /// chunks cost one pread of the column's contiguous slice each.
+  Status ReadColumnCodes(size_t col, std::vector<int32_t>* out) const;
+
+  /// Exact value round-trip of one chunk (the service's replay path).
+  /// Spilled chunks are fingerprint-verified before decoding, so a
+  /// corrupted store surfaces as kIOError here rather than as silently
+  /// different data.
+  Result<Table> ReadChunkValues(size_t chunk) const;
+
+ private:
+  /// Per-column incremental dictionary; see the class comment for the
+  /// two code spaces.
+  struct ColumnDictionary {
+    std::vector<Value> values;  ///< by storage code
+    std::unordered_map<std::string, int32_t> by_string;
+    std::unordered_map<int64_t, int32_t> by_int;
+    /// Doubles key on their bit pattern (distinguishes -0.0 from 0.0 for
+    /// exact round-trip; the transform map below still merges them).
+    std::unordered_map<uint64_t, int32_t> by_double_bits;
+    /// Transform-code assignment, mirroring EncodedTable::Encode.
+    std::unordered_map<std::string, int32_t> t_string;
+    std::map<double, int32_t> t_numeric;
+    std::vector<int32_t> to_transform;  ///< storage code -> transform code
+    int32_t next_transform = 0;
+    size_t null_count = 0;
+  };
+
+  struct StoredChunk {
+    size_t rows = 0;
+    std::string file;  ///< basename under dir_; empty in memory mode
+    std::string fingerprint_hex;
+    /// Storage codes per column; cleared once spilled.
+    std::vector<std::vector<int32_t>> codes;
+  };
+
+  int32_t EncodeCell(const Value& v, size_t col, std::vector<Value>* fresh);
+  std::string SerializeChunk(const StoredChunk& chunk,
+                             const std::vector<size_t>& dict_starts) const;
+  std::string EncodeManifest() const;
+  Status WriteManifest() const;
+  Status LoadChunkPayload(size_t chunk, std::string* contents) const;
+
+  Schema schema_;
+  std::string dir_;
+  size_t total_rows_ = 0;
+  std::vector<ColumnDictionary> dicts_;
+  std::vector<StoredChunk> chunks_;
+};
+
+}  // namespace fdx
+
+#endif  // FDX_STORE_CHUNKED_TABLE_H_

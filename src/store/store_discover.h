@@ -1,0 +1,32 @@
+#ifndef FDX_STORE_STORE_DISCOVER_H_
+#define FDX_STORE_STORE_DISCOVER_H_
+
+#include <cstdint>
+
+#include "core/fdx.h"
+#include "store/chunked_table.h"
+
+namespace fdx {
+
+/// Out-of-core discovery knobs: the full FdxOptions plus the streaming
+/// transform's memory controls (see stream_transform.h).
+struct StoreDiscoverOptions {
+  FdxOptions fdx;
+  /// Budget for resident decoded columns; 0 = unbounded.
+  uint64_t column_cache_bytes = 0;
+  /// Process-RSS ceiling; a breach returns kUnavailable. 0 disables.
+  uint64_t rss_limit_bytes = 0;
+};
+
+/// FdxDiscoverer::Discover over a ChunkedTable: streaming pair transform
+/// (bounded memory), then the identical structure-learning path via
+/// DiscoverFromCovariance. Bit-identical to discovering the in-memory
+/// concatenation of every appended batch — same FDs, same matrices,
+/// same diagnostics, same error messages — at any chunk size, cache
+/// budget, and thread count.
+Result<FdxResult> DiscoverFromStore(const ChunkedTable& table,
+                                    const StoreDiscoverOptions& options = {});
+
+}  // namespace fdx
+
+#endif  // FDX_STORE_STORE_DISCOVER_H_

@@ -1,0 +1,41 @@
+#ifndef FDX_STORE_STREAM_TRANSFORM_H_
+#define FDX_STORE_STREAM_TRANSFORM_H_
+
+#include <cstdint>
+
+#include "core/transform.h"
+#include "store/chunked_table.h"
+
+namespace fdx {
+
+/// Knobs of the out-of-core pair transform. The embedded TransformOptions
+/// mean exactly what they mean in-memory — same seed derivation, same
+/// sampling, same pooled-covariance estimator — because both engines run
+/// the shared kernels in core/transform_kernels.h.
+struct StreamTransformOptions {
+  TransformOptions transform;
+  /// Budget for resident decoded columns (4 bytes/row each). When every
+  /// column fits, passes run in parallel exactly like the in-memory
+  /// engine; otherwise passes run serially over an LRU column cache of
+  /// at least two columns. 0 means unbounded (keep all columns).
+  /// Results are bit-identical either way — the cache only changes I/O.
+  uint64_t column_cache_bytes = 0;
+  /// Process-RSS ceiling polled between attribute passes; a breach
+  /// returns kUnavailable (the caller chose the ceiling, the input
+  /// simply does not fit under it). 0 disables the check.
+  uint64_t rss_limit_bytes = 0;
+};
+
+/// PairTransformCounts over a ChunkedTable. Bit-identical to running the
+/// in-memory transform on the concatenation of every appended batch, at
+/// any chunk size, cache budget, and thread count.
+Result<TransformCounts> StreamTransformCounts(
+    const ChunkedTable& table, const StreamTransformOptions& options = {});
+
+/// PairTransformMoments over a ChunkedTable (same equivalence contract).
+Result<TransformedMoments> StreamTransformMoments(
+    const ChunkedTable& table, const StreamTransformOptions& options = {});
+
+}  // namespace fdx
+
+#endif  // FDX_STORE_STREAM_TRANSFORM_H_

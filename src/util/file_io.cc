@@ -45,6 +45,41 @@ Result<std::string> ReadFileToString(const std::string& path) {
   return out;
 }
 
+Result<std::string> ReadFileSlice(const std::string& path, uint64_t offset,
+                                  uint64_t length) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: '" + path + "'");
+    }
+    return Status::IOError(ErrnoText("cannot open", path));
+  }
+  std::string out;
+  out.resize(length);
+  size_t got = 0;
+  while (got < length) {
+    ssize_t n = ::pread(fd, out.data() + got, length - got,
+                        static_cast<off_t>(offset + got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      return Status::IOError(ErrnoText("cannot read", path));
+    }
+    if (n == 0) {
+      ::close(fd);
+      return Status::IOError("short read from '" + path + "': wanted " +
+                             std::to_string(length) + " bytes at offset " +
+                             std::to_string(offset) + ", file ended after " +
+                             std::to_string(got));
+    }
+    got += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return out;
+}
+
 Status WriteFileAtomic(const std::string& path, const std::string& contents) {
   // The temp file must live in the same directory as the target so the
   // final rename is atomic (same filesystem).
@@ -97,6 +132,16 @@ Status EnsureDirectory(const std::string& path) {
 Status RemoveFile(const std::string& path) {
   if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
     return Status::IOError(ErrnoText("cannot remove", path));
+  }
+  return Status::OK();
+}
+
+Status RemoveDirectoryRecursive(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
+  if (ec) {
+    return Status::IOError("cannot remove directory '" + path +
+                           "': " + ec.message());
   }
   return Status::OK();
 }

@@ -15,6 +15,12 @@ namespace fdx {
 /// Reads a whole file into a string.
 Result<std::string> ReadFileToString(const std::string& path);
 
+/// Reads exactly `length` bytes starting at `offset`. Fails with
+/// kIOError if the file ends early — callers use this for fixed-layout
+/// binary files (chunk stores) where a short read means corruption.
+Result<std::string> ReadFileSlice(const std::string& path, uint64_t offset,
+                                  uint64_t length);
+
 /// Durable write: writes `contents` to a temporary file in the target's
 /// directory, fsyncs it, then renames it over `path`. Readers never see
 /// a torn file — they observe either the old contents or the new ones.
@@ -26,6 +32,9 @@ Status EnsureDirectory(const std::string& path);
 
 /// Removes a file; missing files are not an error.
 Status RemoveFile(const std::string& path);
+
+/// Removes a directory tree; a missing root is not an error.
+Status RemoveDirectoryRecursive(const std::string& path);
 
 /// Names of regular files directly inside `path` (not recursive),
 /// sorted for determinism.

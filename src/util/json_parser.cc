@@ -1,4 +1,4 @@
-#include "service/json_parser.h"
+#include "util/json_parser.h"
 
 #include <cctype>
 #include <cmath>

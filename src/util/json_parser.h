@@ -1,5 +1,5 @@
-#ifndef FDX_SERVICE_JSON_PARSER_H_
-#define FDX_SERVICE_JSON_PARSER_H_
+#ifndef FDX_UTIL_JSON_PARSER_H_
+#define FDX_UTIL_JSON_PARSER_H_
 
 #include <cstdint>
 #include <string>
@@ -71,4 +71,4 @@ class JsonValue {
 
 }  // namespace fdx
 
-#endif  // FDX_SERVICE_JSON_PARSER_H_
+#endif  // FDX_UTIL_JSON_PARSER_H_

@@ -1,0 +1,39 @@
+#include "util/reservoir.h"
+
+#include <algorithm>
+
+namespace fdx {
+
+ReservoirSampler::ReservoirSampler(size_t budget, uint64_t seed)
+    : budget_(budget), rng_(seed) {
+  reservoir_.reserve(budget);
+}
+
+void ReservoirSampler::Add(uint32_t item) {
+  if (budget_ == 0) {
+    ++seen_;
+    return;
+  }
+  if (reservoir_.size() < budget_) {
+    reservoir_.push_back(item);
+    ++seen_;
+    return;
+  }
+  // Classic Algorithm R: item i (0-based) replaces a uniformly random
+  // slot with probability budget / (i + 1).
+  const uint64_t j = rng_.NextUint64(seen_ + 1);
+  if (j < budget_) reservoir_[static_cast<size_t>(j)] = item;
+  ++seen_;
+}
+
+void ReservoirSampler::AddRange(uint32_t lo, uint32_t hi) {
+  for (uint32_t item = lo; item < hi; ++item) Add(item);
+}
+
+std::vector<uint32_t> ReservoirSampler::Sorted() const {
+  std::vector<uint32_t> out = reservoir_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fdx

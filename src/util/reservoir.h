@@ -1,0 +1,56 @@
+#ifndef FDX_UTIL_RESERVOIR_H_
+#define FDX_UTIL_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fdx {
+
+/// Deterministic reservoir sampler (Vitter's Algorithm R) over a stream
+/// of uint32 items. Holds at most `budget` items at any moment, so
+/// selecting a bounded pair sample from an out-of-core column costs
+/// O(budget) memory no matter how many rows stream past.
+///
+/// Determinism contract: the reservoir after `Add`-ing items
+/// x_0..x_{m-1} (in that order) is a pure function of (budget, seed, m,
+/// items) — one RNG draw per item beyond the first `budget`. In
+/// particular it does NOT depend on how the stream was sliced into
+/// chunks, which is what makes the sampled streaming transform
+/// reproduce the in-memory selection bit for bit at any chunk size.
+///
+/// With budget == 0 the sampler keeps nothing; with budget >= stream
+/// length it keeps everything (and draws nothing from the RNG).
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t budget, uint64_t seed);
+
+  /// Feeds one stream item.
+  void Add(uint32_t item);
+
+  /// Feeds the half-open range [lo, hi) in ascending order — the common
+  /// "sample positions 0..n-1" case without materializing the iota.
+  void AddRange(uint32_t lo, uint32_t hi);
+
+  /// Items offered so far.
+  uint64_t stream_size() const { return seen_; }
+
+  /// Current reservoir contents, in slot order (implementation detail;
+  /// use Sorted() for a canonical view).
+  const std::vector<uint32_t>& items() const { return reservoir_; }
+
+  /// The selection in ascending item order. Canonical: two samplers
+  /// that saw the same (budget, seed, stream) agree element-wise.
+  std::vector<uint32_t> Sorted() const;
+
+ private:
+  size_t budget_;
+  Rng rng_;
+  uint64_t seen_ = 0;
+  std::vector<uint32_t> reservoir_;
+};
+
+}  // namespace fdx
+
+#endif  // FDX_UTIL_RESERVOIR_H_

@@ -165,5 +165,147 @@ TEST(CsvTest, WriteReadRoundTrip) {
   std::remove(path.c_str());
 }
 
+// --- chunked streaming reader ------------------------------------------
+
+/// Concatenates the chunks a chunked read produces back into one table.
+Result<Table> ReassembleChunks(const std::string& text,
+                               const CsvOptions& options, size_t chunk_rows,
+                               size_t* num_chunks = nullptr) {
+  Table out;
+  bool first = true;
+  size_t count = 0;
+  FDX_RETURN_IF_ERROR(ReadCsvChunkedFromString(
+      text, options, chunk_rows, [&](Table&& chunk) {
+        ++count;
+        if (first) {
+          out = Table{chunk.schema()};
+          first = false;
+        }
+        std::vector<Value> row(chunk.num_columns());
+        for (size_t r = 0; r < chunk.num_rows(); ++r) {
+          for (size_t c = 0; c < chunk.num_columns(); ++c) {
+            row[c] = chunk.cell(r, c);
+          }
+          out.AppendRow(row);
+        }
+        return Status::OK();
+      }));
+  if (num_chunks != nullptr) *num_chunks = count;
+  return out;
+}
+
+void ExpectTablesIdentical(const Table& a, const Table& b) {
+  ASSERT_EQ(a.schema().names(), b.schema().names());
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      const Value& x = a.cell(r, c);
+      const Value& y = b.cell(r, c);
+      ASSERT_EQ(static_cast<int>(x.type()), static_cast<int>(y.type()))
+          << "row " << r << " col " << c;
+      if (!x.is_null()) {
+        EXPECT_TRUE(x.EqualsStrict(y)) << "row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(CsvChunkedTest, ChunksReassembleToTheWholeFileRead) {
+  std::string text = "a,b,c\n";
+  for (int r = 0; r < 53; ++r) {
+    text += std::to_string(r) + "," + (r % 7 == 0 ? "NULL" : "x" +
+            std::to_string(r % 3)) + "," + std::to_string(r * 0.5) + "\n";
+  }
+  auto whole = ReadCsvFromString(text);
+  ASSERT_TRUE(whole.ok());
+  for (size_t chunk_rows : {size_t{1}, size_t{7}, size_t{53}, size_t{1000}}) {
+    size_t num_chunks = 0;
+    auto chunked = ReassembleChunks(text, {}, chunk_rows, &num_chunks);
+    ASSERT_TRUE(chunked.ok()) << chunk_rows;
+    ExpectTablesIdentical(whole.value(), chunked.value());
+    EXPECT_EQ(num_chunks, (53 + chunk_rows - 1) / chunk_rows);
+  }
+}
+
+TEST(CsvChunkedTest, MidFileErrorReportsTheSameLineOnBothPaths) {
+  // Row 4 (line 5, counting the header) is ragged. The chunked reader
+  // must cite the same 1-based physical line as the whole-file reader,
+  // no matter where the chunk boundaries fall.
+  const std::string text = "a,b\n1,2\n3,4\n5,6\nbroken\n7,8\n";
+  auto whole = ReadCsvFromString(text);
+  ASSERT_FALSE(whole.ok());
+  ASSERT_NE(whole.status().message().find("line 5"), std::string::npos)
+      << whole.status().ToString();
+  for (size_t chunk_rows : {size_t{1}, size_t{2}, size_t{100}}) {
+    auto chunked = ReassembleChunks(text, {}, chunk_rows);
+    ASSERT_FALSE(chunked.ok()) << chunk_rows;
+    EXPECT_EQ(chunked.status().code(), whole.status().code());
+    EXPECT_EQ(chunked.status().message(), whole.status().message());
+  }
+}
+
+TEST(CsvChunkedTest, HeaderlessChunksCarrySynthesizedSchema) {
+  const std::string text = "1,2\n3,4\n5,6\n";
+  CsvOptions options;
+  options.has_header = false;
+  size_t num_chunks = 0;
+  auto chunked = ReassembleChunks(text, options, 2, &num_chunks);
+  ASSERT_TRUE(chunked.ok());
+  EXPECT_EQ(num_chunks, 2u);
+  EXPECT_EQ(chunked->schema().name(0), "col0");
+  EXPECT_EQ(chunked->schema().name(1), "col1");
+  EXPECT_EQ(chunked->num_rows(), 3u);
+}
+
+TEST(CsvChunkedTest, RowLessInputStillDeliversOneChunkWithSchema) {
+  size_t num_chunks = 0;
+  auto chunked = ReassembleChunks("a,b\n", {}, 4, &num_chunks);
+  ASSERT_TRUE(chunked.ok());
+  EXPECT_EQ(num_chunks, 1u);
+  EXPECT_EQ(chunked->num_rows(), 0u);
+  EXPECT_EQ(chunked->schema().name(1), "b");
+}
+
+TEST(CsvChunkedTest, SinkErrorAbortsTheRead) {
+  const std::string text = "a\n1\n2\n3\n4\n";
+  size_t calls = 0;
+  const Status status = ReadCsvChunkedFromString(
+      text, {}, 1, [&](Table&&) {
+        ++calls;
+        return calls == 2 ? Status::Internal("sink says stop")
+                          : Status::OK();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "sink says stop");
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(CsvChunkedTest, FileAndStringChunkingAgree) {
+  std::string text = "a,b\n";
+  for (int r = 0; r < 20; ++r) {
+    text += std::to_string(r) + "," + std::to_string(r % 3) + "\n";
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fdx_csv_chunk_test.csv")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+  }
+  size_t rows_string = 0;
+  size_t rows_file = 0;
+  ASSERT_TRUE(ReadCsvChunkedFromString(text, {}, 6, [&](Table&& chunk) {
+                rows_string += chunk.num_rows();
+                return Status::OK();
+              }).ok());
+  ASSERT_TRUE(ReadCsvChunked(path, {}, 6, [&](Table&& chunk) {
+                rows_file += chunk.num_rows();
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(rows_string, 20u);
+  EXPECT_EQ(rows_file, 20u);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace fdx

@@ -1,0 +1,82 @@
+#include "util/reservoir.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fdx {
+namespace {
+
+TEST(ReservoirTest, FixedSeedIsReproducible) {
+  ReservoirSampler a(16, 99);
+  ReservoirSampler b(16, 99);
+  a.AddRange(0, 1000);
+  b.AddRange(0, 1000);
+  EXPECT_EQ(a.items(), b.items());
+  EXPECT_EQ(a.Sorted(), b.Sorted());
+  EXPECT_EQ(a.stream_size(), 1000u);
+}
+
+TEST(ReservoirTest, SelectionIndependentOfChunkBoundaries) {
+  // The out-of-core contract: how the stream is sliced into Add calls
+  // must not change the selection, only (budget, seed, stream) may.
+  ReservoirSampler whole(32, 7);
+  whole.AddRange(0, 5000);
+
+  ReservoirSampler one_by_one(32, 7);
+  for (uint32_t i = 0; i < 5000; ++i) one_by_one.Add(i);
+
+  ReservoirSampler ragged(32, 7);
+  ragged.AddRange(0, 1);
+  ragged.AddRange(1, 8);
+  ragged.AddRange(8, 1000);
+  ragged.AddRange(1000, 1000);  // empty ranges are fine too
+  ragged.AddRange(1000, 4999);
+  ragged.Add(4999);
+
+  EXPECT_EQ(whole.items(), one_by_one.items());
+  EXPECT_EQ(whole.items(), ragged.items());
+}
+
+TEST(ReservoirTest, BudgetAtLeastStreamKeepsEverything) {
+  ReservoirSampler sampler(100, 3);
+  sampler.AddRange(0, 100);
+  std::vector<uint32_t> expected(100);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(sampler.Sorted(), expected);
+
+  ReservoirSampler bigger(1000, 3);
+  bigger.AddRange(0, 100);
+  EXPECT_EQ(bigger.Sorted(), expected);
+}
+
+TEST(ReservoirTest, ZeroBudgetKeepsNothing) {
+  ReservoirSampler sampler(0, 11);
+  sampler.AddRange(0, 500);
+  EXPECT_TRUE(sampler.items().empty());
+  EXPECT_EQ(sampler.stream_size(), 500u);
+}
+
+TEST(ReservoirTest, SortedIsAscendingAndUnique) {
+  ReservoirSampler sampler(64, 42);
+  sampler.AddRange(0, 10000);
+  const std::vector<uint32_t> sorted = sampler.Sorted();
+  ASSERT_EQ(sorted.size(), 64u);
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LT(sorted[i - 1], sorted[i]);
+  }
+  for (uint32_t item : sorted) EXPECT_LT(item, 10000u);
+}
+
+TEST(ReservoirTest, DifferentSeedsDiverge) {
+  ReservoirSampler a(32, 1);
+  ReservoirSampler b(32, 2);
+  a.AddRange(0, 5000);
+  b.AddRange(0, 5000);
+  EXPECT_NE(a.Sorted(), b.Sorted());
+}
+
+}  // namespace
+}  // namespace fdx

@@ -14,7 +14,7 @@
 #include <thread>
 #include <vector>
 
-#include "service/json_parser.h"
+#include "util/json_parser.h"
 #include "service/server.h"
 #include "util/fault_injection.h"
 #include "util/socket.h"

@@ -11,7 +11,7 @@
 #include <thread>
 #include <vector>
 
-#include "service/json_parser.h"
+#include "util/json_parser.h"
 #include "service/server.h"
 #include "util/fault_injection.h"
 #include "util/json_writer.h"

@@ -15,7 +15,7 @@
 
 #include "core/fdx.h"
 #include "data/table.h"
-#include "service/json_parser.h"
+#include "util/json_parser.h"
 #include "service/protocol.h"
 #include "service/server.h"
 #include "service/session_registry.h"

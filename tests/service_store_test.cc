@@ -1,0 +1,231 @@
+// Out-of-core fdxd sessions ("storage":"chunked"): responses must match
+// memory sessions byte-for-byte, durability snapshots reference the
+// chunk-store manifest instead of embedding rows, restarts replay the
+// chunks to bit-identical results, and corrupted stores are dropped
+// loudly instead of revived wrong.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "service/server.h"
+#include "util/file_io.h"
+#include "util/json_parser.h"
+#include "util/socket.h"
+
+namespace fdx {
+namespace {
+
+/// One-shot request helper (connect, one line out, one line in).
+Result<std::string> Request(uint16_t port, const std::string& line) {
+  FDX_ASSIGN_OR_RETURN(Socket sock, Socket::ConnectLoopback(port));
+  FDX_RETURN_IF_ERROR(sock.SendAll(line + "\n"));
+  std::string response;
+  FDX_RETURN_IF_ERROR(sock.ReadLine(&response));
+  return response;
+}
+
+std::string RowsJson(int rows, int modulus, int offset = 0) {
+  std::string json = "[";
+  for (int i = 0; i < rows; ++i) {
+    if (i > 0) json += ",";
+    const int a = (i + offset) % modulus;
+    json += "[" + std::to_string(a) + "," + std::to_string(2 * a) + "," +
+            std::to_string(i % 3) + "]";
+  }
+  return json + "]";
+}
+
+bool IsOk(const Result<std::string>& response) {
+  if (!response.ok()) return false;
+  auto parsed = JsonValue::Parse(*response);
+  return parsed.ok() && parsed->BoolOr("ok", false);
+}
+
+class ChunkedSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    state_dir_ =
+        ::testing::TempDir() + "fdx_store_state_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    (void)RemoveDirectoryRecursive(state_dir_);
+  }
+
+  void TearDown() override { (void)RemoveDirectoryRecursive(state_dir_); }
+
+  ServerOptions DurableOptions() {
+    ServerOptions options;
+    options.state_dir = state_dir_;
+    options.snapshot_interval_seconds = 60.0;  // no background spills mid-test
+    return options;
+  }
+
+  std::string state_dir_;
+};
+
+TEST_F(ChunkedSessionTest, RejectsUnknownStorage) {
+  FdxServer server{ServerOptions{}};
+  ASSERT_TRUE(server.Start().ok());
+  auto open = Request(
+      server.port(), R"({"op":"open","schema":["a","b"],"storage":"tape"})");
+  ASSERT_TRUE(open.ok());
+  EXPECT_FALSE(JsonValue::Parse(*open)->BoolOr("ok", true)) << *open;
+  EXPECT_NE(open->find("unknown storage"), std::string::npos) << *open;
+  server.Shutdown();
+}
+
+TEST_F(ChunkedSessionTest, ChunkedSessionMatchesMemorySessionByteForByte) {
+  // Non-durable server: chunked sessions work without a state dir (the
+  // store keeps its chunks in memory) and must serve the exact bytes a
+  // memory session serves for the same appends.
+  FdxServer server{ServerOptions{}};
+  ASSERT_TRUE(server.Start().ok());
+  auto open_memory =
+      Request(server.port(), R"({"op":"open","schema":["a","b","c"]})");
+  ASSERT_TRUE(IsOk(open_memory)) << *open_memory;
+  auto open_chunked = Request(
+      server.port(),
+      R"({"op":"open","schema":["a","b","c"],"storage":"chunked"})");
+  ASSERT_TRUE(IsOk(open_chunked)) << *open_chunked;
+  EXPECT_NE(open_chunked->find("\"storage\":\"chunked\""), std::string::npos)
+      << *open_chunked;
+
+  for (const char* session : {"s-1", "s-2"}) {
+    auto a1 = Request(server.port(),
+                      std::string(R"({"op":"append","session":")") + session +
+                          R"(","rows":)" + RowsJson(24, 5) + "}");
+    ASSERT_TRUE(IsOk(a1)) << *a1;
+    auto a2 = Request(server.port(),
+                      std::string(R"({"op":"append","session":")") + session +
+                          R"(","rows":)" + RowsJson(12, 5, 2) + "}");
+    ASSERT_TRUE(IsOk(a2)) << *a2;
+  }
+  auto memory = Request(server.port(), R"({"op":"discover","session":"s-1"})");
+  auto chunked = Request(server.port(), R"({"op":"discover","session":"s-2"})");
+  ASSERT_TRUE(IsOk(memory)) << *memory;
+  ASSERT_TRUE(IsOk(chunked)) << *chunked;
+  EXPECT_EQ(*memory, *chunked);
+  server.Shutdown();
+}
+
+TEST_F(ChunkedSessionTest, SnapshotReferencesStoreInsteadOfEmbeddingRows) {
+  FdxServer server(DurableOptions());
+  ASSERT_TRUE(server.Start().ok());
+  auto open = Request(
+      server.port(),
+      R"({"op":"open","schema":["a","b","c"],"storage":"chunked"})");
+  ASSERT_TRUE(IsOk(open)) << *open;
+  auto append =
+      Request(server.port(), R"({"op":"append","session":"s-1","rows":)" +
+                                 RowsJson(24, 5) + "}");
+  ASSERT_TRUE(IsOk(append)) << *append;
+
+  // The chunk store holds the rows...
+  auto manifest = ReadFileToString(state_dir_ + "/stores/s-1/manifest.json");
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_NE(manifest->find("\"total_rows\":24"), std::string::npos)
+      << *manifest;
+  auto chunk = ReadFileToString(state_dir_ + "/stores/s-1/chunk-000000.bin");
+  ASSERT_TRUE(chunk.ok());
+
+  // ...and the session snapshot only references them: storage marker
+  // present, no embedded batches.
+  auto snapshot = ReadFileToString(state_dir_ + "/sessions/s-1.json");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_NE(snapshot->find("\"storage\":\"chunked\""), std::string::npos)
+      << *snapshot;
+  EXPECT_EQ(snapshot->find("\"batches\""), std::string::npos) << *snapshot;
+  server.Shutdown();
+}
+
+TEST_F(ChunkedSessionTest, RestartReplaysChunksBitIdentically) {
+  std::string cold_response;
+  {
+    FdxServer server(DurableOptions());
+    ASSERT_TRUE(server.Start().ok());
+    auto open = Request(
+        server.port(),
+        R"({"op":"open","schema":["a","b","c"],"storage":"chunked"})");
+    ASSERT_TRUE(IsOk(open)) << *open;
+    // Mixed appends: rows and CSV (with a null and a type change).
+    ASSERT_TRUE(IsOk(Request(server.port(),
+                             R"({"op":"append","session":"s-1","rows":)" +
+                                 RowsJson(24, 5) + "}")));
+    ASSERT_TRUE(IsOk(Request(
+        server.port(),
+        R"({"op":"append","session":"s-1","csv":"0,0,0\n1,2,1\n2,4,2\n1.5,x,\n"})")));
+    auto cold = Request(server.port(), R"({"op":"discover","session":"s-1"})");
+    ASSERT_TRUE(IsOk(cold)) << *cold;
+    cold_response = *cold;
+    server.Shutdown();
+  }
+  // Drop the spilled result cache: the restarted server must *recompute*
+  // the same bytes from the replayed chunks, not just re-serve them.
+  (void)RemoveFile(state_dir_ + "/cache.json");
+  {
+    FdxServer server(DurableOptions());
+    ASSERT_TRUE(server.Start().ok());
+    EXPECT_EQ(server.sessions_recovered(), 1u);
+    EXPECT_EQ(server.sessions_recovery_failed(), 0u);
+    auto warm = Request(server.port(), R"({"op":"discover","session":"s-1"})");
+    ASSERT_TRUE(warm.ok());
+    EXPECT_EQ(*warm, cold_response);
+    // The restored session keeps accepting appends, and the store keeps
+    // growing through them.
+    auto append =
+        Request(server.port(), R"({"op":"append","session":"s-1","rows":)" +
+                                   RowsJson(8, 5) + "}");
+    ASSERT_TRUE(IsOk(append)) << *append;
+    EXPECT_DOUBLE_EQ(JsonValue::Parse(*append)->NumberOr("total_rows", 0), 36);
+    auto manifest = ReadFileToString(state_dir_ + "/stores/s-1/manifest.json");
+    ASSERT_TRUE(manifest.ok());
+    EXPECT_NE(manifest->find("\"total_rows\":36"), std::string::npos)
+        << *manifest;
+    server.Shutdown();
+  }
+}
+
+TEST_F(ChunkedSessionTest, CorruptStoreIsDroppedOnRestart) {
+  {
+    FdxServer server(DurableOptions());
+    ASSERT_TRUE(server.Start().ok());
+    ASSERT_TRUE(IsOk(Request(
+        server.port(),
+        R"({"op":"open","schema":["a","b","c"],"storage":"chunked"})")));
+    ASSERT_TRUE(IsOk(Request(server.port(),
+                             R"({"op":"append","session":"s-1","rows":)" +
+                                 RowsJson(24, 5) + "}")));
+    server.Shutdown();
+  }
+  // Flip a byte inside the chunk payload.
+  const std::string victim = state_dir_ + "/stores/s-1/chunk-000000.bin";
+  {
+    std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    char byte = 0;
+    f.seekg(40);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.seekp(40);
+    f.write(&byte, 1);
+  }
+  {
+    FdxServer server(DurableOptions());
+    ASSERT_TRUE(server.Start().ok());
+    EXPECT_EQ(server.sessions_recovered(), 0u);
+    EXPECT_EQ(server.sessions_recovery_failed(), 1u);
+    // Consistent-or-absent: session gone, snapshot gone, store dir gone.
+    auto discover =
+        Request(server.port(), R"({"op":"discover","session":"s-1"})");
+    ASSERT_TRUE(discover.ok());
+    EXPECT_FALSE(JsonValue::Parse(*discover)->BoolOr("ok", true)) << *discover;
+    EXPECT_FALSE(ReadFileToString(state_dir_ + "/sessions/s-1.json").ok());
+    EXPECT_FALSE(ReadFileToString(victim).ok());
+    server.Shutdown();
+  }
+}
+
+}  // namespace
+}  // namespace fdx

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "service/job_queue.h"
-#include "service/json_parser.h"
+#include "util/json_parser.h"
 #include "service/protocol.h"
 #include "service/result_cache.h"
 #include "service/session_registry.h"

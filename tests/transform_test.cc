@@ -10,6 +10,7 @@
 #include "data/csv.h"
 #include "linalg/stats.h"
 #include "synth/generator.h"
+#include "util/reservoir.h"
 
 namespace fdx {
 namespace {
@@ -42,13 +43,12 @@ std::vector<std::pair<size_t, size_t>> RefPairsForAttribute(
     pairs.emplace_back(order[n - 1], order[0]);
     return pairs;
   }
+  // Sampled variant: the engine draws max_pairs sorted positions from a
+  // seeded reservoir (Algorithm R) and emits them ascending.
   pairs.reserve(max_pairs);
-  std::vector<size_t> positions(n);
-  std::iota(positions.begin(), positions.end(), 0);
-  Rng rng(attr_seed);
-  rng.Shuffle(&positions);
-  for (size_t i = 0; i < max_pairs; ++i) {
-    const size_t j = positions[i];
+  ReservoirSampler sampler(max_pairs, attr_seed);
+  sampler.AddRange(0, static_cast<uint32_t>(n));
+  for (uint32_t j : sampler.Sorted()) {
     const size_t next = j + 1 == n ? 0 : j + 1;
     pairs.emplace_back(order[j], order[next]);
   }

@@ -1,7 +1,7 @@
 // fdxctl — command-line client of the fdxd daemon.
 //
 // Subcommands (every one needs --port=N or --port-file=PATH):
-//   open     --schema=a,b,c [--options='{...}']          -> session id
+//   open     --schema=a,b,c [--options='{...}'] [--storage=chunked]
 //   append   --session=s-1 (--csv-file=PATH | --rows='[[...]]')
 //   discover (--session=s-1 | --csv-file=PATH | --csv-path=PATH
 //             | --table='{...}') [--options='{...}']
@@ -47,7 +47,7 @@
 #include <thread>
 #include <vector>
 
-#include "service/json_parser.h"
+#include "util/json_parser.h"
 #include "service/protocol.h"
 #include "util/json_writer.h"
 #include "util/socket.h"
@@ -85,7 +85,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: fdxctl <op> --port=N|--port-file=PATH [op flags]\n"
-      "  open     --schema=a,b,c [--options='{...}']\n"
+      "  open     --schema=a,b,c [--options='{...}'] [--storage=chunked]\n"
       "  append   --session=ID (--csv-file=PATH | --rows='[[...]]')\n"
       "  discover (--session=ID | --csv-file=PATH | --csv-path=PATH |\n"
       "            --table='{...}') [--options='{...}']\n"
@@ -149,6 +149,8 @@ Result<std::string> BuildRequest(const std::string& op, const Args& args) {
       first = false;
     }
     request += "]";
+    const std::string storage = args.Get("storage");
+    if (!storage.empty()) request += ",\"storage\":" + Quote(storage);
   } else if (op == "append") {
     const std::string session = args.Get("session");
     if (session.empty()) {

@@ -69,7 +69,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "service/json_parser.h"
+#include "util/json_parser.h"
 #include "service/server.h"
 #include "util/epoll.h"
 #include "util/json_writer.h"

@@ -15,6 +15,14 @@
 // --time-budget= (wall-clock seconds; expired runs exit 4 with a
 // Timeout status), --no-recovery (fail fast instead of retrying).
 //
+// Beyond-RAM discovery (discover only): --max-memory-mb=N streams the
+// CSV through a spillable chunk store and runs the bounded-memory
+// transform under an N-MB process-RSS ceiling; --chunk-rows= sets the
+// ingest chunk size (default 65536), --store-dir= keeps the chunk store
+// (default: a temp dir next to the CSV, removed afterwards), and
+// --stable omits timing fields so the two paths' outputs can be
+// compared byte-for-byte.
+//
 // Exit codes: 0 ok, 1 error, 2 usage, 3 validation violations, 4 timeout.
 
 #include <cstdio>
@@ -32,7 +40,10 @@
 #include "baselines/ucc.h"
 #include "fd/cfd.h"
 #include "fd/validation.h"
+#include "store/chunked_table.h"
+#include "store/store_discover.h"
 #include "synth/generator.h"
+#include "util/file_io.h"
 #include "util/json_writer.h"
 #include "util/string_util.h"
 
@@ -120,33 +131,39 @@ Result<Table> LoadTable(const Args& args, const std::string& path) {
   return ReadCsv(path, csv);
 }
 
-void EmitFdsJson(const Table& table, const FdxResult& result) {
+/// `stable` drops every timing-derived field (transform/learning
+/// seconds, diagnostics) so the in-memory and out-of-core paths emit
+/// byte-identical JSON for the same table — CI compares them with cmp.
+void EmitFdsJson(const Schema& schema, size_t rows, const FdxResult& result,
+                 bool stable) {
   std::vector<std::string> attribute_names;
-  for (size_t c = 0; c < table.num_columns(); ++c) {
-    attribute_names.push_back(table.schema().name(c));
+  for (size_t c = 0; c < schema.size(); ++c) {
+    attribute_names.push_back(schema.name(c));
   }
   JsonWriter json;
   json.BeginObject();
   json.Key("rows");
-  json.Integer(static_cast<int64_t>(table.num_rows()));
+  json.Integer(static_cast<int64_t>(rows));
   json.Key("columns");
-  json.Integer(static_cast<int64_t>(table.num_columns()));
-  json.Key("transform_seconds");
-  json.Number(result.transform_seconds);
-  json.Key("learning_seconds");
-  json.Number(result.learning_seconds);
-  json.Key("diagnostics");
-  WriteRunDiagnosticsJson(&json, result.diagnostics, attribute_names);
+  json.Integer(static_cast<int64_t>(schema.size()));
+  if (!stable) {
+    json.Key("transform_seconds");
+    json.Number(result.transform_seconds);
+    json.Key("learning_seconds");
+    json.Number(result.learning_seconds);
+    json.Key("diagnostics");
+    WriteRunDiagnosticsJson(&json, result.diagnostics, attribute_names);
+  }
   json.Key("fds");
   json.BeginArray();
   for (const auto& fd : result.fds) {
     json.BeginObject();
     json.Key("lhs");
     json.BeginArray();
-    for (size_t a : fd.lhs) json.String(table.schema().name(a));
+    for (size_t a : fd.lhs) json.String(schema.name(a));
     json.EndArray();
     json.Key("rhs");
-    json.String(table.schema().name(fd.rhs));
+    json.String(schema.name(fd.rhs));
     json.EndObject();
   }
   json.EndArray();
@@ -154,10 +171,90 @@ void EmitFdsJson(const Table& table, const FdxResult& result) {
   std::printf("%s\n", json.TakeString().c_str());
 }
 
+/// Text twin of EmitFdsJson with the same `stable` contract.
+void EmitFdsText(const Schema& schema, size_t rows, const FdxResult& result,
+                 bool stable) {
+  if (stable) {
+    std::printf("%zu rows x %zu columns; %zu FDs discovered\n\n%s", rows,
+                schema.size(), result.fds.size(),
+                FdSetToString(result.fds, schema).c_str());
+    return;
+  }
+  std::printf("%zu rows x %zu columns; %zu FDs discovered in %.3fs\n\n%s",
+              rows, schema.size(), result.fds.size(),
+              result.transform_seconds + result.learning_seconds,
+              FdSetToString(result.fds, schema).c_str());
+  std::vector<std::string> names;
+  for (size_t c = 0; c < schema.size(); ++c) names.push_back(schema.name(c));
+  const std::string diagnostics =
+      RenderRunDiagnostics(result.diagnostics, names);
+  if (!diagnostics.empty()) std::printf("\n%s", diagnostics.c_str());
+}
+
+/// The beyond-RAM discover path: stream the CSV into a spillable chunk
+/// store, then run the bounded-memory transform + the usual structure
+/// learning under a process-RSS ceiling. Bit-identical results to the
+/// in-memory path (EmitFds* with --stable makes that checkable by cmp).
+int StreamingDiscover(const Args& args, const std::string& path) {
+  const double max_memory_mb = args.GetDouble("max-memory-mb", 0.0);
+  const uint64_t rss_limit =
+      static_cast<uint64_t>(max_memory_mb * 1024.0 * 1024.0);
+  const size_t chunk_rows =
+      static_cast<size_t>(args.GetDouble("chunk-rows", 65536.0));
+  std::string store_dir = args.Get("store-dir");
+  const bool temp_store = store_dir.empty();
+  if (temp_store) {
+    store_dir = path + ".fdxstore";
+    (void)RemoveDirectoryRecursive(store_dir);  // stale leftovers
+  }
+  CsvOptions csv;
+  const std::string delim = args.Get("delimiter");
+  if (!delim.empty()) csv.delimiter = delim[0];
+
+  ChunkedTable store;
+  bool created = false;
+  Status read =
+      ReadCsvChunked(path, csv, chunk_rows, [&](Table&& chunk) -> Status {
+        if (!created) {
+          FDX_ASSIGN_OR_RETURN(store,
+                               ChunkedTable::Create(chunk.schema(), store_dir));
+          created = true;
+        }
+        if (chunk.num_rows() == 0) return Status::OK();
+        return store.AppendBatch(chunk);
+      });
+  if (!read.ok()) {
+    if (temp_store) (void)RemoveDirectoryRecursive(store_dir);
+    std::fprintf(stderr, "%s\n", read.ToString().c_str());
+    return 1;
+  }
+
+  StoreDiscoverOptions options;
+  options.fdx = OptionsFromArgs(args);
+  options.rss_limit_bytes = rss_limit;
+  // Decoded columns may use at most a quarter of the ceiling; the rest
+  // is left for dictionaries, counts, and the process baseline.
+  options.column_cache_bytes = rss_limit / 4;
+  auto result = DiscoverFromStore(store, options);
+  const Schema schema = store.schema();
+  const size_t rows = store.num_rows();
+  if (temp_store) (void)RemoveDirectoryRecursive(store_dir);
+  if (!result.ok()) return FailWith(result.status());
+  if (args.Get("format") == "json") {
+    EmitFdsJson(schema, rows, *result, args.Has("stable"));
+  } else {
+    EmitFdsText(schema, rows, *result, args.Has("stable"));
+  }
+  return 0;
+}
+
 int Discover(const Args& args) {
   if (args.positional().empty()) {
     std::fprintf(stderr, "usage: fdxtool discover <csv> [flags]\n");
     return 2;
+  }
+  if (args.GetDouble("max-memory-mb", 0.0) > 0.0) {
+    return StreamingDiscover(args, args.positional()[0]);
   }
   auto table = LoadTable(args, args.positional()[0]);
   if (!table.ok()) {
@@ -168,20 +265,11 @@ int Discover(const Args& args) {
   auto result = discoverer.Discover(*table);
   if (!result.ok()) return FailWith(result.status());
   if (args.Get("format") == "json") {
-    EmitFdsJson(*table, *result);
+    EmitFdsJson(table->schema(), table->num_rows(), *result,
+                args.Has("stable"));
   } else {
-    std::printf("%zu rows x %zu columns; %zu FDs discovered in %.3fs\n\n%s",
-                table->num_rows(), table->num_columns(),
-                result->fds.size(),
-                result->transform_seconds + result->learning_seconds,
-                FdSetToString(result->fds, table->schema()).c_str());
-    std::vector<std::string> names;
-    for (size_t c = 0; c < table->num_columns(); ++c) {
-      names.push_back(table->schema().name(c));
-    }
-    const std::string diagnostics =
-        RenderRunDiagnostics(result->diagnostics, names);
-    if (!diagnostics.empty()) std::printf("\n%s", diagnostics.c_str());
+    EmitFdsText(table->schema(), table->num_rows(), *result,
+                args.Has("stable"));
   }
   return 0;
 }
@@ -526,7 +614,14 @@ int Usage() {
       "  --time-budget=S   wall-clock budget in seconds; expired runs\n"
       "                    exit 4 with a Timeout status\n"
       "  --no-recovery     fail fast on numerical errors instead of\n"
-      "                    retrying with ridge escalation / fallback\n");
+      "                    retrying with ridge escalation / fallback\n\n"
+      "beyond-RAM flags (discover):\n"
+      "  --max-memory-mb=N stream the CSV through a spillable chunk\n"
+      "                    store and discover under an N-MB RSS ceiling\n"
+      "  --chunk-rows=N    ingest chunk size (default 65536)\n"
+      "  --store-dir=DIR   keep the chunk store at DIR (default: temp)\n"
+      "  --stable          omit timing fields so in-memory and chunked\n"
+      "                    outputs compare byte-for-byte\n");
   return 2;
 }
 
