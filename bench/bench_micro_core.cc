@@ -44,8 +44,10 @@
 #include "data/csv.h"
 #include "eval/report.h"
 #include "fd/partition.h"
+#include "linalg/bitmatrix.h"
 #include "linalg/factorization.h"
 #include "linalg/glasso.h"
+#include "linalg/simd.h"
 #include "linalg/stats.h"
 #include "store/chunked_table.h"
 #include "store/stream_transform.h"
@@ -96,6 +98,41 @@ void BM_PairTransformPacked(benchmark::State& state) {
                           state.range(1));
 }
 BENCHMARK(BM_PairTransformPacked)->Args({10000, 8})->Args({10000, 32});
+
+void BM_PairTransformPackedScalar(benchmark::State& state) {
+  const SyntheticDataset ds =
+      MakeData(static_cast<size_t>(state.range(0)),
+               static_cast<size_t>(state.range(1)));
+  const SimdLevel ambient = ActiveSimdLevel();
+  SetSimdLevel(SimdLevel::kScalar);
+  for (auto _ : state) {
+    auto packed = PairTransformPacked(ds.noisy, {});
+    benchmark::DoNotOptimize(packed);
+  }
+  SetSimdLevel(ambient);
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1));
+}
+BENCHMARK(BM_PairTransformPackedScalar)->Args({10000, 8})->Args({10000, 32});
+
+void BM_BitMatrixUnpackRows(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t cols = static_cast<size_t>(state.range(1));
+  Rng rng(9);
+  BitMatrix bits(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (rng.NextBernoulli(0.5)) bits.Set(r, c);
+    }
+  }
+  Matrix dense(rows, cols);
+  for (auto _ : state) {
+    bits.UnpackRows(0, rows, &dense);
+    benchmark::DoNotOptimize(dense);
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_BitMatrixUnpackRows)->Args({100000, 16})->Args({100000, 64});
 
 void BM_PairTransformCounts(benchmark::State& state) {
   const SyntheticDataset ds =
@@ -345,6 +382,29 @@ int RunScalingReport(const bench::Flags& flags) {
     stages[5].results.push_back({threads, e2e_secs});
   }
 
+  // SIMD cell: the packed transform at the scalar fallback vs the
+  // runtime-dispatched level, single-threaded so the kernel dominates.
+  // Bit-identity of the packed output rides along.
+  const SimdLevel simd_ambient = ActiveSimdLevel();
+  TransformOptions simd_transform;
+  simd_transform.threads = 1;
+  SetSimdLevel(SimdLevel::kScalar);
+  const double pack_scalar_secs = MedianSeconds(reps, [&] {
+    auto packed = PairTransformPacked(ds.noisy, simd_transform);
+    benchmark::DoNotOptimize(packed);
+  });
+  auto simd_scalar_packed = PairTransformPacked(ds.noisy, simd_transform);
+  SetSimdLevel(simd_ambient);
+  const double pack_simd_secs = MedianSeconds(reps, [&] {
+    auto packed = PairTransformPacked(ds.noisy, simd_transform);
+    benchmark::DoNotOptimize(packed);
+  });
+  auto simd_active_packed = PairTransformPacked(ds.noisy, simd_transform);
+  const bool simd_bit_identical =
+      simd_scalar_packed.ok() && simd_active_packed.ok() &&
+      simd_active_packed->IdenticalTo(*simd_scalar_packed);
+  if (!simd_bit_identical) deterministic = false;
+
   ReportTable table({"Stage", "Threads", "Seconds", "Speedup"});
   for (const ScalingStage& stage : stages) {
     const double base = stage.results.front().seconds;
@@ -358,9 +418,22 @@ int RunScalingReport(const bench::Flags& flags) {
   std::printf(
       "Core thread-scaling (%zu rows x %zu attrs, median of %zu reps, "
       "hardware threads: %zu)\n%s"
-      "Transform determinism across thread counts: %s\n",
+      "Transform determinism across thread counts: %s\n"
+      "SIMD pack (1 thread): scalar %ss, %s %ss (%sx, %s)\n",
       rows, attrs, reps, DefaultThreadCount(), table.ToString().c_str(),
-      deterministic ? "bit-identical" : "MISMATCH");
+      deterministic ? "bit-identical" : "MISMATCH",
+      bench::Score3(pack_scalar_secs).c_str(), SimdLevelName(simd_ambient),
+      bench::Score3(pack_simd_secs).c_str(),
+      pack_simd_secs > 0.0 ? bench::Score3(pack_scalar_secs / pack_simd_secs)
+                                 .c_str()
+                           : "-",
+      simd_bit_identical ? "bit-identical" : "MISMATCH");
+  if (DefaultThreadCount() < 8) {
+    std::printf(
+        "Note: only %zu hardware thread(s) available; the 2- and 8-thread "
+        "cells are oversubscribed and do not reflect parallel speedup.\n",
+        DefaultThreadCount());
+  }
 
   JsonWriter json;
   json.BeginObject();
@@ -374,8 +447,29 @@ int RunScalingReport(const bench::Flags& flags) {
   json.Integer(static_cast<int64_t>(reps));
   json.Key("hardware_threads");
   json.Integer(static_cast<int64_t>(DefaultThreadCount()));
+  if (DefaultThreadCount() < 8) {
+    // Thread cells beyond the core count are oversubscription, not
+    // parallel speedup; record the caveat next to the numbers.
+    json.Key("hardware_threads_note");
+    json.String("thread counts above hardware_threads are oversubscribed");
+  }
   json.Key("transform_deterministic");
   json.Bool(deterministic);
+  json.Key("simd");
+  json.BeginObject();
+  json.Key("level");
+  json.String(SimdLevelName(simd_ambient));
+  json.Key("detected_level");
+  json.String(SimdLevelName(DetectedSimdLevel()));
+  json.Key("pack_scalar_seconds");
+  json.Number(pack_scalar_secs);
+  json.Key("pack_simd_seconds");
+  json.Number(pack_simd_secs);
+  json.Key("pack_speedup");
+  json.Number(pack_simd_secs > 0.0 ? pack_scalar_secs / pack_simd_secs : 0.0);
+  json.Key("bit_identical");
+  json.Bool(simd_bit_identical);
+  json.EndObject();
   json.Key("stages");
   json.BeginArray();
   for (const ScalingStage& stage : stages) {
@@ -470,8 +564,9 @@ struct GlassoCase {
   std::string structure;
   size_t k = 0;
   double reference_seconds = 0.0;
-  double fast_seconds = 0.0;     ///< fast path, 1 thread
+  double fast_seconds = 0.0;     ///< fast path (auto solver), 1 thread
   double fast_mt_seconds = 0.0;  ///< fast path, hardware threads
+  double cd_seconds = 0.0;       ///< solver forced to coordinate descent
   double max_abs_diff = 0.0;     ///< |theta_fast - theta_reference|
   GlassoStats stats;             ///< from a single-thread fast solve
 };
@@ -520,8 +615,31 @@ int RunGlassoReport(const bench::Flags& flags) {
         auto result = GraphicalLasso(s, mt_options);
         benchmark::DoNotOptimize(result);
       });
-      auto fast = GraphicalLasso(s, fast_options);
-      auto reference = GraphicalLassoReference(s, options);
+      GlassoOptions cd_options = fast_options;
+      cd_options.solver = GlassoSolver::kCoordinateDescent;
+      cell.cd_seconds = MedianSeconds(reps, [&] {
+        auto result = GraphicalLasso(s, cd_options);
+        benchmark::DoNotOptimize(result);
+      });
+      // Accuracy cell: both solvers at a tight verification tolerance,
+      // so the diff measures solver disagreement rather than how far
+      // each stops from the optimum at the default (loose) tolerance.
+      // Timing above stays at the default options.
+      GlassoOptions verify_options = fast_options;
+      verify_options.tolerance = std::min(options.tolerance, 1e-6);
+      verify_options.lasso_tolerance =
+          std::min(options.lasso_tolerance, 1e-9);
+      // The reference is the measuring stick, so it runs an order
+      // tighter than the solver under test. Its inner lasso must be
+      // tightened along with the sweep tolerance: each sweep's W is
+      // only as accurate as the inner solve, and a loose inner floor
+      // masquerades as (very slow) outer progress.
+      GlassoOptions verify_ref_options = options;
+      verify_ref_options.tolerance = 0.1 * verify_options.tolerance;
+      verify_ref_options.lasso_tolerance = verify_options.lasso_tolerance;
+      verify_ref_options.max_iterations = options.max_iterations * 8;
+      auto fast = GraphicalLasso(s, verify_options);
+      auto reference = GraphicalLassoReference(s, verify_ref_options);
       if (!fast.ok() || !reference.ok()) {
         std::fprintf(stderr, "glasso bench solve failed: %s\n",
                      (!fast.ok() ? fast : reference).status().ToString().c_str());
@@ -565,18 +683,22 @@ int RunGlassoReport(const bench::Flags& flags) {
     return 1;
   }
 
-  ReportTable table({"Structure", "k", "Reference s", "Fast s", "Fast MT s",
-                     "Speedup", "Components", "MaxDiff"});
+  ReportTable table({"Structure", "k", "Reference s", "Fast s", "CD s",
+                     "Speedup", "vs CD", "Solver", "NIters", "MaxDiff"});
   for (const GlassoCase& cell : cases) {
     table.AddRow({cell.structure, std::to_string(cell.k),
                   bench::Score3(cell.reference_seconds),
                   bench::Score3(cell.fast_seconds),
-                  bench::Score3(cell.fast_mt_seconds),
+                  bench::Score3(cell.cd_seconds),
                   cell.fast_seconds > 0.0
                       ? bench::Score3(cell.reference_seconds /
                                       cell.fast_seconds)
                       : "-",
-                  std::to_string(cell.stats.components),
+                  cell.fast_seconds > 0.0
+                      ? bench::Score3(cell.cd_seconds / cell.fast_seconds)
+                      : "-",
+                  cell.stats.SolverBackend(),
+                  std::to_string(cell.stats.newton_iterations),
                   bench::Score3(cell.max_abs_diff)});
   }
   std::printf(
@@ -596,8 +718,12 @@ int RunGlassoReport(const bench::Flags& flags) {
   json.Integer(static_cast<int64_t>(reps));
   json.Key("hardware_threads");
   json.Integer(static_cast<int64_t>(DefaultThreadCount()));
+  json.Key("simd_level");
+  json.String(SimdLevelName(ActiveSimdLevel()));
   json.Key("lambda");
   json.Number(options.lambda);
+  json.Key("diff_tolerance");
+  json.Number(std::min(options.tolerance, 1e-6));
   json.Key("cases");
   json.BeginArray();
   for (const GlassoCase& cell : cases) {
@@ -612,6 +738,8 @@ int RunGlassoReport(const bench::Flags& flags) {
     json.Number(cell.fast_seconds);
     json.Key("fast_mt_seconds");
     json.Number(cell.fast_mt_seconds);
+    json.Key("cd_seconds");
+    json.Number(cell.cd_seconds);
     json.Key("speedup");
     json.Number(cell.fast_seconds > 0.0
                     ? cell.reference_seconds / cell.fast_seconds
@@ -620,8 +748,18 @@ int RunGlassoReport(const bench::Flags& flags) {
     json.Number(cell.fast_mt_seconds > 0.0
                     ? cell.reference_seconds / cell.fast_mt_seconds
                     : 0.0);
+    json.Key("speedup_vs_cd");
+    json.Number(cell.fast_seconds > 0.0
+                    ? cell.cd_seconds / cell.fast_seconds
+                    : 0.0);
     json.Key("max_abs_diff");
     json.Number(cell.max_abs_diff);
+    json.Key("solver");
+    json.String(cell.stats.SolverBackend());
+    json.Key("newton_iterations");
+    json.Integer(static_cast<int64_t>(cell.stats.newton_iterations));
+    json.Key("newton_path_stages");
+    json.Integer(static_cast<int64_t>(cell.stats.newton_path_stages));
     json.Key("components");
     json.Integer(static_cast<int64_t>(cell.stats.components));
     json.Key("singletons");

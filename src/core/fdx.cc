@@ -356,6 +356,10 @@ Result<FdxResult> FdxDiscoverer::DiscoverFromCovarianceInternal(
     diag.solver_final_change = learned.solver_stats.final_mean_change;
     diag.solver_active_hit_rate = learned.solver_stats.ActiveHitRate();
     diag.solver_warm_start = learned.solver_stats.warm_start_used;
+    diag.solver_backend = learned.solver_stats.SolverBackend();
+    diag.solver_newton_iterations = learned.solver_stats.newton_iterations;
+    diag.solver_newton_path_stages =
+        learned.solver_stats.newton_path_stages;
   }
   result.glasso_w = std::move(learned.glasso_w);
   result.theta = std::move(learned.theta);

@@ -101,6 +101,13 @@ struct RunDiagnostics {
   double solver_active_hit_rate = 0.0;
   /// True when the winning attempt was seeded from a previous solve.
   bool solver_warm_start = false;
+  /// Backend(s) the per-component dispatch actually ran: "cd", "newton",
+  /// or "cd+newton" (empty when the solver block is unpopulated).
+  std::string solver_backend;
+  /// Newton work counters, zero on pure-CD runs: outer Newton iterations
+  /// summed over dense blocks and lambda-path continuation stages run.
+  size_t solver_newton_iterations = 0;
+  size_t solver_newton_path_stages = 0;
 
   /// True when a recovery action actually fired (retry, fallback, or
   /// quarantine) — the result is still valid but was produced on a

@@ -113,6 +113,9 @@ Result<FdxResult> IncrementalFdx::CurrentFds() const {
   lineage_.push_back(total_batches_);
   solves_.fetch_add(1, std::memory_order_relaxed);
   if (warmed) warm_solves_.fetch_add(1, std::memory_order_relaxed);
+  if (result.diagnostics.solver_newton_iterations > 0) {
+    newton_solves_.fetch_add(1, std::memory_order_relaxed);
+  }
   memo_ = std::make_unique<FdxResult>(result);
   memo_batches_ = total_batches_;
   return result;

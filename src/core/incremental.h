@@ -70,6 +70,11 @@ class IncrementalFdx {
   uint64_t memo_hits() const {
     return memo_hits_.load(std::memory_order_relaxed);
   }
+  /// Subset of solves() whose winning glasso attempt ran the Newton
+  /// backend on at least one component (see GlassoSolver).
+  uint64_t newton_solves() const {
+    return newton_solves_.load(std::memory_order_relaxed);
+  }
 
   /// Fingerprint of the solve lineage: the batch count at every solve in
   /// the current warm-start chain (a cold solve restarts the chain).
@@ -101,6 +106,7 @@ class IncrementalFdx {
   mutable std::atomic<uint64_t> solves_{0};
   mutable std::atomic<uint64_t> warm_solves_{0};
   mutable std::atomic<uint64_t> memo_hits_{0};
+  mutable std::atomic<uint64_t> newton_solves_{0};
 };
 
 }  // namespace fdx

@@ -17,12 +17,12 @@ namespace {
 /// Packs one pass's equality bits for every column into `bits`
 /// (num_pairs x k, reused across passes).
 void PackPassBits(const EncodedTable& encoded, const AttributePass& pass,
-                  BitMatrix* bits) {
+                  BitMatrix* bits, PackScratch* scratch) {
   const size_t k = encoded.num_columns();
   bits->Reset(pass.num_pairs(), k);
   for (size_t col = 0; col < k; ++col) {
     ColumnBitWriter writer(bits->column_words(col));
-    AppendPassColumnBits(encoded.column_codes(col), pass, &writer);
+    AppendPassColumnBits(encoded.column_codes(col), pass, &writer, scratch);
     writer.Flush();
   }
 }
@@ -122,13 +122,14 @@ Result<BitMatrix> PairTransformPacked(const Table& table,
   ParallelFor(0, k, options.threads, [&](size_t lo, size_t hi) {
     LocalProfile local;
     Stopwatch watch;
+    PackScratch scratch;
     for (size_t col = lo; col < hi; ++col) {
       if (CheckDeadline(options, &expired)) break;
       watch.Reset();
       ColumnBitWriter writer(bits.column_words(col));
       for (size_t attr = 0; attr < k; ++attr) {
         AppendPassColumnBits(setup.encoded.column_codes(col), passes[attr],
-                             &writer);
+                             &writer, &scratch);
       }
       writer.Flush();
       local.pack += watch.ElapsedSeconds();
@@ -183,6 +184,7 @@ Status AccumulatePasses(const TransformSetup& setup,
         BitMatrix bits;
         LocalProfile local;
         Stopwatch watch;
+        PackScratch scratch;
         std::vector<uint64_t> pass_counts(k, 0);
         std::vector<uint64_t> pass_co_counts(k * k, 0);
         for (size_t attr = lo; attr < hi; ++attr) {
@@ -193,7 +195,7 @@ Status AccumulatePasses(const TransformSetup& setup,
                      setup.attr_seeds[attr]);
           local.sort += watch.ElapsedSeconds();
           watch.Reset();
-          PackPassBits(setup.encoded, pass, &bits);
+          PackPassBits(setup.encoded, pass, &bits, &scratch);
           local.pack += watch.ElapsedSeconds();
           watch.Reset();
           std::fill(pass_counts.begin(), pass_counts.end(), 0);

@@ -8,6 +8,7 @@
 #include "core/pairs.h"
 #include "core/transform.h"
 #include "linalg/matrix.h"
+#include "linalg/simd.h"
 #include "util/rng.h"
 
 /// Shared internals of the pair-difference transform. Two engines
@@ -70,6 +71,23 @@ class ColumnBitWriter {
     }
   }
 
+  /// Appends the low `nbits` bits of `bits` (1..64, LSB first) in one
+  /// shot — the bulk entry used by the SIMD pack path, equivalent to
+  /// nbits Append calls. Bits above `nbits` must be zero.
+  inline void AppendWord(uint64_t bits, unsigned nbits) {
+    word_ |= bits << shift_;
+    const unsigned avail = 64 - shift_;
+    if (nbits >= avail) {
+      *words_++ = word_;
+      // avail == 64 implies shift_ == 0 and the whole input was stored
+      // above; the shift below would be UB, so special-case it.
+      word_ = avail == 64 ? 0 : bits >> avail;
+      shift_ = nbits - avail;
+    } else {
+      shift_ += nbits;
+    }
+  }
+
   void Flush() {
     if (shift_ != 0) *words_ = word_;
   }
@@ -80,18 +98,50 @@ class ColumnBitWriter {
   unsigned shift_ = 0;
 };
 
+/// Reusable buffers for the vectorized pack path: the gathered code
+/// stream and the word-aligned bit buffer the SIMD compare fills before
+/// the writer splices it in at the current bit offset. One instance per
+/// packing thread, reused across (column, pass) iterations.
+struct PackScratch {
+  std::vector<int32_t> gathered;
+  std::vector<uint64_t> words;
+};
+
 /// Appends one pass's equality bits for the column with dictionary codes
-/// `codes` to `writer`. The full (uncapped) variant streams the sorted
-/// order with one gather per pair — the successor row of pair j is the
-/// predecessor row of pair j+1, so its code is carried over instead of
-/// reloaded.
+/// `codes` to `writer`. The full (uncapped) variant gathers the column's
+/// codes into sorted order and packs the adjacent-equality bits through
+/// the runtime-dispatched SIMD kernels (scalar fallback included); both
+/// produce the exact integer bit stream, so the output is bit-identical
+/// at every dispatch level. The sampled variant stays scalar: its pair
+/// positions are a sparse subset, not an adjacent sweep. `scratch` may
+/// be null (e.g. one-off callers), which forces the carried-load scalar
+/// loop.
 inline void AppendPassColumnBits(const std::vector<int32_t>& codes,
                                  const AttributePass& pass,
-                                 ColumnBitWriter* writer) {
+                                 ColumnBitWriter* writer,
+                                 PackScratch* scratch = nullptr) {
   if (!pass.sampled()) {
     const std::vector<uint32_t>& order = pass.order();
     const size_t n = order.size();
     if (n < 2) return;
+    if (scratch != nullptr && n >= 128) {
+      const SimdOps& ops = ActiveSimdOps();
+      scratch->gathered.resize(n);
+      int32_t* g = scratch->gathered.data();
+      ops.gather_codes(codes.data(), order.data(), n, g);
+      scratch->words.resize((n - 1) / 64 + 1);
+      const size_t packed = ops.pack_adjacent_equal(
+          g, n, EncodedTable::kNullCode, scratch->words.data());
+      for (size_t w = 0; w < packed / 64; ++w) {
+        writer->AppendWord(scratch->words[w], 64);
+      }
+      for (size_t j = packed; j + 1 < n; ++j) {
+        writer->Append(EqualCodes(g[j], g[j + 1]));
+      }
+      // The wrap pair (order[n-1], order[0]).
+      writer->Append(EqualCodes(g[n - 1], g[0]));
+      return;
+    }
     int32_t prev = codes[order[0]];
     for (size_t j = 0; j + 1 < n; ++j) {
       const int32_t cur = codes[order[j + 1]];

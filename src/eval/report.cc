@@ -74,6 +74,20 @@ std::string RenderRunDiagnostics(
            " sweep(s), active-set hit rate " +
            FormatDouble(diagnostics.solver_active_hit_rate, 3) +
            (diagnostics.solver_warm_start ? ", warm-started" : "") + "\n";
+    if (!diagnostics.solver_backend.empty()) {
+      out += "  solver backend: " + diagnostics.solver_backend;
+      if (diagnostics.solver_newton_iterations > 0) {
+        out += " (" + std::to_string(diagnostics.solver_newton_iterations) +
+               " newton iteration(s)";
+        if (diagnostics.solver_newton_path_stages > 0) {
+          out += ", " +
+                 std::to_string(diagnostics.solver_newton_path_stages) +
+                 " path stage(s)";
+        }
+        out += ")";
+      }
+      out += '\n';
+    }
   }
   if (diagnostics.fallback_sequential) {
     out += "  fell back to the sequential-lasso estimator\n";
@@ -141,6 +155,12 @@ void WriteRunDiagnosticsJson(JsonWriter* json,
     json->Number(diagnostics.solver_active_hit_rate);
     json->Key("warm_start");
     json->Bool(diagnostics.solver_warm_start);
+    json->Key("backend");
+    json->String(diagnostics.solver_backend);
+    json->Key("newton_iterations");
+    json->Integer(static_cast<int64_t>(diagnostics.solver_newton_iterations));
+    json->Key("newton_path_stages");
+    json->Integer(static_cast<int64_t>(diagnostics.solver_newton_path_stages));
     json->EndObject();
   }
   json->Key("events");

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "linalg/simd.h"
+
 namespace fdx {
 
 namespace {
@@ -11,9 +13,13 @@ namespace {
 /// streams over the block.
 constexpr size_t kGramBlockWords = 64;
 
-inline uint64_t Popcount(uint64_t word) {
-  return static_cast<uint64_t>(__builtin_popcountll(word));
-}
+/// Row-block height of the unpack kernel, in words (64 rows each). With
+/// the column blocking below, one tile of output doubles is
+/// kUnpackRowWords * 64 * kUnpackColBlock * 8 B = 16 KB — L1-resident
+/// while every source word is read exactly once, sequentially per
+/// column.
+constexpr size_t kUnpackRowWords = 2;
+constexpr size_t kUnpackColBlock = 16;
 
 }  // namespace
 
@@ -28,20 +34,18 @@ void BitMatrix::AccumulateMoments(size_t word_lo, size_t word_hi,
                                   uint64_t* counts,
                                   uint64_t* co_counts) const {
   const size_t k = cols_;
+  const SimdOps& ops = ActiveSimdOps();
   for (size_t w0 = word_lo; w0 < word_hi; w0 += kGramBlockWords) {
     const size_t w1 = std::min(word_hi, w0 + kGramBlockWords);
     const size_t len = w1 - w0;
     for (size_t x = 0; x < k; ++x) {
       const uint64_t* cx = column_words(x) + w0;
-      uint64_t self = 0;
-      for (size_t w = 0; w < len; ++w) self += Popcount(cx[w]);
+      const uint64_t self = ops.popcount_words(cx, len);
       counts[x] += self;
       co_counts[x * k + x] += self;
       for (size_t y = x + 1; y < k; ++y) {
         const uint64_t* cy = column_words(y) + w0;
-        uint64_t both = 0;
-        for (size_t w = 0; w < len; ++w) both += Popcount(cx[w] & cy[w]);
-        co_counts[x * k + y] += both;
+        co_counts[x * k + y] += ops.popcount_and_words(cx, cy, len);
       }
     }
   }
@@ -49,14 +53,22 @@ void BitMatrix::AccumulateMoments(size_t word_lo, size_t word_hi,
 
 void BitMatrix::UnpackRows(size_t row_lo, size_t row_hi,
                            Matrix* dense) const {
+  // Column-blocked: the inner loops walk one column's words sequentially
+  // and scatter into a bounded tile of output rows, instead of striding
+  // across every column's word array once per row.
   const size_t k = cols_;
-  for (size_t r = row_lo; r < row_hi; ++r) {
-    double* out = dense->RowPtr(r);
-    const size_t word = r >> 6;
-    const size_t bit = r & 63;
-    for (size_t c = 0; c < k; ++c) {
-      out[c] =
-          static_cast<double>((column_words(c)[word] >> bit) & uint64_t{1});
+  const size_t rows_per_block = kUnpackRowWords * 64;
+  for (size_t r0 = row_lo; r0 < row_hi; r0 += rows_per_block) {
+    const size_t r1 = std::min(row_hi, r0 + rows_per_block);
+    for (size_t c0 = 0; c0 < k; c0 += kUnpackColBlock) {
+      const size_t c1 = std::min(k, c0 + kUnpackColBlock);
+      for (size_t c = c0; c < c1; ++c) {
+        const uint64_t* col = column_words(c);
+        for (size_t r = r0; r < r1; ++r) {
+          dense->RowPtr(r)[c] = static_cast<double>(
+              (col[r >> 6] >> (r & 63)) & uint64_t{1});
+        }
+      }
     }
   }
 }

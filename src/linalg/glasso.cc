@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "linalg/glasso_newton.h"
 #include "linalg/lasso.h"
 #include "util/fault_injection.h"
 #include "util/thread_pool.h"
@@ -45,11 +47,16 @@ struct BlockProblem {
   Matrix w;
   Matrix theta;
   bool warm = false;  ///< betas seeded from GlassoOptions::warm_theta
+  /// Backend chosen by the per-component dispatch (see GlassoSolver).
+  bool use_newton = false;
 
   Status status = Status::OK();
   size_t sweeps = 0;
   double final_mean_change = 0.0;
   LassoSolveStats lasso;
+  size_t newton_iterations = 0;
+  size_t newton_path_stages = 0;
+  bool newton_fallback = false;
 };
 
 /// Swaps working slots `a` and `b` (rows and columns) of the two m x m
@@ -114,6 +121,8 @@ void SolveBlock(BlockProblem* blk, const GlassoOptions& options,
   const LassoOptions lasso_options = InnerLassoOptions(options);
   Vector c(m - 1, 0.0);
   Vector beta_work(m - 1, 0.0);
+  std::vector<uint32_t> active;  // nonzero beta indices of the column
+  active.reserve(m);
   double mean_change = 0.0;
 
   for (size_t sweep = 0; sweep < options.max_iterations; ++sweep) {
@@ -144,11 +153,19 @@ void SolveBlock(BlockProblem* blk, const GlassoOptions& options,
         return;
       }
       for (size_t a = 0; a < m - 1; ++a) betas[j][order[a]] = beta_work[a];
-      // w12 = W11 * beta.
+      // w12 = W11 * beta, in covariance-update form (the glmnet trick
+      // carried into the glasso inner loop): only the active (nonzero)
+      // coefficients contribute, so each row dot costs O(nnz) instead
+      // of O(m) — a large win on the sparse structure the screening
+      // left inside a component.
+      active.clear();
+      for (size_t b = 0; b < m - 1; ++b) {
+        if (beta_work[b] != 0.0) active.push_back(static_cast<uint32_t>(b));
+      }
       for (size_t a = 0; a < m - 1; ++a) {
         const double* row = ws.RowPtr(a);
         double acc = 0.0;
-        for (size_t b = 0; b < m - 1; ++b) acc += row[b] * beta_work[b];
+        for (const uint32_t b : active) acc += row[b] * beta_work[b];
         total_change += std::fabs(ws(a, m - 1) - acc);
         ws(a, m - 1) = acc;
         ws(m - 1, a) = acc;
@@ -198,7 +215,96 @@ void SolveBlock(BlockProblem* blk, const GlassoOptions& options,
   blk->theta = std::move(theta_local);
 }
 
+/// Per-component backend choice. kAuto sends large dense components to
+/// the Newton solver and leaves everything else — notably the
+/// block/banded/sparse structure the screening already decomposed — on
+/// the exact CD path it had before the Newton solver existed.
+bool ChooseNewton(const GlassoOptions& options, size_t m, double density) {
+  switch (options.solver) {
+    case GlassoSolver::kCoordinateDescent:
+      return false;
+    case GlassoSolver::kNewton:
+      return true;
+    case GlassoSolver::kAuto:
+      return m >= options.newton_min_block &&
+             density >= options.newton_dense_threshold;
+  }
+  return false;
+}
+
+/// Solves one block with the backend the dispatch picked. A Newton
+/// numerical failure under kAuto falls back to coordinate descent on
+/// the same block (recorded in stats.newton_fallbacks); timeouts,
+/// forced-kNewton failures, and injected faults propagate unchanged so
+/// deadline and chaos semantics stay exact.
+void SolveBlockDispatch(BlockProblem* blk, const GlassoOptions& options,
+                        const Matrix* warm_theta) {
+  if (blk->use_newton) {
+    Matrix warm_block;
+    const Matrix* warm_ptr = nullptr;
+    if (blk->warm) {
+      const size_t m = blk->members.size();
+      warm_block = Matrix(m, m);
+      for (size_t a = 0; a < m; ++a) {
+        for (size_t b = 0; b < m; ++b) {
+          warm_block(a, b) =
+              (*warm_theta)(blk->members[a], blk->members[b]);
+        }
+      }
+      warm_ptr = &warm_block;
+    }
+    Result<NewtonBlockResult> solved =
+        SolveBlockNewton(blk->s, options, warm_ptr);
+    if (solved.ok()) {
+      NewtonBlockResult& newton = solved.value();
+      blk->w = std::move(newton.w);
+      blk->theta = std::move(newton.theta);
+      blk->sweeps = newton.iterations;
+      blk->final_mean_change = newton.final_mean_change;
+      blk->newton_iterations = newton.iterations;
+      blk->newton_path_stages = newton.path_stages;
+      return;
+    }
+    const Status& failure = solved.status();
+    const bool injected =
+        failure.message().rfind("injected fault", 0) == 0;
+    if (options.solver != GlassoSolver::kAuto ||
+        failure.code() == StatusCode::kTimeout || injected) {
+      blk->status = failure;
+      return;
+    }
+    blk->use_newton = false;
+    blk->newton_fallback = true;
+  }
+  SolveBlock(blk, options, warm_theta);
+}
+
 }  // namespace
+
+const char* GlassoSolverName(GlassoSolver solver) {
+  switch (solver) {
+    case GlassoSolver::kAuto:
+      return "auto";
+    case GlassoSolver::kCoordinateDescent:
+      return "cd";
+    case GlassoSolver::kNewton:
+      return "newton";
+  }
+  return "auto";
+}
+
+bool ParseGlassoSolver(const std::string& text, GlassoSolver* out) {
+  if (text == "auto") {
+    *out = GlassoSolver::kAuto;
+  } else if (text == "cd") {
+    *out = GlassoSolver::kCoordinateDescent;
+  } else if (text == "newton") {
+    *out = GlassoSolver::kNewton;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 std::vector<std::vector<size_t>> GlassoScreenComponents(const Matrix& s,
                                                         double lambda) {
@@ -310,6 +416,18 @@ Result<GlassoResult> GraphicalLasso(const Matrix& s,
                          : blk.s(a, b);
       }
     }
+    // Screened edge density of the component, for the solver dispatch:
+    // the screening connected these members, but how densely determines
+    // whether second-order Newton beats coordinate descent.
+    size_t edges = 0;
+    for (size_t a = 0; a < m; ++a) {
+      for (size_t b = a + 1; b < m; ++b) {
+        if (std::fabs(blk.s(a, b)) > options.lambda) ++edges;
+      }
+    }
+    const double density = static_cast<double>(2 * edges) /
+                           static_cast<double>(m * (m - 1));
+    blk.use_newton = ChooseNewton(options, m, density);
     blk.warm = warm_theta != nullptr;
     blk.members = std::move(members);
     blocks.push_back(std::move(blk));
@@ -322,7 +440,7 @@ Result<GlassoResult> GraphicalLasso(const Matrix& s,
   watch.Reset();
   ParallelFor(0, blocks.size(), options.threads, [&](size_t lo, size_t hi) {
     for (size_t b = lo; b < hi; ++b) {
-      SolveBlock(&blocks[b], options, warm_theta);
+      SolveBlockDispatch(&blocks[b], options, warm_theta);
     }
   });
   stats.solve_seconds = watch.ElapsedSeconds();
@@ -360,6 +478,14 @@ Result<GlassoResult> GraphicalLasso(const Matrix& s,
         std::max(stats.final_mean_change, blk.final_mean_change);
     stats.lasso_full_passes += blk.lasso.full_passes;
     stats.lasso_active_passes += blk.lasso.active_passes;
+    if (blk.use_newton) {
+      ++stats.newton_blocks;
+      stats.newton_iterations += blk.newton_iterations;
+      stats.newton_path_stages += blk.newton_path_stages;
+    } else {
+      ++stats.cd_blocks;
+    }
+    if (blk.newton_fallback) ++stats.newton_fallbacks;
   }
   stats.sweeps = result.sweeps;
   stats.assemble_seconds = watch.ElapsedSeconds();

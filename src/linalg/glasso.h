@@ -2,6 +2,7 @@
 #define FDX_LINALG_GLASSO_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -9,6 +10,25 @@
 #include "util/stopwatch.h"
 
 namespace fdx {
+
+/// Per-component solver backend of the fast graphical lasso.
+enum class GlassoSolver : int {
+  /// Per-component heuristic: the QUIC-style Newton solver for large
+  /// dense components (size >= newton_min_block and screened edge
+  /// density >= newton_dense_threshold), block coordinate descent
+  /// everywhere else. Block/banded/sparse structure keeps the exact CD
+  /// path it had before the Newton solver existed.
+  kAuto = 0,
+  /// Force block coordinate descent (FHT 2008) on every component.
+  kCoordinateDescent = 1,
+  /// Force the QUIC-style Newton solver on every component.
+  kNewton = 2,
+};
+
+/// Name of a solver choice: "auto", "cd", "newton".
+const char* GlassoSolverName(GlassoSolver solver);
+/// Parses "auto" / "cd" / "newton"; returns false on anything else.
+bool ParseGlassoSolver(const std::string& text, GlassoSolver* out);
 
 /// Options for the graphical lasso estimator.
 struct GlassoOptions {
@@ -47,6 +67,22 @@ struct GlassoOptions {
   /// buy sweeps, not a different answer. Non-owning.
   const Matrix* warm_w = nullptr;
   const Matrix* warm_theta = nullptr;
+  /// Per-component solver backend (fast solver only; the reference is
+  /// always coordinate descent). See GlassoSolver.
+  GlassoSolver solver = GlassoSolver::kAuto;
+  /// Newton-solver knobs: outer Newton iteration cap, and the kAuto
+  /// dispatch thresholds (component size and screened edge density at or
+  /// above which a component takes the Newton path).
+  size_t newton_max_iterations = 50;
+  size_t newton_min_block = 32;
+  double newton_dense_threshold = 0.5;
+  /// Lambda-path continuation for *cold* Newton solves: the target
+  /// lambda is warm-started from a short sequence of sparser solves
+  /// (descending multiples of lambda clamped under lambda_max). Purely
+  /// an initial-point device — it never changes the fixed point — and
+  /// deterministic, so lineage-keyed result caches stay valid.
+  /// Warm-started solves skip the path.
+  bool lambda_path = true;
 };
 
 /// Execution statistics of one fast-solver run: what screening found,
@@ -78,12 +114,31 @@ struct GlassoStats {
   double solve_seconds = 0.0;
   double assemble_seconds = 0.0;
 
+  /// Per-backend block counts of the per-component dispatch (singletons
+  /// belong to neither) and the Newton work counters, summed over all
+  /// Newton blocks: outer Newton iterations at the target lambda, the
+  /// lambda-path continuation stages that preceded them, and blocks
+  /// where a failed Newton solve fell back to coordinate descent (kAuto
+  /// only; a forced kNewton propagates the failure instead).
+  size_t cd_blocks = 0;
+  size_t newton_blocks = 0;
+  size_t newton_iterations = 0;
+  size_t newton_path_stages = 0;
+  size_t newton_fallbacks = 0;
+
   /// Fraction of inner-lasso passes that ran on the active set only.
   double ActiveHitRate() const {
     const size_t total = lasso_full_passes + lasso_active_passes;
     return total == 0 ? 0.0
                       : static_cast<double>(lasso_active_passes) /
                             static_cast<double>(total);
+  }
+
+  /// Which backend(s) actually solved blocks: "cd", "newton", or
+  /// "cd+newton". All-singleton (or k == 1) runs report "cd".
+  const char* SolverBackend() const {
+    if (newton_blocks == 0) return "cd";
+    return cd_blocks == 0 ? "newton" : "cd+newton";
   }
 };
 

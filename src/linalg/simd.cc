@@ -1,0 +1,164 @@
+#include "linalg/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace fdx {
+
+namespace {
+
+uint64_t Popcount(uint64_t word) {
+  return static_cast<uint64_t>(__builtin_popcountll(word));
+}
+
+void GatherCodesScalar(const int32_t* codes, const uint32_t* order, size_t n,
+                       int32_t* g) {
+  for (size_t i = 0; i < n; ++i) g[i] = codes[order[i]];
+}
+
+size_t PackAdjacentEqualScalar(const int32_t* g, size_t n, int32_t null_code,
+                               uint64_t* words) {
+  const size_t nwords = (n - 1) / 64;
+  for (size_t w = 0; w < nwords; ++w) {
+    const int32_t* base = g + w * 64;
+    uint64_t word = 0;
+    for (unsigned t = 0; t < 64; ++t) {
+      const uint64_t bit =
+          (base[t] != null_code && base[t] == base[t + 1]) ? 1 : 0;
+      word |= bit << t;
+    }
+    words[w] = word;
+  }
+  return nwords * 64;
+}
+
+uint64_t PopcountWordsScalar(const uint64_t* a, size_t len) {
+  uint64_t total = 0;
+  for (size_t w = 0; w < len; ++w) total += Popcount(a[w]);
+  return total;
+}
+
+uint64_t PopcountAndWordsScalar(const uint64_t* a, const uint64_t* b,
+                                size_t len) {
+  uint64_t total = 0;
+  for (size_t w = 0; w < len; ++w) total += Popcount(a[w] & b[w]);
+  return total;
+}
+
+SimdLevel DetectLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(FDX_HAVE_AVX512_BUILD)
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vpopcntdq")) {
+    return SimdLevel::kAvx512;
+  }
+#endif
+#if defined(FDX_HAVE_AVX2_BUILD)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel ClampToDetected(SimdLevel level) {
+  const int detected = static_cast<int>(DetectedSimdLevel());
+  int want = static_cast<int>(level);
+  if (want > detected) want = detected;
+  if (want < 0) want = 0;
+  // A machine may support AVX-512 without the binary having an AVX2
+  // build; levels are ordered so clamping by integer value is safe only
+  // when every level below the detected one is built. The dispatcher
+  // falls back through SimdOpsForLevel when a table is missing.
+  return static_cast<SimdLevel>(want);
+}
+
+/// Initial level: detection clamped by the FDX_SIMD environment variable
+/// (read once; unknown values are ignored).
+SimdLevel InitialLevel() {
+  SimdLevel level = DetectedSimdLevel();
+  const char* env = std::getenv("FDX_SIMD");
+  if (env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0) {
+      level = SimdLevel::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      level = ClampToDetected(SimdLevel::kAvx2);
+    } else if (std::strcmp(env, "avx512") == 0) {
+      level = ClampToDetected(SimdLevel::kAvx512);
+    }
+  }
+  return level;
+}
+
+std::atomic<int>& ActiveLevelSlot() {
+  static std::atomic<int> slot{static_cast<int>(InitialLevel())};
+  return slot;
+}
+
+}  // namespace
+
+namespace simd_internal {
+
+const SimdOps& ScalarOps() {
+  static const SimdOps ops = [] {
+    SimdOps table;
+    table.level = SimdLevel::kScalar;
+    table.gather_codes = GatherCodesScalar;
+    table.pack_adjacent_equal = PackAdjacentEqualScalar;
+    table.popcount_words = PopcountWordsScalar;
+    table.popcount_and_words = PopcountAndWordsScalar;
+    return table;
+  }();
+  return ops;
+}
+
+}  // namespace simd_internal
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel level = DetectLevel();
+  return level;
+}
+
+SimdLevel ActiveSimdLevel() {
+  return static_cast<SimdLevel>(
+      ActiveLevelSlot().load(std::memory_order_relaxed));
+}
+
+SimdLevel SetSimdLevel(SimdLevel level) {
+  const SimdLevel clamped = ClampToDetected(level);
+  ActiveLevelSlot().store(static_cast<int>(clamped),
+                          std::memory_order_relaxed);
+  return clamped;
+}
+
+const SimdOps& SimdOpsForLevel(SimdLevel level) {
+  switch (ClampToDetected(level)) {
+#if defined(FDX_HAVE_AVX512_BUILD)
+    case SimdLevel::kAvx512:
+      return simd_internal::Avx512Ops();
+#endif
+#if defined(FDX_HAVE_AVX2_BUILD)
+    case SimdLevel::kAvx2:
+      return simd_internal::Avx2Ops();
+#endif
+    default:
+      return simd_internal::ScalarOps();
+  }
+}
+
+const SimdOps& ActiveSimdOps() { return SimdOpsForLevel(ActiveSimdLevel()); }
+
+}  // namespace fdx

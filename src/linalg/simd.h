@@ -1,0 +1,89 @@
+#ifndef FDX_LINALG_SIMD_H_
+#define FDX_LINALG_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// Runtime-dispatched SIMD kernels for the two integer hot loops of the
+/// pipeline: the pair-transform bit-pack (gather + adjacent-equality
+/// compare) and the AND+popcount Gram block of BitMatrix. Every kernel
+/// computes exact integer results, so the scalar fallback and the
+/// vector paths are bit-identical by construction — dispatch changes
+/// speed, never bytes. The scalar path is always built; the AVX2 and
+/// AVX-512 translation units are compiled only where the compiler
+/// accepts the flags (mirroring the -mpopcnt gate in the top-level
+/// CMakeLists) and selected only after __builtin_cpu_supports agrees at
+/// runtime.
+namespace fdx {
+
+enum class SimdLevel : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  /// Requires AVX-512 F+BW+VPOPCNTDQ (the Gram kernel leans on VPOPCNTQ).
+  kAvx512 = 2,
+};
+
+/// Kernel table. All pointers are always valid (scalar at minimum).
+struct SimdOps {
+  SimdLevel level = SimdLevel::kScalar;
+
+  /// g[i] = codes[order[i]] for i in [0, n): the sorted-order gather that
+  /// feeds the pack compare.
+  void (*gather_codes)(const int32_t* codes, const uint32_t* order, size_t n,
+                       int32_t* g) = nullptr;
+
+  /// Packs the adjacent-equality bits of a contiguous code stream:
+  /// bit j = (g[j] != null_code && g[j] == g[j+1]) for j in [0, n-1),
+  /// matching EqualCodes(g[j], g[j+1]). Writes the first
+  /// floor((n-1)/64) full words into `words` and returns the number of
+  /// bits written (a multiple of 64 <= n-1); the caller emits the
+  /// remaining tail bits (and the wrap pair) itself.
+  size_t (*pack_adjacent_equal)(const int32_t* g, size_t n, int32_t null_code,
+                                uint64_t* words) = nullptr;
+
+  /// Sum of popcounts over `len` words.
+  uint64_t (*popcount_words)(const uint64_t* a, size_t len) = nullptr;
+
+  /// Sum of popcounts of (a[i] & b[i]) over `len` words.
+  uint64_t (*popcount_and_words)(const uint64_t* a, const uint64_t* b,
+                                 size_t len) = nullptr;
+};
+
+/// Name of a level: "scalar", "avx2", "avx512".
+const char* SimdLevelName(SimdLevel level);
+
+/// Best level this binary supports on this CPU (build-gated and
+/// cpuid-gated). Constant for the process lifetime.
+SimdLevel DetectedSimdLevel();
+
+/// The level kernels currently dispatch to: DetectedSimdLevel() clamped
+/// by the FDX_SIMD environment variable (scalar|avx2|avx512, read once)
+/// and by any SetSimdLevel override.
+SimdLevel ActiveSimdLevel();
+
+/// Test/bench override. The request is clamped to DetectedSimdLevel()
+/// (asking for AVX2 on a non-AVX2 machine yields scalar); returns the
+/// level actually in effect. Thread-safe, but callers that flip levels
+/// mid-run own the determinism argument (outputs are bit-identical at
+/// every level, so flipping is safe — just not faster).
+SimdLevel SetSimdLevel(SimdLevel level);
+
+/// Kernel table for ActiveSimdLevel().
+const SimdOps& ActiveSimdOps();
+
+/// Kernel table for a specific level (clamped to DetectedSimdLevel()).
+const SimdOps& SimdOpsForLevel(SimdLevel level);
+
+namespace simd_internal {
+/// Per-level kernel tables. Scalar is always defined; the vector tables
+/// are defined only in builds whose compiler accepted the flags (the
+/// dispatcher references them under the matching FDX_HAVE_*_BUILD
+/// macro, so unbuilt levels are never linked).
+const SimdOps& ScalarOps();
+const SimdOps& Avx2Ops();
+const SimdOps& Avx512Ops();
+}  // namespace simd_internal
+
+}  // namespace fdx
+
+#endif  // FDX_LINALG_SIMD_H_

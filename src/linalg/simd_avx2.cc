@@ -1,0 +1,132 @@
+// AVX2 kernel table. This translation unit is compiled with -mavx2 (see
+// src/linalg/CMakeLists.txt) and must only be *executed* after the
+// runtime cpuid check in simd.cc — keep it free of globals with dynamic
+// initializers so nothing here runs on load.
+#if defined(FDX_HAVE_AVX2_BUILD)
+
+#include <immintrin.h>
+
+#include "linalg/simd.h"
+
+namespace fdx {
+namespace {
+
+void GatherCodesAvx2(const int32_t* codes, const uint32_t* order, size_t n,
+                     int32_t* g) {
+  size_t i = 0;
+  // VPGATHERDD indices are signed 32-bit; fall back to scalar for the
+  // (hypothetical) > 2^31-row tail where an index would go negative.
+  if (n <= static_cast<size_t>(INT32_MAX)) {
+    for (; i + 8 <= n; i += 8) {
+      const __m256i idx =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(order + i));
+      const __m256i v = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(codes), idx, 4);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(g + i), v);
+    }
+  }
+  for (; i < n; ++i) g[i] = codes[order[i]];
+}
+
+size_t PackAdjacentEqualAvx2(const int32_t* g, size_t n, int32_t null_code,
+                             uint64_t* words) {
+  const size_t nwords = (n - 1) / 64;
+  const __m256i null_v = _mm256_set1_epi32(null_code);
+  for (size_t w = 0; w < nwords; ++w) {
+    const int32_t* base = g + w * 64;
+    uint64_t word = 0;
+    for (unsigned t = 0; t < 8; ++t) {
+      // Unaligned loads of g[j] and g[j+1]; the +1 load's last lane is
+      // g[w*64 + 63 + 1] <= g[nwords*64] <= g[n-1], always in bounds.
+      const __m256i v1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(base + 8 * t));
+      const __m256i v2 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(base + 8 * t + 1));
+      const __m256i eq = _mm256_cmpeq_epi32(v1, v2);
+      const __m256i is_null = _mm256_cmpeq_epi32(v1, null_v);
+      const __m256i bits = _mm256_andnot_si256(is_null, eq);
+      const uint32_t mask = static_cast<uint32_t>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(bits)));
+      word |= static_cast<uint64_t>(mask) << (8 * t);
+    }
+    words[w] = word;
+  }
+  return nwords * 64;
+}
+
+/// Per-lane byte popcount via the nibble-LUT + PSHUFB trick (Mula),
+/// reduced to four u64 lane sums with PSADBW.
+inline __m256i Popcount256(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+inline uint64_t HorizontalSum64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<uint64_t>(_mm_extract_epi64(sum, 0)) +
+         static_cast<uint64_t>(_mm_extract_epi64(sum, 1));
+}
+
+uint64_t PopcountWordsAvx2(const uint64_t* a, size_t len) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= len; w += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    acc = _mm256_add_epi64(acc, Popcount256(v));
+  }
+  uint64_t total = HorizontalSum64(acc);
+  for (; w < len; ++w) {
+    total += static_cast<uint64_t>(__builtin_popcountll(a[w]));
+  }
+  return total;
+}
+
+uint64_t PopcountAndWordsAvx2(const uint64_t* a, const uint64_t* b,
+                              size_t len) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= len; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    acc = _mm256_add_epi64(acc, Popcount256(_mm256_and_si256(va, vb)));
+  }
+  uint64_t total = HorizontalSum64(acc);
+  for (; w < len; ++w) {
+    total += static_cast<uint64_t>(__builtin_popcountll(a[w] & b[w]));
+  }
+  return total;
+}
+
+}  // namespace
+
+namespace simd_internal {
+
+const SimdOps& Avx2Ops() {
+  static const SimdOps ops = [] {
+    SimdOps table;
+    table.level = SimdLevel::kAvx2;
+    table.gather_codes = GatherCodesAvx2;
+    table.pack_adjacent_equal = PackAdjacentEqualAvx2;
+    table.popcount_words = PopcountWordsAvx2;
+    table.popcount_and_words = PopcountAndWordsAvx2;
+    return table;
+  }();
+  return ops;
+}
+
+}  // namespace simd_internal
+}  // namespace fdx
+
+#endif  // FDX_HAVE_AVX2_BUILD

@@ -69,6 +69,11 @@ Result<FdxOptions> ParseOptionsJson(const JsonValue& json,
       options.recovery.enabled = value.bool_value();
     } else if (key == "warm_start" && value.is_bool()) {
       options.reuse_solver_state = value.bool_value();
+    } else if (key == "solver" && value.is_string()) {
+      if (!ParseGlassoSolver(value.string_value(), &options.glasso.solver)) {
+        return Status::InvalidArgument(
+            "options.solver must be \"auto\", \"cd\", or \"newton\"");
+      }
     } else {
       return Status::InvalidArgument("unknown or mistyped option \"" + key +
                                      "\"");
@@ -99,6 +104,11 @@ std::string CanonicalOptionsKey(const FdxOptions& o) {
   key += ";gridge=" + ExactDouble(o.glasso.diagonal_ridge);
   key += ";gliter=" + std::to_string(o.glasso.lasso_max_iterations);
   key += ";gltol=" + ExactDouble(o.glasso.lasso_tolerance);
+  key += ";gsolver=" + std::to_string(static_cast<int>(o.glasso.solver));
+  key += ";gniter=" + std::to_string(o.glasso.newton_max_iterations);
+  key += ";gnmin=" + std::to_string(o.glasso.newton_min_block);
+  key += ";gndense=" + ExactDouble(o.glasso.newton_dense_threshold);
+  key += ";gpath=" + std::to_string(o.glasso.lambda_path ? 1 : 0);
   key += ";rec=" + std::to_string(o.recovery.enabled ? 1 : 0);
   key += ";rretry=" + std::to_string(o.recovery.max_ridge_retries);
   key += ";rmul=" + ExactDouble(o.recovery.ridge_multiplier);
@@ -368,10 +378,12 @@ std::string RenderStatusTextReport(const JsonValue& status) {
   out += line;
 
   std::snprintf(line, sizeof(line),
-                "solver:      solves=%lld warm_started=%lld memo_hits=%lld\n",
+                "solver:      solves=%lld warm_started=%lld memo_hits=%lld "
+                "newton=%lld\n",
                 static_cast<long long>(StatusInt(solver, "solves")),
                 static_cast<long long>(StatusInt(solver, "warm_started")),
-                static_cast<long long>(StatusInt(solver, "memo_hits")));
+                static_cast<long long>(StatusInt(solver, "memo_hits")),
+                static_cast<long long>(StatusInt(solver, "newton_solves")));
   out += line;
 
   // Overload + durability sections. StatusInt renders absent members

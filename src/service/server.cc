@@ -923,6 +923,8 @@ std::string FdxServer::HandleStatus() {
   json.Integer(static_cast<int64_t>(solver.warm_solves));
   json.Key("memo_hits");
   json.Integer(static_cast<int64_t>(solver.memo_hits));
+  json.Key("newton_solves");
+  json.Integer(static_cast<int64_t>(solver.newton_solves));
   json.EndObject();
   json.Key("shed");
   json.BeginObject();

@@ -190,6 +190,7 @@ SessionRegistry::SolverTotals SessionRegistry::SolverStats() const {
       totals.solves += slot.session->fdx.solves();
       totals.warm_solves += slot.session->fdx.warm_solves();
       totals.memo_hits += slot.session->fdx.memo_hits();
+      totals.newton_solves += slot.session->fdx.newton_solves();
     }
   }
   return totals;

@@ -105,9 +105,10 @@ class SessionRegistry {
   /// the sessions' atomic counters under each shard lock — it never
   /// takes a session's mutex, so it cannot stall behind a long solve.
   struct SolverTotals {
-    uint64_t solves = 0;       ///< completed structure-learning solves
-    uint64_t warm_solves = 0;  ///< subset seeded from the previous solve
-    uint64_t memo_hits = 0;    ///< discovers answered without solving
+    uint64_t solves = 0;        ///< completed structure-learning solves
+    uint64_t warm_solves = 0;   ///< subset seeded from the previous solve
+    uint64_t memo_hits = 0;     ///< discovers answered without solving
+    uint64_t newton_solves = 0; ///< subset that ran the Newton backend
   };
   SolverTotals SolverStats() const;
 

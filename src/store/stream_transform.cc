@@ -140,10 +140,11 @@ Status RunPass(size_t attr, const ChunkedTable& table,
 
   watch.Reset();
   bits->Reset(pass->num_pairs(), k);
+  PackScratch scratch;
   for (size_t col = 0; col < k; ++col) {
     FDX_ASSIGN_OR_RETURN(const std::vector<int32_t>* codes, get_column(col));
     ColumnBitWriter writer(bits->column_words(col));
-    AppendPassColumnBits(*codes, *pass, &writer);
+    AppendPassColumnBits(*codes, *pass, &writer, &scratch);
     writer.Flush();
   }
   times->pack += watch.ElapsedSeconds();

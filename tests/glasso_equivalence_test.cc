@@ -333,6 +333,172 @@ TEST_F(GlassoEquivalenceTest, LassoFaultPropagatesFromParallelBlocks) {
   }
 }
 
+// --- QUIC-style Newton backend -------------------------------------
+
+TEST_F(GlassoEquivalenceTest, NewtonMatchesReferenceOnDenseProblems) {
+  GlassoOptions options = TightOptions();
+  options.solver = GlassoSolver::kNewton;
+  for (size_t k : {20u, 50u, 100u}) {
+    const Matrix s = RandomCorrelation(k, 300 + k);
+    auto newton = GraphicalLasso(s, options);
+    // The reference stops on the *mean* absolute W change, which
+    // dilutes with k^2; scale its tolerance down so the oracle itself
+    // is within 1e-8 of the optimum at every size tested.
+    GlassoOptions ref_options = TightOptions();
+    ref_options.tolerance = 1e-9 * (400.0 / static_cast<double>(k * k));
+    auto reference = GraphicalLassoReference(s, ref_options);
+    ASSERT_TRUE(newton.ok())
+        << "k=" << k << ": " << newton.status().ToString();
+    ASSERT_TRUE(reference.ok()) << "k=" << k;
+    EXPECT_STREQ(newton->stats.SolverBackend(), "newton") << "k=" << k;
+    EXPECT_EQ(newton->stats.cd_blocks, 0u);
+    EXPECT_GT(newton->stats.newton_iterations, 0u);
+    EXPECT_LE(MaxAbsDiff(newton->theta, reference->theta), 1e-8)
+        << "k=" << k;
+    EXPECT_LE(MaxAbsDiff(newton->w, reference->w), 1e-8) << "k=" << k;
+  }
+}
+
+TEST_F(GlassoEquivalenceTest, NewtonSolutionSatisfiesKktConditions) {
+  // Same stationarity conditions as the CD solver (shared objective,
+  // shared diagonal convention): this pins the Newton solution to the
+  // optimum directly, not merely to another solver's output.
+  GlassoOptions options = TightOptions();
+  options.solver = GlassoSolver::kNewton;
+  options.diagonal_ridge = 0.0;
+  const Matrix s = RandomCorrelation(40, 9);
+  auto run = GraphicalLasso(s, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const double lambda = options.lambda;
+  for (size_t i = 0; i < 40; ++i) {
+    EXPECT_NEAR(run->w(i, i), s(i, i) + lambda, 1e-8);
+    for (size_t j = 0; j < 40; ++j) {
+      if (i == j) continue;
+      const double grad = run->w(i, j) - s(i, j);
+      const double theta_ij = run->theta(i, j);
+      if (std::fabs(theta_ij) > 1e-7) {
+        EXPECT_NEAR(grad, lambda * (theta_ij > 0 ? 1.0 : -1.0), 1e-6)
+            << i << "," << j;
+      } else {
+        EXPECT_LE(std::fabs(grad), lambda + 1e-6) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST_F(GlassoEquivalenceTest, NewtonDeterministicAcrossThreadCounts) {
+  // Three forced-Newton blocks fan out across workers; the assembled
+  // result must be bit-identical at any thread count.
+  const Matrix s = BlockCorrelation(60, 20, 0.45);
+  GlassoOptions options = TightOptions();
+  options.solver = GlassoSolver::kNewton;
+  options.threads = 1;
+  auto reference_run = GraphicalLasso(s, options);
+  ASSERT_TRUE(reference_run.ok()) << reference_run.status().ToString();
+  EXPECT_EQ(reference_run->stats.newton_blocks, 3u);
+  for (size_t threads : {2u, 8u}) {
+    options.threads = threads;
+    auto run = GraphicalLasso(s, options);
+    ASSERT_TRUE(run.ok()) << "threads=" << threads;
+    EXPECT_EQ(MaxAbsDiff(run->theta, reference_run->theta), 0.0)
+        << "threads=" << threads;
+    EXPECT_EQ(MaxAbsDiff(run->w, reference_run->w), 0.0)
+        << "threads=" << threads;
+    EXPECT_EQ(run->stats.newton_iterations,
+              reference_run->stats.newton_iterations);
+    EXPECT_EQ(run->stats.newton_path_stages,
+              reference_run->stats.newton_path_stages);
+  }
+}
+
+TEST_F(GlassoEquivalenceTest, NewtonWarmStartSkipsPathAndConverges) {
+  const Matrix s = RandomCorrelation(40, 11);
+  GlassoOptions options = TightOptions();
+  options.solver = GlassoSolver::kNewton;
+  auto cold = GraphicalLasso(s, options);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_GT(cold->stats.newton_path_stages, 0u);
+
+  // Seeding from the solved point skips continuation and re-converges
+  // to the same fixed point in no more iterations than the cold solve.
+  GlassoOptions warm_options = options;
+  warm_options.warm_w = &cold->w;
+  warm_options.warm_theta = &cold->theta;
+  auto warm = GraphicalLasso(s, warm_options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->stats.warm_start_used);
+  EXPECT_EQ(warm->stats.newton_path_stages, 0u);
+  EXPECT_LE(MaxAbsDiff(warm->theta, cold->theta), 1e-8);
+  EXPECT_LE(warm->stats.newton_iterations, cold->stats.newton_iterations);
+
+  // The path is an initial-point device only: disabling it changes the
+  // route, not the destination.
+  GlassoOptions no_path = options;
+  no_path.lambda_path = false;
+  auto direct = GraphicalLasso(s, no_path);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct->stats.newton_path_stages, 0u);
+  EXPECT_LE(MaxAbsDiff(direct->theta, cold->theta), 1e-8);
+}
+
+TEST_F(GlassoEquivalenceTest, AutoDispatchRoutesByComponentShape) {
+  GlassoOptions options = TightOptions();  // solver defaults to kAuto
+  // Small blocks (size 5 < newton_min_block): CD.
+  auto small = GraphicalLasso(BlockCorrelation(20, 5, 0.4), options);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->stats.newton_blocks, 0u);
+  EXPECT_STREQ(small->stats.SolverBackend(), "cd");
+  // Banded screening graph (density < newton_dense_threshold): CD even
+  // at size 40.
+  Matrix banded(40, 40);
+  for (size_t i = 0; i < 40; ++i) {
+    for (size_t j = 0; j < 40; ++j) {
+      banded(i, j) = std::pow(0.5, std::fabs(static_cast<double>(i) -
+                                             static_cast<double>(j)));
+    }
+  }
+  auto sparse = GraphicalLasso(banded, options);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_EQ(sparse->stats.newton_blocks, 0u);
+  // One large dense component: Newton, and the same answer as forced CD.
+  const Matrix dense = RandomCorrelation(40, 13);
+  auto routed = GraphicalLasso(dense, options);
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed->stats.newton_blocks, 1u);
+  EXPECT_STREQ(routed->stats.SolverBackend(), "newton");
+  GlassoOptions cd_options = options;
+  cd_options.solver = GlassoSolver::kCoordinateDescent;
+  auto cd = GraphicalLasso(dense, cd_options);
+  ASSERT_TRUE(cd.ok());
+  EXPECT_EQ(cd->stats.newton_blocks, 0u);
+  EXPECT_LE(MaxAbsDiff(routed->theta, cd->theta), 1e-8);
+}
+
+TEST_F(GlassoEquivalenceTest, NewtonSweepFaultPropagates) {
+  GlassoOptions options = TightOptions();
+  options.solver = GlassoSolver::kNewton;
+  ASSERT_TRUE(ArmFaults(std::string(kFaultGlassoSweep) + ":1+").ok());
+  auto run = GraphicalLasso(RandomCorrelation(20, 3), options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kNumericalError);
+  EXPECT_NE(run.status().message().find("glasso.sweep"), std::string::npos);
+  DisarmFaults();
+}
+
+TEST_F(GlassoEquivalenceTest, SolverNameRoundTrip) {
+  EXPECT_STREQ(GlassoSolverName(GlassoSolver::kAuto), "auto");
+  EXPECT_STREQ(GlassoSolverName(GlassoSolver::kCoordinateDescent), "cd");
+  EXPECT_STREQ(GlassoSolverName(GlassoSolver::kNewton), "newton");
+  GlassoSolver solver = GlassoSolver::kAuto;
+  EXPECT_TRUE(ParseGlassoSolver("newton", &solver));
+  EXPECT_EQ(solver, GlassoSolver::kNewton);
+  EXPECT_TRUE(ParseGlassoSolver("cd", &solver));
+  EXPECT_EQ(solver, GlassoSolver::kCoordinateDescent);
+  EXPECT_TRUE(ParseGlassoSolver("auto", &solver));
+  EXPECT_EQ(solver, GlassoSolver::kAuto);
+  EXPECT_FALSE(ParseGlassoSolver("quic", &solver));
+}
+
 TEST_F(GlassoEquivalenceTest, CallLevelFaultFiresOnAllSingletonInput) {
   // Screening leaves no block with a sweep loop; an armed glasso.sweep
   // fault must still fire (recovery tests depend on per-attempt

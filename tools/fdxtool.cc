@@ -121,6 +121,13 @@ FdxOptions OptionsFromArgs(const Args& args) {
       options.ordering = *parsed;
     }
   }
+  const std::string solver = args.Get("solver");
+  if (!solver.empty() && !ParseGlassoSolver(solver, &options.glasso.solver)) {
+    std::fprintf(stderr,
+                 "warning: unknown --solver=%s (want auto|cd|newton); "
+                 "using auto\n",
+                 solver.c_str());
+  }
   return options;
 }
 
@@ -614,7 +621,10 @@ int Usage() {
       "  --time-budget=S   wall-clock budget in seconds; expired runs\n"
       "                    exit 4 with a Timeout status\n"
       "  --no-recovery     fail fast on numerical errors instead of\n"
-      "                    retrying with ridge escalation / fallback\n\n"
+      "                    retrying with ridge escalation / fallback\n"
+      "  --solver=NAME     glasso backend: auto (default; Newton on\n"
+      "                    large dense components, CD elsewhere), cd,\n"
+      "                    or newton\n\n"
       "beyond-RAM flags (discover):\n"
       "  --max-memory-mb=N stream the CSV through a spillable chunk\n"
       "                    store and discover under an N-MB RSS ceiling\n"
