@@ -28,10 +28,12 @@
 
 #include <benchmark/benchmark.h>
 #include <sys/resource.h>
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -823,14 +825,53 @@ uint64_t PeakRssBytes() {
   return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
 }
 
+/// On-disk footprint of a chunk store (manifest + chunk files).
+uint64_t DirectoryBytes(const std::string& dir) {
+  auto listing = ListDirectory(dir);
+  if (!listing.ok()) return 0;
+  uint64_t total = 0;
+  for (const std::string& name : *listing) {
+    struct stat st = {};
+    if (::stat((dir + "/" + name).c_str(), &st) == 0) {
+      total += static_cast<uint64_t>(st.st_size);
+    }
+  }
+  return total;
+}
+
+/// One transform-mode cell: which read path, which bounded schedule,
+/// which payload codec.
+struct OocoreModeSpec {
+  const char* name;
+  StoreIo io;
+  BoundedSchedule schedule;
+  bool compressed;
+};
+
+constexpr OocoreModeSpec kOocoreModes[] = {
+    {"read_serial_raw", StoreIo::kRead, BoundedSchedule::kSerial, false},
+    {"mmap_serial_raw", StoreIo::kMmap, BoundedSchedule::kSerial, false},
+    {"mmap_wave_raw", StoreIo::kMmap, BoundedSchedule::kWave, false},
+    {"mmap_wave_varint", StoreIo::kMmap, BoundedSchedule::kWave, true},
+};
+
+struct OocoreModeCell {
+  double transform_seconds = 0.0;
+  bool bit_identical = true;
+};
+
 /// One row-count cell of the out-of-core report.
 struct OocoreCase {
   size_t rows = 0;
   size_t chunks = 0;
-  double ingest_seconds = 0.0;
-  double chunked_transform_seconds = 0.0;
+  double ingest_seconds = 0.0;          ///< raw store
+  double ingest_varint_seconds = 0.0;   ///< varint-compressed store
+  uint64_t store_bytes_raw = 0;
+  uint64_t store_bytes_varint = 0;
+  double chunked_transform_seconds = 0.0;  ///< the mmap_wave_raw mode
   double in_memory_transform_seconds = -1.0;  ///< < 0 means skipped
-  bool bit_identical = true;  ///< vacuously true when in-memory skipped
+  OocoreModeCell modes[4];
+  bool bit_identical = true;  ///< every mode matches the reference
   uint64_t peak_rss_bytes = 0;
 };
 
@@ -851,8 +892,28 @@ int RunOocoreReport(const bench::Flags& flags) {
     std::fprintf(stderr, "%s\n", made.ToString().c_str());
     return 1;
   }
+  const size_t threads = flags.GetSize("threads", 0);
   const std::string csv_path = work_dir + "/oocore.csv";
   const std::string store_dir = work_dir + "/store";
+  const std::string store_dir_varint = work_dir + "/store-varint";
+
+  // Streams one CSV into a spilled store under the named codec.
+  const auto ingest_store = [&](const std::string& dir,
+                                const std::string& codec,
+                                ChunkedTable* store) -> Status {
+    (void)RemoveDirectoryRecursive(dir);
+    bool created = false;
+    return ReadCsvChunked(
+        csv_path, {}, chunk_rows, [&](Table&& chunk) -> Status {
+          if (!created) {
+            FDX_ASSIGN_OR_RETURN(
+                *store, ChunkedTable::Create(chunk.schema(), dir, codec));
+            created = true;
+          }
+          if (chunk.num_rows() == 0) return Status::OK();
+          return store->AppendBatch(chunk);
+        });
+  };
 
   std::vector<OocoreCase> cases;
   for (size_t rows : std::vector<size_t>{100000, 1000000, 5000000}) {
@@ -868,51 +929,78 @@ int RunOocoreReport(const bench::Flags& flags) {
       return 1;
     }
 
-    // Ingest leg: stream the CSV into a spilled chunk store.
-    (void)RemoveDirectoryRecursive(store_dir);
+    // Ingest legs: the same CSV into a raw and a varint-compressed
+    // store (identical fingerprints, different bytes on disk).
     ChunkedTable store;
-    bool created = false;
     Stopwatch ingest_watch;
-    Status ingest = ReadCsvChunked(
-        csv_path, {}, chunk_rows, [&](Table&& chunk) -> Status {
-          if (!created) {
-            FDX_ASSIGN_OR_RETURN(
-                store, ChunkedTable::Create(chunk.schema(), store_dir));
-            created = true;
-          }
-          if (chunk.num_rows() == 0) return Status::OK();
-          return store.AppendBatch(chunk);
-        });
+    Status ingest = ingest_store(store_dir, "", &store);
     if (!ingest.ok()) {
       std::fprintf(stderr, "%s\n", ingest.ToString().c_str());
       return 1;
     }
     cell.ingest_seconds = ingest_watch.ElapsedSeconds();
     cell.chunks = store.num_chunks();
+    cell.store_bytes_raw = DirectoryBytes(store_dir);
 
-    // Streaming transform leg, decoded columns bounded by --cache-mb.
-    StreamTransformOptions stream;
-    stream.column_cache_bytes = cache_bytes;
-    Stopwatch chunked_watch;
-    auto chunked = StreamTransformMoments(store, stream);
-    cell.chunked_transform_seconds = chunked_watch.ElapsedSeconds();
-    if (!chunked.ok()) {
-      std::fprintf(stderr, "%s\n", chunked.status().ToString().c_str());
+    ChunkedTable store_varint;
+    ingest_watch.Reset();
+    ingest = ingest_store(store_dir_varint, "varint", &store_varint);
+    if (!ingest.ok()) {
+      std::fprintf(stderr, "%s\n", ingest.ToString().c_str());
       return 1;
+    }
+    cell.ingest_varint_seconds = ingest_watch.ElapsedSeconds();
+    cell.store_bytes_varint = DirectoryBytes(store_dir_varint);
+
+    // Transform legs: every (read path, bounded schedule, codec) mode,
+    // decoded columns bounded by --cache-mb. The first mode is the
+    // reference; every other mode must reproduce its bits exactly.
+    Matrix reference_cov;
+    for (size_t m = 0; m < 4; ++m) {
+      const OocoreModeSpec& spec = kOocoreModes[m];
+      ChunkedTable& mode_store = spec.compressed ? store_varint : store;
+      mode_store.set_io_mode(spec.io);
+      StreamTransformOptions stream;
+      stream.transform.threads = threads;
+      stream.column_cache_bytes = cache_bytes;
+      stream.bounded_schedule = spec.schedule;
+      Stopwatch mode_watch;
+      auto moments = StreamTransformMoments(mode_store, stream);
+      cell.modes[m].transform_seconds = mode_watch.ElapsedSeconds();
+      if (!moments.ok()) {
+        std::fprintf(stderr, "%s: %s\n", spec.name,
+                     moments.status().ToString().c_str());
+        return 1;
+      }
+      if (m == 0) {
+        reference_cov = moments->cov;
+      } else {
+        cell.modes[m].bit_identical =
+            moments->cov.Subtract(reference_cov).MaxAbs() == 0.0;
+      }
+      if (std::strcmp(spec.name, "mmap_wave_raw") == 0) {
+        cell.chunked_transform_seconds = cell.modes[m].transform_seconds;
+      }
     }
 
     // In-memory leg (skipped above the cap; the point of the store is
     // tables where this leg would not fit).
     if (rows <= max_in_memory_rows) {
+      TransformOptions in_memory_options;
+      in_memory_options.threads = threads;
       Stopwatch in_memory_watch;
-      auto in_memory = PairTransformMoments(ds.noisy, {});
+      auto in_memory = PairTransformMoments(ds.noisy, in_memory_options);
       cell.in_memory_transform_seconds = in_memory_watch.ElapsedSeconds();
       if (!in_memory.ok()) {
         std::fprintf(stderr, "%s\n", in_memory.status().ToString().c_str());
         return 1;
       }
-      cell.bit_identical =
-          chunked->cov.Subtract(in_memory->cov).MaxAbs() == 0.0;
+      cell.modes[0].bit_identical =
+          reference_cov.Subtract(in_memory->cov).MaxAbs() == 0.0;
+    }
+    cell.bit_identical = true;
+    for (const OocoreModeCell& mode : cell.modes) {
+      if (!mode.bit_identical) cell.bit_identical = false;
     }
     cell.peak_rss_bytes = PeakRssBytes();
     cases.push_back(cell);
@@ -920,7 +1008,8 @@ int RunOocoreReport(const bench::Flags& flags) {
   (void)RemoveDirectoryRecursive(work_dir);
 
   bool all_identical = true;
-  ReportTable table({"Rows", "Chunks", "Ingest s", "Rows/s", "Chunked s",
+  ReportTable table({"Rows", "Chunks", "Ingest s", "Rows/s", "Read+serial s",
+                     "Mmap+serial s", "Mmap+wave s", "Wave+varint s",
                      "In-memory s", "Identical", "Peak RSS MB"});
   for (const OocoreCase& cell : cases) {
     if (!cell.bit_identical) all_identical = false;
@@ -931,13 +1020,14 @@ int RunOocoreReport(const bench::Flags& flags) {
                            ? static_cast<double>(cell.rows) /
                                  cell.ingest_seconds
                            : 0.0),
-         bench::Score3(cell.chunked_transform_seconds),
+         bench::Score3(cell.modes[0].transform_seconds),
+         bench::Score3(cell.modes[1].transform_seconds),
+         bench::Score3(cell.modes[2].transform_seconds),
+         bench::Score3(cell.modes[3].transform_seconds),
          cell.in_memory_transform_seconds < 0.0
              ? "skipped"
              : bench::Score3(cell.in_memory_transform_seconds),
-         cell.in_memory_transform_seconds < 0.0
-             ? "-"
-             : (cell.bit_identical ? "yes" : "NO"),
+         cell.bit_identical ? "yes" : "NO",
          std::to_string(cell.peak_rss_bytes / (1024 * 1024))});
   }
   std::printf("Out-of-core store (%zu attrs, chunk %zu rows, cache %zu MB)\n%s",
@@ -955,6 +1045,14 @@ int RunOocoreReport(const bench::Flags& flags) {
   json.Integer(static_cast<int64_t>(chunk_rows));
   json.Key("column_cache_bytes");
   json.Integer(static_cast<int64_t>(cache_bytes));
+  json.Key("threads");
+  json.Integer(static_cast<int64_t>(ResolveThreadCount(threads)));
+  json.Key("hardware_threads");
+  json.Integer(static_cast<int64_t>(DefaultThreadCount()));
+  if (ResolveThreadCount(threads) > DefaultThreadCount()) {
+    json.Key("hardware_threads_note");
+    json.String("thread counts above hardware_threads are oversubscribed");
+  }
   json.Key("bit_identical");
   json.Bool(all_identical);
   json.Key("cases");
@@ -971,8 +1069,26 @@ int RunOocoreReport(const bench::Flags& flags) {
     json.Number(cell.ingest_seconds > 0.0
                     ? static_cast<double>(cell.rows) / cell.ingest_seconds
                     : 0.0);
+    json.Key("ingest_varint_seconds");
+    json.Number(cell.ingest_varint_seconds);
+    json.Key("store_bytes_raw");
+    json.Integer(static_cast<int64_t>(cell.store_bytes_raw));
+    json.Key("store_bytes_varint");
+    json.Integer(static_cast<int64_t>(cell.store_bytes_varint));
     json.Key("chunked_transform_seconds");
     json.Number(cell.chunked_transform_seconds);
+    json.Key("modes");
+    json.BeginObject();
+    for (size_t m = 0; m < 4; ++m) {
+      json.Key(kOocoreModes[m].name);
+      json.BeginObject();
+      json.Key("transform_seconds");
+      json.Number(cell.modes[m].transform_seconds);
+      json.Key("bit_identical");
+      json.Bool(cell.modes[m].bit_identical);
+      json.EndObject();
+    }
+    json.EndObject();
     json.Key("in_memory_transform_seconds");
     if (cell.in_memory_transform_seconds < 0.0) {
       json.Null();

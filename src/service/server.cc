@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "data/csv.h"
+#include "store/chunk_codec.h"
 #include "util/json_parser.h"
 #include "service/protocol.h"
 #include "service/snapshot.h"
@@ -254,6 +255,8 @@ FdxServer::FdxServer(ServerOptions options) : options_(std::move(options)) {}
 FdxServer::~FdxServer() { Shutdown(); }
 
 Status FdxServer::Start() {
+  // A bad codec name should fail startup, not the first chunked open.
+  FDX_RETURN_IF_ERROR(FindChunkCodec(options_.store_compression).status());
   FDX_ASSIGN_OR_RETURN(listener_, ListenSocket::BindLoopback(options_.port));
   port_ = listener_.port();
   queue_ = std::make_unique<JobQueue>(options_.workers, options_.queue_capacity);
@@ -534,7 +537,8 @@ std::string FdxServer::HandleOpen(const JsonValue& request) {
       // manifest instead of embedding the rows.
       Result<ChunkedTable> store = ChunkedTable::Create(
           session.value()->fdx.schema(),
-          durable() ? SessionStoreDir(session.value()->id) : "");
+          durable() ? SessionStoreDir(session.value()->id) : "",
+          options_.store_compression);
       if (!store.ok()) {
         sessions_->Close(session.value()->id);
         return RenderErrorResponse("open", store.status());

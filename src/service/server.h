@@ -100,6 +100,13 @@ struct ServerOptions {
   /// Backoff hint (seconds) carried in shed / expired-deadline
   /// responses as `retry_after`.
   double shed_retry_after_seconds = 0.2;
+
+  /// Chunk payload codec for "chunked" sessions ("" or "none" stores
+  /// raw, "varint" delta-compresses dictionary codes). A server-side
+  /// knob rather than a protocol field: fingerprints cover the
+  /// uncompressed bytes, so the codec never affects cache keys or
+  /// results, only the bytes on disk.
+  std::string store_compression;
 };
 
 /// fdxd: the FD-discovery daemon. An epoll event loop (or, in legacy

@@ -1,20 +1,29 @@
 #include "store/chunked_table.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
 
+#include "store/chunk_codec.h"
+#include "util/fault_injection.h"
 #include "util/file_io.h"
 #include "util/fingerprint.h"
 #include "util/json_parser.h"
 #include "util/json_writer.h"
+#include "util/mmap_file.h"
 
 namespace fdx {
 namespace {
 
 constexpr char kChunkMagic[8] = {'F', 'D', 'X', 'C', 'H', 'N', 'K', '1'};
+/// Compressed chunk: same u64 header, then a u64 per-column
+/// compressed-size table, then the codec payloads, then the dict delta.
+constexpr char kChunkMagicV2[8] = {'F', 'D', 'X', 'C', 'H', 'N', 'K', '2'};
 constexpr size_t kChunkHeaderBytes = 8 + 3 * 8;  // magic + rows/cols/dict_bytes
 constexpr int kManifestVersion = 1;
 
@@ -49,10 +58,14 @@ std::string ChunkFileName(size_t index) {
   return buf;
 }
 
-std::string FingerprintHexOf(const std::string& contents) {
+std::string FingerprintHexOf(const char* data, size_t size) {
   Fingerprint fp;
-  fp.UpdateString(contents);
+  fp.Update(data, size);
   return fp.Hex();
+}
+
+std::string FingerprintHexOf(const std::string& contents) {
+  return FingerprintHexOf(contents.data(), contents.size());
 }
 
 /// Exact-double text, round-trippable (same codec as the service
@@ -123,14 +136,109 @@ uint64_t DoubleBits(double v) {
   return bits;
 }
 
+/// Decompresses one column payload, with the `store.decompress` fault
+/// point in front (no fallback — a chunk that won't decode is corrupt).
+Status DecodeCompressedColumn(const ChunkCodec& codec, const char* data,
+                              size_t size, size_t n, int32_t* out,
+                              const std::string& chunk_file) {
+  FDX_INJECT_FAULT(kFaultStoreDecompress,
+                   Status::IOError("store: chunk '" + chunk_file +
+                                   "' decompression failed (injected fault)"));
+  Status status = codec.DecodeColumn(data, size, n, out);
+  if (!status.ok()) {
+    return Status::IOError("store: chunk '" + chunk_file +
+                           "': " + status.message());
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
+/// Cached per-chunk read state. Established once under the table's I/O
+/// mutex; immutable afterwards, so concurrent column reads share it
+/// without further locking (mapped reads and pread are both safe).
+struct ChunkedTable::ChunkIo {
+  MmapFile map;        ///< valid when use_mmap
+  int fd = -1;         ///< pread fallback, kept open across column reads
+  bool use_mmap = false;
+  bool compressed = false;  ///< file is FDXCHNK2
+  uint64_t file_size = 0;
+  uint64_t dict_offset = 0;
+  uint64_t dict_bytes = 0;
+  /// Per-column payload byte ranges, parsed once from the header (and,
+  /// for compressed chunks, the size table) — column reads never touch
+  /// header state again.
+  std::vector<uint64_t> col_offsets;
+  std::vector<uint64_t> col_sizes;
+
+  ChunkIo() = default;
+  ChunkIo(const ChunkIo&) = delete;
+  ChunkIo& operator=(const ChunkIo&) = delete;
+  ~ChunkIo() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  /// Copies `[offset, offset+len)` of the chunk file into `dst`, from
+  /// the map or via pread on the cached fd.
+  Status ReadAt(uint64_t offset, size_t len, char* dst,
+                const std::string& path) const {
+    if (offset + len > file_size) {
+      return Status::IOError("store: chunk '" + path +
+                             "' is shorter than its header promises");
+    }
+    if (use_mmap) {
+      std::memcpy(dst, map.data() + offset, len);
+      return Status::OK();
+    }
+    size_t done = 0;
+    while (done < len) {
+      const ssize_t got = ::pread(fd, dst + done, len - done,
+                                  static_cast<off_t>(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("store: cannot read chunk '" + path +
+                               "': " + std::strerror(errno));
+      }
+      if (got == 0) {
+        return Status::IOError("store: chunk '" + path +
+                               "' truncated mid-read");
+      }
+      done += static_cast<size_t>(got);
+    }
+    return Status::OK();
+  }
+
+  /// Drops the page-cache residency of a byte range (mmap mode only) so
+  /// a streaming scan never accumulates mapped pages.
+  void DropRange(uint64_t offset, size_t len) const {
+    if (use_mmap) map.AdviseDontNeed(offset, len);
+  }
+};
+
+ChunkedTable::ChunkedTable() = default;
+ChunkedTable::~ChunkedTable() = default;
+ChunkedTable::ChunkedTable(ChunkedTable&&) noexcept = default;
+ChunkedTable& ChunkedTable::operator=(ChunkedTable&&) noexcept = default;
+
+StoreIo DefaultStoreIo() {
+  const char* env = std::getenv("FDX_STORE_IO");
+  if (env != nullptr) {
+    if (std::strcmp(env, "read") == 0) return StoreIo::kRead;
+    if (std::strcmp(env, "mmap") == 0) return StoreIo::kMmap;
+  }
+  return StoreIo::kMmap;
+}
+
 Result<ChunkedTable> ChunkedTable::Create(const Schema& schema,
-                                          std::string dir) {
+                                          std::string dir,
+                                          const std::string& codec) {
   ChunkedTable table;
   table.schema_ = schema;
   table.dir_ = std::move(dir);
   table.dicts_.resize(schema.size());
+  FDX_ASSIGN_OR_RETURN(table.codec_, FindChunkCodec(codec));
+  table.codec_name_ = table.codec_ == nullptr ? "none" : table.codec_->name();
+  table.io_mode_ = DefaultStoreIo();
   if (!table.dir_.empty()) {
     FDX_RETURN_IF_ERROR(EnsureDirectory(table.dir_));
     FDX_RETURN_IF_ERROR(table.WriteManifest());
@@ -238,6 +346,12 @@ std::string ChunkedTable::EncodeManifest() const {
   json.BeginArray();
   for (size_t c = 0; c < schema_.size(); ++c) json.String(schema_.name(c));
   json.EndArray();
+  // Raw stores omit the key, so their manifests stay byte-identical to
+  // pre-codec writers.
+  if (codec_name_ != "none") {
+    json.Key("codec");
+    json.String(codec_name_);
+  }
   json.Key("total_rows");
   json.Integer(static_cast<int64_t>(total_rows_));
   json.Key("chunks");
@@ -284,11 +398,34 @@ Status ChunkedTable::AppendBatch(const Table& batch) {
     }
   }
 
+  // The fingerprint always covers the uncompressed serialization, so
+  // raw and compressed stores of the same data fingerprint identically.
   const std::string payload = SerializeChunk(chunk, dict_starts);
   chunk.fingerprint_hex = FingerprintHexOf(payload);
   if (!dir_.empty()) {
     chunk.file = ChunkFileName(chunks_.size());
-    FDX_RETURN_IF_ERROR(WriteFileAtomic(dir_ + "/" + chunk.file, payload));
+    if (codec_ != nullptr) {
+      // Re-frame as FDXCHNK2: header, per-column compressed sizes,
+      // codec payloads, then the same dictionary delta tail.
+      const size_t dict_bytes =
+          payload.size() - kChunkHeaderBytes - chunk.rows * k * 4;
+      std::string packed;
+      packed.append(kChunkMagicV2, sizeof(kChunkMagicV2));
+      AppendU64(&packed, chunk.rows);
+      AppendU64(&packed, k);
+      AppendU64(&packed, dict_bytes);
+      std::string columns;
+      for (size_t c = 0; c < k; ++c) {
+        const size_t before = columns.size();
+        codec_->EncodeColumn(chunk.codes[c].data(), chunk.rows, &columns);
+        AppendU64(&packed, columns.size() - before);
+      }
+      packed += columns;
+      packed.append(payload, payload.size() - dict_bytes, dict_bytes);
+      FDX_RETURN_IF_ERROR(WriteFileAtomic(dir_ + "/" + chunk.file, packed));
+    } else {
+      FDX_RETURN_IF_ERROR(WriteFileAtomic(dir_ + "/" + chunk.file, payload));
+    }
     chunk.codes.clear();  // durable now; drop the resident copy
   }
   total_rows_ += chunk.rows;
@@ -301,11 +438,166 @@ Status ChunkedTable::AppendBatch(const Table& batch) {
   return Status::OK();
 }
 
+Result<ChunkedTable::ChunkIo*> ChunkedTable::GetChunkIo(size_t index) const {
+  const StoredChunk& chunk = chunks_[index];
+  std::lock_guard<std::mutex> lock(*io_mu_);
+  if (chunk.io != nullptr) return chunk.io.get();
+
+  const std::string path = dir_ + "/" + chunk.file;
+  auto io = std::make_unique<ChunkIo>();
+  if (io_mode_ == StoreIo::kMmap && !FaultTriggered(kFaultStoreMmap)) {
+    Result<MmapFile> mapped = MmapFile::Open(path);
+    if (mapped.ok()) {
+      io->map = std::move(mapped).value();
+      io->use_mmap = true;
+      io->file_size = io->map.size();
+    } else {
+      ++mmap_fallbacks_;
+    }
+  } else if (io_mode_ == StoreIo::kMmap) {
+    ++mmap_fallbacks_;  // fault point counts like a real map failure
+  }
+  if (!io->use_mmap) {
+    io->fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (io->fd < 0) {
+      return Status::IOError("store: cannot open chunk '" + path +
+                             "': " + std::strerror(errno));
+    }
+    const off_t size = ::lseek(io->fd, 0, SEEK_END);
+    if (size < 0) {
+      return Status::IOError("store: cannot stat chunk '" + path +
+                             "': " + std::strerror(errno));
+    }
+    io->file_size = static_cast<uint64_t>(size);
+  }
+
+  // Parse the header once; every later column read goes straight to its
+  // precomputed byte range.
+  char header[kChunkHeaderBytes];
+  if (io->file_size < kChunkHeaderBytes) {
+    return Status::IOError("store: chunk '" + path + "' has a bad header");
+  }
+  FDX_RETURN_IF_ERROR(io->ReadAt(0, kChunkHeaderBytes, header, path));
+  const bool v1 = std::memcmp(header, kChunkMagic, sizeof(kChunkMagic)) == 0;
+  const bool v2 =
+      std::memcmp(header, kChunkMagicV2, sizeof(kChunkMagicV2)) == 0;
+  if (!v1 && !v2) {
+    return Status::IOError("store: chunk '" + path + "' has a bad header");
+  }
+  const uint64_t rows = ReadU64(header + 8);
+  const uint64_t cols = ReadU64(header + 16);
+  io->dict_bytes = ReadU64(header + 24);
+  const size_t k = schema_.size();
+  if (rows != chunk.rows || cols != k) {
+    return Status::IOError("store: chunk '" + path +
+                           "' shape disagrees with the manifest");
+  }
+  io->compressed = v2;
+  io->col_offsets.resize(k);
+  io->col_sizes.resize(k);
+  if (v1) {
+    for (size_t c = 0; c < k; ++c) {
+      io->col_offsets[c] = kChunkHeaderBytes + c * rows * 4;
+      io->col_sizes[c] = rows * 4;
+    }
+    io->dict_offset = kChunkHeaderBytes + rows * k * 4;
+  } else {
+    if (codec_ == nullptr) {
+      return Status::IOError("store: chunk '" + path +
+                             "' is compressed but the manifest names no "
+                             "codec");
+    }
+    std::string table(k * 8, '\0');
+    if (io->file_size < kChunkHeaderBytes + k * 8) {
+      return Status::IOError("store: chunk '" + path + "' has a bad header");
+    }
+    FDX_RETURN_IF_ERROR(
+        io->ReadAt(kChunkHeaderBytes, k * 8, table.data(), path));
+    uint64_t offset = kChunkHeaderBytes + k * 8;
+    for (size_t c = 0; c < k; ++c) {
+      io->col_offsets[c] = offset;
+      io->col_sizes[c] = ReadU64(table.data() + c * 8);
+      offset += io->col_sizes[c];
+    }
+    io->dict_offset = offset;
+  }
+  if (io->file_size != io->dict_offset + io->dict_bytes) {
+    return Status::IOError("store: chunk '" + path +
+                           "' shape disagrees with the manifest");
+  }
+
+  // First-touch verification (mmap mode): fingerprint the uncompressed
+  // serialization before trusting any mapped bytes, then drop the pages
+  // the check touched. The pread fallback keeps the original contract —
+  // full verification on ReadChunkValues/Open, range checks on column
+  // reads.
+  if (io->use_mmap) {
+    std::string actual;
+    if (io->compressed) {
+      std::string v1_payload;
+      FDX_RETURN_IF_ERROR(ReconstructRawPayload(index, *io, &v1_payload));
+      actual = FingerprintHexOf(v1_payload);
+    } else {
+      actual = FingerprintHexOf(io->map.data(), io->map.size());
+    }
+    if (actual != chunk.fingerprint_hex) {
+      return Status::IOError("store: chunk '" + path +
+                             "' fingerprint mismatch (corrupt store)");
+    }
+    io->map.AdviseDontNeed(0, io->map.size());
+  }
+
+  chunk.io = std::move(io);
+  return chunk.io.get();
+}
+
+/// Rebuilds the uncompressed (FDXCHNK1) serialization of a compressed
+/// chunk from its established I/O state: decode every column, then copy
+/// the dictionary tail. Fingerprints and the replay path both operate
+/// on this reconstruction, so they are codec-independent.
+Status ChunkedTable::ReconstructRawPayload(size_t index, const ChunkIo& io,
+                                           std::string* out) const {
+  const StoredChunk& chunk = chunks_[index];
+  const size_t k = schema_.size();
+  out->clear();
+  out->reserve(kChunkHeaderBytes + chunk.rows * k * 4 +
+               static_cast<size_t>(io.dict_bytes));
+  out->append(kChunkMagic, sizeof(kChunkMagic));
+  AppendU64(out, chunk.rows);
+  AppendU64(out, k);
+  AppendU64(out, io.dict_bytes);
+  std::vector<int32_t> codes(chunk.rows);
+  std::string column;
+  for (size_t c = 0; c < k; ++c) {
+    column.resize(io.col_sizes[c]);
+    FDX_RETURN_IF_ERROR(io.ReadAt(io.col_offsets[c], io.col_sizes[c],
+                                  column.data(), dir_ + "/" + chunk.file));
+    FDX_RETURN_IF_ERROR(DecodeCompressedColumn(*codec_, column.data(),
+                                               column.size(), chunk.rows,
+                                               codes.data(), chunk.file));
+    for (int32_t code : codes) AppendI32(out, code);
+  }
+  std::string dict(io.dict_bytes, '\0');
+  FDX_RETURN_IF_ERROR(io.ReadAt(io.dict_offset, io.dict_bytes, dict.data(),
+                                dir_ + "/" + chunk.file));
+  *out += dict;
+  return Status::OK();
+}
+
 Status ChunkedTable::LoadChunkPayload(size_t index,
                                       std::string* contents) const {
   const StoredChunk& chunk = chunks_[index];
   const std::string path = dir_ + "/" + chunk.file;
-  FDX_ASSIGN_OR_RETURN(*contents, ReadFileToString(path));
+  FDX_ASSIGN_OR_RETURN(std::string raw, ReadFileToString(path));
+  if (raw.size() >= sizeof(kChunkMagicV2) &&
+      std::memcmp(raw.data(), kChunkMagicV2, sizeof(kChunkMagicV2)) == 0) {
+    // Compressed: rebuild the uncompressed serialization, which is what
+    // the fingerprint covers and what the callers parse.
+    FDX_ASSIGN_OR_RETURN(ChunkIo * io, GetChunkIo(index));
+    FDX_RETURN_IF_ERROR(ReconstructRawPayload(index, *io, contents));
+  } else {
+    *contents = std::move(raw);
+  }
   if (FingerprintHexOf(*contents) != chunk.fingerprint_hex) {
     return Status::IOError("store: chunk '" + path +
                            "' fingerprint mismatch (corrupt store)");
@@ -326,11 +618,42 @@ Status ChunkedTable::LoadChunkPayload(size_t index,
   return Status::OK();
 }
 
+Status ChunkedTable::ReadSpilledColumn(size_t index, size_t col,
+                                       std::vector<int32_t>* codes) const {
+  const StoredChunk& chunk = chunks_[index];
+  FDX_ASSIGN_OR_RETURN(ChunkIo * io, GetChunkIo(index));
+  codes->resize(chunk.rows);
+  if (io->compressed) {
+    std::string column(io->col_sizes[col], '\0');
+    FDX_RETURN_IF_ERROR(io->ReadAt(io->col_offsets[col], io->col_sizes[col],
+                                   column.data(), dir_ + "/" + chunk.file));
+    FDX_RETURN_IF_ERROR(DecodeCompressedColumn(*codec_, column.data(),
+                                               column.size(), chunk.rows,
+                                               codes->data(), chunk.file));
+  } else if (io->use_mmap) {
+    const char* slice = io->map.data() + io->col_offsets[col];
+    for (size_t r = 0; r < chunk.rows; ++r) {
+      (*codes)[r] = ReadI32(slice + r * 4);
+    }
+  } else {
+    std::string slice(io->col_sizes[col], '\0');
+    FDX_RETURN_IF_ERROR(io->ReadAt(io->col_offsets[col], io->col_sizes[col],
+                                   slice.data(), dir_ + "/" + chunk.file));
+    for (size_t r = 0; r < chunk.rows; ++r) {
+      (*codes)[r] = ReadI32(slice.data() + r * 4);
+    }
+  }
+  // The slice has been copied out as codes; its pages are dead weight.
+  io->DropRange(io->col_offsets[col], io->col_sizes[col]);
+  return Status::OK();
+}
+
 Status ChunkedTable::ReadColumnCodes(size_t col,
                                      std::vector<int32_t>* out) const {
   const ColumnDictionary& dict = dicts_[col];
   out->clear();
   out->reserve(total_rows_);
+  std::vector<int32_t> storage_codes;
   for (size_t i = 0; i < chunks_.size(); ++i) {
     const StoredChunk& chunk = chunks_[i];
     if (!chunk.codes.empty()) {
@@ -341,12 +664,9 @@ Status ChunkedTable::ReadColumnCodes(size_t col,
       continue;
     }
     // Spilled: the column is one contiguous slice of the chunk file.
-    const uint64_t offset = kChunkHeaderBytes + col * chunk.rows * 4;
-    FDX_ASSIGN_OR_RETURN(
-        std::string slice,
-        ReadFileSlice(dir_ + "/" + chunk.file, offset, chunk.rows * 4));
+    FDX_RETURN_IF_ERROR(ReadSpilledColumn(i, col, &storage_codes));
     for (size_t r = 0; r < chunk.rows; ++r) {
-      const int32_t storage = ReadI32(slice.data() + r * 4);
+      const int32_t storage = storage_codes[r];
       if (storage < EncodedTable::kNullCode ||
           storage >= static_cast<int32_t>(dict.to_transform.size())) {
         return Status::IOError("store: chunk '" + chunk.file +
@@ -404,6 +724,22 @@ Result<Table> ChunkedTable::ReadChunkValues(size_t index) const {
   return out;
 }
 
+uint64_t ChunkedTable::MappedResidentBytes() const {
+  std::lock_guard<std::mutex> lock(*io_mu_);
+  uint64_t total = 0;
+  for (const StoredChunk& chunk : chunks_) {
+    if (chunk.io != nullptr && chunk.io->use_mmap) {
+      total += chunk.io->map.ResidentBytes();
+    }
+  }
+  return total;
+}
+
+uint64_t ChunkedTable::mmap_fallbacks() const {
+  std::lock_guard<std::mutex> lock(*io_mu_);
+  return mmap_fallbacks_;
+}
+
 Result<ChunkedTable> ChunkedTable::Open(std::string dir) {
   FDX_ASSIGN_OR_RETURN(std::string manifest_text,
                        ReadFileToString(dir + "/manifest.json"));
@@ -433,6 +769,9 @@ Result<ChunkedTable> ChunkedTable::Open(std::string dir) {
   table.schema_ = Schema(std::move(names));
   table.dir_ = std::move(dir);
   table.dicts_.resize(table.schema_.size());
+  table.io_mode_ = DefaultStoreIo();
+  table.codec_name_ = root.StringOr("codec", "none");
+  FDX_ASSIGN_OR_RETURN(table.codec_, FindChunkCodec(table.codec_name_));
   const size_t k = table.schema_.size();
 
   const JsonValue* chunks_json = root.Find("chunks");

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +13,29 @@
 #include "util/status.h"
 
 namespace fdx {
+
+class ChunkCodec;
+
+/// How spilled chunk payloads are read back.
+///
+///  * kMmap (default): chunk files are memory-mapped once per chunk and
+///    column slices are decoded straight out of the page cache, with
+///    `madvise(SEQUENTIAL)` on map and `madvise(DONTNEED)` after each
+///    slice so a bounded-memory scan never accumulates mapped residency.
+///    The mapped bytes are fingerprint-verified on first touch. If the
+///    map cannot be established (or the `store.mmap` fault point fires)
+///    the store falls back to the read path for that chunk and counts
+///    the fallback.
+///  * kRead: the PR 9 pread(2) path, kept as a bit-identical fallback.
+///
+/// The `FDX_STORE_IO` environment variable (`mmap` or `read`) overrides
+/// the default for newly created/opened stores; `set_io_mode` overrides
+/// it programmatically. Both paths produce identical bytes.
+enum class StoreIo { kMmap, kRead };
+
+/// Resolves the process-wide default read path: `FDX_STORE_IO` if set
+/// to a recognized value, otherwise kMmap.
+StoreIo DefaultStoreIo();
 
 /// Out-of-core columnar table: rows arrive in batches, each batch is
 /// dictionary-encoded against an *incremental* dictionary (codes are
@@ -35,35 +60,53 @@ namespace fdx {
 ///
 /// Durable layout under `dir`:
 ///
-///   manifest.json    — schema, total rows, per-chunk {file, rows,
-///                      fingerprint}; rewritten atomically per append
-///                      (O(#chunks), the chunk payloads are immutable)
-///   chunk-NNNNNN.bin — magic FDXCHNK1; u64 rows, cols, dict_bytes;
-///                      column-major i32 storage codes (so one column
-///                      is one contiguous slice, readable with a single
-///                      pread); then a JSON dictionary *delta* — only
-///                      the values first seen in this chunk
+///   manifest.json    — schema, total rows, codec, per-chunk {file,
+///                      rows, fingerprint}; rewritten atomically per
+///                      append (O(#chunks), chunk payloads immutable)
+///   chunk-NNNNNN.bin — raw format: magic FDXCHNK1; u64 rows, cols,
+///                      dict_bytes; column-major i32 storage codes (one
+///                      column = one contiguous slice); then a JSON
+///                      dictionary *delta* — only the values first seen
+///                      in this chunk. Compressed format (codec !=
+///                      none): magic FDXCHNK2, same u64 header, a u64
+///                      per-column compressed-size table, the per-column
+///                      codec payloads, then the dictionary delta.
+///                      Fingerprints always cover the *uncompressed*
+///                      serialization, so raw and compressed stores of
+///                      the same data fingerprint identically.
 ///
 /// Open() replays the dictionary deltas in chunk order and verifies
 /// every chunk's fingerprint, so a reopened store either matches the
 /// writer's state exactly or fails loudly.
 ///
-/// Not thread-safe; callers serialize access (the service wraps a store
-/// in its per-session mutex).
+/// Appends are single-writer (callers serialize them; the service wraps
+/// a store in its per-session mutex). Reads — ReadColumnCodes and
+/// ReadChunkValues — are safe to call concurrently with each other (the
+/// wave-parallel streaming transform decodes columns from worker
+/// threads); the per-chunk I/O state they share is created under an
+/// internal mutex.
 class ChunkedTable {
  public:
-  ChunkedTable() = default;
-  ChunkedTable(ChunkedTable&&) = default;
-  ChunkedTable& operator=(ChunkedTable&&) = default;
+  // Defined out of line: StoredChunk holds a unique_ptr to the
+  // incomplete ChunkIo type.
+  ChunkedTable();
+  ~ChunkedTable();
+  ChunkedTable(ChunkedTable&&) noexcept;
+  ChunkedTable& operator=(ChunkedTable&&) noexcept;
   ChunkedTable(const ChunkedTable&) = delete;
   ChunkedTable& operator=(const ChunkedTable&) = delete;
 
   /// New empty store. `dir` empty keeps chunks in memory; otherwise the
   /// directory is created and an empty manifest written immediately.
-  static Result<ChunkedTable> Create(const Schema& schema, std::string dir);
+  /// `codec` names the chunk-payload compression ("" or "none" stores
+  /// raw, "varint" delta-compresses dictionary codes); unknown names
+  /// are an error.
+  static Result<ChunkedTable> Create(const Schema& schema, std::string dir,
+                                     const std::string& codec = "");
 
   /// Reopens a spilled store, replaying dictionary deltas and verifying
-  /// every chunk fingerprint against the manifest.
+  /// every chunk fingerprint against the manifest. The codec is read
+  /// from the manifest.
   static Result<ChunkedTable> Open(std::string dir);
 
   /// Encodes `batch` as one new chunk. Column count must match the
@@ -76,6 +119,15 @@ class ChunkedTable {
   const Schema& schema() const { return schema_; }
   const std::string& dir() const { return dir_; }
   bool spilled() const { return !dir_.empty(); }
+  /// Codec name as recorded in the manifest ("none" when raw).
+  const std::string& codec() const { return codec_name_; }
+  StoreIo io_mode() const { return io_mode_; }
+  /// Overrides the read path (tests, benches, operators). Chunk I/O
+  /// state already established keeps its mode; set before reading.
+  void set_io_mode(StoreIo mode) { io_mode_ = mode; }
+  /// Times a chunk map failed (or was failed by the `store.mmap` fault
+  /// point) and the read path was used instead.
+  uint64_t mmap_fallbacks() const;
   size_t num_rows() const { return total_rows_; }
   size_t num_columns() const { return schema_.size(); }
   size_t num_chunks() const { return chunks_.size(); }
@@ -95,7 +147,8 @@ class ChunkedTable {
 
   /// Streams one column's transform codes (kNullCode for nulls) across
   /// all chunks into `out` — the streaming transform's input. Spilled
-  /// chunks cost one pread of the column's contiguous slice each.
+  /// chunks cost one mapped-slice decode (or one pread) of the column's
+  /// contiguous payload each. Thread-safe against concurrent reads.
   Status ReadColumnCodes(size_t col, std::vector<int32_t>* out) const;
 
   /// Exact value round-trip of one chunk (the service's replay path).
@@ -103,6 +156,12 @@ class ChunkedTable {
   /// corrupted store surfaces as kIOError here rather than as silently
   /// different data.
   Result<Table> ReadChunkValues(size_t chunk) const;
+
+  /// Bytes of this store's chunk mappings currently resident in memory.
+  /// These pages are clean and file-backed — the kernel reclaims them
+  /// under pressure — so RSS-ceiling accounting subtracts them from the
+  /// polled process figure instead of tripping on reclaimable cache.
+  uint64_t MappedResidentBytes() const;
 
  private:
   /// Per-column incremental dictionary; see the class comment for the
@@ -122,12 +181,20 @@ class ChunkedTable {
     size_t null_count = 0;
   };
 
+  /// Cached per-chunk read state, established on first access: the open
+  /// map (or a plain fd as the fallback), the per-column payload offset
+  /// index (parsed once — column reads never re-touch header/manifest
+  /// state), and the first-touch verification flag.
+  struct ChunkIo;
+
   struct StoredChunk {
     size_t rows = 0;
     std::string file;  ///< basename under dir_; empty in memory mode
     std::string fingerprint_hex;
     /// Storage codes per column; cleared once spilled.
     std::vector<std::vector<int32_t>> codes;
+    /// Lazily created, guarded by io_mu_ during creation.
+    mutable std::unique_ptr<ChunkIo> io;
   };
 
   int32_t EncodeCell(const Value& v, size_t col, std::vector<Value>* fresh);
@@ -136,12 +203,24 @@ class ChunkedTable {
   std::string EncodeManifest() const;
   Status WriteManifest() const;
   Status LoadChunkPayload(size_t chunk, std::string* contents) const;
+  Status ReconstructRawPayload(size_t chunk, const ChunkIo& io,
+                               std::string* out) const;
+  Result<ChunkIo*> GetChunkIo(size_t chunk) const;
+  Status ReadSpilledColumn(size_t chunk, size_t col,
+                           std::vector<int32_t>* storage_codes) const;
 
   Schema schema_;
   std::string dir_;
+  std::string codec_name_ = "none";
+  const ChunkCodec* codec_ = nullptr;  ///< nullptr when raw
+  StoreIo io_mode_ = StoreIo::kMmap;
   size_t total_rows_ = 0;
   std::vector<ColumnDictionary> dicts_;
   std::vector<StoredChunk> chunks_;
+  /// Guards lazy ChunkIo creation and the fallback counter (the table
+  /// is movable, hence the indirection).
+  std::unique_ptr<std::mutex> io_mu_ = std::make_unique<std::mutex>();
+  mutable uint64_t mmap_fallbacks_ = 0;
 };
 
 }  // namespace fdx

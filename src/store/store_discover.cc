@@ -46,6 +46,7 @@ Result<FdxResult> DiscoverFromStore(const ChunkedTable& table,
   }
   stream.column_cache_bytes = options.column_cache_bytes;
   stream.rss_limit_bytes = options.rss_limit_bytes;
+  stream.bounded_schedule = options.bounded_schedule;
 
   FDX_ASSIGN_OR_RETURN(TransformedMoments moments,
                        StreamTransformMoments(table, stream));

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <future>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/pairs.h"
@@ -92,14 +95,100 @@ size_t CacheCapacity(const StreamTransformOptions& options, size_t n,
       std::min<uint64_t>(k, std::max<uint64_t>(2, fit)));
 }
 
-Status CheckRssCeiling(const StreamTransformOptions& options) {
+Status CheckRssCeiling(const StreamTransformOptions& options,
+                       const ChunkedTable& table) {
   if (options.rss_limit_bytes == 0) return Status::OK();
   const uint64_t rss = CurrentRssBytes();
-  if (rss <= options.rss_limit_bytes) return Status::OK();
+  // Resident pages of the store's chunk mappings are clean and
+  // file-backed — the kernel drops them under memory pressure — so
+  // counting them against the ceiling would fail runs whose actual
+  // footprint fits. Subtract them: what remains is anonymous memory the
+  // process genuinely owes.
+  const uint64_t mapped = table.MappedResidentBytes();
+  const uint64_t owned = rss > mapped ? rss - mapped : 0;
+  if (owned <= options.rss_limit_bytes) return Status::OK();
   return Status::Unavailable(
-      "stream transform: resident set " + std::to_string(rss) +
+      "stream transform: resident set " + std::to_string(owned) +
       " bytes exceeds the memory ceiling of " +
       std::to_string(options.rss_limit_bytes) + " bytes");
+}
+
+constexpr size_t kNoColumn = static_cast<size_t>(-1);
+
+/// Double-buffered column decoder: while the caller works on the column
+/// just returned, the next one decodes on the shared pool, so chunk I/O
+/// overlaps sort/pack compute. Falls back to inline decoding when the
+/// run is single-threaded (one buffer, zero synchronization).
+class ColumnStream {
+ public:
+  ColumnStream(const ChunkedTable* table, bool async)
+      : table_(table), async_(async) {}
+  ~ColumnStream() {
+    // A pending decode still owns its buffer; let it finish.
+    if (pending_) pending_status_.wait();
+  }
+
+  /// Decodes `col` (or adopts its finished prefetch) and kicks off the
+  /// decode of `next_col` (kNoColumn: nothing follows). The returned
+  /// pointer stays valid until the next call.
+  Result<const std::vector<int32_t>*> Next(size_t col, size_t next_col) {
+    Status status = Status::OK();
+    if (pending_ && pending_col_ == col) {
+      status = pending_status_.get();
+      pending_ = false;
+      front_ ^= 1;  // the prefetch landed in the back buffer
+    } else {
+      if (pending_) {
+        (void)pending_status_.get();  // drain a mismatched prefetch
+        pending_ = false;
+      }
+      status = table_->ReadColumnCodes(col, &buf_[front_]);
+    }
+    FDX_RETURN_IF_ERROR(status);
+    if (async_ && next_col != kNoColumn) {
+      auto done = std::make_shared<std::promise<Status>>();
+      pending_status_ = done->get_future();
+      pending_col_ = next_col;
+      pending_ = true;
+      std::vector<int32_t>* dst = &buf_[front_ ^ 1];
+      const ChunkedTable* table = table_;
+      ThreadPool::Shared().Submit([table, next_col, dst, done] {
+        done->set_value(table->ReadColumnCodes(next_col, dst));
+      });
+    }
+    return &buf_[front_];
+  }
+
+ private:
+  const ChunkedTable* table_;
+  bool async_;
+  int front_ = 0;
+  bool pending_ = false;
+  size_t pending_col_ = 0;
+  std::future<Status> pending_status_;
+  std::vector<int32_t> buf_[2];
+};
+
+/// Attribute passes per wave under the cache budget. A resident pass
+/// costs its pair-order array, its k-column bit matrix, and its integer
+/// accumulators; two decoded columns (streamed + decode-ahead) are
+/// reserved off the top. At least one pass always runs — a budget too
+/// small for even that degrades to wave size one rather than failing.
+size_t WaveSize(const StreamTransformOptions& options, size_t n, size_t k) {
+  const uint64_t pairs = static_cast<uint64_t>(
+      PairsPerAttribute(n, options.transform.max_pairs_per_attribute));
+  const uint64_t bits_bytes = (pairs + 63) / 64 * 8 * k;
+  const uint64_t order_bytes = static_cast<uint64_t>(n) * 4;
+  const uint64_t accum_bytes = (static_cast<uint64_t>(k) * k + k) * 8;
+  const uint64_t per_pass = bits_bytes + order_bytes + accum_bytes;
+  const uint64_t column_bytes = static_cast<uint64_t>(n) * 4;
+  const uint64_t reserved = 2 * column_bytes;
+  const uint64_t budget = options.column_cache_bytes > reserved
+                              ? options.column_cache_bytes - reserved
+                              : 0;
+  const uint64_t fit = per_pass == 0 ? k : budget / per_pass;
+  return static_cast<size_t>(
+      std::min<uint64_t>(k, std::max<uint64_t>(1, fit)));
 }
 
 struct StageTimes {
@@ -164,12 +253,131 @@ Status RunPass(size_t attr, const ChunkedTable& table,
   return Status::OK();
 }
 
+/// The wave schedule of the memory-bounded path. Passes are grouped
+/// into waves sized by WaveSize; per wave:
+///
+///   1. sort — each pass's attribute column is decoded (one ahead, on
+///      the pool) and the pass Reset; the column is released before the
+///      next one arrives, so only two are ever resident.
+///   2. pack — every column streams through once and is appended into
+///      all of the wave's bit matrices concurrently (passes are
+///      independent, so the fan-out is over passes, each chunk with its
+///      own gather scratch). One decode per column per wave, versus one
+///      per column per *pass* on the serial schedule.
+///   3. accumulate — per-pass popcounts run in parallel into per-pass
+///      integer buffers, then merge serially in attribute order.
+///
+/// Counts are integers (commutative merges) and pooled pass covariances
+/// land in per-attribute slots reduced in attribute order, so the
+/// result is bit-identical to the serial schedule at any thread count.
+Status AccumulateWaves(const ChunkedTable& table,
+                       const StreamTransformOptions& options,
+                       const std::vector<uint32_t>& shuffled,
+                       const std::vector<uint64_t>& attr_seeds,
+                       std::vector<uint64_t>* counts,
+                       std::vector<uint64_t>* co_counts, size_t* total,
+                       std::vector<Matrix>* pass_cov, std::mutex* profile_mu) {
+  const size_t k = table.num_columns();
+  const size_t n = table.num_rows();
+  const size_t wave = WaveSize(options, n, k);
+  const size_t threads = ResolveThreadCount(options.transform.threads);
+  const bool async = threads > 1 && ThreadPool::Shared().size() > 0;
+  const Deadline* deadline = options.transform.deadline;
+
+  StageTimes times;
+  Stopwatch watch;
+  ColumnStream stream(&table, async);
+  std::vector<AttributePass> passes(wave);
+  std::vector<BitMatrix> bits(wave);
+  std::vector<std::vector<uint64_t>> pass_counts(
+      wave, std::vector<uint64_t>(k, 0));
+  std::vector<std::vector<uint64_t>> pass_co_counts(
+      wave, std::vector<uint64_t>(k * k, 0));
+  std::vector<PackScratch> scratch(std::min(threads, wave));
+
+  for (size_t wave_lo = 0; wave_lo < k; wave_lo += wave) {
+    const size_t wave_hi = std::min(k, wave_lo + wave);
+    const size_t w = wave_hi - wave_lo;
+    if (deadline != nullptr && deadline->Expired()) {
+      return Status::Timeout("pair transform: time budget exhausted");
+    }
+    FDX_RETURN_IF_ERROR(CheckRssCeiling(options, table));
+
+    watch.Reset();
+    for (size_t i = 0; i < w; ++i) {
+      const size_t attr = wave_lo + i;
+      // After the last sort column, the first pack column (0) follows.
+      const size_t next = i + 1 < w ? attr + 1 : 0;
+      FDX_ASSIGN_OR_RETURN(const std::vector<int32_t>* codes,
+                           stream.Next(attr, next));
+      passes[i].Reset(*codes, table.Cardinality(attr), shuffled,
+                      options.transform.max_pairs_per_attribute,
+                      attr_seeds[attr]);
+      bits[i].Reset(passes[i].num_pairs(), k);
+    }
+    times.sort += watch.ElapsedSeconds();
+
+    watch.Reset();
+    for (size_t col = 0; col < k; ++col) {
+      if (deadline != nullptr && deadline->Expired()) {
+        return Status::Timeout("pair transform: time budget exhausted");
+      }
+      // After the last pack column, the next wave's first sort column.
+      const size_t next = col + 1 < k
+                              ? col + 1
+                              : (wave_hi < k ? wave_hi : kNoColumn);
+      FDX_ASSIGN_OR_RETURN(const std::vector<int32_t>* codes,
+                           stream.Next(col, next));
+      ParallelForChunks(0, w, std::min(threads, w), threads,
+                        [&](size_t chunk, size_t lo, size_t hi) {
+                          for (size_t i = lo; i < hi; ++i) {
+                            ColumnBitWriter writer(bits[i].column_words(col));
+                            AppendPassColumnBits(*codes, passes[i], &writer,
+                                                 &scratch[chunk]);
+                            writer.Flush();
+                          }
+                        });
+    }
+    times.pack += watch.ElapsedSeconds();
+
+    watch.Reset();
+    ParallelForChunks(0, w, std::min(threads, w), threads,
+                      [&](size_t chunk, size_t lo, size_t hi) {
+                        (void)chunk;
+                        for (size_t i = lo; i < hi; ++i) {
+                          std::fill(pass_counts[i].begin(),
+                                    pass_counts[i].end(), 0);
+                          std::fill(pass_co_counts[i].begin(),
+                                    pass_co_counts[i].end(), 0);
+                          bits[i].AccumulateMoments(pass_counts[i].data(),
+                                                    pass_co_counts[i].data());
+                        }
+                      });
+    for (size_t i = 0; i < w; ++i) {
+      const size_t attr = wave_lo + i;
+      for (size_t c = 0; c < k; ++c) (*counts)[c] += pass_counts[i][c];
+      for (size_t c = 0; c < k * k; ++c) {
+        (*co_counts)[c] += pass_co_counts[i][c];
+      }
+      *total += passes[i].num_pairs();
+      if (pass_cov != nullptr && passes[i].num_pairs() > 0) {
+        (*pass_cov)[attr] = PassCovarianceFromCounts(
+            pass_counts[i].data(), pass_co_counts[i].data(), k,
+            passes[i].num_pairs());
+      }
+    }
+    times.accumulate += watch.ElapsedSeconds();
+  }
+  times.MergeInto(options.transform.profile, profile_mu);
+  return Status::OK();
+}
+
 /// The streaming analogue of the in-memory AccumulatePasses. With every
 /// column resident the passes fan out across threads exactly like the
-/// in-memory engine; under a cache budget they run serially over the
-/// LRU cache. Counts are integers merged commutatively and pooled pass
-/// covariances are stored per attribute, so both schedules produce the
-/// same bits.
+/// in-memory engine; under a cache budget the bounded schedule (waves
+/// by default, the serial LRU loop as the reference) takes over. Counts
+/// are integers merged commutatively and pooled pass covariances are
+/// stored per attribute, so every schedule produces the same bits.
 Status AccumulateStream(const ChunkedTable& table,
                         const StreamTransformOptions& options,
                         const std::vector<uint32_t>& shuffled,
@@ -194,7 +402,7 @@ Status AccumulateStream(const ChunkedTable& table,
     for (size_t c = 0; c < k; ++c) {
       FDX_RETURN_IF_ERROR(table.ReadColumnCodes(c, &columns[c]));
     }
-    FDX_RETURN_IF_ERROR(CheckRssCeiling(options));
+    FDX_RETURN_IF_ERROR(CheckRssCeiling(options, table));
 
     const size_t num_chunks =
         std::min(ResolveThreadCount(options.transform.threads), k);
@@ -251,6 +459,10 @@ Status AccumulateStream(const ChunkedTable& table,
       }
       *total += chunk_totals[chunk];
     }
+  } else if (options.bounded_schedule == BoundedSchedule::kWave) {
+    FDX_RETURN_IF_ERROR(AccumulateWaves(table, options, shuffled, attr_seeds,
+                                        counts, co_counts, total, pass_cov,
+                                        &profile_mu));
   } else {
     // Bounded memory: serial passes over an LRU column cache. Same
     // kernels, same integer arithmetic — only the I/O schedule differs.
@@ -268,7 +480,7 @@ Status AccumulateStream(const ChunkedTable& table,
       if (deadline != nullptr && deadline->Expired()) {
         return Status::Timeout("pair transform: time budget exhausted");
       }
-      FDX_RETURN_IF_ERROR(CheckRssCeiling(options));
+      FDX_RETURN_IF_ERROR(CheckRssCeiling(options, table));
       FDX_RETURN_IF_ERROR(RunPass(attr, table, options, shuffled,
                                   attr_seeds[attr], get_column, &pass, &bits,
                                   &pass_counts, &pass_co_counts,

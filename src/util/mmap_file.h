@@ -1,0 +1,60 @@
+#ifndef FDX_UTIL_MMAP_FILE_H_
+#define FDX_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace fdx {
+
+/// Read-only memory-mapped file. The chunk store's fast read path maps
+/// chunk files instead of copying them through read(2): column slices
+/// are consumed straight out of the page cache, and pages are released
+/// with `madvise(MADV_DONTNEED)` as soon as a slice has been decoded so
+/// a bounded-memory scan never accumulates mapped residency. Mapped
+/// pages are file-backed and clean (the mapping is PROT_READ), which
+/// means the kernel can reclaim them at any time — `ResidentBytes`
+/// reports how many are currently resident so RSS-ceiling accounting
+/// can subtract them from the polled process figure.
+///
+/// Movable, not copyable; the destructor unmaps.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only and advises MADV_SEQUENTIAL (chunk columns
+  /// are contiguous slices, read front to back). Empty files map to a
+  /// valid zero-length object (data() == nullptr, size() == 0).
+  static Result<MmapFile> Open(const std::string& path);
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool mapped() const { return data_ != nullptr; }
+
+  /// Tells the kernel the byte range [offset, offset + length) is done
+  /// with: resident pages are dropped (clean, file-backed — nothing is
+  /// lost, a later touch faults them back in). The range is shrunk to
+  /// whole pages so neighbouring data that is still live is never
+  /// dropped by accident. Safe to call concurrently with readers of
+  /// other ranges.
+  void AdviseDontNeed(size_t offset, size_t length) const;
+
+  /// Bytes of this mapping currently resident in memory (mincore scan);
+  /// 0 when unmapped or on mincore failure.
+  uint64_t ResidentBytes() const;
+
+ private:
+  char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace fdx
+
+#endif  // FDX_UTIL_MMAP_FILE_H_

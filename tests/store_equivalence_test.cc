@@ -114,6 +114,70 @@ TEST(StoreEquivalenceTest, BoundedCacheDoesNotChangeResults) {
   ExpectMomentsIdentical(memory.value(), streamed.value());
 }
 
+TEST(StoreEquivalenceTest, IoModeAndCodecGridIdentical) {
+  // The full storage matrix: raw vs varint payloads crossed with mmap
+  // vs pread reads, at degenerate and huge chunk sizes, every cell
+  // bit-identical to the in-memory transform.
+  const Table table = FdTable(300);
+  auto memory = PairTransformMoments(table, {});
+  ASSERT_TRUE(memory.ok());
+  const std::string base =
+      ::testing::TempDir() + "fdx_store_equiv_iogrid";
+  for (size_t chunk_rows : {size_t{1}, size_t{7}, size_t{65536}}) {
+    for (const char* codec : {"", "varint"}) {
+      const std::string dir = base + "_" + std::to_string(chunk_rows) +
+                              (codec[0] == '\0' ? "_raw" : "_varint");
+      (void)RemoveDirectoryRecursive(dir);
+      {
+        auto store = ChunkedTable::Create(table.schema(), dir, codec);
+        ASSERT_TRUE(store.ok());
+        AppendInChunks(table, chunk_rows, &store.value());
+      }
+      for (StoreIo io : {StoreIo::kMmap, StoreIo::kRead}) {
+        auto store = ChunkedTable::Open(dir);
+        ASSERT_TRUE(store.ok()) << store.status().message();
+        store.value().set_io_mode(io);
+        auto streamed = StreamTransformMoments(store.value(), {});
+        ASSERT_TRUE(streamed.ok())
+            << chunk_rows << "/" << codec << "/"
+            << (io == StoreIo::kMmap ? "mmap" : "read") << ": "
+            << streamed.status().message();
+        ExpectMomentsIdentical(memory.value(), streamed.value());
+      }
+      ASSERT_TRUE(RemoveDirectoryRecursive(dir).ok());
+    }
+  }
+}
+
+TEST(StoreEquivalenceTest, WaveAndSerialSchedulesIdenticalAcrossThreads) {
+  // A cache budget small enough to force multiple waves; the parallel
+  // wave scheduler must match both the in-memory transform and the
+  // serial LRU path bit-for-bit at every thread count.
+  const Table table = FdTable(400);
+  for (size_t threads : kThreadCounts) {
+    TransformOptions transform;
+    transform.threads = threads;
+    auto memory = PairTransformMoments(table, transform);
+    ASSERT_TRUE(memory.ok());
+    auto store = ChunkedTable::Create(table.schema(), "");
+    ASSERT_TRUE(store.ok());
+    AppendInChunks(table, 57, &store.value());
+    for (BoundedSchedule schedule :
+         {BoundedSchedule::kWave, BoundedSchedule::kSerial}) {
+      StreamTransformOptions stream;
+      stream.transform = transform;
+      stream.bounded_schedule = schedule;
+      stream.column_cache_bytes = 3 * 400 * sizeof(int32_t);
+      auto streamed = StreamTransformMoments(store.value(), stream);
+      ASSERT_TRUE(streamed.ok())
+          << threads << "x"
+          << (schedule == BoundedSchedule::kWave ? "wave" : "serial") << ": "
+          << streamed.status().message();
+      ExpectMomentsIdentical(memory.value(), streamed.value());
+    }
+  }
+}
+
 TEST(StoreEquivalenceTest, SampledPairsIdenticalAcrossChunking) {
   const Table table = FdTable(500);
   TransformOptions transform;
@@ -199,6 +263,36 @@ TEST(StoreEquivalenceTest, SpilledStoreDiscoverIdentical) {
   store_options.column_cache_bytes = 2 * 500 * sizeof(int32_t);
   auto streamed = DiscoverFromStore(reopened.value(), store_options);
   ASSERT_TRUE(streamed.ok());
+  ExpectResultsIdentical(memory.value(), streamed.value());
+  ASSERT_TRUE(RemoveDirectoryRecursive(dir).ok());
+}
+
+TEST(StoreEquivalenceTest, CompressedSpilledBoundedDiscoverIdentical) {
+  // The whole out-of-core stack at once: varint-compressed spilled
+  // store, reopened, bounded cache (wave schedule), multiple threads —
+  // end-to-end DiscoverFromStore must equal the in-memory Discover.
+  const std::string dir =
+      ::testing::TempDir() + "fdx_store_equiv_compressed";
+  (void)RemoveDirectoryRecursive(dir);
+  const Table table = FdTable(500);
+  FdxOptions options;
+  options.threads = 8;
+  const FdxDiscoverer discoverer(options);
+  auto memory = discoverer.Discover(table);
+  ASSERT_TRUE(memory.ok());
+  {
+    auto store = ChunkedTable::Create(table.schema(), dir, "varint");
+    ASSERT_TRUE(store.ok());
+    AppendInChunks(table, 123, &store.value());
+  }
+  auto reopened = ChunkedTable::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ(reopened.value().codec(), "varint");
+  StoreDiscoverOptions store_options;
+  store_options.fdx = options;
+  store_options.column_cache_bytes = 3 * 500 * sizeof(int32_t);
+  auto streamed = DiscoverFromStore(reopened.value(), store_options);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().message();
   ExpectResultsIdentical(memory.value(), streamed.value());
   ASSERT_TRUE(RemoveDirectoryRecursive(dir).ok());
 }

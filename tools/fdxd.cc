@@ -39,6 +39,9 @@
 //                       F * queue capacity (0 disables shedding)
 //   --shed-rss-mb=N     shed new discover jobs above N MiB RSS (0 = off)
 //   --shed-retry-after=SEC   retry_after hint on shed responses (default 0.2)
+//   --store-compression=none|varint  chunk payload codec for "chunked"
+//                       sessions; fingerprints cover the uncompressed
+//                       bytes, so results and cache keys are unchanged
 //
 // SIGTERM/SIGINT trigger the same graceful drain as a `shutdown`
 // request.
@@ -77,7 +80,8 @@ int Usage() {
                "            [--time-budget=SEC] [--debug-ops]\n"
                "            [--state-dir=PATH] [--snapshot-interval=SEC]\n"
                "            [--default-deadline=SEC] [--shed-watermark=F]\n"
-               "            [--shed-rss-mb=N] [--shed-retry-after=SEC]\n");
+               "            [--shed-rss-mb=N] [--shed-retry-after=SEC]\n"
+               "            [--store-compression=none|varint]\n");
   return 2;
 }
 
@@ -168,6 +172,8 @@ int Main(int argc, char** argv) {
     } else if (arg.rfind("--shed-retry-after=", 0) == 0) {
       options.shed_retry_after_seconds =
           std::atof(value("--shed-retry-after=").c_str());
+    } else if (arg.rfind("--store-compression=", 0) == 0) {
+      options.store_compression = value("--store-compression=");
     } else {
       std::fprintf(stderr, "fdxd: unknown flag %s\n", arg.c_str());
       return Usage();

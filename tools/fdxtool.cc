@@ -19,9 +19,11 @@
 // CSV through a spillable chunk store and runs the bounded-memory
 // transform under an N-MB process-RSS ceiling; --chunk-rows= sets the
 // ingest chunk size (default 65536), --store-dir= keeps the chunk store
-// (default: a temp dir next to the CSV, removed afterwards), and
+// (default: a temp dir next to the CSV, removed afterwards),
+// --store-compression=none|varint picks the chunk payload codec, and
 // --stable omits timing fields so the two paths' outputs can be
-// compared byte-for-byte.
+// compared byte-for-byte. The FDX_STORE_IO environment variable
+// (mmap|read) selects the chunk read path.
 //
 // Exit codes: 0 ok, 1 error, 2 usage, 3 validation violations, 4 timeout.
 
@@ -218,13 +220,14 @@ int StreamingDiscover(const Args& args, const std::string& path) {
   const std::string delim = args.Get("delimiter");
   if (!delim.empty()) csv.delimiter = delim[0];
 
+  const std::string codec = args.Get("store-compression");
   ChunkedTable store;
   bool created = false;
   Status read =
       ReadCsvChunked(path, csv, chunk_rows, [&](Table&& chunk) -> Status {
         if (!created) {
-          FDX_ASSIGN_OR_RETURN(store,
-                               ChunkedTable::Create(chunk.schema(), store_dir));
+          FDX_ASSIGN_OR_RETURN(
+              store, ChunkedTable::Create(chunk.schema(), store_dir, codec));
           created = true;
         }
         if (chunk.num_rows() == 0) return Status::OK();
@@ -630,8 +633,13 @@ int Usage() {
       "                    store and discover under an N-MB RSS ceiling\n"
       "  --chunk-rows=N    ingest chunk size (default 65536)\n"
       "  --store-dir=DIR   keep the chunk store at DIR (default: temp)\n"
+      "  --store-compression=none|varint\n"
+      "                    chunk payload codec (varint delta-compresses\n"
+      "                    dictionary codes; results are identical)\n"
       "  --stable          omit timing fields so in-memory and chunked\n"
-      "                    outputs compare byte-for-byte\n");
+      "                    outputs compare byte-for-byte\n"
+      "  FDX_STORE_IO=mmap|read (env) chunk read path; mmap (default)\n"
+      "                    maps chunk files, read uses plain pread\n");
   return 2;
 }
 
